@@ -1,0 +1,126 @@
+// Experiment E11 (§4 Examples 8/9/11): micro-benchmarks of the g-distance
+// kernels via google-benchmark — curve construction, evaluation, and the
+// pairwise crossing primitive the sweep spends its time in.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gdist/builtin.h"
+#include "gdist/region.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+Trajectory RandomTurnyTrajectory(Rng& rng, size_t turns) {
+  Trajectory t = Trajectory::Linear(0.0, RandomPoint(rng, 2, -500.0, 500.0),
+                                    RandomVelocity(rng, 2, 1.0, 10.0));
+  for (size_t i = 1; i <= turns; ++i) {
+    MODB_CHECK(
+        t.AddTurn(10.0 * static_cast<double>(i),
+                  RandomVelocity(rng, 2, 1.0, 10.0))
+            .ok());
+  }
+  return t;
+}
+
+void BM_SquaredEuclideanCurveBuild(benchmark::State& state) {
+  Rng rng(71);
+  const SquaredEuclideanGDistance gdist(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  const Trajectory object =
+      RandomTurnyTrajectory(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gdist.Curve(object));
+  }
+}
+BENCHMARK(BM_SquaredEuclideanCurveBuild)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CurveEval(benchmark::State& state) {
+  Rng rng(72);
+  const SquaredEuclideanGDistance gdist(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  const GCurve curve = gdist.Curve(RandomTurnyTrajectory(rng, 16));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Eval(t));
+    t += 0.1;
+    if (t > 160.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_CurveEval);
+
+void BM_FirstTimeAbovePolynomial(benchmark::State& state) {
+  Rng rng(73);
+  const SquaredEuclideanGDistance gdist(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  const GCurve a = gdist.Curve(RandomTurnyTrajectory(rng, 4));
+  const GCurve b = gdist.Curve(RandomTurnyTrajectory(rng, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GCurve::FirstTimeAbove(a, b, 0.0, 50.0));
+  }
+}
+BENCHMARK(BM_FirstTimeAbovePolynomial);
+
+void BM_InterceptionCurveBuild(benchmark::State& state) {
+  Rng rng(74);
+  const InterceptionTimeSquaredGDistance gdist(Vec{0.0, 0.0});
+  const Trajectory object = RandomTurnyTrajectory(rng, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gdist.Curve(object));
+  }
+}
+BENCHMARK(BM_InterceptionCurveBuild);
+
+void BM_MovingInterceptionEval(benchmark::State& state) {
+  Rng rng(75);
+  const MovingInterceptionGDistance gdist(
+      Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, 0.5}),
+      /*horizon=*/200.0, /*sample_step=*/0.25);
+  const Trajectory chaser =
+      Trajectory::Linear(0.0, Vec{100.0, 100.0}, Vec{-4.0, -4.0});
+  const GCurve curve = gdist.Curve(chaser);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Eval(t));
+    t += 0.1;
+    if (t > 150.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_MovingInterceptionEval);
+
+void BM_RegionCurveBuild(benchmark::State& state) {
+  // Cost scales with the polygon's feature count (Θ(E²) candidate roots
+  // per trajectory piece).
+  Rng rng(76);
+  std::vector<Vec> points;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    points.push_back(RandomPoint(rng, 2, -100.0, 100.0));
+  }
+  const RegionGDistance gdist(ConvexPolygon::Hull(points));
+  const Trajectory object = RandomTurnyTrajectory(rng, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gdist.Curve(object));
+  }
+}
+BENCHMARK(BM_RegionCurveBuild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FirstTimeAboveNumeric(benchmark::State& state) {
+  const MovingInterceptionGDistance gdist(
+      Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, 0.5}), 200.0, 0.25);
+  const GCurve a = gdist.Curve(
+      Trajectory::Linear(0.0, Vec{100.0, 100.0}, Vec{-4.0, -4.0}));
+  const GCurve b = gdist.Curve(
+      Trajectory::Linear(0.0, Vec{-150.0, 50.0}, Vec{4.0, -2.0}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GCurve::FirstTimeAbove(a, b, 0.0, 150.0));
+  }
+}
+BENCHMARK(BM_FirstTimeAboveNumeric);
+
+}  // namespace
+}  // namespace modb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Experiment E1 (Theorem 4): a past FO(f) query is evaluated in
+// O((m + N) log N) time, m = number of support changes in the interval.
+//
+// Two sweeps validate the shape:
+//  1. N grows with the workload otherwise fixed: time/((m+N) log N) must
+//     stay roughly flat.
+//  2. The interval (and hence m) grows at fixed N: same normalization.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+struct RunResult {
+  double seconds;
+  uint64_t support_changes;
+};
+
+RunResult RunPastKnn(const MovingObjectDatabase& mod, double t_end) {
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  PastQueryEngine engine(mod, gdist, TimeInterval(0.0, t_end));
+  KnnKernel kernel(&engine.state(), /*k=*/5);
+  const double seconds = bench::MeasureSeconds([&] { engine.Run(); });
+  return RunResult{seconds, engine.stats().SupportChanges()};
+}
+
+void SweepOverN() {
+  std::printf(
+      "E1a: past 5-NN sweep, interval [0, 5], time vs N.\n"
+      "Claim: time / ((m + N) log2 N) is flat.\n");
+  bench::Table table({"N", "m", "time_ms", "norm_us"});
+  for (size_t n : {500, 1000, 2000, 4000, 8000, 16000}) {
+    const RandomModOptions options{
+        .num_objects = n,
+        .dim = 2,
+        .box_lo = -1000.0,
+        .box_hi = 1000.0,
+        .speed_min = 1.0,
+        .speed_max = 10.0,
+        .seed = 42 + n};
+    const MovingObjectDatabase mod = RandomMod(options);
+    const RunResult r = RunPastKnn(mod, 5.0);
+    const double m = static_cast<double>(r.support_changes);
+    const double norm =
+        r.seconds * 1e6 / ((m + static_cast<double>(n)) * bench::Log2(n));
+    table.Row({static_cast<double>(n), m, r.seconds * 1e3, norm});
+  }
+}
+
+void SweepOverM() {
+  std::printf(
+      "\nE1b: past 5-NN sweep, N = 2000, time vs interval length (m grows "
+      "with the horizon).\nClaim: time / ((m + N) log2 N) is flat.\n");
+  bench::Table table({"horizon", "m", "time_ms", "norm_us"});
+  const RandomModOptions options{.num_objects = 2000, .dim = 2, .seed = 7};
+  const MovingObjectDatabase mod = RandomMod(options);
+  for (double horizon : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    const RunResult r = RunPastKnn(mod, horizon);
+    const double m = static_cast<double>(r.support_changes);
+    const double norm =
+        r.seconds * 1e6 / ((m + 2000.0) * bench::Log2(2000.0));
+    table.Row({horizon, m, r.seconds * 1e3, norm});
+  }
+}
+
+void SweepOverHistory() {
+  std::printf(
+      "\nE1c: past 5-NN sweep over *history* MODs (turns + lifetimes from "
+      "a recorded update stream, one update per object), interval [0, 5].\n"
+      "Claim: the same O((m + N) log N) shape holds with piecewise "
+      "trajectories.\n");
+  bench::Table table({"N", "pieces", "m", "time_ms", "norm_us"});
+  for (size_t n : {500, 1000, 2000, 4000, 8000}) {
+    const RandomModOptions options{.num_objects = n, .dim = 2,
+                                   .seed = 97 + n};
+    const UpdateStreamOptions stream{.count = n,
+                                     .mean_gap = 4.0 / static_cast<double>(n),
+                                     .chdir_weight = 0.8,
+                                     .new_weight = 0.1,
+                                     .terminate_weight = 0.1,
+                                     .seed = 98};
+    const MovingObjectDatabase mod = RandomHistoryMod(options, stream);
+    const RunResult r = RunPastKnn(mod, 5.0);
+    const double m = static_cast<double>(r.support_changes);
+    const double norm =
+        r.seconds * 1e6 / ((m + static_cast<double>(n)) * bench::Log2(n));
+    table.Row({static_cast<double>(n),
+               static_cast<double>(mod.TotalPieces()), m, r.seconds * 1e3,
+               norm});
+  }
+}
+
+}  // namespace
+}  // namespace modb
+
+int main() {
+  modb::SweepOverN();
+  modb::SweepOverM();
+  modb::SweepOverHistory();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment E2/E3 (Theorem 5): future-query evaluation.
+//  5.1  Initialization (sorting the object list and seeding the event
+//       queue) is O(N log N): time/(N log N) flat over N.
+//  5.2  Maintaining the support costs O(m log N) per update, with m the
+//       support changes between consecutive updates: spreading the same
+//       update count over longer gaps raises m per update and the cost
+//       follows; time/((m+1) log N) stays flat.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/future_engine.h"
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+GDistancePtr Gdist() {
+  return std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+}
+
+void InitializationSweep() {
+  std::printf(
+      "E2: future-query initialization (Theorem 5.1), time vs N.\n"
+      "Claim: time / (N log2 N) is flat.\n");
+  bench::Table table({"N", "time_ms", "norm_us"});
+  for (size_t n : {1000, 2000, 4000, 8000, 16000, 32000, 64000}) {
+    const RandomModOptions options{.num_objects = n, .dim = 2,
+                                   .seed = 11 + n};
+    MovingObjectDatabase mod = RandomMod(options);
+    FutureQueryEngine engine(std::move(mod), Gdist(), 0.0);
+    KnnKernel kernel(&engine.state(), 5);
+    const double seconds = bench::MeasureSeconds([&] { engine.Start(); });
+    table.Row({static_cast<double>(n), seconds * 1e3,
+               seconds * 1e6 / (static_cast<double>(n) * bench::Log2(n))});
+  }
+}
+
+void UpdateCostVsGap() {
+  std::printf(
+      "\nE3: per-update maintenance (Theorem 5.2), N = 2000, 200 chdir "
+      "updates, varying the gap between updates.\n"
+      "Claim: cost per update tracks m (support changes per update); "
+      "time / ((m+1) log2 N) is flat.\n");
+  bench::Table table(
+      {"mean_gap", "m_per_update", "us_per_update", "norm_us"});
+  const size_t n = 2000;
+  for (double gap : {0.01, 0.04, 0.16, 0.64, 2.56}) {
+    const RandomModOptions options{.num_objects = n, .dim = 2, .seed = 13};
+    const UpdateStreamOptions stream{.count = 200,
+                                     .mean_gap = gap,
+                                     .chdir_weight = 1.0,
+                                     .new_weight = 0.0,
+                                     .terminate_weight = 0.0,
+                                     .seed = 17};
+    MovingObjectDatabase mod = RandomMod(options);
+    const std::vector<Update> updates =
+        RandomUpdateStream(mod, options, stream);
+    FutureQueryEngine engine(std::move(mod), Gdist(), 0.0);
+    KnnKernel kernel(&engine.state(), 5);
+    engine.Start();
+    const uint64_t changes_before = engine.stats().SupportChanges();
+    const double seconds = bench::MeasureSeconds([&] {
+      for (const Update& update : updates) {
+        const Status status = engine.ApplyUpdate(update);
+        MODB_CHECK(status.ok()) << status.ToString();
+      }
+    });
+    const double m_per_update =
+        static_cast<double>(engine.stats().SupportChanges() -
+                            changes_before) /
+        static_cast<double>(updates.size());
+    const double us_per_update = seconds * 1e6 / updates.size();
+    table.Row({gap, m_per_update, us_per_update,
+               us_per_update / ((m_per_update + 1.0) * bench::Log2(n))});
+  }
+}
+
+}  // namespace
+}  // namespace modb
+
+int main() {
+  modb::InitializationSweep();
+  modb::UpdateCostVsGap();
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef MODB_BENCH_BENCH_UTIL_H_
+#define MODB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace modb {
+namespace bench {
+
+// Wall-clock seconds for one invocation of fn.
+template <typename Fn>
+double MeasureSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Minimal fixed-width table printer: the benches print paper-style rows;
+// EXPERIMENTS.md records the shapes.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) {
+      std::printf("%16s", h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) std::printf("%16s", "----");
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<double>& values) {
+    for (double v : values) {
+      if (v == static_cast<int64_t>(v) && std::fabs(v) < 1e15) {
+        std::printf("%16lld", static_cast<long long>(v));
+      } else {
+        std::printf("%16.4g", v);
+      }
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline double Log2(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace bench
+}  // namespace modb
+
+#endif  // MODB_BENCH_BENCH_UTIL_H_

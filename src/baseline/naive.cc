@@ -1,0 +1,139 @@
+#include "baseline/naive.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace modb {
+namespace {
+
+// Shared cell decomposition: all pairwise crossings plus lifetime edges.
+struct Decomposition {
+  std::map<ObjectId, GCurve> curves;
+  std::map<ObjectId, TimeInterval> windows;
+  std::vector<double> edges;  // Includes interval endpoints.
+  NaiveStats stats;
+};
+
+Decomposition Decompose(const MovingObjectDatabase& mod,
+                        const GDistance& gdist, TimeInterval interval,
+                        const RootOptions& options,
+                        const std::vector<double>& constants = {}) {
+  Decomposition d;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    GCurve curve = gdist.Curve(trajectory);
+    const TimeInterval window = curve.Domain().Intersect(interval);
+    if (window.empty()) continue;
+    d.windows.emplace(oid, window);
+    d.curves.emplace(oid, std::move(curve));
+  }
+
+  std::vector<double> boundaries;
+  auto add_time = [&](double t) {
+    if (t > interval.lo && t < interval.hi) boundaries.push_back(t);
+  };
+  for (auto it = d.curves.begin(); it != d.curves.end(); ++it) {
+    MODB_CHECK(it->second.is_polynomial())
+        << "naive baseline requires polynomial g-distances";
+    auto jt = it;
+    for (++jt; jt != d.curves.end(); ++jt) {
+      ++d.stats.pairs;
+      const PiecewisePoly diff =
+          PiecewisePoly::Difference(it->second.poly(), jt->second.poly());
+      if (diff.empty()) continue;
+      for (double t : CriticalTimes(diff, interval.lo, interval.hi,
+                                    options)) {
+        add_time(t);
+      }
+    }
+  }
+  // Crossings with constant thresholds (range queries).
+  for (double c : constants) {
+    for (const auto& [oid, curve] : d.curves) {
+      ++d.stats.pairs;
+      const PiecewisePoly constant_curve = PiecewisePoly::SinglePiece(
+          Polynomial::Constant(c), curve.poly().DomainStart(),
+          curve.poly().DomainEnd());
+      const PiecewisePoly diff =
+          PiecewisePoly::Difference(curve.poly(), constant_curve);
+      for (double t : CriticalTimes(diff, interval.lo, interval.hi,
+                                    options)) {
+        add_time(t);
+      }
+    }
+  }
+  for (const auto& [oid, window] : d.windows) {
+    add_time(window.lo);
+    add_time(window.hi);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  d.edges.push_back(interval.lo);
+  for (double t : boundaries) {
+    if (t - d.edges.back() > options.tol) d.edges.push_back(t);
+  }
+  d.edges.push_back(interval.hi);
+  return d;
+}
+
+// Objects alive at `t` sorted ascending by curve value at `t`.
+std::vector<std::pair<double, ObjectId>> SortedValues(const Decomposition& d,
+                                                      double t) {
+  std::vector<std::pair<double, ObjectId>> values;
+  for (const auto& [oid, window] : d.windows) {
+    if (!window.Contains(t)) continue;
+    values.emplace_back(d.curves.at(oid).Eval(t), oid);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+}  // namespace
+
+NaiveResult NaiveKnnTimeline(const MovingObjectDatabase& mod,
+                             const GDistance& gdist, size_t k,
+                             TimeInterval interval,
+                             const RootOptions& options) {
+  Decomposition d = Decompose(mod, gdist, interval, options);
+  AnswerTimeline timeline(interval.lo);
+  for (size_t i = 0; i + 1 < d.edges.size(); ++i) {
+    const double lo = d.edges[i];
+    const double hi = d.edges[i + 1];
+    if (hi <= lo) continue;
+    const auto values = SortedValues(d, 0.5 * (lo + hi));
+    ++d.stats.cells;
+    std::set<ObjectId> answer;
+    for (size_t r = 0; r < values.size() && r < k; ++r) {
+      answer.insert(values[r].second);
+    }
+    timeline.AddSegment(TimeInterval(lo, hi), std::move(answer));
+  }
+  timeline.Finish(interval.hi);
+  return NaiveResult{std::move(timeline), d.stats};
+}
+
+NaiveResult NaiveWithinTimeline(const MovingObjectDatabase& mod,
+                                const GDistance& gdist, double threshold,
+                                TimeInterval interval,
+                                const RootOptions& options) {
+  Decomposition d = Decompose(mod, gdist, interval, options, {threshold});
+  AnswerTimeline timeline(interval.lo);
+  for (size_t i = 0; i + 1 < d.edges.size(); ++i) {
+    const double lo = d.edges[i];
+    const double hi = d.edges[i + 1];
+    if (hi <= lo) continue;
+    const double sample = 0.5 * (lo + hi);
+    ++d.stats.cells;
+    std::set<ObjectId> answer;
+    for (const auto& [oid, window] : d.windows) {
+      if (window.Contains(sample) &&
+          d.curves.at(oid).Eval(sample) <= threshold) {
+        answer.insert(oid);
+      }
+    }
+    timeline.AddSegment(TimeInterval(lo, hi), std::move(answer));
+  }
+  timeline.Finish(interval.hi);
+  return NaiveResult{std::move(timeline), d.stats};
+}
+
+}  // namespace modb

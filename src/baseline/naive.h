@@ -1,0 +1,39 @@
+#ifndef MODB_BASELINE_NAIVE_H_
+#define MODB_BASELINE_NAIVE_H_
+
+#include "core/answer.h"
+#include "gdist/gdistance.h"
+#include "geom/interval.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+struct NaiveStats {
+  size_t pairs = 0;  // All-pairs crossing decompositions (Θ(N²)).
+  size_t cells = 0;  // Cells re-sorted (Θ(N log N) each).
+};
+
+struct NaiveResult {
+  AnswerTimeline timeline;
+  NaiveStats stats;
+};
+
+// The obvious evaluator the plane sweep is measured against (experiment
+// E12): compute every pairwise crossing up front (Θ(N²) root isolations),
+// cut the interval into cells, and fully re-sort all curves in every cell.
+// Correct, simple, and Θ(N² + cells · N log N) — no use of adjacency
+// (Lemma 7) and no event queue.
+NaiveResult NaiveKnnTimeline(const MovingObjectDatabase& mod,
+                             const GDistance& gdist, size_t k,
+                             TimeInterval interval,
+                             const RootOptions& options = {});
+
+// Same decomposition, thresholded membership instead of rank.
+NaiveResult NaiveWithinTimeline(const MovingObjectDatabase& mod,
+                                const GDistance& gdist, double threshold,
+                                TimeInterval interval,
+                                const RootOptions& options = {});
+
+}  // namespace modb
+
+#endif  // MODB_BASELINE_NAIVE_H_

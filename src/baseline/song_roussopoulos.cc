@@ -1,0 +1,26 @@
+#include "baseline/song_roussopoulos.h"
+
+namespace modb {
+
+SongRoussopoulosKnn::SongRoussopoulosKnn(
+    const std::vector<std::pair<ObjectId, Vec>>& objects, size_t k)
+    : tree_(objects.empty() ? 2 : objects.front().second.dim()), k_(k) {
+  MODB_CHECK_GT(k, 0u);
+  MODB_CHECK(!objects.empty());
+  for (const auto& [oid, position] : objects) {
+    tree_.Insert(position, oid);
+  }
+}
+
+const std::set<ObjectId>& SongRoussopoulosKnn::Refresh(
+    const Vec& query_position) {
+  current_.clear();
+  for (const auto& [oid, dist2] : tree_.NearestNeighbors(query_position, k_)) {
+    (void)dist2;
+    current_.insert(oid);
+  }
+  ++refresh_count_;
+  return current_;
+}
+
+}  // namespace modb

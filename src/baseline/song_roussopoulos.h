@@ -1,0 +1,49 @@
+#ifndef MODB_BASELINE_SONG_ROUSSOPOULOS_H_
+#define MODB_BASELINE_SONG_ROUSSOPOULOS_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "geom/vec.h"
+#include "index/rtree.h"
+
+namespace modb {
+
+// The comparison approach of [26] (Song & Roussopoulos, SSTD 2001)
+// discussed in §5: k-NN for a *moving query point* over *stationary*
+// objects stored in an R-tree. The answer is recomputed from the index only
+// at "refresh" points (query-object updates or sampling instants) and held
+// constant in between — exactly the behavior the paper criticizes: "the
+// result may soon become incorrect due to the movement of the query
+// object", e.g. the closeness exchange at time C in Figure 2 goes
+// undetected until the next refresh.
+//
+// Experiment E9 replays a moving query against both this baseline and the
+// exact sweep, reporting the fraction of time the baseline's held answer is
+// stale, as a function of the refresh period.
+class SongRoussopoulosKnn {
+ public:
+  SongRoussopoulosKnn(const std::vector<std::pair<ObjectId, Vec>>& objects,
+                      size_t k);
+
+  // Recomputes the k-NN set at the query's current position (one R-tree
+  // best-first search) and holds it until the next refresh.
+  const std::set<ObjectId>& Refresh(const Vec& query_position);
+
+  // The held (possibly stale) answer.
+  const std::set<ObjectId>& Current() const { return current_; }
+
+  size_t refresh_count() const { return refresh_count_; }
+  const RTree& tree() const { return tree_; }
+
+ private:
+  RTree tree_;
+  size_t k_;
+  std::set<ObjectId> current_;
+  size_t refresh_count_ = 0;
+};
+
+}  // namespace modb
+
+#endif  // MODB_BASELINE_SONG_ROUSSOPOULOS_H_

@@ -1,0 +1,67 @@
+#ifndef MODB_COMMON_CHECK_H_
+#define MODB_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace modb {
+namespace internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the MODB_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "MODB_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace modb
+
+// Aborts with a message if `cond` is false. Supports streaming extra
+// context: MODB_CHECK(n > 0) << "n=" << n;
+// For programming errors and internal invariants only; user-input failures
+// return Status instead. The switch wrapper avoids dangling-else surprises.
+#define MODB_CHECK(cond)                                                    \
+  switch (0)                                                                \
+  case 0:                                                                   \
+  default:                                                                  \
+    if (cond) {                                                             \
+    } else /* NOLINT */                                                     \
+      ::modb::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define MODB_CHECK_EQ(a, b) MODB_CHECK((a) == (b))
+#define MODB_CHECK_NE(a, b) MODB_CHECK((a) != (b))
+#define MODB_CHECK_LT(a, b) MODB_CHECK((a) < (b))
+#define MODB_CHECK_LE(a, b) MODB_CHECK((a) <= (b))
+#define MODB_CHECK_GT(a, b) MODB_CHECK((a) > (b))
+#define MODB_CHECK_GE(a, b) MODB_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+// In release builds MODB_DCHECK compiles the condition away entirely.
+#define MODB_DCHECK(cond) MODB_CHECK(true || (cond))
+#else
+#define MODB_DCHECK(cond) MODB_CHECK(cond)
+#endif
+
+#endif  // MODB_COMMON_CHECK_H_

@@ -1,0 +1,54 @@
+#ifndef MODB_COMMON_RNG_H_
+#define MODB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace modb {
+
+// Deterministic random number generator used by workload generators and
+// property tests. Wrapping std::mt19937_64 keeps the seed at the API surface
+// so every experiment is reproducible from its printed parameters.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    MODB_CHECK_LE(lo, hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MODB_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Exponentially distributed value with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    MODB_CHECK_GT(rate, 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Standard normal scaled to the given mean and stddev.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_COMMON_RNG_H_

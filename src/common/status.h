@@ -1,0 +1,125 @@
+#ifndef MODB_COMMON_STATUS_H_
+#define MODB_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace modb {
+
+// Error categories for fallible operations. The library does not use
+// exceptions (see DESIGN.md); every operation that can fail on valid user
+// input returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // Malformed input (e.g. non-continuous trajectory).
+  kNotFound = 2,          // OID not present in the database.
+  kAlreadyExists = 3,     // OID already present on new().
+  kFailedPrecondition = 4,// Update out of chronological order, etc.
+  kOutOfRange = 5,        // Time outside an object's domain.
+  kInternal = 6,          // Invariant violation surfaced as an error.
+};
+
+// Returns the canonical name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// a non-OK StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return value;` and `return Status::...;` from the same function.
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {   // NOLINT
+    MODB_CHECK(!status_.ok()) << "StatusOr given OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MODB_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MODB_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MODB_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define MODB_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::modb::Status modb_status_tmp_ = (expr);        \
+    if (!modb_status_tmp_.ok()) return modb_status_tmp_; \
+  } while (false)
+
+}  // namespace modb
+
+#endif  // MODB_COMMON_STATUS_H_

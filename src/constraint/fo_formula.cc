@@ -1,0 +1,305 @@
+#include "constraint/fo_formula.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace modb {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+FoRealTerm FoRealTerm::Constant(double value) {
+  FoRealTerm term;
+  term.is_constant = true;
+  term.constant = value;
+  return term;
+}
+
+FoRealTerm FoRealTerm::GDist(int var, Polynomial tt) {
+  MODB_CHECK_GE(var, 0);
+  FoRealTerm term;
+  term.is_constant = false;
+  term.var = var;
+  term.time_term = std::move(tt);
+  return term;
+}
+
+std::string FoRealTerm::ToString() const {
+  if (is_constant) {
+    std::ostringstream out;
+    out << constant;
+    return out.str();
+  }
+  std::ostringstream out;
+  out << "f(y" << var << ", " << time_term.ToString() << ")";
+  return out.str();
+}
+
+FoFormulaPtr FoFormula::Atom(FoRealTerm lhs, CompareOp op, FoRealTerm rhs) {
+  auto formula = std::shared_ptr<FoFormula>(new FoFormula);
+  formula->kind_ = Kind::kAtom;
+  formula->lhs_ = std::move(lhs);
+  formula->op_ = op;
+  formula->rhs_ = std::move(rhs);
+  return formula;
+}
+
+FoFormulaPtr FoFormula::Not(FoFormulaPtr operand) {
+  MODB_CHECK(operand != nullptr);
+  auto formula = std::shared_ptr<FoFormula>(new FoFormula);
+  formula->kind_ = Kind::kNot;
+  formula->child_a_ = std::move(operand);
+  return formula;
+}
+
+FoFormulaPtr FoFormula::And(FoFormulaPtr lhs, FoFormulaPtr rhs) {
+  MODB_CHECK(lhs != nullptr && rhs != nullptr);
+  auto formula = std::shared_ptr<FoFormula>(new FoFormula);
+  formula->kind_ = Kind::kAnd;
+  formula->child_a_ = std::move(lhs);
+  formula->child_b_ = std::move(rhs);
+  return formula;
+}
+
+FoFormulaPtr FoFormula::Or(FoFormulaPtr lhs, FoFormulaPtr rhs) {
+  MODB_CHECK(lhs != nullptr && rhs != nullptr);
+  auto formula = std::shared_ptr<FoFormula>(new FoFormula);
+  formula->kind_ = Kind::kOr;
+  formula->child_a_ = std::move(lhs);
+  formula->child_b_ = std::move(rhs);
+  return formula;
+}
+
+FoFormulaPtr FoFormula::Forall(int var, FoFormulaPtr body) {
+  MODB_CHECK_GE(var, 0);
+  MODB_CHECK(body != nullptr);
+  auto formula = std::shared_ptr<FoFormula>(new FoFormula);
+  formula->kind_ = Kind::kForall;
+  formula->quantified_var_ = var;
+  formula->child_a_ = std::move(body);
+  return formula;
+}
+
+FoFormulaPtr FoFormula::Exists(int var, FoFormulaPtr body) {
+  MODB_CHECK_GE(var, 0);
+  MODB_CHECK(body != nullptr);
+  auto formula = std::shared_ptr<FoFormula>(new FoFormula);
+  formula->kind_ = Kind::kExists;
+  formula->quantified_var_ = var;
+  formula->child_a_ = std::move(body);
+  return formula;
+}
+
+FoContext FoContext::OverCurves(const std::vector<ObjectId>* objects,
+                                const std::map<ObjectId, GCurve>* curves) {
+  FoContext context;
+  context.objects = objects;
+  context.value = [curves](ObjectId oid, double t) {
+    auto it = curves->find(oid);
+    MODB_CHECK(it != curves->end()) << "no curve for o" << oid;
+    return it->second.Eval(t);
+  };
+  return context;
+}
+
+namespace {
+
+double TermValue(const FoRealTerm& term, const FoContext& context,
+                 const std::vector<ObjectId>& assignment, double t) {
+  if (term.is_constant) return term.constant;
+  MODB_CHECK(static_cast<size_t>(term.var) < assignment.size())
+      << "unassigned object variable y" << term.var;
+  const ObjectId oid = assignment[static_cast<size_t>(term.var)];
+  return context.value(oid, term.time_term.Eval(t));
+}
+
+bool Compare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FoFormula::Eval(const FoContext& context,
+                     std::vector<ObjectId>* assignment, double t) const {
+  MODB_CHECK(context.objects != nullptr && context.value != nullptr);
+  switch (kind_) {
+    case Kind::kAtom:
+      return Compare(TermValue(lhs_, context, *assignment, t), op_,
+                     TermValue(rhs_, context, *assignment, t));
+    case Kind::kNot:
+      return !child_a_->Eval(context, assignment, t);
+    case Kind::kAnd:
+      return child_a_->Eval(context, assignment, t) &&
+             child_b_->Eval(context, assignment, t);
+    case Kind::kOr:
+      return child_a_->Eval(context, assignment, t) ||
+             child_b_->Eval(context, assignment, t);
+    case Kind::kForall: {
+      const size_t slot = static_cast<size_t>(quantified_var_);
+      MODB_CHECK(slot < assignment->size());
+      const ObjectId saved = (*assignment)[slot];
+      for (ObjectId oid : *context.objects) {
+        (*assignment)[slot] = oid;
+        if (!child_a_->Eval(context, assignment, t)) {
+          (*assignment)[slot] = saved;
+          return false;
+        }
+      }
+      (*assignment)[slot] = saved;
+      return true;
+    }
+    case Kind::kExists: {
+      const size_t slot = static_cast<size_t>(quantified_var_);
+      MODB_CHECK(slot < assignment->size());
+      const ObjectId saved = (*assignment)[slot];
+      for (ObjectId oid : *context.objects) {
+        (*assignment)[slot] = oid;
+        if (child_a_->Eval(context, assignment, t)) {
+          (*assignment)[slot] = saved;
+          return true;
+        }
+      }
+      (*assignment)[slot] = saved;
+      return false;
+    }
+  }
+  return false;
+}
+
+void FoFormula::CollectTimeTerms(std::vector<Polynomial>* terms) const {
+  switch (kind_) {
+    case Kind::kAtom:
+      for (const FoRealTerm* term : {&lhs_, &rhs_}) {
+        if (term->is_constant) continue;
+        const bool seen =
+            std::any_of(terms->begin(), terms->end(),
+                        [&](const Polynomial& p) { return p == term->time_term; });
+        if (!seen) terms->push_back(term->time_term);
+      }
+      return;
+    case Kind::kNot:
+    case Kind::kForall:
+    case Kind::kExists:
+      child_a_->CollectTimeTerms(terms);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      child_a_->CollectTimeTerms(terms);
+      child_b_->CollectTimeTerms(terms);
+      return;
+  }
+}
+
+void FoFormula::CollectConstants(std::vector<double>* constants) const {
+  switch (kind_) {
+    case Kind::kAtom:
+      for (const FoRealTerm* term : {&lhs_, &rhs_}) {
+        if (!term->is_constant) continue;
+        if (std::find(constants->begin(), constants->end(), term->constant) ==
+            constants->end()) {
+          constants->push_back(term->constant);
+        }
+      }
+      return;
+    case Kind::kNot:
+    case Kind::kForall:
+    case Kind::kExists:
+      child_a_->CollectConstants(constants);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      child_a_->CollectConstants(constants);
+      child_b_->CollectConstants(constants);
+      return;
+  }
+}
+
+int FoFormula::MaxVar() const {
+  int max_var = -1;
+  switch (kind_) {
+    case Kind::kAtom:
+      if (!lhs_.is_constant) max_var = std::max(max_var, lhs_.var);
+      if (!rhs_.is_constant) max_var = std::max(max_var, rhs_.var);
+      return max_var;
+    case Kind::kNot:
+      return child_a_->MaxVar();
+    case Kind::kForall:
+    case Kind::kExists:
+      return std::max(quantified_var_, child_a_->MaxVar());
+    case Kind::kAnd:
+    case Kind::kOr:
+      return std::max(child_a_->MaxVar(), child_b_->MaxVar());
+  }
+  return max_var;
+}
+
+std::string FoFormula::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kAtom:
+      out << lhs_.ToString() << " " << CompareOpToString(op_) << " "
+          << rhs_.ToString();
+      return out.str();
+    case Kind::kNot:
+      out << "!(" << child_a_->ToString() << ")";
+      return out.str();
+    case Kind::kAnd:
+      out << "(" << child_a_->ToString() << " /\\ " << child_b_->ToString()
+          << ")";
+      return out.str();
+    case Kind::kOr:
+      out << "(" << child_a_->ToString() << " \\/ " << child_b_->ToString()
+          << ")";
+      return out.str();
+    case Kind::kForall:
+      out << "forall y" << quantified_var_ << " (" << child_a_->ToString()
+          << ")";
+      return out.str();
+    case Kind::kExists:
+      out << "exists y" << quantified_var_ << " (" << child_a_->ToString()
+          << ")";
+      return out.str();
+  }
+  return out.str();
+}
+
+FoFormulaPtr NearestNeighborFormula() {
+  // ∀ y1 (f(y0, t) <= f(y1, t)).
+  return FoFormula::Forall(
+      1, FoFormula::Atom(FoRealTerm::GDist(0), CompareOp::kLe,
+                         FoRealTerm::GDist(1)));
+}
+
+FoFormulaPtr WithinFormula(double threshold) {
+  return FoFormula::Atom(FoRealTerm::GDist(0), CompareOp::kLe,
+                         FoRealTerm::Constant(threshold));
+}
+
+}  // namespace modb

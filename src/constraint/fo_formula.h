@@ -1,0 +1,127 @@
+#ifndef MODB_CONSTRAINT_FO_FORMULA_H_
+#define MODB_CONSTRAINT_FO_FORMULA_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gdist/curve.h"
+#include "geom/interval.h"
+#include "geom/polynomial.h"
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// The FO(f) query language of §4: many-sorted first-order logic whose time
+// terms are polynomials over the single time variable t and whose real
+// terms are constants and f(y, tt) for object variables y. Atoms compare
+// real terms; formulas close under ¬, ∧, ∨ and object quantifiers.
+//
+// Object variables are integer indices; index 0 is the query's free
+// variable y by convention. This AST is the generic (and slow-but-obvious)
+// semantics the fast sweep kernels are verified against, and the front end
+// of the QE-style baseline evaluator.
+
+enum class CompareOp { kLt, kLe, kEq, kGe, kGt };
+
+const char* CompareOpToString(CompareOp op);
+
+// A real term: a constant, or f(var, time_term(t)).
+struct FoRealTerm {
+  bool is_constant = true;
+  double constant = 0.0;
+  int var = -1;
+  Polynomial time_term;  // Applied to the query time variable.
+
+  static FoRealTerm Constant(double value);
+  // f(var, tt). The default time term is the identity (f(y, t)).
+  static FoRealTerm GDist(int var, Polynomial tt = Polynomial::Identity());
+
+  std::string ToString() const;
+};
+
+class FoFormula;
+using FoFormulaPtr = std::shared_ptr<const FoFormula>;
+
+// Everything an evaluation needs besides the formula: the object universe
+// and a way to read f_o(t). The callback form lets both the QE evaluator
+// (map of composed curves) and live sweep state serve as the backend.
+struct FoContext {
+  // Objects the quantifiers range over (those alive at the sample time).
+  const std::vector<ObjectId>* objects = nullptr;
+  // Value of the g-distance of `oid` at absolute time `t`.
+  std::function<double(ObjectId oid, double t)> value;
+
+  // Convenience backend over a curve map.
+  static FoContext OverCurves(const std::vector<ObjectId>* objects,
+                              const std::map<ObjectId, GCurve>* curves);
+};
+
+class FoFormula {
+ public:
+  enum class Kind { kAtom, kNot, kAnd, kOr, kForall, kExists };
+
+  static FoFormulaPtr Atom(FoRealTerm lhs, CompareOp op, FoRealTerm rhs);
+  static FoFormulaPtr Not(FoFormulaPtr operand);
+  static FoFormulaPtr And(FoFormulaPtr lhs, FoFormulaPtr rhs);
+  static FoFormulaPtr Or(FoFormulaPtr lhs, FoFormulaPtr rhs);
+  static FoFormulaPtr Forall(int var, FoFormulaPtr body);
+  static FoFormulaPtr Exists(int var, FoFormulaPtr body);
+
+  Kind kind() const { return kind_; }
+
+  // Truth value at time t with the given (partial) variable assignment;
+  // `assignment` is indexed by variable and must cover every variable the
+  // formula uses (quantifiers overwrite their own slot).
+  bool Eval(const FoContext& context, std::vector<ObjectId>* assignment,
+            double t) const;
+
+  // All syntactically distinct time terms in the formula (§5 builds one
+  // curve per object per time term).
+  void CollectTimeTerms(std::vector<Polynomial>* terms) const;
+
+  // All constants appearing as real terms (they join the order as
+  // sentinels in the sweep view).
+  void CollectConstants(std::vector<double>* constants) const;
+
+  // Largest variable index used; -1 if none.
+  int MaxVar() const;
+
+  std::string ToString() const;
+
+ private:
+  FoFormula() = default;
+
+  Kind kind_ = Kind::kAtom;
+  // Atom:
+  FoRealTerm lhs_;
+  CompareOp op_ = CompareOp::kEq;
+  FoRealTerm rhs_;
+  // Connectives / quantifiers:
+  FoFormulaPtr child_a_;
+  FoFormulaPtr child_b_;
+  int quantified_var_ = -1;
+};
+
+// A query (y, t, I, φ): variable 0 plays y; the interval bounds t.
+struct FoQuery {
+  FoFormulaPtr formula;
+  TimeInterval interval;
+};
+
+// Convenience builders for the paper's standard formulas.
+
+// Example 10, generalized to k-NN: "fewer than k objects are strictly
+// closer than y" — ∃-free formulation via counting is not first-order, so
+// we use the paper's 1-NN shape for k = 1 and a rank atom chain otherwise.
+// For k = 1: ∀z (f(y,t) <= f(z,t)).
+FoFormulaPtr NearestNeighborFormula();
+
+// "y is within `threshold` of the query object": f(y, t) <= threshold.
+FoFormulaPtr WithinFormula(double threshold);
+
+}  // namespace modb
+
+#endif  // MODB_CONSTRAINT_FO_FORMULA_H_

@@ -1,0 +1,173 @@
+#include "constraint/linear_constraint.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace modb {
+
+const char* ConstraintOpToString(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kEq:
+      return "=";
+    case ConstraintOp::kLe:
+      return "<=";
+    case ConstraintOp::kLt:
+      return "<";
+    case ConstraintOp::kGe:
+      return ">=";
+    case ConstraintOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+double LinearTerm::Eval(const std::map<std::string, double>& point) const {
+  double value = constant;
+  for (const auto& [var, coeff] : coeffs) {
+    auto it = point.find(var);
+    MODB_CHECK(it != point.end()) << "unbound variable " << var;
+    value += coeff * it->second;
+  }
+  return value;
+}
+
+std::string LinearTerm::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [var, coeff] : coeffs) {
+    if (coeff == 0.0) continue;
+    if (!first) out << (coeff >= 0.0 ? " + " : " - ");
+    const double mag = first ? coeff : std::fabs(coeff);
+    first = false;
+    if (mag == 1.0) {
+      out << var;
+    } else if (mag == -1.0 && first) {
+      out << "-" << var;
+    } else {
+      out << mag << " " << var;
+    }
+  }
+  if (first) {
+    out << constant;
+  } else if (constant != 0.0) {
+    out << (constant > 0.0 ? " + " : " - ") << std::fabs(constant);
+  }
+  return out.str();
+}
+
+bool LinearConstraint::Satisfied(const std::map<std::string, double>& point,
+                                 double tol) const {
+  const double value = term.Eval(point);
+  switch (op) {
+    case ConstraintOp::kEq:
+      return std::fabs(value) <= tol;
+    case ConstraintOp::kLe:
+      return value <= tol;
+    case ConstraintOp::kLt:
+      return value < -tol;
+    case ConstraintOp::kGe:
+      return value >= -tol;
+    case ConstraintOp::kGt:
+      return value > tol;
+  }
+  return false;
+}
+
+std::string LinearConstraint::ToString() const {
+  std::ostringstream out;
+  out << term.ToString() << " " << ConstraintOpToString(op) << " 0";
+  return out.str();
+}
+
+bool Conjunction::Satisfied(const std::map<std::string, double>& point,
+                            double tol) const {
+  for (const LinearConstraint& c : constraints) {
+    if (!c.Satisfied(point, tol)) return false;
+  }
+  return true;
+}
+
+std::string Conjunction::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (i > 0) out << " /\\ ";
+    out << constraints[i].ToString();
+  }
+  return out.str();
+}
+
+bool DnfFormula::Satisfied(const std::map<std::string, double>& point,
+                           double tol) const {
+  for (const Conjunction& conj : disjuncts) {
+    if (conj.Satisfied(point, tol)) return true;
+  }
+  return false;
+}
+
+std::string DnfFormula::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out << "\n\\/ ";
+    out << "(" << disjuncts[i].ToString() << ")";
+  }
+  return out.str();
+}
+
+DnfFormula TrajectoryToConstraints(const Trajectory& trajectory,
+                                   const std::string& time_var,
+                                   const std::string& coord_prefix) {
+  MODB_CHECK(!trajectory.empty());
+  DnfFormula formula;
+  const auto& pieces = trajectory.pieces();
+  for (size_t p = 0; p < pieces.size(); ++p) {
+    Conjunction conj;
+    const LinearPiece& piece = pieces[p];
+    const Vec b = piece.GlobalIntercept();
+    for (size_t i = 0; i < trajectory.dim(); ++i) {
+      // x_i - A_i t - B_i = 0.
+      LinearConstraint c;
+      c.term.coeffs[coord_prefix + std::to_string(i)] = 1.0;
+      c.term.coeffs[time_var] = -piece.velocity[i];
+      c.term.constant = -b[i];
+      c.op = ConstraintOp::kEq;
+      conj.constraints.push_back(std::move(c));
+    }
+    {
+      // start <= t, i.e. start - t <= 0.
+      LinearConstraint c;
+      c.term.coeffs[time_var] = -1.0;
+      c.term.constant = piece.start;
+      c.op = ConstraintOp::kLe;
+      conj.constraints.push_back(std::move(c));
+    }
+    const double end =
+        (p + 1 < pieces.size()) ? pieces[p + 1].start : trajectory.end_time();
+    if (end != kInf) {
+      // t <= end.
+      LinearConstraint c;
+      c.term.coeffs[time_var] = 1.0;
+      c.term.constant = -end;
+      c.op = ConstraintOp::kLe;
+      conj.constraints.push_back(std::move(c));
+    }
+    formula.disjuncts.push_back(std::move(conj));
+  }
+  return formula;
+}
+
+std::map<std::string, double> TrajectoryPoint(const Trajectory& trajectory,
+                                              double t,
+                                              const std::string& time_var,
+                                              const std::string& coord_prefix) {
+  std::map<std::string, double> point;
+  point[time_var] = t;
+  const Vec position = trajectory.PositionAt(t);
+  for (size_t i = 0; i < trajectory.dim(); ++i) {
+    point[coord_prefix + std::to_string(i)] = position[i];
+  }
+  return point;
+}
+
+}  // namespace modb

@@ -1,0 +1,74 @@
+#ifndef MODB_CONSTRAINT_LINEAR_CONSTRAINT_H_
+#define MODB_CONSTRAINT_LINEAR_CONSTRAINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// The constraint-database representation layer of §2: trajectories as
+// disjunctions of conjunctions of linear constraints over the time variable
+// and the coordinate variables (Example 1's display form). The evaluation
+// engines never touch this form — it exists for model fidelity: round-trip
+// tests, explanation output, and interoperability with constraint tooling.
+
+enum class ConstraintOp { kEq, kLe, kLt, kGe, kGt };
+
+const char* ConstraintOpToString(ConstraintOp op);
+
+// Σ coeffs[var] · var + constant, a linear expression over named reals.
+struct LinearTerm {
+  std::map<std::string, double> coeffs;
+  double constant = 0.0;
+
+  double Eval(const std::map<std::string, double>& point) const;
+  std::string ToString() const;
+};
+
+// term op 0 (normalized form).
+struct LinearConstraint {
+  LinearTerm term;
+  ConstraintOp op = ConstraintOp::kEq;
+
+  bool Satisfied(const std::map<std::string, double>& point,
+                 double tol = 1e-9) const;
+  std::string ToString() const;
+};
+
+// A conjunction of linear constraints.
+struct Conjunction {
+  std::vector<LinearConstraint> constraints;
+
+  bool Satisfied(const std::map<std::string, double>& point,
+                 double tol = 1e-9) const;
+  std::string ToString() const;
+};
+
+// A disjunction of conjunctions (DNF) — the shape of a trajectory formula.
+struct DnfFormula {
+  std::vector<Conjunction> disjuncts;
+
+  bool Satisfied(const std::map<std::string, double>& point,
+                 double tol = 1e-9) const;
+  std::string ToString() const;
+};
+
+// The Definition 1 encoding: each linear piece becomes one disjunct
+//   /\_i  x_i - A_i t - B_i = 0   /\   start <= t [ <= end ].
+// Variables are named `time_var` and `coord_prefix`0..`coord_prefix`{n-1}.
+DnfFormula TrajectoryToConstraints(const Trajectory& trajectory,
+                                   const std::string& time_var = "t",
+                                   const std::string& coord_prefix = "x");
+
+// Builds the variable assignment {t, x0.., } for a trajectory sample; for
+// round-trip tests.
+std::map<std::string, double> TrajectoryPoint(
+    const Trajectory& trajectory, double t, const std::string& time_var = "t",
+    const std::string& coord_prefix = "x");
+
+}  // namespace modb
+
+#endif  // MODB_CONSTRAINT_LINEAR_CONSTRAINT_H_

@@ -1,0 +1,158 @@
+#include "constraint/qe_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace modb {
+namespace {
+
+struct ComposedCurve {
+  ObjectId oid;
+  size_t term_index;
+  PiecewisePoly curve;  // f_oid ∘ tt_{term_index} on the active window.
+};
+
+}  // namespace
+
+QeResult EvaluateFoQuery(const MovingObjectDatabase& mod,
+                         const GDistance& gdist, const FoQuery& query,
+                         const RootOptions& options) {
+  MODB_CHECK(query.formula != nullptr);
+  MODB_CHECK(!query.interval.empty());
+  MODB_CHECK(std::isfinite(query.interval.lo) &&
+             std::isfinite(query.interval.hi))
+      << "the QE evaluator needs a bounded interval";
+
+  QeStats stats;
+  std::vector<Polynomial> time_terms;
+  query.formula->CollectTimeTerms(&time_terms);
+  std::vector<double> constants;
+  query.formula->CollectConstants(&constants);
+
+  // Base curves and active windows.
+  std::map<ObjectId, GCurve> base_curves;
+  std::map<ObjectId, TimeInterval> windows;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    GCurve curve = gdist.Curve(trajectory);
+    MODB_CHECK(curve.is_polynomial())
+        << "the QE evaluator requires a polynomial g-distance";
+    const TimeInterval window = curve.Domain().Intersect(query.interval);
+    if (window.empty()) continue;
+    windows.emplace(oid, window);
+    base_curves.emplace(oid, std::move(curve));
+  }
+
+  // One composed curve per (object, time term): the §5 construction.
+  std::vector<ComposedCurve> curves;
+  for (const auto& [oid, window] : windows) {
+    const PiecewisePoly& base = base_curves.at(oid).poly();
+    for (size_t j = 0; j < time_terms.size(); ++j) {
+      curves.push_back(ComposedCurve{
+          oid, j,
+          base.ComposeWithTimeTerm(time_terms[j], window.lo, window.hi,
+                                   options)});
+      ++stats.curves;
+    }
+  }
+
+  // Critical times: pairwise crossings, crossings with constants, curve
+  // breakpoints and window edges.
+  std::vector<double> boundaries;
+  auto add_time = [&](double t) {
+    if (t > query.interval.lo && t < query.interval.hi) {
+      boundaries.push_back(t);
+    }
+  };
+  for (size_t i = 0; i < curves.size(); ++i) {
+    for (size_t j = i + 1; j < curves.size(); ++j) {
+      const PiecewisePoly diff =
+          PiecewisePoly::Difference(curves[i].curve, curves[j].curve);
+      ++stats.crossing_pairs;
+      if (diff.empty()) continue;
+      for (double t :
+           CriticalTimes(diff, diff.DomainStart(), diff.DomainEnd(),
+                         options)) {
+        add_time(t);
+      }
+    }
+    for (double c : constants) {
+      ++stats.crossing_pairs;
+      const PiecewisePoly constant_curve = PiecewisePoly::SinglePiece(
+          Polynomial::Constant(c), curves[i].curve.DomainStart(),
+          curves[i].curve.DomainEnd());
+      const PiecewisePoly diff =
+          PiecewisePoly::Difference(curves[i].curve, constant_curve);
+      for (double t :
+           CriticalTimes(diff, diff.DomainStart(), diff.DomainEnd(),
+                         options)) {
+        add_time(t);
+      }
+    }
+  }
+  for (const auto& [oid, window] : windows) {
+    add_time(window.lo);
+    add_time(window.hi);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  std::vector<double> dedup;
+  for (double t : boundaries) {
+    if (dedup.empty() || t - dedup.back() > options.tol) dedup.push_back(t);
+  }
+  stats.critical_times = dedup.size();
+
+  // Cell walk: evaluate the formula on each boundary instant and each open
+  // cell's midpoint.
+  const int max_var = query.formula->MaxVar();
+  std::vector<ObjectId> assignment(static_cast<size_t>(max_var) + 1,
+                                   kInvalidObjectId);
+
+  AnswerTimeline timeline(query.interval.lo);
+  auto answer_at = [&](double sample) {
+    std::vector<ObjectId> universe;
+    for (const auto& [oid, window] : windows) {
+      if (window.Contains(sample)) universe.push_back(oid);
+    }
+    const FoContext context = FoContext::OverCurves(&universe, &base_curves);
+    std::set<ObjectId> answer;
+    for (ObjectId candidate : universe) {
+      assignment[0] = candidate;
+      if (query.formula->Eval(context, &assignment, sample)) {
+        answer.insert(candidate);
+      }
+    }
+    return answer;
+  };
+
+  if (query.interval.Length() == 0.0) {
+    // Degenerate instant query: one point cell.
+    timeline.AddSegment(query.interval, answer_at(query.interval.lo));
+    ++stats.cells;
+    timeline.Finish(query.interval.hi);
+    return QeResult{std::move(timeline), stats};
+  }
+
+  std::vector<double> edges = {query.interval.lo};
+  edges.insert(edges.end(), dedup.begin(), dedup.end());
+  edges.push_back(query.interval.hi);
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    const double lo = edges[i];
+    const double hi = edges[i + 1];
+    if (i > 0) {
+      // Boundary instant (captures equality atoms true only there).
+      timeline.AddSegment(TimeInterval(lo, lo), answer_at(lo));
+      ++stats.cells;
+    }
+    if (hi > lo) {
+      timeline.AddSegment(TimeInterval(lo, hi), answer_at(0.5 * (lo + hi)));
+      ++stats.cells;
+    }
+  }
+  timeline.Finish(query.interval.hi);
+
+  return QeResult{std::move(timeline), stats};
+}
+
+}  // namespace modb

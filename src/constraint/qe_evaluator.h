@@ -1,0 +1,49 @@
+#ifndef MODB_CONSTRAINT_QE_EVALUATOR_H_
+#define MODB_CONSTRAINT_QE_EVALUATOR_H_
+
+#include "constraint/fo_formula.h"
+#include "core/answer.h"
+#include "gdist/gdistance.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// Statistics from one baseline evaluation; the E6 benchmark reports these
+// against the sweep's counters.
+struct QeStats {
+  size_t curves = 0;           // Composed curves built (N objects × k terms).
+  size_t crossing_pairs = 0;   // Pairwise difference decompositions.
+  size_t critical_times = 0;   // Cell boundaries found.
+  size_t cells = 0;            // Cells (and boundary points) evaluated.
+};
+
+struct QeResult {
+  AnswerTimeline timeline;
+  QeStats stats;
+};
+
+// The classical constraint-database evaluation route (Proposition 1):
+// quantifier elimination specialized to our fragment. Object quantifiers
+// are eliminated by expansion over the finite OID universe; the time
+// variable is eliminated by a one-dimensional cell decomposition — all
+// pairwise crossings of the instantiated real-term curves partition the
+// query interval into cells on which every atom has constant truth, and
+// the formula is decided per cell (plus per boundary instant, so equality
+// atoms that hold only at isolated times are captured exactly).
+//
+// Exact for polynomial g-distances. Cost is Θ(N²k²) root isolations plus a
+// full formula evaluation per cell — polynomial in the MOD size, as
+// Proposition 1 promises, but far above the sweep's O((m+N) log N); the
+// benchmark harness measures exactly that gap. Also serves as the oracle
+// the fast kernels are tested against.
+//
+// Requirements: every time term must map each object's active window into
+// that object's curve domain (checked), and the g-distance must be
+// polynomial.
+QeResult EvaluateFoQuery(const MovingObjectDatabase& mod,
+                         const GDistance& gdist, const FoQuery& query,
+                         const RootOptions& options = {});
+
+}  // namespace modb
+
+#endif  // MODB_CONSTRAINT_QE_EVALUATOR_H_

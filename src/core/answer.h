@@ -1,0 +1,73 @@
+#ifndef MODB_CORE_ANSWER_H_
+#define MODB_CORE_ANSWER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geom/interval.h"
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// The time-varying answer of an FO(f) query: a piecewise-constant function
+// from time to sets of objects. This is the finite representation of the
+// snapshot answer Q^s (§4); the existential (Q^∃) and universal (Q^∀)
+// semantics are folds over it.
+//
+// Two construction styles:
+//  * Sweep kernels call Record(time, set) as support changes arrive; the
+//    evolution is right-continuous (at a change instant the new set holds).
+//  * The cell-decomposition oracle calls AddSegment with explicit
+//    intervals, including degenerate point segments for equality instants.
+class AnswerTimeline {
+ public:
+  struct Segment {
+    TimeInterval interval;
+    std::set<ObjectId> answer;
+  };
+
+  // Begins recording at `start` with an empty current answer.
+  explicit AnswerTimeline(double start);
+
+  // Declares that from `time` on the answer is `answer`. Times must be
+  // non-decreasing; equal-set updates are merged.
+  void Record(double time, std::set<ObjectId> answer);
+
+  // Explicit segment append (intervals must be non-overlapping and
+  // ordered). Used by the oracle.
+  void AddSegment(TimeInterval interval, std::set<ObjectId> answer);
+
+  // Closes the timeline at `end`. Only segments up to `end` remain.
+  void Finish(double end);
+
+  bool finished() const { return finished_; }
+  double start() const { return start_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  // The answer at time t (t within [start, end]). At a boundary shared by a
+  // point segment and a cell, the point segment wins; otherwise the segment
+  // containing t.
+  std::set<ObjectId> AnswerAt(double t) const;
+
+  // Q^∃: objects in the answer at some time (union over segments).
+  std::set<ObjectId> Existential() const;
+
+  // Q^∀: objects in the answer at every time (intersection over segments).
+  std::set<ObjectId> Universal() const;
+
+  std::string ToString() const;
+
+ private:
+  double start_;
+  double pending_time_;
+  std::set<ObjectId> pending_answer_;
+  bool has_pending_ = false;
+  bool explicit_mode_ = false;
+  bool finished_ = false;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_CORE_ANSWER_H_

@@ -1,0 +1,72 @@
+#include "core/future_engine.h"
+
+namespace modb {
+
+FutureQueryEngine::FutureQueryEngine(MovingObjectDatabase mod,
+                                     GDistancePtr gdist, double start_time,
+                                     double horizon,
+                                     EventQueueKind queue_kind)
+    : mod_(std::move(mod)) {
+  MODB_CHECK_GE(start_time, mod_.last_update_time())
+      << "future queries start at or after the MOD's last update";
+  state_ = std::make_unique<SweepState>(std::move(gdist), start_time, horizon,
+                                        queue_kind);
+}
+
+void FutureQueryEngine::Start() {
+  MODB_CHECK(!started_) << "Start() may be called once";
+  started_ = true;
+  for (const auto& [oid, trajectory] : mod_.objects()) {
+    if (trajectory.DefinedAt(state_->now())) {
+      state_->InsertObject(oid, trajectory);
+    }
+  }
+}
+
+void FutureQueryEngine::AdvanceTo(double t) {
+  MODB_CHECK(started_);
+  state_->AdvanceTo(t);
+}
+
+Status FutureQueryEngine::ApplyUpdate(const Update& update) {
+  MODB_CHECK(started_);
+  if (update.time < state_->now()) {
+    return Status::FailedPrecondition("update precedes the sweep time");
+  }
+  // Commit every support change the old motion produces up to and
+  // including the update instant (trajectories are continuous, so pre- and
+  // post-update curves agree at the instant itself).
+  state_->AdvanceTo(update.time);
+  MODB_RETURN_IF_ERROR(mod_.Apply(update));
+  switch (update.kind) {
+    case UpdateKind::kNew:
+      state_->InsertObject(update.oid, *mod_.Find(update.oid));
+      break;
+    case UpdateKind::kTerminate:
+      state_->EraseObject(update.oid);
+      break;
+    case UpdateKind::kChdir:
+      state_->ReplaceCurve(update.oid, *mod_.Find(update.oid));
+      break;
+  }
+  // A chdir under a *piecewise*-continuous g-distance (the paper's relaxed
+  // setting, e.g. interception time with a speed change) may have jumped
+  // the object's value: the repair events land at exactly the update
+  // instant, so drain them now — kernels must be current when this call
+  // returns.
+  state_->AdvanceTo(update.time);
+  return Status::Ok();
+}
+
+void FutureQueryEngine::ChangeQueryGDistance(GDistancePtr gdist) {
+  MODB_CHECK(started_);
+  // Restrict the trajectory map to objects alive in the sweep: terminated
+  // objects have already been erased.
+  std::map<ObjectId, Trajectory> alive;
+  for (const auto& [oid, trajectory] : mod_.objects()) {
+    if (state_->ContainsObject(oid)) alive.emplace(oid, trajectory);
+  }
+  state_->ReplaceGDistance(std::move(gdist), alive);
+}
+
+}  // namespace modb

@@ -1,0 +1,64 @@
+#include "core/past_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace modb {
+
+PastQueryEngine::PastQueryEngine(const MovingObjectDatabase& mod,
+                                 GDistancePtr gdist, TimeInterval interval,
+                                 EventQueueKind queue_kind)
+    : mod_(mod), interval_(interval) {
+  MODB_CHECK(!interval_.empty());
+  MODB_CHECK(std::isfinite(interval_.lo) && std::isfinite(interval_.hi))
+      << "past queries need a bounded interval";
+  state_ = std::make_unique<SweepState>(std::move(gdist), interval_.lo,
+                                        interval_.hi, queue_kind);
+}
+
+void PastQueryEngine::Run() {
+  MODB_CHECK(!ran_) << "PastQueryEngine::Run may be called once";
+  ran_ = true;
+
+  // Structural replay events: creations strictly inside the interval and
+  // terminations at or before the end.
+  struct Structural {
+    double time;
+    bool is_erase;  // Inserts before erases at equal times, so an object
+                    // with a zero-length lifetime is created before it dies.
+    ObjectId oid;
+  };
+  std::vector<Structural> structural;
+
+  for (const auto& [oid, trajectory] : mod_.objects()) {
+    const TimeInterval life = trajectory.Domain();
+    if (life.hi < interval_.lo || life.lo > interval_.hi) continue;
+    if (life.lo <= interval_.lo) {
+      state_->InsertObject(oid, trajectory);
+    } else {
+      structural.push_back(Structural{life.lo, false, oid});
+    }
+    if (life.hi <= interval_.hi && life.hi != kInf) {
+      structural.push_back(Structural{life.hi, true, oid});
+    }
+  }
+  std::sort(structural.begin(), structural.end(),
+            [](const Structural& a, const Structural& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.is_erase != b.is_erase) return b.is_erase;
+              return a.oid < b.oid;
+            });
+
+  for (const Structural& event : structural) {
+    state_->AdvanceTo(event.time);
+    if (event.is_erase) {
+      state_->EraseObject(event.oid);
+    } else {
+      state_->InsertObject(event.oid, *mod_.Find(event.oid));
+    }
+  }
+  state_->AdvanceTo(interval_.hi);
+}
+
+}  // namespace modb

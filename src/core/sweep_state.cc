@@ -1,0 +1,239 @@
+#include "core/sweep_state.h"
+
+#include <cmath>
+
+namespace modb {
+namespace {
+
+// Tolerance for the continuity checks at chdir / query-chdir boundaries.
+constexpr double kContinuityTol = 1e-6;
+
+}  // namespace
+
+SweepState::SweepState(GDistancePtr gdist, double start_time, double horizon,
+                       EventQueueKind queue_kind)
+    : gdist_(std::move(gdist)),
+      now_(start_time),
+      horizon_(horizon),
+      queue_(MakeEventQueue(queue_kind)) {
+  MODB_CHECK(gdist_ != nullptr);
+  MODB_CHECK_LE(start_time, horizon);
+}
+
+void SweepState::AddListener(SweepListener* listener) {
+  MODB_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+double SweepState::CurveValue(ObjectId oid, double t) const {
+  auto it = curves_.find(oid);
+  MODB_CHECK(it != curves_.end()) << "no curve for oid " << oid;
+  return it->second.Eval(t);
+}
+
+void SweepState::NoteQueueLength() {
+  stats_.max_queue_length = std::max(stats_.max_queue_length, queue_->size());
+}
+
+std::optional<SweepEvent> SweepState::ComputePairEvent(ObjectId left,
+                                                       ObjectId right) {
+  ++stats_.crossings_computed;
+  const std::optional<double> crossing = GCurve::FirstTimeAbove(
+      curves_.at(left), curves_.at(right), now_, horizon_, root_options_);
+  if (!crossing.has_value()) return std::nullopt;
+  return SweepEvent{*crossing, left, right};
+}
+
+void SweepState::SchedulePair(ObjectId left, ObjectId right) {
+  std::optional<SweepEvent> event = ComputePairEvent(left, right);
+  if (event.has_value()) {
+    queue_->Push(*event);
+    NoteQueueLength();
+  }
+}
+
+void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
+  MODB_CHECK(!ContainsObject(oid)) << "oid " << oid << " already present";
+  GCurve curve = gdist_->Curve(trajectory);
+  MODB_CHECK(curve.Domain().Contains(now_))
+      << "curve of oid " << oid << " undefined at sweep time " << now_;
+  const double value = curve.Eval(now_);
+  curves_.emplace(oid, std::move(curve));
+
+  order_.Insert(oid, value,
+                [this](ObjectId other) { return CurveValue(other, now_); });
+
+  // The new object's neighbors were adjacent before; that pair dissolves.
+  const std::optional<ObjectId> prev = order_.Prev(oid);
+  const std::optional<ObjectId> next = order_.Next(oid);
+  if (prev.has_value() && next.has_value()) {
+    queue_->ErasePair(*prev, *next);
+  }
+  if (prev.has_value()) SchedulePair(*prev, oid);
+  if (next.has_value()) SchedulePair(oid, *next);
+
+  ++stats_.inserts;
+  for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
+}
+
+void SweepState::InsertSentinel(ObjectId oid, double value) {
+  MODB_CHECK(!ContainsObject(oid)) << "oid " << oid << " already present";
+  GCurve curve = GCurve::FromPoly(
+      PiecewisePoly::SinglePiece(Polynomial::Constant(value), -kInf, kInf));
+  curves_.emplace(oid, std::move(curve));
+  sentinels_.insert(oid);
+
+  order_.Insert(oid, value,
+                [this](ObjectId other) { return CurveValue(other, now_); });
+  const std::optional<ObjectId> prev = order_.Prev(oid);
+  const std::optional<ObjectId> next = order_.Next(oid);
+  if (prev.has_value() && next.has_value()) {
+    queue_->ErasePair(*prev, *next);
+  }
+  if (prev.has_value()) SchedulePair(*prev, oid);
+  if (next.has_value()) SchedulePair(oid, *next);
+
+  ++stats_.inserts;
+  for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
+}
+
+void SweepState::EraseObject(ObjectId oid) {
+  MODB_CHECK(ContainsObject(oid)) << "oid " << oid << " not present";
+  const std::optional<ObjectId> prev = order_.Prev(oid);
+  const std::optional<ObjectId> next = order_.Next(oid);
+  if (prev.has_value()) queue_->ErasePair(*prev, oid);
+  if (next.has_value()) queue_->ErasePair(oid, *next);
+  order_.Erase(oid);
+  curves_.erase(oid);
+  sentinels_.erase(oid);
+  // The departing object's neighbors become adjacent.
+  if (prev.has_value() && next.has_value()) SchedulePair(*prev, *next);
+
+  ++stats_.erases;
+  for (SweepListener* listener : listeners_) listener->OnErase(now_, oid);
+}
+
+void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
+  MODB_CHECK(ContainsObject(oid)) << "oid " << oid << " not present";
+  MODB_CHECK(!IsSentinel(oid)) << "cannot replace a sentinel's curve";
+  GCurve curve = gdist_->Curve(trajectory);
+  MODB_CHECK(curve.Domain().Contains(now_));
+  // For continuous g-distances, Definition 3's chdir leaves the value —
+  // and hence the order — unchanged at the update time. The paper's
+  // closing remark relaxes continuity to finitely many continuous pieces:
+  // a g-distance like the interception time t_Δ² *jumps* when the speed
+  // changes. No special handling is needed: rescheduling the object's
+  // pair events below finds a "crossing" at now() whenever the jump broke
+  // the local order, and processing those events bubbles the object to
+  // its correct position through O(displacement) adjacent swaps.
+  curves_[oid] = std::move(curve);
+
+  const std::optional<ObjectId> prev = order_.Prev(oid);
+  const std::optional<ObjectId> next = order_.Next(oid);
+  if (prev.has_value()) {
+    queue_->ErasePair(*prev, oid);
+    SchedulePair(*prev, oid);
+  }
+  if (next.has_value()) {
+    queue_->ErasePair(oid, *next);
+    SchedulePair(oid, *next);
+  }
+
+  ++stats_.curve_rebuilds;
+  for (SweepListener* listener : listeners_) {
+    listener->OnCurveChanged(now_, oid);
+  }
+}
+
+void SweepState::ReplaceGDistance(
+    GDistancePtr gdist, const std::map<ObjectId, Trajectory>& trajectories) {
+  MODB_CHECK(gdist != nullptr);
+  gdist_ = std::move(gdist);
+  // Rebuild every curve. Values at now() must be unchanged — that is what
+  // justifies keeping the order without re-sorting (Theorem 10).
+  for (auto& [oid, curve] : curves_) {
+    if (sentinels_.count(oid) > 0) continue;
+    auto it = trajectories.find(oid);
+    MODB_CHECK(it != trajectories.end())
+        << "ReplaceGDistance missing trajectory for oid " << oid;
+    GCurve rebuilt = gdist_->Curve(it->second);
+    MODB_CHECK(rebuilt.Domain().Contains(now_));
+    MODB_DCHECK(std::fabs(rebuilt.Eval(now_) - curve.Eval(now_)) <=
+                kContinuityTol * (1.0 + std::fabs(rebuilt.Eval(now_))))
+        << "query-trajectory change altered a value at the update time";
+    curve = std::move(rebuilt);
+    ++stats_.curve_rebuilds;
+  }
+  // Recompute one event per adjacent pair and bulk-build the queue: O(N)
+  // heap work (the crossings themselves are O(1) for bounded degree).
+  std::vector<SweepEvent> events;
+  events.reserve(order_.size());
+  const std::vector<ObjectId> sequence = order_.ToVector();
+  for (size_t i = 0; i + 1 < sequence.size(); ++i) {
+    std::optional<SweepEvent> event =
+        ComputePairEvent(sequence[i], sequence[i + 1]);
+    if (event.has_value()) events.push_back(*event);
+  }
+  queue_->BulkBuild(std::move(events));
+  NoteQueueLength();
+}
+
+bool SweepState::HasEventAtOrBefore(double t) const {
+  return !queue_->empty() && queue_->Min().time <= t;
+}
+
+void SweepState::ProcessEvent(const SweepEvent& event) {
+  const ObjectId left = event.left;
+  const ObjectId right = event.right;
+  // Lemma 9's invariant: queued pairs are currently adjacent.
+  MODB_CHECK(order_.Next(left).value_or(kInvalidObjectId) == right)
+      << "event for non-adjacent pair";
+  now_ = event.time;
+
+  const std::optional<ObjectId> prev = order_.Prev(left);
+  const std::optional<ObjectId> next = order_.Next(right);
+  if (prev.has_value()) queue_->ErasePair(*prev, left);
+  if (next.has_value()) queue_->ErasePair(right, *next);
+
+  order_.SwapAdjacent(left, right);
+  ++stats_.swaps;
+  for (SweepListener* listener : listeners_) {
+    listener->OnSwap(now_, left, right);
+  }
+
+  // New adjacencies: (prev, right), (right, left), (left, next).
+  if (prev.has_value()) SchedulePair(*prev, right);
+  SchedulePair(right, left);
+  if (next.has_value()) SchedulePair(left, *next);
+}
+
+void SweepState::AdvanceTo(double t) {
+  MODB_CHECK_GE(t, now_);
+  MODB_CHECK_LE(t, horizon_);
+  while (HasEventAtOrBefore(t)) {
+    ProcessEvent(queue_->PopMin());
+  }
+  now_ = t;
+}
+
+void SweepState::CheckInvariants() const {
+  order_.CheckInvariants();
+  // Lemma 9: at most one event per adjacent pair.
+  MODB_CHECK(queue_->size() + 1 <= order_.size() || queue_->size() == 0)
+      << "queue length " << queue_->size() << " exceeds N-1 for N="
+      << order_.size();
+  // The maintained order must agree with curve values at now(). The
+  // tolerance is relative: crossing times carry ~1e-10 absolute error, so
+  // two curves with steep slopes may disagree by |slope| * 1e-10 right
+  // after a swap.
+  const std::vector<ObjectId> sequence = order_.ToVector();
+  for (size_t i = 0; i + 1 < sequence.size(); ++i) {
+    const double a = CurveValue(sequence[i], now_);
+    const double b = CurveValue(sequence[i + 1], now_);
+    MODB_CHECK(a <= b + 1e-6 * (1.0 + std::fabs(a) + std::fabs(b)))
+        << "order violation at now=" << now_ << ": f(o" << sequence[i]
+        << ")=" << a << " > f(o" << sequence[i + 1] << ")=" << b;
+  }
+}
+
+}  // namespace modb

@@ -1,0 +1,158 @@
+#ifndef MODB_CORE_SWEEP_STATE_H_
+#define MODB_CORE_SWEEP_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gdist/gdistance.h"
+#include "index/event_queue.h"
+#include "index/ordered_sequence.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// Receives the support changes the sweep discovers, in time order. The
+// support (§5) is the minimal set of true order atoms between consecutive
+// objects in the precedence relation; it changes exactly at these hooks.
+// Query kernels (k-NN, within-range, ...) implement this interface to
+// maintain their answers incrementally.
+class SweepListener {
+ public:
+  virtual ~SweepListener() = default;
+
+  // `left` and `right` were adjacent with left ≤ right; at `time` their
+  // curves crossed and the order is now right ≤ left (the paper's two-step
+  // switch through ≡_τ collapsed into one notification).
+  virtual void OnSwap(double time, ObjectId left, ObjectId right) = 0;
+
+  // `oid` entered the order (object creation or sweep start).
+  virtual void OnInsert(double time, ObjectId oid) = 0;
+
+  // `oid` left the order (termination).
+  virtual void OnErase(double time, ObjectId oid) = 0;
+
+  // `oid`'s curve was replaced (chdir); the order is unchanged at `time`.
+  virtual void OnCurveChanged(double time, ObjectId oid) {
+    (void)time;
+    (void)oid;
+  }
+};
+
+// Instrumentation counters; the benchmark harness reads these to report the
+// paper's `m` (number of support changes) alongside wall time.
+struct SweepStats {
+  uint64_t swaps = 0;              // Intersection events processed.
+  uint64_t inserts = 0;            // Objects entering the order.
+  uint64_t erases = 0;             // Objects leaving the order.
+  uint64_t curve_rebuilds = 0;     // chdir-driven curve replacements.
+  uint64_t crossings_computed = 0; // Pairwise crossing computations.
+  size_t max_queue_length = 0;     // Peak event-queue length (≤ N - 1).
+
+  uint64_t SupportChanges() const { return swaps + inserts + erases; }
+};
+
+// The sweep state of §5: the object list L (precedence order ≤_τ at the
+// current sweep time), the event queue E (one earliest-future intersection
+// per currently adjacent pair, per Lemma 9), and the curves f_o. Both the
+// past-query and the future-query engines drive this state; they differ
+// only in where structural changes come from (replayed history vs. live
+// updates).
+class SweepState {
+ public:
+  // `start_time` is the initial sweep position; no event before `horizon`
+  // is ever missed, events after it are not scheduled (pass kInf for an
+  // open horizon).
+  SweepState(GDistancePtr gdist, double start_time, double horizon = kInf,
+             EventQueueKind queue_kind = EventQueueKind::kLeftist);
+
+  SweepState(const SweepState&) = delete;
+  SweepState& operator=(const SweepState&) = delete;
+
+  // Listeners are notified of support changes in time order. Not owned;
+  // must outlive the state.
+  void AddListener(SweepListener* listener);
+
+  double now() const { return now_; }
+  double horizon() const { return horizon_; }
+  size_t size() const { return order_.size(); }
+  const OrderedSequence& order() const { return order_; }
+  const SweepStats& stats() const { return stats_; }
+  size_t queue_length() const { return queue_->size(); }
+  const GDistance& gdistance() const { return *gdist_; }
+
+  // Value of `oid`'s curve at time t (t within the curve's domain).
+  double CurveValue(ObjectId oid, double t) const;
+  bool ContainsObject(ObjectId oid) const { return curves_.count(oid) > 0; }
+  bool IsSentinel(ObjectId oid) const { return sentinels_.count(oid) > 0; }
+  // All sentinel pseudo-objects currently in the order (usually very few:
+  // one per registered range threshold).
+  const std::set<ObjectId>& sentinels() const { return sentinels_; }
+
+  // Inserts an object at the current time: O(log N) plus up to three
+  // crossing computations. The trajectory must be defined at now().
+  void InsertObject(ObjectId oid, const Trajectory& trajectory);
+
+  // Inserts a pseudo-object whose curve is the constant `value`: the
+  // paper's extension of ≤_τ to real numbers. Range queries use a constant
+  // sentinel as the threshold; everything preceding it is within range.
+  void InsertSentinel(ObjectId oid, double value);
+
+  // Removes an object (termination): O(log N) plus one crossing
+  // computation for the closing neighbor pair.
+  void EraseObject(ObjectId oid);
+
+  // Replaces `oid`'s curve after a chdir. The updated trajectory agrees
+  // with the old one up to now(), so the order is unchanged; only the
+  // object's two pair events are recomputed (O(log N)).
+  void ReplaceCurve(ObjectId oid, const Trajectory& trajectory);
+
+  // Theorem 10: the *query* trajectory changed at now(), so every curve
+  // changes — but all curve values at now() are unchanged (continuity), so
+  // the precedence order stays valid. Rebuilds all curves and re-derives
+  // the event queue in O(N) heap work plus N - 1 crossing computations,
+  // without re-sorting. `trajectories` must cover every non-sentinel
+  // object in the state.
+  void ReplaceGDistance(
+      GDistancePtr gdist,
+      const std::map<ObjectId, Trajectory>& trajectories);
+
+  // True if an intersection event is pending at or before `t`.
+  bool HasEventAtOrBefore(double t) const;
+
+  // Processes every intersection event with time <= t (in time order,
+  // ties in deterministic pair order) and advances the sweep to t.
+  void AdvanceTo(double t);
+
+  // Verifies that the maintained order matches curve values at now() and
+  // that the queue length respects Lemma 9's bound; aborts on violation.
+  // O(N log N); for tests.
+  void CheckInvariants() const;
+
+ private:
+  void SchedulePair(ObjectId left, ObjectId right);
+  // Computes the pair's event without pushing; nullopt if none before the
+  // horizon.
+  std::optional<SweepEvent> ComputePairEvent(ObjectId left, ObjectId right);
+  void ProcessEvent(const SweepEvent& event);
+  void NoteQueueLength();
+
+  GDistancePtr gdist_;
+  double now_;
+  double horizon_;
+  std::unordered_map<ObjectId, GCurve> curves_;
+  std::set<ObjectId> sentinels_;
+  OrderedSequence order_;
+  std::unique_ptr<EventQueue> queue_;
+  std::vector<SweepListener*> listeners_;
+  SweepStats stats_;
+  RootOptions root_options_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_CORE_SWEEP_STATE_H_

@@ -1,0 +1,233 @@
+#include "gdist/builtin.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace modb {
+namespace {
+
+// Sum over coordinates of squared differences between the two trajectories'
+// coordinate functions: the squared Euclidean separation as a piecewise
+// (quadratic) polynomial on the common domain.
+PiecewisePoly SquaredSeparation(const Trajectory& a, const Trajectory& b) {
+  MODB_CHECK_EQ(a.dim(), b.dim());
+  PiecewisePoly total;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    PiecewisePoly diff = PiecewisePoly::Difference(a.CoordinateFunction(i),
+                                                   b.CoordinateFunction(i));
+    MODB_CHECK(!diff.empty()) << "trajectories have disjoint domains";
+    PiecewisePoly squared = PiecewisePoly::Product(diff, diff);
+    total = (i == 0) ? std::move(squared)
+                     : PiecewisePoly::Sum(total, squared);
+  }
+  return total;
+}
+
+}  // namespace
+
+SquaredEuclideanGDistance::SquaredEuclideanGDistance(Trajectory query)
+    : query_(std::move(query)) {
+  MODB_CHECK(!query_.empty());
+}
+
+GCurve SquaredEuclideanGDistance::Curve(const Trajectory& trajectory) const {
+  return GCurve::FromPoly(SquaredSeparation(trajectory, query_));
+}
+
+AxisDistanceGDistance::AxisDistanceGDistance(Trajectory query, size_t axis)
+    : query_(std::move(query)), axis_(axis) {
+  MODB_CHECK(!query_.empty());
+  MODB_CHECK(axis_ < query_.dim());
+}
+
+GCurve AxisDistanceGDistance::Curve(const Trajectory& trajectory) const {
+  MODB_CHECK_EQ(trajectory.dim(), query_.dim());
+  PiecewisePoly diff =
+      PiecewisePoly::Difference(trajectory.CoordinateFunction(axis_),
+                                query_.CoordinateFunction(axis_));
+  MODB_CHECK(!diff.empty()) << "trajectories have disjoint domains";
+  return GCurve::FromPoly(PiecewisePoly::Product(diff, diff));
+}
+
+std::string AxisDistanceGDistance::name() const {
+  std::ostringstream out;
+  out << "axis" << axis_ << "_dist2";
+  return out.str();
+}
+
+InterceptionTimeSquaredGDistance::InterceptionTimeSquaredGDistance(Vec target)
+    : target_(std::move(target)) {
+  MODB_CHECK_GT(target_.dim(), 0u);
+}
+
+GCurve InterceptionTimeSquaredGDistance::Curve(
+    const Trajectory& trajectory) const {
+  MODB_CHECK_EQ(trajectory.dim(), target_.dim());
+  PiecewisePoly result;
+  for (const LinearPiece& piece : trajectory.pieces()) {
+    const double speed2 = piece.velocity.SquaredLength();
+    MODB_CHECK_GT(speed2, 0.0)
+        << "InterceptionTimeSquared requires a moving object";
+    // |target - x(t)|² / s², with x(t) = origin + velocity (t - start):
+    // per coordinate the difference is linear in t.
+    Polynomial sum;
+    for (size_t i = 0; i < target_.dim(); ++i) {
+      // target_i - origin_i - velocity_i (t - start).
+      const Polynomial linear(
+          {target_[i] - piece.origin[i] + piece.velocity[i] * piece.start,
+           -piece.velocity[i]});
+      sum += linear * linear;
+    }
+    result.AppendPiece(piece.start, sum * (1.0 / speed2));
+  }
+  result.SetDomainEnd(trajectory.end_time());
+  return GCurve::FromPoly(result);
+}
+
+MovingInterceptionGDistance::MovingInterceptionGDistance(Trajectory query,
+                                                         double horizon,
+                                                         double sample_step)
+    : query_(std::move(query)),
+      horizon_(horizon),
+      sample_step_(sample_step) {
+  MODB_CHECK(!query_.empty());
+  MODB_CHECK(std::isfinite(horizon_));
+  MODB_CHECK_GT(sample_step_, 0.0);
+}
+
+GCurve MovingInterceptionGDistance::Curve(const Trajectory& trajectory) const {
+  MODB_CHECK_EQ(trajectory.dim(), query_.dim());
+  const TimeInterval domain = trajectory.Domain()
+                                  .Intersect(query_.Domain())
+                                  .Intersect(TimeInterval(-kInf, horizon_));
+  MODB_CHECK(!domain.empty());
+  // Capture by value: the curve must outlive this g-distance instance.
+  Trajectory chaser = trajectory;
+  Trajectory target = query_;
+  auto fn = [chaser, target](double t) -> double {
+    const Vec w = target.PositionAt(t) - chaser.PositionAt(t);
+    const Vec vq = target.VelocityAt(t);
+    const double so2 = chaser.VelocityAt(t).SquaredLength();
+    MODB_CHECK_GT(so2, vq.SquaredLength())
+        << "pursuer must be strictly faster than the target";
+    // Smallest Δ >= 0 with |w + vq Δ|² = so² Δ²:
+    //   (|vq|² - so²) Δ² + 2 (w·vq) Δ + |w|² = 0.
+    const double a = vq.SquaredLength() - so2;  // < 0.
+    const double b = 2.0 * w.Dot(vq);
+    const double c = w.SquaredLength();
+    if (c == 0.0) return 0.0;  // Already caught.
+    const double disc = b * b - 4.0 * a * c;
+    MODB_CHECK_GE(disc, 0.0);
+    const double sq = std::sqrt(disc);
+    // a < 0 and f(0) = c > 0: exactly one positive root.
+    const double r1 = (-b + sq) / (2.0 * a);
+    const double r2 = (-b - sq) / (2.0 * a);
+    return std::max(r1, r2) >= 0.0 ? std::max(r1, r2) : std::min(r1, r2);
+  };
+  return GCurve::FromFunction(std::move(fn), domain, sample_step_);
+}
+
+GCurve CoordinateValueGDistance::Curve(const Trajectory& trajectory) const {
+  MODB_CHECK(axis_ < trajectory.dim());
+  return GCurve::FromPoly(trajectory.CoordinateFunction(axis_));
+}
+
+std::string CoordinateValueGDistance::name() const {
+  std::ostringstream out;
+  out << "coord" << axis_;
+  return out.str();
+}
+
+TimeShiftedGDistance::TimeShiftedGDistance(GDistancePtr inner, double delta)
+    : inner_(std::move(inner)), delta_(delta) {
+  MODB_CHECK(inner_ != nullptr);
+}
+
+GCurve TimeShiftedGDistance::Curve(const Trajectory& trajectory) const {
+  const GCurve base = inner_->Curve(trajectory);
+  MODB_CHECK(base.is_polynomial())
+      << "TimeShiftedGDistance requires a polynomial inner g-distance";
+  // g(t) = f(t + delta): shift every piece boundary left by delta and
+  // compose each piece with t + delta.
+  PiecewisePoly shifted;
+  const PiecewisePoly& poly = base.poly();
+  for (const PiecewisePoly::Piece& piece : poly.pieces()) {
+    shifted.AppendPiece(piece.start - delta_,
+                        piece.poly.ShiftArgument(delta_));
+  }
+  shifted.SetDomainEnd(poly.DomainEnd() == kInf ? kInf
+                                                : poly.DomainEnd() - delta_);
+  return GCurve::FromPoly(std::move(shifted));
+}
+
+std::string TimeShiftedGDistance::name() const {
+  std::ostringstream out;
+  out << inner_->name() << "(t" << (delta_ >= 0.0 ? "+" : "") << delta_
+      << ")";
+  return out.str();
+}
+
+WeightedSumGDistance::WeightedSumGDistance(
+    std::vector<GDistancePtr> components, std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  MODB_CHECK(!components_.empty());
+  MODB_CHECK_EQ(components_.size(), weights_.size());
+  for (const GDistancePtr& component : components_) {
+    MODB_CHECK(component != nullptr);
+  }
+}
+
+GCurve WeightedSumGDistance::Curve(const Trajectory& trajectory) const {
+  PiecewisePoly total;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const GCurve base = components_[i]->Curve(trajectory);
+    MODB_CHECK(base.is_polynomial())
+        << "WeightedSumGDistance requires polynomial components";
+    PiecewisePoly scaled;
+    for (const PiecewisePoly::Piece& piece : base.poly().pieces()) {
+      scaled.AppendPiece(piece.start, piece.poly * weights_[i]);
+    }
+    scaled.SetDomainEnd(base.poly().DomainEnd());
+    total = (i == 0) ? std::move(scaled)
+                     : PiecewisePoly::Sum(total, scaled);
+  }
+  return GCurve::FromPoly(std::move(total));
+}
+
+std::string WeightedSumGDistance::name() const {
+  std::ostringstream out;
+  out << "sum(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out << " + ";
+    out << weights_[i] << "*" << components_[i]->name();
+  }
+  out << ")";
+  return out.str();
+}
+
+ComposedGDistance::ComposedGDistance(Polynomial outer, GDistancePtr inner)
+    : outer_(std::move(outer)), inner_(std::move(inner)) {
+  MODB_CHECK(inner_ != nullptr);
+}
+
+GCurve ComposedGDistance::Curve(const Trajectory& trajectory) const {
+  const GCurve base = inner_->Curve(trajectory);
+  MODB_CHECK(base.is_polynomial())
+      << "ComposedGDistance requires a polynomial inner g-distance";
+  PiecewisePoly composed;
+  const PiecewisePoly& poly = base.poly();
+  for (const PiecewisePoly::Piece& piece : poly.pieces()) {
+    composed.AppendPiece(piece.start, outer_.Compose(piece.poly));
+  }
+  composed.SetDomainEnd(poly.DomainEnd());
+  return GCurve::FromPoly(composed);
+}
+
+std::string ComposedGDistance::name() const {
+  std::ostringstream out;
+  out << "(" << outer_.ToString() << ") o " << inner_->name();
+  return out.str();
+}
+
+}  // namespace modb

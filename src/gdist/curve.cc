@@ -1,0 +1,108 @@
+#include "gdist/curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace modb {
+namespace {
+
+// Refines a bracketed sign change of `diff` in [a, b] (diff(a) <= 0 <
+// diff(b)) to within tol by bisection, returning the crossing time.
+double BisectCrossing(const std::function<double(double)>& diff, double a,
+                      double b, double tol) {
+  while (b - a > tol) {
+    const double mid = 0.5 * (a + b);
+    if (diff(mid) > 0.0) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace
+
+GCurve GCurve::FromPoly(PiecewisePoly poly) {
+  MODB_CHECK(!poly.empty());
+  GCurve curve;
+  curve.poly_ = std::move(poly);
+  return curve;
+}
+
+GCurve GCurve::FromFunction(std::function<double(double)> fn,
+                            TimeInterval domain, double sample_step) {
+  MODB_CHECK(fn != nullptr);
+  MODB_CHECK(!domain.empty());
+  MODB_CHECK_GT(sample_step, 0.0);
+  GCurve curve;
+  curve.numeric_fn_ = std::move(fn);
+  curve.numeric_domain_ = domain;
+  curve.sample_step_ = sample_step;
+  return curve;
+}
+
+TimeInterval GCurve::Domain() const {
+  return is_polynomial() ? poly_.Domain() : numeric_domain_;
+}
+
+double GCurve::Eval(double t) const {
+  if (is_polynomial()) return poly_.Eval(t);
+  MODB_CHECK(numeric_domain_.Contains(t));
+  return numeric_fn_(t);
+}
+
+std::string GCurve::ToString() const {
+  if (is_polynomial()) return poly_.ToString();
+  std::ostringstream out;
+  out << "<numeric on " << numeric_domain_.ToString() << ", step "
+      << sample_step_ << ">";
+  return out.str();
+}
+
+std::optional<double> GCurve::FirstTimeAbove(const GCurve& a, const GCurve& b,
+                                             double lo, double hi,
+                                             const RootOptions& options) {
+  const TimeInterval window =
+      a.Domain().Intersect(b.Domain()).Intersect(TimeInterval(lo, hi));
+  if (window.empty()) return std::nullopt;
+
+  if (a.is_polynomial() && b.is_polynomial()) {
+    // Lazy merged-piece walk: stops at the first positive cell instead of
+    // materializing the full difference (the sweep calls this constantly).
+    return FirstTimeDifferencePositive(a.poly_, b.poly_, window.lo,
+                                       window.hi, options);
+  }
+
+  // Numeric path: march a grid looking for the first sample where the
+  // difference is positive, then bisect the bracketing step.
+  const double step =
+      std::min(a.is_polynomial() ? kInf : a.sample_step_,
+               b.is_polynomial() ? kInf : b.sample_step_);
+  MODB_CHECK(std::isfinite(step));
+  // An unbounded window would mean marching forever; numeric curves carry
+  // finite domains (enforced in the builders for non-polynomial
+  // g-distances), so this only guards misuse.
+  MODB_CHECK(std::isfinite(window.hi))
+      << "numeric crossing search over an unbounded window";
+
+  auto diff = [&](double t) { return a.Eval(t) - b.Eval(t); };
+  double prev_t = window.lo;
+  double prev_v = diff(prev_t);
+  if (prev_v > 0.0) return window.lo;  // Already above: ordering violation.
+  double t = prev_t;
+  while (t < window.hi) {
+    t = std::min(t + step, window.hi);
+    const double v = diff(t);
+    if (v > 0.0) {
+      return BisectCrossing(diff, prev_t, t, options.tol);
+    }
+    prev_t = t;
+    prev_v = v;
+  }
+  (void)prev_v;
+  return std::nullopt;
+}
+
+}  // namespace modb

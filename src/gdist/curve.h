@@ -1,0 +1,68 @@
+#ifndef MODB_GDIST_CURVE_H_
+#define MODB_GDIST_CURVE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/check.h"
+#include "geom/interval.h"
+#include "geom/piecewise_poly.h"
+
+namespace modb {
+
+// The image of a g-distance on one object: a continuous function from time
+// to R (Definition 6). Two representations:
+//
+//  * Polynomial (the paper's §5 "polynomial g-distance"): a PiecewisePoly.
+//    Curve intersections are found exactly via root isolation; all
+//    complexity theorems apply.
+//  * Numeric: an arbitrary continuous function sampled on a grid with
+//    bisection refinement at sign changes. This carries the paper's
+//    footnote 1 ("the intersection time is computed (or approximated)") and
+//    supports g-distances that are not piecewise polynomial, such as the
+//    interception time against a moving target.
+//
+// The sweep engine treats both uniformly through Eval / FirstTimeAboves.
+class GCurve {
+ public:
+  GCurve() = default;
+
+  static GCurve FromPoly(PiecewisePoly poly);
+
+  // `fn` must be continuous on `domain`. `sample_step` bounds the grid used
+  // to bracket crossings: two curves whose difference changes sign twice
+  // within one step may miss both crossings.
+  static GCurve FromFunction(std::function<double(double)> fn,
+                             TimeInterval domain, double sample_step);
+
+  bool is_polynomial() const { return numeric_fn_ == nullptr; }
+  const PiecewisePoly& poly() const {
+    MODB_CHECK(is_polynomial());
+    return poly_;
+  }
+
+  TimeInterval Domain() const;
+  double Eval(double t) const;
+
+  std::string ToString() const;
+
+  // The smallest t in (lo, hi] at which a(t) - b(t) becomes strictly
+  // positive (the sweep's "next swap of a above b"). Exact when both curves
+  // are polynomial; grid + bisection otherwise. nullopt if a stays <= b.
+  static std::optional<double> FirstTimeAbove(const GCurve& a, const GCurve& b,
+                                              double lo, double hi,
+                                              const RootOptions& options = {});
+
+ private:
+  // Polynomial representation (valid when numeric_fn_ is null).
+  PiecewisePoly poly_;
+  // Numeric representation.
+  std::function<double(double)> numeric_fn_;
+  TimeInterval numeric_domain_ = TimeInterval::Empty();
+  double sample_step_ = 1.0;
+};
+
+}  // namespace modb
+
+#endif  // MODB_GDIST_CURVE_H_

@@ -1,0 +1,38 @@
+#ifndef MODB_GDIST_GDISTANCE_H_
+#define MODB_GDIST_GDISTANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "gdist/curve.h"
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// A generalized distance (Definition 6): a mapping from trajectories to
+// continuous functions from time to R. Extended over a MOD it assigns every
+// object its curve f_o; FO(f) queries compare those curves at common time
+// instants, and the sweep engine maintains their pointwise order.
+//
+// Implementations must be *deterministic in the trajectory*: the same
+// trajectory always yields the same curve. The engine re-invokes Curve()
+// after chdir updates (the updated trajectory yields the updated curve;
+// both agree up to the update time, as Definition 3 guarantees).
+class GDistance {
+ public:
+  virtual ~GDistance() = default;
+
+  // The curve f(T(o)) for one trajectory. The curve's domain must equal the
+  // trajectory's domain intersected with the g-distance's own reference
+  // domain (e.g. the query trajectory's).
+  virtual GCurve Curve(const Trajectory& trajectory) const = 0;
+
+  // Diagnostic name, e.g. "euclid2(gamma)".
+  virtual std::string name() const = 0;
+};
+
+using GDistancePtr = std::shared_ptr<const GDistance>;
+
+}  // namespace modb
+
+#endif  // MODB_GDIST_GDISTANCE_H_

@@ -1,0 +1,13 @@
+#include "geom/interval.h"
+
+#include <sstream>
+
+namespace modb {
+
+std::string TimeInterval::ToString() const {
+  std::ostringstream out;
+  out << "[" << lo << ", " << hi << "]";
+  return out.str();
+}
+
+}  // namespace modb

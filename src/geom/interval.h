@@ -1,0 +1,51 @@
+#ifndef MODB_GEOM_INTERVAL_H_
+#define MODB_GEOM_INTERVAL_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace modb {
+
+// Positive infinity, used for unbounded trajectory domains and query
+// horizons.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A closed (possibly unbounded) time interval [lo, hi], following the
+// paper's convention that time intervals are closed or unbounded. An empty
+// interval has lo > hi.
+struct TimeInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  TimeInterval() = default;
+  TimeInterval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {}
+
+  static TimeInterval All() { return TimeInterval(-kInf, kInf); }
+  static TimeInterval From(double lo_in) { return TimeInterval(lo_in, kInf); }
+  static TimeInterval Empty() { return TimeInterval(1.0, 0.0); }
+
+  bool empty() const { return lo > hi; }
+  bool Contains(double t) const { return t >= lo && t <= hi; }
+  bool ContainsInterval(const TimeInterval& other) const {
+    return other.empty() || (lo <= other.lo && other.hi <= hi);
+  }
+  bool Intersects(const TimeInterval& other) const {
+    return !Intersect(other).empty();
+  }
+  TimeInterval Intersect(const TimeInterval& other) const {
+    return TimeInterval(std::max(lo, other.lo), std::min(hi, other.hi));
+  }
+  // Length; +inf for unbounded, 0 for a point, negative never (0 if empty).
+  double Length() const { return empty() ? 0.0 : hi - lo; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return (a.empty() && b.empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+};
+
+}  // namespace modb
+
+#endif  // MODB_GEOM_INTERVAL_H_

@@ -1,0 +1,356 @@
+#include "geom/piecewise_poly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace modb {
+namespace {
+
+// Appends `value` to `times` unless it duplicates the previous entry
+// within tol. `times` must be sorted by construction.
+void PushDedup(std::vector<double>* times, double value, double tol) {
+  if (times->empty() || value - times->back() > tol) {
+    times->push_back(value);
+  }
+}
+
+}  // namespace
+
+PiecewisePoly PiecewisePoly::SinglePiece(Polynomial poly, double lo,
+                                         double hi) {
+  MODB_CHECK_LE(lo, hi);
+  PiecewisePoly f;
+  f.AppendPiece(lo, std::move(poly));
+  f.SetDomainEnd(hi);
+  return f;
+}
+
+void PiecewisePoly::AppendPiece(double start, Polynomial poly) {
+  MODB_CHECK(pieces_.empty() || start > pieces_.back().start)
+      << "piece starts must be strictly increasing";
+  MODB_CHECK(start < domain_end_)
+      << "appending piece beyond the domain end";
+  pieces_.push_back(Piece{start, std::move(poly)});
+}
+
+void PiecewisePoly::SetDomainEnd(double end) {
+  MODB_CHECK(!pieces_.empty());
+  MODB_CHECK_GE(end, pieces_.back().start);
+  domain_end_ = end;
+}
+
+double PiecewisePoly::DomainStart() const {
+  MODB_CHECK(!pieces_.empty());
+  return pieces_.front().start;
+}
+
+size_t PiecewisePoly::PieceIndexAt(double t) const {
+  MODB_CHECK(Covers(t)) << "t=" << t << " outside domain "
+                        << Domain().ToString();
+  // Last piece whose start <= t; at a shared boundary this selects the
+  // later piece.
+  auto it = std::upper_bound(
+      pieces_.begin(), pieces_.end(), t,
+      [](double value, const Piece& piece) { return value < piece.start; });
+  MODB_CHECK(it != pieces_.begin());
+  return static_cast<size_t>(std::distance(pieces_.begin(), it)) - 1;
+}
+
+double PiecewisePoly::Eval(double t) const {
+  return pieces_[PieceIndexAt(t)].poly.Eval(t);
+}
+
+std::vector<double> PiecewisePoly::InteriorBreakpoints() const {
+  std::vector<double> result;
+  for (size_t i = 1; i < pieces_.size(); ++i) {
+    result.push_back(pieces_[i].start);
+  }
+  return result;
+}
+
+bool PiecewisePoly::IsContinuous(double tol) const {
+  for (size_t i = 1; i < pieces_.size(); ++i) {
+    const double boundary = pieces_[i].start;
+    const double left = pieces_[i - 1].poly.Eval(boundary);
+    const double right = pieces_[i].poly.Eval(boundary);
+    if (std::fabs(left - right) > tol) return false;
+  }
+  return true;
+}
+
+PiecewisePoly PiecewisePoly::Restrict(double lo, double hi) const {
+  PiecewisePoly result;
+  if (empty()) return result;
+  const double new_lo = std::max(lo, DomainStart());
+  const double new_hi = std::min(hi, domain_end_);
+  if (new_lo > new_hi) return result;
+  const size_t first = PieceIndexAt(new_lo);
+  result.AppendPiece(new_lo, pieces_[first].poly);
+  for (size_t i = first + 1; i < pieces_.size() && pieces_[i].start < new_hi;
+       ++i) {
+    result.AppendPiece(pieces_[i].start, pieces_[i].poly);
+  }
+  result.SetDomainEnd(new_hi);
+  return result;
+}
+
+namespace {
+
+// Shared merge for pointwise binary operations.
+enum class PointwiseOp { kSubtract, kAdd, kMultiply };
+
+PiecewisePoly MergePointwise(const PiecewisePoly& a, const PiecewisePoly& b,
+                             PointwiseOp op) {
+  PiecewisePoly result;
+  if (a.empty() || b.empty()) return result;
+  const TimeInterval domain = a.Domain().Intersect(b.Domain());
+  if (domain.empty()) return result;
+
+  // Collect merged breakpoints within the common domain.
+  std::vector<double> starts = {domain.lo};
+  for (const auto& piece : a.pieces()) {
+    if (piece.start > domain.lo && piece.start < domain.hi) {
+      starts.push_back(piece.start);
+    }
+  }
+  for (const auto& piece : b.pieces()) {
+    if (piece.start > domain.lo && piece.start < domain.hi) {
+      starts.push_back(piece.start);
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  for (double start : starts) {
+    const Polynomial& pa = a.pieces()[a.PieceIndexAt(start)].poly;
+    const Polynomial& pb = b.pieces()[b.PieceIndexAt(start)].poly;
+    switch (op) {
+      case PointwiseOp::kSubtract:
+        result.AppendPiece(start, pa - pb);
+        break;
+      case PointwiseOp::kAdd:
+        result.AppendPiece(start, pa + pb);
+        break;
+      case PointwiseOp::kMultiply:
+        result.AppendPiece(start, pa * pb);
+        break;
+    }
+  }
+  result.SetDomainEnd(domain.hi);
+  return result;
+}
+
+}  // namespace
+
+PiecewisePoly PiecewisePoly::Difference(const PiecewisePoly& a,
+                                        const PiecewisePoly& b) {
+  return MergePointwise(a, b, PointwiseOp::kSubtract);
+}
+
+PiecewisePoly PiecewisePoly::Sum(const PiecewisePoly& a,
+                                 const PiecewisePoly& b) {
+  return MergePointwise(a, b, PointwiseOp::kAdd);
+}
+
+PiecewisePoly PiecewisePoly::Product(const PiecewisePoly& a,
+                                     const PiecewisePoly& b) {
+  return MergePointwise(a, b, PointwiseOp::kMultiply);
+}
+
+PiecewisePoly PiecewisePoly::ComposeWithTimeTerm(
+    const Polynomial& term, double window_lo, double window_hi,
+    const RootOptions& options) const {
+  MODB_CHECK(!empty());
+  MODB_CHECK_LE(window_lo, window_hi);
+
+  // Constant term: the composed function is a constant.
+  if (term.degree() <= 0) {
+    const double value = Eval(term.Eval(0.0));
+    return SinglePiece(Polynomial::Constant(value), window_lo, window_hi);
+  }
+
+  // Split the window at the term's critical points so each segment is
+  // monotone, then map source breakpoints back through the term.
+  std::vector<double> segment_edges = {window_lo};
+  const Polynomial deriv = term.Derivative();
+  if (!deriv.IsZero() && deriv.degree() >= 1) {
+    for (double r : RealRootsInInterval(deriv, window_lo, window_hi,
+                                        options)) {
+      if (r > window_lo && r < window_hi) segment_edges.push_back(r);
+    }
+  }
+  segment_edges.push_back(window_hi);
+
+  PiecewisePoly result;
+  std::vector<double> boundaries;  // Sorted composed-piece starts.
+  boundaries.push_back(window_lo);
+  for (size_t s = 0; s + 1 < segment_edges.size(); ++s) {
+    const double a = segment_edges[s];
+    const double b = segment_edges[s + 1];
+    if (a < b && s > 0) boundaries.push_back(a);
+    // Source breakpoints hit by term([a, b]).
+    for (double source_break : InteriorBreakpoints()) {
+      Polynomial shifted = term - Polynomial::Constant(source_break);
+      if (shifted.IsZero()) continue;
+      for (double r : RealRootsInInterval(shifted, a, b, options)) {
+        if (r > window_lo && r < window_hi) boundaries.push_back(r);
+      }
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    const double start = boundaries[i];
+    const double end =
+        (i + 1 < boundaries.size()) ? boundaries[i + 1] : window_hi;
+    const double sample = (start == end) ? start : 0.5 * (start + end);
+    const double mapped = term.Eval(sample);
+    MODB_CHECK(Covers(mapped))
+        << "time term maps window outside the source domain";
+    const Polynomial& source = pieces_[PieceIndexAt(mapped)].poly;
+    if (!result.empty() && result.pieces().back().start == start) continue;
+    result.AppendPiece(start, source.Compose(term));
+  }
+  result.SetDomainEnd(window_hi);
+  return result;
+}
+
+std::string PiecewisePoly::ToString() const {
+  if (empty()) return "<empty>";
+  std::ostringstream out;
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    const double end =
+        (i + 1 < pieces_.size()) ? pieces_[i + 1].start : domain_end_;
+    out << "[" << pieces_[i].start << ", " << end
+        << "]: " << pieces_[i].poly.ToString();
+    if (i + 1 < pieces_.size()) out << "; ";
+  }
+  return out.str();
+}
+
+std::vector<double> CriticalTimes(const PiecewisePoly& f, double lo,
+                                  double hi, const RootOptions& options) {
+  std::vector<double> times;
+  if (f.empty()) return times;
+  const double effective_lo = std::max(lo, f.DomainStart());
+  const double effective_hi = std::min(hi, f.DomainEnd());
+  if (effective_lo > effective_hi) return times;
+
+  std::vector<double> collected;
+  for (size_t i = 0; i < f.NumPieces(); ++i) {
+    const double piece_lo = f.pieces()[i].start;
+    const double piece_hi =
+        (i + 1 < f.NumPieces()) ? f.pieces()[i + 1].start : f.DomainEnd();
+    const double a = std::max(piece_lo, effective_lo);
+    const double b = std::min(piece_hi, effective_hi);
+    if (a > b) continue;
+    if (piece_lo > effective_lo && piece_lo >= a) collected.push_back(piece_lo);
+    const Polynomial& poly = f.pieces()[i].poly;
+    if (!poly.IsZero() && poly.degree() >= 1) {
+      for (double r : RealRootsInInterval(poly, a, b, options)) {
+        collected.push_back(r);
+      }
+    }
+  }
+  std::sort(collected.begin(), collected.end());
+  for (double t : collected) PushDedup(&times, t, options.tol);
+  return times;
+}
+
+std::optional<double> FirstTimeDifferencePositive(const PiecewisePoly& a,
+                                                  const PiecewisePoly& b,
+                                                  double lo, double hi,
+                                                  const RootOptions& options) {
+  if (a.empty() || b.empty()) return std::nullopt;
+  const TimeInterval window =
+      a.Domain().Intersect(b.Domain()).Intersect(TimeInterval(lo, hi));
+  if (window.empty()) return std::nullopt;
+
+  double cursor = window.lo;
+  // Walk merged segments [cursor, seg_end] on which both inputs are a
+  // single polynomial each.
+  while (cursor <= window.hi) {
+    const size_t ia = a.PieceIndexAt(cursor);
+    const size_t ib = b.PieceIndexAt(cursor);
+    double seg_end = window.hi;
+    if (ia + 1 < a.NumPieces()) {
+      seg_end = std::min(seg_end, a.pieces()[ia + 1].start);
+    }
+    if (ib + 1 < b.NumPieces()) {
+      seg_end = std::min(seg_end, b.pieces()[ib + 1].start);
+    }
+    const Polynomial diff = a.pieces()[ia].poly - b.pieces()[ib].poly;
+
+    if (!diff.IsZero()) {
+      // Cell boundaries within this segment: cursor plus interior roots.
+      std::vector<double> boundaries = {cursor};
+      if (diff.degree() >= 1) {
+        for (double r : RealRootsInInterval(diff, cursor, seg_end, options)) {
+          if (r > cursor + options.tol) boundaries.push_back(r);
+        }
+      }
+      for (size_t i = 0; i < boundaries.size(); ++i) {
+        const double start = boundaries[i];
+        double sample;
+        if (i + 1 < boundaries.size()) {
+          sample = 0.5 * (start + boundaries[i + 1]);
+        } else if (std::isfinite(seg_end)) {
+          sample = (start >= seg_end) ? seg_end : 0.5 * (start + seg_end);
+        } else {
+          sample = start + 1.0;  // All roots are among the boundaries.
+        }
+        if (diff.Eval(sample) > 0.0) return start;
+      }
+    }
+
+    if (seg_end >= window.hi || seg_end <= cursor) break;
+    cursor = seg_end;
+    // The next iteration's PieceIndexAt(cursor) selects the later pieces,
+    // so a crossing exactly at a shared breakpoint (value jump in the
+    // relaxed-continuity setting) is caught by its first positive cell.
+  }
+  return std::nullopt;
+}
+
+std::optional<double> FirstTimePositive(const PiecewisePoly& f, double lo,
+                                        double hi,
+                                        const RootOptions& options) {
+  if (f.empty()) return std::nullopt;
+  const double effective_lo = std::max(lo, f.DomainStart());
+  const double effective_hi = std::min(hi, f.DomainEnd());
+  if (effective_lo > effective_hi) return std::nullopt;
+
+  // Cell boundaries: effective_lo, every critical time beyond it, and the
+  // (possibly infinite) right end. The sign of f is constant on each cell.
+  std::vector<double> boundaries = {effective_lo};
+  for (double t : CriticalTimes(f, effective_lo, effective_hi, options)) {
+    if (t > effective_lo + options.tol) boundaries.push_back(t);
+  }
+
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    const double start = boundaries[i];
+    double sample;
+    if (i + 1 < boundaries.size()) {
+      sample = 0.5 * (start + boundaries[i + 1]);
+    } else if (std::isfinite(effective_hi)) {
+      if (start >= effective_hi) {
+        sample = effective_hi;
+      } else {
+        sample = 0.5 * (start + effective_hi);
+      }
+    } else {
+      // Unbounded tail: all roots are among the boundaries, so the sign is
+      // constant beyond the last one.
+      sample = start + 1.0;
+    }
+    if (f.Eval(sample) > 0.0) return start;
+  }
+  return std::nullopt;
+}
+
+}  // namespace modb

@@ -1,0 +1,130 @@
+#ifndef MODB_GEOM_PIECEWISE_POLY_H_
+#define MODB_GEOM_PIECEWISE_POLY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/interval.h"
+#include "geom/polynomial.h"
+#include "geom/roots.h"
+
+namespace modb {
+
+// A piecewise polynomial function of time on a closed (possibly right-
+// unbounded) domain. This is the concrete representation of a "polynomial
+// g-distance" applied to one object (Definition 6 and the §5 polynomiality
+// condition): finitely many pieces, each a polynomial, continuous unless the
+// relaxed mode of the paper's first closing remark is in use.
+//
+// Pieces are stored as (start, poly) sorted by start; piece i is valid on
+// [start_i, start_{i+1}] (last piece up to domain_end()). Adjacent pieces
+// share their boundary point; for continuous functions both sides agree
+// there.
+class PiecewisePoly {
+ public:
+  struct Piece {
+    double start;
+    Polynomial poly;
+  };
+
+  PiecewisePoly() = default;
+
+  // A single polynomial on [lo, hi] (hi may be kInf).
+  static PiecewisePoly SinglePiece(Polynomial poly, double lo,
+                                   double hi = kInf);
+
+  // Builder: appends a piece starting at `start`; starts must be strictly
+  // increasing. The function remains right-unbounded until SetDomainEnd.
+  void AppendPiece(double start, Polynomial poly);
+  // Truncates the domain at `end` (>= last piece start).
+  void SetDomainEnd(double end);
+
+  bool empty() const { return pieces_.empty(); }
+  size_t NumPieces() const { return pieces_.size(); }
+  const std::vector<Piece>& pieces() const { return pieces_; }
+
+  double DomainStart() const;
+  double DomainEnd() const { return domain_end_; }
+  TimeInterval Domain() const {
+    return empty() ? TimeInterval::Empty()
+                   : TimeInterval(DomainStart(), domain_end_);
+  }
+  bool Covers(double t) const { return Domain().Contains(t); }
+
+  // Value at t (t must be in the domain). At an interior breakpoint, the
+  // later piece is used; for continuous functions the choice is immaterial.
+  double Eval(double t) const;
+
+  // Index of the piece valid at t.
+  size_t PieceIndexAt(double t) const;
+
+  // Interior breakpoints (piece boundaries, excluding the domain endpoints).
+  std::vector<double> InteriorBreakpoints() const;
+
+  // True if consecutive pieces agree at their shared boundary within tol.
+  bool IsContinuous(double tol = 1e-6) const;
+
+  // Restriction to [lo, hi] intersected with the current domain; empty
+  // result if the intersection is empty.
+  PiecewisePoly Restrict(double lo, double hi) const;
+
+  // Pointwise a - b on the intersection of their domains.
+  static PiecewisePoly Difference(const PiecewisePoly& a,
+                                  const PiecewisePoly& b);
+  // Pointwise a + b on the intersection of their domains.
+  static PiecewisePoly Sum(const PiecewisePoly& a, const PiecewisePoly& b);
+
+  // Pointwise a * b on the intersection of their domains. Squaring
+  // coordinate differences this way keeps Euclidean g-distances polynomial.
+  static PiecewisePoly Product(const PiecewisePoly& a, const PiecewisePoly& b);
+
+  // Composition with a polynomial time term: this(term(t)). Only valid when
+  // `term` is monotonically increasing on the window of interest (the usual
+  // case: term = t, or t + c); used to build one curve per (object, time
+  // term) pair as §5 prescribes. The piece boundaries are mapped through the
+  // inverse of `term` restricted to [window_lo, window_hi].
+  PiecewisePoly ComposeWithTimeTerm(const Polynomial& term, double window_lo,
+                                    double window_hi,
+                                    const RootOptions& options = {}) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Piece> pieces_;
+  double domain_end_ = kInf;
+};
+
+// The smallest t in (lo, hi] at which f becomes (strictly) positive, i.e.
+// the left endpoint of the first maximal subinterval of (lo, hi] on which
+// f > 0. Returns nullopt if f never becomes positive there. This is the
+// sweep primitive: for adjacent objects o before o', the next order swap is
+// FirstTimePositive(f_o - f_o', now, horizon).
+//
+// If f is already positive immediately after lo, returns lo itself; callers
+// treat that as an ordering violation.
+std::optional<double> FirstTimePositive(const PiecewisePoly& f, double lo,
+                                        double hi,
+                                        const RootOptions& options = {});
+
+// All "critical times" of f in [lo, hi]: piece breakpoints plus real roots
+// of each piece, sorted and deduplicated. Between consecutive critical
+// times the sign of f is constant. Used by the QE baseline's cell
+// decomposition.
+std::vector<double> CriticalTimes(const PiecewisePoly& f, double lo,
+                                  double hi, const RootOptions& options = {});
+
+// Equivalent to FirstTimePositive(Difference(a, b), lo, hi) — the smallest
+// t in (lo, hi] where a(t) - b(t) becomes strictly positive — but walks
+// the merged piece structure lazily from lo and stops at the first
+// positive cell, so a crossing near lo costs O(1) piece inspections
+// regardless of how many pieces the trajectories carry. This is the sweep
+// engine's crossing primitive; the eager form remains as the reference
+// the property tests compare against.
+std::optional<double> FirstTimeDifferencePositive(
+    const PiecewisePoly& a, const PiecewisePoly& b, double lo, double hi,
+    const RootOptions& options = {});
+
+}  // namespace modb
+
+#endif  // MODB_GEOM_PIECEWISE_POLY_H_

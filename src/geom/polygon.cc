@@ -1,0 +1,124 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "geom/interval.h"
+
+namespace modb {
+namespace {
+
+// Twice the signed area of triangle (a, b, c); positive for CCW.
+double Cross(const Vec& a, const Vec& b, const Vec& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+// Squared distance from p to segment [a, b].
+double SquaredDistanceToSegment(const Vec& p, const Vec& a, const Vec& b) {
+  const Vec ab = b - a;
+  const Vec ap = p - a;
+  const double len2 = ab.SquaredLength();
+  double t = len2 > 0.0 ? ap.Dot(ab) / len2 : 0.0;
+  t = std::min(1.0, std::max(0.0, t));
+  return (ap - ab * t).SquaredLength();
+}
+
+}  // namespace
+
+ConvexPolygon::ConvexPolygon(std::vector<Vec> vertices)
+    : vertices_(std::move(vertices)) {
+  MODB_CHECK_GE(vertices_.size(), 3u);
+  for (const Vec& v : vertices_) MODB_CHECK_EQ(v.dim(), 2u);
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec& a = vertices_[i];
+    const Vec& b = vertices_[(i + 1) % vertices_.size()];
+    const Vec& c = vertices_[(i + 2) % vertices_.size()];
+    MODB_CHECK(Cross(a, b, c) > 0.0)
+        << "vertices must be strictly convex in CCW order (violated at "
+        << i << ")";
+  }
+}
+
+ConvexPolygon ConvexPolygon::Hull(std::vector<Vec> points) {
+  MODB_CHECK_GE(points.size(), 3u);
+  std::sort(points.begin(), points.end(), [](const Vec& a, const Vec& b) {
+    return a[0] != b[0] ? a[0] < b[0] : a[1] < b[1];
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  MODB_CHECK_GE(points.size(), 3u) << "need at least 3 distinct points";
+
+  // Andrew's monotone chain; strict turns only (collinear points dropped).
+  std::vector<Vec> hull(2 * points.size());
+  size_t k = 0;
+  for (size_t i = 0; i < points.size(); ++i) {  // Lower hull.
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = points.size() - 1; i-- > 0;) {  // Upper hull.
+    while (k >= lower && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return ConvexPolygon(std::move(hull));
+}
+
+ConvexPolygon ConvexPolygon::Rectangle(double x_lo, double y_lo, double x_hi,
+                                       double y_hi) {
+  MODB_CHECK_LT(x_lo, x_hi);
+  MODB_CHECK_LT(y_lo, y_hi);
+  return ConvexPolygon({Vec{x_lo, y_lo}, Vec{x_hi, y_lo}, Vec{x_hi, y_hi},
+                        Vec{x_lo, y_hi}});
+}
+
+bool ConvexPolygon::Contains(const Vec& p) const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec& a = vertices_[i];
+    const Vec& b = vertices_[(i + 1) % vertices_.size()];
+    if (Cross(a, b, p) < 0.0) return false;  // Strictly right of an edge.
+  }
+  return true;
+}
+
+double ConvexPolygon::SquaredDistanceToBoundary(const Vec& p) const {
+  double best = kInf;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    best = std::min(best,
+                    SquaredDistanceToSegment(
+                        p, vertices_[i],
+                        vertices_[(i + 1) % vertices_.size()]));
+  }
+  return best;
+}
+
+double ConvexPolygon::SignedSquaredDistance(const Vec& p) const {
+  const double d2 = SquaredDistanceToBoundary(p);
+  return Contains(p) ? -d2 : d2;
+}
+
+double ConvexPolygon::Area() const {
+  double twice_area = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec& a = vertices_[i];
+    const Vec& b = vertices_[(i + 1) % vertices_.size()];
+    twice_area += a[0] * b[1] - b[0] * a[1];
+  }
+  return 0.5 * twice_area;
+}
+
+std::string ConvexPolygon::ToString() const {
+  std::ostringstream out;
+  out << "polygon[";
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << vertices_[i].ToString();
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace modb

@@ -1,0 +1,56 @@
+#ifndef MODB_GEOM_POLYGON_H_
+#define MODB_GEOM_POLYGON_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace modb {
+
+// A convex polygon in the plane (vertices in counter-clockwise order).
+// This is the "spatial object" of the paper's §2/§3 — city regions,
+// counties — which constraints model as conjunctions of linear
+// inequalities; Example 3's "entering Santa Barbara County" query is a
+// threshold query against the signed distance to such a region.
+class ConvexPolygon {
+ public:
+  // Vertices must be in CCW order and strictly convex (no three collinear
+  // vertices); MODB_CHECKed. At least 3 vertices.
+  explicit ConvexPolygon(std::vector<Vec> vertices);
+
+  // The convex hull of arbitrary points (Andrew's monotone chain); ignores
+  // duplicates. At least 3 non-collinear points required.
+  static ConvexPolygon Hull(std::vector<Vec> points);
+
+  // An axis-aligned rectangle.
+  static ConvexPolygon Rectangle(double x_lo, double y_lo, double x_hi,
+                                 double y_hi);
+
+  size_t num_vertices() const { return vertices_.size(); }
+  const std::vector<Vec>& vertices() const { return vertices_; }
+
+  // True if `p` is inside or on the boundary.
+  bool Contains(const Vec& p) const;
+
+  // Squared Euclidean distance from `p` to the polygon boundary (zero on
+  // the boundary, positive elsewhere — inside and outside alike).
+  double SquaredDistanceToBoundary(const Vec& p) const;
+
+  // The paper-friendly scalar: negative of the squared boundary distance
+  // inside, positive outside, zero on the boundary. Continuous in `p`, so
+  // composing it with a continuous trajectory yields a valid g-distance
+  // ("inside" <=> value <= 0).
+  double SignedSquaredDistance(const Vec& p) const;
+
+  double Area() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Vec> vertices_;  // CCW.
+};
+
+}  // namespace modb
+
+#endif  // MODB_GEOM_POLYGON_H_

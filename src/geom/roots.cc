@@ -1,0 +1,193 @@
+#include "geom/roots.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace modb {
+namespace {
+
+// Normalizes a polynomial so its largest |coefficient| is 1. Keeps Sturm
+// remainder coefficients from over/underflowing across long chains.
+Polynomial Normalize(const Polynomial& p) {
+  double max_abs = 0.0;
+  for (double c : p.coeffs()) max_abs = std::max(max_abs, std::fabs(c));
+  if (max_abs == 0.0) return p;
+  return p * (1.0 / max_abs);
+}
+
+int Sign(double x, double tol) {
+  if (x > tol) return 1;
+  if (x < -tol) return -1;
+  return 0;
+}
+
+// Closed-form roots for degree <= 2, clipped to [lo, hi].
+std::vector<double> ClosedFormRoots(const Polynomial& p, double lo,
+                                    double hi) {
+  std::vector<double> roots;
+  if (p.degree() == 1) {
+    roots.push_back(-p.coeff(0) / p.coeff(1));
+  } else if (p.degree() == 2) {
+    const double a = p.coeff(2), b = p.coeff(1), c = p.coeff(0);
+    const double disc = b * b - 4.0 * a * c;
+    if (disc == 0.0) {
+      roots.push_back(-b / (2.0 * a));
+    } else if (disc > 0.0) {
+      // Numerically stable form: compute the larger-magnitude root first.
+      const double sq = std::sqrt(disc);
+      const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+      double r1 = q / a;
+      double r2 = (q == 0.0) ? r1 : c / q;
+      if (r1 > r2) std::swap(r1, r2);
+      roots.push_back(r1);
+      if (r2 != r1) roots.push_back(r2);
+    }
+  }
+  std::vector<double> clipped;
+  for (double r : roots) {
+    if (r >= lo && r <= hi) clipped.push_back(r);
+  }
+  return clipped;
+}
+
+// Counts roots of the chain's p0 in the half-open interval (a, b].
+int SturmCount(const std::vector<Polynomial>& chain, double a, double b) {
+  return SturmSignVariations(chain, a) - SturmSignVariations(chain, b);
+}
+
+// Recursively isolates and refines roots in (a, b] containing `count` roots.
+void IsolateRoots(const std::vector<Polynomial>& chain, double a, double b,
+                  int count, double tol, std::vector<double>* out) {
+  if (count <= 0) return;
+  if (b - a <= tol) {
+    // All `count` roots are within tol of each other: report one point.
+    out->push_back(0.5 * (a + b));
+    return;
+  }
+  const double mid = 0.5 * (a + b);
+  const int left = SturmCount(chain, a, mid);
+  IsolateRoots(chain, a, mid, left, tol, out);
+  IsolateRoots(chain, mid, b, count - left, tol, out);
+}
+
+}  // namespace
+
+std::vector<Polynomial> BuildSturmChain(const Polynomial& p,
+                                        const RootOptions& options) {
+  std::vector<Polynomial> chain;
+  chain.push_back(Normalize(p));
+  Polynomial d = p.Derivative();
+  if (d.IsZero()) return chain;
+  chain.push_back(Normalize(d));
+  while (chain.back().degree() > 0) {
+    Polynomial rem;
+    chain[chain.size() - 2].DivMod(chain.back(), nullptr, &rem);
+    // Trim BEFORE normalizing: both inputs have max |coeff| = 1, so a
+    // remainder that is "really" zero has coefficients at rounding level;
+    // normalizing first would blow that noise up to O(1).
+    rem = rem.Trimmed(options.sturm_trim);
+    if (rem.IsZero()) break;
+    chain.push_back(-Normalize(rem));
+  }
+  return chain;
+}
+
+int SturmSignVariations(const std::vector<Polynomial>& chain, double x) {
+  int variations = 0;
+  int prev = 0;
+  for (const Polynomial& q : chain) {
+    // Exact sign at x; zero entries are skipped per Sturm's theorem.
+    const double v = q.Eval(x);
+    const int s = (v > 0.0) ? 1 : (v < 0.0 ? -1 : 0);
+    if (s == 0) continue;
+    if (prev != 0 && s != prev) ++variations;
+    prev = s;
+  }
+  return variations;
+}
+
+std::vector<double> RealRootsInInterval(const Polynomial& p, double lo,
+                                        double hi,
+                                        const RootOptions& options) {
+  MODB_CHECK(!p.IsZero()) << "RealRootsInInterval of the zero polynomial";
+  if (p.degree() == 0) return {};
+  if (hi < lo) return {};
+
+  // Clamp the search window by the Cauchy bound (handles hi = +inf and
+  // unbounded lo alike).
+  const double bound = p.RootBound();
+  const double effective_lo = std::max(lo, -bound);
+  const double effective_hi = std::min(hi, bound);
+  if (effective_hi < effective_lo) return {};
+
+  if (p.degree() <= 2) return ClosedFormRoots(p, lo, hi);
+
+  const std::vector<Polynomial> chain = BuildSturmChain(p, options);
+
+  // Sturm counts roots in (a, b]; nudge both ends outward so roots exactly
+  // at the interval endpoints are found (V at an exact root of p is
+  // ill-defined).
+  const double span = std::max(1.0, effective_hi - effective_lo);
+  const double a = effective_lo - options.tol * span;
+  const double b = effective_hi + options.tol * span;
+  std::vector<double> roots;
+  IsolateRoots(chain, a, b, SturmCount(chain, a, b), options.tol, &roots);
+  std::sort(roots.begin(), roots.end());
+  // Merge roots closer than tol (isolation can split a cluster boundary)
+  // and clamp the outward nudge back into the requested interval.
+  std::vector<double> merged;
+  for (double r : roots) {
+    r = std::min(std::max(r, effective_lo), effective_hi);
+    if (merged.empty() || r - merged.back() > options.tol) {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+std::vector<double> AllRealRoots(const Polynomial& p,
+                                 const RootOptions& options) {
+  return RealRootsInInterval(p, -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::infinity(), options);
+}
+
+std::optional<double> FirstSignChangeAfter(const Polynomial& p, double lo,
+                                           double hi,
+                                           const RootOptions& options) {
+  if (p.IsZero() || p.degree() == 0) return std::nullopt;
+  if (hi <= lo) return std::nullopt;
+
+  const double bound = p.RootBound();
+  const double effective_hi = std::min(hi, bound);
+  // All roots are <= bound; beyond it the sign is constant.
+  if (lo >= effective_hi) return std::nullopt;
+
+  std::vector<double> roots =
+      RealRootsInInterval(p, lo, effective_hi, options);
+  // Roots at exactly lo do not count ("strictly after").
+  while (!roots.empty() && roots.front() <= lo + options.tol) {
+    roots.erase(roots.begin());
+  }
+  if (roots.empty()) return std::nullopt;
+
+  // Walk roots in order; the sign between consecutive roots is constant, so
+  // sampling midpoints detects which roots actually flip the sign.
+  double prev_sample = 0.5 * (lo + roots.front());
+  int prev_sign = Sign(p.Eval(prev_sample), 0.0);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    const double next_edge =
+        (i + 1 < roots.size()) ? roots[i + 1] : effective_hi + 1.0;
+    const double sample = 0.5 * (roots[i] + next_edge);
+    const int sign_after = Sign(p.Eval(sample), 0.0);
+    if (sign_after != 0 && prev_sign != 0 && sign_after != prev_sign) {
+      return roots[i];
+    }
+    if (sign_after != 0) prev_sign = sign_after;
+  }
+  return std::nullopt;
+}
+
+}  // namespace modb

@@ -1,0 +1,92 @@
+#include "geom/vec.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace modb {
+
+Vec& Vec::operator+=(const Vec& other) {
+  MODB_CHECK_EQ(dim(), other.dim());
+  for (size_t i = 0; i < coords_.size(); ++i) coords_[i] += other.coords_[i];
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& other) {
+  MODB_CHECK_EQ(dim(), other.dim());
+  for (size_t i = 0; i < coords_.size(); ++i) coords_[i] -= other.coords_[i];
+  return *this;
+}
+
+Vec& Vec::operator*=(double s) {
+  for (double& c : coords_) c *= s;
+  return *this;
+}
+
+double Vec::Dot(const Vec& other) const {
+  MODB_CHECK_EQ(dim(), other.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < coords_.size(); ++i) sum += coords_[i] * other.coords_[i];
+  return sum;
+}
+
+double Vec::SquaredLength() const { return Dot(*this); }
+
+double Vec::Length() const { return std::sqrt(SquaredLength()); }
+
+Vec Vec::Unit() const {
+  const double len = Length();
+  MODB_CHECK_GT(len, 0.0) << "Unit() of the zero vector";
+  Vec result = *this;
+  result *= 1.0 / len;
+  return result;
+}
+
+bool Vec::AlmostEquals(const Vec& other, double tol) const {
+  if (dim() != other.dim()) return false;
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (std::fabs(coords_[i] - other.coords_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Vec::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << coords_[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+Vec operator+(Vec a, const Vec& b) {
+  a += b;
+  return a;
+}
+
+Vec operator-(Vec a, const Vec& b) {
+  a -= b;
+  return a;
+}
+
+Vec operator*(Vec a, double s) {
+  a *= s;
+  return a;
+}
+
+Vec operator*(double s, Vec a) {
+  a *= s;
+  return a;
+}
+
+Vec operator-(Vec a) {
+  a *= -1.0;
+  return a;
+}
+
+bool operator==(const Vec& a, const Vec& b) {
+  return a.coords() == b.coords();
+}
+
+}  // namespace modb

@@ -1,0 +1,96 @@
+#include "index/event_queue.h"
+
+namespace modb {
+
+void LeftistEventQueue::Push(const SweepEvent& event) {
+  const PairKey key{event.left, event.right};
+  MODB_CHECK(handles_.find(key) == handles_.end())
+      << "pair (" << event.left << ", " << event.right
+      << ") already has an event";
+  handles_[key] = heap_.Push(event);
+}
+
+bool LeftistEventQueue::ErasePair(ObjectId left, ObjectId right) {
+  auto it = handles_.find(PairKey{left, right});
+  if (it == handles_.end()) return false;
+  heap_.Erase(it->second);
+  handles_.erase(it);
+  return true;
+}
+
+bool LeftistEventQueue::HasPair(ObjectId left, ObjectId right) const {
+  return handles_.count(PairKey{left, right}) > 0;
+}
+
+const SweepEvent& LeftistEventQueue::Min() const { return heap_.Min(); }
+
+SweepEvent LeftistEventQueue::PopMin() {
+  SweepEvent event = heap_.PopMin();
+  handles_.erase(PairKey{event.left, event.right});
+  return event;
+}
+
+void LeftistEventQueue::BulkBuild(std::vector<SweepEvent> events) {
+  handles_.clear();
+  std::vector<Heap::Handle> handles = heap_.BulkBuild(std::move(events));
+  for (Heap::Handle handle : handles) {
+    const SweepEvent& event = handle->value;
+    const PairKey key{event.left, event.right};
+    MODB_CHECK(handles_.find(key) == handles_.end())
+        << "duplicate pair in BulkBuild";
+    handles_[key] = handle;
+  }
+}
+
+void SetEventQueue::BulkBuild(std::vector<SweepEvent> events) {
+  events_.clear();
+  by_pair_.clear();
+  for (const SweepEvent& event : events) Push(event);
+}
+
+void SetEventQueue::Push(const SweepEvent& event) {
+  const PairKey key{event.left, event.right};
+  MODB_CHECK(by_pair_.find(key) == by_pair_.end())
+      << "pair (" << event.left << ", " << event.right
+      << ") already has an event";
+  by_pair_[key] = event;
+  events_.insert(event);
+}
+
+bool SetEventQueue::ErasePair(ObjectId left, ObjectId right) {
+  auto it = by_pair_.find(PairKey{left, right});
+  if (it == by_pair_.end()) return false;
+  events_.erase(it->second);
+  by_pair_.erase(it);
+  return true;
+}
+
+bool SetEventQueue::HasPair(ObjectId left, ObjectId right) const {
+  return by_pair_.count(PairKey{left, right}) > 0;
+}
+
+const SweepEvent& SetEventQueue::Min() const {
+  MODB_CHECK(!events_.empty());
+  return *events_.begin();
+}
+
+SweepEvent SetEventQueue::PopMin() {
+  MODB_CHECK(!events_.empty());
+  SweepEvent event = *events_.begin();
+  events_.erase(events_.begin());
+  by_pair_.erase(PairKey{event.left, event.right});
+  return event;
+}
+
+std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kLeftist:
+      return std::make_unique<LeftistEventQueue>();
+    case EventQueueKind::kSet:
+      return std::make_unique<SetEventQueue>();
+  }
+  MODB_CHECK(false) << "unknown event queue kind";
+  return nullptr;
+}
+
+}  // namespace modb

@@ -1,0 +1,119 @@
+#ifndef MODB_INDEX_EVENT_QUEUE_H_
+#define MODB_INDEX_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "index/leftist_heap.h"
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// An intersection event: the g-distance curves of `left` and `right` —
+// currently adjacent, with `left` preceding — cross at `time`.
+struct SweepEvent {
+  double time = 0.0;
+  ObjectId left = kInvalidObjectId;
+  ObjectId right = kInvalidObjectId;
+
+  friend bool operator==(const SweepEvent& a, const SweepEvent& b) {
+    return a.time == b.time && a.left == b.left && a.right == b.right;
+  }
+};
+
+// Deterministic ordering: by time, ties broken by the pair.
+struct SweepEventLess {
+  bool operator()(const SweepEvent& a, const SweepEvent& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  }
+};
+
+// The event queue E of §5, keyed by adjacent pair. Per Lemma 9's scheme it
+// holds at most one event per pair of *currently adjacent* objects (their
+// earliest future intersection); when two objects cease to be adjacent their
+// event is deleted. This bounds the queue length by N - 1.
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+
+  // Inserts an event for the pair (event.left, event.right); the pair must
+  // not already have an event.
+  virtual void Push(const SweepEvent& event) = 0;
+
+  // Removes the pair's event if present; returns whether one was removed.
+  virtual bool ErasePair(ObjectId left, ObjectId right) = 0;
+
+  virtual bool HasPair(ObjectId left, ObjectId right) const = 0;
+
+  // The earliest event (queue must be nonempty).
+  virtual const SweepEvent& Min() const = 0;
+
+  // Removes and returns the earliest event.
+  virtual SweepEvent PopMin() = 0;
+
+  // Replaces the queue contents with `events` (at most one per pair).
+  // O(|events|) for the leftist implementation — the Theorem 10 fast path.
+  virtual void BulkBuild(std::vector<SweepEvent> events) = 0;
+
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  virtual std::string name() const = 0;
+};
+
+// Lemma 9's implementation: a height-biased leftist tree with handles kept
+// in a pair-keyed map ("bi-directional pointers").
+class LeftistEventQueue : public EventQueue {
+ public:
+  void Push(const SweepEvent& event) override;
+  bool ErasePair(ObjectId left, ObjectId right) override;
+  bool HasPair(ObjectId left, ObjectId right) const override;
+  const SweepEvent& Min() const override;
+  SweepEvent PopMin() override;
+  void BulkBuild(std::vector<SweepEvent> events) override;
+  size_t size() const override { return heap_.size(); }
+  std::string name() const override { return "leftist"; }
+
+ private:
+  using Heap = LeftistHeap<SweepEvent, SweepEventLess>;
+  using PairKey = std::pair<ObjectId, ObjectId>;
+
+  Heap heap_;
+  std::map<PairKey, Heap::Handle> handles_;
+};
+
+// Alternative implementation over std::set, for the E10 ablation: same
+// asymptotics, different constants.
+class SetEventQueue : public EventQueue {
+ public:
+  void Push(const SweepEvent& event) override;
+  bool ErasePair(ObjectId left, ObjectId right) override;
+  bool HasPair(ObjectId left, ObjectId right) const override;
+  const SweepEvent& Min() const override;
+  SweepEvent PopMin() override;
+  void BulkBuild(std::vector<SweepEvent> events) override;
+  size_t size() const override { return events_.size(); }
+  std::string name() const override { return "set"; }
+
+ private:
+  using PairKey = std::pair<ObjectId, ObjectId>;
+
+  std::set<SweepEvent, SweepEventLess> events_;
+  std::map<PairKey, SweepEvent> by_pair_;
+};
+
+// Which EventQueue implementation an engine should use.
+enum class EventQueueKind { kLeftist, kSet };
+
+std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind);
+
+}  // namespace modb
+
+#endif  // MODB_INDEX_EVENT_QUEUE_H_

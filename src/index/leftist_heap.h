@@ -1,0 +1,197 @@
+#ifndef MODB_INDEX_LEFTIST_HEAP_H_
+#define MODB_INDEX_LEFTIST_HEAP_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace modb {
+
+// A height-biased leftist tree (min-heap) with stable node handles, the
+// structure Lemma 9 prescribes for the event queue: unlike a binary heap,
+// arbitrary deletion by handle is supported without maintaining positional
+// back-pointers, because nodes never move in memory — only links change.
+//
+// Push/PopMin are O(log N); Erase detaches the node's subtree, merges its
+// children back in place, and repairs null-path lengths upward.
+template <typename T, typename Compare = std::less<T>>
+class LeftistHeap {
+ public:
+  struct Node {
+    T value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    int npl = 0;  // Null-path length.
+  };
+  using Handle = Node*;
+
+  explicit LeftistHeap(Compare compare = Compare())
+      : compare_(std::move(compare)) {}
+
+  ~LeftistHeap() { Clear(); }
+
+  LeftistHeap(const LeftistHeap&) = delete;
+  LeftistHeap& operator=(const LeftistHeap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts `value`; the returned handle stays valid until the node is
+  // popped or erased.
+  Handle Push(T value) {
+    Node* node = new Node;
+    node->value = std::move(value);
+    root_ = Merge(root_, node);
+    root_->parent = nullptr;
+    ++size_;
+    return node;
+  }
+
+  const T& Min() const {
+    MODB_CHECK(root_ != nullptr);
+    return root_->value;
+  }
+
+  T PopMin() {
+    MODB_CHECK(root_ != nullptr);
+    Node* old_root = root_;
+    root_ = Merge(old_root->left, old_root->right);
+    if (root_ != nullptr) root_->parent = nullptr;
+    T value = std::move(old_root->value);
+    delete old_root;
+    --size_;
+    return value;
+  }
+
+  // Removes the node behind `handle` (which must be live in this heap).
+  void Erase(Handle handle) {
+    MODB_CHECK(handle != nullptr);
+    Node* replacement = Merge(handle->left, handle->right);
+    Node* parent = handle->parent;
+    if (replacement != nullptr) replacement->parent = parent;
+    if (parent == nullptr) {
+      root_ = replacement;
+    } else {
+      if (parent->left == handle) {
+        parent->left = replacement;
+      } else {
+        MODB_CHECK(parent->right == handle);
+        parent->right = replacement;
+      }
+      RepairUpward(parent);
+    }
+    delete handle;
+    --size_;
+  }
+
+  // Replaces the heap contents with `values` in O(|values|) by pairwise
+  // merging (Theorem 10 relies on this to rebuild the event queue without
+  // paying N log N). Returns the handle for each value, in input order.
+  std::vector<Handle> BulkBuild(std::vector<T> values) {
+    Clear();
+    std::vector<Handle> handles;
+    handles.reserve(values.size());
+    std::vector<Node*> round;
+    round.reserve(values.size());
+    for (T& value : values) {
+      Node* node = new Node;
+      node->value = std::move(value);
+      handles.push_back(node);
+      round.push_back(node);
+    }
+    size_ = handles.size();
+    // Repeated pairwise merging: O(N) total (N/2 + N/4 + ... merges of
+    // heaps whose rightmost paths are logarithmic in their sizes).
+    while (round.size() > 1) {
+      std::vector<Node*> next;
+      next.reserve((round.size() + 1) / 2);
+      for (size_t i = 0; i + 1 < round.size(); i += 2) {
+        next.push_back(Merge(round[i], round[i + 1]));
+      }
+      if (round.size() % 2 == 1) next.push_back(round.back());
+      round = std::move(next);
+    }
+    root_ = round.empty() ? nullptr : round.front();
+    if (root_ != nullptr) root_->parent = nullptr;
+    return handles;
+  }
+
+  void Clear() {
+    // Iterative subtree delete.
+    std::vector<Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      if (node->left != nullptr) stack.push_back(node->left);
+      if (node->right != nullptr) stack.push_back(node->right);
+      delete node;
+    }
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  // Verifies heap order, leftist property and parent links; for tests.
+  void CheckInvariants() const {
+    size_t count = 0;
+    CheckSubtree(root_, &count);
+    MODB_CHECK_EQ(count, size_);
+  }
+
+ private:
+  static int Npl(const Node* node) { return node == nullptr ? -1 : node->npl; }
+
+  Node* Merge(Node* a, Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (compare_(b->value, a->value)) std::swap(a, b);
+    Node* merged = Merge(a->right, b);
+    a->right = merged;
+    merged->parent = a;
+    if (Npl(a->left) < Npl(a->right)) std::swap(a->left, a->right);
+    a->npl = Npl(a->right) + 1;
+    return a;
+  }
+
+  // After a subtree was replaced under `node`, restore the leftist shape and
+  // null-path lengths on the path to the root, stopping early once nothing
+  // changes.
+  void RepairUpward(Node* node) {
+    while (node != nullptr) {
+      if (Npl(node->left) < Npl(node->right)) {
+        std::swap(node->left, node->right);
+      }
+      const int new_npl = Npl(node->right) + 1;
+      if (new_npl == node->npl) break;
+      node->npl = new_npl;
+      node = node->parent;
+    }
+  }
+
+  void CheckSubtree(const Node* node, size_t* count) const {
+    if (node == nullptr) return;
+    ++*count;
+    MODB_CHECK(Npl(node->left) >= Npl(node->right));
+    MODB_CHECK_EQ(node->npl, Npl(node->right) + 1);
+    for (const Node* child : {node->left, node->right}) {
+      if (child != nullptr) {
+        MODB_CHECK(child->parent == node);
+        MODB_CHECK(!compare_(child->value, node->value))
+            << "heap order violated";
+      }
+    }
+    CheckSubtree(node->left, count);
+    CheckSubtree(node->right, count);
+  }
+
+  Compare compare_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace modb
+
+#endif  // MODB_INDEX_LEFTIST_HEAP_H_

@@ -1,0 +1,307 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace modb {
+
+Rect Rect::Join(const Rect& a, const Rect& b) {
+  MODB_CHECK_EQ(a.min.dim(), b.min.dim());
+  Rect joined = a;
+  for (size_t i = 0; i < a.min.dim(); ++i) {
+    joined.min[i] = std::min(a.min[i], b.min[i]);
+    joined.max[i] = std::max(a.max[i], b.max[i]);
+  }
+  return joined;
+}
+
+double Rect::Area() const {
+  double area = 1.0;
+  for (size_t i = 0; i < min.dim(); ++i) area *= max[i] - min[i];
+  return area;
+}
+
+double Rect::Enlargement(const Rect& other) const {
+  return Join(*this, other).Area() - Area();
+}
+
+bool Rect::Contains(const Vec& p) const {
+  for (size_t i = 0; i < min.dim(); ++i) {
+    if (p[i] < min[i] || p[i] > max[i]) return false;
+  }
+  return true;
+}
+
+double Rect::MinSquaredDistance(const Vec& p) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < min.dim(); ++i) {
+    double d = 0.0;
+    if (p[i] < min[i]) {
+      d = min[i] - p[i];
+    } else if (p[i] > max[i]) {
+      d = p[i] - max[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+// Either a child node (internal levels) or a stored point (leaves).
+struct RTree::Entry {
+  Rect rect;
+  Node* child = nullptr;     // Internal entries.
+  ObjectId id = kInvalidObjectId;  // Leaf entries.
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+
+  Rect BoundingRect() const {
+    MODB_CHECK(!entries.empty());
+    Rect rect = entries[0].rect;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      rect = Rect::Join(rect, entries[i].rect);
+    }
+    return rect;
+  }
+};
+
+RTree::RTree(size_t dim, size_t max_entries)
+    : dim_(dim), max_entries_(max_entries), root_(new Node) {
+  MODB_CHECK_GE(max_entries, 4u);
+}
+
+RTree::~RTree() {
+  std::vector<Node*> stack = {root_};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (!node->leaf) {
+      for (const Entry& e : node->entries) stack.push_back(e.child);
+    }
+    delete node;
+  }
+}
+
+RTree::Node* RTree::ChooseLeaf(const Rect& rect) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const Entry& e : node->entries) {
+      const double enlargement = e.rect.Enlargement(rect);
+      const double area = e.rect.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = e.child;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+// Quadratic split (Guttman): pick the pair wasting the most area as seeds,
+// then assign remaining entries by least enlargement.
+void RTree::SplitNode(Node* node) {
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = Rect::Join(entries[i].rect, entries[j].rect).Area() -
+                           entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node* sibling = new Node;
+  sibling->leaf = node->leaf;
+
+  Rect rect_a = entries[seed_a].rect;
+  Rect rect_b = entries[seed_b].rect;
+  std::vector<bool> assigned(entries.size(), false);
+  auto assign = [&](size_t idx, Node* target, Rect* rect) {
+    *rect = Rect::Join(*rect, entries[idx].rect);
+    if (!target->leaf) entries[idx].child->parent = target;
+    target->entries.push_back(std::move(entries[idx]));
+    assigned[idx] = true;
+  };
+  assign(seed_a, node, &rect_a);
+  assign(seed_b, sibling, &rect_b);
+
+  const size_t min_fill = max_entries_ / 2;
+  for (size_t idx = 0; idx < entries.size(); ++idx) {
+    if (assigned[idx]) continue;
+    // Force-assign to meet minimum fill when one side is running short.
+    const size_t left_to_place = static_cast<size_t>(
+        std::count(assigned.begin(), assigned.end(), false));
+    if (node->entries.size() + left_to_place <= min_fill) {
+      assign(idx, node, &rect_a);
+      continue;
+    }
+    if (sibling->entries.size() + left_to_place <= min_fill) {
+      assign(idx, sibling, &rect_b);
+      continue;
+    }
+    const double grow_a = rect_a.Enlargement(entries[idx].rect);
+    const double grow_b = rect_b.Enlargement(entries[idx].rect);
+    if (grow_a < grow_b || (grow_a == grow_b && rect_a.Area() <= rect_b.Area())) {
+      assign(idx, node, &rect_a);
+    } else {
+      assign(idx, sibling, &rect_b);
+    }
+  }
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    Node* new_root = new Node;
+    new_root->leaf = false;
+    new_root->entries.push_back(Entry{node->BoundingRect(), node});
+    new_root->entries.push_back(Entry{sibling->BoundingRect(), sibling});
+    node->parent = new_root;
+    sibling->parent = new_root;
+    root_ = new_root;
+  } else {
+    sibling->parent = node->parent;
+    node->parent->entries.push_back(
+        Entry{sibling->BoundingRect(), sibling});
+    if (node->parent->entries.size() > max_entries_) {
+      SplitNode(node->parent);
+    }
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (Entry& e : parent->entries) {
+      if (e.child == node) {
+        e.rect = node->BoundingRect();
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+void RTree::Insert(const Vec& point, ObjectId id) {
+  MODB_CHECK_EQ(point.dim(), dim_);
+  Node* leaf = ChooseLeaf(Rect::ForPoint(point));
+  leaf->entries.push_back(Entry{Rect::ForPoint(point), nullptr, id});
+  AdjustUpward(leaf);
+  if (leaf->entries.size() > max_entries_) SplitNode(leaf);
+  // Splits change bounding rects along the path; refresh once more.
+  AdjustUpward(leaf);
+  ++size_;
+}
+
+std::vector<std::pair<ObjectId, double>> RTree::NearestNeighbors(
+    const Vec& query, size_t k) const {
+  // Best-first search over (min squared distance, node-or-point).
+  struct Candidate {
+    double dist;
+    const Node* node;   // Null for point candidates.
+    ObjectId id;
+    bool operator>(const Candidate& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+  pq.push(Candidate{0.0, root_, kInvalidObjectId});
+  std::vector<std::pair<ObjectId, double>> result;
+  while (!pq.empty() && result.size() < k) {
+    const Candidate top = pq.top();
+    pq.pop();
+    if (top.node == nullptr) {
+      result.emplace_back(top.id, top.dist);
+      continue;
+    }
+    for (const Entry& e : top.node->entries) {
+      const double d = e.rect.MinSquaredDistance(query);
+      if (top.node->leaf) {
+        pq.push(Candidate{d, nullptr, e.id});
+      } else {
+        pq.push(Candidate{d, e.child, kInvalidObjectId});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ObjectId> RTree::WithinRadius(const Vec& query,
+                                          double radius) const {
+  std::vector<ObjectId> result;
+  std::vector<const Node*> stack = {root_};
+  const double r2 = radius * radius;
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (e.rect.MinSquaredDistance(query) > r2) continue;
+      if (node->leaf) {
+        result.push_back(e.id);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+size_t RTree::Depth() const {
+  size_t depth = 0;
+  const Node* node = root_;
+  while (!node->leaf) {
+    MODB_CHECK(!node->entries.empty());
+    node = node->entries[0].child;
+    ++depth;
+  }
+  return depth;
+}
+
+void RTree::CheckInvariants() const {
+  const size_t expected_depth = Depth();
+  // DFS with depth tracking.
+  struct Frame {
+    const Node* node;
+    size_t depth;
+  };
+  std::vector<Frame> stack = {{root_, 0}};
+  size_t points = 0;
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node* node = frame.node;
+    if (node->leaf) {
+      MODB_CHECK_EQ(frame.depth, expected_depth);
+      points += node->entries.size();
+      continue;
+    }
+    for (const Entry& e : node->entries) {
+      MODB_CHECK(e.child != nullptr);
+      MODB_CHECK(e.child->parent == node);
+      // The stored rect must contain the child's actual bounding rect.
+      const Rect child_rect = e.child->BoundingRect();
+      const Rect joined = Rect::Join(e.rect, child_rect);
+      MODB_CHECK(joined.Area() <= e.rect.Area() + 1e-9)
+          << "stale bounding rect";
+      stack.push_back({e.child, frame.depth + 1});
+    }
+  }
+  MODB_CHECK_EQ(points, size_);
+}
+
+}  // namespace modb

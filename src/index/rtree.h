@@ -1,0 +1,85 @@
+#ifndef MODB_INDEX_RTREE_H_
+#define MODB_INDEX_RTREE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "geom/vec.h"
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// An axis-aligned bounding rectangle in R^n.
+struct Rect {
+  Vec min;
+  Vec max;
+
+  static Rect ForPoint(const Vec& p) { return Rect{p, p}; }
+
+  // Smallest rectangle containing both.
+  static Rect Join(const Rect& a, const Rect& b);
+
+  double Area() const;
+  // Area increase if `other` were joined in.
+  double Enlargement(const Rect& other) const;
+  bool Contains(const Vec& p) const;
+  bool IntersectsBall(const Vec& center, double radius) const {
+    return MinSquaredDistance(center) <= radius * radius;
+  }
+  // Squared distance from `p` to the nearest point of the rectangle
+  // (0 if inside).
+  double MinSquaredDistance(const Vec& p) const;
+};
+
+// A point R-tree with quadratic split, the substrate for the paper's [26]
+// comparison baseline (Song–Roussopoulos k-NN search over *stationary*
+// objects). Supports insertion, best-first k-NN, and radius search.
+//
+// Deliberately simple: the baseline rebuilds or queries it at refresh
+// points only, so bulk performance, deletion and R*-style reinsertion are
+// out of scope.
+class RTree {
+ public:
+  explicit RTree(size_t dim, size_t max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+
+  void Insert(const Vec& point, ObjectId id);
+
+  // The k nearest stored points to `query` as (id, squared distance),
+  // ascending by distance. Returns fewer if the tree holds fewer points.
+  std::vector<std::pair<ObjectId, double>> NearestNeighbors(const Vec& query,
+                                                            size_t k) const;
+
+  // Ids of all points within `radius` (Euclidean) of `query`.
+  std::vector<ObjectId> WithinRadius(const Vec& query, double radius) const;
+
+  // Maximum leaf depth; for tests (balance: all leaves at equal depth).
+  size_t Depth() const;
+
+  // Verifies bounding-box containment and uniform leaf depth; for tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(const Rect& rect) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+
+  size_t dim_;
+  size_t max_entries_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace modb
+
+#endif  // MODB_INDEX_RTREE_H_

@@ -1,0 +1,40 @@
+#include "queries/fastest.h"
+
+#include <memory>
+
+#include "queries/knn.h"
+#include "queries/within.h"
+
+namespace modb {
+
+std::set<ObjectId> FastestArrivalAt(const MovingObjectDatabase& mod,
+                                    const Vec& target, double t) {
+  InterceptionTimeSquaredGDistance gdist(target);
+  return SnapshotKnn(mod, gdist, /*k=*/1, t);
+}
+
+std::set<ObjectId> CanReachWithin(const MovingObjectDatabase& mod,
+                                  const Vec& target, double max_time,
+                                  double t) {
+  MODB_CHECK_GE(max_time, 0.0);
+  InterceptionTimeSquaredGDistance gdist(target);
+  return SnapshotWithin(mod, gdist, max_time * max_time, t);
+}
+
+AnswerTimeline PastFastestArrival(const MovingObjectDatabase& mod,
+                                  const Vec& target, TimeInterval interval) {
+  return PastKnn(mod,
+                 std::make_shared<InterceptionTimeSquaredGDistance>(target),
+                 /*k=*/1, interval);
+}
+
+AnswerTimeline PastFastestPursuit(const MovingObjectDatabase& mod,
+                                  const Trajectory& target,
+                                  TimeInterval interval, double sample_step) {
+  return PastKnn(mod,
+                 std::make_shared<MovingInterceptionGDistance>(
+                     target, interval.hi, sample_step),
+                 /*k=*/1, interval);
+}
+
+}  // namespace modb

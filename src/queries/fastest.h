@@ -1,0 +1,49 @@
+#ifndef MODB_QUERIES_FASTEST_H_
+#define MODB_QUERIES_FASTEST_H_
+
+#include <set>
+
+#include "core/answer.h"
+#include "gdist/builtin.h"
+#include "geom/interval.h"
+#include "geom/vec.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// The "fastest arrival" queries of Examples 7/9/11, as thin wrappers over
+// the k-NN / within kernels under interception-time g-distances:
+// redirect-now-and-keep-speed arrival times order objects exactly like any
+// other generalized distance.
+
+// The object(s) that can reach the stationary `target` fastest at time `t`
+// (1-NN under InterceptionTimeSquaredGDistance). All objects must be
+// moving (nonzero speed).
+std::set<ObjectId> FastestArrivalAt(const MovingObjectDatabase& mod,
+                                    const Vec& target, double t);
+
+// Example 11's "list all police cars that can reach #1404 in 5 minutes":
+// objects whose interception time against the stationary `target` is at
+// most `max_time`, evaluated at time `t`.
+std::set<ObjectId> CanReachWithin(const MovingObjectDatabase& mod,
+                                  const Vec& target, double max_time,
+                                  double t);
+
+// The timeline of the fastest-arriving object over a past `interval`
+// (which object would you dispatch, as a function of when the incident
+// happens).
+AnswerTimeline PastFastestArrival(const MovingObjectDatabase& mod,
+                                  const Vec& target, TimeInterval interval);
+
+// Fastest arrival against a *moving* target over a past `interval`, using
+// the numeric MovingInterceptionGDistance (approximated intersections per
+// the paper's footnote 1). Every object must be strictly faster than the
+// target. `sample_step` controls the crossing-bracketing grid.
+AnswerTimeline PastFastestPursuit(const MovingObjectDatabase& mod,
+                                  const Trajectory& target,
+                                  TimeInterval interval,
+                                  double sample_step = 0.25);
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_FASTEST_H_

@@ -1,0 +1,31 @@
+#include "queries/fo_snapshot.h"
+
+#include <vector>
+
+namespace modb {
+
+std::set<ObjectId> EvaluateFormulaAtNow(const SweepState& state,
+                                        const FoFormula& formula) {
+  std::vector<ObjectId> universe;
+  for (ObjectId oid : state.order().ToVector()) {
+    if (!state.IsSentinel(oid)) universe.push_back(oid);
+  }
+  FoContext context;
+  context.objects = &universe;
+  context.value = [&state](ObjectId oid, double t) {
+    return state.CurveValue(oid, t);
+  };
+
+  std::vector<ObjectId> assignment(
+      static_cast<size_t>(formula.MaxVar()) + 1, kInvalidObjectId);
+  std::set<ObjectId> answer;
+  for (ObjectId candidate : universe) {
+    assignment[0] = candidate;
+    if (formula.Eval(context, &assignment, state.now())) {
+      answer.insert(candidate);
+    }
+  }
+  return answer;
+}
+
+}  // namespace modb

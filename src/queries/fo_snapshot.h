@@ -1,0 +1,25 @@
+#ifndef MODB_QUERIES_FO_SNAPSHOT_H_
+#define MODB_QUERIES_FO_SNAPSHOT_H_
+
+#include <set>
+
+#include "constraint/fo_formula.h"
+#include "core/sweep_state.h"
+
+namespace modb {
+
+// Evaluates an arbitrary FO(f) formula φ(y, t) at the sweep's current
+// instant, over the engine's live curves: Q[D]_now of §4, served from the
+// maintained state instead of a fresh evaluation pass. Sentinels are
+// excluded from the universe. Time terms inside φ are evaluated relative
+// to absolute time, so f(y, t + 5) peeks five units ahead of now().
+//
+// Cost is O(|φ| · N^(q+1)) with q the quantifier depth — this is the
+// generic fallback; the k-NN/within kernels answer their fragments in
+// O(1) from maintained state.
+std::set<ObjectId> EvaluateFormulaAtNow(const SweepState& state,
+                                        const FoFormula& formula);
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_FO_SNAPSHOT_H_

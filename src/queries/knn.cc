@@ -1,0 +1,112 @@
+#include "queries/knn.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace modb {
+
+KnnKernel::KnnKernel(SweepState* state, size_t k)
+    : state_(state), k_(k), timeline_(state->now()) {
+  MODB_CHECK(state_ != nullptr);
+  MODB_CHECK_GT(k, 0u);
+  state_->AddListener(this);
+  // Adopt any objects already present (kernels attached mid-sweep).
+  for (size_t rank = 0; rank < k_; ++rank) {
+    const ObjectId oid = ObjectAt(rank);
+    if (oid == kInvalidObjectId) break;
+    current_.insert(oid);
+  }
+  timeline_.Record(state_->now(), current_);
+}
+
+size_t KnnKernel::ObjectRank(ObjectId oid) const {
+  size_t rank = state_->order().Rank(oid);
+  for (ObjectId sentinel : state_->sentinels()) {
+    if (state_->order().Rank(sentinel) < state_->order().Rank(oid)) --rank;
+  }
+  return rank;
+}
+
+ObjectId KnnKernel::ObjectAt(size_t rank) const {
+  const OrderedSequence& order = state_->order();
+  // Fixed point: the global index of the rank-th non-sentinel is the rank
+  // plus the number of sentinels at or before it. Converges in at most
+  // |sentinels| + 1 rounds (the index only grows).
+  size_t global = rank;
+  while (true) {
+    size_t offset = 0;
+    for (ObjectId sentinel : state_->sentinels()) {
+      if (order.Rank(sentinel) <= global) ++offset;
+    }
+    const size_t next = rank + offset;
+    if (next == global) break;
+    global = next;
+  }
+  if (global >= order.size()) return kInvalidObjectId;
+  const ObjectId oid = order.At(global);
+  MODB_DCHECK(!state_->IsSentinel(oid));
+  return oid;
+}
+
+void KnnKernel::OnSwap(double time, ObjectId left, ObjectId right) {
+  // Swaps with a sentinel never change which *objects* are in the lowest k
+  // non-sentinel ranks.
+  if (state_->IsSentinel(left) || state_->IsSentinel(right)) return;
+  // Only a swap across the k-boundary changes membership: `left` held
+  // object-rank k-1 and `right` object-rank k; they exchange.
+  if (current_.count(left) > 0 && current_.count(right) == 0) {
+    MODB_DCHECK(ObjectRank(right) == k_ - 1);
+    current_.erase(left);
+    current_.insert(right);
+    timeline_.Record(time, current_);
+  }
+}
+
+void KnnKernel::OnInsert(double time, ObjectId oid) {
+  if (state_->IsSentinel(oid)) return;
+  const size_t rank = ObjectRank(oid);
+  if (rank >= k_) return;
+  current_.insert(oid);
+  if (current_.size() > k_) {
+    // The object previously at rank k-1 slid to rank k and drops out.
+    const ObjectId pushed = ObjectAt(k_);
+    MODB_DCHECK(pushed != kInvalidObjectId);
+    current_.erase(pushed);
+  }
+  timeline_.Record(time, current_);
+}
+
+void KnnKernel::OnErase(double time, ObjectId oid) {
+  if (current_.erase(oid) == 0) return;
+  // Object-rank k-1 (if occupied post-erase) is the newly admitted object.
+  const ObjectId admitted = ObjectAt(k_ - 1);
+  if (admitted != kInvalidObjectId) current_.insert(admitted);
+  timeline_.Record(time, current_);
+}
+
+AnswerTimeline PastKnn(const MovingObjectDatabase& mod, GDistancePtr gdist,
+                       size_t k, TimeInterval interval,
+                       EventQueueKind queue_kind) {
+  PastQueryEngine engine(mod, std::move(gdist), interval, queue_kind);
+  KnnKernel kernel(&engine.state(), k);
+  engine.Run();
+  kernel.timeline().Finish(interval.hi);
+  return std::move(kernel.timeline());
+}
+
+std::set<ObjectId> SnapshotKnn(const MovingObjectDatabase& mod,
+                               const GDistance& gdist, size_t k, double t) {
+  std::vector<std::pair<double, ObjectId>> values;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    if (!trajectory.DefinedAt(t)) continue;
+    values.emplace_back(gdist.Curve(trajectory).Eval(t), oid);
+  }
+  std::sort(values.begin(), values.end());
+  std::set<ObjectId> answer;
+  for (size_t i = 0; i < values.size() && i < k; ++i) {
+    answer.insert(values[i].second);
+  }
+  return answer;
+}
+
+}  // namespace modb

@@ -1,0 +1,67 @@
+#ifndef MODB_QUERIES_KNN_H_
+#define MODB_QUERIES_KNN_H_
+
+#include <set>
+
+#include "core/answer.h"
+#include "core/future_engine.h"
+#include "core/past_engine.h"
+#include "core/sweep_state.h"
+
+namespace modb {
+
+// Incremental k-NN maintenance (Examples 6/10: the k lowest curves under
+// the g-distance order). Attaches to a SweepState as a listener and keeps
+// the current answer — the objects at the k lowest non-sentinel ranks —
+// in sync with every support change, at O((S+1) log N) per change where S
+// is the number of sentinels in the state (range-query thresholds).
+// Sentinels are transparent: a k-NN kernel and several WithinKernels can
+// share one sweep, which is the point of the paper's single-support
+// design (one order, many queries).
+//
+// Ties at the k-th rank are resolved by the maintained order (the paper's
+// answer is ambiguous at tie instants; between ties the answers agree).
+class KnnKernel : public SweepListener {
+ public:
+  // Attaches to `state` (not owned; must outlive the kernel).
+  KnnKernel(SweepState* state, size_t k);
+
+  size_t k() const { return k_; }
+  const std::set<ObjectId>& Current() const { return current_; }
+
+  // The recorded evolution; call Finish(end) when the sweep is done.
+  AnswerTimeline& timeline() { return timeline_; }
+
+  void OnSwap(double time, ObjectId left, ObjectId right) override;
+  void OnInsert(double time, ObjectId oid) override;
+  void OnErase(double time, ObjectId oid) override;
+
+ private:
+  // Rank of `oid` counting only non-sentinel objects.
+  size_t ObjectRank(ObjectId oid) const;
+  // The object at non-sentinel rank `rank`, or kInvalidObjectId if fewer
+  // objects exist.
+  ObjectId ObjectAt(size_t rank) const;
+
+  SweepState* state_;
+  size_t k_;
+  std::set<ObjectId> current_;
+  AnswerTimeline timeline_;
+};
+
+// One-shot past k-NN (Theorem 4 path): sweeps `interval` and returns the
+// full snapshot timeline.
+AnswerTimeline PastKnn(const MovingObjectDatabase& mod, GDistancePtr gdist,
+                       size_t k, TimeInterval interval,
+                       EventQueueKind queue_kind = EventQueueKind::kLeftist);
+
+// Direct O(N) snapshot evaluation at one instant — the trivially correct
+// reference the kernels are tested against. Ties at the k-th value admit
+// any resolution; this version keeps all tied objects only if they fit in
+// k, matching the kernel's rank rule.
+std::set<ObjectId> SnapshotKnn(const MovingObjectDatabase& mod,
+                               const GDistance& gdist, size_t k, double t);
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_KNN_H_

@@ -1,0 +1,100 @@
+#include "queries/query_server.h"
+
+namespace modb {
+
+QueryServer::QueryServer(MovingObjectDatabase mod, double start_time,
+                         EventQueueKind queue_kind)
+    : mod_(std::move(mod)), now_(start_time), queue_kind_(queue_kind) {
+  MODB_CHECK_GE(start_time, mod_.last_update_time());
+}
+
+QueryServer::EngineGroup& QueryServer::GroupFor(const std::string& key,
+                                                const GDistancePtr& gdist) {
+  auto it = engines_.find(key);
+  if (it != engines_.end()) return it->second;
+  EngineGroup group;
+  group.engine = std::make_unique<FutureQueryEngine>(
+      mod_, gdist, now_, kInf, queue_kind_);
+  auto [inserted, ok] = engines_.emplace(key, std::move(group));
+  MODB_CHECK(ok);
+  return inserted->second;
+}
+
+QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
+                            size_t k) {
+  EngineGroup& group = GroupFor(gdist_key, gdist);
+  const bool fresh = !group.engine->started();
+  group.knn_kernels.push_back(
+      std::make_unique<KnnKernel>(&group.engine->state(), k));
+  if (fresh) group.engine->Start();
+  const QueryId id = next_id_++;
+  queries_[id] = QueryRef{&group, /*is_knn=*/true,
+                          group.knn_kernels.size() - 1};
+  return id;
+}
+
+QueryId QueryServer::AddWithin(const std::string& gdist_key,
+                               GDistancePtr gdist, double threshold) {
+  EngineGroup& group = GroupFor(gdist_key, gdist);
+  const bool fresh = !group.engine->started();
+  group.within_kernels.push_back(std::make_unique<WithinKernel>(
+      &group.engine->state(), next_sentinel_--, threshold));
+  if (fresh) group.engine->Start();
+  const QueryId id = next_id_++;
+  queries_[id] = QueryRef{&group, /*is_knn=*/false,
+                          group.within_kernels.size() - 1};
+  return id;
+}
+
+Status QueryServer::ApplyUpdate(const Update& update) {
+  if (update.time < now_) {
+    return Status::FailedPrecondition("update precedes server time");
+  }
+  MODB_RETURN_IF_ERROR(mod_.Apply(update));
+  for (auto& [key, group] : engines_) {
+    MODB_RETURN_IF_ERROR(group.engine->ApplyUpdate(update));
+  }
+  now_ = update.time;
+  return Status::Ok();
+}
+
+void QueryServer::AdvanceTo(double t) {
+  MODB_CHECK_GE(t, now_);
+  for (auto& [key, group] : engines_) {
+    group.engine->AdvanceTo(t);
+  }
+  now_ = t;
+}
+
+const std::set<ObjectId>& QueryServer::Answer(QueryId id) const {
+  auto it = queries_.find(id);
+  MODB_CHECK(it != queries_.end()) << "unknown query id " << id;
+  const QueryRef& ref = it->second;
+  return ref.is_knn ? ref.group->knn_kernels[ref.index]->Current()
+                    : ref.group->within_kernels[ref.index]->Current();
+}
+
+const AnswerTimeline& QueryServer::Timeline(QueryId id) const {
+  auto it = queries_.find(id);
+  MODB_CHECK(it != queries_.end()) << "unknown query id " << id;
+  const QueryRef& ref = it->second;
+  return ref.is_knn ? ref.group->knn_kernels[ref.index]->timeline()
+                    : ref.group->within_kernels[ref.index]->timeline();
+}
+
+SweepStats QueryServer::TotalStats() const {
+  SweepStats total;
+  for (const auto& [key, group] : engines_) {
+    const SweepStats& stats = group.engine->stats();
+    total.swaps += stats.swaps;
+    total.inserts += stats.inserts;
+    total.erases += stats.erases;
+    total.curve_rebuilds += stats.curve_rebuilds;
+    total.crossings_computed += stats.crossings_computed;
+    total.max_queue_length =
+        std::max(total.max_queue_length, stats.max_queue_length);
+  }
+  return total;
+}
+
+}  // namespace modb

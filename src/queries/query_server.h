@@ -1,0 +1,96 @@
+#ifndef MODB_QUERIES_QUERY_SERVER_H_
+#define MODB_QUERIES_QUERY_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/future_engine.h"
+#include "queries/knn.h"
+#include "queries/within.h"
+
+namespace modb {
+
+// Handle for a registered standing query.
+using QueryId = int64_t;
+
+// A multi-query continuing-query service: the deployment shape the paper's
+// design implies. Many standing queries — k-NN displays, proximity alert
+// rings, dispatch rankings — run against one database; queries that share
+// a g-distance share a single sweep (one object order, one event queue:
+// the support is query-independent, only the kernels differ), so the
+// per-update cost is paid once per *distance*, not once per query.
+//
+// Usage:
+//   QueryServer server(std::move(mod), /*start_time=*/0.0);
+//   QueryId nearest = server.AddKnn("radar", radar_gdist, 3);
+//   QueryId alert = server.AddWithin("radar", radar_gdist, 50.0 * 50.0);
+//   server.ApplyUpdate(u);           // fans out to every engine
+//   server.Answer(nearest);          // current valid answer
+//
+// The string key identifies the shared sweep; the GDistancePtr passed with
+// the first query under a key is used for the whole group (later calls
+// must pass an equivalent distance — not checked, by design: some callers
+// construct equal distances at different addresses).
+class QueryServer {
+ public:
+  // The server owns the MOD. `start_time` must be at or after the MOD's
+  // last update time.
+  QueryServer(MovingObjectDatabase mod, double start_time,
+              EventQueueKind queue_kind = EventQueueKind::kLeftist);
+
+  // Registers standing queries. O(N log N) for the first query under a
+  // key (builds the sweep); O(N) kernel attach for subsequent ones.
+  QueryId AddKnn(const std::string& gdist_key, GDistancePtr gdist, size_t k);
+  QueryId AddWithin(const std::string& gdist_key, GDistancePtr gdist,
+                    double threshold);
+
+  // Applies one update to the database and to every registered sweep.
+  Status ApplyUpdate(const Update& update);
+
+  // Advances every sweep's clock (answers become current for time t).
+  void AdvanceTo(double t);
+
+  double now() const { return now_; }
+  size_t query_count() const { return queries_.size(); }
+  // Number of distinct sweeps (shared g-distance groups).
+  size_t engine_count() const { return engines_.size(); }
+
+  // The current (valid) answer of a standing query.
+  const std::set<ObjectId>& Answer(QueryId id) const;
+
+  // The recorded evolution of a standing query since registration. The
+  // timeline is unfinished (grows as the server advances).
+  const AnswerTimeline& Timeline(QueryId id) const;
+
+  // Aggregate sweep statistics across all engines.
+  SweepStats TotalStats() const;
+
+ private:
+  struct EngineGroup {
+    std::unique_ptr<FutureQueryEngine> engine;
+    std::vector<std::unique_ptr<KnnKernel>> knn_kernels;
+    std::vector<std::unique_ptr<WithinKernel>> within_kernels;
+  };
+  struct QueryRef {
+    EngineGroup* group;
+    bool is_knn;
+    size_t index;
+  };
+
+  EngineGroup& GroupFor(const std::string& key, const GDistancePtr& gdist);
+
+  MovingObjectDatabase mod_;  // Mirror of record; engines hold copies.
+  double now_;
+  EventQueueKind queue_kind_;
+  std::map<std::string, EngineGroup> engines_;
+  std::map<QueryId, QueryRef> queries_;
+  QueryId next_id_ = 0;
+  ObjectId next_sentinel_ = -1000000;
+};
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_QUERY_SERVER_H_

@@ -1,0 +1,47 @@
+#include "queries/region_queries.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "queries/within.h"
+
+namespace modb {
+
+AnswerTimeline InsideRegionTimeline(const MovingObjectDatabase& mod,
+                                    const ConvexPolygon& region,
+                                    TimeInterval interval) {
+  return PastWithin(mod, std::make_shared<RegionGDistance>(region),
+                    /*threshold=*/0.0, interval);
+}
+
+std::vector<RegionEntry> EnteringEvents(const AnswerTimeline& timeline,
+                                        double jitter_tol) {
+  // Keep only segments of physical length; flickers at root-isolation
+  // noise scale carry no information.
+  std::vector<const AnswerTimeline::Segment*> cells;
+  for (const auto& segment : timeline.segments()) {
+    if (segment.interval.Length() > jitter_tol) cells.push_back(&segment);
+  }
+  std::vector<RegionEntry> entries;
+  for (size_t i = 1; i < cells.size(); ++i) {
+    for (ObjectId oid : cells[i]->answer) {
+      if (cells[i - 1]->answer.count(oid) == 0) {
+        entries.push_back(RegionEntry{oid, cells[i]->interval.lo});
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const RegionEntry& a, const RegionEntry& b) {
+              return a.time != b.time ? a.time < b.time : a.oid < b.oid;
+            });
+  return entries;
+}
+
+std::vector<RegionEntry> EnteringRegion(const MovingObjectDatabase& mod,
+                                        const ConvexPolygon& region,
+                                        double tau1, double tau2) {
+  return EnteringEvents(
+      InsideRegionTimeline(mod, region, TimeInterval(tau1, tau2)));
+}
+
+}  // namespace modb

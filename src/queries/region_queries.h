@@ -1,0 +1,54 @@
+#ifndef MODB_QUERIES_REGION_QUERIES_H_
+#define MODB_QUERIES_REGION_QUERIES_H_
+
+#include <vector>
+
+#include "core/answer.h"
+#include "gdist/region.h"
+#include "geom/interval.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// Example 3's query family: spatial-region membership over time.
+
+// The timeline of objects inside `region` (boundary inclusive) during
+// `interval` — a threshold-0 range query under the signed region
+// distance, evaluated with the Theorem 4 sweep.
+AnswerTimeline InsideRegionTimeline(const MovingObjectDatabase& mod,
+                                    const ConvexPolygon& region,
+                                    TimeInterval interval);
+
+// One boundary crossing into the region.
+struct RegionEntry {
+  ObjectId oid = kInvalidObjectId;
+  double time = 0.0;
+
+  friend bool operator==(const RegionEntry& a, const RegionEntry& b) {
+    return a.oid == b.oid && a.time == b.time;
+  }
+};
+
+// The entry events in a membership timeline: (o, t) such that o is in the
+// region from t but was not immediately before (Example 3's "entering"
+// condition). Objects already inside at the timeline start are not
+// "entering" (their prior history is unknown). Sorted by time, ties by
+// OID.
+//
+// Segments shorter than `jitter_tol` are ignored: when a boundary crossing
+// coincides with a curve piece boundary, root isolation can report the
+// crossing twice a few ulps apart, and the sweep then emits a
+// nanosecond-scale membership flicker; physical entries are not that
+// short.
+std::vector<RegionEntry> EnteringEvents(const AnswerTimeline& timeline,
+                                        double jitter_tol = 1e-7);
+
+// Example 3 end-to-end: all (aircraft, time) pairs entering `region`
+// between τ1 and τ2.
+std::vector<RegionEntry> EnteringRegion(const MovingObjectDatabase& mod,
+                                        const ConvexPolygon& region,
+                                        double tau1, double tau2);
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_REGION_QUERIES_H_

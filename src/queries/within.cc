@@ -1,0 +1,73 @@
+#include "queries/within.h"
+
+namespace modb {
+
+WithinKernel::WithinKernel(SweepState* state, ObjectId sentinel_oid,
+                           double threshold)
+    : state_(state),
+      sentinel_(sentinel_oid),
+      threshold_(threshold),
+      timeline_(state->now()) {
+  MODB_CHECK(state_ != nullptr);
+  MODB_CHECK(!state_->ContainsObject(sentinel_oid))
+      << "sentinel OID collides with an object";
+  state_->AddListener(this);
+  state_->InsertSentinel(sentinel_oid, threshold);
+  // Adopt objects already below the threshold (kernel attached mid-sweep).
+  // Other queries' sentinels may share the order; they are not answers.
+  const size_t sentinel_rank = state_->order().Rank(sentinel_);
+  for (size_t rank = 0; rank < sentinel_rank; ++rank) {
+    const ObjectId oid = state_->order().At(rank);
+    if (!state_->IsSentinel(oid)) current_.insert(oid);
+  }
+  timeline_.Record(state_->now(), current_);
+}
+
+void WithinKernel::OnSwap(double time, ObjectId left, ObjectId right) {
+  if (right == sentinel_ && !state_->IsSentinel(left)) {
+    // `left` rose above the threshold.
+    current_.erase(left);
+    timeline_.Record(time, current_);
+  } else if (left == sentinel_ && !state_->IsSentinel(right)) {
+    // `right` dropped below the threshold.
+    current_.insert(right);
+    timeline_.Record(time, current_);
+  }
+}
+
+void WithinKernel::OnInsert(double time, ObjectId oid) {
+  if (state_->IsSentinel(oid)) return;  // Ours or another query's.
+  if (state_->order().Rank(oid) < state_->order().Rank(sentinel_)) {
+    current_.insert(oid);
+    timeline_.Record(time, current_);
+  }
+}
+
+void WithinKernel::OnErase(double time, ObjectId oid) {
+  if (current_.erase(oid) > 0) {
+    timeline_.Record(time, current_);
+  }
+}
+
+AnswerTimeline PastWithin(const MovingObjectDatabase& mod, GDistancePtr gdist,
+                          double threshold, TimeInterval interval,
+                          ObjectId sentinel_oid, EventQueueKind queue_kind) {
+  PastQueryEngine engine(mod, std::move(gdist), interval, queue_kind);
+  WithinKernel kernel(&engine.state(), sentinel_oid, threshold);
+  engine.Run();
+  kernel.timeline().Finish(interval.hi);
+  return std::move(kernel.timeline());
+}
+
+std::set<ObjectId> SnapshotWithin(const MovingObjectDatabase& mod,
+                                  const GDistance& gdist, double threshold,
+                                  double t) {
+  std::set<ObjectId> answer;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    if (!trajectory.DefinedAt(t)) continue;
+    if (gdist.Curve(trajectory).Eval(t) <= threshold) answer.insert(oid);
+  }
+  return answer;
+}
+
+}  // namespace modb

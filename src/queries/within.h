@@ -1,0 +1,57 @@
+#ifndef MODB_QUERIES_WITHIN_H_
+#define MODB_QUERIES_WITHIN_H_
+
+#include <set>
+
+#include "core/answer.h"
+#include "core/past_engine.h"
+#include "core/sweep_state.h"
+
+namespace modb {
+
+// Incremental range ("within distance") maintenance: the objects o with
+// f_o(t) <= threshold (Example 11: "all flights within 50 km of Flight
+// 623", with f the squared Euclidean g-distance and threshold 50km²).
+//
+// Implementation is the paper's extension of the precedence relation to
+// real numbers: a constant *sentinel* curve at the threshold value joins
+// the order, and the answer is exactly the set of objects preceding the
+// sentinel. Threshold crossings then ARE order swaps with the sentinel —
+// no separate machinery.
+class WithinKernel : public SweepListener {
+ public:
+  // Attaches to `state` and inserts a sentinel with `sentinel_oid` (an OID
+  // that must not collide with any object). The state must already be at
+  // the time from which answers are wanted.
+  WithinKernel(SweepState* state, ObjectId sentinel_oid, double threshold);
+
+  double threshold() const { return threshold_; }
+  const std::set<ObjectId>& Current() const { return current_; }
+  AnswerTimeline& timeline() { return timeline_; }
+
+  void OnSwap(double time, ObjectId left, ObjectId right) override;
+  void OnInsert(double time, ObjectId oid) override;
+  void OnErase(double time, ObjectId oid) override;
+
+ private:
+  SweepState* state_;
+  ObjectId sentinel_;
+  double threshold_;
+  std::set<ObjectId> current_;
+  AnswerTimeline timeline_;
+};
+
+// One-shot past range query over `interval`.
+AnswerTimeline PastWithin(const MovingObjectDatabase& mod, GDistancePtr gdist,
+                          double threshold, TimeInterval interval,
+                          ObjectId sentinel_oid = -1000,
+                          EventQueueKind queue_kind = EventQueueKind::kLeftist);
+
+// Direct O(N) snapshot reference.
+std::set<ObjectId> SnapshotWithin(const MovingObjectDatabase& mod,
+                                  const GDistance& gdist, double threshold,
+                                  double t);
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_WITHIN_H_

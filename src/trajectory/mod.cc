@@ -1,0 +1,103 @@
+#include "trajectory/mod.h"
+
+#include <sstream>
+
+namespace modb {
+
+const Trajectory* MovingObjectDatabase::Find(ObjectId oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Status MovingObjectDatabase::Apply(const Update& update) {
+  if (update.time < last_update_time_) {
+    std::ostringstream msg;
+    msg << "update at " << update.time << " precedes last update time "
+        << last_update_time_;
+    return Status::FailedPrecondition(msg.str());
+  }
+  switch (update.kind) {
+    case UpdateKind::kNew: {
+      if (Contains(update.oid)) {
+        return Status::AlreadyExists("new() on an existing OID");
+      }
+      if (update.position.dim() != dim_ || update.velocity.dim() != dim_) {
+        return Status::InvalidArgument("new(): dimension mismatch");
+      }
+      objects_.emplace(update.oid,
+                       Trajectory::Linear(update.time, update.position,
+                                          update.velocity));
+      break;
+    }
+    case UpdateKind::kTerminate: {
+      auto it = objects_.find(update.oid);
+      if (it == objects_.end()) {
+        return Status::NotFound("terminate() on an unknown OID");
+      }
+      MODB_RETURN_IF_ERROR(it->second.Terminate(update.time));
+      break;
+    }
+    case UpdateKind::kChdir: {
+      auto it = objects_.find(update.oid);
+      if (it == objects_.end()) {
+        return Status::NotFound("chdir() on an unknown OID");
+      }
+      if (update.velocity.dim() != dim_) {
+        return Status::InvalidArgument("chdir(): dimension mismatch");
+      }
+      if (!it->second.DefinedAt(update.time)) {
+        return Status::OutOfRange(
+            "chdir(): trajectory not defined at the update time");
+      }
+      MODB_RETURN_IF_ERROR(it->second.AddTurn(update.time, update.velocity));
+      break;
+    }
+  }
+  last_update_time_ = update.time;
+  history_.push_back(update);
+  return Status::Ok();
+}
+
+Status MovingObjectDatabase::ApplyAll(const std::vector<Update>& updates) {
+  for (const Update& u : updates) {
+    MODB_RETURN_IF_ERROR(Apply(u));
+  }
+  return Status::Ok();
+}
+
+Status MovingObjectDatabase::Restore(ObjectId oid, Trajectory trajectory) {
+  if (Contains(oid)) {
+    return Status::AlreadyExists("Restore() on an existing OID");
+  }
+  MODB_RETURN_IF_ERROR(trajectory.Validate());
+  if (trajectory.dim() != dim_) {
+    return Status::InvalidArgument("Restore(): dimension mismatch");
+  }
+  for (double turn : trajectory.Turns()) {
+    if (turn > last_update_time_) {
+      return Status::FailedPrecondition(
+          "Restore(): turn after the last update time violates "
+          "Definition 2");
+    }
+  }
+  objects_.emplace(oid, std::move(trajectory));
+  return Status::Ok();
+}
+
+std::vector<ObjectId> MovingObjectDatabase::AliveAt(double t) const {
+  std::vector<ObjectId> alive;
+  for (const auto& [oid, trajectory] : objects_) {
+    if (trajectory.DefinedAt(t)) alive.push_back(oid);
+  }
+  return alive;
+}
+
+size_t MovingObjectDatabase::TotalPieces() const {
+  size_t total = 0;
+  for (const auto& [oid, trajectory] : objects_) {
+    total += trajectory.pieces().size();
+  }
+  return total;
+}
+
+}  // namespace modb

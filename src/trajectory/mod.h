@@ -1,0 +1,77 @@
+#ifndef MODB_TRAJECTORY_MOD_H_
+#define MODB_TRAJECTORY_MOD_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "trajectory/trajectory.h"
+#include "trajectory/update.h"
+
+namespace modb {
+
+// A moving object database (Definition 2): a finite set of OIDs, a mapping
+// from OIDs to trajectories, and the last update time τ. Every turn of
+// every trajectory is at or before τ — trajectories are known only as
+// currently extrapolated; everything after τ is prediction until further
+// updates arrive.
+//
+// Terminated objects remain in the map with a bounded domain (the paper's
+// terminate conjoins `t <= τ`), so past queries still see them during their
+// lifetime.
+class MovingObjectDatabase {
+ public:
+  // `dim` is the dimension n of the underlying space; `initial_time` is the
+  // initial τ (updates must be at or after it).
+  explicit MovingObjectDatabase(size_t dim, double initial_time = 0.0)
+      : dim_(dim), last_update_time_(initial_time) {
+    MODB_CHECK_GT(dim, 0u);
+  }
+
+  size_t dim() const { return dim_; }
+  // The paper's τ: the time of the last update.
+  double last_update_time() const { return last_update_time_; }
+  size_t size() const { return objects_.size(); }
+
+  bool Contains(ObjectId oid) const { return objects_.count(oid) > 0; }
+  // Null if absent.
+  const Trajectory* Find(ObjectId oid) const;
+
+  // Applies one update with Definition 3's preconditions. Chronological
+  // order is enforced non-strictly (time >= τ): the paper requires strict
+  // order, but simultaneous updates to distinct objects are common in
+  // practice and are harmless to the evaluation algorithms.
+  Status Apply(const Update& update);
+
+  // Applies a chronologically sorted batch; stops at the first failure.
+  Status ApplyAll(const std::vector<Update>& updates);
+
+  // Installs a complete trajectory directly — checkpoint restoration and
+  // deserialization, not normal operation (no history entry is recorded).
+  // The trajectory must validate and all its turns must be at or before
+  // the current last_update_time (Definition 2's invariant).
+  Status Restore(ObjectId oid, Trajectory trajectory);
+
+  // OIDs whose trajectory is defined at time t, in increasing OID order.
+  std::vector<ObjectId> AliveAt(double t) const;
+
+  // Deterministic iteration over all (oid, trajectory) pairs.
+  const std::map<ObjectId, Trajectory>& objects() const { return objects_; }
+
+  // Every update ever applied, in order.
+  const std::vector<Update>& history() const { return history_; }
+
+  // Total number of linear pieces across all trajectories — the MOD "size"
+  // that Proposition 1's polynomial bound is measured against.
+  size_t TotalPieces() const;
+
+ private:
+  size_t dim_;
+  double last_update_time_;
+  std::map<ObjectId, Trajectory> objects_;
+  std::vector<Update> history_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_TRAJECTORY_MOD_H_

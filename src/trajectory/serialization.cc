@@ -1,0 +1,182 @@
+#include "trajectory/serialization.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace modb {
+namespace {
+
+constexpr char kMagic[] = "MODB";
+constexpr char kVersion[] = "v1";
+
+void WriteDouble(std::ostream& out, double value) {
+  if (value == kInf) {
+    out << "inf";
+  } else if (value == -kInf) {
+    out << "-inf";
+  } else {
+    out << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << value;
+  }
+}
+
+Status ParseDouble(const std::string& token, double* value) {
+  if (token.empty()) return Status::InvalidArgument("empty number token");
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);  // Handles "inf"/"-inf" too.
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("not a number: " + token);
+  }
+  return Status::Ok();
+}
+
+Status ParseInt(const std::string& token, int64_t* value) {
+  if (token.empty()) return Status::InvalidArgument("empty integer token");
+  char* end = nullptr;
+  *value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("not an integer: " + token);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WriteMod(const MovingObjectDatabase& mod, std::ostream& out) {
+  out << kMagic << " " << kVersion << " dim=" << mod.dim() << " tau=";
+  WriteDouble(out, mod.last_update_time());
+  out << "\n";
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    out << "object " << oid << " end=";
+    WriteDouble(out, trajectory.end_time());
+    out << "\n";
+    for (const LinearPiece& piece : trajectory.pieces()) {
+      out << "piece ";
+      WriteDouble(out, piece.start);
+      for (size_t i = 0; i < mod.dim(); ++i) {
+        out << " ";
+        WriteDouble(out, piece.origin[i]);
+      }
+      for (size_t i = 0; i < mod.dim(); ++i) {
+        out << " ";
+        WriteDouble(out, piece.velocity[i]);
+      }
+      out << "\n";
+    }
+  }
+  out << "end\n";
+}
+
+std::string ModToString(const MovingObjectDatabase& mod) {
+  std::ostringstream out;
+  WriteMod(mod, out);
+  return out.str();
+}
+
+StatusOr<MovingObjectDatabase> ReadMod(std::istream& in) {
+  std::string magic, version, dim_field, tau_field;
+  if (!(in >> magic >> version >> dim_field >> tau_field)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (magic != kMagic || version != kVersion) {
+    return Status::InvalidArgument("bad magic/version: " + magic + " " +
+                                   version);
+  }
+  if (dim_field.rfind("dim=", 0) != 0 || tau_field.rfind("tau=", 0) != 0) {
+    return Status::InvalidArgument("malformed header fields");
+  }
+  int64_t dim_value = 0;
+  MODB_RETURN_IF_ERROR(ParseInt(dim_field.substr(4), &dim_value));
+  if (dim_value <= 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+  const size_t dim = static_cast<size_t>(dim_value);
+  double tau = 0.0;
+  MODB_RETURN_IF_ERROR(ParseDouble(tau_field.substr(4), &tau));
+
+  MovingObjectDatabase mod(dim, tau);
+
+  // Pending object being assembled.
+  bool have_object = false;
+  ObjectId oid = kInvalidObjectId;
+  double end_time = kInf;
+  Trajectory trajectory;
+
+  auto flush_object = [&]() -> Status {
+    if (!have_object) return Status::Ok();
+    if (trajectory.empty()) {
+      return Status::InvalidArgument("object without pieces");
+    }
+    if (end_time != kInf) {
+      MODB_RETURN_IF_ERROR(trajectory.Terminate(end_time));
+    }
+    MODB_RETURN_IF_ERROR(mod.Restore(oid, std::move(trajectory)));
+    trajectory = Trajectory();
+    have_object = false;
+    return Status::Ok();
+  };
+
+  std::string keyword;
+  while (in >> keyword) {
+    if (keyword == "end") {
+      MODB_RETURN_IF_ERROR(flush_object());
+      return mod;
+    }
+    if (keyword == "object") {
+      MODB_RETURN_IF_ERROR(flush_object());
+      std::string oid_token, end_field;
+      if (!(in >> oid_token >> end_field) ||
+          end_field.rfind("end=", 0) != 0) {
+        return Status::InvalidArgument("malformed object line");
+      }
+      MODB_RETURN_IF_ERROR(ParseInt(oid_token, &oid));
+      MODB_RETURN_IF_ERROR(ParseDouble(end_field.substr(4), &end_time));
+      have_object = true;
+      continue;
+    }
+    if (keyword == "piece") {
+      if (!have_object) {
+        return Status::InvalidArgument("piece outside an object");
+      }
+      std::string token;
+      if (!(in >> token)) return Status::InvalidArgument("truncated piece");
+      double start = 0.0;
+      MODB_RETURN_IF_ERROR(ParseDouble(token, &start));
+      Vec origin(dim), velocity(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        if (!(in >> token)) return Status::InvalidArgument("truncated piece");
+        MODB_RETURN_IF_ERROR(ParseDouble(token, &origin[i]));
+      }
+      for (size_t i = 0; i < dim; ++i) {
+        if (!(in >> token)) return Status::InvalidArgument("truncated piece");
+        MODB_RETURN_IF_ERROR(ParseDouble(token, &velocity[i]));
+      }
+      if (trajectory.empty()) {
+        trajectory = Trajectory::Linear(start, std::move(origin),
+                                        std::move(velocity));
+      } else {
+        // AddTurn re-derives the origin from continuity; verify the stored
+        // origin agrees (corrupted files should not load silently).
+        const Vec expected =
+            trajectory.pieces().back().PositionAt(start);
+        if (!expected.AlmostEquals(origin, 1e-6)) {
+          return Status::InvalidArgument("discontinuous piece chain");
+        }
+        MODB_RETURN_IF_ERROR(trajectory.AddTurn(start, std::move(velocity)));
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unknown keyword: " + keyword);
+  }
+  return Status::InvalidArgument("missing trailing 'end'");
+}
+
+StatusOr<MovingObjectDatabase> ModFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadMod(in);
+}
+
+}  // namespace modb

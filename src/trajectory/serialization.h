@@ -1,0 +1,35 @@
+#ifndef MODB_TRAJECTORY_SERIALIZATION_H_
+#define MODB_TRAJECTORY_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// Plain-text persistence for MODs — enough to checkpoint a database, ship
+// a workload to another process, or diff two states in a test. The format
+// is line-oriented and self-describing:
+//
+//   MODB v1 dim=<n> tau=<τ>
+//   object <oid> end=<end|inf>
+//   piece <start> <origin...> <velocity...>
+//   ...
+//   end
+//
+// Doubles round-trip exactly (hex-float free, max_digits10 precision).
+
+// Writes `mod` to `out`.
+void WriteMod(const MovingObjectDatabase& mod, std::ostream& out);
+std::string ModToString(const MovingObjectDatabase& mod);
+
+// Parses a MOD previously produced by WriteMod. Malformed input yields
+// InvalidArgument; the update history is not preserved (only the state).
+StatusOr<MovingObjectDatabase> ReadMod(std::istream& in);
+StatusOr<MovingObjectDatabase> ModFromString(const std::string& text);
+
+}  // namespace modb
+
+#endif  // MODB_TRAJECTORY_SERIALIZATION_H_

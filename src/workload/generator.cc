@@ -1,0 +1,148 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modb {
+
+Vec RandomPoint(Rng& rng, size_t dim, double lo, double hi) {
+  Vec point(dim);
+  for (size_t i = 0; i < dim; ++i) point[i] = rng.Uniform(lo, hi);
+  return point;
+}
+
+Vec RandomVelocity(Rng& rng, size_t dim, double speed_min, double speed_max) {
+  MODB_CHECK_GT(speed_min, 0.0);
+  MODB_CHECK_GE(speed_max, speed_min);
+  // Gaussian direction (uniform on the sphere), re-scaled to the speed.
+  Vec direction(dim);
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      direction[i] = rng.Gaussian(0.0, 1.0);
+      norm2 += direction[i] * direction[i];
+    }
+  } while (norm2 == 0.0);
+  const double speed = rng.Uniform(speed_min, speed_max);
+  return direction * (speed / std::sqrt(norm2));
+}
+
+MovingObjectDatabase RandomMod(const RandomModOptions& options) {
+  MODB_CHECK_GT(options.num_objects, 0u);
+  Rng rng(options.seed);
+  MovingObjectDatabase mod(options.dim, options.start_time);
+
+  // Cluster centers for the kClustered layout.
+  std::vector<Vec> centers;
+  if (options.distribution == SpatialDistribution::kClustered) {
+    MODB_CHECK_GT(options.clusters, 0u);
+    for (size_t c = 0; c < options.clusters; ++c) {
+      centers.push_back(
+          RandomPoint(rng, options.dim, options.box_lo, options.box_hi));
+    }
+  }
+
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    Vec position;
+    switch (options.distribution) {
+      case SpatialDistribution::kUniform:
+        position =
+            RandomPoint(rng, options.dim, options.box_lo, options.box_hi);
+        break;
+      case SpatialDistribution::kClustered: {
+        const Vec& center = centers[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(centers.size()) - 1))];
+        position = Vec(options.dim);
+        for (size_t d = 0; d < options.dim; ++d) {
+          position[d] = rng.Gaussian(center[d], options.cluster_stddev);
+        }
+        break;
+      }
+    }
+    const Status status = mod.Apply(Update::NewObject(
+        static_cast<ObjectId>(i), options.start_time, std::move(position),
+        RandomVelocity(rng, options.dim, options.speed_min,
+                       options.speed_max)));
+    MODB_CHECK(status.ok()) << status.ToString();
+  }
+  return mod;
+}
+
+MovingObjectDatabase HighwayMod(size_t num_objects, double length,
+                                double speed_min, double speed_max,
+                                uint64_t seed) {
+  MODB_CHECK_GT(num_objects, 0u);
+  MODB_CHECK_GT(length, 0.0);
+  Rng rng(seed);
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  for (size_t i = 0; i < num_objects; ++i) {
+    const double direction = (i % 2 == 0) ? 1.0 : -1.0;
+    const Status status = mod.Apply(Update::NewObject(
+        static_cast<ObjectId>(i), 0.0,
+        Vec{rng.Uniform(-0.5 * length, 0.5 * length)},
+        Vec{direction * rng.Uniform(speed_min, speed_max)}));
+    MODB_CHECK(status.ok()) << status.ToString();
+  }
+  return mod;
+}
+
+std::vector<Update> RandomUpdateStream(const MovingObjectDatabase& mod,
+                                       const RandomModOptions& mod_options,
+                                       const UpdateStreamOptions& options) {
+  Rng rng(options.seed);
+  // Simulate on a copy so every generated update is valid.
+  MovingObjectDatabase sim = mod;
+  ObjectId next_oid = 0;
+  for (const auto& [oid, trajectory] : sim.objects()) {
+    next_oid = std::max(next_oid, oid + 1);
+  }
+
+  const double total_weight =
+      options.chdir_weight + options.new_weight + options.terminate_weight;
+  MODB_CHECK_GT(total_weight, 0.0);
+
+  std::vector<Update> stream;
+  double time = sim.last_update_time();
+  while (stream.size() < options.count) {
+    time += rng.Exponential(1.0 / options.mean_gap);
+    const std::vector<ObjectId> alive = sim.AliveAt(time);
+    const double pick = rng.Uniform(0.0, total_weight);
+    Update update;
+    if (pick < options.chdir_weight && !alive.empty()) {
+      const ObjectId target = alive[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1))];
+      update = Update::ChangeDirection(
+          target, time,
+          RandomVelocity(rng, sim.dim(), mod_options.speed_min,
+                         mod_options.speed_max));
+    } else if (pick < options.chdir_weight + options.new_weight ||
+               alive.size() <= options.min_alive) {
+      update = Update::NewObject(
+          next_oid++, time,
+          RandomPoint(rng, sim.dim(), mod_options.box_lo, mod_options.box_hi),
+          RandomVelocity(rng, sim.dim(), mod_options.speed_min,
+                         mod_options.speed_max));
+    } else {
+      const ObjectId target = alive[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1))];
+      update = Update::TerminateObject(target, time);
+    }
+    const Status status = sim.Apply(update);
+    MODB_CHECK(status.ok()) << status.ToString();
+    stream.push_back(std::move(update));
+  }
+  return stream;
+}
+
+MovingObjectDatabase RandomHistoryMod(const RandomModOptions& mod_options,
+                                      const UpdateStreamOptions& stream) {
+  MovingObjectDatabase mod = RandomMod(mod_options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(mod, mod_options, stream);
+  const Status status = mod.ApplyAll(updates);
+  MODB_CHECK(status.ok()) << status.ToString();
+  return mod;
+}
+
+}  // namespace modb

@@ -1,0 +1,87 @@
+#ifndef MODB_WORKLOAD_GENERATOR_H_
+#define MODB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/vec.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// Seeded synthetic MOD generators. The paper has no experimental section;
+// these workloads drive the shape-checking benchmarks (experiments E1-E6,
+// E12), so all parameters appear here and every run is reproducible from
+// its printed seed.
+
+// How initial positions are laid out.
+enum class SpatialDistribution {
+  kUniform,    // i.i.d. uniform in the box.
+  kClustered,  // Gaussian clusters with uniform centers (hot spots:
+               // airports, cities) — more curve crossings near cluster
+               // fly-bys, a harsher workload for the sweep.
+};
+
+struct RandomModOptions {
+  size_t num_objects = 100;
+  size_t dim = 2;
+  double box_lo = -1000.0;
+  double box_hi = 1000.0;
+  double speed_min = 1.0;
+  double speed_max = 10.0;
+  double start_time = 0.0;
+  uint64_t seed = 42;
+  SpatialDistribution distribution = SpatialDistribution::kUniform;
+  size_t clusters = 5;           // kClustered only.
+  double cluster_stddev = 50.0;  // kClustered only.
+};
+
+// A uniform point in [lo, hi]^dim.
+Vec RandomPoint(Rng& rng, size_t dim, double lo, double hi);
+
+// A velocity with uniform random direction and speed uniform in
+// [speed_min, speed_max].
+Vec RandomVelocity(Rng& rng, size_t dim, double speed_min, double speed_max);
+
+// A MOD with `num_objects` single-piece objects (OIDs 0..N-1) created at
+// `start_time` with uniform positions and velocities.
+MovingObjectDatabase RandomMod(const RandomModOptions& options);
+
+struct UpdateStreamOptions {
+  size_t count = 100;
+  // Gaps between consecutive updates are exponential with this mean.
+  double mean_gap = 1.0;
+  // Relative weights of the three kinds (Definition 3).
+  double chdir_weight = 0.8;
+  double new_weight = 0.1;
+  double terminate_weight = 0.1;
+  // Population floor: terminations are skipped below this.
+  size_t min_alive = 4;
+  uint64_t seed = 43;
+};
+
+// A chronological update stream valid against `mod`'s state (the stream is
+// simulated on a copy so chdir targets are alive, OIDs are fresh, etc.).
+// Position/velocity parameters reuse `mod_options`.
+std::vector<Update> RandomUpdateStream(const MovingObjectDatabase& mod,
+                                       const RandomModOptions& mod_options,
+                                       const UpdateStreamOptions& options);
+
+// A MOD with recorded history: RandomMod + an applied update stream — the
+// input shape for past queries (Theorem 4 benchmarks), whose trajectories
+// carry turns and bounded lifetimes.
+MovingObjectDatabase RandomHistoryMod(const RandomModOptions& mod_options,
+                                      const UpdateStreamOptions& stream);
+
+// A 1-D "highway": `num_objects` vehicles on a line, lanes encoded purely
+// by speed (alternating directions), densely packed — the adversarial
+// high-crossing-rate workload (every overtake is a g-distance crossing
+// against a roadside query point).
+MovingObjectDatabase HighwayMod(size_t num_objects, double length,
+                                double speed_min, double speed_max,
+                                uint64_t seed);
+
+}  // namespace modb
+
+#endif  // MODB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "workload/scenarios.h"
+
+#include <memory>
+
+#include "gdist/builtin.h"
+
+namespace modb {
+
+Trajectory Example1Aircraft() {
+  // x = (2,-1,0) t + (-40,23,30)  for 0 <= t <= 21,
+  // x = (0,-1,-5) t + (2,23,135)  for 21 <= t <= 22,
+  // x = (0.5,0,-1) t + (-9,1,47)  for 22 <= t.
+  Trajectory aircraft = Trajectory::FromGlobalForm(
+      0.0, Vec{2.0, -1.0, 0.0}, Vec{-40.0, 23.0, 30.0});
+  MODB_CHECK(aircraft.AddTurn(21.0, Vec{0.0, -1.0, -5.0}).ok());
+  MODB_CHECK(aircraft.AddTurn(22.0, Vec{0.5, 0.0, -1.0}).ok());
+  return aircraft;
+}
+
+Update Example2Landing(ObjectId oid) {
+  return Update::ChangeDirection(oid, 47.0, Vec{0.0, 0.0, 0.0});
+}
+
+Figure2Scenario MakeFigure2Scenario() {
+  Figure2Scenario scenario;
+  // Stationary query at the origin of a 1-D space; curves are squared
+  // positions.
+  //   o1: x1(t) = 20 - 0.5 t   -> f1(t) = (20 - 0.5t)², hits f2 = 100 at
+  //                               t = 20 (the expected exchange at D).
+  //   o2: x2(t) = 10           -> f2(t) = 100.
+  // Update A (t=5): o1 stops at 17.5 -> f1 = 306.25, never meets f2: the
+  // crossing at D disappears.
+  // Update B (t=10): o2 starts moving away at speed 1: x2 = t, so
+  // f2 = t² reaches 306.25 at t = 17.5 = C < D: o1 becomes closer earlier.
+  MovingObjectDatabase mod(/*dim=*/1, /*initial_time=*/0.0);
+  MODB_CHECK(mod.Apply(Update::NewObject(scenario.o1, 0.0, Vec{20.0},
+                                         Vec{-0.5}))
+                 .ok());
+  MODB_CHECK(
+      mod.Apply(Update::NewObject(scenario.o2, 0.0, Vec{10.0}, Vec{0.0}))
+          .ok());
+  scenario.mod = std::move(mod);
+  scenario.gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  scenario.update_a =
+      Update::ChangeDirection(scenario.o1, scenario.time_a, Vec{0.0});
+  scenario.update_b =
+      Update::ChangeDirection(scenario.o2, scenario.time_b, Vec{1.0});
+  return scenario;
+}
+
+Example12Scenario MakeExample12Scenario() {
+  Example12Scenario scenario;
+  // Stationary query at the origin of a 1-D space; f_o(t) = x_o(t)².
+  // Positions (all linear until the single update):
+  //   o1: x1(t) = 50 - 1.5 t         f1(0) = 2500
+  //   o2: x2(t) = 125/3 - (2/3) t    f2(0) ≈ 1736
+  //   o3: x3(t) = t - 10             f3(0) = 100
+  //   o4: x4(t) = -(5/9)(t-8) - 2    f4(0) ≈ 5.97
+  // Initial order: o4 < o3 < o2 < o1 (matching the figure).
+  // Crossings (each |x_a| = |x_b| with a single sign-change root inside
+  // [0, 40]):
+  //   (o3,o4): x3 = x4 at 8; x3 = -x4 at 17.
+  //   (o1,o2): x2 = x1 at 10 (x2 = -x1 at ~42.3, outside).
+  //   (o1,o3): x1 = x3 at 24 (x1 = -x3 at 80, outside).
+  //   (o2,o3): x2 = x3 at 31.
+  // Update at t = 20: chdir(o1, -4): x1 becomes 100 - 4t, which crosses
+  // x3 at 22 (and -x3 at 30) — the cancelled 24 is replaced by 22.
+  MovingObjectDatabase mod(/*dim=*/1, /*initial_time=*/0.0);
+  MODB_CHECK(mod.Apply(Update::NewObject(1, 0.0, Vec{50.0}, Vec{-1.5})).ok());
+  MODB_CHECK(mod.Apply(Update::NewObject(2, 0.0, Vec{125.0 / 3.0},
+                                         Vec{-2.0 / 3.0}))
+                 .ok());
+  MODB_CHECK(mod.Apply(Update::NewObject(3, 0.0, Vec{-10.0}, Vec{1.0})).ok());
+  MODB_CHECK(mod.Apply(Update::NewObject(
+                            4, 0.0, Vec{-2.0 + 40.0 / 9.0}, Vec{-5.0 / 9.0}))
+                 .ok());
+  scenario.mod = std::move(mod);
+  scenario.gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  scenario.update_at_20 = Update::ChangeDirection(1, 20.0, Vec{-4.0});
+  return scenario;
+}
+
+}  // namespace modb

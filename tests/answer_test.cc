@@ -1,0 +1,112 @@
+#include "core/answer.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+using Set = std::set<ObjectId>;
+
+TEST(AnswerTimelineTest, RecordBuildsSegments) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1, 2});
+  timeline.Record(5.0, Set{2, 3});
+  timeline.Record(8.0, Set{3});
+  timeline.Finish(10.0);
+  ASSERT_EQ(timeline.segments().size(), 3u);
+  EXPECT_EQ(timeline.segments()[0].interval, TimeInterval(0.0, 5.0));
+  EXPECT_EQ(timeline.segments()[0].answer, (Set{1, 2}));
+  EXPECT_EQ(timeline.segments()[2].interval, TimeInterval(8.0, 10.0));
+}
+
+TEST(AnswerTimelineTest, EqualSetsMerged) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1});
+  timeline.Record(3.0, Set{1});  // No-op.
+  timeline.Record(6.0, Set{2});
+  timeline.Finish(10.0);
+  ASSERT_EQ(timeline.segments().size(), 2u);
+  EXPECT_EQ(timeline.segments()[0].interval, TimeInterval(0.0, 6.0));
+}
+
+TEST(AnswerTimelineTest, RecordAtSameTimeReplacesPending) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1});
+  timeline.Record(0.0, Set{2});  // Same instant: the first never existed.
+  timeline.Finish(5.0);
+  ASSERT_EQ(timeline.segments().size(), 1u);
+  EXPECT_EQ(timeline.segments()[0].answer, (Set{2}));
+}
+
+TEST(AnswerTimelineTest, AnswerAtIsRightContinuous) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1});
+  timeline.Record(5.0, Set{2});
+  timeline.Finish(10.0);
+  EXPECT_EQ(timeline.AnswerAt(4.999), (Set{1}));
+  EXPECT_EQ(timeline.AnswerAt(5.0), (Set{2}));  // Boundary: new set.
+  EXPECT_EQ(timeline.AnswerAt(10.0), (Set{2}));
+}
+
+TEST(AnswerTimelineTest, ExistentialAndUniversal) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1, 2});
+  timeline.Record(5.0, Set{2, 3});
+  timeline.Finish(10.0);
+  EXPECT_EQ(timeline.Existential(), (Set{1, 2, 3}));
+  EXPECT_EQ(timeline.Universal(), (Set{2}));
+}
+
+TEST(AnswerTimelineTest, UniversalEmptyWhenDisjoint) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1});
+  timeline.Record(1.0, Set{2});
+  timeline.Finish(2.0);
+  EXPECT_TRUE(timeline.Universal().empty());
+}
+
+TEST(AnswerTimelineTest, ExplicitSegmentsWithPointSegments) {
+  AnswerTimeline timeline(0.0);
+  timeline.AddSegment(TimeInterval(0.0, 2.0), Set{1});
+  timeline.AddSegment(TimeInterval(2.0, 2.0), Set{1, 2});  // Equality instant.
+  timeline.AddSegment(TimeInterval(2.0, 5.0), Set{2});
+  timeline.Finish(5.0);
+  EXPECT_EQ(timeline.AnswerAt(1.0), (Set{1}));
+  EXPECT_EQ(timeline.AnswerAt(2.0), (Set{1, 2}));  // Point segment wins.
+  EXPECT_EQ(timeline.AnswerAt(3.0), (Set{2}));
+  // The instant participates in the universal semantics.
+  EXPECT_TRUE(timeline.Universal().empty());
+  EXPECT_EQ(timeline.Existential(), (Set{1, 2}));
+}
+
+TEST(AnswerTimelineTest, ContiguousEqualExplicitSegmentsMerge) {
+  AnswerTimeline timeline(0.0);
+  timeline.AddSegment(TimeInterval(0.0, 2.0), Set{1});
+  timeline.AddSegment(TimeInterval(2.0, 4.0), Set{1});
+  timeline.Finish(4.0);
+  ASSERT_EQ(timeline.segments().size(), 1u);
+  EXPECT_EQ(timeline.segments()[0].interval, TimeInterval(0.0, 4.0));
+}
+
+TEST(AnswerTimelineTest, EmptyTimeline) {
+  AnswerTimeline timeline(1.0);
+  timeline.Finish(1.0);
+  ASSERT_EQ(timeline.segments().size(), 1u);
+  EXPECT_TRUE(timeline.AnswerAt(1.0).empty());
+  EXPECT_TRUE(timeline.Existential().empty());
+}
+
+TEST(AnswerTimelineTest, NonMonotoneRecordDies) {
+  AnswerTimeline timeline(5.0);
+  EXPECT_DEATH(timeline.Record(4.0, Set{}), "");
+}
+
+TEST(AnswerTimelineTest, AnswerOutsideDies) {
+  AnswerTimeline timeline(0.0);
+  timeline.Record(0.0, Set{1});
+  timeline.Finish(2.0);
+  EXPECT_DEATH(timeline.AnswerAt(3.0), "outside");
+}
+
+}  // namespace
+}  // namespace modb

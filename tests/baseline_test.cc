@@ -1,0 +1,139 @@
+#include "baseline/naive.h"
+#include "baseline/song_roussopoulos.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "queries/within.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+TEST(NaiveBaselineTest, KnnAgreesWithSweep) {
+  const RandomModOptions mod_options{
+      .num_objects = 15, .dim = 2, .speed_max = 12.0, .seed = 601};
+  const UpdateStreamOptions stream{.count = 30, .mean_gap = 2.0, .seed = 602};
+  const MovingObjectDatabase mod = RandomHistoryMod(mod_options, stream);
+  const auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  const TimeInterval interval(0.0, 70.0);
+
+  for (size_t k : {1u, 4u}) {
+    const NaiveResult naive = NaiveKnnTimeline(mod, *gdist, k, interval);
+    const AnswerTimeline sweep = PastKnn(mod, gdist, k, interval);
+    for (const auto& segment : naive.timeline.segments()) {
+      if (segment.interval.Length() < 1e-7) continue;
+      const double t = 0.5 * (segment.interval.lo + segment.interval.hi);
+      EXPECT_EQ(naive.timeline.AnswerAt(t), sweep.AnswerAt(t))
+          << "k=" << k << " t=" << t;
+    }
+    EXPECT_GT(naive.stats.pairs, 0u);
+    EXPECT_GT(naive.stats.cells, 0u);
+  }
+}
+
+TEST(NaiveBaselineTest, WithinAgreesWithSweep) {
+  const RandomModOptions mod_options{
+      .num_objects = 12, .dim = 2, .box_lo = -150.0, .box_hi = 150.0,
+      .seed = 611};
+  const MovingObjectDatabase mod = RandomMod(mod_options);
+  const auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  const double threshold = 120.0 * 120.0;
+  const TimeInterval interval(0.0, 50.0);
+  const NaiveResult naive =
+      NaiveWithinTimeline(mod, *gdist, threshold, interval);
+  const AnswerTimeline sweep = PastWithin(mod, gdist, threshold, interval);
+  for (const auto& segment : naive.timeline.segments()) {
+    if (segment.interval.Length() < 1e-7) continue;
+    const double t = 0.5 * (segment.interval.lo + segment.interval.hi);
+    EXPECT_EQ(naive.timeline.AnswerAt(t), sweep.AnswerAt(t)) << "t=" << t;
+  }
+}
+
+TEST(SongRoussopoulosTest, ExactAtRefreshInstant) {
+  Rng rng(620);
+  std::vector<std::pair<ObjectId, Vec>> points;
+  for (int i = 0; i < 100; ++i) {
+    points.emplace_back(i, RandomPoint(rng, 2, -100.0, 100.0));
+  }
+  SongRoussopoulosKnn baseline(points, /*k=*/5);
+  const Vec query = RandomPoint(rng, 2, -100.0, 100.0);
+  const std::set<ObjectId> answer = baseline.Refresh(query);
+  // Brute-force reference.
+  std::vector<std::pair<double, ObjectId>> brute;
+  for (const auto& [oid, p] : points) {
+    brute.emplace_back((p - query).SquaredLength(), oid);
+  }
+  std::sort(brute.begin(), brute.end());
+  std::set<ObjectId> expected;
+  for (size_t i = 0; i < 5; ++i) expected.insert(brute[i].second);
+  EXPECT_EQ(answer, expected);
+  EXPECT_EQ(baseline.refresh_count(), 1u);
+}
+
+TEST(SongRoussopoulosTest, HeldAnswerGoesStaleBetweenRefreshes) {
+  // The §5 criticism: with two stationary objects and a moving query, the
+  // closeness exchange between refreshes is missed.
+  const std::vector<std::pair<ObjectId, Vec>> points = {
+      {1, Vec{0.0, 0.0}}, {2, Vec{100.0, 0.0}}};
+  SongRoussopoulosKnn baseline(points, /*k=*/1);
+  // Query starts at x=10 (o1 closer) and moves right.
+  baseline.Refresh(Vec{10.0, 0.0});
+  EXPECT_EQ(baseline.Current(), (std::set<ObjectId>{1}));
+  // Query is now at x=90: o2 is actually closer, but without a refresh the
+  // held answer is stale.
+  EXPECT_EQ(baseline.Current(), (std::set<ObjectId>{1}));  // Stale!
+  baseline.Refresh(Vec{90.0, 0.0});
+  EXPECT_EQ(baseline.Current(), (std::set<ObjectId>{2}));
+}
+
+TEST(SongRoussopoulosTest, StalenessDecreasesWithRefreshRate) {
+  // Quantify E9's effect on a line-crossing scenario: the fraction of
+  // sampled instants with a wrong answer shrinks as refreshes densify.
+  Rng rng(630);
+  std::vector<std::pair<ObjectId, Vec>> points;
+  for (int i = 0; i < 50; ++i) {
+    points.emplace_back(i, RandomPoint(rng, 2, -100.0, 100.0));
+  }
+  // Query sweeps across the field.
+  const auto query_at = [](double t) { return Vec{-100.0 + 2.0 * t, 5.0}; };
+
+  const auto error_fraction = [&](double refresh_period) {
+    SongRoussopoulosKnn baseline(points, /*k=*/1);
+    double next_refresh = 0.0;
+    int wrong = 0, total = 0;
+    for (double t = 0.0; t <= 100.0; t += 0.25) {
+      if (t >= next_refresh) {
+        baseline.Refresh(query_at(t));
+        next_refresh = t + refresh_period;
+      }
+      // Exact answer by brute force.
+      double best = kInf;
+      ObjectId best_oid = kInvalidObjectId;
+      for (const auto& [oid, p] : points) {
+        const double d = (p - query_at(t)).SquaredLength();
+        if (d < best) {
+          best = d;
+          best_oid = oid;
+        }
+      }
+      wrong += (baseline.Current().count(best_oid) == 0) ? 1 : 0;
+      ++total;
+    }
+    return static_cast<double>(wrong) / total;
+  };
+
+  const double sparse = error_fraction(20.0);
+  const double dense = error_fraction(1.0);
+  EXPECT_GT(sparse, dense);
+  EXPECT_GT(sparse, 0.05);  // Sparse refreshes are visibly wrong.
+  EXPECT_LT(dense, 0.05);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,92 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace modb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactories) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+Status FailsThenPropagates(bool fail) {
+  MODB_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::InvalidArgument("outer");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsThenPropagates(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  const StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_DEATH(v.value(), "nope");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  MODB_CHECK(1 + 1 == 2) << "never printed";
+  MODB_CHECK_EQ(2, 2);
+  MODB_CHECK_LT(1, 2);
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(MODB_CHECK(false) << "context " << 42, "context 42");
+  EXPECT_DEATH(MODB_CHECK_EQ(1, 2), "MODB_CHECK failed");
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(5), b(5), c(6);
+  const double va = a.Uniform(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(va, b.Uniform(0.0, 1.0));
+  EXPECT_NE(va, c.Uniform(0.0, 1.0));
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const int64_t n = rng.UniformInt(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+    EXPECT_GT(rng.Exponential(4.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace modb

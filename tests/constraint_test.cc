@@ -1,0 +1,109 @@
+#include "constraint/linear_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace modb {
+namespace {
+
+TEST(LinearTermTest, EvalAndToString) {
+  LinearTerm term;
+  term.coeffs["x0"] = 2.0;
+  term.coeffs["t"] = -1.0;
+  term.constant = 3.0;
+  EXPECT_DOUBLE_EQ(term.Eval({{"x0", 5.0}, {"t", 4.0}}), 9.0);
+  const std::string s = term.ToString();
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("t"), std::string::npos);
+}
+
+TEST(LinearConstraintTest, AllOperators) {
+  LinearConstraint c;
+  c.term.coeffs["x"] = 1.0;
+  c.term.constant = -5.0;  // x - 5 op 0.
+  const std::map<std::string, double> below{{"x", 4.0}};
+  const std::map<std::string, double> at{{"x", 5.0}};
+  const std::map<std::string, double> above{{"x", 6.0}};
+
+  c.op = ConstraintOp::kEq;
+  EXPECT_FALSE(c.Satisfied(below));
+  EXPECT_TRUE(c.Satisfied(at));
+  c.op = ConstraintOp::kLe;
+  EXPECT_TRUE(c.Satisfied(below));
+  EXPECT_TRUE(c.Satisfied(at));
+  EXPECT_FALSE(c.Satisfied(above));
+  c.op = ConstraintOp::kLt;
+  EXPECT_TRUE(c.Satisfied(below));
+  EXPECT_FALSE(c.Satisfied(at));
+  c.op = ConstraintOp::kGe;
+  EXPECT_FALSE(c.Satisfied(below));
+  EXPECT_TRUE(c.Satisfied(above));
+  c.op = ConstraintOp::kGt;
+  EXPECT_FALSE(c.Satisfied(at));
+  EXPECT_TRUE(c.Satisfied(above));
+}
+
+TEST(TrajectoryToConstraintsTest, Example1RoundTrip) {
+  // The Definition 1 encoding must be satisfied by exactly the points on
+  // the trajectory.
+  const Trajectory aircraft = Example1Aircraft();
+  const DnfFormula formula = TrajectoryToConstraints(aircraft);
+  ASSERT_EQ(formula.disjuncts.size(), 3u);  // Three linear pieces.
+
+  // On-trajectory samples satisfy the formula.
+  for (double t : {0.0, 10.0, 21.0, 21.5, 22.0, 30.0, 47.0}) {
+    EXPECT_TRUE(formula.Satisfied(TrajectoryPoint(aircraft, t)))
+        << "t=" << t;
+  }
+  // Off-trajectory points do not.
+  auto off = TrajectoryPoint(aircraft, 10.0);
+  off["x0"] += 1.0;
+  EXPECT_FALSE(formula.Satisfied(off));
+  // A correct position at the wrong time also fails.
+  auto wrong_time = TrajectoryPoint(aircraft, 10.0);
+  wrong_time["t"] = 35.0;
+  EXPECT_FALSE(formula.Satisfied(wrong_time));
+}
+
+TEST(TrajectoryToConstraintsTest, BoundedPieceHasUpperTimeBound) {
+  Trajectory t = Trajectory::Linear(0.0, Vec{0.0}, Vec{1.0});
+  ASSERT_TRUE(t.Terminate(5.0).ok());
+  const DnfFormula formula = TrajectoryToConstraints(t);
+  EXPECT_TRUE(formula.Satisfied(TrajectoryPoint(t, 5.0)));
+  // Beyond the termination time nothing satisfies.
+  EXPECT_FALSE(formula.Satisfied({{"t", 6.0}, {"x0", 6.0}}));
+}
+
+TEST(TrajectoryToConstraintsTest, RandomTrajectoriesRoundTrip) {
+  const RandomModOptions options{.num_objects = 10, .dim = 3, .seed = 701};
+  const UpdateStreamOptions stream{.count = 40, .seed = 702};
+  const MovingObjectDatabase mod = RandomHistoryMod(options, stream);
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    const DnfFormula formula = TrajectoryToConstraints(trajectory);
+    const TimeInterval domain = trajectory.Domain();
+    const double hi = std::min(domain.hi, domain.lo + 100.0);
+    for (double f = 0.0; f <= 1.0; f += 0.25) {
+      const double t = domain.lo + f * (hi - domain.lo);
+      EXPECT_TRUE(formula.Satisfied(TrajectoryPoint(trajectory, t)))
+          << "oid " << oid << " t " << t;
+      auto off = TrajectoryPoint(trajectory, t);
+      off["x1"] += 0.5;
+      EXPECT_FALSE(formula.Satisfied(off));
+    }
+  }
+}
+
+TEST(DnfFormulaTest, ToStringShowsExample1Shape) {
+  const DnfFormula formula = TrajectoryToConstraints(Example1Aircraft());
+  const std::string s = formula.ToString();
+  // Three disjuncts joined by \/, each a conjunction with /\.
+  EXPECT_NE(s.find("\\/"), std::string::npos);
+  EXPECT_NE(s.find("/\\"), std::string::npos);
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("<= 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modb

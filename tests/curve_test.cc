@@ -1,0 +1,104 @@
+#include "gdist/curve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+GCurve Line(double intercept, double slope, double lo = 0.0,
+            double hi = kInf) {
+  return GCurve::FromPoly(
+      PiecewisePoly::SinglePiece(Polynomial({intercept, slope}), lo, hi));
+}
+
+TEST(GCurveTest, PolynomialEvalAndDomain) {
+  const GCurve c = Line(1.0, 2.0, 0.0, 10.0);
+  EXPECT_TRUE(c.is_polynomial());
+  EXPECT_DOUBLE_EQ(c.Eval(3.0), 7.0);
+  EXPECT_EQ(c.Domain(), TimeInterval(0.0, 10.0));
+}
+
+TEST(GCurveTest, NumericEvalAndDomain) {
+  const GCurve c = GCurve::FromFunction(
+      [](double t) { return std::sin(t); }, TimeInterval(0.0, 10.0), 0.1);
+  EXPECT_FALSE(c.is_polynomial());
+  EXPECT_NEAR(c.Eval(1.0), std::sin(1.0), 1e-12);
+  EXPECT_EQ(c.Domain(), TimeInterval(0.0, 10.0));
+}
+
+TEST(GCurveTest, PolyAccessorOnNumericDies) {
+  const GCurve c = GCurve::FromFunction([](double) { return 0.0; },
+                                        TimeInterval(0.0, 1.0), 0.1);
+  EXPECT_DEATH(c.poly(), "is_polynomial");
+}
+
+TEST(FirstTimeAboveTest, ExactForPolynomials) {
+  // a = t, b = 5: a rises above b at 5.
+  const GCurve a = Line(0.0, 1.0);
+  const GCurve b = Line(5.0, 0.0);
+  const auto t = GCurve::FirstTimeAbove(a, b, 0.0, 100.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 5.0, 1e-9);
+  // b never rises above a after 5.
+  EXPECT_FALSE(GCurve::FirstTimeAbove(b, a, 6.0, 100.0).has_value());
+}
+
+TEST(FirstTimeAboveTest, RespectsDomains) {
+  const GCurve a = Line(0.0, 1.0, 0.0, 3.0);  // Ends before the crossing.
+  const GCurve b = Line(5.0, 0.0);
+  EXPECT_FALSE(GCurve::FirstTimeAbove(a, b, 0.0, 100.0).has_value());
+}
+
+TEST(FirstTimeAboveTest, NumericBracketsAndBisects) {
+  // sin(t) rises above 0 just after 2π when starting in (π, 2π).
+  const GCurve a = GCurve::FromFunction(
+      [](double t) { return std::sin(t); }, TimeInterval(0.0, 20.0), 0.05);
+  const GCurve b = Line(0.0, 0.0, 0.0, 20.0);
+  const auto t = GCurve::FirstTimeAbove(a, b, 4.0, 20.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.0 * M_PI, 1e-6);
+}
+
+TEST(FirstTimeAboveTest, MixedPolynomialNumeric) {
+  // Numeric curve t² against polynomial line 4: crossing at 2.
+  const GCurve a = GCurve::FromFunction(
+      [](double t) { return t * t; }, TimeInterval(0.0, 10.0), 0.1);
+  const GCurve b = Line(4.0, 0.0, 0.0, 10.0);
+  const auto t = GCurve::FirstTimeAbove(a, b, 0.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.0, 1e-6);
+}
+
+TEST(FirstTimeAboveTest, NumericNeverAbove) {
+  const GCurve a = GCurve::FromFunction([](double) { return -1.0; },
+                                        TimeInterval(0.0, 10.0), 0.5);
+  const GCurve b = Line(0.0, 0.0, 0.0, 10.0);
+  EXPECT_FALSE(GCurve::FirstTimeAbove(a, b, 0.0, 10.0).has_value());
+}
+
+TEST(FirstTimeAboveTest, EmptyWindow) {
+  const GCurve a = Line(0.0, 1.0, 0.0, 3.0);
+  const GCurve b = Line(0.0, 1.0, 5.0, 9.0);  // Disjoint domains.
+  EXPECT_FALSE(GCurve::FirstTimeAbove(a, b, 0.0, 100.0).has_value());
+}
+
+TEST(FirstTimeAboveTest, TangencyDoesNotSwap) {
+  // a = 5 - (t-3)², b = 5: a touches b from below at 3 without crossing.
+  const GCurve a = GCurve::FromPoly(PiecewisePoly::SinglePiece(
+      Polynomial({-4.0, 6.0, -1.0}), 0.0, 10.0));
+  const GCurve b = Line(5.0, 0.0, 0.0, 10.0);
+  EXPECT_FALSE(GCurve::FirstTimeAbove(a, b, 0.0, 10.0).has_value());
+}
+
+TEST(FirstTimeAboveTest, AlreadyAboveReturnsLo) {
+  const GCurve a = Line(10.0, 0.0, 0.0, 10.0);
+  const GCurve b = Line(0.0, 0.0, 0.0, 10.0);
+  const auto t = GCurve::FirstTimeAbove(a, b, 2.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2.0);
+}
+
+}  // namespace
+}  // namespace modb

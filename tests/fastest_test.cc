@@ -1,0 +1,96 @@
+#include "queries/fastest.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+// Three police cars converging on an incident at the origin.
+MovingObjectDatabase PoliceMod() {
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  // Car 1: 50 away, speed 10 -> 5 time units.
+  EXPECT_TRUE(
+      mod.Apply(Update::NewObject(1, 0.0, Vec{50.0, 0.0}, Vec{10.0, 0.0}))
+          .ok());
+  // Car 2: 30 away, speed 5 -> 6 time units.
+  EXPECT_TRUE(
+      mod.Apply(Update::NewObject(2, 0.0, Vec{0.0, 30.0}, Vec{0.0, 5.0}))
+          .ok());
+  // Car 3: 80 away, speed 40 -> 2 time units (the fastest).
+  EXPECT_TRUE(
+      mod.Apply(Update::NewObject(3, 0.0, Vec{-80.0, 0.0}, Vec{40.0, 0.0}))
+          .ok());
+  return mod;
+}
+
+TEST(FastestArrivalTest, PicksMinimalInterceptionTime) {
+  const MovingObjectDatabase mod = PoliceMod();
+  EXPECT_EQ(FastestArrivalAt(mod, Vec{0.0, 0.0}, 0.0),
+            (std::set<ObjectId>{3}));
+}
+
+TEST(FastestArrivalTest, CanReachWithin) {
+  const MovingObjectDatabase mod = PoliceMod();
+  // Within 2.5 time units: only car 3.
+  EXPECT_EQ(CanReachWithin(mod, Vec{0.0, 0.0}, 2.5, 0.0),
+            (std::set<ObjectId>{3}));
+  // Within 5.5: cars 1 and 3.
+  EXPECT_EQ(CanReachWithin(mod, Vec{0.0, 0.0}, 5.5, 0.0),
+            (std::set<ObjectId>{1, 3}));
+  // Within 10: everyone.
+  EXPECT_EQ(CanReachWithin(mod, Vec{0.0, 0.0}, 10.0, 0.0),
+            (std::set<ObjectId>{1, 2, 3}));
+}
+
+TEST(FastestArrivalTest, TimelineTracksDispatchChoice) {
+  // Car A moves toward the incident, car B away: the best dispatch choice
+  // flips over time.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(1, 0.0, Vec{100.0}, Vec{-10.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{-60.0}, Vec{-10.0})).ok());
+  // t_Δ(1) = |100 - 10t|/10, t_Δ(2) = |60 + 10t|/10: car 1 becomes the
+  // better choice when 100 - 10t < 60 + 10t, i.e. after t = 2.
+  const AnswerTimeline timeline =
+      PastFastestArrival(mod, Vec{0.0}, TimeInterval(0.0, 5.0));
+  EXPECT_EQ(timeline.AnswerAt(1.0), (std::set<ObjectId>{2}));
+  EXPECT_EQ(timeline.AnswerAt(3.0), (std::set<ObjectId>{1}));
+  ASSERT_GE(timeline.segments().size(), 2u);
+  EXPECT_NEAR(timeline.segments()[0].interval.hi, 2.0, 1e-9);
+}
+
+TEST(FastestPursuitTest, MovingTargetAgreesWithStationarySpecialCase) {
+  // When the target is in fact stationary, the numeric pursuit query must
+  // reproduce the polynomial fastest-arrival answers.
+  const RandomModOptions options{
+      .num_objects = 8, .dim = 2, .speed_min = 5.0, .speed_max = 9.0,
+      .seed = 801};
+  const MovingObjectDatabase mod = RandomMod(options);
+  const TimeInterval interval(0.0, 20.0);
+  const AnswerTimeline numeric = PastFastestPursuit(
+      mod, Trajectory::Stationary(0.0, Vec{0.0, 0.0}), interval, 0.1);
+  const AnswerTimeline exact =
+      PastFastestArrival(mod, Vec{0.0, 0.0}, interval);
+  for (const auto& segment : exact.segments()) {
+    if (segment.interval.Length() < 0.2) continue;  // Skip near-crossings.
+    const double t = 0.5 * (segment.interval.lo + segment.interval.hi);
+    EXPECT_EQ(numeric.AnswerAt(t), exact.AnswerAt(t)) << "t=" << t;
+  }
+}
+
+TEST(FastestPursuitTest, PursuersChaseMovingTarget) {
+  // Target escapes to the right at speed 2; two pursuers with speed 5.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{-50.0}, Vec{5.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{40.0}, Vec{-5.0})).ok());
+  const Trajectory target = Trajectory::Linear(0.0, Vec{0.0}, Vec{2.0});
+  const AnswerTimeline timeline =
+      PastFastestPursuit(mod, target, TimeInterval(0.0, 10.0), 0.1);
+  // Pursuer 2 starts closer ahead of the target's path.
+  EXPECT_EQ(timeline.AnswerAt(0.5), (std::set<ObjectId>{2}));
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,132 @@
+#include "constraint/fo_formula.h"
+
+#include <gtest/gtest.h>
+
+#include "gdist/builtin.h"
+
+namespace modb {
+namespace {
+
+// A fixed 3-object context: curves f1 = t, f2 = 10 - t, f3 = 5.
+struct Fixture {
+  std::vector<ObjectId> objects{1, 2, 3};
+  std::map<ObjectId, GCurve> curves;
+
+  Fixture() {
+    curves.emplace(1, GCurve::FromPoly(PiecewisePoly::SinglePiece(
+                          Polynomial({0.0, 1.0}), 0.0, 100.0)));
+    curves.emplace(2, GCurve::FromPoly(PiecewisePoly::SinglePiece(
+                          Polynomial({10.0, -1.0}), 0.0, 100.0)));
+    curves.emplace(3, GCurve::FromPoly(PiecewisePoly::SinglePiece(
+                          Polynomial({5.0}), 0.0, 100.0)));
+  }
+
+  FoContext context() const { return FoContext::OverCurves(&objects, &curves); }
+
+  bool Eval(const FoFormulaPtr& formula, ObjectId y, double t) const {
+    std::vector<ObjectId> assignment(
+        static_cast<size_t>(formula->MaxVar()) + 1, kInvalidObjectId);
+    assignment[0] = y;
+    const FoContext ctx = context();
+    return formula->Eval(ctx, &assignment, t);
+  }
+};
+
+TEST(FoFormulaTest, AtomComparesCurveValues) {
+  const Fixture fx;
+  // f(y, t) < 5.
+  const FoFormulaPtr lt5 = FoFormula::Atom(
+      FoRealTerm::GDist(0), CompareOp::kLt, FoRealTerm::Constant(5.0));
+  EXPECT_TRUE(fx.Eval(lt5, 1, 2.0));    // f1(2) = 2.
+  EXPECT_FALSE(fx.Eval(lt5, 1, 7.0));   // f1(7) = 7.
+  EXPECT_FALSE(fx.Eval(lt5, 3, 2.0));   // f3 = 5, not <.
+}
+
+TEST(FoFormulaTest, TimeTermsShiftEvaluation) {
+  const Fixture fx;
+  // f(y, t + 3) = real value at shifted time.
+  const FoFormulaPtr atom =
+      FoFormula::Atom(FoRealTerm::GDist(0, Polynomial({3.0, 1.0})),
+                      CompareOp::kEq, FoRealTerm::Constant(5.0));
+  EXPECT_TRUE(fx.Eval(atom, 1, 2.0));  // f1(5) = 5.
+  EXPECT_FALSE(fx.Eval(atom, 1, 3.0));
+}
+
+TEST(FoFormulaTest, Connectives) {
+  const Fixture fx;
+  const FoFormulaPtr lt5 = FoFormula::Atom(
+      FoRealTerm::GDist(0), CompareOp::kLt, FoRealTerm::Constant(5.0));
+  const FoFormulaPtr gt2 = FoFormula::Atom(
+      FoRealTerm::GDist(0), CompareOp::kGt, FoRealTerm::Constant(2.0));
+  EXPECT_TRUE(fx.Eval(FoFormula::And(lt5, gt2), 1, 3.0));
+  EXPECT_FALSE(fx.Eval(FoFormula::And(lt5, gt2), 1, 1.0));
+  EXPECT_TRUE(fx.Eval(FoFormula::Or(lt5, gt2), 1, 1.0));
+  EXPECT_TRUE(fx.Eval(FoFormula::Not(lt5), 1, 7.0));
+}
+
+TEST(FoFormulaTest, NearestNeighborFormula) {
+  const Fixture fx;
+  const FoFormulaPtr nn = NearestNeighborFormula();
+  // At t=2: f1=2, f2=8, f3=5: o1 is nearest.
+  EXPECT_TRUE(fx.Eval(nn, 1, 2.0));
+  EXPECT_FALSE(fx.Eval(nn, 2, 2.0));
+  EXPECT_FALSE(fx.Eval(nn, 3, 2.0));
+  // At t=8: f1=8, f2=2, f3=5: o2 is nearest.
+  EXPECT_TRUE(fx.Eval(nn, 2, 8.0));
+  EXPECT_FALSE(fx.Eval(nn, 1, 8.0));
+  // At t=5: f1=f3=5, f2=5: three-way tie — all satisfy <=.
+  EXPECT_TRUE(fx.Eval(nn, 1, 5.0));
+  EXPECT_TRUE(fx.Eval(nn, 2, 5.0));
+  EXPECT_TRUE(fx.Eval(nn, 3, 5.0));
+}
+
+TEST(FoFormulaTest, ExistsQuantifier) {
+  const Fixture fx;
+  // ∃z (f(z, t) = f(y, t) ∧ ... ) — here: some object equals value 5.
+  const FoFormulaPtr exists5 = FoFormula::Exists(
+      1, FoFormula::Atom(FoRealTerm::GDist(1), CompareOp::kEq,
+                         FoRealTerm::Constant(5.0)));
+  EXPECT_TRUE(fx.Eval(exists5, 1, 0.0));  // f3 = 5 always.
+  // Some object is below 1?
+  const FoFormulaPtr exists_lt1 = FoFormula::Exists(
+      1, FoFormula::Atom(FoRealTerm::GDist(1), CompareOp::kLt,
+                         FoRealTerm::Constant(1.0)));
+  EXPECT_TRUE(fx.Eval(exists_lt1, 1, 0.5));   // f1(0.5) = 0.5.
+  EXPECT_FALSE(fx.Eval(exists_lt1, 1, 3.0));  // f1=3, f2=7, f3=5.
+}
+
+TEST(FoFormulaTest, CollectTimeTermsDeduplicates) {
+  const FoFormulaPtr formula = FoFormula::And(
+      FoFormula::Atom(FoRealTerm::GDist(0), CompareOp::kLe,
+                      FoRealTerm::GDist(1)),
+      FoFormula::Atom(FoRealTerm::GDist(0, Polynomial({3.0, 1.0})),
+                      CompareOp::kLe, FoRealTerm::Constant(2.0)));
+  std::vector<Polynomial> terms;
+  formula->CollectTimeTerms(&terms);
+  ASSERT_EQ(terms.size(), 2u);  // Identity and t + 3.
+}
+
+TEST(FoFormulaTest, CollectConstants) {
+  const FoFormulaPtr formula = FoFormula::Or(
+      WithinFormula(2.5),
+      FoFormula::Atom(FoRealTerm::Constant(2.5), CompareOp::kLt,
+                      FoRealTerm::GDist(0)));
+  std::vector<double> constants;
+  formula->CollectConstants(&constants);
+  ASSERT_EQ(constants.size(), 1u);
+  EXPECT_DOUBLE_EQ(constants[0], 2.5);
+}
+
+TEST(FoFormulaTest, MaxVar) {
+  EXPECT_EQ(NearestNeighborFormula()->MaxVar(), 1);
+  EXPECT_EQ(WithinFormula(1.0)->MaxVar(), 0);
+}
+
+TEST(FoFormulaTest, ToStringReadable) {
+  const std::string s = NearestNeighborFormula()->ToString();
+  EXPECT_NE(s.find("forall y1"), std::string::npos);
+  EXPECT_NE(s.find("<="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modb

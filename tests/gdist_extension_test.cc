@@ -1,0 +1,153 @@
+// Tests for the g-distance extensions beyond the paper's worked examples:
+// time-shifted distances (§5's polynomial time terms as a usable feature),
+// weighted sums, and the FO(f)-over-live-state snapshot evaluation.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/future_engine.h"
+#include "gdist/builtin.h"
+#include "queries/fo_snapshot.h"
+#include "queries/knn.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+TEST(TimeShiftedTest, CurveIsShiftedInner) {
+  auto inner = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  const TimeShiftedGDistance shifted(inner, 5.0);
+  Trajectory object = Trajectory::Linear(0.0, Vec{10.0}, Vec{-1.0});
+  ASSERT_TRUE(object.AddTurn(8.0, Vec{2.0}).ok());
+  const GCurve base = inner->Curve(object);
+  const GCurve ahead = shifted.Curve(object);
+  for (double t : {0.0, 2.0, 2.999, 3.0, 6.0}) {
+    EXPECT_NEAR(ahead.Eval(t), base.Eval(t + 5.0), 1e-9) << "t=" << t;
+  }
+  // Domain shifted left: base [0, inf) -> ahead [-5, inf).
+  EXPECT_DOUBLE_EQ(ahead.Domain().lo, -5.0);
+}
+
+TEST(TimeShiftedTest, ShiftedTerminationShrinksDomain) {
+  auto inner = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  Trajectory object = Trajectory::Linear(0.0, Vec{1.0}, Vec{1.0});
+  ASSERT_TRUE(object.Terminate(20.0).ok());
+  const GCurve ahead = TimeShiftedGDistance(inner, 5.0).Curve(object);
+  EXPECT_EQ(ahead.Domain(), TimeInterval(-5.0, 15.0));
+}
+
+TEST(TimeShiftedTest, WhoWillBeNearestInFiveUnits) {
+  // o1 is nearest now; o2 will be nearest at t+5.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{5.0}, Vec{0.0})).ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(2, 0.0, Vec{20.0}, Vec{-3.0})).ok());
+  auto now_dist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  auto future_dist = std::make_shared<TimeShiftedGDistance>(now_dist, 5.0);
+  EXPECT_EQ(SnapshotKnn(mod, *now_dist, 1, 0.0), (std::set<ObjectId>{1}));
+  // At t+5: o1 at 5 (dist 25), o2 at 20-15=5 ... tie; use 6 units.
+  auto future6 = std::make_shared<TimeShiftedGDistance>(now_dist, 6.0);
+  EXPECT_EQ(SnapshotKnn(mod, *future6, 1, 0.0), (std::set<ObjectId>{2}));
+}
+
+TEST(TimeShiftedTest, SweepMaintainsShiftedOrder) {
+  // The shifted g-distance is just another polynomial g-distance: the
+  // engine maintains it and answers match the shifted oracle.
+  const RandomModOptions options{.num_objects = 12, .dim = 2, .seed = 911};
+  const MovingObjectDatabase mod = RandomMod(options);
+  auto inner = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  auto shifted = std::make_shared<TimeShiftedGDistance>(inner, 10.0);
+  const AnswerTimeline timeline =
+      PastKnn(mod, shifted, 2, TimeInterval(0.0, 30.0));
+  for (const auto& segment : timeline.segments()) {
+    if (segment.interval.Length() < 1e-7) continue;
+    const double t = 0.5 * (segment.interval.lo + segment.interval.hi);
+    EXPECT_EQ(timeline.AnswerAt(t), SnapshotKnn(mod, *shifted, 2, t));
+  }
+}
+
+TEST(WeightedSumTest, CombinesComponents) {
+  const Trajectory query = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  auto horizontal = std::make_shared<AxisDistanceGDistance>(query, 0);
+  auto vertical = std::make_shared<AxisDistanceGDistance>(query, 1);
+  const WeightedSumGDistance combined({horizontal, vertical}, {1.0, 100.0});
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{3.0, 4.0}, Vec{1.0, -1.0});
+  const GCurve curve = combined.Curve(object);
+  for (double t : {0.0, 1.0, 4.0}) {
+    const Vec p = object.PositionAt(t);
+    EXPECT_NEAR(curve.Eval(t), p[0] * p[0] + 100.0 * p[1] * p[1], 1e-9);
+  }
+}
+
+TEST(WeightedSumTest, EqualWeightsMatchEuclidean) {
+  const Trajectory query = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  auto x = std::make_shared<AxisDistanceGDistance>(query, 0);
+  auto y = std::make_shared<AxisDistanceGDistance>(query, 1);
+  const WeightedSumGDistance sum({x, y}, {1.0, 1.0});
+  const SquaredEuclideanGDistance euclid(query);
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{5.0, -7.0}, Vec{2.0, 3.0});
+  for (double t : {0.0, 2.5, 9.0}) {
+    EXPECT_NEAR(sum.Curve(object).Eval(t), euclid.Curve(object).Eval(t),
+                1e-9);
+  }
+}
+
+TEST(FoSnapshotTest, NearestFormulaOverLiveState) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0}, Vec{-1.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{3.0}, Vec{0.0})).ok());
+  FutureQueryEngine engine(mod,
+                           std::make_shared<SquaredEuclideanGDistance>(
+                               Trajectory::Stationary(0.0, Vec{0.0})),
+                           0.0);
+  engine.Start();
+  const FoFormulaPtr nn = NearestNeighborFormula();
+  EXPECT_EQ(EvaluateFormulaAtNow(engine.state(), *nn),
+            (std::set<ObjectId>{2}));
+  engine.AdvanceTo(9.0);  // o1 passes o2 at |10 - t| = 3 -> t = 7.
+  EXPECT_EQ(EvaluateFormulaAtNow(engine.state(), *nn),
+            (std::set<ObjectId>{1}));
+}
+
+TEST(FoSnapshotTest, TimeTermsPeekAhead) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{5.0}, Vec{0.0})).ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(2, 0.0, Vec{20.0}, Vec{-3.0})).ok());
+  FutureQueryEngine engine(mod,
+                           std::make_shared<SquaredEuclideanGDistance>(
+                               Trajectory::Stationary(0.0, Vec{0.0})),
+                           0.0);
+  engine.Start();
+  // ∀z: f(y, t+6) <= f(z, t+6): who is nearest six units from now?
+  const Polynomial ahead({6.0, 1.0});
+  const FoFormulaPtr nn_ahead = FoFormula::Forall(
+      1, FoFormula::Atom(FoRealTerm::GDist(0, ahead), CompareOp::kLe,
+                         FoRealTerm::GDist(1, ahead)));
+  EXPECT_EQ(EvaluateFormulaAtNow(engine.state(), *nn_ahead),
+            (std::set<ObjectId>{2}));
+}
+
+TEST(FoSnapshotTest, ExcludesSentinels) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{3.0}, Vec{0.0})).ok());
+  FutureQueryEngine engine(mod,
+                           std::make_shared<SquaredEuclideanGDistance>(
+                               Trajectory::Stationary(0.0, Vec{0.0})),
+                           0.0);
+  engine.Start();
+  engine.state().InsertSentinel(-5, 1.0);  // Below o1's value of 9.
+  // 1-NN formula: the sentinel must not win (nor appear).
+  EXPECT_EQ(EvaluateFormulaAtNow(engine.state(), *NearestNeighborFormula()),
+            (std::set<ObjectId>{1}));
+}
+
+}  // namespace
+}  // namespace modb

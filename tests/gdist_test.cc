@@ -1,0 +1,170 @@
+#include "gdist/builtin.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+TEST(SquaredEuclideanTest, MatchesDirectComputation) {
+  const Trajectory query =
+      Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  Trajectory object = Trajectory::Linear(0.0, Vec{10.0, 0.0}, Vec{-1.0, 2.0});
+  ASSERT_TRUE(object.AddTurn(4.0, Vec{0.0, 0.0}).ok());
+
+  const SquaredEuclideanGDistance gdist(query);
+  const GCurve curve = gdist.Curve(object);
+  ASSERT_TRUE(curve.is_polynomial());
+  for (double t : {0.0, 1.5, 4.0, 7.0, 20.0}) {
+    const double expected =
+        (object.PositionAt(t) - query.PositionAt(t)).SquaredLength();
+    EXPECT_NEAR(curve.Eval(t), expected, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(SquaredEuclideanTest, QuadraticForLinearMotions) {
+  const Trajectory query = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{3.0, 4.0}, Vec{1.0, 0.0});
+  const GCurve curve = SquaredEuclideanGDistance(query).Curve(object);
+  ASSERT_EQ(curve.poly().NumPieces(), 1u);
+  EXPECT_EQ(curve.poly().pieces()[0].poly.degree(), 2);
+  // (3 + t)² + 16.
+  EXPECT_NEAR(curve.Eval(0.0), 25.0, 1e-12);
+  EXPECT_NEAR(curve.Eval(1.0), 32.0, 1e-12);
+}
+
+TEST(SquaredEuclideanTest, DomainIsIntersection) {
+  Trajectory query = Trajectory::Stationary(0.0, Vec{0.0});
+  Trajectory object = Trajectory::Linear(2.0, Vec{1.0}, Vec{1.0});
+  ASSERT_TRUE(object.Terminate(8.0).ok());
+  const GCurve curve = SquaredEuclideanGDistance(query).Curve(object);
+  EXPECT_EQ(curve.Domain(), TimeInterval(2.0, 8.0));
+}
+
+TEST(SquaredEuclideanTest, CurveBreaksAtBothTrajectoriesTurns) {
+  Trajectory query = Trajectory::Linear(0.0, Vec{0.0}, Vec{1.0});
+  ASSERT_TRUE(query.AddTurn(3.0, Vec{0.0}).ok());
+  Trajectory object = Trajectory::Linear(0.0, Vec{10.0}, Vec{-1.0});
+  ASSERT_TRUE(object.AddTurn(7.0, Vec{0.0}).ok());
+  const GCurve curve = SquaredEuclideanGDistance(query).Curve(object);
+  const std::vector<double> breaks = curve.poly().InteriorBreakpoints();
+  ASSERT_EQ(breaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(breaks[0], 3.0);
+  EXPECT_DOUBLE_EQ(breaks[1], 7.0);
+  EXPECT_TRUE(curve.poly().IsContinuous());
+}
+
+TEST(AxisDistanceTest, TracksSingleCoordinate) {
+  const Trajectory query = Trajectory::Stationary(0.0, Vec{0.0, 100.0});
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{50.0, 90.0}, Vec{5.0, 2.0});
+  const AxisDistanceGDistance gdist(query, /*axis=*/1);
+  const GCurve curve = gdist.Curve(object);
+  for (double t : {0.0, 2.0, 5.0}) {
+    const double dz = object.PositionAt(t)[1] - 100.0;
+    EXPECT_NEAR(curve.Eval(t), dz * dz, 1e-9);
+  }
+  EXPECT_EQ(gdist.name(), "axis1_dist2");
+}
+
+TEST(InterceptionTimeSquaredTest, StationaryTargetQuadratic) {
+  // Object at distance d moving with speed s: t_Δ² = d²/s².
+  const InterceptionTimeSquaredGDistance gdist(Vec{0.0, 0.0});
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{30.0, 40.0}, Vec{0.0, -5.0});
+  const GCurve curve = gdist.Curve(object);
+  // At t=0: distance 50, speed 5: t_Δ = 10, so t_Δ² = 100.
+  EXPECT_NEAR(curve.Eval(0.0), 100.0, 1e-9);
+  // At t=8: position (30, 0), distance 30, speed 5: t_Δ² = 36.
+  EXPECT_NEAR(curve.Eval(8.0), 36.0, 1e-9);
+}
+
+TEST(InterceptionTimeSquaredTest, SpeedChangesAtTurn) {
+  const InterceptionTimeSquaredGDistance gdist(Vec{0.0});
+  Trajectory object = Trajectory::Linear(0.0, Vec{100.0}, Vec{-1.0});
+  ASSERT_TRUE(object.AddTurn(10.0, Vec{-9.0}).ok());
+  const GCurve curve = gdist.Curve(object);
+  // Before the turn: distance 95 at t=5, speed 1.
+  EXPECT_NEAR(curve.Eval(5.0), 95.0 * 95.0, 1e-9);
+  // After: at t=10 position 90, speed 9: t_Δ² = 100.
+  EXPECT_NEAR(curve.Eval(10.0), 100.0, 1e-9);
+}
+
+TEST(InterceptionTimeSquaredTest, StationaryObjectDies) {
+  const InterceptionTimeSquaredGDistance gdist(Vec{0.0});
+  const Trajectory still = Trajectory::Stationary(0.0, Vec{5.0});
+  EXPECT_DEATH(gdist.Curve(still), "moving");
+}
+
+TEST(MovingInterceptionTest, MatchesClosedFormOnStationaryTarget) {
+  // Against a stationary target the numeric interception time must equal
+  // sqrt of the polynomial t_Δ².
+  const Trajectory target = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{30.0, 40.0}, Vec{3.0, -4.0});
+  const MovingInterceptionGDistance numeric(target, /*horizon=*/100.0,
+                                            /*sample_step=*/0.5);
+  const InterceptionTimeSquaredGDistance exact(Vec{0.0, 0.0});
+  const GCurve numeric_curve = numeric.Curve(object);
+  const GCurve exact_curve = exact.Curve(object);
+  EXPECT_FALSE(numeric_curve.is_polynomial());
+  for (double t : {0.0, 3.0, 10.0, 50.0}) {
+    EXPECT_NEAR(numeric_curve.Eval(t), std::sqrt(exact_curve.Eval(t)), 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(MovingInterceptionTest, HeadOnIntercept) {
+  // Target moves right at speed 1 from 0; chaser at x=10 moves with speed
+  // 3. Interception: 10 + Δ·1 = ... chaser at 10 going left at 3 toward
+  // the target: closing speed handled by the quadratic. At t=0 the gap is
+  // 10; |w + vq Δ| = 3Δ with w = -10, vq = +1 (target moving toward the
+  // chaser): -10 + Δ = ±3Δ → Δ = 2.5.
+  const Trajectory target = Trajectory::Linear(0.0, Vec{0.0}, Vec{1.0});
+  const Trajectory chaser = Trajectory::Linear(0.0, Vec{10.0}, Vec{-3.0});
+  const MovingInterceptionGDistance gdist(target, 50.0, 0.25);
+  EXPECT_NEAR(gdist.Curve(chaser).Eval(0.0), 2.5, 1e-9);
+}
+
+TEST(CoordinateValueTest, IdentityOnAxis) {
+  Trajectory object = Trajectory::Linear(0.0, Vec{5.0, 7.0}, Vec{1.0, -1.0});
+  const CoordinateValueGDistance gdist(0);
+  const GCurve curve = gdist.Curve(object);
+  EXPECT_NEAR(curve.Eval(3.0), 8.0, 1e-12);
+  EXPECT_EQ(gdist.name(), "coord0");
+}
+
+TEST(ComposedGDistanceTest, AppliesOuterPolynomial) {
+  const Trajectory query = Trajectory::Stationary(0.0, Vec{0.0});
+  auto inner = std::make_shared<SquaredEuclideanGDistance>(query);
+  // outer(d) = 2d + 1.
+  const ComposedGDistance composed(Polynomial({1.0, 2.0}), inner);
+  const Trajectory object = Trajectory::Linear(0.0, Vec{3.0}, Vec{1.0});
+  const GCurve base = inner->Curve(object);
+  const GCurve curve = composed.Curve(object);
+  for (double t : {0.0, 1.0, 4.5}) {
+    EXPECT_NEAR(curve.Eval(t), 2.0 * base.Eval(t) + 1.0, 1e-9);
+  }
+}
+
+TEST(GDistancePropertyTest, CurvesContinuousOnRandomTrajectories) {
+  // Polynomial g-distances of continuous trajectories must be continuous
+  // (the §5 requirement the sweep relies on).
+  const RandomModOptions options{.num_objects = 20, .seed = 11};
+  const UpdateStreamOptions stream{.count = 60, .seed = 12};
+  const MovingObjectDatabase mod = RandomHistoryMod(options, stream);
+  const SquaredEuclideanGDistance gdist(
+      Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{2.0, 2.0}));
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    const GCurve curve = gdist.Curve(trajectory);
+    EXPECT_TRUE(curve.poly().IsContinuous(1e-6)) << "oid " << oid;
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,218 @@
+// Property-based sweeps over the geometry substrate: the root isolator and
+// the sign-based sweep primitives are the foundation everything else
+// stands on, so they get randomized adversarial coverage beyond the unit
+// tests.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/piecewise_poly.h"
+#include "geom/roots.h"
+
+namespace modb {
+namespace {
+
+Polynomial FromRoots(const std::vector<double>& roots) {
+  Polynomial p = Polynomial::Constant(1.0);
+  for (double r : roots) p *= Polynomial({-r, 1.0});
+  return p;
+}
+
+// Randomized roots across degrees: parameterized by degree.
+class RootsByDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootsByDegreeTest, RecoversRandomDistinctRoots) {
+  const int degree = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(degree));
+  for (int trial = 0; trial < 40; ++trial) {
+    // Distinct roots separated by at least 0.05.
+    std::vector<double> roots;
+    double cursor = rng.Uniform(-20.0, -10.0);
+    for (int i = 0; i < degree; ++i) {
+      cursor += rng.Uniform(0.05, 5.0);
+      roots.push_back(cursor);
+    }
+    const Polynomial p = FromRoots(roots);
+    const std::vector<double> found = AllRealRoots(p);
+    ASSERT_EQ(found.size(), roots.size())
+        << "degree " << degree << " trial " << trial;
+    for (size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_NEAR(found[i], roots[i], 1e-5) << "root " << i;
+    }
+  }
+}
+
+TEST_P(RootsByDegreeTest, ScaledPolynomialsSameRoots) {
+  const int degree = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(degree));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> roots;
+    double cursor = -5.0;
+    for (int i = 0; i < degree; ++i) {
+      cursor += rng.Uniform(0.2, 3.0);
+      roots.push_back(cursor);
+    }
+    const double scale = rng.Uniform(0.001, 1000.0);
+    const std::vector<double> found = AllRealRoots(FromRoots(roots) * scale);
+    ASSERT_EQ(found.size(), roots.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RootsByDegreeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RootsPropertyTest, NoRootsForPositivePolynomials) {
+  // Sums of squares plus a positive constant have no real roots.
+  Rng rng(3000);
+  for (int trial = 0; trial < 30; ++trial) {
+    Polynomial q({rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0),
+                  rng.Uniform(-3.0, 3.0)});
+    const Polynomial p = q * q + Polynomial::Constant(rng.Uniform(0.1, 5.0));
+    EXPECT_TRUE(AllRealRoots(p).empty()) << "trial " << trial;
+  }
+}
+
+TEST(RootsPropertyTest, SignChangesMatchDenseSampling) {
+  // FirstSignChangeAfter agrees with brute-force scanning.
+  Rng rng(4000);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> roots;
+    double cursor = rng.Uniform(0.5, 2.0);
+    const int degree = static_cast<int>(rng.UniformInt(1, 5));
+    for (int i = 0; i < degree; ++i) {
+      cursor += rng.Uniform(0.5, 4.0);
+      roots.push_back(cursor);
+    }
+    const Polynomial p = FromRoots(roots);
+    const auto reported = FirstSignChangeAfter(p, 0.0, 30.0);
+    // Brute force: scan for the first sign flip.
+    double prev = p.Eval(0.0);
+    std::optional<double> brute;
+    for (double t = 0.001; t <= 30.0; t += 0.001) {
+      const double v = p.Eval(t);
+      if (prev != 0.0 && v != 0.0 && (prev < 0) != (v < 0)) {
+        brute = t;
+        break;
+      }
+      if (v != 0.0) prev = v;
+    }
+    ASSERT_EQ(reported.has_value(), brute.has_value()) << "trial " << trial;
+    if (reported.has_value()) {
+      EXPECT_NEAR(*reported, *brute, 2e-3) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PiecewisePropertyTest, FirstTimePositiveAgreesWithSampling) {
+  Rng rng(5000);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random continuous piecewise-quadratic on [0, 20].
+    PiecewisePoly f;
+    double start = 0.0;
+    double value = rng.Uniform(-10.0, -1.0);  // Start negative.
+    const int pieces = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < pieces; ++i) {
+      const double a = rng.Uniform(-1.0, 1.0);
+      const double b = rng.Uniform(-2.0, 2.0);
+      // Anchor the piece to keep continuity: p(start) = value.
+      // p(t) = a (t-start)² + b (t-start) + value.
+      const Polynomial shifted({value, b, a});
+      f.AppendPiece(start, shifted.Compose(Polynomial({-start, 1.0})));
+      const double next = start + rng.Uniform(2.0, 8.0);
+      value = f.pieces().back().poly.Eval(next);
+      start = next;
+    }
+    f.SetDomainEnd(start + 5.0);
+    ASSERT_TRUE(f.IsContinuous(1e-6));
+
+    const auto reported = FirstTimePositive(f, f.DomainStart(), f.DomainEnd());
+    std::optional<double> brute;
+    for (double t = f.DomainStart(); t <= f.DomainEnd(); t += 0.0005) {
+      if (f.Eval(t) > 0.0) {
+        brute = t;
+        break;
+      }
+    }
+    if (brute.has_value()) {
+      ASSERT_TRUE(reported.has_value()) << "trial " << trial;
+      EXPECT_NEAR(*reported, *brute, 2e-3) << "trial " << trial;
+    } else {
+      // Sampling might miss a sliver; only check the converse weakly.
+      if (reported.has_value()) {
+        // Verify the function really becomes positive just after.
+        EXPECT_GT(f.Eval(std::min(*reported + 1e-6, f.DomainEnd())), -1e-9);
+      }
+    }
+  }
+}
+
+TEST(PiecewisePropertyTest, LazyDifferenceCrossingMatchesEager) {
+  // FirstTimeDifferencePositive (the sweep's lazy primitive) must agree
+  // with the eager route (materialize the difference, then
+  // FirstTimePositive) on random piecewise quadratics.
+  Rng rng(7000);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto random_pcw = [&](double start) {
+      PiecewisePoly f;
+      double s = start;
+      const int pieces = static_cast<int>(rng.UniformInt(1, 5));
+      for (int i = 0; i < pieces; ++i) {
+        f.AppendPiece(s, Polynomial({rng.Uniform(-10.0, 10.0),
+                                     rng.Uniform(-3.0, 3.0),
+                                     rng.Uniform(-0.5, 0.5)}));
+        s += rng.Uniform(1.0, 6.0);
+      }
+      if (rng.Bernoulli(0.7)) f.SetDomainEnd(s + rng.Uniform(0.0, 10.0));
+      return f;
+    };
+    const PiecewisePoly a = random_pcw(rng.Uniform(0.0, 3.0));
+    const PiecewisePoly b = random_pcw(rng.Uniform(0.0, 3.0));
+    const double lo = rng.Uniform(0.0, 5.0);
+    const double hi = lo + rng.Uniform(1.0, 40.0);
+
+    const PiecewisePoly diff = PiecewisePoly::Difference(a, b);
+    const TimeInterval window =
+        a.Domain().Intersect(b.Domain()).Intersect(TimeInterval(lo, hi));
+    std::optional<double> eager;
+    if (!diff.empty() && !window.empty()) {
+      eager = FirstTimePositive(diff, window.lo, window.hi);
+    }
+    const std::optional<double> lazy =
+        FirstTimeDifferencePositive(a, b, lo, hi);
+    ASSERT_EQ(lazy.has_value(), eager.has_value()) << "trial " << trial;
+    if (lazy.has_value()) {
+      EXPECT_NEAR(*lazy, *eager, 1e-7) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PiecewisePropertyTest, DifferenceSumProductPointwise) {
+  Rng rng(6000);
+  for (int trial = 0; trial < 30; ++trial) {
+    PiecewisePoly f, g;
+    double fs = rng.Uniform(0.0, 2.0), gs = rng.Uniform(0.0, 2.0);
+    f.AppendPiece(fs, Polynomial({rng.Uniform(-5, 5), rng.Uniform(-2, 2)}));
+    f.AppendPiece(fs + 3.0,
+                  Polynomial({rng.Uniform(-5, 5), rng.Uniform(-2, 2)}));
+    f.SetDomainEnd(fs + 8.0);
+    g.AppendPiece(gs, Polynomial({rng.Uniform(-5, 5), 0.0,
+                                  rng.Uniform(-1, 1)}));
+    g.SetDomainEnd(gs + 9.0);
+    const PiecewisePoly diff = PiecewisePoly::Difference(f, g);
+    const PiecewisePoly sum = PiecewisePoly::Sum(f, g);
+    const PiecewisePoly prod = PiecewisePoly::Product(f, g);
+    if (diff.empty()) continue;
+    const TimeInterval dom = diff.Domain();
+    for (double frac = 0.0; frac <= 1.0; frac += 0.1) {
+      const double t = dom.lo + frac * (dom.hi - dom.lo);
+      EXPECT_NEAR(diff.Eval(t), f.Eval(t) - g.Eval(t), 1e-9);
+      EXPECT_NEAR(sum.Eval(t), f.Eval(t) + g.Eval(t), 1e-9);
+      EXPECT_NEAR(prod.Eval(t), f.Eval(t) * g.Eval(t), 1e-7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,125 @@
+#include "index/leftist_heap.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace modb {
+namespace {
+
+TEST(LeftistHeapTest, PushPopOrdered) {
+  LeftistHeap<int> heap;
+  for (int v : {5, 1, 9, 3, 7, 2, 8}) heap.Push(v);
+  EXPECT_EQ(heap.size(), 7u);
+  heap.CheckInvariants();
+  std::vector<int> popped;
+  while (!heap.empty()) popped.push_back(heap.PopMin());
+  EXPECT_EQ(popped, (std::vector<int>{1, 2, 3, 5, 7, 8, 9}));
+}
+
+TEST(LeftistHeapTest, MinPeeksWithoutRemoval) {
+  LeftistHeap<int> heap;
+  heap.Push(4);
+  heap.Push(2);
+  EXPECT_EQ(heap.Min(), 2);
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(LeftistHeapTest, EraseByHandle) {
+  LeftistHeap<int> heap;
+  auto h5 = heap.Push(5);
+  heap.Push(1);
+  auto h9 = heap.Push(9);
+  heap.Push(3);
+  heap.Erase(h5);
+  heap.CheckInvariants();
+  heap.Erase(h9);
+  heap.CheckInvariants();
+  std::vector<int> popped;
+  while (!heap.empty()) popped.push_back(heap.PopMin());
+  EXPECT_EQ(popped, (std::vector<int>{1, 3}));
+}
+
+TEST(LeftistHeapTest, EraseRoot) {
+  LeftistHeap<int> heap;
+  auto h1 = heap.Push(1);
+  heap.Push(2);
+  heap.Push(3);
+  heap.Erase(h1);
+  heap.CheckInvariants();
+  EXPECT_EQ(heap.Min(), 2);
+}
+
+TEST(LeftistHeapTest, BulkBuildProducesValidHeap) {
+  LeftistHeap<int> heap;
+  std::vector<int> values;
+  for (int i = 100; i > 0; --i) values.push_back(i);
+  const auto handles = heap.BulkBuild(values);
+  EXPECT_EQ(heap.size(), 100u);
+  EXPECT_EQ(handles.size(), 100u);
+  heap.CheckInvariants();
+  EXPECT_EQ(heap.Min(), 1);
+  // Handles remain usable for deletion.
+  heap.Erase(handles[99]);  // Value 1 (the min).
+  heap.CheckInvariants();
+  EXPECT_EQ(heap.Min(), 2);
+}
+
+TEST(LeftistHeapTest, BulkBuildEmpty) {
+  LeftistHeap<int> heap;
+  heap.Push(3);
+  heap.BulkBuild({});
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(LeftistHeapTest, RandomizedAgainstMultiset) {
+  Rng rng(7);
+  LeftistHeap<double> heap;
+  std::multiset<double> reference;
+  std::vector<LeftistHeap<double>::Handle> handles;
+  std::vector<double> handle_values;
+  for (int step = 0; step < 5000; ++step) {
+    const double dice = rng.Uniform(0.0, 1.0);
+    if (reference.empty() || dice < 0.45) {
+      const double v = rng.Uniform(-1000.0, 1000.0);
+      handles.push_back(heap.Push(v));
+      handle_values.push_back(v);
+      reference.insert(v);
+    } else if (dice < 0.75) {
+      EXPECT_EQ(heap.Min(), *reference.begin());
+      const double popped = heap.PopMin();
+      EXPECT_DOUBLE_EQ(popped, *reference.begin());
+      reference.erase(reference.begin());
+      // Drop the stale handle record.
+      for (size_t i = 0; i < handle_values.size(); ++i) {
+        if (handle_values[i] == popped) {
+          handles.erase(handles.begin() + static_cast<ptrdiff_t>(i));
+          handle_values.erase(handle_values.begin() +
+                              static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else if (!handles.empty()) {
+      const size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(handles.size()) - 1));
+      heap.Erase(handles[idx]);
+      reference.erase(reference.find(handle_values[idx]));
+      handles.erase(handles.begin() + static_cast<ptrdiff_t>(idx));
+      handle_values.erase(handle_values.begin() +
+                          static_cast<ptrdiff_t>(idx));
+    }
+    EXPECT_EQ(heap.size(), reference.size());
+    if (step % 500 == 0) heap.CheckInvariants();
+  }
+  heap.CheckInvariants();
+  while (!heap.empty()) {
+    EXPECT_DOUBLE_EQ(heap.PopMin(), *reference.begin());
+    reference.erase(reference.begin());
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,180 @@
+#include "index/ordered_sequence.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace modb {
+namespace {
+
+// Inserts oids with explicit values through the comparison callback.
+class Harness {
+ public:
+  void Insert(ObjectId oid, double value) {
+    values_[oid] = value;
+    seq_.Insert(oid, value, [this](ObjectId other) { return values_.at(other); });
+  }
+  void Erase(ObjectId oid) {
+    values_.erase(oid);
+    seq_.Erase(oid);
+  }
+  OrderedSequence& seq() { return seq_; }
+  const std::map<ObjectId, double>& values() const { return values_; }
+
+  // The order sorted by value (stable by oid for ties).
+  std::vector<ObjectId> Expected() const {
+    std::vector<ObjectId> oids;
+    for (const auto& [oid, value] : values_) oids.push_back(oid);
+    std::stable_sort(oids.begin(), oids.end(), [this](ObjectId a, ObjectId b) {
+      return values_.at(a) < values_.at(b);
+    });
+    return oids;
+  }
+
+ private:
+  OrderedSequence seq_;
+  std::map<ObjectId, double> values_;
+};
+
+TEST(OrderedSequenceTest, InsertMaintainsSortedOrder) {
+  Harness h;
+  h.Insert(1, 5.0);
+  h.Insert(2, 1.0);
+  h.Insert(3, 3.0);
+  h.Insert(4, 10.0);
+  EXPECT_EQ(h.seq().ToVector(), (std::vector<ObjectId>{2, 3, 1, 4}));
+  h.seq().CheckInvariants();
+}
+
+TEST(OrderedSequenceTest, NeighborsAndEnds) {
+  Harness h;
+  h.Insert(1, 1.0);
+  h.Insert(2, 2.0);
+  h.Insert(3, 3.0);
+  EXPECT_EQ(h.seq().Front(), 1);
+  EXPECT_EQ(h.seq().Back(), 3);
+  EXPECT_EQ(h.seq().Prev(1), std::nullopt);
+  EXPECT_EQ(*h.seq().Next(1), 2);
+  EXPECT_EQ(*h.seq().Prev(3), 2);
+  EXPECT_EQ(h.seq().Next(3), std::nullopt);
+}
+
+TEST(OrderedSequenceTest, RankAndAt) {
+  Harness h;
+  for (int i = 0; i < 10; ++i) h.Insert(i, static_cast<double>(9 - i));
+  // Values descending by oid: order is 9, 8, ..., 0.
+  for (size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_EQ(h.seq().At(rank), static_cast<ObjectId>(9 - rank));
+    EXPECT_EQ(h.seq().Rank(static_cast<ObjectId>(9 - rank)), rank);
+  }
+}
+
+TEST(OrderedSequenceTest, EraseRelinksNeighbors) {
+  Harness h;
+  h.Insert(1, 1.0);
+  h.Insert(2, 2.0);
+  h.Insert(3, 3.0);
+  h.Erase(2);
+  EXPECT_EQ(*h.seq().Next(1), 3);
+  EXPECT_EQ(*h.seq().Prev(3), 1);
+  EXPECT_FALSE(h.seq().Contains(2));
+  h.seq().CheckInvariants();
+}
+
+TEST(OrderedSequenceTest, SwapAdjacentExchangesPositions) {
+  Harness h;
+  h.Insert(1, 1.0);
+  h.Insert(2, 2.0);
+  h.Insert(3, 3.0);
+  h.seq().SwapAdjacent(2, 3);
+  EXPECT_EQ(h.seq().ToVector(), (std::vector<ObjectId>{1, 3, 2}));
+  EXPECT_EQ(h.seq().Rank(3), 1u);
+  EXPECT_EQ(h.seq().Rank(2), 2u);
+  EXPECT_EQ(*h.seq().Next(1), 3);
+  h.seq().CheckInvariants();
+}
+
+TEST(OrderedSequenceTest, SwapNonAdjacentDies) {
+  Harness h;
+  h.Insert(1, 1.0);
+  h.Insert(2, 2.0);
+  h.Insert(3, 3.0);
+  EXPECT_DEATH(h.seq().SwapAdjacent(1, 3), "non-adjacent");
+  EXPECT_DEATH(h.seq().SwapAdjacent(2, 1), "non-adjacent");
+}
+
+TEST(OrderedSequenceTest, DuplicateInsertDies) {
+  Harness h;
+  h.Insert(1, 1.0);
+  EXPECT_DEATH(
+      h.seq().Insert(1, 2.0, [](ObjectId) { return 0.0; }), "duplicate");
+}
+
+TEST(OrderedSequenceTest, TiesInsertAfterEquals) {
+  Harness h;
+  h.Insert(1, 5.0);
+  h.Insert(2, 5.0);
+  h.Insert(3, 5.0);
+  EXPECT_EQ(h.seq().ToVector(), (std::vector<ObjectId>{1, 2, 3}));
+}
+
+TEST(OrderedSequenceTest, RandomizedAgainstReference) {
+  Rng rng(1234);
+  Harness h;
+  std::vector<ObjectId> present;
+  ObjectId next_oid = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const double dice = rng.Uniform(0.0, 1.0);
+    if (present.empty() || dice < 0.5) {
+      const ObjectId oid = next_oid++;
+      h.Insert(oid, rng.Uniform(-100.0, 100.0));
+      present.push_back(oid);
+    } else if (dice < 0.8) {
+      const size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(present.size()) - 1));
+      h.Erase(present[idx]);
+      present.erase(present.begin() + static_cast<ptrdiff_t>(idx));
+    } else {
+      // Rank / At spot checks.
+      const size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(present.size()) - 1));
+      const ObjectId oid = present[idx];
+      EXPECT_EQ(h.seq().At(h.seq().Rank(oid)), oid);
+    }
+    if (step % 250 == 0) {
+      h.seq().CheckInvariants();
+      EXPECT_EQ(h.seq().ToVector(), h.Expected());
+    }
+  }
+  h.seq().CheckInvariants();
+  EXPECT_EQ(h.seq().ToVector(), h.Expected());
+}
+
+TEST(OrderedSequenceTest, RandomizedAdjacentSwapsKeepStructure) {
+  Rng rng(99);
+  Harness h;
+  for (int i = 0; i < 64; ++i) h.Insert(i, static_cast<double>(i));
+  std::vector<ObjectId> reference = h.seq().ToVector();
+  for (int step = 0; step < 2000; ++step) {
+    const size_t idx = static_cast<size_t>(rng.UniformInt(0, 62));
+    const ObjectId left = reference[idx];
+    const ObjectId right = reference[idx + 1];
+    h.seq().SwapAdjacent(left, right);
+    std::swap(reference[idx], reference[idx + 1]);
+    if (step % 200 == 0) {
+      EXPECT_EQ(h.seq().ToVector(), reference);
+      h.seq().CheckInvariants();
+      // Neighbor pointers agree with the reference order.
+      for (size_t i = 0; i + 1 < reference.size(); ++i) {
+        EXPECT_EQ(*h.seq().Next(reference[i]), reference[i + 1]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modb

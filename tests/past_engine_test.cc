@@ -1,0 +1,136 @@
+#include "core/past_engine.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "queries/within.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+// Sample times strictly inside a timeline's segments (avoiding boundaries,
+// where tie resolution is representation-dependent).
+std::vector<double> MidpointSamples(const AnswerTimeline& timeline) {
+  std::vector<double> samples;
+  for (const auto& segment : timeline.segments()) {
+    if (segment.interval.Length() > 1e-7) {
+      samples.push_back(0.5 * (segment.interval.lo + segment.interval.hi));
+    }
+  }
+  return samples;
+}
+
+TEST(PastEngineTest, KnnMatchesSnapshotOracleOnRandomHistory) {
+  const RandomModOptions mod_options{
+      .num_objects = 25, .dim = 2, .speed_max = 20.0, .seed = 101};
+  const UpdateStreamOptions stream{.count = 80, .mean_gap = 2.0, .seed = 102};
+  const MovingObjectDatabase mod = RandomHistoryMod(mod_options, stream);
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, -1.0}));
+
+  for (size_t k : {1u, 3u, 7u}) {
+    const TimeInterval interval(5.0, 120.0);
+    const AnswerTimeline timeline = PastKnn(mod, gdist, k, interval);
+    ASSERT_FALSE(timeline.segments().empty());
+    for (double t : MidpointSamples(timeline)) {
+      EXPECT_EQ(timeline.AnswerAt(t), SnapshotKnn(mod, *gdist, k, t))
+          << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(PastEngineTest, WithinMatchesSnapshotOracle) {
+  const RandomModOptions mod_options{
+      .num_objects = 30, .dim = 2, .box_lo = -200.0, .box_hi = 200.0,
+      .seed = 201};
+  const UpdateStreamOptions stream{.count = 50, .mean_gap = 1.5, .seed = 202};
+  const MovingObjectDatabase mod = RandomHistoryMod(mod_options, stream);
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  const double threshold = 150.0 * 150.0;
+  const AnswerTimeline timeline =
+      PastWithin(mod, gdist, threshold, TimeInterval(0.0, 60.0));
+  for (double t : MidpointSamples(timeline)) {
+    EXPECT_EQ(timeline.AnswerAt(t), SnapshotWithin(mod, *gdist, threshold, t))
+        << "t=" << t;
+  }
+}
+
+TEST(PastEngineTest, ReplaysCreationsAndTerminations) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{5.0}, Vec{0.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 10.0, Vec{1.0}, Vec{0.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::TerminateObject(2, 20.0)).ok());
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+
+  const AnswerTimeline timeline =
+      PastKnn(mod, gdist, /*k=*/1, TimeInterval(0.0, 30.0));
+  // o1 alone, then o2 (closer) during [10, 20], then o1 again.
+  EXPECT_EQ(timeline.AnswerAt(5.0), (std::set<ObjectId>{1}));
+  EXPECT_EQ(timeline.AnswerAt(15.0), (std::set<ObjectId>{2}));
+  EXPECT_EQ(timeline.AnswerAt(25.0), (std::set<ObjectId>{1}));
+}
+
+TEST(PastEngineTest, TurnsNeedNoStructuralEvents) {
+  // A turn mid-interval changes the curve but not the object set; the
+  // engine must pick up crossings caused by the turn.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0}, Vec{0.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{20.0}, Vec{0.0})).ok());
+  // o2 rushes inward from t=5: x2 = 20 - 2(t-5); passes |x1|=10 at t=10.
+  ASSERT_TRUE(mod.Apply(Update::ChangeDirection(2, 5.0, Vec{-2.0})).ok());
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  const AnswerTimeline timeline =
+      PastKnn(mod, gdist, 1, TimeInterval(0.0, 12.0));
+  EXPECT_EQ(timeline.AnswerAt(8.0), (std::set<ObjectId>{1}));
+  EXPECT_EQ(timeline.AnswerAt(11.0), (std::set<ObjectId>{2}));
+}
+
+TEST(PastEngineTest, EmptyIntervalOutsideLifetimes) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 50.0, Vec{5.0}, Vec{0.0})).ok());
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  const AnswerTimeline timeline =
+      PastKnn(mod, gdist, 1, TimeInterval(0.0, 10.0));
+  EXPECT_TRUE(timeline.AnswerAt(5.0).empty());
+}
+
+TEST(PastEngineTest, StatsReportSupportChanges) {
+  const RandomModOptions mod_options{.num_objects = 20, .seed = 301};
+  const MovingObjectDatabase mod = RandomMod(mod_options);
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  PastQueryEngine engine(mod, gdist, TimeInterval(0.0, 200.0));
+  KnnKernel kernel(&engine.state(), 2);
+  engine.Run();
+  EXPECT_EQ(engine.stats().inserts, 20u);
+  EXPECT_GT(engine.stats().swaps, 0u);
+  EXPECT_LE(engine.stats().max_queue_length, 19u);
+}
+
+TEST(PastEngineTest, RunTwiceDies) {
+  const MovingObjectDatabase mod = RandomMod({.num_objects = 3, .seed = 7});
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  PastQueryEngine engine(mod, gdist, TimeInterval(0.0, 10.0));
+  engine.Run();
+  EXPECT_DEATH(engine.Run(), "once");
+}
+
+TEST(PastEngineTest, UnboundedIntervalDies) {
+  const MovingObjectDatabase mod = RandomMod({.num_objects = 3, .seed = 7});
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+  EXPECT_DEATH(PastQueryEngine(mod, gdist, TimeInterval(0.0, kInf)),
+               "bounded");
+}
+
+}  // namespace
+}  // namespace modb

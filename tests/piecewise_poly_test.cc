@@ -1,0 +1,220 @@
+#include "geom/piecewise_poly.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+// A V-shape: |t - 5| as two linear pieces on [0, 10].
+PiecewisePoly VShape() {
+  PiecewisePoly f;
+  f.AppendPiece(0.0, Polynomial({5.0, -1.0}));  // 5 - t.
+  f.AppendPiece(5.0, Polynomial({-5.0, 1.0}));  // t - 5.
+  f.SetDomainEnd(10.0);
+  return f;
+}
+
+TEST(PiecewisePolyTest, SinglePieceBasics) {
+  const PiecewisePoly f =
+      PiecewisePoly::SinglePiece(Polynomial({1.0, 2.0}), 0.0, 10.0);
+  EXPECT_EQ(f.NumPieces(), 1u);
+  EXPECT_DOUBLE_EQ(f.DomainStart(), 0.0);
+  EXPECT_DOUBLE_EQ(f.DomainEnd(), 10.0);
+  EXPECT_DOUBLE_EQ(f.Eval(3.0), 7.0);
+  EXPECT_TRUE(f.Covers(10.0));
+  EXPECT_FALSE(f.Covers(10.5));
+}
+
+TEST(PiecewisePolyTest, EvalAcrossPieces) {
+  const PiecewisePoly f = VShape();
+  EXPECT_DOUBLE_EQ(f.Eval(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.Eval(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.Eval(5.0), 0.0);  // Boundary: later piece.
+  EXPECT_DOUBLE_EQ(f.Eval(9.0), 4.0);
+}
+
+TEST(PiecewisePolyTest, PieceIndexAtBoundaryPrefersLater) {
+  const PiecewisePoly f = VShape();
+  EXPECT_EQ(f.PieceIndexAt(4.999), 0u);
+  EXPECT_EQ(f.PieceIndexAt(5.0), 1u);
+}
+
+TEST(PiecewisePolyTest, ContinuityCheck) {
+  EXPECT_TRUE(VShape().IsContinuous());
+  PiecewisePoly jump;
+  jump.AppendPiece(0.0, Polynomial::Constant(1.0));
+  jump.AppendPiece(1.0, Polynomial::Constant(2.0));
+  jump.SetDomainEnd(2.0);
+  EXPECT_FALSE(jump.IsContinuous());
+}
+
+TEST(PiecewisePolyTest, Restrict) {
+  const PiecewisePoly f = VShape();
+  const PiecewisePoly g = f.Restrict(3.0, 7.0);
+  EXPECT_DOUBLE_EQ(g.DomainStart(), 3.0);
+  EXPECT_DOUBLE_EQ(g.DomainEnd(), 7.0);
+  EXPECT_EQ(g.NumPieces(), 2u);
+  EXPECT_DOUBLE_EQ(g.Eval(4.0), f.Eval(4.0));
+  EXPECT_DOUBLE_EQ(g.Eval(6.0), f.Eval(6.0));
+  EXPECT_TRUE(f.Restrict(20.0, 30.0).empty());
+}
+
+TEST(PiecewisePolyTest, DifferenceMergesBreakpoints) {
+  const PiecewisePoly f = VShape();
+  PiecewisePoly g;
+  g.AppendPiece(2.0, Polynomial::Constant(1.0));
+  g.AppendPiece(7.0, Polynomial({0.0, 1.0}));
+  g.SetDomainEnd(12.0);
+  const PiecewisePoly diff = PiecewisePoly::Difference(f, g);
+  // Domain: [2, 10]; breakpoints at 5 and 7 -> 3 pieces.
+  EXPECT_DOUBLE_EQ(diff.DomainStart(), 2.0);
+  EXPECT_DOUBLE_EQ(diff.DomainEnd(), 10.0);
+  EXPECT_EQ(diff.NumPieces(), 3u);
+  for (double t : {2.0, 3.3, 5.0, 6.9, 7.5, 10.0}) {
+    EXPECT_NEAR(diff.Eval(t), f.Eval(t) - g.Eval(t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(PiecewisePolyTest, SumAndProduct) {
+  const PiecewisePoly f = VShape();
+  const PiecewisePoly g =
+      PiecewisePoly::SinglePiece(Polynomial({0.0, 1.0}), 0.0, 10.0);
+  const PiecewisePoly sum = PiecewisePoly::Sum(f, g);
+  const PiecewisePoly product = PiecewisePoly::Product(f, g);
+  for (double t : {0.0, 2.5, 5.0, 8.0, 10.0}) {
+    EXPECT_NEAR(sum.Eval(t), f.Eval(t) + g.Eval(t), 1e-12);
+    EXPECT_NEAR(product.Eval(t), f.Eval(t) * g.Eval(t), 1e-12);
+  }
+}
+
+TEST(PiecewisePolyTest, DisjointDomainsGiveEmpty) {
+  const PiecewisePoly f =
+      PiecewisePoly::SinglePiece(Polynomial::Constant(1.0), 0.0, 1.0);
+  const PiecewisePoly g =
+      PiecewisePoly::SinglePiece(Polynomial::Constant(2.0), 2.0, 3.0);
+  EXPECT_TRUE(PiecewisePoly::Difference(f, g).empty());
+}
+
+TEST(PiecewisePolyTest, InteriorBreakpoints) {
+  const std::vector<double> breaks = VShape().InteriorBreakpoints();
+  ASSERT_EQ(breaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(breaks[0], 5.0);
+}
+
+TEST(CriticalTimesTest, RootsAndBreakpoints) {
+  // V-shape minus 2: roots at 3 and 7, breakpoint at 5.
+  const PiecewisePoly f = VShape();
+  const PiecewisePoly two =
+      PiecewisePoly::SinglePiece(Polynomial::Constant(2.0), 0.0, 10.0);
+  const PiecewisePoly diff = PiecewisePoly::Difference(f, two);
+  const std::vector<double> times = CriticalTimes(diff, 0.0, 10.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(times[0], 3.0, 1e-9);
+  EXPECT_NEAR(times[1], 5.0, 1e-9);
+  EXPECT_NEAR(times[2], 7.0, 1e-9);
+}
+
+TEST(FirstTimePositiveTest, CrossingInsidePiece) {
+  // t - 5 on [0, 10]: positive after 5.
+  const PiecewisePoly f =
+      PiecewisePoly::SinglePiece(Polynomial({-5.0, 1.0}), 0.0, 10.0);
+  auto t = FirstTimePositive(f, 0.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 5.0, 1e-9);
+}
+
+TEST(FirstTimePositiveTest, NeverPositive) {
+  const PiecewisePoly f =
+      PiecewisePoly::SinglePiece(Polynomial({-5.0, -1.0}), 0.0, 10.0);
+  EXPECT_FALSE(FirstTimePositive(f, 0.0, 10.0).has_value());
+}
+
+TEST(FirstTimePositiveTest, AlreadyPositiveReturnsLo) {
+  const PiecewisePoly f =
+      PiecewisePoly::SinglePiece(Polynomial::Constant(1.0), 0.0, 10.0);
+  auto t = FirstTimePositive(f, 2.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2.0);
+}
+
+TEST(FirstTimePositiveTest, SkipsTangencyFromBelow) {
+  // -(t - 3)²: touches zero at 3 but never positive.
+  const PiecewisePoly f = PiecewisePoly::SinglePiece(
+      -(Polynomial({-3.0, 1.0}) * Polynomial({-3.0, 1.0})), 0.0, 10.0);
+  EXPECT_FALSE(FirstTimePositive(f, 0.0, 10.0).has_value());
+}
+
+TEST(FirstTimePositiveTest, ZeroPlateauThenPositive) {
+  // 0 on [0, 2], then t - 2 on [2, 10]: becomes positive at 2.
+  PiecewisePoly f;
+  f.AppendPiece(0.0, Polynomial());
+  f.AppendPiece(2.0, Polynomial({-2.0, 1.0}));
+  f.SetDomainEnd(10.0);
+  auto t = FirstTimePositive(f, 0.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.0, 1e-9);
+}
+
+TEST(FirstTimePositiveTest, UnboundedDomain) {
+  // (t - 100): first positive at 100, searched over an infinite window.
+  const PiecewisePoly f =
+      PiecewisePoly::SinglePiece(Polynomial({-100.0, 1.0}), 0.0, kInf);
+  auto t = FirstTimePositive(f, 0.0, kInf);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 100.0, 1e-9);
+}
+
+TEST(FirstTimePositiveTest, RootExactlyAtLoIgnored) {
+  // (t - 2)(t - 6): positive before 2, negative in (2,6), positive after 6.
+  // Starting exactly at the root 2, the next positive onset is 6.
+  const PiecewisePoly f = PiecewisePoly::SinglePiece(
+      Polynomial({-2.0, 1.0}) * Polynomial({-6.0, 1.0}), 0.0, kInf);
+  auto t = FirstTimePositive(f, 2.0, kInf);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 6.0, 1e-9);
+}
+
+TEST(ComposeWithTimeTermTest, IdentityTerm) {
+  const PiecewisePoly f = VShape();
+  const PiecewisePoly g =
+      f.ComposeWithTimeTerm(Polynomial::Identity(), 1.0, 9.0);
+  for (double t : {1.0, 4.0, 5.0, 8.0, 9.0}) {
+    EXPECT_NEAR(g.Eval(t), f.Eval(t), 1e-12);
+  }
+}
+
+TEST(ComposeWithTimeTermTest, ShiftTerm) {
+  // term = t + 3: g(t) = f(t + 3); the breakpoint at 5 maps to 2.
+  const PiecewisePoly f = VShape();
+  const PiecewisePoly g =
+      f.ComposeWithTimeTerm(Polynomial({3.0, 1.0}), 0.0, 7.0);
+  for (double t : {0.0, 1.9, 2.0, 5.0, 7.0}) {
+    EXPECT_NEAR(g.Eval(t), f.Eval(t + 3.0), 1e-12) << "t=" << t;
+  }
+  const std::vector<double> breaks = g.InteriorBreakpoints();
+  ASSERT_EQ(breaks.size(), 1u);
+  EXPECT_NEAR(breaks[0], 2.0, 1e-9);
+}
+
+TEST(ComposeWithTimeTermTest, ConstantTerm) {
+  const PiecewisePoly f = VShape();
+  const PiecewisePoly g =
+      f.ComposeWithTimeTerm(Polynomial::Constant(4.0), 0.0, 100.0);
+  EXPECT_EQ(g.NumPieces(), 1u);
+  EXPECT_DOUBLE_EQ(g.Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.Eval(100.0), 1.0);
+}
+
+TEST(ComposeWithTimeTermTest, NonMonotoneTerm) {
+  // term = (t - 2)²: non-monotone on [0, 4], maps into [0, 4] ⊂ dom(f).
+  const PiecewisePoly f = VShape();
+  const Polynomial term =
+      Polynomial({-2.0, 1.0}) * Polynomial({-2.0, 1.0});
+  const PiecewisePoly g = f.ComposeWithTimeTerm(term, 0.0, 4.0);
+  for (double t : {0.0, 0.5, 1.0, 2.0, 3.1, 4.0}) {
+    EXPECT_NEAR(g.Eval(t), f.Eval(term.Eval(t)), 1e-9) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,99 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace modb {
+namespace {
+
+ConvexPolygon UnitSquare() {
+  return ConvexPolygon::Rectangle(0.0, 0.0, 1.0, 1.0);
+}
+
+TEST(ConvexPolygonTest, RectangleBasics) {
+  const ConvexPolygon square = UnitSquare();
+  EXPECT_EQ(square.num_vertices(), 4u);
+  EXPECT_DOUBLE_EQ(square.Area(), 1.0);
+}
+
+TEST(ConvexPolygonTest, NonConvexInputDies) {
+  // A "dart" (reflex vertex).
+  EXPECT_DEATH(ConvexPolygon({Vec{0.0, 0.0}, Vec{2.0, 0.0}, Vec{1.0, 0.5},
+                              Vec{2.0, 2.0}}),
+               "convex");
+  // Clockwise order.
+  EXPECT_DEATH(ConvexPolygon({Vec{0.0, 0.0}, Vec{0.0, 1.0}, Vec{1.0, 1.0}}),
+               "convex");
+}
+
+TEST(ConvexPolygonTest, Contains) {
+  const ConvexPolygon square = UnitSquare();
+  EXPECT_TRUE(square.Contains(Vec{0.5, 0.5}));
+  EXPECT_TRUE(square.Contains(Vec{0.0, 0.0}));   // Vertex.
+  EXPECT_TRUE(square.Contains(Vec{0.5, 0.0}));   // Edge.
+  EXPECT_FALSE(square.Contains(Vec{1.5, 0.5}));
+  EXPECT_FALSE(square.Contains(Vec{-0.001, 0.5}));
+}
+
+TEST(ConvexPolygonTest, BoundaryDistance) {
+  const ConvexPolygon square = UnitSquare();
+  // Outside, closest to an edge.
+  EXPECT_DOUBLE_EQ(square.SquaredDistanceToBoundary(Vec{0.5, 2.0}), 1.0);
+  // Outside, closest to a corner.
+  EXPECT_DOUBLE_EQ(square.SquaredDistanceToBoundary(Vec{2.0, 2.0}), 2.0);
+  // Inside.
+  EXPECT_DOUBLE_EQ(square.SquaredDistanceToBoundary(Vec{0.5, 0.9}),
+                   0.1 * 0.1);
+  // On the boundary.
+  EXPECT_DOUBLE_EQ(square.SquaredDistanceToBoundary(Vec{1.0, 0.5}), 0.0);
+}
+
+TEST(ConvexPolygonTest, SignedDistance) {
+  const ConvexPolygon square = UnitSquare();
+  EXPECT_LT(square.SignedSquaredDistance(Vec{0.5, 0.5}), 0.0);
+  EXPECT_GT(square.SignedSquaredDistance(Vec{2.0, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(square.SignedSquaredDistance(Vec{0.0, 0.5}), 0.0);
+  // Deepest interior point of the unit square: distance 0.5 to each side.
+  EXPECT_DOUBLE_EQ(square.SignedSquaredDistance(Vec{0.5, 0.5}), -0.25);
+}
+
+TEST(ConvexPolygonTest, HullOfSquareWithInteriorPoints) {
+  const ConvexPolygon hull = ConvexPolygon::Hull(
+      {Vec{0.0, 0.0}, Vec{1.0, 0.0}, Vec{1.0, 1.0}, Vec{0.0, 1.0},
+       Vec{0.5, 0.5}, Vec{0.2, 0.8}, Vec{0.5, 0.0}});  // Collinear too.
+  EXPECT_EQ(hull.num_vertices(), 4u);
+  EXPECT_DOUBLE_EQ(hull.Area(), 1.0);
+}
+
+TEST(ConvexPolygonTest, HullOfRandomPointsContainsAll) {
+  Rng rng(555);
+  std::vector<Vec> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back(Vec{rng.Uniform(-10.0, 10.0), rng.Uniform(-5.0, 5.0)});
+  }
+  const ConvexPolygon hull = ConvexPolygon::Hull(points);
+  for (const Vec& p : points) {
+    EXPECT_TRUE(hull.Contains(p)) << p.ToString();
+  }
+  EXPECT_GT(hull.Area(), 0.0);
+}
+
+TEST(ConvexPolygonTest, SignedDistanceContinuousAcrossBoundary) {
+  // Sample along a ray crossing the boundary: the signed value must pass
+  // through zero without jumping.
+  const ConvexPolygon pentagon = ConvexPolygon::Hull(
+      {Vec{0.0, 2.0}, Vec{-1.9, 0.6}, Vec{-1.2, -1.6}, Vec{1.2, -1.6},
+       Vec{1.9, 0.6}});
+  double prev = pentagon.SignedSquaredDistance(Vec{-4.0, 0.3});
+  for (double x = -4.0; x <= 4.0; x += 0.01) {
+    const double value = pentagon.SignedSquaredDistance(Vec{x, 0.3});
+    EXPECT_LT(std::fabs(value - prev), 0.2) << "jump at x=" << x;
+    prev = value;
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,137 @@
+#include "geom/polynomial.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+TEST(PolynomialTest, ZeroAndConstant) {
+  const Polynomial zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.degree(), -1);
+  EXPECT_DOUBLE_EQ(zero.Eval(5.0), 0.0);
+
+  const Polynomial c = Polynomial::Constant(3.5);
+  EXPECT_EQ(c.degree(), 0);
+  EXPECT_DOUBLE_EQ(c.Eval(-7.0), 3.5);
+
+  EXPECT_TRUE(Polynomial::Constant(0.0).IsZero());
+}
+
+TEST(PolynomialTest, TrailingZerosTrimmed) {
+  const Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_DOUBLE_EQ(p.coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.coeff(5), 0.0);
+}
+
+TEST(PolynomialTest, HornerEvaluation) {
+  // 2t² - 3t + 1.
+  const Polynomial p({1.0, -3.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.Eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Eval(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Eval(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.Eval(-1.0), 6.0);
+}
+
+TEST(PolynomialTest, Arithmetic) {
+  const Polynomial p({1.0, 1.0});   // 1 + t.
+  const Polynomial q({-1.0, 1.0});  // -1 + t.
+  EXPECT_EQ(p + q, Polynomial({0.0, 2.0}));
+  EXPECT_EQ(p - q, Polynomial({2.0}));
+  EXPECT_EQ(p * q, Polynomial({-1.0, 0.0, 1.0}));  // t² - 1.
+  EXPECT_EQ(p * 3.0, Polynomial({3.0, 3.0}));
+  EXPECT_EQ(-p, Polynomial({-1.0, -1.0}));
+}
+
+TEST(PolynomialTest, CancellationTrims) {
+  const Polynomial p({0.0, 0.0, 1.0});
+  const Polynomial q({1.0, 0.0, 1.0});
+  EXPECT_EQ((p - q).degree(), 0);
+  EXPECT_EQ((p - p).degree(), -1);
+}
+
+TEST(PolynomialTest, Monomial) {
+  EXPECT_EQ(Polynomial::Monomial(2.0, 3), Polynomial({0.0, 0.0, 0.0, 2.0}));
+  EXPECT_TRUE(Polynomial::Monomial(0.0, 3).IsZero());
+  EXPECT_EQ(Polynomial::Identity(), Polynomial({0.0, 1.0}));
+}
+
+TEST(PolynomialTest, Derivative) {
+  // d/dt (t³ - 2t + 5) = 3t² - 2.
+  const Polynomial p({5.0, -2.0, 0.0, 1.0});
+  EXPECT_EQ(p.Derivative(), Polynomial({-2.0, 0.0, 3.0}));
+  EXPECT_TRUE(Polynomial::Constant(4.0).Derivative().IsZero());
+  EXPECT_TRUE(Polynomial().Derivative().IsZero());
+}
+
+TEST(PolynomialTest, Compose) {
+  // p(t) = t² + 1, inner = t - 3: p(inner) = (t-3)² + 1 = t² - 6t + 10.
+  const Polynomial p({1.0, 0.0, 1.0});
+  const Polynomial inner({-3.0, 1.0});
+  EXPECT_EQ(p.Compose(inner), Polynomial({10.0, -6.0, 1.0}));
+  // Composing with a constant gives the constant evaluation.
+  EXPECT_EQ(p.Compose(Polynomial::Constant(2.0)), Polynomial::Constant(5.0));
+}
+
+TEST(PolynomialTest, ShiftArgument) {
+  const Polynomial p({0.0, 0.0, 1.0});  // t².
+  const Polynomial shifted = p.ShiftArgument(1.0);
+  // p(t + 1) = t² + 2t + 1.
+  EXPECT_EQ(shifted, Polynomial({1.0, 2.0, 1.0}));
+  for (double t : {-2.0, 0.0, 3.5}) {
+    EXPECT_NEAR(shifted.Eval(t), p.Eval(t + 1.0), 1e-12);
+  }
+}
+
+TEST(PolynomialTest, DivMod) {
+  // t³ - 2t² + 4 divided by t - 1: q = t² - t - 1, r = 3.
+  const Polynomial dividend({4.0, 0.0, -2.0, 1.0});
+  const Polynomial divisor({-1.0, 1.0});
+  Polynomial quotient, remainder;
+  dividend.DivMod(divisor, &quotient, &remainder);
+  EXPECT_TRUE(quotient.AlmostEquals(Polynomial({-1.0, -1.0, 1.0})));
+  EXPECT_TRUE(remainder.AlmostEquals(Polynomial({3.0})));
+  // Verify dividend == q * divisor + r.
+  EXPECT_TRUE((quotient * divisor + remainder).AlmostEquals(dividend));
+}
+
+TEST(PolynomialTest, DivModLowerDegree) {
+  const Polynomial dividend({1.0, 2.0});
+  const Polynomial divisor({0.0, 0.0, 1.0});
+  Polynomial quotient, remainder;
+  dividend.DivMod(divisor, &quotient, &remainder);
+  EXPECT_TRUE(quotient.IsZero());
+  EXPECT_EQ(remainder, dividend);
+}
+
+TEST(PolynomialTest, DivModByZeroDies) {
+  EXPECT_DEATH(Polynomial({1.0}).DivMod(Polynomial(), nullptr, nullptr),
+               "division by zero");
+}
+
+TEST(PolynomialTest, RootBoundContainsRoots) {
+  // (t - 5)(t + 7)(t - 0.5) expanded.
+  const Polynomial p = Polynomial({-5.0, 1.0}) * Polynomial({7.0, 1.0}) *
+                       Polynomial({-0.5, 1.0});
+  const double bound = p.RootBound();
+  EXPECT_GE(bound, 7.0);
+  // Sign is constant beyond the bound.
+  EXPECT_GT(p.Eval(bound + 1.0) * p.Eval(bound + 100.0), 0.0);
+}
+
+TEST(PolynomialTest, Trimmed) {
+  const Polynomial p({1.0, 1.0, 1e-15});
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_EQ(p.Trimmed(1e-12).degree(), 1);
+}
+
+TEST(PolynomialTest, ToString) {
+  EXPECT_EQ(Polynomial().ToString(), "0");
+  EXPECT_EQ(Polynomial({1.5}).ToString(), "1.5");
+  EXPECT_EQ(Polynomial({0.0, 1.0}).ToString(), "t");
+  EXPECT_EQ(Polynomial({1.0, 0.0, 3.0}).ToString(), "3 t^2 + 1");
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,179 @@
+#include "queries/query_server.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gdist/builtin.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+GDistancePtr OriginDistance() {
+  return std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+}
+
+// Reference answers against a mirror database.
+std::set<ObjectId> BruteKnn(const MovingObjectDatabase& mod,
+                            const GDistance& gdist, size_t k, double t) {
+  std::vector<std::pair<double, ObjectId>> values;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    if (!trajectory.DefinedAt(t)) continue;
+    values.emplace_back(gdist.Curve(trajectory).Eval(t), oid);
+  }
+  std::sort(values.begin(), values.end());
+  std::set<ObjectId> answer;
+  for (size_t i = 0; i < values.size() && i < k; ++i) {
+    answer.insert(values[i].second);
+  }
+  return answer;
+}
+
+std::set<ObjectId> BruteWithin(const MovingObjectDatabase& mod,
+                               const GDistance& gdist, double threshold,
+                               double t) {
+  std::set<ObjectId> answer;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    if (trajectory.DefinedAt(t) &&
+        gdist.Curve(trajectory).Eval(t) <= threshold) {
+      answer.insert(oid);
+    }
+  }
+  return answer;
+}
+
+TEST(QueryServerTest, MixedKernelsShareOneEngine) {
+  const RandomModOptions options{
+      .num_objects = 20, .dim = 2, .box_lo = -200.0, .box_hi = 200.0,
+      .seed = 41};
+  MovingObjectDatabase mod = RandomMod(options);
+  const GDistancePtr gdist = OriginDistance();
+
+  QueryServer server(mod, 0.0);
+  const QueryId nearest3 = server.AddKnn("origin", gdist, 3);
+  const QueryId nearest1 = server.AddKnn("origin", gdist, 1);
+  const QueryId close = server.AddWithin("origin", gdist, 150.0 * 150.0);
+  const QueryId closer = server.AddWithin("origin", gdist, 80.0 * 80.0);
+  EXPECT_EQ(server.engine_count(), 1u);  // All four share one sweep.
+  EXPECT_EQ(server.query_count(), 4u);
+
+  for (double t : {5.0, 10.0, 20.0, 40.0}) {
+    server.AdvanceTo(t);
+    EXPECT_EQ(server.Answer(nearest3), BruteKnn(mod, *gdist, 3, t))
+        << "t=" << t;
+    EXPECT_EQ(server.Answer(nearest1), BruteKnn(mod, *gdist, 1, t));
+    EXPECT_EQ(server.Answer(close),
+              BruteWithin(mod, *gdist, 150.0 * 150.0, t));
+    EXPECT_EQ(server.Answer(closer),
+              BruteWithin(mod, *gdist, 80.0 * 80.0, t));
+  }
+}
+
+TEST(QueryServerTest, DistinctGDistancesGetDistinctEngines) {
+  const MovingObjectDatabase mod =
+      RandomMod({.num_objects = 10, .dim = 2, .seed = 42});
+  QueryServer server(mod, 0.0);
+  server.AddKnn("origin", OriginDistance(), 1);
+  server.AddKnn("north",
+                std::make_shared<SquaredEuclideanGDistance>(
+                    Trajectory::Stationary(0.0, Vec{0.0, 500.0})),
+                1);
+  EXPECT_EQ(server.engine_count(), 2u);
+}
+
+TEST(QueryServerTest, UpdatesFanOutToAllEngines) {
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0, 0.0},
+                                          Vec{0.0, 0.0}))
+                  .ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{0.0, 490.0},
+                                          Vec{0.0, 0.0}))
+                  .ok());
+  auto origin = OriginDistance();
+  auto north = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 500.0}));
+  QueryServer server(mod, 0.0);
+  const QueryId near_origin = server.AddKnn("origin", origin, 1);
+  const QueryId near_north = server.AddKnn("north", north, 1);
+  EXPECT_EQ(server.Answer(near_origin), (std::set<ObjectId>{1}));
+  EXPECT_EQ(server.Answer(near_north), (std::set<ObjectId>{2}));
+
+  // o3 appears near the origin: only the origin query changes.
+  ASSERT_TRUE(server
+                  .ApplyUpdate(Update::NewObject(3, 2.0, Vec{1.0, 0.0},
+                                                 Vec{0.0, 0.0}))
+                  .ok());
+  EXPECT_EQ(server.Answer(near_origin), (std::set<ObjectId>{3}));
+  EXPECT_EQ(server.Answer(near_north), (std::set<ObjectId>{2}));
+
+  // o2 terminates: the north query falls back to the nearest remaining.
+  ASSERT_TRUE(server.ApplyUpdate(Update::TerminateObject(2, 3.0)).ok());
+  EXPECT_EQ(server.Answer(near_north).size(), 1u);
+  EXPECT_EQ(server.Answer(near_north).count(2), 0u);
+}
+
+TEST(QueryServerTest, LateRegistrationSeesCurrentState) {
+  const MovingObjectDatabase mod =
+      RandomMod({.num_objects = 15, .dim = 2, .seed = 43});
+  const GDistancePtr gdist = OriginDistance();
+  QueryServer server(mod, 0.0);
+  const QueryId early = server.AddKnn("origin", gdist, 2);
+  server.AdvanceTo(25.0);
+  // A second query on the same engine attaches mid-sweep and must adopt
+  // the current answer.
+  const QueryId late = server.AddKnn("origin", gdist, 2);
+  EXPECT_EQ(server.Answer(late), server.Answer(early));
+  EXPECT_EQ(server.Answer(late), BruteKnn(mod, *gdist, 2, 25.0));
+}
+
+TEST(QueryServerTest, ChaosAgainstBruteForce) {
+  const RandomModOptions options{
+      .num_objects = 18, .dim = 2, .box_lo = -300.0, .box_hi = 300.0,
+      .speed_max = 12.0, .seed = 44};
+  const UpdateStreamOptions stream{.count = 60, .mean_gap = 0.8, .seed = 45};
+  const MovingObjectDatabase initial = RandomMod(options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(initial, options, stream);
+
+  const GDistancePtr gdist = OriginDistance();
+  QueryServer server(initial, 0.0);
+  const QueryId knn = server.AddKnn("origin", gdist, 4);
+  const QueryId within = server.AddWithin("origin", gdist, 200.0 * 200.0);
+
+  MovingObjectDatabase mirror = initial;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    ASSERT_TRUE(server.ApplyUpdate(updates[i]).ok());
+    ASSERT_TRUE(mirror.Apply(updates[i]).ok());
+    if (i % 6 == 0) {
+      const double next =
+          (i + 1 < updates.size()) ? updates[i + 1].time : server.now() + 1.0;
+      if (next <= server.now()) continue;
+      const double t = server.now() + std::min(1e-7, 0.5 * (next - server.now()));
+      server.AdvanceTo(t);
+      EXPECT_EQ(server.Answer(knn), BruteKnn(mirror, *gdist, 4, t))
+          << "update " << i;
+      EXPECT_EQ(server.Answer(within),
+                BruteWithin(mirror, *gdist, 200.0 * 200.0, t));
+    }
+  }
+  EXPECT_EQ(server.engine_count(), 1u);
+}
+
+TEST(QueryServerTest, TimelineAccumulates) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0}, Vec{-1.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{2.0}, Vec{0.0})).ok());
+  QueryServer server(mod, 0.0);
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  const QueryId nearest = server.AddKnn("origin", gdist, 1);
+  server.AdvanceTo(20.0);
+  // Crossings at 8 and 12: at least two recorded segments so far.
+  EXPECT_GE(server.Timeline(nearest).segments().size(), 2u);
+  EXPECT_EQ(server.TotalStats().swaps, 2u);
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,149 @@
+#include "gdist/region.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "queries/region_queries.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+ConvexPolygon County() {
+  // An irregular convex "county".
+  return ConvexPolygon::Hull({Vec{-50.0, -30.0}, Vec{40.0, -45.0},
+                              Vec{70.0, 10.0}, Vec{30.0, 55.0},
+                              Vec{-40.0, 40.0}});
+}
+
+TEST(RegionGDistanceTest, MatchesPointwiseGeometry) {
+  const ConvexPolygon county = County();
+  const RegionGDistance gdist(county);
+  Rng rng(606);
+  for (int trial = 0; trial < 25; ++trial) {
+    Trajectory object = Trajectory::Linear(
+        0.0, RandomPoint(rng, 2, -150.0, 150.0),
+        RandomVelocity(rng, 2, 2.0, 15.0));
+    if (trial % 3 == 0) {
+      ASSERT_TRUE(
+          object.AddTurn(7.0, RandomVelocity(rng, 2, 2.0, 15.0)).ok());
+    }
+    const GCurve curve = gdist.Curve(object);
+    ASSERT_TRUE(curve.is_polynomial());
+    for (double t = 0.0; t <= 20.0; t += 0.37) {
+      const double expected =
+          county.SignedSquaredDistance(object.PositionAt(t));
+      EXPECT_NEAR(curve.Eval(t), expected, 1e-6 * (1.0 + std::fabs(expected)))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(RegionGDistanceTest, CurveIsContinuousAndPiecewiseQuadratic) {
+  const RegionGDistance gdist(County());
+  const Trajectory crossing =
+      Trajectory::Linear(0.0, Vec{-200.0, 0.0}, Vec{10.0, 0.5});
+  const GCurve curve = gdist.Curve(crossing);
+  EXPECT_TRUE(curve.poly().IsContinuous(1e-6));
+  EXPECT_GT(curve.poly().NumPieces(), 2u);  // Feature changes happened.
+  for (const auto& piece : curve.poly().pieces()) {
+    EXPECT_LE(piece.poly.degree(), 2);
+  }
+}
+
+TEST(RegionGDistanceTest, SignFlipsExactlyAtBoundary) {
+  const ConvexPolygon square = ConvexPolygon::Rectangle(0.0, 0.0, 10.0, 10.0);
+  const RegionGDistance gdist(square);
+  // Enters through x=0 at t=5, exits through x=10 at t=15.
+  const Trajectory object =
+      Trajectory::Linear(0.0, Vec{-5.0, 5.0}, Vec{1.0, 0.0});
+  const GCurve curve = gdist.Curve(object);
+  EXPECT_GT(curve.Eval(4.9), 0.0);
+  EXPECT_NEAR(curve.Eval(5.0), 0.0, 1e-9);
+  EXPECT_LT(curve.Eval(10.0), 0.0);
+  EXPECT_NEAR(curve.Eval(15.0), 0.0, 1e-9);
+  EXPECT_GT(curve.Eval(15.1), 0.0);
+  // Mid-square: 5 away from every edge.
+  EXPECT_NEAR(curve.Eval(10.0), -25.0, 1e-9);
+}
+
+TEST(RegionQueriesTest, Example3EnteringQuery) {
+  // Example 3: aircraft entering the county between τ1 and τ2.
+  const ConvexPolygon county = County();
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  // AC1 flies through the county, entering through the left boundary.
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{-150.0, 0.0},
+                                          Vec{20.0, 0.0}))
+                  .ok());
+  // AC2 stays far north: never enters.
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{0.0, 300.0},
+                                          Vec{5.0, 0.0}))
+                  .ok());
+  // AC3 starts inside: present but not "entering".
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(3, 0.0, Vec{0.0, 0.0}, Vec{0.0, 1.0}))
+          .ok());
+
+  const std::vector<RegionEntry> entries =
+      EnteringRegion(mod, county, 0.0, 20.0);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].oid, 1);
+  // AC1 crosses the left boundary where the segment from (-50,-30) to
+  // (-40,40) meets y=0: x = -50 + 10 * (30/70) ≈ -45.714 -> t ≈ 5.214.
+  EXPECT_NEAR(entries[0].time, (150.0 - 45.0 - 5.0 / 7.0) / 20.0, 1e-6);
+
+  // Membership timeline agrees with geometry at sample times.
+  const AnswerTimeline inside =
+      InsideRegionTimeline(mod, county, TimeInterval(0.0, 20.0));
+  for (double t : {1.0, 6.0, 9.0, 19.0}) {
+    std::set<ObjectId> expected;
+    for (const auto& [oid, trajectory] : mod.objects()) {
+      if (county.Contains(trajectory.PositionAt(t))) expected.insert(oid);
+    }
+    EXPECT_EQ(inside.AnswerAt(t), expected) << "t=" << t;
+  }
+}
+
+TEST(RegionQueriesTest, ReentryCountsTwice) {
+  const ConvexPolygon square = ConvexPolygon::Rectangle(0.0, 0.0, 10.0, 10.0);
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{-5.0, 5.0},
+                                          Vec{1.0, 0.0}))
+                  .ok());
+  // Crosses in at 5, out at 15; turns around at 20 and re-enters at 25.
+  ASSERT_TRUE(mod.Apply(Update::ChangeDirection(1, 20.0, Vec{-1.0, 0.0})).ok());
+  const std::vector<RegionEntry> entries =
+      EnteringRegion(mod, square, 0.0, 40.0);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_NEAR(entries[0].time, 5.0, 1e-9);
+  EXPECT_NEAR(entries[1].time, 25.0, 1e-9);
+}
+
+TEST(RegionQueriesTest, RandomFleetMembershipOracle) {
+  const ConvexPolygon county = County();
+  const RandomModOptions options{.num_objects = 15,
+                                 .dim = 2,
+                                 .box_lo = -120.0,
+                                 .box_hi = 120.0,
+                                 .speed_min = 3.0,
+                                 .speed_max = 12.0,
+                                 .seed = 607};
+  const MovingObjectDatabase mod = RandomMod(options);
+  const AnswerTimeline inside =
+      InsideRegionTimeline(mod, county, TimeInterval(0.0, 25.0));
+  for (const auto& segment : inside.segments()) {
+    if (segment.interval.Length() < 1e-6) continue;
+    const double t = 0.5 * (segment.interval.lo + segment.interval.hi);
+    std::set<ObjectId> expected;
+    for (const auto& [oid, trajectory] : mod.objects()) {
+      if (county.Contains(trajectory.PositionAt(t))) expected.insert(oid);
+    }
+    EXPECT_EQ(segment.answer, expected) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace modb

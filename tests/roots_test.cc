@@ -1,0 +1,150 @@
+#include "geom/roots.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/interval.h"
+
+namespace modb {
+namespace {
+
+// Builds (t - r1)(t - r2)... from its roots.
+Polynomial FromRoots(const std::vector<double>& roots) {
+  Polynomial p = Polynomial::Constant(1.0);
+  for (double r : roots) {
+    p *= Polynomial({-r, 1.0});
+  }
+  return p;
+}
+
+void ExpectRootsNear(const std::vector<double>& actual,
+                     const std::vector<double>& expected, double tol = 1e-7) {
+  ASSERT_EQ(actual.size(), expected.size())
+      << "wrong number of roots";
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << "root " << i;
+  }
+}
+
+TEST(RootsTest, LinearClosedForm) {
+  // 2t - 6.
+  ExpectRootsNear(AllRealRoots(Polynomial({-6.0, 2.0})), {3.0});
+  ExpectRootsNear(RealRootsInInterval(Polynomial({-6.0, 2.0}), 4.0, 10.0),
+                  {});
+  ExpectRootsNear(RealRootsInInterval(Polynomial({-6.0, 2.0}), 3.0, 10.0),
+                  {3.0});
+}
+
+TEST(RootsTest, QuadraticClosedForm) {
+  // (t - 1)(t - 4) = t² - 5t + 4.
+  ExpectRootsNear(AllRealRoots(Polynomial({4.0, -5.0, 1.0})), {1.0, 4.0});
+  // Double root: (t - 2)².
+  ExpectRootsNear(AllRealRoots(Polynomial({4.0, -4.0, 1.0})), {2.0});
+  // No real roots: t² + 1.
+  ExpectRootsNear(AllRealRoots(Polynomial({1.0, 0.0, 1.0})), {});
+}
+
+TEST(RootsTest, QuadraticNumericallyStable) {
+  // Roots 1e-6 and 1e6: naive formula loses the small root.
+  const Polynomial p = FromRoots({1e-6, 1e6});
+  const std::vector<double> roots = AllRealRoots(p);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 1e-6, 1e-12);
+  EXPECT_NEAR(roots[1], 1e6, 1e-3);
+}
+
+TEST(RootsTest, CubicViaSturm) {
+  ExpectRootsNear(AllRealRoots(FromRoots({-2.0, 1.0, 5.0})),
+                  {-2.0, 1.0, 5.0});
+}
+
+TEST(RootsTest, QuarticWithClusteredRoots) {
+  ExpectRootsNear(AllRealRoots(FromRoots({1.0, 1.001, 2.0, 8.0})),
+                  {1.0, 1.001, 2.0, 8.0}, 1e-5);
+}
+
+TEST(RootsTest, RepeatedRootsCollapsed) {
+  // (t - 3)² (t + 1): distinct roots -1, 3.
+  ExpectRootsNear(AllRealRoots(FromRoots({3.0, 3.0, -1.0})), {-1.0, 3.0},
+                  1e-6);
+}
+
+TEST(RootsTest, IntervalClipping) {
+  const Polynomial p = FromRoots({-5.0, 0.0, 5.0});
+  ExpectRootsNear(RealRootsInInterval(p, -1.0, 6.0), {0.0, 5.0}, 1e-6);
+  ExpectRootsNear(RealRootsInInterval(p, -10.0, -4.9), {-5.0}, 1e-6);
+  ExpectRootsNear(RealRootsInInterval(p, 0.5, 4.5), {});
+}
+
+TEST(RootsTest, UnboundedInterval) {
+  const Polynomial p = FromRoots({2.0, 100.0, 1000.0});
+  ExpectRootsNear(RealRootsInInterval(p, 50.0, kInf), {100.0, 1000.0}, 1e-4);
+}
+
+TEST(RootsTest, RootAtIntervalEndpointIncluded) {
+  const Polynomial p = FromRoots({1.0, 2.0, 3.0});
+  ExpectRootsNear(RealRootsInInterval(p, 1.0, 2.0), {1.0, 2.0}, 1e-6);
+}
+
+TEST(RootsTest, HighDegree) {
+  const std::vector<double> roots = {-9.0, -4.5, -1.0, 0.25, 3.0, 7.5, 12.0};
+  ExpectRootsNear(AllRealRoots(FromRoots(roots)), roots, 1e-5);
+}
+
+TEST(RootsTest, SturmChainStructure) {
+  const Polynomial p = FromRoots({1.0, 2.0, 3.0});
+  const std::vector<Polynomial> chain = BuildSturmChain(p);
+  ASSERT_GE(chain.size(), 2u);
+  // Sign variations drop by exactly the number of roots across the line.
+  const int at_minus_inf = SturmSignVariations(chain, -100.0);
+  const int at_plus_inf = SturmSignVariations(chain, 100.0);
+  EXPECT_EQ(at_minus_inf - at_plus_inf, 3);
+}
+
+TEST(FirstSignChangeTest, SimpleCrossing) {
+  // t - 5 changes sign at 5.
+  const Polynomial p({-5.0, 1.0});
+  auto t = FirstSignChangeAfter(p, 0.0, kInf);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 5.0, 1e-9);
+}
+
+TEST(FirstSignChangeTest, SkipsTangency) {
+  // (t - 2)² (t - 6): touches zero at 2 (no sign change), crosses at 6.
+  const Polynomial p = FromRoots({2.0, 2.0, 6.0});
+  auto t = FirstSignChangeAfter(p, 0.0, kInf);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 6.0, 1e-6);
+}
+
+TEST(FirstSignChangeTest, StrictlyAfterLo) {
+  // Root exactly at lo must not be returned.
+  const Polynomial p = FromRoots({1.0, 4.0});
+  auto t = FirstSignChangeAfter(p, 1.0, kInf);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 4.0, 1e-6);
+}
+
+TEST(FirstSignChangeTest, BoundedWindow) {
+  const Polynomial p = FromRoots({10.0});
+  EXPECT_FALSE(FirstSignChangeAfter(p, 0.0, 9.0).has_value());
+  EXPECT_TRUE(FirstSignChangeAfter(p, 0.0, 10.5).has_value());
+}
+
+TEST(FirstSignChangeTest, NoChangeForConstantOrZero) {
+  EXPECT_FALSE(FirstSignChangeAfter(Polynomial::Constant(3.0), 0.0, kInf)
+                   .has_value());
+  EXPECT_FALSE(FirstSignChangeAfter(Polynomial(), 0.0, kInf).has_value());
+}
+
+TEST(FirstSignChangeTest, QuadraticTwoCrossings) {
+  // (t-3)(t-8): first sign change after 0 is at 3; after 5 it is 8.
+  const Polynomial p = FromRoots({3.0, 8.0});
+  EXPECT_NEAR(*FirstSignChangeAfter(p, 0.0, kInf), 3.0, 1e-9);
+  EXPECT_NEAR(*FirstSignChangeAfter(p, 5.0, kInf), 8.0, 1e-9);
+  EXPECT_FALSE(FirstSignChangeAfter(p, 9.0, kInf).has_value());
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,124 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+TEST(RectTest, JoinAndArea) {
+  const Rect a{Vec{0.0, 0.0}, Vec{2.0, 2.0}};
+  const Rect b{Vec{1.0, 1.0}, Vec{3.0, 5.0}};
+  const Rect joined = Rect::Join(a, b);
+  EXPECT_TRUE(joined.min.AlmostEquals(Vec{0.0, 0.0}));
+  EXPECT_TRUE(joined.max.AlmostEquals(Vec{3.0, 5.0}));
+  EXPECT_DOUBLE_EQ(a.Area(), 4.0);
+  EXPECT_DOUBLE_EQ(joined.Area(), 15.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 11.0);
+}
+
+TEST(RectTest, MinSquaredDistance) {
+  const Rect r{Vec{0.0, 0.0}, Vec{2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Vec{1.0, 1.0}), 0.0);  // Inside.
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Vec{3.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(Vec{3.0, 3.0}), 2.0);
+  EXPECT_TRUE(r.Contains(Vec{2.0, 0.0}));
+  EXPECT_FALSE(r.Contains(Vec{2.1, 0.0}));
+}
+
+TEST(RTreeTest, SmallInsertAndExactKnn) {
+  RTree tree(2);
+  tree.Insert(Vec{0.0, 0.0}, 1);
+  tree.Insert(Vec{10.0, 0.0}, 2);
+  tree.Insert(Vec{0.0, 3.0}, 3);
+  const auto nn = tree.NearestNeighbors(Vec{1.0, 0.0}, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].first, 1);
+  EXPECT_DOUBLE_EQ(nn[0].second, 1.0);
+  EXPECT_EQ(nn[1].first, 3);
+  EXPECT_DOUBLE_EQ(nn[1].second, 10.0);
+}
+
+TEST(RTreeTest, KnnMoreThanSizeReturnsAll) {
+  RTree tree(2);
+  tree.Insert(Vec{0.0, 0.0}, 1);
+  EXPECT_EQ(tree.NearestNeighbors(Vec{5.0, 5.0}, 10).size(), 1u);
+}
+
+TEST(RTreeTest, WithinRadius) {
+  RTree tree(2);
+  for (int i = 0; i < 10; ++i) {
+    tree.Insert(Vec{static_cast<double>(i), 0.0}, i);
+  }
+  const std::vector<ObjectId> hits = tree.WithinRadius(Vec{4.5, 0.0}, 1.6);
+  EXPECT_EQ(hits, (std::vector<ObjectId>{3, 4, 5, 6}));
+}
+
+TEST(RTreeTest, SplitsKeepInvariants) {
+  Rng rng(5);
+  RTree tree(2, /*max_entries=*/4);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(RandomPoint(rng, 2, -100.0, 100.0), i);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GE(tree.Depth(), 2u);  // Must have split several times.
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, RandomizedKnnAgainstBruteForce) {
+  Rng rng(17);
+  const size_t n = 300;
+  RTree tree(3);
+  std::vector<std::pair<ObjectId, Vec>> points;
+  for (size_t i = 0; i < n; ++i) {
+    Vec p = RandomPoint(rng, 3, -50.0, 50.0);
+    tree.Insert(p, static_cast<ObjectId>(i));
+    points.emplace_back(static_cast<ObjectId>(i), std::move(p));
+  }
+  tree.CheckInvariants();
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vec q = RandomPoint(rng, 3, -60.0, 60.0);
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 10));
+    // Brute force reference.
+    std::vector<std::pair<double, ObjectId>> brute;
+    for (const auto& [oid, p] : points) {
+      brute.emplace_back((p - q).SquaredLength(), oid);
+    }
+    std::sort(brute.begin(), brute.end());
+    const auto result = tree.NearestNeighbors(q, k);
+    ASSERT_EQ(result.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(result[i].second, brute[i].first, 1e-9)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(RTreeTest, RandomizedRadiusAgainstBruteForce) {
+  Rng rng(23);
+  RTree tree(2);
+  std::vector<std::pair<ObjectId, Vec>> points;
+  for (size_t i = 0; i < 200; ++i) {
+    Vec p = RandomPoint(rng, 2, -50.0, 50.0);
+    tree.Insert(p, static_cast<ObjectId>(i));
+    points.emplace_back(static_cast<ObjectId>(i), std::move(p));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec q = RandomPoint(rng, 2, -50.0, 50.0);
+    const double radius = rng.Uniform(1.0, 30.0);
+    std::vector<ObjectId> brute;
+    for (const auto& [oid, p] : points) {
+      if ((p - q).SquaredLength() <= radius * radius) brute.push_back(oid);
+    }
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(tree.WithinRadius(q, radius), brute) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,125 @@
+#include "trajectory/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace modb {
+namespace {
+
+void ExpectModsEqual(const MovingObjectDatabase& a,
+                     const MovingObjectDatabase& b) {
+  EXPECT_EQ(a.dim(), b.dim());
+  EXPECT_DOUBLE_EQ(a.last_update_time(), b.last_update_time());
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [oid, trajectory] : a.objects()) {
+    const Trajectory* other = b.Find(oid);
+    ASSERT_NE(other, nullptr) << "missing oid " << oid;
+    EXPECT_TRUE(trajectory == *other) << "oid " << oid;
+  }
+}
+
+TEST(SerializationTest, RoundTripSimple) {
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(1, 0.0, Vec{1.5, -2.25}, Vec{0.1, 0.2}))
+          .ok());
+  ASSERT_TRUE(mod.Apply(Update::ChangeDirection(1, 3.0, Vec{-1.0, 0.0})).ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(2, 4.0, Vec{0.0, 0.0}, Vec{5.0, 5.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::TerminateObject(2, 6.0)).ok());
+
+  const StatusOr<MovingObjectDatabase> loaded =
+      ModFromString(ModToString(mod));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectModsEqual(mod, *loaded);
+}
+
+TEST(SerializationTest, RoundTripExactDoubles) {
+  // Awkward values must survive exactly.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{1.0 / 3.0},
+                                          Vec{-5.0 / 9.0}))
+                  .ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::ChangeDirection(1, 0.1 + 0.2, Vec{1e-17})).ok());
+  const auto loaded = ModFromString(ModToString(mod));
+  ASSERT_TRUE(loaded.ok());
+  ExpectModsEqual(mod, *loaded);
+}
+
+TEST(SerializationTest, RoundTripRandomHistory) {
+  const RandomModOptions options{.num_objects = 25, .dim = 3, .seed = 901};
+  const UpdateStreamOptions stream{.count = 100, .seed = 902};
+  const MovingObjectDatabase mod = RandomHistoryMod(options, stream);
+  const auto loaded = ModFromString(ModToString(mod));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectModsEqual(mod, *loaded);
+}
+
+TEST(SerializationTest, RoundTripScenario) {
+  const Example12Scenario scenario = MakeExample12Scenario();
+  const auto loaded = ModFromString(ModToString(scenario.mod));
+  ASSERT_TRUE(loaded.ok());
+  ExpectModsEqual(scenario.mod, *loaded);
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  EXPECT_EQ(ModFromString("NOPE v1 dim=2 tau=0\nend\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsTruncatedInput) {
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{1.0}, Vec{2.0})).ok());
+  std::string text = ModToString(mod);
+  // Drop the trailing "end\n".
+  text.resize(text.size() - 4);
+  EXPECT_EQ(ModFromString(text).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsDiscontinuousPieces) {
+  const std::string text =
+      "MODB v1 dim=1 tau=10\n"
+      "object 1 end=inf\n"
+      "piece 0 0 1\n"
+      "piece 5 99 1\n"  // Should be at position 5, claims 99.
+      "end\n";
+  EXPECT_EQ(ModFromString(text).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsGarbageNumbers) {
+  const std::string text =
+      "MODB v1 dim=1 tau=abc\n"
+      "end\n";
+  EXPECT_EQ(ModFromString(text).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsPieceOutsideObject) {
+  const std::string text =
+      "MODB v1 dim=1 tau=0\n"
+      "piece 0 0 1\n"
+      "end\n";
+  EXPECT_EQ(ModFromString(text).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RestoreTest, EnforcesDefinitionTwo) {
+  MovingObjectDatabase mod(/*dim=*/1, /*initial_time=*/5.0);
+  Trajectory late_turn = Trajectory::Linear(0.0, Vec{0.0}, Vec{1.0});
+  ASSERT_TRUE(late_turn.AddTurn(9.0, Vec{0.0}).ok());
+  // Turn at 9 > τ = 5: violates Definition 2.
+  EXPECT_EQ(mod.Restore(1, late_turn).code(),
+            StatusCode::kFailedPrecondition);
+  Trajectory ok_turn = Trajectory::Linear(0.0, Vec{0.0}, Vec{1.0});
+  ASSERT_TRUE(ok_turn.AddTurn(4.0, Vec{0.0}).ok());
+  EXPECT_TRUE(mod.Restore(1, ok_turn).ok());
+  EXPECT_EQ(mod.Restore(1, ok_turn).code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace modb

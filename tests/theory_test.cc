@@ -1,0 +1,186 @@
+// Direct validations of the paper's §5 lemmas on random instances —
+// beyond what the engine's internal MODB_CHECKs enforce.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/past_engine.h"
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+GDistancePtr OriginDistance() {
+  return std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+}
+
+// Replays every order change the sweep reports and checks that applying
+// them to the initial order reproduces an independent re-sort at the end.
+// This validates *completeness* of event detection: if any crossing were
+// missed, the replayed order would diverge from the re-sorted one.
+class OrderReplayListener : public SweepListener {
+ public:
+  void OnSwap(double, ObjectId left, ObjectId right) override {
+    auto left_it = std::find(order_.begin(), order_.end(), left);
+    ASSERT_TRUE(left_it != order_.end());
+    auto right_it = left_it + 1;
+    ASSERT_TRUE(right_it != order_.end() && *right_it == right)
+        << "swap of non-adjacent objects in the replayed order";
+    std::iter_swap(left_it, right_it);
+  }
+  void OnInsert(double, ObjectId) override { dirty_ = true; }
+  void OnErase(double, ObjectId) override { dirty_ = true; }
+
+  void Prime(std::vector<ObjectId> order) { order_ = std::move(order); }
+  const std::vector<ObjectId>& order() const { return order_; }
+  bool dirty() const { return dirty_; }
+
+ private:
+  std::vector<ObjectId> order_;
+  bool dirty_ = false;  // Inserts/erases would need richer replay.
+};
+
+TEST(Lemma7Test, EverySwapIsBetweenAdjacentObjects) {
+  // ProcessEvent MODB_CHECKs adjacency; here we replay externally, so a
+  // violation surfaces as a test failure rather than a process abort.
+  const RandomModOptions options{.num_objects = 30, .dim = 2, .seed = 1311};
+  const MovingObjectDatabase mod = RandomMod(options);
+  PastQueryEngine engine(mod, OriginDistance(), TimeInterval(0.0, 60.0));
+  OrderReplayListener replay;
+  engine.state().AddListener(&replay);
+  // Objects enter one by one at t=0; prime after Run's initial inserts by
+  // priming lazily: instead run a second engine to learn the t=0 order.
+  {
+    PastQueryEngine probe(mod, OriginDistance(), TimeInterval(0.0, 0.0));
+    probe.Run();
+    replay.Prime(probe.state().order().ToVector());
+  }
+  engine.Run();
+  ASSERT_GT(engine.stats().swaps, 0u);
+
+  // Completeness: the replayed final order equals an independent re-sort.
+  std::vector<std::pair<double, ObjectId>> values;
+  const GDistancePtr gdist = OriginDistance();
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    values.emplace_back(gdist->Curve(trajectory).Eval(60.0), oid);
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<ObjectId> resorted;
+  for (const auto& [value, oid] : values) resorted.push_back(oid);
+  EXPECT_EQ(replay.order(), resorted);
+}
+
+TEST(Lemma7Test, CurvesEqualAtSwapInstant) {
+  // The two-step switch passes through ≡_τ: at the reported swap time the
+  // two curve values coincide.
+  class EqualityChecker : public SweepListener {
+   public:
+    explicit EqualityChecker(const SweepState* state) : state_(state) {}
+    void OnSwap(double time, ObjectId left, ObjectId right) override {
+      const double a = state_->CurveValue(left, time);
+      const double b = state_->CurveValue(right, time);
+      EXPECT_NEAR(a, b, 1e-5 * (1.0 + std::fabs(a)))
+          << "swap at " << time << " without curve equality";
+      ++checked;
+    }
+    void OnInsert(double, ObjectId) override {}
+    void OnErase(double, ObjectId) override {}
+    int checked = 0;
+
+   private:
+    const SweepState* state_;
+  };
+
+  const RandomModOptions options{.num_objects = 25, .dim = 2, .seed = 1312};
+  const MovingObjectDatabase mod = RandomMod(options);
+  PastQueryEngine engine(mod, OriginDistance(), TimeInterval(0.0, 40.0));
+  EqualityChecker checker(&engine.state());
+  engine.state().AddListener(&checker);
+  engine.Run();
+  EXPECT_GT(checker.checked, 10);
+}
+
+TEST(Lemma8Test, IdenticalPrecedenceGivesIdenticalAnswers) {
+  // Between consecutive support changes the order — and hence any FO(f)
+  // answer — is constant: sample three times inside one segment.
+  const RandomModOptions options{.num_objects = 15, .dim = 2, .seed = 1313};
+  const MovingObjectDatabase mod = RandomMod(options);
+  // A moving query makes the 2-NN answer churn enough to yield several
+  // long segments.
+  const auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Linear(0.0, Vec{-400.0, 0.0}, Vec{15.0, 0.0}));
+  const AnswerTimeline timeline =
+      PastKnn(mod, gdist, 2, TimeInterval(0.0, 60.0));
+  int segments_checked = 0;
+  for (const auto& segment : timeline.segments()) {
+    if (segment.interval.Length() < 0.3) continue;
+    const double lo = segment.interval.lo;
+    const double len = segment.interval.Length();
+    const std::set<ObjectId> first =
+        SnapshotKnn(mod, *gdist, 2, lo + 0.2 * len);
+    EXPECT_EQ(first, SnapshotKnn(mod, *gdist, 2, lo + 0.5 * len));
+    EXPECT_EQ(first, SnapshotKnn(mod, *gdist, 2, lo + 0.8 * len));
+    EXPECT_EQ(first, segment.answer);
+    ++segments_checked;
+  }
+  EXPECT_GE(segments_checked, 3);
+}
+
+TEST(Lemma9Test, QueueHoldsOnePairEventAtMostNMinusOne) {
+  const RandomModOptions options{.num_objects = 40, .dim = 2, .seed = 1314};
+  const MovingObjectDatabase mod = RandomMod(options);
+  PastQueryEngine engine(mod, OriginDistance(), TimeInterval(0.0, 50.0));
+  engine.Run();
+  EXPECT_LE(engine.stats().max_queue_length, 39u);
+  EXPECT_GT(engine.stats().max_queue_length, 0u);
+}
+
+TEST(Theorem4Test, SupportChangeCountMatchesAllPairsCrossings) {
+  // The number of swaps the sweep processes equals the number of
+  // sign-changing pairwise crossings in the window (each crossing is
+  // realized exactly once as an adjacent swap).
+  const RandomModOptions options{.num_objects = 12, .dim = 2, .seed = 1315};
+  const MovingObjectDatabase mod = RandomMod(options);
+  const GDistancePtr gdist = OriginDistance();
+  const TimeInterval interval(0.0, 30.0);
+
+  PastQueryEngine engine(mod, gdist, interval);
+  engine.Run();
+
+  // Independent count: for each pair, count strict sign changes of the
+  // difference inside the (open) interval.
+  size_t crossings = 0;
+  std::vector<GCurve> curves;
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    curves.push_back(gdist->Curve(trajectory));
+  }
+  for (size_t i = 0; i < curves.size(); ++i) {
+    for (size_t j = i + 1; j < curves.size(); ++j) {
+      double cursor = interval.lo;
+      // Walk alternating FirstTimeAbove calls in both directions.
+      bool i_above =
+          curves[i].Eval(interval.lo) > curves[j].Eval(interval.lo);
+      while (cursor < interval.hi) {
+        const auto next =
+            i_above ? GCurve::FirstTimeAbove(curves[j], curves[i], cursor,
+                                             interval.hi)
+                    : GCurve::FirstTimeAbove(curves[i], curves[j], cursor,
+                                             interval.hi);
+        if (!next.has_value() || *next >= interval.hi) break;
+        ++crossings;
+        i_above = !i_above;
+        cursor = *next;
+      }
+    }
+  }
+  EXPECT_EQ(engine.stats().swaps, crossings);
+}
+
+}  // namespace
+}  // namespace modb

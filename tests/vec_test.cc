@@ -1,0 +1,92 @@
+#include "geom/vec.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/interval.h"
+
+namespace modb {
+namespace {
+
+TEST(VecTest, ConstructionAndAccess) {
+  Vec v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_EQ(Vec::Zero(2), (Vec{0.0, 0.0}));
+}
+
+TEST(VecTest, Arithmetic) {
+  const Vec a{1.0, 2.0};
+  const Vec b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec{2.0, 4.0}));
+  EXPECT_EQ(-a, (Vec{-1.0, -2.0}));
+}
+
+TEST(VecTest, DotAndLengths) {
+  const Vec a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(Vec{1.0, 1.0}), 7.0);
+  EXPECT_DOUBLE_EQ(a.SquaredLength(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Length(), 5.0);
+}
+
+TEST(VecTest, UnitVector) {
+  const Vec a{3.0, 4.0};
+  const Vec u = a.Unit();
+  EXPECT_TRUE(u.AlmostEquals(Vec{0.6, 0.8}));
+  EXPECT_NEAR(u.Length(), 1.0, 1e-12);
+}
+
+TEST(VecTest, UnitOfZeroVectorDies) {
+  EXPECT_DEATH(Vec::Zero(2).Unit(), "Unit");
+}
+
+TEST(VecTest, AlmostEquals) {
+  const Vec a{1.0, 2.0};
+  EXPECT_TRUE(a.AlmostEquals(Vec{1.0 + 1e-12, 2.0}));
+  EXPECT_FALSE(a.AlmostEquals(Vec{1.1, 2.0}));
+  EXPECT_FALSE(a.AlmostEquals(Vec{1.0, 2.0, 3.0}));  // Dim mismatch.
+}
+
+TEST(VecTest, ToString) {
+  EXPECT_EQ((Vec{1.0, -2.5}).ToString(), "(1, -2.5)");
+}
+
+TEST(VecTest, MismatchedDimensionsDie) {
+  EXPECT_DEATH((Vec{1.0}) + (Vec{1.0, 2.0}), "dim");
+}
+
+TEST(TimeIntervalTest, BasicPredicates) {
+  const TimeInterval i(2.0, 5.0);
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE(i.Contains(2.0));
+  EXPECT_TRUE(i.Contains(5.0));
+  EXPECT_FALSE(i.Contains(5.0001));
+  EXPECT_DOUBLE_EQ(i.Length(), 3.0);
+  EXPECT_TRUE(TimeInterval::Empty().empty());
+  EXPECT_DOUBLE_EQ(TimeInterval::Empty().Length(), 0.0);
+}
+
+TEST(TimeIntervalTest, IntersectAndContainment) {
+  const TimeInterval a(0.0, 10.0);
+  const TimeInterval b(5.0, 15.0);
+  EXPECT_EQ(a.Intersect(b), TimeInterval(5.0, 10.0));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(TimeInterval(11.0, 12.0)));
+  EXPECT_TRUE(a.ContainsInterval(TimeInterval(1.0, 2.0)));
+  EXPECT_FALSE(a.ContainsInterval(TimeInterval(-1.0, 2.0)));
+  EXPECT_TRUE(a.ContainsInterval(TimeInterval::Empty()));
+}
+
+TEST(TimeIntervalTest, Unbounded) {
+  const TimeInterval from = TimeInterval::From(3.0);
+  EXPECT_TRUE(from.Contains(1e18));
+  EXPECT_FALSE(from.Contains(2.9));
+  EXPECT_EQ(from.Length(), kInf);
+  EXPECT_TRUE(TimeInterval::All().Contains(-1e18));
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,172 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace modb {
+namespace {
+
+TEST(GeneratorTest, RandomModShape) {
+  const RandomModOptions options{
+      .num_objects = 50, .dim = 3, .box_lo = -10.0, .box_hi = 10.0,
+      .speed_min = 2.0, .speed_max = 4.0, .start_time = 5.0, .seed = 1};
+  const MovingObjectDatabase mod = RandomMod(options);
+  EXPECT_EQ(mod.size(), 50u);
+  EXPECT_EQ(mod.dim(), 3u);
+  EXPECT_DOUBLE_EQ(mod.last_update_time(), 5.0);
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    EXPECT_TRUE(trajectory.Validate().ok());
+    const Vec p = trajectory.PositionAt(5.0);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(p[i], -10.0);
+      EXPECT_LE(p[i], 10.0);
+    }
+    const double speed = trajectory.VelocityAt(5.0).Length();
+    EXPECT_GE(speed, 2.0 - 1e-9);
+    EXPECT_LE(speed, 4.0 + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const RandomModOptions options{.num_objects = 10, .seed = 99};
+  const MovingObjectDatabase a = RandomMod(options);
+  const MovingObjectDatabase b = RandomMod(options);
+  for (const auto& [oid, trajectory] : a.objects()) {
+    EXPECT_TRUE(trajectory == *b.Find(oid));
+  }
+}
+
+TEST(GeneratorTest, UpdateStreamIsChronologicalAndValid) {
+  const RandomModOptions mod_options{.num_objects = 20, .seed = 2};
+  const UpdateStreamOptions stream_options{
+      .count = 100, .mean_gap = 0.5, .seed = 3};
+  MovingObjectDatabase mod = RandomMod(mod_options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(mod, mod_options, stream_options);
+  ASSERT_EQ(updates.size(), 100u);
+  double prev = 0.0;
+  for (const Update& u : updates) {
+    EXPECT_GE(u.time, prev);
+    prev = u.time;
+  }
+  // The stream must apply cleanly.
+  EXPECT_TRUE(mod.ApplyAll(updates).ok());
+}
+
+TEST(GeneratorTest, StreamContainsAllKinds) {
+  const RandomModOptions mod_options{.num_objects = 30, .seed = 4};
+  const UpdateStreamOptions stream_options{
+      .count = 200,
+      .chdir_weight = 0.5,
+      .new_weight = 0.25,
+      .terminate_weight = 0.25,
+      .seed = 5};
+  const MovingObjectDatabase mod = RandomMod(mod_options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(mod, mod_options, stream_options);
+  int news = 0, terms = 0, chdirs = 0;
+  for (const Update& u : updates) {
+    switch (u.kind) {
+      case UpdateKind::kNew:
+        ++news;
+        break;
+      case UpdateKind::kTerminate:
+        ++terms;
+        break;
+      case UpdateKind::kChdir:
+        ++chdirs;
+        break;
+    }
+  }
+  EXPECT_GT(news, 0);
+  EXPECT_GT(terms, 0);
+  EXPECT_GT(chdirs, 0);
+}
+
+TEST(GeneratorTest, PopulationFloorRespected) {
+  const RandomModOptions mod_options{.num_objects = 6, .seed = 6};
+  const UpdateStreamOptions stream_options{
+      .count = 300,
+      .chdir_weight = 0.0,
+      .new_weight = 0.05,
+      .terminate_weight = 0.95,
+      .min_alive = 4,
+      .seed = 7};
+  MovingObjectDatabase mod = RandomMod(mod_options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(mod, mod_options, stream_options);
+  ASSERT_TRUE(mod.ApplyAll(updates).ok());
+  // At the end at least min_alive objects remain.
+  EXPECT_GE(mod.AliveAt(mod.last_update_time()).size(), 4u);
+}
+
+TEST(GeneratorTest, HistoryModHasTurnsAndLifetimes) {
+  const RandomModOptions mod_options{.num_objects = 15, .seed = 8};
+  const UpdateStreamOptions stream_options{.count = 80, .seed = 9};
+  const MovingObjectDatabase mod =
+      RandomHistoryMod(mod_options, stream_options);
+  EXPECT_GT(mod.TotalPieces(), mod.size());  // Some chdir happened.
+  for (const auto& [oid, trajectory] : mod.objects()) {
+    EXPECT_TRUE(trajectory.Validate().ok()) << "oid " << oid;
+  }
+}
+
+TEST(GeneratorTest, ClusteredDistributionConcentrates) {
+  RandomModOptions options{.num_objects = 400,
+                           .dim = 2,
+                           .box_lo = -1000.0,
+                           .box_hi = 1000.0,
+                           .seed = 12};
+  options.distribution = SpatialDistribution::kClustered;
+  options.clusters = 3;
+  options.cluster_stddev = 10.0;
+  const MovingObjectDatabase clustered = RandomMod(options);
+  // Mean nearest-neighbor distance is far smaller than under the uniform
+  // layout with the same box.
+  auto mean_nn = [](const MovingObjectDatabase& mod) {
+    double total = 0.0;
+    for (const auto& [oid, trajectory] : mod.objects()) {
+      double best = kInf;
+      const Vec p = trajectory.PositionAt(0.0);
+      for (const auto& [other, other_trajectory] : mod.objects()) {
+        if (other == oid) continue;
+        best = std::min(best,
+                        (other_trajectory.PositionAt(0.0) - p).Length());
+      }
+      total += best;
+    }
+    return total / static_cast<double>(mod.size());
+  };
+  options.distribution = SpatialDistribution::kUniform;
+  const MovingObjectDatabase uniform = RandomMod(options);
+  EXPECT_LT(mean_nn(clustered), 0.25 * mean_nn(uniform));
+}
+
+TEST(GeneratorTest, HighwayModShape) {
+  const MovingObjectDatabase highway =
+      HighwayMod(50, /*length=*/1000.0, 10.0, 30.0, 13);
+  EXPECT_EQ(highway.dim(), 1u);
+  EXPECT_EQ(highway.size(), 50u);
+  int leftward = 0, rightward = 0;
+  for (const auto& [oid, trajectory] : highway.objects()) {
+    const double v = trajectory.VelocityAt(0.0)[0];
+    EXPECT_GE(std::fabs(v), 10.0);
+    EXPECT_LE(std::fabs(v), 30.0);
+    (v < 0 ? leftward : rightward)++;
+    EXPECT_LE(std::fabs(trajectory.PositionAt(0.0)[0]), 500.0);
+  }
+  EXPECT_EQ(leftward, 25);
+  EXPECT_EQ(rightward, 25);
+}
+
+TEST(GeneratorTest, RandomVelocitySpeedRange) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const Vec v = RandomVelocity(rng, 2, 3.0, 5.0);
+    const double speed = v.Length();
+    EXPECT_GE(speed, 3.0 - 1e-9);
+    EXPECT_LE(speed, 5.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace modb

@@ -1,0 +1,258 @@
+// modb_cli — command-line front end for the library: generate workloads,
+// inspect MOD files, and run the paper's query kernels against them.
+//
+//   modb_cli generate --n 100 --dim 2 --seed 42 --updates 50 --out mod.txt
+//   modb_cli info mod.txt
+//   modb_cli knn mod.txt --k 3 --from 0 --to 50 [--query X,Y[,VX,VY]]
+//   modb_cli within mod.txt --threshold 2500 --from 0 --to 50
+//   modb_cli fastest mod.txt --target 3,-2 --at 10
+//   modb_cli constraints mod.txt --oid 5
+//
+// All subcommands print to stdout; errors go to stderr with exit code 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "constraint/linear_constraint.h"
+#include "gdist/builtin.h"
+#include "queries/fastest.h"
+#include "queries/knn.h"
+#include "queries/within.h"
+#include "trajectory/serialization.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: modb_cli <command> [args]\n"
+      "  generate --n N [--dim D] [--seed S] [--updates U] [--gap G]\n"
+      "           [--out FILE]          synthesize a MOD (stdout if no "
+      "--out)\n"
+      "  info FILE                      summarize a MOD file\n"
+      "  knn FILE --k K --from A --to B [--query X,Y[,VX,VY]]\n"
+      "                                 k-NN timeline over [A, B]\n"
+      "  within FILE --threshold T --from A --to B [--query X,Y[,VX,VY]]\n"
+      "                                 range-query timeline over [A, B]\n"
+      "  fastest FILE --target X,Y --at T\n"
+      "                                 fastest arrival at instant T\n"
+      "  constraints FILE --oid O       print a trajectory as Example 1's\n"
+      "                                 constraint formula\n";
+  return 1;
+}
+
+// "--key value" flags into a map; positional args into a vector.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  static Args Parse(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.flags[token.substr(2)] = argv[++i];
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+bool ParseVec(const std::string& text, std::vector<double>* out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str(), &end);
+    if (end != item.c_str() + item.size()) return false;
+    out->push_back(value);
+  }
+  return !out->empty();
+}
+
+StatusOr<MovingObjectDatabase> LoadMod(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadMod(in);
+}
+
+// The query trajectory: stationary at the origin unless --query gives
+// "X,Y" (stationary) or "X,Y,VX,VY" (moving), matched to the MOD's dim.
+StatusOr<Trajectory> QueryTrajectory(const Args& args, size_t dim) {
+  if (!args.Has("query")) {
+    return Trajectory::Stationary(0.0, Vec::Zero(dim));
+  }
+  std::vector<double> numbers;
+  if (!ParseVec(args.Get("query", ""), &numbers)) {
+    return Status::InvalidArgument("bad --query");
+  }
+  if (numbers.size() == dim) {
+    return Trajectory::Stationary(
+        0.0, Vec(std::vector<double>(numbers.begin(), numbers.end())));
+  }
+  if (numbers.size() == 2 * dim) {
+    return Trajectory::Linear(
+        0.0, Vec(std::vector<double>(numbers.begin(),
+                                     numbers.begin() +
+                                         static_cast<ptrdiff_t>(dim))),
+        Vec(std::vector<double>(numbers.begin() + static_cast<ptrdiff_t>(dim),
+                                numbers.end())));
+  }
+  return Status::InvalidArgument("--query needs dim or 2*dim numbers");
+}
+
+int CmdGenerate(const Args& args) {
+  RandomModOptions options;
+  options.num_objects = std::strtoul(args.Get("n", "100").c_str(), nullptr, 10);
+  options.dim = std::strtoul(args.Get("dim", "2").c_str(), nullptr, 10);
+  options.seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  if (options.num_objects == 0 || options.dim == 0) {
+    return Fail("--n and --dim must be positive");
+  }
+  MovingObjectDatabase mod = RandomMod(options);
+  const size_t updates =
+      std::strtoul(args.Get("updates", "0").c_str(), nullptr, 10);
+  if (updates > 0) {
+    UpdateStreamOptions stream;
+    stream.count = updates;
+    stream.mean_gap = std::strtod(args.Get("gap", "1.0").c_str(), nullptr);
+    stream.seed = options.seed + 1;
+    const Status status =
+        mod.ApplyAll(RandomUpdateStream(mod, options, stream));
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (args.Has("out")) {
+    std::ofstream out(args.Get("out", ""));
+    if (!out) return Fail("cannot write " + args.Get("out", ""));
+    WriteMod(mod, out);
+    std::cout << "wrote " << mod.size() << " objects ("
+              << mod.TotalPieces() << " pieces) to " << args.Get("out", "")
+              << "\n";
+  } else {
+    WriteMod(mod, std::cout);
+  }
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto mod = LoadMod(args.positional[0]);
+  if (!mod.ok()) return Fail(mod.status().ToString());
+  std::cout << "dim: " << mod->dim() << "\n"
+            << "last update (tau): " << mod->last_update_time() << "\n"
+            << "objects: " << mod->size() << "\n"
+            << "pieces: " << mod->TotalPieces() << "\n"
+            << "alive at tau: " << mod->AliveAt(mod->last_update_time()).size()
+            << "\n";
+  return 0;
+}
+
+void PrintTimeline(const AnswerTimeline& timeline) {
+  std::cout << timeline.ToString();
+  std::cout << "Q-exists: " << timeline.Existential().size()
+            << " objects, Q-forall: " << timeline.Universal().size()
+            << " objects\n";
+}
+
+int CmdKnn(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto mod = LoadMod(args.positional[0]);
+  if (!mod.ok()) return Fail(mod.status().ToString());
+  const size_t k = std::strtoul(args.Get("k", "1").c_str(), nullptr, 10);
+  const double from = std::strtod(args.Get("from", "0").c_str(), nullptr);
+  const double to = std::strtod(args.Get("to", "0").c_str(), nullptr);
+  if (k == 0 || to < from) return Fail("need --k >= 1 and --to >= --from");
+  const auto query = QueryTrajectory(args, mod->dim());
+  if (!query.ok()) return Fail(query.status().ToString());
+  PrintTimeline(PastKnn(*mod,
+                        std::make_shared<SquaredEuclideanGDistance>(*query),
+                        k, TimeInterval(from, to)));
+  return 0;
+}
+
+int CmdWithin(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto mod = LoadMod(args.positional[0]);
+  if (!mod.ok()) return Fail(mod.status().ToString());
+  if (!args.Has("threshold")) return Fail("--threshold required");
+  const double threshold =
+      std::strtod(args.Get("threshold", "0").c_str(), nullptr);
+  const double from = std::strtod(args.Get("from", "0").c_str(), nullptr);
+  const double to = std::strtod(args.Get("to", "0").c_str(), nullptr);
+  if (to < from) return Fail("need --to >= --from");
+  const auto query = QueryTrajectory(args, mod->dim());
+  if (!query.ok()) return Fail(query.status().ToString());
+  PrintTimeline(PastWithin(
+      *mod, std::make_shared<SquaredEuclideanGDistance>(*query), threshold,
+      TimeInterval(from, to)));
+  return 0;
+}
+
+int CmdFastest(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto mod = LoadMod(args.positional[0]);
+  if (!mod.ok()) return Fail(mod.status().ToString());
+  std::vector<double> target;
+  if (!args.Has("target") || !ParseVec(args.Get("target", ""), &target) ||
+      target.size() != mod->dim()) {
+    return Fail("--target needs dim numbers");
+  }
+  const double at = std::strtod(args.Get("at", "0").c_str(), nullptr);
+  const std::set<ObjectId> answer =
+      FastestArrivalAt(*mod, Vec(std::move(target)), at);
+  std::cout << "fastest arrival at t=" << at << ":";
+  for (ObjectId oid : answer) std::cout << " o" << oid;
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdConstraints(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto mod = LoadMod(args.positional[0]);
+  if (!mod.ok()) return Fail(mod.status().ToString());
+  const ObjectId oid =
+      std::strtoll(args.Get("oid", "0").c_str(), nullptr, 10);
+  const Trajectory* trajectory = mod->Find(oid);
+  if (trajectory == nullptr) return Fail("no such oid");
+  std::cout << TrajectoryToConstraints(*trajectory).ToString() << "\n";
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "knn") return CmdKnn(args);
+  if (command == "within") return CmdWithin(args);
+  if (command == "fastest") return CmdFastest(args);
+  if (command == "constraints") return CmdConstraints(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace modb
+
+int main(int argc, char** argv) { return modb::Run(argc, argv); }
