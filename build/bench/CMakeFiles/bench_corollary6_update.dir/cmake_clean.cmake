@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corollary6_update.dir/bench_corollary6_update.cc.o"
+  "CMakeFiles/bench_corollary6_update.dir/bench_corollary6_update.cc.o.d"
+  "bench_corollary6_update"
+  "bench_corollary6_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corollary6_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

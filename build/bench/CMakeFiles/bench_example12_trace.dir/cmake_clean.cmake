@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example12_trace.dir/bench_example12_trace.cc.o"
+  "CMakeFiles/bench_example12_trace.dir/bench_example12_trace.cc.o.d"
+  "bench_example12_trace"
+  "bench_example12_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example12_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_scenario.dir/bench_figure2_scenario.cc.o"
+  "CMakeFiles/bench_figure2_scenario.dir/bench_figure2_scenario.cc.o.d"
+  "bench_figure2_scenario"
+  "bench_figure2_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gdistance.dir/bench_gdistance.cc.o"
+  "CMakeFiles/bench_gdistance.dir/bench_gdistance.cc.o.d"
+  "bench_gdistance"
+  "bench_gdistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gdistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

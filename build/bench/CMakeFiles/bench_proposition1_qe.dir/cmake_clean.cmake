@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proposition1_qe.dir/bench_proposition1_qe.cc.o"
+  "CMakeFiles/bench_proposition1_qe.dir/bench_proposition1_qe.cc.o.d"
+  "bench_proposition1_qe"
+  "bench_proposition1_qe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proposition1_qe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_sharing.dir/bench_query_sharing.cc.o"
+  "CMakeFiles/bench_query_sharing.dir/bench_query_sharing.cc.o.d"
+  "bench_query_sharing"
+  "bench_query_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

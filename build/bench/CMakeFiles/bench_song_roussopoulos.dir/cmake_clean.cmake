@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_song_roussopoulos.dir/bench_song_roussopoulos.cc.o"
+  "CMakeFiles/bench_song_roussopoulos.dir/bench_song_roussopoulos.cc.o.d"
+  "bench_song_roussopoulos"
+  "bench_song_roussopoulos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_song_roussopoulos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

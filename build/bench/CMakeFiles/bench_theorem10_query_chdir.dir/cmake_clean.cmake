@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem10_query_chdir.dir/bench_theorem10_query_chdir.cc.o"
+  "CMakeFiles/bench_theorem10_query_chdir.dir/bench_theorem10_query_chdir.cc.o.d"
+  "bench_theorem10_query_chdir"
+  "bench_theorem10_query_chdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem10_query_chdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

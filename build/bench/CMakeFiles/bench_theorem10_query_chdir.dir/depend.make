@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem10_query_chdir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem4_past.dir/bench_theorem4_past.cc.o"
+  "CMakeFiles/bench_theorem4_past.dir/bench_theorem4_past.cc.o.d"
+  "bench_theorem4_past"
+  "bench_theorem4_past.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem4_past.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

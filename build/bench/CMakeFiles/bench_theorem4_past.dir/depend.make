@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem4_past.
+# This may be replaced when dependencies are built.

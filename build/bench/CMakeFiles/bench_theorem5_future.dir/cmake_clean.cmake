@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem5_future.dir/bench_theorem5_future.cc.o"
+  "CMakeFiles/bench_theorem5_future.dir/bench_theorem5_future.cc.o.d"
+  "bench_theorem5_future"
+  "bench_theorem5_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem5_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

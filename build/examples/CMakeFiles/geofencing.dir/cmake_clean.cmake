@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofencing.dir/geofencing.cpp.o"
+  "CMakeFiles/geofencing.dir/geofencing.cpp.o.d"
+  "geofencing"
+  "geofencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_vs_future.dir/past_vs_future.cpp.o"
+  "CMakeFiles/past_vs_future.dir/past_vs_future.cpp.o.d"
+  "past_vs_future"
+  "past_vs_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_vs_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

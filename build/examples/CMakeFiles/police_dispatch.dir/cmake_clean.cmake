@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/police_dispatch.dir/police_dispatch.cpp.o"
+  "CMakeFiles/police_dispatch.dir/police_dispatch.cpp.o.d"
+  "police_dispatch"
+  "police_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/police_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_alerts.dir/proximity_alerts.cpp.o"
+  "CMakeFiles/proximity_alerts.dir/proximity_alerts.cpp.o.d"
+  "proximity_alerts"
+  "proximity_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

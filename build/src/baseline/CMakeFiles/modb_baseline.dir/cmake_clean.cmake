@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_baseline.dir/naive.cc.o"
+  "CMakeFiles/modb_baseline.dir/naive.cc.o.d"
+  "CMakeFiles/modb_baseline.dir/song_roussopoulos.cc.o"
+  "CMakeFiles/modb_baseline.dir/song_roussopoulos.cc.o.d"
+  "libmodb_baseline.a"
+  "libmodb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

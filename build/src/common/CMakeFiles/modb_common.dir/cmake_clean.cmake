@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_common.dir/status.cc.o"
+  "CMakeFiles/modb_common.dir/status.cc.o.d"
+  "libmodb_common.a"
+  "libmodb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/fo_formula.cc" "src/constraint/CMakeFiles/modb_constraint.dir/fo_formula.cc.o" "gcc" "src/constraint/CMakeFiles/modb_constraint.dir/fo_formula.cc.o.d"
+  "/root/repo/src/constraint/linear_constraint.cc" "src/constraint/CMakeFiles/modb_constraint.dir/linear_constraint.cc.o" "gcc" "src/constraint/CMakeFiles/modb_constraint.dir/linear_constraint.cc.o.d"
+  "/root/repo/src/constraint/qe_evaluator.cc" "src/constraint/CMakeFiles/modb_constraint.dir/qe_evaluator.cc.o" "gcc" "src/constraint/CMakeFiles/modb_constraint.dir/qe_evaluator.cc.o.d"
+  "/root/repo/src/constraint/sweep_fo_evaluator.cc" "src/constraint/CMakeFiles/modb_constraint.dir/sweep_fo_evaluator.cc.o" "gcc" "src/constraint/CMakeFiles/modb_constraint.dir/sweep_fo_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdist/CMakeFiles/modb_gdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/modb_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/modb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_constraint.dir/fo_formula.cc.o"
+  "CMakeFiles/modb_constraint.dir/fo_formula.cc.o.d"
+  "CMakeFiles/modb_constraint.dir/linear_constraint.cc.o"
+  "CMakeFiles/modb_constraint.dir/linear_constraint.cc.o.d"
+  "CMakeFiles/modb_constraint.dir/qe_evaluator.cc.o"
+  "CMakeFiles/modb_constraint.dir/qe_evaluator.cc.o.d"
+  "CMakeFiles/modb_constraint.dir/sweep_fo_evaluator.cc.o"
+  "CMakeFiles/modb_constraint.dir/sweep_fo_evaluator.cc.o.d"
+  "libmodb_constraint.a"
+  "libmodb_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

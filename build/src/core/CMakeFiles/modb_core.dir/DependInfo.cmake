@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answer.cc" "src/core/CMakeFiles/modb_core.dir/answer.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/answer.cc.o.d"
+  "/root/repo/src/core/future_engine.cc" "src/core/CMakeFiles/modb_core.dir/future_engine.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/future_engine.cc.o.d"
+  "/root/repo/src/core/past_engine.cc" "src/core/CMakeFiles/modb_core.dir/past_engine.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/past_engine.cc.o.d"
+  "/root/repo/src/core/sweep_state.cc" "src/core/CMakeFiles/modb_core.dir/sweep_state.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/sweep_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdist/CMakeFiles/modb_gdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/modb_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/modb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

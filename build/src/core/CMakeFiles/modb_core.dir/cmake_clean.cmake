@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_core.dir/answer.cc.o"
+  "CMakeFiles/modb_core.dir/answer.cc.o.d"
+  "CMakeFiles/modb_core.dir/future_engine.cc.o"
+  "CMakeFiles/modb_core.dir/future_engine.cc.o.d"
+  "CMakeFiles/modb_core.dir/past_engine.cc.o"
+  "CMakeFiles/modb_core.dir/past_engine.cc.o.d"
+  "CMakeFiles/modb_core.dir/sweep_state.cc.o"
+  "CMakeFiles/modb_core.dir/sweep_state.cc.o.d"
+  "libmodb_core.a"
+  "libmodb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

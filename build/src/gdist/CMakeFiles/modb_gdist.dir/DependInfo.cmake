@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdist/builtin.cc" "src/gdist/CMakeFiles/modb_gdist.dir/builtin.cc.o" "gcc" "src/gdist/CMakeFiles/modb_gdist.dir/builtin.cc.o.d"
+  "/root/repo/src/gdist/curve.cc" "src/gdist/CMakeFiles/modb_gdist.dir/curve.cc.o" "gcc" "src/gdist/CMakeFiles/modb_gdist.dir/curve.cc.o.d"
+  "/root/repo/src/gdist/region.cc" "src/gdist/CMakeFiles/modb_gdist.dir/region.cc.o" "gcc" "src/gdist/CMakeFiles/modb_gdist.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trajectory/CMakeFiles/modb_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/modb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_gdist.dir/builtin.cc.o"
+  "CMakeFiles/modb_gdist.dir/builtin.cc.o.d"
+  "CMakeFiles/modb_gdist.dir/curve.cc.o"
+  "CMakeFiles/modb_gdist.dir/curve.cc.o.d"
+  "CMakeFiles/modb_gdist.dir/region.cc.o"
+  "CMakeFiles/modb_gdist.dir/region.cc.o.d"
+  "libmodb_gdist.a"
+  "libmodb_gdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_gdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/interval.cc" "src/geom/CMakeFiles/modb_geom.dir/interval.cc.o" "gcc" "src/geom/CMakeFiles/modb_geom.dir/interval.cc.o.d"
+  "/root/repo/src/geom/piecewise_poly.cc" "src/geom/CMakeFiles/modb_geom.dir/piecewise_poly.cc.o" "gcc" "src/geom/CMakeFiles/modb_geom.dir/piecewise_poly.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/modb_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/modb_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/polynomial.cc" "src/geom/CMakeFiles/modb_geom.dir/polynomial.cc.o" "gcc" "src/geom/CMakeFiles/modb_geom.dir/polynomial.cc.o.d"
+  "/root/repo/src/geom/roots.cc" "src/geom/CMakeFiles/modb_geom.dir/roots.cc.o" "gcc" "src/geom/CMakeFiles/modb_geom.dir/roots.cc.o.d"
+  "/root/repo/src/geom/vec.cc" "src/geom/CMakeFiles/modb_geom.dir/vec.cc.o" "gcc" "src/geom/CMakeFiles/modb_geom.dir/vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_geom.dir/interval.cc.o"
+  "CMakeFiles/modb_geom.dir/interval.cc.o.d"
+  "CMakeFiles/modb_geom.dir/piecewise_poly.cc.o"
+  "CMakeFiles/modb_geom.dir/piecewise_poly.cc.o.d"
+  "CMakeFiles/modb_geom.dir/polygon.cc.o"
+  "CMakeFiles/modb_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/modb_geom.dir/polynomial.cc.o"
+  "CMakeFiles/modb_geom.dir/polynomial.cc.o.d"
+  "CMakeFiles/modb_geom.dir/roots.cc.o"
+  "CMakeFiles/modb_geom.dir/roots.cc.o.d"
+  "CMakeFiles/modb_geom.dir/vec.cc.o"
+  "CMakeFiles/modb_geom.dir/vec.cc.o.d"
+  "libmodb_geom.a"
+  "libmodb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

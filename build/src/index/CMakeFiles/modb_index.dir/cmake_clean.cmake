@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_index.dir/event_queue.cc.o"
+  "CMakeFiles/modb_index.dir/event_queue.cc.o.d"
+  "CMakeFiles/modb_index.dir/ordered_sequence.cc.o"
+  "CMakeFiles/modb_index.dir/ordered_sequence.cc.o.d"
+  "CMakeFiles/modb_index.dir/rtree.cc.o"
+  "CMakeFiles/modb_index.dir/rtree.cc.o.d"
+  "libmodb_index.a"
+  "libmodb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

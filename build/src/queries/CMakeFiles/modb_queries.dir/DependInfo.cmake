@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queries/fastest.cc" "src/queries/CMakeFiles/modb_queries.dir/fastest.cc.o" "gcc" "src/queries/CMakeFiles/modb_queries.dir/fastest.cc.o.d"
+  "/root/repo/src/queries/fo_snapshot.cc" "src/queries/CMakeFiles/modb_queries.dir/fo_snapshot.cc.o" "gcc" "src/queries/CMakeFiles/modb_queries.dir/fo_snapshot.cc.o.d"
+  "/root/repo/src/queries/knn.cc" "src/queries/CMakeFiles/modb_queries.dir/knn.cc.o" "gcc" "src/queries/CMakeFiles/modb_queries.dir/knn.cc.o.d"
+  "/root/repo/src/queries/query_server.cc" "src/queries/CMakeFiles/modb_queries.dir/query_server.cc.o" "gcc" "src/queries/CMakeFiles/modb_queries.dir/query_server.cc.o.d"
+  "/root/repo/src/queries/region_queries.cc" "src/queries/CMakeFiles/modb_queries.dir/region_queries.cc.o" "gcc" "src/queries/CMakeFiles/modb_queries.dir/region_queries.cc.o.d"
+  "/root/repo/src/queries/within.cc" "src/queries/CMakeFiles/modb_queries.dir/within.cc.o" "gcc" "src/queries/CMakeFiles/modb_queries.dir/within.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraint/CMakeFiles/modb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdist/CMakeFiles/modb_gdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/modb_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/modb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

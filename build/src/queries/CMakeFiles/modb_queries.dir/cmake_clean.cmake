@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_queries.dir/fastest.cc.o"
+  "CMakeFiles/modb_queries.dir/fastest.cc.o.d"
+  "CMakeFiles/modb_queries.dir/fo_snapshot.cc.o"
+  "CMakeFiles/modb_queries.dir/fo_snapshot.cc.o.d"
+  "CMakeFiles/modb_queries.dir/knn.cc.o"
+  "CMakeFiles/modb_queries.dir/knn.cc.o.d"
+  "CMakeFiles/modb_queries.dir/query_server.cc.o"
+  "CMakeFiles/modb_queries.dir/query_server.cc.o.d"
+  "CMakeFiles/modb_queries.dir/region_queries.cc.o"
+  "CMakeFiles/modb_queries.dir/region_queries.cc.o.d"
+  "CMakeFiles/modb_queries.dir/within.cc.o"
+  "CMakeFiles/modb_queries.dir/within.cc.o.d"
+  "libmodb_queries.a"
+  "libmodb_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

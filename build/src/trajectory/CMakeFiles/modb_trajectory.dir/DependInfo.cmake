@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trajectory/mod.cc" "src/trajectory/CMakeFiles/modb_trajectory.dir/mod.cc.o" "gcc" "src/trajectory/CMakeFiles/modb_trajectory.dir/mod.cc.o.d"
+  "/root/repo/src/trajectory/serialization.cc" "src/trajectory/CMakeFiles/modb_trajectory.dir/serialization.cc.o" "gcc" "src/trajectory/CMakeFiles/modb_trajectory.dir/serialization.cc.o.d"
+  "/root/repo/src/trajectory/trajectory.cc" "src/trajectory/CMakeFiles/modb_trajectory.dir/trajectory.cc.o" "gcc" "src/trajectory/CMakeFiles/modb_trajectory.dir/trajectory.cc.o.d"
+  "/root/repo/src/trajectory/update.cc" "src/trajectory/CMakeFiles/modb_trajectory.dir/update.cc.o" "gcc" "src/trajectory/CMakeFiles/modb_trajectory.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/modb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_trajectory.dir/mod.cc.o"
+  "CMakeFiles/modb_trajectory.dir/mod.cc.o.d"
+  "CMakeFiles/modb_trajectory.dir/serialization.cc.o"
+  "CMakeFiles/modb_trajectory.dir/serialization.cc.o.d"
+  "CMakeFiles/modb_trajectory.dir/trajectory.cc.o"
+  "CMakeFiles/modb_trajectory.dir/trajectory.cc.o.d"
+  "CMakeFiles/modb_trajectory.dir/update.cc.o"
+  "CMakeFiles/modb_trajectory.dir/update.cc.o.d"
+  "libmodb_trajectory.a"
+  "libmodb_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_workload.dir/generator.cc.o"
+  "CMakeFiles/modb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/modb_workload.dir/scenarios.cc.o"
+  "CMakeFiles/modb_workload.dir/scenarios.cc.o.d"
+  "libmodb_workload.a"
+  "libmodb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

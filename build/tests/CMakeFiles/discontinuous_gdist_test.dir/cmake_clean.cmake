@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discontinuous_gdist_test.dir/discontinuous_gdist_test.cc.o"
+  "CMakeFiles/discontinuous_gdist_test.dir/discontinuous_gdist_test.cc.o.d"
+  "discontinuous_gdist_test"
+  "discontinuous_gdist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discontinuous_gdist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

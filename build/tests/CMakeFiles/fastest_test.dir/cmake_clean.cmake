@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastest_test.dir/fastest_test.cc.o"
+  "CMakeFiles/fastest_test.dir/fastest_test.cc.o.d"
+  "fastest_test"
+  "fastest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

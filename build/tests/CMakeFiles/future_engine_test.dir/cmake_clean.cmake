@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_engine_test.dir/future_engine_test.cc.o"
+  "CMakeFiles/future_engine_test.dir/future_engine_test.cc.o.d"
+  "future_engine_test"
+  "future_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdist_extension_test.dir/gdist_extension_test.cc.o"
+  "CMakeFiles/gdist_extension_test.dir/gdist_extension_test.cc.o.d"
+  "gdist_extension_test"
+  "gdist_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdist_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

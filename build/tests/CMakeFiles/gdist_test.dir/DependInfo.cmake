@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gdist_test.cc" "tests/CMakeFiles/gdist_test.dir/gdist_test.cc.o" "gcc" "tests/CMakeFiles/gdist_test.dir/gdist_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/modb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/modb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/modb_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/modb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdist/CMakeFiles/modb_gdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/modb_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/modb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/modb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

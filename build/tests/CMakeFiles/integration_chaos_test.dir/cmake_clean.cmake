@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_chaos_test.dir/integration_chaos_test.cc.o"
+  "CMakeFiles/integration_chaos_test.dir/integration_chaos_test.cc.o.d"
+  "integration_chaos_test"
+  "integration_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

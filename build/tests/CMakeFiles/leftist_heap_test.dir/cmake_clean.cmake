@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leftist_heap_test.dir/leftist_heap_test.cc.o"
+  "CMakeFiles/leftist_heap_test.dir/leftist_heap_test.cc.o.d"
+  "leftist_heap_test"
+  "leftist_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leftist_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mod_test.dir/mod_test.cc.o"
+  "CMakeFiles/mod_test.dir/mod_test.cc.o.d"
+  "mod_test"
+  "mod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_sequence_test.dir/ordered_sequence_test.cc.o"
+  "CMakeFiles/ordered_sequence_test.dir/ordered_sequence_test.cc.o.d"
+  "ordered_sequence_test"
+  "ordered_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/past_engine_test.dir/past_engine_test.cc.o"
+  "CMakeFiles/past_engine_test.dir/past_engine_test.cc.o.d"
+  "past_engine_test"
+  "past_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/past_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

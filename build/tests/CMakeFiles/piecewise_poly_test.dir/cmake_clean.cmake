@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piecewise_poly_test.dir/piecewise_poly_test.cc.o"
+  "CMakeFiles/piecewise_poly_test.dir/piecewise_poly_test.cc.o.d"
+  "piecewise_poly_test"
+  "piecewise_poly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piecewise_poly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qe_evaluator_test.dir/qe_evaluator_test.cc.o"
+  "CMakeFiles/qe_evaluator_test.dir/qe_evaluator_test.cc.o.d"
+  "qe_evaluator_test"
+  "qe_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qe_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

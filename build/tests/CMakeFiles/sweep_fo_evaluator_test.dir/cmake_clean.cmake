@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_fo_evaluator_test.dir/sweep_fo_evaluator_test.cc.o"
+  "CMakeFiles/sweep_fo_evaluator_test.dir/sweep_fo_evaluator_test.cc.o.d"
+  "sweep_fo_evaluator_test"
+  "sweep_fo_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_fo_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

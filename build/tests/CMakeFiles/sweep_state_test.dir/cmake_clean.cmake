@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_state_test.dir/sweep_state_test.cc.o"
+  "CMakeFiles/sweep_state_test.dir/sweep_state_test.cc.o.d"
+  "sweep_state_test"
+  "sweep_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_test.dir/vec_test.cc.o"
+  "CMakeFiles/vec_test.dir/vec_test.cc.o.d"
+  "vec_test"
+  "vec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

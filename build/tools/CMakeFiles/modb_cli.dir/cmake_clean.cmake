@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_cli.dir/modb_cli.cc.o"
+  "CMakeFiles/modb_cli.dir/modb_cli.cc.o.d"
+  "modb_cli"
+  "modb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

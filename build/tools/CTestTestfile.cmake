@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/modb_cli" "generate" "--n" "20" "--updates" "10" "--seed" "5" "--out" "/root/repo/build/tools/smoke.mod")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/modb_cli" "info" "/root/repo/build/tools/smoke.mod")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_knn "/root/repo/build/tools/modb_cli" "knn" "/root/repo/build/tools/smoke.mod" "--k" "2" "--from" "0" "--to" "20" "--query" "0,0")
+set_tests_properties(cli_knn PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_within "/root/repo/build/tools/modb_cli" "within" "/root/repo/build/tools/smoke.mod" "--threshold" "250000" "--from" "0" "--to" "10")
+set_tests_properties(cli_within PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fastest "/root/repo/build/tools/modb_cli" "fastest" "/root/repo/build/tools/smoke.mod" "--target" "0,0" "--at" "5")
+set_tests_properties(cli_fastest PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_constraints "/root/repo/build/tools/modb_cli" "constraints" "/root/repo/build/tools/smoke.mod" "--oid" "0")
+set_tests_properties(cli_constraints PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_file "/root/repo/build/tools/modb_cli" "info" "/root/repo/build/tools/nonexistent.mod")
+set_tests_properties(cli_rejects_bad_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
