@@ -27,6 +27,7 @@ class PastQueryEngine {
                   EventQueueKind queue_kind = EventQueueKind::kLeftist);
 
   SweepState& state() { return *state_; }
+  const MovingObjectDatabase& mod() const { return mod_; }
   const TimeInterval& interval() const { return interval_; }
 
   // Performs the sweep: populates the order at interval.lo (objects alive

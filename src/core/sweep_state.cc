@@ -74,6 +74,7 @@ void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
 
   ++stats_.inserts;
   for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
+  RunPostEventHook();
 }
 
 void SweepState::InsertSentinel(ObjectId oid, double value) {
@@ -95,6 +96,7 @@ void SweepState::InsertSentinel(ObjectId oid, double value) {
 
   ++stats_.inserts;
   for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
+  RunPostEventHook();
 }
 
 void SweepState::EraseObject(ObjectId oid) {
@@ -111,6 +113,7 @@ void SweepState::EraseObject(ObjectId oid) {
 
   ++stats_.erases;
   for (SweepListener* listener : listeners_) listener->OnErase(now_, oid);
+  RunPostEventHook();
 }
 
 void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
@@ -143,6 +146,7 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
   for (SweepListener* listener : listeners_) {
     listener->OnCurveChanged(now_, oid);
   }
+  RunPostEventHook();
 }
 
 void SweepState::ReplaceGDistance(
@@ -176,6 +180,20 @@ void SweepState::ReplaceGDistance(
   }
   queue_->BulkBuild(std::move(events));
   NoteQueueLength();
+  RunPostEventHook();
+}
+
+std::vector<SweepEvent> SweepState::QueueSnapshot() const {
+  return queue_->Snapshot();
+}
+
+std::optional<double> SweepState::PairFirstCrossing(ObjectId left,
+                                                    ObjectId right) const {
+  // Audit-only recomputation: const, and deliberately NOT counted in
+  // stats_.crossings_computed (the benchmarks measure the sweep, not the
+  // auditor re-deriving it).
+  return GCurve::FirstTimeAbove(curves_.at(left), curves_.at(right), now_,
+                                horizon_, root_options_);
 }
 
 bool SweepState::HasEventAtOrBefore(double t) const {
@@ -205,6 +223,7 @@ void SweepState::ProcessEvent(const SweepEvent& event) {
   if (prev.has_value()) SchedulePair(*prev, right);
   SchedulePair(right, left);
   if (next.has_value()) SchedulePair(left, *next);
+  RunPostEventHook();
 }
 
 void SweepState::AdvanceTo(double t) {

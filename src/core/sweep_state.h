@@ -2,6 +2,7 @@
 #define MODB_CORE_SWEEP_STATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -87,6 +88,25 @@ class SweepState {
 
   // Value of `oid`'s curve at time t (t within the curve's domain).
   double CurveValue(ObjectId oid, double t) const;
+
+  // Every queued intersection event, in deterministic order. O(E log E);
+  // audit/debugging only.
+  std::vector<SweepEvent> QueueSnapshot() const;
+
+  // Independently recomputes the pair's earliest crossing strictly after
+  // now() (the value Lemma 9 says the queue must hold for an adjacent
+  // pair). Const and side-effect free — the SweepAuditor's ground truth;
+  // does not count toward stats().crossings_computed.
+  std::optional<double> PairFirstCrossing(ObjectId left, ObjectId right) const;
+
+  // Opt-in verification hook, invoked after every processed intersection
+  // event and after every structural mutation (insert/erase/curve
+  // replacement) once the state is self-consistent again. Debug/test
+  // instrumentation — the SweepAuditor attaches here; pass nullptr to
+  // detach. Hooks must not mutate the state.
+  void SetPostEventHook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
   bool ContainsObject(ObjectId oid) const { return curves_.count(oid) > 0; }
   bool IsSentinel(ObjectId oid) const { return sentinels_.count(oid) > 0; }
   // All sentinel pseudo-objects currently in the order (usually very few:
@@ -140,6 +160,9 @@ class SweepState {
   std::optional<SweepEvent> ComputePairEvent(ObjectId left, ObjectId right);
   void ProcessEvent(const SweepEvent& event);
   void NoteQueueLength();
+  void RunPostEventHook() const {
+    if (post_event_hook_) post_event_hook_();
+  }
 
   GDistancePtr gdist_;
   double now_;
@@ -149,6 +172,7 @@ class SweepState {
   OrderedSequence order_;
   std::unique_ptr<EventQueue> queue_;
   std::vector<SweepListener*> listeners_;
+  std::function<void()> post_event_hook_;
   SweepStats stats_;
   RootOptions root_options_;
 };

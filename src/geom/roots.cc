@@ -67,7 +67,15 @@ void IsolateRoots(const std::vector<Polynomial>& chain, double a, double b,
     out->push_back(0.5 * (a + b));
     return;
   }
-  const double mid = 0.5 * (a + b);
+  double mid = 0.5 * (a + b);
+  // Sturm variation counts are ill-defined at a root of p itself — at a
+  // multiple root every chain element vanishes, V(mid) collapses to 0 and
+  // the split silently loses roots (e.g. t⁴ - t² whose first bisection
+  // midpoint is exactly its double root 0). Nudge the split point off any
+  // exact root; sub-tol nudges cannot skip a neighboring root.
+  for (int nudge = 1; nudge <= 4 && chain[0].Eval(mid) == 0.0; ++nudge) {
+    mid = 0.5 * (a + b) + 0.125 * nudge * tol;
+  }
   const int left = SturmCount(chain, a, mid);
   IsolateRoots(chain, a, mid, left, tol, out);
   IsolateRoots(chain, mid, b, count - left, tol, out);

@@ -1,5 +1,7 @@
 #include "index/event_queue.h"
 
+#include <algorithm>
+
 namespace modb {
 
 void LeftistEventQueue::Push(const SweepEvent& event) {
@@ -42,6 +44,14 @@ void LeftistEventQueue::BulkBuild(std::vector<SweepEvent> events) {
   }
 }
 
+std::vector<SweepEvent> LeftistEventQueue::Snapshot() const {
+  std::vector<SweepEvent> events;
+  events.reserve(handles_.size());
+  for (const auto& [key, handle] : handles_) events.push_back(handle->value);
+  std::sort(events.begin(), events.end(), SweepEventLess());
+  return events;
+}
+
 void SetEventQueue::BulkBuild(std::vector<SweepEvent> events) {
   events_.clear();
   by_pair_.clear();
@@ -80,6 +90,10 @@ SweepEvent SetEventQueue::PopMin() {
   events_.erase(events_.begin());
   by_pair_.erase(PairKey{event.left, event.right});
   return event;
+}
+
+std::vector<SweepEvent> SetEventQueue::Snapshot() const {
+  return std::vector<SweepEvent>(events_.begin(), events_.end());
 }
 
 std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind) {

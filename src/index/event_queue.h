@@ -62,6 +62,10 @@ class EventQueue {
   // O(|events|) for the leftist implementation — the Theorem 10 fast path.
   virtual void BulkBuild(std::vector<SweepEvent> events) = 0;
 
+  // Every queued event, sorted by SweepEventLess. O(N log N); audit and
+  // debugging only — not on the sweep's hot path.
+  virtual std::vector<SweepEvent> Snapshot() const = 0;
+
   virtual size_t size() const = 0;
   bool empty() const { return size() == 0; }
 
@@ -78,6 +82,7 @@ class LeftistEventQueue : public EventQueue {
   const SweepEvent& Min() const override;
   SweepEvent PopMin() override;
   void BulkBuild(std::vector<SweepEvent> events) override;
+  std::vector<SweepEvent> Snapshot() const override;
   size_t size() const override { return heap_.size(); }
   std::string name() const override { return "leftist"; }
 
@@ -99,6 +104,7 @@ class SetEventQueue : public EventQueue {
   const SweepEvent& Min() const override;
   SweepEvent PopMin() override;
   void BulkBuild(std::vector<SweepEvent> events) override;
+  std::vector<SweepEvent> Snapshot() const override;
   size_t size() const override { return events_.size(); }
   std::string name() const override { return "set"; }
 

@@ -82,6 +82,11 @@ const AnswerTimeline& QueryServer::Timeline(QueryId id) const {
                     : ref.group->within_kernels[ref.index]->timeline();
 }
 
+void QueryServer::VisitEngines(
+    const std::function<void(const std::string&, FutureQueryEngine&)>& fn) {
+  for (auto& [key, group] : engines_) fn(key, *group.engine);
+}
+
 SweepStats QueryServer::TotalStats() const {
   SweepStats total;
   for (const auto& [key, group] : engines_) {

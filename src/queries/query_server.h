@@ -1,6 +1,7 @@
 #ifndef MODB_QUERIES_QUERY_SERVER_H_
 #define MODB_QUERIES_QUERY_SERVER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -67,6 +68,12 @@ class QueryServer {
 
   // Aggregate sweep statistics across all engines.
   SweepStats TotalStats() const;
+
+  // Visits every shared-sweep engine, keyed by its gdist group. The
+  // verification subsystem uses this to attach auditors; callers must not
+  // destroy engines.
+  void VisitEngines(
+      const std::function<void(const std::string&, FutureQueryEngine&)>& fn);
 
  private:
   struct EngineGroup {

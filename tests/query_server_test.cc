@@ -161,6 +161,118 @@ TEST(QueryServerTest, ChaosAgainstBruteForce) {
   EXPECT_EQ(server.engine_count(), 1u);
 }
 
+// Two queries under one gdist_key keep sharing a single sweep across an
+// update fan-out, and both answers stay correct afterwards — the sharing
+// must survive mutation, not just the initial build.
+TEST(QueryServerTest, SharedSweepAnswersSurviveUpdateFanOut) {
+  const RandomModOptions options{
+      .num_objects = 14, .dim = 2, .box_lo = -250.0, .box_hi = 250.0,
+      .speed_max = 10.0, .seed = 51};
+  const UpdateStreamOptions stream{.count = 30, .mean_gap = 0.6, .seed = 52};
+  const MovingObjectDatabase initial = RandomMod(options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(initial, options, stream);
+
+  const GDistancePtr gdist = OriginDistance();
+  QueryServer server(initial, 0.0);
+  const QueryId knn = server.AddKnn("origin", gdist, 3);
+  const QueryId within = server.AddWithin("origin", gdist, 180.0 * 180.0);
+  ASSERT_EQ(server.engine_count(), 1u);
+
+  MovingObjectDatabase mirror = initial;
+  for (const Update& update : updates) {
+    ASSERT_TRUE(server.ApplyUpdate(update).ok()) << update.ToString();
+    ASSERT_TRUE(mirror.Apply(update).ok());
+  }
+  // Still one engine: fan-out must not have split the group.
+  EXPECT_EQ(server.engine_count(), 1u);
+
+  const double t = updates.back().time + 2.0;
+  server.AdvanceTo(t);
+  EXPECT_EQ(server.Answer(knn), BruteKnn(mirror, *gdist, 3, t));
+  EXPECT_EQ(server.Answer(within),
+            BruteWithin(mirror, *gdist, 180.0 * 180.0, t));
+}
+
+// A query registered AFTER updates were applied (not merely after an
+// advance) attaches to the already-mutated sweep and answers correctly.
+TEST(QueryServerTest, AddQueryAfterUpdatesSeesMutatedState) {
+  const RandomModOptions options{
+      .num_objects = 12, .dim = 2, .box_lo = -200.0, .box_hi = 200.0,
+      .seed = 53};
+  const UpdateStreamOptions stream{.count = 20, .mean_gap = 0.5, .seed = 54};
+  const MovingObjectDatabase initial = RandomMod(options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(initial, options, stream);
+
+  const GDistancePtr gdist = OriginDistance();
+  QueryServer server(initial, 0.0);
+  const QueryId early = server.AddKnn("origin", gdist, 2);
+  MovingObjectDatabase mirror = initial;
+  for (const Update& update : updates) {
+    ASSERT_TRUE(server.ApplyUpdate(update).ok());
+    ASSERT_TRUE(mirror.Apply(update).ok());
+  }
+
+  const QueryId late_knn = server.AddKnn("origin", gdist, 2);
+  const QueryId late_within = server.AddWithin("origin", gdist, 150.0 * 150.0);
+  EXPECT_EQ(server.engine_count(), 1u);
+
+  const double t = server.now();
+  EXPECT_EQ(server.Answer(late_knn), server.Answer(early));
+  EXPECT_EQ(server.Answer(late_knn), BruteKnn(mirror, *gdist, 2, t));
+  EXPECT_EQ(server.Answer(late_within),
+            BruteWithin(mirror, *gdist, 150.0 * 150.0, t));
+
+  // And the late queries keep tracking through further advances.
+  server.AdvanceTo(t + 5.0);
+  EXPECT_EQ(server.Answer(late_knn), BruteKnn(mirror, *gdist, 2, t + 5.0));
+}
+
+// Failure paths stay clean: an update that precedes server time is
+// rejected with a status (no crash, no partial application).
+TEST(QueryServerTest, StaleUpdateRejectedCleanly) {
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(1, 0.0, Vec{5.0, 0.0}, Vec{0.0, 0.0})).ok());
+  QueryServer server(mod, 0.0);
+  const GDistancePtr gdist = OriginDistance();
+  const QueryId nearest = server.AddKnn("origin", gdist, 1);
+  server.AdvanceTo(10.0);
+
+  const Status stale = server.ApplyUpdate(
+      Update::NewObject(2, 5.0, Vec{1.0, 0.0}, Vec{0.0, 0.0}));
+  EXPECT_FALSE(stale.ok());
+  // The rejected update left no trace: same answer, same clock.
+  EXPECT_EQ(server.now(), 10.0);
+  EXPECT_EQ(server.Answer(nearest), (std::set<ObjectId>{1}));
+
+  // The server remains usable after the rejection.
+  ASSERT_TRUE(server
+                  .ApplyUpdate(Update::NewObject(3, 12.0, Vec{0.5, 0.0},
+                                                 Vec{0.0, 0.0}))
+                  .ok());
+  EXPECT_EQ(server.Answer(nearest), (std::set<ObjectId>{3}));
+}
+
+TEST(QueryServerTest, VisitEnginesSeesEveryGroupOnce) {
+  const MovingObjectDatabase mod =
+      RandomMod({.num_objects = 8, .dim = 2, .seed = 55});
+  QueryServer server(mod, 0.0);
+  server.AddKnn("origin", OriginDistance(), 1);
+  server.AddWithin("origin", OriginDistance(), 100.0);
+  server.AddKnn("north",
+                std::make_shared<SquaredEuclideanGDistance>(
+                    Trajectory::Stationary(0.0, Vec{0.0, 500.0})),
+                1);
+  std::set<std::string> visited;
+  server.VisitEngines([&](const std::string& key, FutureQueryEngine& engine) {
+    EXPECT_TRUE(engine.started());
+    visited.insert(key);
+  });
+  EXPECT_EQ(visited, (std::set<std::string>{"origin", "north"}));
+}
+
 TEST(QueryServerTest, TimelineAccumulates) {
   MovingObjectDatabase mod(/*dim=*/1, 0.0);
   ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0}, Vec{-1.0})).ok());

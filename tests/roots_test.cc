@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "geom/interval.h"
 
 namespace modb {
@@ -136,6 +137,173 @@ TEST(FirstSignChangeTest, NoChangeForConstantOrZero) {
   EXPECT_FALSE(FirstSignChangeAfter(Polynomial::Constant(3.0), 0.0, kInf)
                    .has_value());
   EXPECT_FALSE(FirstSignChangeAfter(Polynomial(), 0.0, kInf).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Near-tangency properties. A tangency (double root) is the plane sweep's
+// hardest numeric case: two g-distance curves that touch must NOT be
+// swapped, and a ±1e-12 perturbation flips the configuration between "no
+// contact", "touch" and "two genuine crossings". Root count and
+// FirstSignChangeAfter must track the perturbation's sign exactly.
+// ---------------------------------------------------------------------------
+
+// ((t - c)² + eps) — the tangency at c, lifted (eps > 0), exact (eps = 0)
+// or split into two simple roots c ± sqrt(-eps) (eps < 0).
+Polynomial PerturbedTangency(double c, double eps) {
+  return Polynomial({c * c + eps, -2.0 * c, 1.0});
+}
+
+TEST(NearTangencyTest, QuadraticPerturbedByTinyEps) {
+  const double kEps = 1e-12;
+  for (double c : {0.0, 0.5, -1.25, 2.0}) {
+    // Lifted above the axis: no roots, no sign change.
+    EXPECT_TRUE(AllRealRoots(PerturbedTangency(c, +kEps)).empty())
+        << "c=" << c;
+    EXPECT_FALSE(
+        FirstSignChangeAfter(PerturbedTangency(c, +kEps), c - 5.0, kInf)
+            .has_value())
+        << "c=" << c;
+
+    // Exact tangency: one (collapsed) root, still no sign change.
+    const std::vector<double> touch = AllRealRoots(PerturbedTangency(c, 0.0));
+    ASSERT_EQ(touch.size(), 1u) << "c=" << c;
+    EXPECT_NEAR(touch[0], c, 1e-6);
+    EXPECT_FALSE(
+        FirstSignChangeAfter(PerturbedTangency(c, 0.0), c - 5.0, kInf)
+            .has_value())
+        << "c=" << c;
+
+    // Pushed below the axis: two simple roots straddling c, and the first
+    // sign change is the left one.
+    const std::vector<double> split = AllRealRoots(PerturbedTangency(c, -kEps));
+    ASSERT_EQ(split.size(), 2u) << "c=" << c;
+    EXPECT_LT(split[0], split[1]);
+    EXPECT_LE(split[0], c);
+    EXPECT_GE(split[1], c);
+    EXPECT_NEAR(split[0], c - 1e-6, 1e-8);
+    EXPECT_NEAR(split[1], c + 1e-6, 1e-8);
+    const auto change =
+        FirstSignChangeAfter(PerturbedTangency(c, -kEps), c - 5.0, kInf);
+    ASSERT_TRUE(change.has_value()) << "c=" << c;
+    EXPECT_NEAR(*change, split[0], 1e-8);
+  }
+}
+
+TEST(NearTangencyTest, QuarticTangencyBetweenTwoCrossings) {
+  // ((t)² + eps)(t - (-1))(t - 1): simple crossings at ±1 with a tangency
+  // at 0 between them — degree 4, so this exercises the Sturm path.
+  const Polynomial wings = FromRoots({-1.0, 1.0});
+  const double kEps = 1e-12;
+
+  const std::vector<double> lifted =
+      AllRealRoots(PerturbedTangency(0.0, +kEps) * wings);
+  ExpectRootsNear(lifted, {-1.0, 1.0}, 1e-6);
+
+  const std::vector<double> touching =
+      AllRealRoots(PerturbedTangency(0.0, 0.0) * wings);
+  ExpectRootsNear(touching, {-1.0, 0.0, 1.0}, 1e-6);
+
+  const std::vector<double> split =
+      AllRealRoots(PerturbedTangency(0.0, -kEps) * wings);
+  ASSERT_EQ(split.size(), 4u);
+  EXPECT_NEAR(split[0], -1.0, 1e-6);
+  EXPECT_NEAR(split[1], -1e-6, 1e-8);
+  EXPECT_NEAR(split[2], 1e-6, 1e-8);
+  EXPECT_NEAR(split[3], 1.0, 1e-6);
+
+  // Starting between the left crossing and the tangency: the touch is
+  // skipped (eps >= 0) but the split pair is a real double crossing.
+  EXPECT_NEAR(
+      *FirstSignChangeAfter(PerturbedTangency(0.0, +kEps) * wings, -0.5, kInf),
+      1.0, 1e-6);
+  EXPECT_NEAR(
+      *FirstSignChangeAfter(PerturbedTangency(0.0, 0.0) * wings, -0.5, kInf),
+      1.0, 1e-6);
+  EXPECT_NEAR(
+      *FirstSignChangeAfter(PerturbedTangency(0.0, -kEps) * wings, -0.5, kInf),
+      -1e-6, 1e-8);
+}
+
+// Randomized consistency: on random low-degree polynomials, the reported
+// roots must be strictly ascending, every observed sign flip must bracket a
+// reported root, and FirstSignChangeAfter must agree with the first flip a
+// dense sign scan sees.
+TEST(NearTangencyTest, RandomizedSignConsistency) {
+  Rng rng(20260805);
+  const double lo = -10.0, hi = 10.0;
+  const int kSamples = 400;
+  for (int iter = 0; iter < 100; ++iter) {
+    const size_t degree = static_cast<size_t>(rng.UniformInt(2, 5));
+    std::vector<double> coeffs(degree + 1);
+    for (double& c : coeffs) c = rng.Uniform(-1.0, 1.0);
+    if (std::fabs(coeffs.back()) < 1e-3) coeffs.back() = 1e-3;
+    // Half the time, plant a near-tangency: multiply by ((t-c)² ± 1e-12).
+    Polynomial p{std::vector<double>(coeffs)};
+    if (iter % 2 == 0) {
+      const double c = rng.Uniform(-5.0, 5.0);
+      const double eps = (iter % 4 == 0 ? +1e-12 : -1e-12);
+      p *= PerturbedTangency(c, eps);
+    }
+
+    const std::vector<double> roots = RealRootsInInterval(p, lo, hi);
+    for (size_t i = 0; i + 1 < roots.size(); ++i) {
+      EXPECT_LT(roots[i], roots[i + 1]) << "iter " << iter;
+    }
+
+    // Dense sign scan; samples landing within 1e-7 of a root are skipped
+    // (their sign is numerically meaningless).
+    auto near_root = [&roots](double x) {
+      for (double r : roots) {
+        if (std::fabs(x - r) < 1e-7) return true;
+      }
+      return false;
+    };
+    double prev_x = lo;
+    double prev_v = p.Eval(lo);
+    std::optional<double> first_flip_bracket_lo;
+    for (int s = 1; s <= kSamples; ++s) {
+      const double x = lo + (hi - lo) * s / kSamples;
+      if (near_root(x) || near_root(prev_x)) {
+        prev_x = x;
+        prev_v = p.Eval(x);
+        continue;
+      }
+      const double v = p.Eval(x);
+      if (prev_v * v < 0.0) {
+        // A flip the scan can see must be explained by a reported root.
+        bool bracketed = false;
+        for (double r : roots) {
+          if (r >= prev_x && r <= x) bracketed = true;
+        }
+        EXPECT_TRUE(bracketed)
+            << "iter " << iter << ": sign flip in [" << prev_x << ", " << x
+            << "] with no reported root";
+        if (!first_flip_bracket_lo.has_value()) first_flip_bracket_lo = prev_x;
+      }
+      prev_x = x;
+      prev_v = v;
+    }
+
+    const auto first_change = FirstSignChangeAfter(p, lo, hi);
+    if (first_flip_bracket_lo.has_value()) {
+      // The scan saw a flip, so a sign change certainly exists and must not
+      // be later than the bracket the scan found it in.
+      ASSERT_TRUE(first_change.has_value()) << "iter " << iter;
+      EXPECT_LE(*first_change,
+                *first_flip_bracket_lo + (hi - lo) / kSamples + 1e-7)
+          << "iter " << iter;
+      EXPECT_GT(*first_change, lo) << "iter " << iter;
+    }
+    if (first_change.has_value()) {
+      // And any reported change must sit at a reported root.
+      bool at_root = false;
+      for (double r : roots) {
+        if (std::fabs(*first_change - r) < 1e-6) at_root = true;
+      }
+      EXPECT_TRUE(at_root) << "iter " << iter << " change at "
+                           << *first_change;
+    }
+  }
 }
 
 TEST(FirstSignChangeTest, QuadraticTwoCrossings) {

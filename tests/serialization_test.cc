@@ -1,7 +1,12 @@
 #include "trajectory/serialization.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "queries/within.h"
 #include "workload/generator.h"
 #include "workload/scenarios.h"
 
@@ -63,6 +68,51 @@ TEST(SerializationTest, RoundTripScenario) {
   const auto loaded = ModFromString(ModToString(scenario.mod));
   ASSERT_TRUE(loaded.ok());
   ExpectModsEqual(scenario.mod, *loaded);
+}
+
+// Bit-identical timelines: a timeline computed on a round-tripped MOD must
+// equal the original's exactly — every segment boundary the same double,
+// every answer the same set. The text format prints exact doubles, so the
+// sweep runs on identical inputs and must take identical decisions; any
+// divergence means serialization perturbed a coefficient.
+void ExpectTimelinesIdentical(const AnswerTimeline& a,
+                              const AnswerTimeline& b) {
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (size_t i = 0; i < a.segments().size(); ++i) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the boundaries must be the same
+    // bits, not merely close.
+    EXPECT_EQ(a.segments()[i].interval.lo, b.segments()[i].interval.lo)
+        << "segment " << i;
+    EXPECT_EQ(a.segments()[i].interval.hi, b.segments()[i].interval.hi)
+        << "segment " << i;
+    EXPECT_EQ(a.segments()[i].answer, b.segments()[i].answer)
+        << "segment " << i;
+  }
+}
+
+TEST(SerializationTest, EnginesAnswerBitIdenticallyAfterRoundTrip) {
+  for (uint64_t seed : {301u, 302u, 303u, 304u}) {
+    const RandomModOptions options{
+        .num_objects = 15, .dim = 2, .box_lo = -300.0, .box_hi = 300.0,
+        .speed_max = 12.0, .seed = seed};
+    const UpdateStreamOptions stream{
+        .count = 40, .mean_gap = 0.5, .seed = seed + 1000};
+    const MovingObjectDatabase original = RandomHistoryMod(options, stream);
+
+    const StatusOr<MovingObjectDatabase> loaded =
+        ModFromString(ModToString(original));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    const auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+        Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
+    const TimeInterval window(0.0, original.last_update_time() + 5.0);
+
+    ExpectTimelinesIdentical(PastKnn(original, gdist, 3, window),
+                             PastKnn(*loaded, gdist, 3, window));
+    ExpectTimelinesIdentical(
+        PastWithin(original, gdist, 150.0 * 150.0, window),
+        PastWithin(*loaded, gdist, 150.0 * 150.0, window));
+  }
 }
 
 TEST(SerializationTest, RejectsBadMagic) {

@@ -1,0 +1,279 @@
+#include "verify/audit.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/future_engine.h"
+#include "gdist/builtin.h"
+#include "queries/knn.h"
+#include "queries/within.h"
+#include "verify/differential.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+GDistancePtr OriginDistance(size_t dim) {
+  return std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec::Zero(dim)));
+}
+
+// A small live engine plus the honest SweepView derived from it — the
+// baseline every mutation test below corrupts.
+struct LiveSweep {
+  std::unique_ptr<FutureQueryEngine> engine;
+  SweepView view;
+};
+
+LiveSweep MakeLiveSweep() {
+  // Four 1-D objects, distinct speeds toward/away from the origin so the
+  // order has real future crossings to queue.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  MODB_CHECK(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0}, Vec{-1.0})).ok());
+  MODB_CHECK(mod.Apply(Update::NewObject(2, 0.0, Vec{2.0}, Vec{0.5})).ok());
+  MODB_CHECK(mod.Apply(Update::NewObject(3, 0.0, Vec{30.0}, Vec{-2.0})).ok());
+  MODB_CHECK(mod.Apply(Update::NewObject(4, 0.0, Vec{5.0}, Vec{0.0})).ok());
+
+  LiveSweep live;
+  live.engine =
+      std::make_unique<FutureQueryEngine>(mod, OriginDistance(1), 0.0);
+  live.engine->Start();
+  live.engine->AdvanceTo(1.0);
+
+  const SweepState& state = live.engine->state();
+  live.view.now = state.now();
+  live.view.horizon = state.horizon();
+  live.view.order = state.order().ToVector();
+  live.view.queue = state.QueueSnapshot();
+  live.view.value = [&state](ObjectId oid, double t) {
+    return state.CurveValue(oid, t);
+  };
+  live.view.first_crossing = [&state](ObjectId left, ObjectId right) {
+    return state.PairFirstCrossing(left, right);
+  };
+  return live;
+}
+
+bool HasViolation(const AuditReport& report, AuditViolationKind kind) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [kind](const AuditViolation& v) { return v.kind == kind; });
+}
+
+TEST(SweepAuditorTest, CleanLiveStatePasses) {
+  LiveSweep live = MakeLiveSweep();
+  SweepAuditor auditor;
+  const AuditReport view_report = auditor.AuditView(live.view);
+  EXPECT_TRUE(view_report.ok()) << view_report.ToString();
+  const AuditReport full_report =
+      auditor.Audit(live.engine->state(), &live.engine->mod());
+  EXPECT_TRUE(full_report.ok()) << full_report.ToString();
+  EXPECT_EQ(full_report.objects, live.view.order.size());
+}
+
+// THE acceptance-criterion mutation test: delete an adjacent pair's queued
+// event — the injected "forgot to schedule the exchange" bug — and the
+// auditor must report exactly that pair by name.
+TEST(SweepAuditorTest, CatchesInjectedMissingEvent) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_FALSE(live.view.queue.empty());
+  const SweepEvent dropped = live.view.queue.front();
+  live.view.queue.erase(live.view.queue.begin());
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  ASSERT_FALSE(report.ok());
+  ASSERT_TRUE(HasViolation(report, AuditViolationKind::kMissingEvent))
+      << report.ToString();
+  const auto it = std::find_if(
+      report.violations.begin(), report.violations.end(),
+      [](const AuditViolation& v) {
+        return v.kind == AuditViolationKind::kMissingEvent;
+      });
+  EXPECT_EQ(it->left, dropped.left);
+  EXPECT_EQ(it->right, dropped.right);
+  ASSERT_TRUE(it->expected_time.has_value());
+  EXPECT_NEAR(*it->expected_time, dropped.time, 1e-9);
+  // The report names the pair in human-readable form too.
+  EXPECT_NE(it->ToString().find("o" + std::to_string(dropped.left)),
+            std::string::npos);
+}
+
+TEST(SweepAuditorTest, CatchesNonAdjacentEvent) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_GE(live.view.order.size(), 4u);
+  // An event for a pair two positions apart — never legal under Lemma 9.
+  SweepEvent bogus;
+  bogus.left = live.view.order[0];
+  bogus.right = live.view.order[2];
+  bogus.time = live.view.now + 1.0;
+  live.view.queue.push_back(bogus);
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, AuditViolationKind::kNonAdjacentEvent))
+      << report.ToString();
+}
+
+TEST(SweepAuditorTest, CatchesOrderViolation) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_GE(live.view.order.size(), 2u);
+  std::swap(live.view.order.front(), live.view.order.back());
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, AuditViolationKind::kOrderViolation))
+      << report.ToString();
+}
+
+TEST(SweepAuditorTest, CatchesWrongEventTime) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_FALSE(live.view.queue.empty());
+  live.view.queue.front().time += 0.25;  // No longer the earliest crossing.
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, AuditViolationKind::kWrongEventTime))
+      << report.ToString();
+}
+
+TEST(SweepAuditorTest, CatchesStaleEvent) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_FALSE(live.view.queue.empty());
+  live.view.queue.front().time = live.view.now - 0.5;
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, AuditViolationKind::kStaleEvent))
+      << report.ToString();
+}
+
+TEST(SweepAuditorTest, CatchesDuplicateAndOverlongQueue) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_FALSE(live.view.queue.empty());
+  // Duplicate every event: breaks both the length bound and uniqueness.
+  const std::vector<SweepEvent> original = live.view.queue;
+  for (size_t needed = live.view.order.size(); live.view.queue.size() < needed;) {
+    live.view.queue.insert(live.view.queue.end(), original.begin(),
+                           original.end());
+  }
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolation(report, AuditViolationKind::kQueueTooLong))
+      << report.ToString();
+  EXPECT_TRUE(HasViolation(report, AuditViolationKind::kNonAdjacentEvent))
+      << report.ToString();
+}
+
+TEST(SweepAuditorTest, EventAtNowIsPendingCascadeNotAViolation) {
+  LiveSweep live = MakeLiveSweep();
+  ASSERT_GE(live.view.order.size(), 2u);
+  // An event for a genuinely adjacent pair at exactly now(): the state a
+  // mid-cascade hook observes. Must not be flagged even though now() is not
+  // the pair's recomputed future crossing.
+  SweepEvent pending;
+  pending.left = live.view.order[0];
+  pending.right = live.view.order[1];
+  pending.time = live.view.now;
+  // Replace any real event for the pair to keep uniqueness.
+  live.view.queue.erase(
+      std::remove_if(live.view.queue.begin(), live.view.queue.end(),
+                     [&](const SweepEvent& e) {
+                       return e.left == pending.left &&
+                              e.right == pending.right;
+                     }),
+      live.view.queue.end());
+  live.view.queue.push_back(pending);
+
+  const AuditReport report = SweepAuditor().AuditView(live.view);
+  EXPECT_FALSE(HasViolation(report, AuditViolationKind::kWrongEventTime))
+      << report.ToString();
+  EXPECT_FALSE(HasViolation(report, AuditViolationKind::kStaleEvent))
+      << report.ToString();
+}
+
+// The streaming observer rides a full random workload without a single
+// violation — the tentpole's "audit after every processed event" hook.
+TEST(AuditingObserverTest, CleanOnRandomWorkload) {
+  const RandomModOptions mod_options{
+      .num_objects = 12, .dim = 2, .speed_max = 10.0, .seed = 77};
+  const UpdateStreamOptions stream_options{
+      .count = 40, .mean_gap = 0.5, .seed = 78};
+  const MovingObjectDatabase initial = RandomMod(mod_options);
+  const std::vector<Update> updates =
+      RandomUpdateStream(initial, mod_options, stream_options);
+
+  FutureQueryEngine engine(initial, OriginDistance(2), 0.0);
+  KnnKernel kernel(&engine.state(), 3);
+  AuditingObserver audit(&engine.state(), &engine.mod());
+  engine.Start();
+  for (const Update& update : updates) {
+    ASSERT_TRUE(engine.ApplyUpdate(update).ok()) << update.ToString();
+  }
+  engine.AdvanceTo(updates.back().time + 5.0);
+
+  EXPECT_GT(audit.audits_run(), updates.size());
+  EXPECT_TRUE(audit.report().ok()) << audit.report().ToString();
+}
+
+TEST(DifferentialTest, RandomSeedsProduceNoMismatches) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    FuzzOptions options;
+    options.seed = seed;
+    options.num_objects = 12;
+    options.num_updates = 30;
+    options.num_probes = 10;
+    options.audit = true;
+    const FuzzResult result = RunDifferential(options);
+    EXPECT_TRUE(result.ok()) << result.ToString();
+    EXPECT_GT(result.probes, 0u);
+    EXPECT_GT(result.timeline_probes, 0u);
+    EXPECT_GT(result.audits, 0u);
+  }
+}
+
+TEST(DifferentialTest, ZeroUpdatesStillProbes) {
+  FuzzOptions options;
+  options.seed = 5;
+  options.num_objects = 6;
+  options.num_updates = 0;
+  options.num_probes = 4;
+  const FuzzResult result = RunDifferential(options);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  EXPECT_GT(result.probes, 0u);
+}
+
+TEST(DifferentialTest, ShrinkFindsMinimalFailingPrefix) {
+  FuzzOptions options;
+  options.num_updates = 60;
+  // Synthetic predicate: the bug "appears" once 17 updates are replayed.
+  size_t calls = 0;
+  const size_t minimal = ShrinkUpdatePrefix(
+      options, [&calls](const FuzzOptions& o) {
+        ++calls;
+        return o.num_updates >= 17;
+      });
+  EXPECT_EQ(minimal, 17u);
+  EXPECT_LE(calls, 8u);  // Bisection, not a linear scan.
+
+  // A failure present from the empty prefix shrinks all the way to 0.
+  EXPECT_EQ(ShrinkUpdatePrefix(options,
+                               [](const FuzzOptions&) { return true; }),
+            0u);
+}
+
+TEST(DifferentialTest, ReproCommandRoundTripsTheOptions) {
+  FuzzOptions options;
+  options.seed = 1337;
+  options.num_updates = 14;
+  options.audit = true;
+  const std::string repro = ReproCommand(options);
+  EXPECT_NE(repro.find("--seed 1337"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--ops 14"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--audit"), std::string::npos) << repro;
+}
+
+}  // namespace
+}  // namespace modb

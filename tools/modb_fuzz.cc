@@ -1,0 +1,146 @@
+// Differential fuzzer: drives a seed-deterministic random workload through
+// the FutureQueryEngine, the QueryServer and the PastQueryEngine at once and
+// compares their k-NN / within answers against the naive Θ(N²) oracle; with
+// --audit, every engine's sweep is additionally re-derived from scratch
+// after every processed event (SweepAuditor).
+//
+//   modb_fuzz --seeds 50 --ops 60 --audit     # sweep 50 seeds
+//   modb_fuzz --seed 1337 --ops 14 --audit    # replay one printed repro
+//
+// On failure the update stream is shrunk to the smallest failing prefix and
+// an exact repro command is printed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verify/differential.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: modb_fuzz [--seeds N] [--seed S] [--ops M]\n"
+               "                 [--objects N] [--probes N] [--k K]\n"
+               "                 [--threshold D] [--audit] [--no-shrink]\n"
+               "                 [--verbose]\n"
+               "\n"
+               "Runs N differential iterations with seeds S, S+1, ...; each\n"
+               "compares every engine's answers against the naive oracle.\n"
+               "--audit re-derives the sweep invariants after every event.\n");
+}
+
+bool ParseSizeT(const char* text, size_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  modb::FuzzOptions options;
+  size_t num_seeds = 1;
+  bool shrink = true;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "modb_fuzz: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--seeds") {
+      ok = ParseSizeT(next(), &num_seeds);
+    } else if (arg == "--seed") {
+      ok = ParseU64(next(), &options.seed);
+    } else if (arg == "--ops") {
+      ok = ParseSizeT(next(), &options.num_updates);
+    } else if (arg == "--objects") {
+      ok = ParseSizeT(next(), &options.num_objects);
+    } else if (arg == "--probes") {
+      ok = ParseSizeT(next(), &options.num_probes);
+    } else if (arg == "--k") {
+      ok = ParseSizeT(next(), &options.k);
+    } else if (arg == "--threshold") {
+      ok = ParseDouble(next(), &options.within_threshold);
+    } else if (arg == "--audit") {
+      options.audit = true;
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "modb_fuzz: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "modb_fuzz: bad value for %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  size_t failed_seeds = 0;
+  size_t total_probes = 0;
+  size_t total_audits = 0;
+  const uint64_t base_seed = options.seed;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    modb::FuzzOptions run = options;
+    run.seed = base_seed + i;
+    const modb::FuzzResult result = modb::RunDifferential(run);
+    total_probes += result.probes + result.timeline_probes;
+    total_audits += result.audits;
+    if (result.ok()) {
+      if (verbose) {
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(run.seed),
+                    result.ToString().c_str());
+      }
+      continue;
+    }
+    ++failed_seeds;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
+                result.ToString().c_str());
+    if (shrink) {
+      modb::FuzzOptions shrunk = run;
+      shrunk.num_updates = modb::ShrinkUpdatePrefix(run);
+      std::printf("  shrunk to %zu update(s); repro:\n    %s\n",
+                  shrunk.num_updates, modb::ReproCommand(shrunk).c_str());
+    } else {
+      std::printf("  repro:\n    %s\n", modb::ReproCommand(run).c_str());
+    }
+  }
+
+  std::printf(
+      "modb_fuzz: %zu/%zu seed(s) ok, %zu probe comparisons, %zu audits\n",
+      num_seeds - failed_seeds, num_seeds, total_probes, total_audits);
+  return failed_seeds == 0 ? 0 : 1;
+}
