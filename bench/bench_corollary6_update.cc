@@ -15,14 +15,15 @@
 namespace modb {
 namespace {
 
-void UpdateCostVsN() {
+void UpdateCostVsN(bench::JsonSink* sink) {
   std::printf(
       "E4: per-update cost with bounded support changes vs N.\n"
       "Corollary 6's premise is that m (support changes between updates) "
       "stays bounded, so the update gap shrinks ~1/N^2 to hold the\n"
       "crossing count per gap constant as N grows.\n"
       "Claim: us_per_update / log2 N is flat (Corollary 6).\n");
-  bench::Table table({"N", "m_per_update", "us_per_update", "norm_us"});
+  bench::Table table(sink, "E4_corollary6_update",
+                     {"N", "m_per_update", "us_per_update", "norm_us"});
   for (size_t n : {1000, 2000, 4000, 8000, 16000}) {
     const RandomModOptions options{.num_objects = n, .dim = 2,
                                    .seed = 19 + n};
@@ -63,7 +64,8 @@ void UpdateCostVsN() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::UpdateCostVsN();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::UpdateCostVsN(&sink);
   return 0;
 }

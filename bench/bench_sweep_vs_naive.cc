@@ -15,12 +15,13 @@
 namespace modb {
 namespace {
 
-void SweepVersusNaive() {
+void SweepVersusNaive(bench::JsonSink* sink) {
   std::printf(
       "E12: past 5-NN over [0, 10], plane sweep vs naive all-pairs + "
       "per-cell re-sort.\nClaim: identical answers, sweep speedup grows "
       "with N.\n");
   bench::Table table(
+      sink, "E12_sweep_vs_naive",
       {"N", "naive_cells", "naive_ms", "sweep_ms", "speedup"});
   for (size_t n : {25, 50, 100, 200, 400}) {
     const RandomModOptions options{.num_objects = n, .dim = 2,
@@ -52,7 +53,8 @@ void SweepVersusNaive() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::SweepVersusNaive();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::SweepVersusNaive(&sink);
   return 0;
 }

@@ -19,12 +19,103 @@ double MeasureSeconds(Fn&& fn) {
   return std::chrono::duration<double>(end - start).count();
 }
 
+// Machine-readable mirror of the printed tables. A bench main constructs
+// one from `--json out.json` (empty path → disabled, zero overhead) and
+// hands it to each Table; the document is written when the sink is
+// destroyed:
+//
+//   {"tables": [{"name": ..., "headers": [...], "rows": [[...], ...]}]}
+//
+// Doubles are emitted with %.17g so the numbers round-trip exactly.
+class JsonSink {
+ public:
+  // Scans argv for "--json PATH"; returns "" (disabled) if absent.
+  static std::string PathFromArgs(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") return argv[i + 1];
+    }
+    return "";
+  }
+
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void BeginTable(std::string name, std::vector<std::string> headers) {
+    if (!enabled()) return;
+    tables_.push_back({std::move(name), std::move(headers), {}});
+  }
+
+  void Row(const std::vector<double>& values) {
+    if (!enabled() || tables_.empty()) return;
+    tables_.back().rows.push_back(values);
+  }
+
+  ~JsonSink() {
+    if (!enabled()) return;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"tables\": [");
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      const TableDump& table = tables_[t];
+      std::fprintf(out, "%s\n    {\n      \"name\": \"%s\",\n"
+                        "      \"headers\": [",
+                   t == 0 ? "" : ",", Escaped(table.name).c_str());
+      for (size_t h = 0; h < table.headers.size(); ++h) {
+        std::fprintf(out, "%s\"%s\"", h == 0 ? "" : ", ",
+                     Escaped(table.headers[h]).c_str());
+      }
+      std::fprintf(out, "],\n      \"rows\": [");
+      for (size_t r = 0; r < table.rows.size(); ++r) {
+        std::fprintf(out, "%s\n        [", r == 0 ? "" : ",");
+        for (size_t c = 0; c < table.rows[r].size(); ++c) {
+          std::fprintf(out, "%s%.17g", c == 0 ? "" : ", ",
+                       table.rows[r][c]);
+        }
+        std::fprintf(out, "]");
+      }
+      std::fprintf(out, "\n      ]\n    }");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+  }
+
+ private:
+  struct TableDump {
+    std::string name;
+    std::vector<std::string> headers;
+    std::vector<std::vector<double>> rows;
+  };
+
+  static std::string Escaped(const std::string& text) {
+    std::string out;
+    for (char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<TableDump> tables_;
+};
+
 // Minimal fixed-width table printer: the benches print paper-style rows;
-// EXPERIMENTS.md records the shapes.
+// EXPERIMENTS.md records the shapes. With a sink, every row is mirrored
+// into the JSON document too.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
-      : headers_(std::move(headers)) {
+      : Table(nullptr, "table", std::move(headers)) {}
+
+  Table(JsonSink* sink, std::string name, std::vector<std::string> headers)
+      : headers_(std::move(headers)), sink_(sink) {
+    if (sink_ != nullptr) sink_->BeginTable(std::move(name), headers_);
     for (const auto& h : headers_) {
       std::printf("%16s", h.c_str());
     }
@@ -34,6 +125,7 @@ class Table {
   }
 
   void Row(const std::vector<double>& values) {
+    if (sink_ != nullptr) sink_->Row(values);
     for (double v : values) {
       if (v == static_cast<int64_t>(v) && std::fabs(v) < 1e15) {
         std::printf("%16lld", static_cast<long long>(v));
@@ -46,6 +138,7 @@ class Table {
 
  private:
   std::vector<std::string> headers_;
+  JsonSink* sink_ = nullptr;
 };
 
 inline double Log2(double x) { return std::log2(std::max(2.0, x)); }

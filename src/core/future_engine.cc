@@ -17,7 +17,14 @@ void FutureQueryEngine::Start() {
   MODB_CHECK(!started_) << "Start() may be called once";
   started_ = true;
   for (const auto& [oid, trajectory] : mod_.objects()) {
-    if (trajectory.DefinedAt(state_->now())) {
+    // An object terminated at or before the start time has already ceased:
+    // its erase "event" (the terminate update, in live operation) is in the
+    // past. Its domain is closed, so DefinedAt alone would admit an object
+    // ending exactly at now — a zombie the sweep would never erase. This
+    // matters when the engine is rebuilt over a recovered MOD whose last
+    // replayed update was a terminate.
+    if (trajectory.DefinedAt(state_->now()) &&
+        trajectory.end_time() > state_->now()) {
       state_->InsertObject(oid, trajectory);
     }
   }

@@ -1,5 +1,6 @@
 #include "core/sweep_state.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace modb {
@@ -23,6 +24,12 @@ SweepState::SweepState(GDistancePtr gdist, double start_time, double horizon,
 void SweepState::AddListener(SweepListener* listener) {
   MODB_CHECK(listener != nullptr);
   listeners_.push_back(listener);
+}
+
+void SweepState::RemoveListener(SweepListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
 }
 
 double SweepState::CurveValue(ObjectId oid, double t) const {

@@ -78,6 +78,11 @@ class SweepState {
   // must outlive the state.
   void AddListener(SweepListener* listener);
 
+  // Detaches a previously added listener (no-op if absent). Kernels call
+  // this from their destructors so a standing query can be torn down while
+  // the sweep lives on (QueryServer::RemoveQuery).
+  void RemoveListener(SweepListener* listener);
+
   double now() const { return now_; }
   double horizon() const { return horizon_; }
   size_t size() const { return order_.size(); }

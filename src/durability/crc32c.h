@@ -1,0 +1,20 @@
+#ifndef MODB_DURABILITY_CRC32C_H_
+#define MODB_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace modb {
+
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the checksum
+// framing every WAL record. Software table implementation; the WAL is
+// I/O-bound, so hardware CRC instructions are not worth a feature probe.
+uint32_t Crc32c(const void* data, size_t size);
+
+// Incremental form: pass the previous return value to continue a running
+// checksum (start from 0).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace modb
+
+#endif  // MODB_DURABILITY_CRC32C_H_

@@ -1,0 +1,197 @@
+#include "durability/durable_server.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "gdist/builtin.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+std::string SegmentPath(const std::string& dir, uint64_t start_seq) {
+  return (fs::path(dir) / WalFileName(start_seq)).string();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
+    const std::string& dir, DurabilityOptions options) {
+  // Recovery must repair torn tails: the active segment is reopened for
+  // append and must end on a record boundary.
+  StatusOr<RecoveryResult> recovered = RecoverDatabase(dir, {.repair = true});
+  if (!recovered.ok() && recovered.status().code() != StatusCode::kNotFound) {
+    return recovered.status();
+  }
+
+  OpenInfo info;
+  MovingObjectDatabase mod{1};
+  std::optional<WalWriter> wal;
+  uint64_t seq = 0;
+  QueryId next_public_id = 0;
+  std::vector<LoggedQuery> live;
+
+  if (recovered.ok()) {
+    RecoveryResult& r = *recovered;
+    info.recovered = true;
+    info.from_snapshot = r.from_snapshot;
+    info.snapshot_seq = r.snapshot_seq;
+    info.replayed_updates = r.replayed_updates;
+    info.skipped_updates = r.skipped_updates;
+    info.truncated_tail = r.truncated_tail;
+    info.truncated_bytes = r.truncated_bytes;
+    info.truncated_detail = r.truncated_detail;
+    info.live_queries = r.live_queries.size();
+    mod = std::move(r.mod);
+    seq = r.next_seq;
+    next_public_id = r.next_query_id;
+    live = std::move(r.live_queries);
+    if (!r.active_wal_path.empty()) {
+      StatusOr<WalWriter> reopened =
+          WalWriter::OpenForAppend(r.active_wal_path, options.wal);
+      MODB_RETURN_IF_ERROR(reopened.status());
+      wal = std::move(reopened).value();
+    }
+  } else {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create " + dir + ": " + ec.message());
+    }
+    mod = MovingObjectDatabase(options.dim, options.initial_time);
+  }
+
+  if (!wal.has_value()) {
+    // Fresh directory, or recovery ended on a snapshot/deleted segment:
+    // start a new segment at the current seq.
+    StatusOr<WalWriter> created = WalWriter::Create(
+        SegmentPath(dir, seq),
+        WalSegmentHeader{mod.dim(), seq, mod.last_update_time()},
+        options.wal);
+    MODB_RETURN_IF_ERROR(created.status());
+    wal = std::move(created).value();
+    MODB_RETURN_IF_ERROR(SyncDirectory(dir));
+  }
+
+  const double start_time = mod.last_update_time();
+  QueryServer server(std::move(mod), start_time, options.queue_kind);
+  SnapshotManager snapshots(dir, options.snapshot);
+
+  std::unique_ptr<DurableQueryServer> db(
+      new DurableQueryServer(dir, options, std::move(server),
+                             std::move(wal).value(), std::move(snapshots)));
+  db->seq_ = seq;
+  db->next_public_id_ = next_public_id;
+  db->info_ = info;
+  for (const LoggedQuery& query : live) {
+    MODB_RETURN_IF_ERROR(db->RegisterLogged(query));
+  }
+  return db;
+}
+
+Status DurableQueryServer::RegisterLogged(const LoggedQuery& query) {
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(query.query);
+  const QueryId internal =
+      query.is_knn
+          ? server_.AddKnn(query.gdist_key, std::move(gdist), query.k)
+          : server_.AddWithin(query.gdist_key, std::move(gdist),
+                              query.threshold);
+  journal_[query.id] = query;
+  public_to_internal_[query.id] = internal;
+  return Status::Ok();
+}
+
+Status DurableQueryServer::ApplyUpdate(const Update& update) {
+  MODB_RETURN_IF_ERROR(wal_->AppendUpdate(update));
+  ++seq_;
+  const Status applied = server_.ApplyUpdate(update);
+  if (options_.auto_checkpoint &&
+      wal_->bytes() >= options_.snapshot.trigger_bytes) {
+    MODB_RETURN_IF_ERROR(Checkpoint());
+  }
+  return applied;
+}
+
+StatusOr<QueryId> DurableQueryServer::AddKnn(const std::string& gdist_key,
+                                             const Trajectory& query,
+                                             size_t k) {
+  LoggedQuery logged;
+  logged.id = next_public_id_;
+  logged.is_knn = true;
+  logged.gdist_key = gdist_key;
+  logged.query = query;
+  logged.k = k;
+  MODB_RETURN_IF_ERROR(wal_->AppendRegisterQuery(logged));
+  ++next_public_id_;
+  MODB_RETURN_IF_ERROR(RegisterLogged(logged));
+  return logged.id;
+}
+
+StatusOr<QueryId> DurableQueryServer::AddWithin(const std::string& gdist_key,
+                                                const Trajectory& query,
+                                                double threshold) {
+  LoggedQuery logged;
+  logged.id = next_public_id_;
+  logged.is_knn = false;
+  logged.gdist_key = gdist_key;
+  logged.query = query;
+  logged.threshold = threshold;
+  MODB_RETURN_IF_ERROR(wal_->AppendRegisterQuery(logged));
+  ++next_public_id_;
+  MODB_RETURN_IF_ERROR(RegisterLogged(logged));
+  return logged.id;
+}
+
+Status DurableQueryServer::RemoveQuery(QueryId id) {
+  auto it = public_to_internal_.find(id);
+  if (it == public_to_internal_.end()) {
+    return Status::NotFound("unknown durable query id " + std::to_string(id));
+  }
+  MODB_RETURN_IF_ERROR(wal_->AppendRemoveQuery(id));
+  MODB_RETURN_IF_ERROR(server_.RemoveQuery(it->second));
+  public_to_internal_.erase(it);
+  journal_.erase(id);
+  return Status::Ok();
+}
+
+const std::set<ObjectId>& DurableQueryServer::Answer(QueryId id) const {
+  return server_.Answer(public_to_internal_.at(id));
+}
+
+const AnswerTimeline& DurableQueryServer::Timeline(QueryId id) const {
+  return server_.Timeline(public_to_internal_.at(id));
+}
+
+Status DurableQueryServer::Flush() { return wal_->Sync(); }
+
+Status DurableQueryServer::Checkpoint() {
+  // Ordering is what makes every crash window recoverable:
+  //   1. sync the active segment — the history up to seq_ is durable;
+  //   2. start the segment at seq_ and re-journal live queries (a crash
+  //      here recovers from the *previous* snapshot through both segments,
+  //      with the re-journaled registrations upserting idempotently);
+  //   3. write the snapshot at seq_ (atomic rename);
+  //   4. prune — only after the new snapshot is durable do older
+  //      snapshots and their segments become garbage.
+  MODB_RETURN_IF_ERROR(wal_->Sync());
+  const uint64_t snap_seq = seq_;
+  if (wal_->header().start_seq != snap_seq) {
+    StatusOr<WalWriter> fresh = WalWriter::Create(
+        SegmentPath(dir_, snap_seq),
+        WalSegmentHeader{server_.mod().dim(), snap_seq,
+                         server_.mod().last_update_time()},
+        options_.wal);
+    MODB_RETURN_IF_ERROR(fresh.status());
+    for (const auto& [id, query] : journal_) {
+      MODB_RETURN_IF_ERROR(fresh->AppendRegisterQuery(query));
+    }
+    MODB_RETURN_IF_ERROR(fresh->Sync());
+    MODB_RETURN_IF_ERROR(SyncDirectory(dir_));
+    wal_ = std::move(fresh).value();
+  }
+  MODB_RETURN_IF_ERROR(snapshots_.Write(server_.mod(), snap_seq));
+  return snapshots_.Prune();
+}
+
+}  // namespace modb

@@ -1,0 +1,132 @@
+#ifndef MODB_DURABILITY_DURABLE_SERVER_H_
+#define MODB_DURABILITY_DURABLE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "durability/recovery.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "queries/query_server.h"
+
+namespace modb {
+
+// A QueryServer whose database survives crashes. Every Definition-3 update
+// is appended to the WAL *before* it is applied (log-before-apply), and
+// standing-query registrations are journaled too, so Open() on an existing
+// directory reconstructs both the MOD and the query set, rebuilding each
+// shared sweep from scratch (Theorem 5 makes that an O(N log N) non-event).
+//
+// Public query ids are allocated by this class and stay stable across
+// close/reopen; they are mapped internally to the ephemeral QueryServer
+// ids of the current process.
+//
+// Only squared-Euclidean standing queries are accepted — they are defined
+// entirely by a query trajectory, which the WAL can journal.
+
+struct DurabilityOptions {
+  // Used only when the directory holds no durable state yet.
+  size_t dim = 2;
+  double initial_time = 0.0;
+  WalOptions wal;
+  SnapshotOptions snapshot;
+  EventQueueKind queue_kind = EventQueueKind::kLeftist;
+  // Checkpoint automatically when the active segment exceeds
+  // snapshot.trigger_bytes. Off is useful for tests and for callers that
+  // checkpoint on their own schedule.
+  bool auto_checkpoint = true;
+};
+
+class DurableQueryServer {
+ public:
+  // How Open() found the directory; for logging and tests.
+  struct OpenInfo {
+    bool recovered = false;  // False: fresh directory initialized.
+    bool from_snapshot = false;
+    uint64_t snapshot_seq = 0;
+    uint64_t replayed_updates = 0;
+    uint64_t skipped_updates = 0;
+    bool truncated_tail = false;
+    uint64_t truncated_bytes = 0;
+    std::string truncated_detail;
+    size_t live_queries = 0;
+  };
+
+  // Opens (recovering) or initializes (creating) the database directory.
+  static StatusOr<std::unique_ptr<DurableQueryServer>> Open(
+      const std::string& dir, DurabilityOptions options = {});
+
+  DurableQueryServer(const DurableQueryServer&) = delete;
+  DurableQueryServer& operator=(const DurableQueryServer&) = delete;
+
+  // Logs the update, then applies it to the database and every sweep. The
+  // returned status is the *apply* status: a rejected update (bad
+  // precondition) still occupies a WAL record — recovery skips it
+  // identically — and is not an I/O failure.
+  Status ApplyUpdate(const Update& update);
+
+  // Registers a standing squared-Euclidean query and journals it. The
+  // returned id is durable: it names the same query after reopen.
+  StatusOr<QueryId> AddKnn(const std::string& gdist_key,
+                           const Trajectory& query, size_t k);
+  StatusOr<QueryId> AddWithin(const std::string& gdist_key,
+                              const Trajectory& query, double threshold);
+  Status RemoveQuery(QueryId id);
+
+  void AdvanceTo(double t) { server_.AdvanceTo(t); }
+
+  // Answer/Timeline by durable id (aborts on unknown id, like QueryServer).
+  const std::set<ObjectId>& Answer(QueryId id) const;
+  const AnswerTimeline& Timeline(QueryId id) const;
+
+  // Makes everything appended so far durable (fsync), regardless of the
+  // configured sync policy.
+  Status Flush();
+
+  // Rotates the WAL (re-journaling live queries into the fresh segment),
+  // writes a snapshot at the current seq, and prunes old files. Crash-safe
+  // at every step: each intermediate state recovers to the same database.
+  Status Checkpoint();
+
+  // Number of update records ever logged (= next segment's start_seq).
+  uint64_t seq() const { return seq_; }
+  const OpenInfo& open_info() const { return info_; }
+  const std::string& dir() const { return dir_; }
+  // Live durable queries, ascending by id.
+  const std::map<QueryId, LoggedQuery>& live_queries() const {
+    return journal_;
+  }
+
+  // The in-memory server (for auditors, stats, and read-only inspection).
+  QueryServer& server() { return server_; }
+  const QueryServer& server() const { return server_; }
+
+ private:
+  DurableQueryServer(std::string dir, DurabilityOptions options,
+                     QueryServer server, WalWriter wal,
+                     SnapshotManager snapshots)
+      : dir_(std::move(dir)),
+        options_(options),
+        server_(std::move(server)),
+        wal_(std::move(wal)),
+        snapshots_(std::move(snapshots)) {}
+
+  Status RegisterLogged(const LoggedQuery& query);
+
+  std::string dir_;
+  DurabilityOptions options_;
+  QueryServer server_;
+  std::optional<WalWriter> wal_;  // Engaged for the lifetime of the object.
+  SnapshotManager snapshots_;
+  uint64_t seq_ = 0;
+  QueryId next_public_id_ = 0;
+  std::map<QueryId, LoggedQuery> journal_;     // Live queries, by public id.
+  std::map<QueryId, QueryId> public_to_internal_;
+  OpenInfo info_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_DURABILITY_DURABLE_SERVER_H_

@@ -1,0 +1,190 @@
+#include "durability/recovery.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "durability/snapshot.h"
+#include "trajectory/serialization.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+struct SegmentFile {
+  uint64_t start_seq = 0;
+  std::string path;
+};
+
+std::vector<SegmentFile> ListSegments(const std::string& dir) {
+  std::vector<SegmentFile> segments;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return segments;
+  for (const fs::directory_entry& entry : it) {
+    const std::optional<uint64_t> seq =
+        ParseWalFileName(entry.path().filename().string());
+    if (seq.has_value()) {
+      segments.push_back(SegmentFile{*seq, entry.path().string()});
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.start_seq < b.start_seq;
+            });
+  return segments;
+}
+
+}  // namespace
+
+StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
+                                         const RecoveryOptions& options) {
+  StatusOr<std::vector<SnapshotInfo>> snapshots = SnapshotManager::List(dir);
+  MODB_RETURN_IF_ERROR(snapshots.status());
+  std::vector<SegmentFile> segments = ListSegments(dir);
+  if (snapshots->empty() && segments.empty()) {
+    return Status::NotFound("no durable state in " + dir);
+  }
+
+  RecoveryResult result;
+
+  // 1. Seed from the newest snapshot that parses; corrupt snapshots are
+  // skipped (the atomic-rename protocol makes them rare, but a damaged
+  // disk must degrade to an older snapshot, not to a refusal to start).
+  bool seeded = false;
+  for (auto it = snapshots->rbegin(); it != snapshots->rend(); ++it) {
+    std::ifstream in(it->path);
+    if (!in) continue;
+    StatusOr<MovingObjectDatabase> mod = ReadMod(in);
+    if (!mod.ok()) continue;
+    result.mod = std::move(mod).value();
+    result.snapshot_seq = it->seq;
+    result.from_snapshot = true;
+    result.next_seq = it->seq;
+    seeded = true;
+    break;
+  }
+
+  // 2. The replay chain: every segment at or after the seed point. A
+  // snapshot always sits on a segment boundary, so the chain must be
+  // contiguous from result.next_seq; a hole is real data loss.
+  std::vector<SegmentFile> chain;
+  for (const SegmentFile& segment : segments) {
+    if (!seeded || segment.start_seq >= result.snapshot_seq) {
+      chain.push_back(segment);
+    }
+  }
+
+  std::map<WalQueryId, LoggedQuery> live;
+  WalQueryId max_query_id = -1;
+
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const bool is_last = i + 1 == chain.size();
+    StatusOr<WalReadResult> read = ReadWalSegment(chain[i].path);
+    if (!read.ok()) {
+      // The segment's own header is unusable — it carries no state at all.
+      // A final segment in that condition is a crash during segment
+      // creation: drop it. Anywhere else it is a hole in the chain.
+      if (!is_last) {
+        return Status::InvalidArgument(
+            "corrupt non-final wal segment " + chain[i].path + ": " +
+            read.status().message());
+      }
+      result.truncated_tail = true;
+      result.truncated_detail =
+          "unusable final segment: " + read.status().message();
+      std::error_code ec;
+      result.truncated_bytes = fs::file_size(chain[i].path, ec);
+      if (options.repair) fs::remove(chain[i].path, ec);
+      if (!seeded && i == 0) {
+        return Status::NotFound("no durable state in " + dir +
+                                " (only a torn segment header)");
+      }
+      break;
+    }
+    if (read->header.start_seq != chain[i].start_seq) {
+      return Status::InvalidArgument(
+          chain[i].path + ": file name says start_seq " +
+          std::to_string(chain[i].start_seq) + " but header says " +
+          std::to_string(read->header.start_seq));
+    }
+    if (read->header.start_seq != result.next_seq) {
+      std::ostringstream msg;
+      msg << "wal chain gap: expected a segment starting at seq "
+          << result.next_seq << ", found " << chain[i].path << " starting at "
+          << read->header.start_seq;
+      return Status::InvalidArgument(msg.str());
+    }
+    if (!seeded && i == 0) {
+      result.mod = MovingObjectDatabase(read->header.dim,
+                                        read->header.start_tau);
+    } else if (read->header.dim != result.mod.dim()) {
+      return Status::InvalidArgument(chain[i].path +
+                                     ": dimension mismatch with state");
+    }
+
+    for (const WalRecord& record : read->records) {
+      switch (record.type) {
+        case WalRecordType::kUpdate: {
+          const Status applied = result.mod.Apply(record.update);
+          if (applied.ok()) {
+            ++result.replayed_updates;
+          } else {
+            // Log-before-apply: the record was appended, then the apply
+            // failed; it fails identically now. Not an error.
+            ++result.skipped_updates;
+          }
+          ++result.next_seq;
+          break;
+        }
+        case WalRecordType::kRegisterQuery:
+          // Upsert: segment heads re-journal live queries, so a
+          // registration may be seen once per rotation.
+          live[record.query.id] = record.query;
+          max_query_id = std::max(max_query_id, record.query.id);
+          break;
+        case WalRecordType::kRemoveQuery:
+          live.erase(record.removed_id);
+          max_query_id = std::max(max_query_id, record.removed_id);
+          break;
+      }
+    }
+
+    if (read->torn_tail) {
+      if (!is_last) {
+        return Status::InvalidArgument(
+            "corrupt non-final wal segment " + chain[i].path + ": " +
+            read->torn_detail);
+      }
+      result.truncated_tail = true;
+      result.truncated_detail = read->torn_detail;
+      result.truncated_bytes = read->file_bytes - read->valid_bytes;
+      if (options.repair && result.truncated_bytes > 0) {
+        std::error_code ec;
+        fs::resize_file(chain[i].path, read->valid_bytes, ec);
+        if (ec) {
+          return Status::Internal("cannot truncate torn tail of " +
+                                  chain[i].path + ": " + ec.message());
+        }
+      }
+    }
+    result.active_wal_path = chain[i].path;
+  }
+
+  if (seeded && chain.empty()) {
+    // Snapshot with no WAL: the snapshot alone is the state.
+    result.next_seq = result.snapshot_seq;
+  }
+
+  result.next_query_id = max_query_id + 1;
+  result.live_queries.reserve(live.size());
+  for (auto& [id, query] : live) {
+    result.live_queries.push_back(std::move(query));
+  }
+  return result;
+}
+
+}  // namespace modb

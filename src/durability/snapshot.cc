@@ -1,0 +1,138 @@
+#include "durability/snapshot.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "durability/wal.h"
+#include "trajectory/serialization.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  // Some filesystems refuse fsync on directories; that is not fatal (the
+  // rename itself is still atomic, only its durability timing weakens).
+  ::fsync(fd);
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::string SnapshotManager::FileName(uint64_t seq) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "snapshot-%020" PRIu64 ".mod", seq);
+  return buffer;
+}
+
+std::optional<uint64_t> SnapshotManager::ParseFileName(
+    const std::string& name) {
+  if (name.size() != 9 + 20 + 4 || name.rfind("snapshot-", 0) != 0 ||
+      name.substr(name.size() - 4) != ".mod") {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 9; i < 29; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+Status SnapshotManager::Write(const MovingObjectDatabase& mod,
+                              uint64_t seq) const {
+  const fs::path final_path = fs::path(dir_) / FileName(seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::Internal("cannot create " + tmp_path.string() + ": " +
+                              std::strerror(errno));
+    }
+    std::ostringstream text;
+    WriteMod(mod, text);
+    const std::string bytes = text.str();
+    const bool wrote =
+        std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+    const bool flushed = std::fflush(file) == 0;
+    const bool synced = ::fsync(::fileno(file)) == 0;
+    std::fclose(file);
+    if (!wrote || !flushed || !synced) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return Status::Internal("cannot write snapshot " + tmp_path.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp_path.string() + ": " +
+                            ec.message());
+  }
+  return SyncDirectory(dir_);
+}
+
+StatusOr<std::vector<SnapshotInfo>> SnapshotManager::List(
+    const std::string& dir) {
+  std::vector<SnapshotInfo> snapshots;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return snapshots;  // Missing directory: nothing persisted yet.
+  for (const fs::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const std::optional<uint64_t> seq = ParseFileName(name);
+    if (seq.has_value()) {
+      snapshots.push_back(SnapshotInfo{*seq, entry.path().string()});
+    }
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const SnapshotInfo& a, const SnapshotInfo& b) {
+              return a.seq < b.seq;
+            });
+  return snapshots;
+}
+
+Status SnapshotManager::Prune() const {
+  StatusOr<std::vector<SnapshotInfo>> snapshots = List(dir_);
+  MODB_RETURN_IF_ERROR(snapshots.status());
+  std::error_code ec;
+  // Stray temporaries from interrupted writes are garbage by definition.
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  }
+  if (snapshots->size() > options_.retain) {
+    const size_t drop = snapshots->size() - options_.retain;
+    for (size_t i = 0; i < drop; ++i) {
+      fs::remove((*snapshots)[i].path, ec);
+    }
+    snapshots->erase(snapshots->begin(),
+                     snapshots->begin() + static_cast<ptrdiff_t>(drop));
+  }
+  if (snapshots->empty()) return Status::Ok();
+  // Segments entirely before the oldest retained snapshot can never be
+  // replayed again (recovery always starts at a retained snapshot's seq,
+  // and snapshots sit exactly on segment boundaries).
+  const uint64_t floor_seq = snapshots->front().seq;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    const std::optional<uint64_t> start =
+        ParseWalFileName(entry.path().filename().string());
+    if (start.has_value() && *start < floor_seq) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace modb

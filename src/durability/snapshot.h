@@ -1,0 +1,72 @@
+#ifndef MODB_DURABILITY_SNAPSHOT_H_
+#define MODB_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trajectory/mod.h"
+
+namespace modb {
+
+// Snapshot files persist the MOD state via src/trajectory/serialization
+// (`snapshot-<20-digit-seq>.mod`, where seq is the number of updates ever
+// applied). Writes are atomic: the state is written to a `.tmp` sibling,
+// fsynced, and renamed into place, so a snapshot file either exists in
+// full or not at all — a crash mid-write leaves only ignorable garbage.
+//
+// Snapshots are cut exactly at WAL segment boundaries (see wal.h), so the
+// snapshot at seq S and the segment with start_seq == S together determine
+// the database: state = fold(snapshot_S, segment_S's records).
+
+struct SnapshotInfo {
+  uint64_t seq = 0;
+  std::string path;
+};
+
+struct SnapshotOptions {
+  // DurableQueryServer cuts a snapshot (and rotates the WAL) when the
+  // active segment exceeds this many bytes.
+  uint64_t trigger_bytes = 1 << 20;
+  // How many snapshots (and their WAL suffixes) survive pruning.
+  size_t retain = 2;
+};
+
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(std::string dir, SnapshotOptions options = {})
+      : dir_(std::move(dir)), options_(options) {}
+
+  const SnapshotOptions& options() const { return options_; }
+
+  // Atomically writes the snapshot for `seq`. Overwrites an existing
+  // snapshot at the same seq (idempotent re-checkpoint).
+  Status Write(const MovingObjectDatabase& mod, uint64_t seq) const;
+
+  // Deletes all but the newest `retain` snapshots, and every WAL segment
+  // whose start_seq precedes the oldest retained snapshot (nothing replays
+  // from before it anymore). Stray `.tmp` files are removed too.
+  Status Prune() const;
+
+  // All snapshots in `dir`, ascending by seq. A missing directory is an
+  // empty list, not an error.
+  static StatusOr<std::vector<SnapshotInfo>> List(const std::string& dir);
+
+  // Canonical file name for a snapshot seq.
+  static std::string FileName(uint64_t seq);
+  static std::optional<uint64_t> ParseFileName(const std::string& name);
+
+ private:
+  std::string dir_;
+  SnapshotOptions options_;
+};
+
+// Fsyncs a directory so renames/creates inside it are durable. Best-effort
+// on filesystems that reject directory fsync.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace modb
+
+#endif  // MODB_DURABILITY_SNAPSHOT_H_

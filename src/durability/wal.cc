@@ -1,0 +1,560 @@
+#include "durability/wal.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "durability/crc32c.h"
+
+namespace modb {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'D', 'B', 'W', 'A', 'L', '1'};
+constexpr uint32_t kVersion = 1;
+// Corruption guard: no legitimate payload is anywhere near this large, so
+// a garbage length field fails fast instead of driving a huge allocation.
+constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+// Sanity cap mirroring the text serializer's: dimensions beyond this are
+// always corruption, and each vector allocates O(dim).
+constexpr uint32_t kMaxDim = 4096;
+
+// ---- little-endian primitive codec ----------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutVec(std::string* out, const Vec& v) {
+  PutU32(out, static_cast<uint32_t>(v.dim()));
+  for (size_t i = 0; i < v.dim(); ++i) PutF64(out, v[i]);
+}
+
+// Bounded forward reader over a byte buffer; every Get* returns false on
+// underrun and the caller converts that into a clean Status.
+struct Cursor {
+  const unsigned char* p;
+  const unsigned char* end;
+
+  bool GetU8(uint8_t* v) {
+    if (end - p < 1) return false;
+    *v = *p++;
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (end - p < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (end - p < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    return true;
+  }
+  bool GetI64(int64_t* v) {
+    uint64_t raw = 0;
+    if (!GetU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+  bool GetF64(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (static_cast<size_t>(end - p) < len || len > kMaxPayloadBytes) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(p), len);
+    p += len;
+    return true;
+  }
+  bool GetVec(Vec* v, size_t expect_dim) {
+    uint32_t dim = 0;
+    if (!GetU32(&dim) || dim != expect_dim || dim > kMaxDim) return false;
+    Vec result(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      if (!GetF64(&result[i])) return false;
+    }
+    *v = std::move(result);
+    return true;
+  }
+};
+
+void PutTrajectory(std::string* out, const Trajectory& trajectory) {
+  PutF64(out, trajectory.end_time());
+  PutU32(out, static_cast<uint32_t>(trajectory.pieces().size()));
+  for (const LinearPiece& piece : trajectory.pieces()) {
+    PutF64(out, piece.start);
+    PutVec(out, piece.origin);
+    PutVec(out, piece.velocity);
+  }
+}
+
+Status GetTrajectory(Cursor* in, size_t dim, Trajectory* out) {
+  double end_time = 0.0;
+  uint32_t pieces = 0;
+  if (!in->GetF64(&end_time) || !in->GetU32(&pieces) || pieces == 0 ||
+      pieces > kMaxPayloadBytes / 16) {
+    return Status::InvalidArgument("truncated trajectory");
+  }
+  Trajectory trajectory;
+  for (uint32_t i = 0; i < pieces; ++i) {
+    double start = 0.0;
+    Vec origin, velocity;
+    if (!in->GetF64(&start) || !in->GetVec(&origin, dim) ||
+        !in->GetVec(&velocity, dim)) {
+      return Status::InvalidArgument("truncated trajectory piece");
+    }
+    if (trajectory.empty()) {
+      trajectory =
+          Trajectory::Linear(start, std::move(origin), std::move(velocity));
+    } else {
+      const Vec expected = trajectory.pieces().back().PositionAt(start);
+      if (!expected.AlmostEquals(origin, 1e-6)) {
+        return Status::InvalidArgument("discontinuous trajectory in record");
+      }
+      MODB_RETURN_IF_ERROR(trajectory.AddTurn(start, std::move(velocity)));
+    }
+  }
+  if (end_time != kInf) {
+    MODB_RETURN_IF_ERROR(trajectory.Terminate(end_time));
+  }
+  *out = std::move(trajectory);
+  return Status::Ok();
+}
+
+std::string EncodeHeader(const WalSegmentHeader& header) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU32(&out, static_cast<uint32_t>(header.dim));
+  PutU64(&out, header.start_seq);
+  PutF64(&out, header.start_tau);
+  MODB_CHECK(out.size() == kWalHeaderBytes);
+  return out;
+}
+
+Status DecodeHeader(const std::string& bytes, WalSegmentHeader* header) {
+  if (bytes.size() < kWalHeaderBytes) {
+    return Status::InvalidArgument("wal header truncated");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad wal magic");
+  }
+  Cursor in{reinterpret_cast<const unsigned char*>(bytes.data()) +
+                sizeof(kMagic),
+            reinterpret_cast<const unsigned char*>(bytes.data()) +
+                kWalHeaderBytes};
+  uint32_t version = 0, dim = 0;
+  uint64_t start_seq = 0;
+  double start_tau = 0.0;
+  if (!in.GetU32(&version) || !in.GetU32(&dim) || !in.GetU64(&start_seq) ||
+      !in.GetF64(&start_tau)) {
+    return Status::InvalidArgument("wal header truncated");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported wal version " +
+                                   std::to_string(version));
+  }
+  if (dim == 0 || dim > kMaxDim) {
+    return Status::InvalidArgument("wal header has implausible dim");
+  }
+  header->dim = dim;
+  header->start_seq = start_seq;
+  header->start_tau = start_tau;
+  return Status::Ok();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::Internal("cannot stat " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  const size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), file);
+  std::fclose(file);
+  if (read != out->size()) {
+    return Status::Internal("short read on " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- payload codecs --------------------------------------------------------
+
+void EncodeUpdatePayload(const Update& update, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kUpdate));
+  PutU8(out, static_cast<uint8_t>(update.kind));
+  PutI64(out, update.oid);
+  PutF64(out, update.time);
+  switch (update.kind) {
+    case UpdateKind::kNew:
+      PutVec(out, update.position);
+      PutVec(out, update.velocity);
+      break;
+    case UpdateKind::kChdir:
+      PutVec(out, update.velocity);
+      break;
+    case UpdateKind::kTerminate:
+      break;
+  }
+}
+
+void EncodeRegisterQueryPayload(const LoggedQuery& query, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kRegisterQuery));
+  PutU8(out, query.is_knn ? 1 : 0);
+  PutI64(out, query.id);
+  PutU64(out, query.k);
+  PutF64(out, query.threshold);
+  PutString(out, query.gdist_key);
+  PutString(out, "euclid2");
+  PutTrajectory(out, query.query);
+}
+
+void EncodeRemoveQueryPayload(WalQueryId id, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kRemoveQuery));
+  PutI64(out, id);
+}
+
+StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim) {
+  Cursor in{reinterpret_cast<const unsigned char*>(payload.data()),
+            reinterpret_cast<const unsigned char*>(payload.data()) +
+                payload.size()};
+  uint8_t type = 0;
+  if (!in.GetU8(&type)) return Status::InvalidArgument("empty payload");
+  WalRecord record;
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kUpdate: {
+      record.type = WalRecordType::kUpdate;
+      uint8_t kind = 0;
+      if (!in.GetU8(&kind) || kind > 2) {
+        return Status::InvalidArgument("bad update kind");
+      }
+      record.update.kind = static_cast<UpdateKind>(kind);
+      if (!in.GetI64(&record.update.oid) || !in.GetF64(&record.update.time)) {
+        return Status::InvalidArgument("truncated update record");
+      }
+      switch (record.update.kind) {
+        case UpdateKind::kNew:
+          if (!in.GetVec(&record.update.position, dim) ||
+              !in.GetVec(&record.update.velocity, dim)) {
+            return Status::InvalidArgument("truncated new() record");
+          }
+          break;
+        case UpdateKind::kChdir:
+          if (!in.GetVec(&record.update.velocity, dim)) {
+            return Status::InvalidArgument("truncated chdir() record");
+          }
+          break;
+        case UpdateKind::kTerminate:
+          break;
+      }
+      break;
+    }
+    case WalRecordType::kRegisterQuery: {
+      record.type = WalRecordType::kRegisterQuery;
+      uint8_t is_knn = 0;
+      std::string gdist_name;
+      if (!in.GetU8(&is_knn) || !in.GetI64(&record.query.id) ||
+          !in.GetU64(&record.query.k) || !in.GetF64(&record.query.threshold) ||
+          !in.GetString(&record.query.gdist_key) ||
+          !in.GetString(&gdist_name)) {
+        return Status::InvalidArgument("truncated query record");
+      }
+      record.query.is_knn = is_knn != 0;
+      if (gdist_name != "euclid2") {
+        return Status::InvalidArgument("unjournalable g-distance: " +
+                                       gdist_name);
+      }
+      MODB_RETURN_IF_ERROR(GetTrajectory(&in, dim, &record.query.query));
+      if (record.query.is_knn && record.query.k == 0) {
+        return Status::InvalidArgument("journaled knn with k == 0");
+      }
+      break;
+    }
+    case WalRecordType::kRemoveQuery: {
+      record.type = WalRecordType::kRemoveQuery;
+      if (!in.GetI64(&record.removed_id)) {
+        return Status::InvalidArgument("truncated remove record");
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown record type " +
+                                     std::to_string(type));
+  }
+  if (in.p != in.end) {
+    return Status::InvalidArgument("trailing bytes in payload");
+  }
+  return record;
+}
+
+// ---- WalWriter -------------------------------------------------------------
+
+StatusOr<WalWriter> WalWriter::Create(const std::string& path,
+                                      const WalSegmentHeader& header,
+                                      WalOptions options) {
+  if (header.dim == 0 || header.dim > kMaxDim) {
+    return Status::InvalidArgument("wal dim out of range");
+  }
+  // "x": fail rather than clobber an existing segment.
+  std::FILE* file = std::fopen(path.c_str(), "wbx");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot create " + path + ": " +
+                                   std::strerror(errno));
+  }
+  const std::string encoded = EncodeHeader(header);
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file) != encoded.size()) {
+    std::fclose(file);
+    return Status::Internal("cannot write wal header to " + path);
+  }
+  WalWriter writer(path, file, header, options, encoded.size());
+  // The header must be durable before any record claims to be: a segment
+  // whose header is torn is unusable in its entirety.
+  MODB_RETURN_IF_ERROR(writer.Sync());
+  return writer;
+}
+
+StatusOr<WalWriter> WalWriter::OpenForAppend(const std::string& path,
+                                             WalOptions options) {
+  std::string bytes;
+  MODB_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  WalSegmentHeader header;
+  MODB_RETURN_IF_ERROR(DecodeHeader(bytes, &header));
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot append to " + path + ": " +
+                                   std::strerror(errno));
+  }
+  return WalWriter(path, file, header, options, bytes.size());
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      header_(other.header_),
+      options_(other.options_),
+      bytes_(other.bytes_),
+      unsynced_bytes_(other.unsynced_bytes_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    header_ = other.header_;
+    options_ = other.options_;
+    bytes_ = other.bytes_;
+    unsynced_bytes_ = other.unsynced_bytes_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);  // Flushes the stdio buffer.
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::AppendPayload(const std::string& payload) {
+  MODB_CHECK(file_ != nullptr);
+  MODB_CHECK(payload.size() <= kMaxPayloadBytes);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload.data(), payload.size()));
+  frame.append(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("wal append failed on " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  bytes_ += frame.size();
+  unsynced_bytes_ += frame.size();
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kEveryRecord:
+      MODB_RETURN_IF_ERROR(Sync());
+      break;
+    case SyncPolicy::kEveryNBytes:
+      if (unsynced_bytes_ >= options_.sync_bytes) {
+        MODB_RETURN_IF_ERROR(Sync());
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::AppendUpdate(const Update& update) {
+  if (update.kind == UpdateKind::kNew &&
+      (update.position.dim() != header_.dim ||
+       update.velocity.dim() != header_.dim)) {
+    return Status::InvalidArgument("new(): dimension mismatch with wal");
+  }
+  if (update.kind == UpdateKind::kChdir &&
+      update.velocity.dim() != header_.dim) {
+    return Status::InvalidArgument("chdir(): dimension mismatch with wal");
+  }
+  std::string payload;
+  EncodeUpdatePayload(update, &payload);
+  return AppendPayload(payload);
+}
+
+Status WalWriter::AppendRegisterQuery(const LoggedQuery& query) {
+  if (query.query.empty() || query.query.dim() != header_.dim) {
+    return Status::InvalidArgument(
+        "query trajectory empty or dimension mismatch with wal");
+  }
+  std::string payload;
+  EncodeRegisterQueryPayload(query, &payload);
+  return AppendPayload(payload);
+}
+
+Status WalWriter::AppendRemoveQuery(WalQueryId id) {
+  std::string payload;
+  EncodeRemoveQueryPayload(id, &payload);
+  return AppendPayload(payload);
+}
+
+Status WalWriter::Sync() {
+  MODB_CHECK(file_ != nullptr);
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed on " + path_);
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("fsync failed on " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  unsynced_bytes_ = 0;
+  return Status::Ok();
+}
+
+// ---- ReadWalSegment --------------------------------------------------------
+
+StatusOr<WalReadResult> ReadWalSegment(const std::string& path) {
+  std::string bytes;
+  MODB_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  WalReadResult result;
+  result.file_bytes = bytes.size();
+  MODB_RETURN_IF_ERROR(DecodeHeader(bytes, &result.header));
+  size_t offset = kWalHeaderBytes;
+  result.valid_bytes = offset;
+
+  const auto torn = [&](std::string why) {
+    result.torn_tail = true;
+    result.torn_detail = std::move(why);
+  };
+
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < 8) {
+      torn("short frame header at offset " + std::to_string(offset));
+      break;
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data()) + offset;
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(p[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) {
+      crc |= static_cast<uint32_t>(p[4 + i]) << (8 * i);
+    }
+    if (len > kMaxPayloadBytes) {
+      torn("implausible record length at offset " + std::to_string(offset));
+      break;
+    }
+    if (bytes.size() - offset - 8 < len) {
+      torn("short record body at offset " + std::to_string(offset));
+      break;
+    }
+    const std::string payload = bytes.substr(offset + 8, len);
+    if (Crc32c(payload.data(), payload.size()) != crc) {
+      torn("crc mismatch at offset " + std::to_string(offset));
+      break;
+    }
+    StatusOr<WalRecord> record = DecodeWalPayload(payload, result.header.dim);
+    if (!record.ok()) {
+      // The frame checksummed correctly but the payload is malformed —
+      // treat like any other torn tail: the valid prefix ends here.
+      torn("undecodable payload at offset " + std::to_string(offset) + ": " +
+           record.status().message());
+      break;
+    }
+    result.records.push_back(std::move(record).value());
+    offset += 8 + len;
+    result.valid_bytes = offset;
+  }
+  return result;
+}
+
+std::string WalFileName(uint64_t start_seq) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "wal-%020" PRIu64 ".log", start_seq);
+  return buffer;
+}
+
+std::optional<uint64_t> ParseWalFileName(const std::string& name) {
+  if (name.size() != 4 + 20 + 4 || name.rfind("wal-", 0) != 0 ||
+      name.substr(name.size() - 4) != ".log") {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace modb

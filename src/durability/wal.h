@@ -1,0 +1,170 @@
+#ifndef MODB_DURABILITY_WAL_H_
+#define MODB_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trajectory/trajectory.h"
+#include "trajectory/update.h"
+
+namespace modb {
+
+// Binary, CRC32c-framed, append-only update log. The MOD evolves purely
+// through Definition 3's three update operations, so the database state is
+// a fold over this log; engines are never persisted (Theorem 5's cheap
+// re-initialization makes rebuilding a sweep from the recovered MOD an
+// O(N log N) non-event).
+//
+// Segment layout (little-endian; see docs/INTERNALS.md "Durability"):
+//
+//   header:  magic "MODBWAL1" | u32 version | u32 dim
+//            | u64 start_seq | f64 start_tau           (32 bytes)
+//   record:  u32 payload_len | u32 crc32c(payload) | payload
+//
+// `start_seq` is the number of update records ever applied before this
+// segment began; snapshots are cut exactly at segment boundaries, so a
+// snapshot at seq S pairs with the segment whose start_seq == S. Query
+// registrations are journaled in-stream (and re-journaled at the head of
+// each fresh segment), so a segment plus its base snapshot is
+// self-contained.
+
+inline constexpr size_t kWalHeaderBytes = 32;
+
+// When appends become durable.
+enum class SyncPolicy {
+  kNone,         // Rely on the OS page cache (process-crash safe only).
+  kEveryRecord,  // fsync after every record (power-loss safe, slow).
+  kEveryNBytes,  // fsync whenever `sync_bytes` unsynced bytes accumulate.
+};
+
+struct WalOptions {
+  SyncPolicy sync = SyncPolicy::kNone;
+  uint64_t sync_bytes = 64 * 1024;  // kEveryNBytes granularity.
+};
+
+enum class WalRecordType : uint8_t {
+  kUpdate = 1,
+  kRegisterQuery = 2,
+  kRemoveQuery = 3,
+};
+
+// Query ids live in queries/query_server.h; redeclared here to keep the
+// WAL layer independent of the server layer.
+using WalQueryId = int64_t;
+
+// A journaled standing-query registration. Only the squared-Euclidean
+// g-distance is journalable (it is defined entirely by its query
+// trajectory); richer distances need application-level re-registration.
+struct LoggedQuery {
+  WalQueryId id = 0;
+  bool is_knn = true;
+  std::string gdist_key;
+  Trajectory query;        // The g-distance's query trajectory.
+  uint64_t k = 1;          // is_knn only.
+  double threshold = 0.0;  // !is_knn only.
+};
+
+// One decoded WAL record (tagged by `type`).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kUpdate;
+  Update update;            // kUpdate.
+  LoggedQuery query;        // kRegisterQuery.
+  WalQueryId removed_id = 0;  // kRemoveQuery.
+};
+
+struct WalSegmentHeader {
+  size_t dim = 0;
+  uint64_t start_seq = 0;
+  double start_tau = 0.0;
+};
+
+// Appends records to one segment file. Move-only (owns the FILE*).
+class WalWriter {
+ public:
+  // Creates `path` (failing if it exists) and writes a fresh header.
+  static StatusOr<WalWriter> Create(const std::string& path,
+                                    const WalSegmentHeader& header,
+                                    WalOptions options = {});
+
+  // Opens an existing segment for append; validates the header. The file
+  // must end on a record boundary — recovery repairs torn tails before
+  // reopening a segment for append.
+  static StatusOr<WalWriter> OpenForAppend(const std::string& path,
+                                           WalOptions options = {});
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  Status AppendUpdate(const Update& update);
+  Status AppendRegisterQuery(const LoggedQuery& query);
+  Status AppendRemoveQuery(WalQueryId id);
+
+  // Flushes the stdio buffer and fsyncs the file.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  const WalSegmentHeader& header() const { return header_; }
+  // Current segment size in bytes (header + records appended so far).
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  WalWriter(std::string path, std::FILE* file, WalSegmentHeader header,
+            WalOptions options, uint64_t bytes)
+      : path_(std::move(path)),
+        file_(file),
+        header_(header),
+        options_(options),
+        bytes_(bytes) {}
+
+  Status AppendPayload(const std::string& payload);
+  void Close();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  WalSegmentHeader header_;
+  WalOptions options_;
+  uint64_t bytes_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+};
+
+// Result of scanning one segment. The scan stops cleanly at the first
+// record whose framing is inconsistent (short read, oversized length, or
+// CRC mismatch): everything before it is returned, and `torn_tail` marks
+// where the valid prefix ends.
+struct WalReadResult {
+  WalSegmentHeader header;
+  std::vector<WalRecord> records;
+  bool torn_tail = false;
+  std::string torn_detail;   // Why the scan stopped, when torn.
+  uint64_t valid_bytes = 0;  // Offset one past the last valid record.
+  uint64_t file_bytes = 0;   // Total file size observed.
+};
+
+// Scans a segment. Only a missing/unreadable file or an invalid *header*
+// is a Status error (the segment carries no usable state at all); record
+// corruption is reported via `torn_tail`, never as a failure.
+StatusOr<WalReadResult> ReadWalSegment(const std::string& path);
+
+// Canonical segment file name for a start sequence ("wal-<20-digit-seq>.log").
+std::string WalFileName(uint64_t start_seq);
+// Parses a segment file name back to its start sequence; nullopt if the
+// name is not a WAL segment.
+std::optional<uint64_t> ParseWalFileName(const std::string& name);
+
+// Payload codecs, exposed for tests (framing is WalWriter/ReadWalSegment's
+// job). Encoding appends to `out`.
+void EncodeUpdatePayload(const Update& update, std::string* out);
+void EncodeRegisterQueryPayload(const LoggedQuery& query, std::string* out);
+void EncodeRemoveQueryPayload(WalQueryId id, std::string* out);
+StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim);
+
+}  // namespace modb
+
+#endif  // MODB_DURABILITY_WAL_H_

@@ -19,6 +19,8 @@ KnnKernel::KnnKernel(SweepState* state, size_t k)
   timeline_.Record(state_->now(), current_);
 }
 
+KnnKernel::~KnnKernel() { state_->RemoveListener(this); }
+
 size_t KnnKernel::ObjectRank(ObjectId oid) const {
   size_t rank = state_->order().Rank(oid);
   for (ObjectId sentinel : state_->sentinels()) {

@@ -25,6 +25,12 @@ class KnnKernel : public SweepListener {
  public:
   // Attaches to `state` (not owned; must outlive the kernel).
   KnnKernel(SweepState* state, size_t k);
+  // Detaches from the state, so a kernel can be destroyed while the sweep
+  // keeps running (standing-query removal).
+  ~KnnKernel() override;
+
+  KnnKernel(const KnnKernel&) = delete;
+  KnnKernel& operator=(const KnnKernel&) = delete;
 
   size_t k() const { return k_; }
   const std::set<ObjectId>& Current() const { return current_; }

@@ -24,12 +24,11 @@ QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
                             size_t k) {
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
-  group.knn_kernels.push_back(
-      std::make_unique<KnnKernel>(&group.engine->state(), k));
-  if (fresh) group.engine->Start();
   const QueryId id = next_id_++;
-  queries_[id] = QueryRef{&group, /*is_knn=*/true,
-                          group.knn_kernels.size() - 1};
+  group.knn_kernels.emplace(
+      id, std::make_unique<KnnKernel>(&group.engine->state(), k));
+  if (fresh) group.engine->Start();
+  queries_[id] = QueryRef{gdist_key, /*is_knn=*/true};
   return id;
 }
 
@@ -37,13 +36,33 @@ QueryId QueryServer::AddWithin(const std::string& gdist_key,
                                GDistancePtr gdist, double threshold) {
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
-  group.within_kernels.push_back(std::make_unique<WithinKernel>(
-      &group.engine->state(), next_sentinel_--, threshold));
-  if (fresh) group.engine->Start();
   const QueryId id = next_id_++;
-  queries_[id] = QueryRef{&group, /*is_knn=*/false,
-                          group.within_kernels.size() - 1};
+  group.within_kernels.emplace(
+      id, std::make_unique<WithinKernel>(&group.engine->state(),
+                                         next_sentinel_--, threshold));
+  if (fresh) group.engine->Start();
+  queries_[id] = QueryRef{gdist_key, /*is_knn=*/false};
   return id;
+}
+
+Status QueryServer::RemoveQuery(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query id " + std::to_string(id));
+  }
+  auto group_it = engines_.find(it->second.key);
+  MODB_CHECK(group_it != engines_.end());
+  EngineGroup& group = group_it->second;
+  if (it->second.is_knn) {
+    group.knn_kernels.erase(id);
+  } else {
+    group.within_kernels.erase(id);  // Dtor withdraws the sentinel.
+  }
+  queries_.erase(it);
+  if (group.knn_kernels.empty() && group.within_kernels.empty()) {
+    engines_.erase(group_it);
+  }
+  return Status::Ok();
 }
 
 Status QueryServer::ApplyUpdate(const Update& update) {
@@ -70,16 +89,18 @@ const std::set<ObjectId>& QueryServer::Answer(QueryId id) const {
   auto it = queries_.find(id);
   MODB_CHECK(it != queries_.end()) << "unknown query id " << id;
   const QueryRef& ref = it->second;
-  return ref.is_knn ? ref.group->knn_kernels[ref.index]->Current()
-                    : ref.group->within_kernels[ref.index]->Current();
+  const EngineGroup& group = engines_.at(ref.key);
+  return ref.is_knn ? group.knn_kernels.at(id)->Current()
+                    : group.within_kernels.at(id)->Current();
 }
 
 const AnswerTimeline& QueryServer::Timeline(QueryId id) const {
   auto it = queries_.find(id);
   MODB_CHECK(it != queries_.end()) << "unknown query id " << id;
   const QueryRef& ref = it->second;
-  return ref.is_knn ? ref.group->knn_kernels[ref.index]->timeline()
-                    : ref.group->within_kernels[ref.index]->timeline();
+  const EngineGroup& group = engines_.at(ref.key);
+  return ref.is_knn ? group.knn_kernels.at(id)->timeline()
+                    : group.within_kernels.at(id)->timeline();
 }
 
 void QueryServer::VisitEngines(

@@ -48,6 +48,14 @@ class QueryServer {
   QueryId AddWithin(const std::string& gdist_key, GDistancePtr gdist,
                     double threshold);
 
+  // Unregisters a standing query: the kernel detaches from the shared
+  // sweep (a within kernel also withdraws its sentinel from the order),
+  // and when the last kernel under a gdist key is removed the whole
+  // EngineGroup — engine, sweep, event queue — is torn down, so a
+  // long-lived server does not accumulate dead sweeps. NotFound for an
+  // unknown or already-removed id.
+  Status RemoveQuery(QueryId id);
+
   // Applies one update to the database and to every registered sweep.
   Status ApplyUpdate(const Update& update);
 
@@ -75,16 +83,19 @@ class QueryServer {
   void VisitEngines(
       const std::function<void(const std::string&, FutureQueryEngine&)>& fn);
 
+  // The server's database state (kept in lockstep with every engine's
+  // copy); recovery and checkpointing read it.
+  const MovingObjectDatabase& mod() const { return mod_; }
+
  private:
   struct EngineGroup {
     std::unique_ptr<FutureQueryEngine> engine;
-    std::vector<std::unique_ptr<KnnKernel>> knn_kernels;
-    std::vector<std::unique_ptr<WithinKernel>> within_kernels;
+    std::map<QueryId, std::unique_ptr<KnnKernel>> knn_kernels;
+    std::map<QueryId, std::unique_ptr<WithinKernel>> within_kernels;
   };
   struct QueryRef {
-    EngineGroup* group;
+    std::string key;
     bool is_knn;
-    size_t index;
   };
 
   EngineGroup& GroupFor(const std::string& key, const GDistancePtr& gdist);

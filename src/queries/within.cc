@@ -23,6 +23,11 @@ WithinKernel::WithinKernel(SweepState* state, ObjectId sentinel_oid,
   timeline_.Record(state_->now(), current_);
 }
 
+WithinKernel::~WithinKernel() {
+  state_->RemoveListener(this);
+  if (state_->ContainsObject(sentinel_)) state_->EraseObject(sentinel_);
+}
+
 void WithinKernel::OnSwap(double time, ObjectId left, ObjectId right) {
   if (right == sentinel_ && !state_->IsSentinel(left)) {
     // `left` rose above the threshold.

@@ -24,8 +24,15 @@ class WithinKernel : public SweepListener {
   // that must not collide with any object). The state must already be at
   // the time from which answers are wanted.
   WithinKernel(SweepState* state, ObjectId sentinel_oid, double threshold);
+  // Detaches from the state and removes the sentinel from the order, so a
+  // kernel can be destroyed while other queries keep sharing the sweep.
+  ~WithinKernel() override;
+
+  WithinKernel(const WithinKernel&) = delete;
+  WithinKernel& operator=(const WithinKernel&) = delete;
 
   double threshold() const { return threshold_; }
+  ObjectId sentinel() const { return sentinel_; }
   const std::set<ObjectId>& Current() const { return current_; }
   AnswerTimeline& timeline() { return timeline_; }
 

@@ -1,5 +1,6 @@
 #include "trajectory/serialization.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <iomanip>
 #include <limits>
@@ -30,8 +31,25 @@ Status ParseDouble(const std::string& token, double* value) {
   if (end != token.c_str() + token.size()) {
     return Status::InvalidArgument("not a number: " + token);
   }
+  if (std::isnan(*value)) {
+    return Status::InvalidArgument("NaN is not a valid value: " + token);
+  }
   return Status::Ok();
 }
+
+// Infinity is meaningful only as an unbounded end time; every other field
+// must be a real number.
+Status ParseFiniteDouble(const std::string& token, double* value) {
+  MODB_RETURN_IF_ERROR(ParseDouble(token, value));
+  if (std::isinf(*value)) {
+    return Status::InvalidArgument("value must be finite: " + token);
+  }
+  return Status::Ok();
+}
+
+// Dimensions beyond this are certainly corruption, not data; parsing them
+// would allocate absurd vectors before any piece fails to parse.
+constexpr int64_t kMaxSerializedDim = 4096;
 
 Status ParseInt(const std::string& token, int64_t* value) {
   if (token.empty()) return Status::InvalidArgument("empty integer token");
@@ -93,9 +111,13 @@ StatusOr<MovingObjectDatabase> ReadMod(std::istream& in) {
   if (dim_value <= 0) {
     return Status::InvalidArgument("dimension must be positive");
   }
+  if (dim_value > kMaxSerializedDim) {
+    return Status::InvalidArgument("dimension " + std::to_string(dim_value) +
+                                   " exceeds the format limit");
+  }
   const size_t dim = static_cast<size_t>(dim_value);
   double tau = 0.0;
-  MODB_RETURN_IF_ERROR(ParseDouble(tau_field.substr(4), &tau));
+  MODB_RETURN_IF_ERROR(ParseFiniteDouble(tau_field.substr(4), &tau));
 
   MovingObjectDatabase mod(dim, tau);
 
@@ -144,15 +166,15 @@ StatusOr<MovingObjectDatabase> ReadMod(std::istream& in) {
       std::string token;
       if (!(in >> token)) return Status::InvalidArgument("truncated piece");
       double start = 0.0;
-      MODB_RETURN_IF_ERROR(ParseDouble(token, &start));
+      MODB_RETURN_IF_ERROR(ParseFiniteDouble(token, &start));
       Vec origin(dim), velocity(dim);
       for (size_t i = 0; i < dim; ++i) {
         if (!(in >> token)) return Status::InvalidArgument("truncated piece");
-        MODB_RETURN_IF_ERROR(ParseDouble(token, &origin[i]));
+        MODB_RETURN_IF_ERROR(ParseFiniteDouble(token, &origin[i]));
       }
       for (size_t i = 0; i < dim; ++i) {
         if (!(in >> token)) return Status::InvalidArgument("truncated piece");
-        MODB_RETURN_IF_ERROR(ParseDouble(token, &velocity[i]));
+        MODB_RETURN_IF_ERROR(ParseFiniteDouble(token, &velocity[i]));
       }
       if (trajectory.empty()) {
         trajectory = Trajectory::Linear(start, std::move(origin),

@@ -1,0 +1,363 @@
+#include "verify/crash.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "durability/durable_server.h"
+#include "gdist/builtin.h"
+#include "trajectory/serialization.h"
+#include "verify/audit.h"
+#include "workload/generator.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+// Same salts as differential.cc: the crash fuzzer draws its workload from
+// the same family of streams.
+constexpr uint64_t kStreamSeedSalt = 0x9E3779B97F4A7C15ull;
+constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
+// Crash geometry (where to stop, where to cut) gets its own stream.
+constexpr uint64_t kCrashSeedSalt = 0x94D049BB133111EBull;
+
+constexpr size_t kMaxFailures = 8;
+
+std::string SetToString(const std::set<ObjectId>& set) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (ObjectId oid : set) {
+    if (!first) out << ", ";
+    out << "o" << oid;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+// The workload as one flat update list replayable onto an *empty* MOD: the
+// initial population becomes new() records (bit-identical trajectories —
+// RandomMod objects are single-piece), then the random stream follows.
+std::vector<Update> BuildUpdates(const CrashFuzzOptions& options) {
+  RandomModOptions mod_options;
+  mod_options.num_objects = std::max<size_t>(1, options.num_objects);
+  mod_options.dim = 2;
+  mod_options.box_lo = -options.box;
+  mod_options.box_hi = options.box;
+  mod_options.speed_min = 1.0;
+  mod_options.speed_max = std::max(1.0, options.speed_max);
+  mod_options.seed = options.seed;
+
+  UpdateStreamOptions stream_options;
+  stream_options.count = options.num_updates;
+  stream_options.mean_gap = options.mean_gap;
+  stream_options.seed = options.seed ^ kStreamSeedSalt;
+
+  const MovingObjectDatabase initial = RandomMod(mod_options);
+  std::vector<Update> updates;
+  updates.reserve(initial.size() + options.num_updates);
+  for (const auto& [oid, trajectory] : initial.objects()) {
+    const LinearPiece& piece = trajectory.pieces().front();
+    updates.push_back(
+        Update::NewObject(oid, piece.start, piece.origin, piece.velocity));
+  }
+  if (options.num_updates > 0) {
+    const std::vector<Update> stream =
+        RandomUpdateStream(initial, mod_options, stream_options);
+    updates.insert(updates.end(), stream.begin(), stream.end());
+  }
+  return updates;
+}
+
+// Newest WAL segment in the directory, or empty if none.
+std::string NewestSegment(const std::string& dir) {
+  std::string newest;
+  uint64_t newest_seq = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::optional<uint64_t> seq =
+        ParseWalFileName(entry.path().filename().string());
+    if (seq.has_value() && (newest.empty() || *seq > newest_seq)) {
+      newest = entry.path().string();
+      newest_seq = *seq;
+    }
+  }
+  return newest;
+}
+
+}  // namespace
+
+std::string CrashFuzzResult::ToString() const {
+  std::ostringstream out;
+  out << (ok() ? "ok" : "FAILED") << " (crash after " << crash_index
+      << " updates, cut " << cut_bytes << " bytes"
+      << (torn_tail ? " [torn]" : "") << ", recovered " << recovered_seq
+      << ", lost " << lost_updates << ", " << probes << " bit-exact probes, "
+      << audits << " audits";
+  if (!ok()) out << ", " << failures.size() << " failure(s)";
+  out << ")";
+  for (const FuzzFailure& failure : failures) {
+    out << "\n  " << failure.ToString();
+  }
+  return out.str();
+}
+
+CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
+  CrashFuzzResult result;
+  auto fail = [&result](double time, std::string what) {
+    if (result.failures.size() < kMaxFailures) {
+      result.failures.push_back(FuzzFailure{std::move(what), time});
+    }
+  };
+  MODB_CHECK(!options.dir.empty()) << "CrashFuzzOptions.dir is required";
+
+  const std::vector<Update> updates = BuildUpdates(options);
+
+  // Same construction as differential.cc: a randomized moving query point.
+  Rng probe_rng(options.seed ^ kProbeSeedSalt);
+  const Trajectory query = Trajectory::Linear(
+      0.0, RandomPoint(probe_rng, 2, -0.5 * options.box, 0.5 * options.box),
+      RandomVelocity(probe_rng, 2, 0.5, std::max(1.0, 0.5 * options.speed_max)));
+
+  DurabilityOptions durable_options;
+  durable_options.dim = 2;
+  durable_options.initial_time = 0.0;
+  durable_options.auto_checkpoint = options.trigger_bytes > 0;
+  durable_options.snapshot.trigger_bytes =
+      options.trigger_bytes > 0 ? options.trigger_bytes : 1;
+
+  Rng crash_rng(options.seed ^ kCrashSeedSalt);
+  result.crash_index = static_cast<size_t>(
+      crash_rng.UniformInt(0, static_cast<int64_t>(updates.size())));
+
+  // Phase A — the doomed run: open fresh, register standing queries, apply
+  // a prefix, then "crash" (close and mutilate the newest segment below).
+  {
+    StatusOr<std::unique_ptr<DurableQueryServer>> opened =
+        DurableQueryServer::Open(options.dir, durable_options);
+    if (!opened.ok()) {
+      fail(0.0, "phase A open: " + opened.status().ToString());
+      return result;
+    }
+    std::unique_ptr<DurableQueryServer> db = std::move(opened).value();
+    if (db->open_info().recovered) {
+      fail(0.0, "scratch directory " + options.dir + " held prior state");
+      return result;
+    }
+    StatusOr<QueryId> knn = db->AddKnn("crash", query, options.k);
+    StatusOr<QueryId> within =
+        db->AddWithin("crash", query, options.within_threshold);
+    if (!knn.ok() || !within.ok()) {
+      fail(0.0, "phase A register: " +
+                    (knn.ok() ? within.status() : knn.status()).ToString());
+      return result;
+    }
+    for (size_t i = 0; i < result.crash_index; ++i) {
+      const Status applied = db->ApplyUpdate(updates[i]);
+      if (!applied.ok()) {
+        fail(updates[i].time, "phase A apply: " + applied.ToString());
+        return result;
+      }
+    }
+    // db destructs here: the stdio buffer reaches the file, as it would
+    // under any sync policy once the OS page cache survives (the crash we
+    // model is a torn write, injected next).
+  }
+
+  // The torn write: slice the newest segment at a random offset. Cutting
+  // zero bytes models a clean shutdown; cutting into the header models a
+  // crash during segment creation.
+  const std::string victim = NewestSegment(options.dir);
+  if (victim.empty()) {
+    fail(0.0, "phase A left no WAL segment in " + options.dir);
+    return result;
+  }
+  std::error_code ec;
+  const uint64_t file_bytes = fs::file_size(victim, ec);
+  if (ec) {
+    fail(0.0, "cannot stat " + victim + ": " + ec.message());
+    return result;
+  }
+  const uint64_t keep = static_cast<uint64_t>(
+      crash_rng.UniformInt(0, static_cast<int64_t>(file_bytes)));
+  result.cut_bytes = file_bytes - keep;
+  if (result.cut_bytes > 0) {
+    fs::resize_file(victim, keep, ec);
+    if (ec) {
+      fail(0.0, "cannot truncate " + victim + ": " + ec.message());
+      return result;
+    }
+  }
+
+  // Phase B — recover, then resume in lockstep against a fresh in-memory
+  // reference that replays the recovered prefix.
+  StatusOr<std::unique_ptr<DurableQueryServer>> reopened =
+      DurableQueryServer::Open(options.dir, durable_options);
+  if (!reopened.ok()) {
+    fail(0.0, "recovery: " + reopened.status().ToString());
+    return result;
+  }
+  std::unique_ptr<DurableQueryServer> db = std::move(reopened).value();
+  result.torn_tail = db->open_info().truncated_tail;
+  result.recovered_seq = db->seq();
+  if (db->seq() > result.crash_index) {
+    fail(0.0, "recovery replayed " + std::to_string(db->seq()) +
+                  " updates but only " + std::to_string(result.crash_index) +
+                  " were ever applied");
+    return result;
+  }
+  result.lost_updates = result.crash_index - static_cast<size_t>(db->seq());
+  const size_t resume_from = static_cast<size_t>(db->seq());
+
+  QueryServer ref(MovingObjectDatabase(2, 0.0), 0.0);
+  for (size_t i = 0; i < resume_from; ++i) {
+    const Status applied = ref.ApplyUpdate(updates[i]);
+    if (!applied.ok()) {
+      fail(updates[i].time, "reference replay: " + applied.ToString());
+      return result;
+    }
+  }
+
+  // Pair every surviving durable query with a reference twin; registrations
+  // the cut destroyed are re-added on both lanes (the client's move after a
+  // crash that ate its registration).
+  std::vector<std::pair<QueryId, QueryId>> paired;  // durable id, ref id.
+  for (const auto& [id, logged] : db->live_queries()) {
+    const QueryId ref_id =
+        logged.is_knn
+            ? ref.AddKnn(logged.gdist_key,
+                         std::make_shared<SquaredEuclideanGDistance>(
+                             logged.query),
+                         logged.k)
+            : ref.AddWithin(logged.gdist_key,
+                            std::make_shared<SquaredEuclideanGDistance>(
+                                logged.query),
+                            logged.threshold);
+    paired.emplace_back(id, ref_id);
+  }
+  const bool knn_alive =
+      std::any_of(db->live_queries().begin(), db->live_queries().end(),
+                  [](const auto& kv) { return kv.second.is_knn; });
+  const bool within_alive =
+      std::any_of(db->live_queries().begin(), db->live_queries().end(),
+                  [](const auto& kv) { return !kv.second.is_knn; });
+  if (!knn_alive) {
+    StatusOr<QueryId> durable_id = db->AddKnn("crash", query, options.k);
+    if (!durable_id.ok()) {
+      fail(0.0, "re-register knn: " + durable_id.status().ToString());
+      return result;
+    }
+    paired.emplace_back(*durable_id, ref.AddKnn("crash",
+                                                std::make_shared<
+                                                    SquaredEuclideanGDistance>(
+                                                    query),
+                                                options.k));
+    ++result.requeried;
+  }
+  if (!within_alive) {
+    StatusOr<QueryId> durable_id =
+        db->AddWithin("crash", query, options.within_threshold);
+    if (!durable_id.ok()) {
+      fail(0.0, "re-register within: " + durable_id.status().ToString());
+      return result;
+    }
+    paired.emplace_back(
+        *durable_id,
+        ref.AddWithin("crash",
+                      std::make_shared<SquaredEuclideanGDistance>(query),
+                      options.within_threshold));
+    ++result.requeried;
+  }
+
+  std::vector<std::unique_ptr<AuditingObserver>> audits;
+  if (options.audit) {
+    db->server().VisitEngines(
+        [&](const std::string&, FutureQueryEngine& engine) {
+          audits.push_back(std::make_unique<AuditingObserver>(
+              &engine.state(), &engine.mod()));
+        });
+    ref.VisitEngines([&](const std::string&, FutureQueryEngine& engine) {
+      audits.push_back(std::make_unique<AuditingObserver>(&engine.state(),
+                                                          &engine.mod()));
+    });
+  }
+
+  // Lockstep resume: identical deterministic sweeps on identical doubles —
+  // answers compare with operator==, no tolerance.
+  auto probe_at = [&](double t) {
+    db->AdvanceTo(t);
+    ref.AdvanceTo(t);
+    for (const auto& [durable_id, ref_id] : paired) {
+      ++result.probes;
+      const std::set<ObjectId>& got = db->Answer(durable_id);
+      const std::set<ObjectId>& want = ref.Answer(ref_id);
+      if (got != want) {
+        fail(t, "query " + std::to_string(durable_id) +
+                    " diverged after recovery: recovered lane " +
+                    SetToString(got) + " vs reference " + SetToString(want));
+      }
+    }
+  };
+
+  double now = std::max(db->server().mod().last_update_time(),
+                        ref.mod().last_update_time());
+  probe_at(now);
+  for (size_t i = resume_from;
+       i < updates.size() && result.failures.empty(); ++i) {
+    const Update& update = updates[i];
+    // Probe strictly inside the gap before the update, as differential.cc
+    // does — both lanes must be advanced past an update's time only by the
+    // update itself.
+    if (update.time > now) {
+      probe_at(now + probe_rng.Uniform(0.05, 0.95) * (update.time - now));
+    }
+    const Status durable_applied = db->ApplyUpdate(update);
+    const Status ref_applied = ref.ApplyUpdate(update);
+    if (!durable_applied.ok() || !ref_applied.ok()) {
+      fail(update.time, "resume apply diverged: recovered lane '" +
+                            durable_applied.ToString() + "' vs reference '" +
+                            ref_applied.ToString() + "'");
+      break;
+    }
+    now = update.time;
+  }
+
+  if (result.failures.empty()) {
+    probe_at(now + std::max(1.0, 4.0 * options.mean_gap));
+    // The databases themselves must serialize to the same bytes.
+    const std::string got = ModToString(db->server().mod());
+    const std::string want = ModToString(ref.mod());
+    if (got != want) {
+      fail(now, "final database state diverged (serialized forms differ: " +
+                    std::to_string(got.size()) + " vs " +
+                    std::to_string(want.size()) + " bytes)");
+    }
+  }
+
+  for (const auto& audit : audits) {
+    result.audits += audit->audits_run();
+    if (!audit->report().ok()) {
+      fail(audit->report().now, "audit: " + audit->report().ToString());
+    }
+  }
+  return result;
+}
+
+std::string CrashReproCommand(const CrashFuzzOptions& options) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "modb_fuzz --crash --seed " << options.seed << " --ops "
+      << options.num_updates << " --objects " << options.num_objects
+      << " --k " << options.k << " --threshold " << options.within_threshold
+      << " --trigger " << options.trigger_bytes;
+  if (options.audit) out << " --audit";
+  return out.str();
+}
+
+}  // namespace modb

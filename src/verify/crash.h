@@ -1,0 +1,64 @@
+#ifndef MODB_VERIFY_CRASH_H_
+#define MODB_VERIFY_CRASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/differential.h"
+
+namespace modb {
+
+// Crash-injection differential fuzzing for the durability subsystem: one
+// seed-deterministic run drives a DurableQueryServer through a randomized
+// workload, "crashes" it by truncating the newest WAL segment at a random
+// byte offset (simulating a torn write), recovers, and then resumes the
+// remaining updates in lockstep against a fresh in-memory QueryServer that
+// replayed the recovered prefix. Both lanes execute the same deterministic
+// sweep on the same doubles, so every standing-query answer must be
+// BIT-IDENTICAL — no tolerance — and the final databases must serialize to
+// the same bytes. SweepAuditor runs on both lanes when `audit` is set.
+struct CrashFuzzOptions {
+  uint64_t seed = 1;
+  size_t num_objects = 16;
+  size_t num_updates = 80;  // The CLI's --ops.
+  size_t k = 3;
+  double within_threshold = 150.0 * 150.0;
+  bool audit = false;
+  // Workload shape, forwarded to src/workload/generator.
+  double box = 300.0;
+  double speed_max = 12.0;
+  double mean_gap = 0.5;
+  // Scratch directory for the database; created, filled, and (by the CLI)
+  // deleted per run. Must not hold prior state.
+  std::string dir;
+  // Auto-checkpoint trigger during the doomed run — small, so rotation and
+  // snapshot crash windows are exercised too. 0 disables checkpoints.
+  uint64_t trigger_bytes = 8 * 1024;
+};
+
+struct CrashFuzzResult {
+  size_t crash_index = 0;      // Updates applied before the simulated crash.
+  uint64_t cut_bytes = 0;      // Bytes sliced off the newest segment.
+  bool torn_tail = false;      // Recovery found (and repaired) a torn record.
+  uint64_t recovered_seq = 0;  // Update records that survived the cut.
+  size_t lost_updates = 0;     // crash_index - recovered updates.
+  size_t requeried = 0;        // Registrations lost to the cut, re-added.
+  size_t probes = 0;           // Bit-exact answer comparisons performed.
+  size_t audits = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+// Runs one crash-injection iteration. Deterministic in `options` (the
+// directory's *content* is derived state; its path does not matter).
+CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options);
+
+// The modb_fuzz invocation reproducing `options`.
+std::string CrashReproCommand(const CrashFuzzOptions& options);
+
+}  // namespace modb
+
+#endif  // MODB_VERIFY_CRASH_H_

@@ -1,0 +1,621 @@
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durability/crc32c.h"
+#include "durability/durable_server.h"
+#include "durability/recovery.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "trajectory/serialization.h"
+
+namespace modb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh scratch directory per test.
+std::string ScratchDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("modb_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Update SampleNew(ObjectId oid, double t) {
+  return Update::NewObject(oid, t, Vec{1.0 * static_cast<double>(oid), 2.0},
+                           Vec{0.5, -0.25});
+}
+
+// ---------------------------------------------------------------------------
+// CRC32c
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  const std::string numbers = "123456789";
+  EXPECT_EQ(Crc32c(numbers.data(), numbers.size()), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "hello, moving objects";
+  uint32_t crc = 0;
+  for (char c : data) crc = Crc32cExtend(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32c(data.data(), data.size()));
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+
+TEST(WalTest, FileNameRoundTrip) {
+  const std::string name = WalFileName(42);
+  EXPECT_EQ(name, "wal-00000000000000000042.log");
+  EXPECT_EQ(ParseWalFileName(name), 42u);
+  EXPECT_FALSE(ParseWalFileName("wal-x.log").has_value());
+  EXPECT_FALSE(ParseWalFileName("snapshot-00000000000000000042.mod")
+                   .has_value());
+}
+
+TEST(WalTest, AppendAndReadBack) {
+  const std::string dir = ScratchDir("wal_roundtrip");
+  const std::string path = dir + "/" + WalFileName(7);
+  {
+    auto writer = WalWriter::Create(
+        path, WalSegmentHeader{2, 7, 1.5}, WalOptions{});
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 2.0)).ok());
+    ASSERT_TRUE(
+        writer->AppendUpdate(Update::ChangeDirection(1, 3.0, Vec{1.0, 1.0}))
+            .ok());
+    ASSERT_TRUE(
+        writer->AppendUpdate(Update::TerminateObject(1, 4.0)).ok());
+    LoggedQuery query;
+    query.id = 5;
+    query.is_knn = false;
+    query.gdist_key = "radar";
+    query.query = Trajectory::Linear(0.0, Vec{1.0, 2.0}, Vec{3.0, 4.0});
+    query.threshold = 99.5;
+    ASSERT_TRUE(writer->AppendRegisterQuery(query).ok());
+    ASSERT_TRUE(writer->AppendRemoveQuery(5).ok());
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->torn_tail);
+  EXPECT_EQ(read->header.dim, 2u);
+  EXPECT_EQ(read->header.start_seq, 7u);
+  EXPECT_DOUBLE_EQ(read->header.start_tau, 1.5);
+  ASSERT_EQ(read->records.size(), 5u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kUpdate);
+  EXPECT_EQ(read->records[0].update.kind, UpdateKind::kNew);
+  EXPECT_EQ(read->records[0].update.oid, 1);
+  EXPECT_EQ(read->records[0].update.position, (Vec{1.0, 2.0}));
+  EXPECT_EQ(read->records[2].update.kind, UpdateKind::kTerminate);
+  EXPECT_EQ(read->records[3].type, WalRecordType::kRegisterQuery);
+  EXPECT_EQ(read->records[3].query.id, 5);
+  EXPECT_FALSE(read->records[3].query.is_knn);
+  EXPECT_EQ(read->records[3].query.gdist_key, "radar");
+  EXPECT_DOUBLE_EQ(read->records[3].query.threshold, 99.5);
+  EXPECT_TRUE(read->records[3].query.query ==
+              Trajectory::Linear(0.0, Vec{1.0, 2.0}, Vec{3.0, 4.0}));
+  EXPECT_EQ(read->records[4].type, WalRecordType::kRemoveQuery);
+  EXPECT_EQ(read->records[4].removed_id, 5);
+  EXPECT_EQ(read->valid_bytes, read->file_bytes);
+}
+
+TEST(WalTest, CreateRefusesExistingFile) {
+  const std::string dir = ScratchDir("wal_exists");
+  const std::string path = dir + "/" + WalFileName(0);
+  ASSERT_TRUE(
+      WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0}).ok());
+  EXPECT_FALSE(
+      WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0}).ok());
+}
+
+TEST(WalTest, OpenForAppendContinues) {
+  const std::string dir = ScratchDir("wal_append");
+  const std::string path = dir + "/" + WalFileName(0);
+  {
+    auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  }
+  {
+    auto writer = WalWriter::OpenForAppend(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_EQ(writer->header().start_seq, 0u);
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[1].update.oid, 2);
+}
+
+TEST(WalTest, EveryRecordSyncPolicyWrites) {
+  const std::string dir = ScratchDir("wal_sync");
+  const std::string path = dir + "/" + WalFileName(0);
+  WalOptions options;
+  options.sync = SyncPolicy::kEveryRecord;
+  auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0}, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  // The record is durable without an explicit Sync(): a concurrent reader
+  // sees it immediately.
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST(WalTest, TornTailMidRecordIsDetected) {
+  const std::string dir = ScratchDir("wal_torn");
+  const std::string path = dir + "/" + WalFileName(0);
+  {
+    auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  const std::string bytes = ReadFileBytes(path);
+  // Chop into the middle of the second record.
+  const auto full = ReadWalSegment(path);
+  ASSERT_TRUE(full.ok());
+  const uint64_t second_start =
+      kWalHeaderBytes + (full->valid_bytes - kWalHeaderBytes) / 2;
+  WriteFileBytes(path, bytes.substr(0, second_start + 3));
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].update.oid, 1);
+}
+
+TEST(WalTest, CrcFlipInvalidatesSuffix) {
+  const std::string dir = ScratchDir("wal_crcflip");
+  const std::string path = dir + "/" + WalFileName(0);
+  {
+    auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(writer->AppendUpdate(SampleNew(i, 1.0 * i)).ok());
+    }
+  }
+  std::string bytes = ReadFileBytes(path);
+  // Flip one payload byte somewhere past the midpoint.
+  const size_t victim = kWalHeaderBytes +
+                        (bytes.size() - kWalHeaderBytes) / 2 + 10;
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x40);
+  WriteFileBytes(path, bytes);
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_LT(read->records.size(), 4u);
+  // The valid prefix is intact.
+  for (size_t i = 0; i < read->records.size(); ++i) {
+    EXPECT_EQ(read->records[i].update.oid, static_cast<ObjectId>(i + 1));
+  }
+}
+
+TEST(WalTest, GarbageHeaderIsAnError) {
+  const std::string dir = ScratchDir("wal_badheader");
+  const std::string path = dir + "/" + WalFileName(0);
+  WriteFileBytes(path, "not a wal segment at all, definitely");
+  EXPECT_FALSE(ReadWalSegment(path).ok());
+  WriteFileBytes(path, "short");
+  EXPECT_FALSE(ReadWalSegment(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+TEST(SnapshotTest, WriteListPrune) {
+  const std::string dir = ScratchDir("snap_basic");
+  MovingObjectDatabase mod(2, 0.0);
+  ASSERT_TRUE(mod.Apply(SampleNew(1, 0.0)).ok());
+  SnapshotOptions options;
+  options.retain = 2;
+  SnapshotManager manager(dir, options);
+  ASSERT_TRUE(manager.Write(mod, 10).ok());
+  ASSERT_TRUE(manager.Write(mod, 20).ok());
+  ASSERT_TRUE(manager.Write(mod, 30).ok());
+  // Segments below the retained floor get pruned; ones at/above stay.
+  ASSERT_TRUE(
+      WalWriter::Create(dir + "/" + WalFileName(10), WalSegmentHeader{2, 10, 0.0})
+          .ok());
+  ASSERT_TRUE(
+      WalWriter::Create(dir + "/" + WalFileName(20), WalSegmentHeader{2, 20, 0.0})
+          .ok());
+  ASSERT_TRUE(manager.Prune().ok());
+  const auto listed = SnapshotManager::List(dir);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].seq, 20u);
+  EXPECT_EQ((*listed)[1].seq, 30u);
+  EXPECT_FALSE(fs::exists(dir + "/" + WalFileName(10)));
+  EXPECT_TRUE(fs::exists(dir + "/" + WalFileName(20)));
+}
+
+TEST(SnapshotTest, StrayTmpIsIgnoredAndPruned) {
+  const std::string dir = ScratchDir("snap_tmp");
+  WriteFileBytes(dir + "/" + SnapshotManager::FileName(5) + ".tmp",
+                 "partial garbage");
+  const auto listed = SnapshotManager::List(dir);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_TRUE(listed->empty());
+  SnapshotManager manager(dir);
+  ASSERT_TRUE(manager.Prune().ok());
+  EXPECT_FALSE(fs::exists(dir + "/" + SnapshotManager::FileName(5) + ".tmp"));
+}
+
+TEST(SnapshotTest, SnapshotRoundTripsExactly) {
+  const std::string dir = ScratchDir("snap_exact");
+  MovingObjectDatabase mod(2, 0.0);
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(3, 0.0, Vec{1.0 / 3.0, -7.0 / 11.0},
+                                  Vec{0.1, 0.2}))
+          .ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::ChangeDirection(3, 0.7, Vec{-2.0 / 3.0, 0.0})).ok());
+  SnapshotManager manager(dir);
+  ASSERT_TRUE(manager.Write(mod, 2).ok());
+  std::ifstream in(dir + "/" + SnapshotManager::FileName(2));
+  const auto loaded = ReadMod(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ModToString(*loaded), ModToString(mod));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+TEST(RecoveryTest, EmptyDirectoryIsNotFound) {
+  const std::string dir = ScratchDir("rec_empty");
+  const auto result = RecoverDatabase(dir);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // A missing directory behaves the same.
+  const auto missing = RecoverDatabase(dir + "/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RecoveryTest, WalOnlyReplaysFromEmpty) {
+  const std::string dir = ScratchDir("rec_walonly");
+  {
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(0),
+                                    WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  const auto result = RecoverDatabase(dir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->from_snapshot);
+  EXPECT_EQ(result->replayed_updates, 2u);
+  EXPECT_EQ(result->next_seq, 2u);
+  EXPECT_EQ(result->mod.size(), 2u);
+  EXPECT_FALSE(result->truncated_tail);
+}
+
+TEST(RecoveryTest, SnapshotWithoutWalIsTheState) {
+  const std::string dir = ScratchDir("rec_snaponly");
+  MovingObjectDatabase mod(2, 3.0);
+  ASSERT_TRUE(mod.Apply(SampleNew(9, 3.0)).ok());
+  ASSERT_TRUE(SnapshotManager(dir).Write(mod, 17).ok());
+  const auto result = RecoverDatabase(dir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->from_snapshot);
+  EXPECT_EQ(result->snapshot_seq, 17u);
+  EXPECT_EQ(result->next_seq, 17u);
+  EXPECT_EQ(result->replayed_updates, 0u);
+  EXPECT_EQ(ModToString(result->mod), ModToString(mod));
+}
+
+TEST(RecoveryTest, SnapshotPlusWalSuffix) {
+  const std::string dir = ScratchDir("rec_snapwal");
+  MovingObjectDatabase mod(2, 1.0);
+  ASSERT_TRUE(mod.Apply(SampleNew(1, 1.0)).ok());
+  ASSERT_TRUE(SnapshotManager(dir).Write(mod, 1).ok());
+  {
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(1),
+                                    WalSegmentHeader{2, 1, 1.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  const auto result = RecoverDatabase(dir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->from_snapshot);
+  EXPECT_EQ(result->next_seq, 2u);
+  EXPECT_EQ(result->replayed_updates, 1u);
+  EXPECT_EQ(result->mod.size(), 2u);
+}
+
+TEST(RecoveryTest, TornTailIsTruncatedAndIdempotent) {
+  const std::string dir = ScratchDir("rec_torn");
+  const std::string path = dir + "/" + WalFileName(0);
+  {
+    auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  // Tear the second record.
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 5));
+
+  const auto first = RecoverDatabase(dir, {.repair = true});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->truncated_tail);
+  EXPECT_EQ(first->replayed_updates, 1u);
+  EXPECT_EQ(first->next_seq, 1u);
+  const std::string state = ModToString(first->mod);
+
+  // Recovery repaired the file: a second recovery is clean and
+  // bit-identical.
+  const auto second = RecoverDatabase(dir, {.repair = true});
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->truncated_tail);
+  EXPECT_EQ(second->replayed_updates, 1u);
+  EXPECT_EQ(ModToString(second->mod), state);
+}
+
+TEST(RecoveryTest, CorruptNonFinalSegmentFails) {
+  const std::string dir = ScratchDir("rec_nonfinal");
+  const std::string first = dir + "/" + WalFileName(0);
+  {
+    auto writer = WalWriter::Create(first, WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  }
+  {
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(1),
+                                    WalSegmentHeader{2, 1, 1.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  // Corrupt the non-final segment's record region.
+  std::string bytes = ReadFileBytes(first);
+  bytes[kWalHeaderBytes + 12] = static_cast<char>(bytes[kWalHeaderBytes + 12] ^ 1);
+  WriteFileBytes(first, bytes);
+  const auto result = RecoverDatabase(dir);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecoveryTest, WalChainGapFails) {
+  const std::string dir = ScratchDir("rec_gap");
+  {
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(0),
+                                    WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  }
+  {
+    // Claims to start at 5, but only 1 update precedes it.
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(5),
+                                    WalSegmentHeader{2, 5, 1.0});
+    ASSERT_TRUE(writer.ok());
+  }
+  const auto result = RecoverDatabase(dir);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(RecoveryTest, CorruptSnapshotFallsBackToOlder) {
+  const std::string dir = ScratchDir("rec_badsnap");
+  MovingObjectDatabase mod(2, 1.0);
+  ASSERT_TRUE(mod.Apply(SampleNew(1, 1.0)).ok());
+  ASSERT_TRUE(SnapshotManager(dir).Write(mod, 1).ok());
+  {
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(1),
+                                    WalSegmentHeader{2, 1, 1.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(2, 2.0)).ok());
+  }
+  // A newer snapshot that is garbage must be skipped, not trusted.
+  WriteFileBytes(dir + "/" + SnapshotManager::FileName(2), "MODB vX junk");
+  const auto result = RecoverDatabase(dir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->snapshot_seq, 1u);
+  EXPECT_EQ(result->replayed_updates, 1u);
+  EXPECT_EQ(result->mod.size(), 2u);
+}
+
+TEST(RecoveryTest, FinalSegmentWithTornHeaderIsDropped) {
+  const std::string dir = ScratchDir("rec_tornheader");
+  {
+    auto writer = WalWriter::Create(dir + "/" + WalFileName(0),
+                                    WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  }
+  WriteFileBytes(dir + "/" + WalFileName(1), "MODBW");  // Crash mid-create.
+  const auto result = RecoverDatabase(dir, {.repair = true});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->replayed_updates, 1u);
+  EXPECT_TRUE(result->truncated_tail);
+  EXPECT_FALSE(fs::exists(dir + "/" + WalFileName(1)));
+}
+
+// ---------------------------------------------------------------------------
+// DurableQueryServer
+
+TEST(DurableServerTest, FreshOpenThenReopenPreservesEverything) {
+  const std::string dir = ScratchDir("srv_reopen");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  QueryId knn_id = 0;
+  QueryId within_id = 0;
+  std::string state;
+  {
+    auto opened = DurableQueryServer::Open(dir, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& db = *opened;
+    EXPECT_FALSE(db->open_info().recovered);
+    const Trajectory query =
+        Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, 0.0});
+    auto knn = db->AddKnn("q", query, 2);
+    ASSERT_TRUE(knn.ok());
+    knn_id = *knn;
+    auto within = db->AddWithin("q", query, 100.0);
+    ASSERT_TRUE(within.ok());
+    within_id = *within;
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(db->ApplyUpdate(SampleNew(i, 0.5 * i)).ok());
+    }
+    ASSERT_TRUE(
+        db->ApplyUpdate(Update::TerminateObject(3, 3.0)).ok());
+    EXPECT_EQ(db->seq(), 6u);
+    db->AdvanceTo(4.0);
+    state = ModToString(db->server().mod());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  {
+    auto reopened = DurableQueryServer::Open(dir, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto& db = *reopened;
+    EXPECT_TRUE(db->open_info().recovered);
+    EXPECT_EQ(db->open_info().replayed_updates, 6u);
+    EXPECT_EQ(db->open_info().live_queries, 2u);
+    EXPECT_EQ(db->seq(), 6u);
+    EXPECT_EQ(ModToString(db->server().mod()), state);
+    // The durable ids still resolve.
+    db->AdvanceTo(4.0);
+    EXPECT_EQ(db->Answer(knn_id).size(), 2u);
+    (void)db->Answer(within_id);
+    // New ids continue after the journaled ones.
+    auto another = db->AddKnn(
+        "q", Trajectory::Linear(0.0, Vec{5.0, 5.0}, Vec{0.0, 1.0}), 1);
+    ASSERT_TRUE(another.ok());
+    EXPECT_GT(*another, within_id);
+  }
+}
+
+TEST(DurableServerTest, RemoveQueryIsJournaled) {
+  const std::string dir = ScratchDir("srv_remove");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  QueryId keep = 0;
+  {
+    auto opened = DurableQueryServer::Open(dir, options);
+    ASSERT_TRUE(opened.ok());
+    auto& db = *opened;
+    const Trajectory query =
+        Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, 0.0});
+    auto a = db->AddKnn("q", query, 1);
+    auto b = db->AddWithin("q", query, 50.0);
+    ASSERT_TRUE(a.ok() && b.ok());
+    keep = *b;
+    ASSERT_TRUE(db->RemoveQuery(*a).ok());
+    EXPECT_EQ(db->RemoveQuery(*a).code(), StatusCode::kNotFound);
+  }
+  {
+    auto reopened = DurableQueryServer::Open(dir, options);
+    ASSERT_TRUE(reopened.ok());
+    auto& db = *reopened;
+    EXPECT_EQ(db->live_queries().size(), 1u);
+    EXPECT_EQ(db->live_queries().begin()->first, keep);
+    EXPECT_FALSE(db->live_queries().begin()->second.is_knn);
+  }
+}
+
+TEST(DurableServerTest, CheckpointRotatesSnapshotsAndPrunes) {
+  const std::string dir = ScratchDir("srv_checkpoint");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.snapshot.retain = 1;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok());
+  auto& db = *opened;
+  const Trajectory query =
+      Trajectory::Linear(0.0, Vec{0.0, 0.0}, Vec{1.0, 0.0});
+  ASSERT_TRUE(db->AddKnn("q", query, 1).ok());
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(2, 2.0)).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  const auto snapshots = SnapshotManager::List(dir);
+  ASSERT_TRUE(snapshots.ok());
+  ASSERT_EQ(snapshots->size(), 1u);
+  EXPECT_EQ(snapshots->front().seq, 2u);
+  // Only the active segment (start_seq == 2) survives pruning.
+  EXPECT_FALSE(fs::exists(dir + "/" + WalFileName(0)));
+  EXPECT_FALSE(fs::exists(dir + "/" + WalFileName(1)));
+  EXPECT_TRUE(fs::exists(dir + "/" + WalFileName(2)));
+
+  // The re-journaled registration survives a reopen.
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(3, 3.0)).ok());
+  opened->reset();
+  auto reopened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), 3u);
+  EXPECT_EQ((*reopened)->live_queries().size(), 1u);
+  EXPECT_EQ((*reopened)->open_info().snapshot_seq, 2u);
+  EXPECT_EQ((*reopened)->open_info().replayed_updates, 1u);
+}
+
+TEST(DurableServerTest, AutoCheckpointTriggersOnSize) {
+  const std::string dir = ScratchDir("srv_auto");
+  DurabilityOptions options;
+  options.auto_checkpoint = true;
+  options.snapshot.trigger_bytes = 512;  // Tiny: rotate every few updates.
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok());
+  auto& db = *opened;
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_TRUE(db->ApplyUpdate(SampleNew(i, 0.1 * i)).ok());
+  }
+  const auto snapshots = SnapshotManager::List(dir);
+  ASSERT_TRUE(snapshots.ok());
+  EXPECT_GE(snapshots->size(), 1u);
+  // Reopen sees the full state regardless of where the rotation landed.
+  const std::string state = ModToString(db->server().mod());
+  opened->reset();
+  auto reopened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+  EXPECT_EQ((*reopened)->seq(), 40u);
+}
+
+TEST(DurableServerTest, RejectedUpdateStillRecoversCleanly) {
+  const std::string dir = ScratchDir("srv_rejected");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok());
+  auto& db = *opened;
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  // Duplicate OID: logged, then rejected by the database.
+  EXPECT_FALSE(db->ApplyUpdate(SampleNew(1, 2.0)).ok());
+  EXPECT_EQ(db->seq(), 2u);
+  const std::string state = ModToString(db->server().mod());
+  opened->reset();
+  auto reopened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->open_info().replayed_updates, 1u);
+  EXPECT_EQ((*reopened)->open_info().skipped_updates, 1u);
+  EXPECT_EQ((*reopened)->seq(), 2u);
+  EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+}
+
+}  // namespace
+}  // namespace modb

@@ -287,5 +287,92 @@ TEST(QueryServerTest, TimelineAccumulates) {
   EXPECT_EQ(server.TotalStats().swaps, 2u);
 }
 
+TEST(QueryServerTest, RemoveQueryLeavesOthersIntact) {
+  const RandomModOptions options{
+      .num_objects = 18, .dim = 2, .box_lo = -200.0, .box_hi = 200.0,
+      .seed = 61};
+  MovingObjectDatabase mod = RandomMod(options);
+  const GDistancePtr gdist = OriginDistance();
+
+  QueryServer server(mod, 0.0);
+  const QueryId nearest3 = server.AddKnn("origin", gdist, 3);
+  const QueryId nearest1 = server.AddKnn("origin", gdist, 1);
+  const QueryId close = server.AddWithin("origin", gdist, 150.0 * 150.0);
+  EXPECT_EQ(server.engine_count(), 1u);
+
+  ASSERT_TRUE(server.RemoveQuery(nearest1).ok());
+  EXPECT_EQ(server.query_count(), 2u);
+  EXPECT_EQ(server.engine_count(), 1u);  // Two kernels still share it.
+  EXPECT_EQ(server.RemoveQuery(nearest1).code(), StatusCode::kNotFound);
+
+  // The survivors keep answering correctly — also after further updates
+  // (the within kernel's sentinel withdrawal must not corrupt the order).
+  ASSERT_TRUE(
+      server
+          .ApplyUpdate(Update::NewObject(500, 1.0, Vec{5.0, 5.0}, Vec{1.0, 0.0}))
+          .ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(500, 1.0, Vec{5.0, 5.0}, Vec{1.0, 0.0}))
+                  .ok());
+  for (double t : {2.0, 10.0, 25.0}) {
+    server.AdvanceTo(t);
+    EXPECT_EQ(server.Answer(nearest3), BruteKnn(mod, *gdist, 3, t))
+        << "t=" << t;
+    EXPECT_EQ(server.Answer(close),
+              BruteWithin(mod, *gdist, 150.0 * 150.0, t))
+        << "t=" << t;
+  }
+}
+
+TEST(QueryServerTest, RemovingLastKernelTearsDownEngine) {
+  const RandomModOptions options{.num_objects = 10, .dim = 2, .seed = 62};
+  MovingObjectDatabase mod = RandomMod(options);
+  QueryServer server(mod, 0.0);
+  const QueryId a = server.AddKnn("origin", OriginDistance(), 2);
+  const QueryId b = server.AddWithin("origin", OriginDistance(), 100.0);
+  const QueryId other = server.AddKnn(
+      "north",
+      std::make_shared<SquaredEuclideanGDistance>(
+          Trajectory::Stationary(0.0, Vec{0.0, 500.0})),
+      1);
+  EXPECT_EQ(server.engine_count(), 2u);
+
+  ASSERT_TRUE(server.RemoveQuery(a).ok());
+  EXPECT_EQ(server.engine_count(), 2u);
+  ASSERT_TRUE(server.RemoveQuery(b).ok());
+  EXPECT_EQ(server.engine_count(), 1u);  // "origin" group torn down.
+
+  // The untouched group still works, and the key can be reused afresh.
+  server.AdvanceTo(3.0);
+  EXPECT_FALSE(server.Answer(other).empty());
+  const QueryId reborn = server.AddKnn("origin", OriginDistance(), 1);
+  EXPECT_EQ(server.engine_count(), 2u);
+  server.AdvanceTo(4.0);
+  EXPECT_EQ(server.Answer(reborn).size(), 1u);
+}
+
+TEST(QueryServerTest, RemoveWithinWithdrawsSentinelFromSharedSweep) {
+  // Regression shape: a within kernel's sentinel lives inside the shared
+  // order; removing the query must not disturb the k-NN ranks computed by
+  // the kernel that stays behind.
+  MovingObjectDatabase mod(/*dim=*/1, 0.0);
+  ASSERT_TRUE(mod.Apply(Update::NewObject(1, 0.0, Vec{10.0}, Vec{-1.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(2, 0.0, Vec{30.0}, Vec{-1.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::NewObject(3, 0.0, Vec{50.0}, Vec{-1.0})).ok());
+  QueryServer server(mod, 0.0);
+  auto gdist = std::make_shared<SquaredEuclideanGDistance>(
+      Trajectory::Stationary(0.0, Vec{0.0}));
+  const QueryId nearest = server.AddKnn("origin", gdist, 2);
+  const QueryId ring = server.AddWithin("origin", gdist, 400.0);
+  server.AdvanceTo(5.0);
+  ASSERT_TRUE(server.RemoveQuery(ring).ok());
+  // Objects pass the origin at t=10, 30, 50; the 2-NN set changes along
+  // the way and must stay correct without the sentinel in the order.
+  for (double t : {8.0, 20.0, 35.0, 60.0}) {
+    server.AdvanceTo(t);
+    EXPECT_EQ(server.Answer(nearest), BruteKnn(mod, *gdist, 2, t))
+        << "t=" << t;
+  }
+}
+
 }  // namespace
 }  // namespace modb

@@ -158,6 +158,108 @@ TEST(SerializationTest, RejectsPieceOutsideObject) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SerializationTest, TerminatedObjectsRoundTripExactly) {
+  MovingObjectDatabase mod(/*dim=*/2, 0.0);
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(1, 0.0, Vec{0.1, 0.2}, Vec{1.0, -1.0}))
+          .ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::ChangeDirection(1, 1.0 / 7.0, Vec{0.0, 3.0})).ok());
+  ASSERT_TRUE(mod.Apply(Update::TerminateObject(1, 2.0 / 7.0)).ok());
+  ASSERT_TRUE(
+      mod.Apply(Update::NewObject(2, 0.5, Vec{9.0, 9.0}, Vec{0.0, 0.0}))
+          .ok());
+  const auto loaded = ModFromString(ModToString(mod));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The terminated trajectory keeps its exact bounded domain.
+  const Trajectory* dead = loaded->Find(1);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_TRUE(dead->terminated());
+  EXPECT_EQ(dead->end_time(), 2.0 / 7.0);  // Same bits.
+  EXPECT_EQ(ModToString(*loaded), ModToString(mod));
+}
+
+TEST(SerializationTest, RejectsNonFiniteFields) {
+  // NaN and inf must never produce a MOD (inf is legal only for end=).
+  EXPECT_FALSE(ModFromString("MODB v1 dim=1 tau=nan\nend\n").ok());
+  EXPECT_FALSE(ModFromString("MODB v1 dim=1 tau=inf\nend\n").ok());
+  EXPECT_FALSE(ModFromString("MODB v1 dim=1 tau=10\n"
+                             "object 1 end=nan\npiece 0 0 1\nend\n")
+                   .ok());
+  EXPECT_FALSE(ModFromString("MODB v1 dim=1 tau=10\n"
+                             "object 1 end=inf\npiece nan 0 1\nend\n")
+                   .ok());
+  EXPECT_FALSE(ModFromString("MODB v1 dim=1 tau=10\n"
+                             "object 1 end=inf\npiece 0 inf 1\nend\n")
+                   .ok());
+  EXPECT_FALSE(ModFromString("MODB v1 dim=1 tau=10\n"
+                             "object 1 end=inf\npiece 0 0 -inf\nend\n")
+                   .ok());
+  // Unbounded lifetime stays legal.
+  EXPECT_TRUE(ModFromString("MODB v1 dim=1 tau=10\n"
+                            "object 1 end=inf\npiece 0 0 1\nend\n")
+                  .ok());
+}
+
+TEST(SerializationTest, RejectsAbsurdDimension) {
+  // A corrupted dim must fail fast, not allocate gigantic vectors.
+  EXPECT_FALSE(ModFromString("MODB v1 dim=999999999 tau=0\nend\n").ok());
+  EXPECT_FALSE(ModFromString("MODB v1 dim=4097 tau=0\nend\n").ok());
+  EXPECT_TRUE(ModFromString("MODB v1 dim=4096 tau=0\nend\n").ok());
+}
+
+// Fuzz: every truncation of a valid serialization either parses (a prefix
+// can happen to be well-formed only if it ends at "end") or fails with a
+// clean Status — never a crash, never a half-parsed success.
+TEST(SerializationFuzzTest, EveryTruncationFailsCleanly) {
+  const RandomModOptions options{.num_objects = 6, .dim = 2, .seed = 77};
+  const UpdateStreamOptions stream{.count = 20, .seed = 78};
+  const MovingObjectDatabase mod = RandomHistoryMod(options, stream);
+  const std::string text = ModToString(mod);
+  for (size_t len = 0; len < text.size(); ++len) {
+    std::string prefix = text.substr(0, len);
+    const auto loaded = ModFromString(prefix);
+    if (loaded.ok()) {
+      // Only a prefix that is itself a complete document (ending at the
+      // "end" token, trailing whitespace optional) may parse.
+      while (!prefix.empty() && std::isspace(prefix.back())) prefix.pop_back();
+      ASSERT_GE(prefix.size(), 3u);
+      EXPECT_EQ(prefix.substr(prefix.size() - 3), "end")
+          << "prefix length " << len;
+    }
+  }
+}
+
+// Fuzz: flipping bytes anywhere in a valid serialization either still
+// parses (some bytes are in numeric positions where the result is another
+// valid number) or fails with a clean Status. Either way: no crash, and a
+// success must satisfy the format's invariants (checked by re-serializing).
+TEST(SerializationFuzzTest, SeededByteCorruptionNeverCrashes) {
+  const RandomModOptions options{.num_objects = 5, .dim = 2, .seed = 177};
+  const UpdateStreamOptions stream{.count = 15, .seed = 178};
+  const MovingObjectDatabase mod = RandomHistoryMod(options, stream);
+  const std::string text = ModToString(mod);
+  Rng rng(4242);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string corrupted = text;
+    const size_t flips = static_cast<size_t>(rng.UniformInt(1, 4));
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+      corrupted[pos] = static_cast<char>(
+          corrupted[pos] ^ static_cast<char>(rng.UniformInt(1, 255)));
+    }
+    const auto loaded = ModFromString(corrupted);
+    if (loaded.ok()) {
+      // Whatever parsed must itself round-trip.
+      const auto again = ModFromString(ModToString(*loaded));
+      EXPECT_TRUE(again.ok()) << "corruption produced a one-way MOD";
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+}
+
 TEST(RestoreTest, EnforcesDefinitionTwo) {
   MovingObjectDatabase mod(/*dim=*/1, /*initial_time=*/5.0);
   Trajectory late_turn = Trajectory::Linear(0.0, Vec{0.0}, Vec{1.0});

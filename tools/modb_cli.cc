@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "constraint/linear_constraint.h"
+#include "durability/durable_server.h"
 #include "gdist/builtin.h"
 #include "queries/fastest.h"
 #include "queries/knn.h"
@@ -50,7 +51,22 @@ int Usage() {
       "  fastest FILE --target X,Y --at T\n"
       "                                 fastest arrival at instant T\n"
       "  constraints FILE --oid O       print a trajectory as Example 1's\n"
-      "                                 constraint formula\n";
+      "                                 constraint formula\n"
+      "persistent mode (DIR is a durable database directory):\n"
+      "  db-init DIR [--dim D]          create an empty durable database\n"
+      "  db-apply DIR [--file F] [--sync none|record]\n"
+      "                                 apply update lines from F or stdin:\n"
+      "                                   new OID T X,Y VX,VY\n"
+      "                                   chdir OID T VX,VY\n"
+      "                                   terminate OID T\n"
+      "  db-info DIR                    recover and summarize the database\n"
+      "  db-checkpoint DIR              snapshot + rotate + prune\n"
+      "  db-addquery DIR --type knn|within [--k K] [--threshold T]\n"
+      "              [--key NAME] [--query X,Y[,VX,VY]]\n"
+      "                                 register a durable standing query\n"
+      "  db-rmquery DIR --id I          unregister a durable query\n"
+      "  db-answers DIR --at T          advance to T and print every\n"
+      "                                 standing query's answer\n";
   return 1;
 }
 
@@ -239,6 +255,205 @@ int CmdConstraints(const Args& args) {
   return 0;
 }
 
+// ---- persistent mode (durable database directories) ----------------------
+
+StatusOr<DurabilityOptions> DbOptions(const Args& args) {
+  DurabilityOptions options;
+  options.dim = std::strtoul(args.Get("dim", "2").c_str(), nullptr, 10);
+  if (options.dim == 0) return Status::InvalidArgument("--dim must be positive");
+  const std::string sync = args.Get("sync", "none");
+  if (sync == "record") {
+    options.wal.sync = SyncPolicy::kEveryRecord;
+  } else if (sync != "none") {
+    return Status::InvalidArgument("--sync must be none or record");
+  }
+  if (args.Has("trigger")) {
+    options.snapshot.trigger_bytes =
+        std::strtoull(args.Get("trigger", "0").c_str(), nullptr, 10);
+  }
+  return options;
+}
+
+StatusOr<std::unique_ptr<DurableQueryServer>> OpenDb(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("a database DIR is required");
+  }
+  auto options = DbOptions(args);
+  if (!options.ok()) return options.status();
+  return DurableQueryServer::Open(args.positional[0], *options);
+}
+
+// One textual update: "new OID T X,Y VX,VY", "chdir OID T VX,VY", or
+// "terminate OID T".
+StatusOr<Update> ParseUpdateLine(const std::string& line, size_t dim) {
+  std::istringstream in(line);
+  std::string op;
+  long long oid = 0;
+  double time = 0.0;
+  if (!(in >> op >> oid >> time)) {
+    return Status::InvalidArgument("bad update line: " + line);
+  }
+  if (op == "terminate") return Update::TerminateObject(oid, time);
+  std::string first, second;
+  std::vector<double> position, velocity;
+  if (op == "new") {
+    if (!(in >> first >> second) || !ParseVec(first, &position) ||
+        !ParseVec(second, &velocity) || position.size() != dim ||
+        velocity.size() != dim) {
+      return Status::InvalidArgument("bad new line: " + line);
+    }
+    return Update::NewObject(oid, time, Vec(std::move(position)),
+                             Vec(std::move(velocity)));
+  }
+  if (op == "chdir") {
+    if (!(in >> first) || !ParseVec(first, &velocity) ||
+        velocity.size() != dim) {
+      return Status::InvalidArgument("bad chdir line: " + line);
+    }
+    return Update::ChangeDirection(oid, time, Vec(std::move(velocity)));
+  }
+  return Status::InvalidArgument("unknown update op: " + op);
+}
+
+int CmdDbInit(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  if ((*db)->open_info().recovered) {
+    return Fail((*db)->dir() + " already holds a database");
+  }
+  std::cout << "initialized " << (*db)->dir() << " (dim "
+            << (*db)->server().mod().dim() << ")\n";
+  return 0;
+}
+
+int CmdDbApply(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  std::ifstream file;
+  if (args.Has("file")) {
+    file.open(args.Get("file", ""));
+    if (!file) return Fail("cannot open " + args.Get("file", ""));
+  }
+  std::istream& in = args.Has("file") ? file : std::cin;
+  const size_t dim = (*db)->server().mod().dim();
+  size_t applied = 0;
+  size_t rejected = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto update = ParseUpdateLine(line, dim);
+    if (!update.ok()) return Fail(update.status().ToString());
+    const Status status = (*db)->ApplyUpdate(*update);
+    if (status.ok()) {
+      ++applied;
+    } else {
+      ++rejected;
+      std::cerr << "rejected: " << line << " (" << status.ToString() << ")\n";
+    }
+  }
+  const Status flushed = (*db)->Flush();
+  if (!flushed.ok()) return Fail(flushed.ToString());
+  std::cout << "applied " << applied << " update(s), rejected " << rejected
+            << ", seq " << (*db)->seq() << "\n";
+  return 0;
+}
+
+int CmdDbInfo(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const auto& info = (*db)->open_info();
+  const auto& mod = (*db)->server().mod();
+  std::cout << "dir: " << (*db)->dir() << "\n"
+            << "recovered: " << (info.recovered ? "yes" : "no (fresh)") << "\n"
+            << "from snapshot: "
+            << (info.from_snapshot
+                    ? "seq " + std::to_string(info.snapshot_seq)
+                    : std::string("no"))
+            << "\n"
+            << "replayed updates: " << info.replayed_updates << " ("
+            << info.skipped_updates << " skipped)\n";
+  if (info.truncated_tail) {
+    std::cout << "torn tail repaired: " << info.truncated_bytes
+              << " byte(s) dropped (" << info.truncated_detail << ")\n";
+  }
+  std::cout << "seq: " << (*db)->seq() << "\n"
+            << "dim: " << mod.dim() << "\n"
+            << "last update (tau): " << mod.last_update_time() << "\n"
+            << "objects: " << mod.size() << " (" << mod.TotalPieces()
+            << " pieces)\n"
+            << "standing queries: " << (*db)->live_queries().size() << "\n";
+  for (const auto& [id, query] : (*db)->live_queries()) {
+    std::cout << "  q" << id << ": "
+              << (query.is_knn ? "knn k=" + std::to_string(query.k)
+                               : "within threshold=" +
+                                     std::to_string(query.threshold))
+              << " gdist=" << query.gdist_key << "\n";
+  }
+  return 0;
+}
+
+int CmdDbCheckpoint(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const Status status = (*db)->Checkpoint();
+  if (!status.ok()) return Fail(status.ToString());
+  std::cout << "checkpoint written at seq " << (*db)->seq() << "\n";
+  return 0;
+}
+
+int CmdDbAddQuery(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const auto query = QueryTrajectory(args, (*db)->server().mod().dim());
+  if (!query.ok()) return Fail(query.status().ToString());
+  const std::string key = args.Get("key", "euclid2");
+  const std::string type = args.Get("type", "");
+  StatusOr<QueryId> id = Status::InvalidArgument("--type must be knn|within");
+  if (type == "knn") {
+    const size_t k = std::strtoul(args.Get("k", "1").c_str(), nullptr, 10);
+    if (k == 0) return Fail("--k must be positive");
+    id = (*db)->AddKnn(key, *query, k);
+  } else if (type == "within") {
+    if (!args.Has("threshold")) return Fail("--threshold required");
+    id = (*db)->AddWithin(
+        key, *query, std::strtod(args.Get("threshold", "0").c_str(), nullptr));
+  }
+  if (!id.ok()) return Fail(id.status().ToString());
+  std::cout << "registered q" << *id << "\n";
+  return 0;
+}
+
+int CmdDbRmQuery(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!args.Has("id")) return Fail("--id required");
+  const QueryId id = std::strtoll(args.Get("id", "0").c_str(), nullptr, 10);
+  const Status status = (*db)->RemoveQuery(id);
+  if (!status.ok()) return Fail(status.ToString());
+  std::cout << "removed q" << id << "\n";
+  return 0;
+}
+
+int CmdDbAnswers(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const double at = std::strtod(
+      args.Get("at", std::to_string((*db)->server().now())).c_str(), nullptr);
+  if (at < (*db)->server().now()) {
+    return Fail("--at precedes the server's current time");
+  }
+  (*db)->AdvanceTo(at);
+  std::cout << "answers at t=" << at << ":\n";
+  for (const auto& [id, query] : (*db)->live_queries()) {
+    (void)query;
+    std::cout << "  q" << id << ":";
+    for (ObjectId oid : (*db)->Answer(id)) std::cout << " o" << oid;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -249,6 +464,13 @@ int Run(int argc, char** argv) {
   if (command == "within") return CmdWithin(args);
   if (command == "fastest") return CmdFastest(args);
   if (command == "constraints") return CmdConstraints(args);
+  if (command == "db-init") return CmdDbInit(args);
+  if (command == "db-apply") return CmdDbApply(args);
+  if (command == "db-info") return CmdDbInfo(args);
+  if (command == "db-checkpoint") return CmdDbCheckpoint(args);
+  if (command == "db-addquery") return CmdDbAddQuery(args);
+  if (command == "db-rmquery") return CmdDbRmQuery(args);
+  if (command == "db-answers") return CmdDbAnswers(args);
   return Usage();
 }
 

@@ -7,15 +7,25 @@
 //   modb_fuzz --seeds 50 --ops 60 --audit     # sweep 50 seeds
 //   modb_fuzz --seed 1337 --ops 14 --audit    # replay one printed repro
 //
-// On failure the update stream is shrunk to the smallest failing prefix and
-// an exact repro command is printed.
+// With --crash, each seed instead runs the durability crash-injection
+// harness: a DurableQueryServer is driven through a prefix of the workload,
+// its newest WAL segment is truncated at a random byte offset (a torn
+// write), and after recovery the remaining updates are replayed in lockstep
+// against an uninterrupted in-memory server — answers must be bit-identical.
+//
+//   modb_fuzz --crash --seeds 25 --audit
+//
+// On failure the update stream is shrunk to the smallest failing prefix
+// (differential mode) and an exact repro command is printed.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "verify/crash.h"
 #include "verify/differential.h"
 
 namespace {
@@ -26,10 +36,18 @@ void Usage() {
                "                 [--objects N] [--probes N] [--k K]\n"
                "                 [--threshold D] [--audit] [--no-shrink]\n"
                "                 [--verbose]\n"
+               "                 [--crash] [--dir PATH] [--keep-dir]\n"
+               "                 [--trigger BYTES]\n"
                "\n"
                "Runs N differential iterations with seeds S, S+1, ...; each\n"
                "compares every engine's answers against the naive oracle.\n"
-               "--audit re-derives the sweep invariants after every event.\n");
+               "--audit re-derives the sweep invariants after every event.\n"
+               "--crash switches to durability crash-injection: truncate the\n"
+               "WAL at a random offset, recover, and require bit-identical\n"
+               "answers versus an uninterrupted run. --dir sets the scratch\n"
+               "root (default: the system temp directory); --keep-dir keeps\n"
+               "scratch directories of failing seeds; --trigger sets the\n"
+               "auto-checkpoint threshold in bytes (0 disables).\n");
 }
 
 bool ParseSizeT(const char* text, size_t* out) {
@@ -56,6 +74,53 @@ bool ParseDouble(const char* text, double* out) {
   return true;
 }
 
+int RunCrashMode(modb::CrashFuzzOptions options, size_t num_seeds,
+                 std::string scratch_root, bool keep_dir, bool verbose) {
+  namespace fs = std::filesystem;
+  if (scratch_root.empty()) {
+    scratch_root = (fs::temp_directory_path() / "modb_crash_fuzz").string();
+  }
+  size_t failed_seeds = 0;
+  size_t total_probes = 0;
+  size_t total_audits = 0;
+  const uint64_t base_seed = options.seed;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    modb::CrashFuzzOptions run = options;
+    run.seed = base_seed + i;
+    run.dir = (fs::path(scratch_root) /
+               ("seed-" + std::to_string(run.seed)))
+                  .string();
+    std::error_code ec;
+    fs::remove_all(run.dir, ec);  // A stale directory would not be scratch.
+    const modb::CrashFuzzResult result = modb::RunCrashInjection(run);
+    total_probes += result.probes;
+    total_audits += result.audits;
+    if (result.ok()) {
+      if (verbose) {
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(run.seed),
+                    result.ToString().c_str());
+      }
+      fs::remove_all(run.dir, ec);
+      continue;
+    }
+    ++failed_seeds;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
+                result.ToString().c_str());
+    std::printf("  repro:\n    %s\n", modb::CrashReproCommand(run).c_str());
+    if (keep_dir) {
+      std::printf("  scratch kept at %s\n", run.dir.c_str());
+    } else {
+      fs::remove_all(run.dir, ec);
+    }
+  }
+  std::printf(
+      "modb_fuzz --crash: %zu/%zu seed(s) ok, %zu bit-exact probes, "
+      "%zu audits\n",
+      num_seeds - failed_seeds, num_seeds, total_probes, total_audits);
+  return failed_seeds == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +128,10 @@ int main(int argc, char** argv) {
   size_t num_seeds = 1;
   bool shrink = true;
   bool verbose = false;
+  bool crash = false;
+  bool keep_dir = false;
+  std::string scratch_root;
+  uint64_t trigger_bytes = 8 * 1024;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,6 +166,14 @@ int main(int argc, char** argv) {
       shrink = false;
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--crash") {
+      crash = true;
+    } else if (arg == "--dir") {
+      scratch_root = next();
+    } else if (arg == "--keep-dir") {
+      keep_dir = true;
+    } else if (arg == "--trigger") {
+      ok = ParseU64(next(), &trigger_bytes);
     } else {
       std::fprintf(stderr, "modb_fuzz: unknown flag %s\n", arg.c_str());
       Usage();
@@ -106,6 +183,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "modb_fuzz: bad value for %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (crash) {
+    modb::CrashFuzzOptions crash_options;
+    crash_options.seed = options.seed;
+    crash_options.num_objects = options.num_objects;
+    crash_options.num_updates = options.num_updates;
+    crash_options.k = options.k;
+    crash_options.within_threshold = options.within_threshold;
+    crash_options.audit = options.audit;
+    crash_options.trigger_bytes = trigger_bytes;
+    return RunCrashMode(crash_options, num_seeds, scratch_root, keep_dir,
+                        verbose);
   }
 
   size_t failed_seeds = 0;
