@@ -1,0 +1,261 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+// User-space write buffer, sized like LevelDB's: small appends coalesce
+// into one write(2), and a buffered-write error surfaces at the next
+// Flush/Sync/Close rather than being silently dropped.
+constexpr size_t kWriteBufferBytes = 64 * 1024;
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+Status ErrnoStatus(const std::string& context, int err) {
+  const std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(msg);
+  if (err == EEXIST) return Status::AlreadyExists(msg);
+  return Status::Unavailable(msg);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {
+    buffer_.reserve(kWriteBufferBytes);
+  }
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(const char* data, size_t n) override {
+    MODB_RETURN_IF_ERROR(CheckUsable("append"));
+    if (buffer_.size() + n > kWriteBufferBytes) {
+      MODB_RETURN_IF_ERROR(FlushBuffered());
+    }
+    if (n > kWriteBufferBytes) return WriteRaw(data, n);
+    buffer_.append(data, n);
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    MODB_RETURN_IF_ERROR(CheckUsable("flush"));
+    return FlushBuffered();
+  }
+
+  Status Sync() override {
+    MODB_RETURN_IF_ERROR(CheckUsable("fsync"));
+    MODB_RETURN_IF_ERROR(FlushBuffered());
+    if (::fsync(fd_) != 0) {
+      return Break(ErrnoStatus("fsync " + path_, errno));
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return broken_;
+    Status flushed = broken_.ok() ? FlushBuffered() : broken_;
+    if (::close(fd_) != 0 && flushed.ok()) {
+      flushed = ErrnoStatus("close " + path_, errno);
+    }
+    fd_ = -1;
+    broken_ = flushed.ok()
+                  ? Status::FailedPrecondition("writable file " + path_ +
+                                               " is closed")
+                  : flushed;
+    return flushed;
+  }
+
+ private:
+  Status CheckUsable(const char* op) {
+    if (fd_ < 0 || !broken_.ok()) {
+      return broken_.ok() ? Status::FailedPrecondition(
+                                std::string(op) + " on closed file " + path_)
+                          : broken_;
+    }
+    return Status::Ok();
+  }
+
+  Status Break(Status failure) {
+    // First failure wins; the handle refuses everything afterwards (the
+    // file may hold a torn suffix — appending more would interleave
+    // garbage into the log).
+    broken_ = Status::FailedPrecondition(
+        "writable file " + path_ + " broken by earlier failure: " +
+        failure.ToString());
+    return failure;
+  }
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, data, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return Break(ErrnoStatus("write " + path_, errno));
+      }
+      data += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::Ok();
+  }
+
+  Status FlushBuffered() {
+    if (buffer_.empty()) return Status::Ok();
+    const Status written = WriteRaw(buffer_.data(), buffer_.size());
+    buffer_.clear();
+    return written;
+  }
+
+  std::string path_;
+  int fd_;
+  std::string buffer_;
+  Status broken_;  // OK while the handle is usable.
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(size_t n, std::string* out) override {
+    out->clear();
+    out->resize(n);
+    size_t total = 0;
+    while (total < n) {
+      const ssize_t got = ::read(fd_, out->data() + total, n - total);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("read " + path_, errno);
+      }
+      if (got == 0) break;  // EOF.
+      total += static_cast<size_t>(got);
+    }
+    out->resize(total);
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    switch (mode) {
+      case WriteMode::kCreateExclusive:
+        flags |= O_EXCL;
+        break;
+      case WriteMode::kTruncate:
+        flags |= O_TRUNC;
+        break;
+      case WriteMode::kAppend:
+        flags |= O_APPEND;
+        break;
+    }
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path + " for write", errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open " + path + " for read", errno);
+    return std::unique_ptr<SequentialFile>(
+        std::make_unique<PosixSequentialFile>(path, fd));
+  }
+
+  StatusOr<std::vector<std::string>> GetChildren(
+      const std::string& dir) override {
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      return ErrnoStatus("list directory " + dir, ec.value());
+    }
+    std::vector<std::string> names;
+    for (const fs::directory_entry& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  StatusOr<uint64_t> GetFileSize(const std::string& path) override {
+    struct ::stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return ErrnoStatus("create directory " + dir, ec.value());
+    return Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("remove " + path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate " + path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open directory " + dir, errno);
+    // Some filesystems refuse fsync on directories; not fatal (see env.h).
+    ::fsync(fd);
+    ::close(fd);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  StatusOr<std::unique_ptr<SequentialFile>> file = NewSequentialFile(path);
+  MODB_RETURN_IF_ERROR(file.status());
+  std::string chunk;
+  do {
+    MODB_RETURN_IF_ERROR((*file)->Read(kReadChunkBytes, &chunk));
+    out->append(chunk);
+  } while (!chunk.empty());
+  return Status::Ok();
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;  // Leaked: outlives every user.
+  return env;
+}
+
+}  // namespace modb

@@ -1,0 +1,103 @@
+#ifndef MODB_COMMON_ENV_H_
+#define MODB_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modb {
+
+// LevelDB-style filesystem seam. Everything in src/durability/ does its
+// I/O through an Env, so tests can interpose a FaultInjectionEnv (see
+// src/verify/fault_env.h) that fails the k-th operation with EIO/ENOSPC/
+// short-write/fsync-failure or emulates power loss by dropping unsynced
+// bytes — without the production code knowing.
+//
+// Error-code contract (what callers branch on):
+//   kNotFound       the path does not exist (ENOENT) — and nothing else;
+//                   recovery treats this as "no durable state yet".
+//   kAlreadyExists  exclusive create lost to an existing file (EEXIST).
+//   kUnavailable    every other I/O failure (EIO, ENOSPC, EACCES, short
+//                   read/write, failed fsync). Retrying may succeed; the
+//                   data on disk is in an unknown-but-prefix state.
+// Conflating kUnavailable with kNotFound is how databases orphan real
+// data ("can't read the directory" != "the directory is empty").
+
+// Append-only handle for one open file. Append buffers in user space;
+// Flush pushes the buffer to the OS; Sync additionally fsyncs. Close
+// flushes and releases the descriptor — a buffered-write error can first
+// surface here, so its Status must be checked. After any failed
+// operation the handle is broken: the file may hold a torn suffix, and
+// every later call fails with kFailedPrecondition.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const char* data, size_t n) = 0;
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  // Idempotent; the destructor closes too but swallows the Status.
+  virtual Status Close() = 0;
+};
+
+// Forward reads over one open file.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Reads up to `n` bytes into `*out` (replacing its contents). A short
+  // result is end-of-file, never an error; errors are a non-OK Status.
+  virtual Status Read(size_t n, std::string* out) = 0;
+};
+
+enum class WriteMode {
+  kCreateExclusive,  // Fail with kAlreadyExists if the path exists.
+  kTruncate,         // Create or clobber.
+  kAppend,           // Create or append.
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // The production POSIX environment (process-wide singleton).
+  static Env* Default();
+
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+  virtual StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  // Child *names* (not paths) of `dir`, unsorted. kNotFound when the
+  // directory itself is missing — any other failure is kUnavailable and
+  // must not be mistaken for an empty directory.
+  virtual StatusOr<std::vector<std::string>> GetChildren(
+      const std::string& dir) = 0;
+
+  virtual StatusOr<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  // Atomic on POSIX; the durability of the rename itself needs SyncDir.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  // Fsyncs a directory so renames/creates inside it are durable. An
+  // unopenable directory is an error; a filesystem refusing directory
+  // fsync is tolerated (the rename stays atomic, only its durability
+  // timing weakens).
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  // Reads all of `path` into `*out` (replacing its contents). Implemented
+  // over NewSequentialFile, so interposing envs see the underlying ops.
+  Status ReadFileToString(const std::string& path, std::string* out);
+};
+
+}  // namespace modb
+
+#endif  // MODB_COMMON_ENV_H_

@@ -20,6 +20,11 @@ enum class StatusCode {
   kFailedPrecondition = 4,// Update out of chronological order, etc.
   kOutOfRange = 5,        // Time outside an object's domain.
   kInternal = 6,          // Invariant violation surfaced as an error.
+  kUnavailable = 7,       // Transient I/O failure; the op may succeed if
+                          // retried (or the server is in read-only
+                          // degraded mode after a WAL failure).
+  kDataLoss = 8,          // Durable state is recognizably damaged beyond
+                          // what crash recovery can repair.
 };
 
 // Returns the canonical name for a status code, e.g. "InvalidArgument".
@@ -56,6 +61,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

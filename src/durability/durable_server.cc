@@ -14,13 +14,26 @@ std::string SegmentPath(const std::string& dir, uint64_t start_seq) {
   return (fs::path(dir) / WalFileName(start_seq)).string();
 }
 
+// Anything the WAL reports other than a validation error means bytes may
+// or may not have reached the file — the cache state is unknowable, so
+// the server must fail-stop. Validation (kInvalidArgument) happens before
+// any I/O and degrades nothing.
+bool IsWalIoFailure(const Status& status) {
+  return !status.ok() && status.code() != StatusCode::kInvalidArgument;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
     const std::string& dir, DurabilityOptions options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   // Recovery must repair torn tails: the active segment is reopened for
-  // append and must end on a record boundary.
-  StatusOr<RecoveryResult> recovered = RecoverDatabase(dir, {.repair = true});
+  // append and must end on a record boundary. Only kNotFound ("no durable
+  // state at all") falls through to fresh initialization — an unreadable
+  // directory or file (kUnavailable) and recognized corruption
+  // (kDataLoss) surface instead of silently orphaning data.
+  StatusOr<RecoveryResult> recovered =
+      RecoverDatabase(dir, {.repair = true, .env = env});
   if (!recovered.ok() && recovered.status().code() != StatusCode::kNotFound) {
     return recovered.status();
   }
@@ -49,16 +62,12 @@ StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
     live = std::move(r.live_queries);
     if (!r.active_wal_path.empty()) {
       StatusOr<WalWriter> reopened =
-          WalWriter::OpenForAppend(r.active_wal_path, options.wal);
+          WalWriter::OpenForAppend(r.active_wal_path, options.wal, env);
       MODB_RETURN_IF_ERROR(reopened.status());
       wal = std::move(reopened).value();
     }
   } else {
-    std::error_code ec;
-    fs::create_directories(dir, ec);
-    if (ec) {
-      return Status::Internal("cannot create " + dir + ": " + ec.message());
-    }
+    MODB_RETURN_IF_ERROR(env->CreateDirs(dir));
     mod = MovingObjectDatabase(options.dim, options.initial_time);
   }
 
@@ -68,15 +77,15 @@ StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
     StatusOr<WalWriter> created = WalWriter::Create(
         SegmentPath(dir, seq),
         WalSegmentHeader{mod.dim(), seq, mod.last_update_time()},
-        options.wal);
+        options.wal, env);
     MODB_RETURN_IF_ERROR(created.status());
     wal = std::move(created).value();
-    MODB_RETURN_IF_ERROR(SyncDirectory(dir));
+    MODB_RETURN_IF_ERROR(env->SyncDir(dir));
   }
 
   const double start_time = mod.last_update_time();
   QueryServer server(std::move(mod), start_time, options.queue_kind);
-  SnapshotManager snapshots(dir, options.snapshot);
+  SnapshotManager snapshots(dir, options.snapshot, env);
 
   std::unique_ptr<DurableQueryServer> db(
       new DurableQueryServer(dir, options, std::move(server),
@@ -102,13 +111,35 @@ Status DurableQueryServer::RegisterLogged(const LoggedQuery& query) {
   return Status::Ok();
 }
 
+Status DurableQueryServer::CheckWritable() const {
+  if (health_.ok()) return Status::Ok();
+  return Status::Unavailable("read-only degraded mode (reopen to recover): " +
+                             health_.ToString());
+}
+
+Status DurableQueryServer::Degrade(const Status& cause) {
+  if (health_.ok()) health_ = cause;  // First failure wins; sticky.
+  return Status::Unavailable(
+      "durability failure, server is now read-only (reopen to recover): " +
+      cause.ToString());
+}
+
 Status DurableQueryServer::ApplyUpdate(const Update& update) {
-  MODB_RETURN_IF_ERROR(wal_->AppendUpdate(update));
+  MODB_RETURN_IF_ERROR(CheckWritable());
+  const Status logged = wal_->AppendUpdate(update);
+  if (!logged.ok()) {
+    if (IsWalIoFailure(logged)) return Degrade(logged);
+    return logged;  // Validation: nothing was written, nothing degrades.
+  }
   ++seq_;
   const Status applied = server_.ApplyUpdate(update);
   if (options_.auto_checkpoint &&
       wal_->bytes() >= options_.snapshot.trigger_bytes) {
-    MODB_RETURN_IF_ERROR(Checkpoint());
+    // The update itself is logged and applied; a failed checkpoint must
+    // not fail it retroactively. Unless the failure degraded the server
+    // (WAL sync), the segment keeps growing past the trigger, so the
+    // checkpoint retries on the next update.
+    checkpoint_status_ = Checkpoint();
   }
   return applied;
 }
@@ -116,13 +147,18 @@ Status DurableQueryServer::ApplyUpdate(const Update& update) {
 StatusOr<QueryId> DurableQueryServer::AddKnn(const std::string& gdist_key,
                                              const Trajectory& query,
                                              size_t k) {
+  MODB_RETURN_IF_ERROR(CheckWritable());
   LoggedQuery logged;
   logged.id = next_public_id_;
   logged.is_knn = true;
   logged.gdist_key = gdist_key;
   logged.query = query;
   logged.k = k;
-  MODB_RETURN_IF_ERROR(wal_->AppendRegisterQuery(logged));
+  const Status appended = wal_->AppendRegisterQuery(logged);
+  if (!appended.ok()) {
+    if (IsWalIoFailure(appended)) return Degrade(appended);
+    return appended;
+  }
   ++next_public_id_;
   MODB_RETURN_IF_ERROR(RegisterLogged(logged));
   return logged.id;
@@ -131,24 +167,34 @@ StatusOr<QueryId> DurableQueryServer::AddKnn(const std::string& gdist_key,
 StatusOr<QueryId> DurableQueryServer::AddWithin(const std::string& gdist_key,
                                                 const Trajectory& query,
                                                 double threshold) {
+  MODB_RETURN_IF_ERROR(CheckWritable());
   LoggedQuery logged;
   logged.id = next_public_id_;
   logged.is_knn = false;
   logged.gdist_key = gdist_key;
   logged.query = query;
   logged.threshold = threshold;
-  MODB_RETURN_IF_ERROR(wal_->AppendRegisterQuery(logged));
+  const Status appended = wal_->AppendRegisterQuery(logged);
+  if (!appended.ok()) {
+    if (IsWalIoFailure(appended)) return Degrade(appended);
+    return appended;
+  }
   ++next_public_id_;
   MODB_RETURN_IF_ERROR(RegisterLogged(logged));
   return logged.id;
 }
 
 Status DurableQueryServer::RemoveQuery(QueryId id) {
+  MODB_RETURN_IF_ERROR(CheckWritable());
   auto it = public_to_internal_.find(id);
   if (it == public_to_internal_.end()) {
     return Status::NotFound("unknown durable query id " + std::to_string(id));
   }
-  MODB_RETURN_IF_ERROR(wal_->AppendRemoveQuery(id));
+  const Status appended = wal_->AppendRemoveQuery(id);
+  if (!appended.ok()) {
+    if (IsWalIoFailure(appended)) return Degrade(appended);
+    return appended;
+  }
   MODB_RETURN_IF_ERROR(server_.RemoveQuery(it->second));
   public_to_internal_.erase(it);
   journal_.erase(id);
@@ -163,7 +209,12 @@ const AnswerTimeline& DurableQueryServer::Timeline(QueryId id) const {
   return server_.Timeline(public_to_internal_.at(id));
 }
 
-Status DurableQueryServer::Flush() { return wal_->Sync(); }
+Status DurableQueryServer::Flush() {
+  MODB_RETURN_IF_ERROR(CheckWritable());
+  const Status synced = wal_->Sync();
+  if (!synced.ok()) return Degrade(synced);
+  return Status::Ok();
+}
 
 Status DurableQueryServer::Checkpoint() {
   // Ordering is what makes every crash window recoverable:
@@ -174,22 +225,49 @@ Status DurableQueryServer::Checkpoint() {
   //   3. write the snapshot at seq_ (atomic rename);
   //   4. prune — only after the new snapshot is durable do older
   //      snapshots and their segments become garbage.
-  MODB_RETURN_IF_ERROR(wal_->Sync());
+  //
+  // Failure model: step 1 failing is a WAL durability failure and
+  // degrades the server (fail-stop). Steps 2-4 abandon their partial
+  // artifacts and leave the previous layout valid, so their failures are
+  // retryable — a later Checkpoint picks up where this one left off.
+  MODB_RETURN_IF_ERROR(CheckWritable());
+  const Status synced = wal_->Sync();
+  if (!synced.ok()) return Degrade(synced);
   const uint64_t snap_seq = seq_;
   if (wal_->header().start_seq != snap_seq) {
+    const std::string fresh_path = SegmentPath(dir_, snap_seq);
     StatusOr<WalWriter> fresh = WalWriter::Create(
-        SegmentPath(dir_, snap_seq),
+        fresh_path,
         WalSegmentHeader{server_.mod().dim(), snap_seq,
                          server_.mod().last_update_time()},
-        options_.wal);
-    MODB_RETURN_IF_ERROR(fresh.status());
-    for (const auto& [id, query] : journal_) {
-      MODB_RETURN_IF_ERROR(fresh->AppendRegisterQuery(query));
+        options_.wal, env());
+    Status rotated = fresh.status();
+    if (rotated.ok()) {
+      for (const auto& [id, query] : journal_) {
+        rotated = fresh->AppendRegisterQuery(query);
+        if (!rotated.ok()) break;
+      }
+      if (rotated.ok()) rotated = fresh->Sync();
+      if (rotated.ok()) rotated = env()->SyncDir(dir_);
     }
-    MODB_RETURN_IF_ERROR(fresh->Sync());
-    MODB_RETURN_IF_ERROR(SyncDirectory(dir_));
+    if (!rotated.ok()) {
+      // Abandon the half-built segment. It MUST be gone before the old
+      // segment takes further appends: a stale segment at snap_seq would
+      // otherwise overlap the growing old segment and read as a chain
+      // inconsistency on recovery. If even the removal fails, the layout
+      // can no longer be kept consistent — fail-stop.
+      if (fresh.ok()) fresh->Close();
+      const Status removed = env()->RemoveFile(fresh_path);
+      if (!removed.ok() &&
+          removed.code() != StatusCode::kNotFound) {
+        return Degrade(removed);
+      }
+      return rotated;
+    }
     wal_ = std::move(fresh).value();
   }
+  // Retryable: Write abandons its tmp file on failure, and a missed Prune
+  // only leaves stale-but-valid garbage for the next checkpoint.
   MODB_RETURN_IF_ERROR(snapshots_.Write(server_.mod(), snap_seq));
   return snapshots_.Prune();
 }

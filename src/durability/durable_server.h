@@ -37,6 +37,8 @@ struct DurabilityOptions {
   // snapshot.trigger_bytes. Off is useful for tests and for callers that
   // checkpoint on their own schedule.
   bool auto_checkpoint = true;
+  // Filesystem seam for all durability I/O; nullptr means Env::Default().
+  Env* env = nullptr;
 };
 
 class DurableQueryServer {
@@ -61,10 +63,29 @@ class DurableQueryServer {
   DurableQueryServer(const DurableQueryServer&) = delete;
   DurableQueryServer& operator=(const DurableQueryServer&) = delete;
 
+  // Failure model (docs/INTERNALS.md "Failure model"):
+  //
+  //  - A failed WAL append or fsync is FAIL-STOP for mutations. After a
+  //    failed write the log may end in a torn frame; after a failed fsync
+  //    the durable prefix is unknowable. Either way the in-memory state
+  //    can no longer be promised durable, so the server enters a sticky
+  //    read-only degraded mode: every later mutation returns
+  //    kUnavailable, while Answer/Timeline/AdvanceTo keep serving from
+  //    memory. Recover by reopening the directory (Theorem 5 makes the
+  //    sweep rebuild cheap); the recovered state is a valid prefix.
+  //  - A failed Checkpoint is RETRYABLE: the tmp snapshot (or half-built
+  //    segment) is abandoned and the previous snapshot/segment layout
+  //    stays valid. Only the WAL-sync step inside Checkpoint degrades.
+  //  - Validation errors (kInvalidArgument, kNotFound, ...) touch no
+  //    durable state and never degrade the server.
+
   // Logs the update, then applies it to the database and every sweep. The
   // returned status is the *apply* status: a rejected update (bad
   // precondition) still occupies a WAL record — recovery skips it
-  // identically — and is not an I/O failure.
+  // identically — and is not an I/O failure. An auto-checkpoint failure
+  // does not fail the update (the update itself is logged and applied);
+  // it parks in last_checkpoint_status() and the checkpoint is retried as
+  // the segment keeps growing.
   Status ApplyUpdate(const Update& update);
 
   // Registers a standing squared-Euclidean query and journals it. The
@@ -82,13 +103,25 @@ class DurableQueryServer {
   const AnswerTimeline& Timeline(QueryId id) const;
 
   // Makes everything appended so far durable (fsync), regardless of the
-  // configured sync policy.
+  // configured sync policy. A failure degrades the server (fail-stop).
   Status Flush();
 
   // Rotates the WAL (re-journaling live queries into the fresh segment),
   // writes a snapshot at the current seq, and prunes old files. Crash-safe
   // at every step: each intermediate state recovers to the same database.
+  // Retryable on failure (see the failure model above).
   Status Checkpoint();
+
+  // True once a WAL append/fsync failure put the server in read-only
+  // degraded mode; degraded_cause() is the first such failure. Sticky for
+  // the life of the object — reopen the directory to resume writes.
+  bool degraded() const { return !health_.ok(); }
+  const Status& degraded_cause() const { return health_; }
+
+  // Outcome of the most recent auto-checkpoint attempt (OK if none has
+  // failed since the last success); explicit Checkpoint() calls report
+  // their Status directly instead.
+  const Status& last_checkpoint_status() const { return checkpoint_status_; }
 
   // Number of update records ever logged (= next segment's start_seq).
   uint64_t seq() const { return seq_; }
@@ -114,6 +147,14 @@ class DurableQueryServer {
         snapshots_(std::move(snapshots)) {}
 
   Status RegisterLogged(const LoggedQuery& query);
+  // OK, or the kUnavailable refusal while degraded.
+  Status CheckWritable() const;
+  // Marks the server degraded (first cause wins) and returns the
+  // kUnavailable status mutations surface.
+  Status Degrade(const Status& cause);
+
+  Env* env() const { return options_.env != nullptr ? options_.env
+                                                    : Env::Default(); }
 
   std::string dir_;
   DurabilityOptions options_;
@@ -125,6 +166,8 @@ class DurableQueryServer {
   std::map<QueryId, LoggedQuery> journal_;     // Live queries, by public id.
   std::map<QueryId, QueryId> public_to_internal_;
   OpenInfo info_;
+  Status health_;             // Non-OK: read-only degraded mode (sticky).
+  Status checkpoint_status_;  // Last auto-checkpoint outcome.
 };
 
 }  // namespace modb

@@ -1,15 +1,11 @@
 #include "durability/recovery.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <sstream>
 
 #include "durability/snapshot.h"
 #include "trajectory/serialization.h"
-
-namespace fs = std::filesystem;
 
 namespace modb {
 namespace {
@@ -19,16 +15,21 @@ struct SegmentFile {
   std::string path;
 };
 
-std::vector<SegmentFile> ListSegments(const std::string& dir) {
+StatusOr<std::vector<SegmentFile>> ListSegments(const std::string& dir,
+                                                Env* env) {
   std::vector<SegmentFile> segments;
-  std::error_code ec;
-  fs::directory_iterator it(dir, ec);
-  if (ec) return segments;
-  for (const fs::directory_entry& entry : it) {
-    const std::optional<uint64_t> seq =
-        ParseWalFileName(entry.path().filename().string());
+  StatusOr<std::vector<std::string>> children = env->GetChildren(dir);
+  if (!children.ok()) {
+    // ENOENT means "no durable state yet"; any other listing failure must
+    // surface as an error — treating an unreadable directory as empty
+    // would silently orphan real data behind a fresh initialization.
+    if (children.status().code() == StatusCode::kNotFound) return segments;
+    return children.status();
+  }
+  for (const std::string& name : *children) {
+    const std::optional<uint64_t> seq = ParseWalFileName(name);
     if (seq.has_value()) {
-      segments.push_back(SegmentFile{*seq, entry.path().string()});
+      segments.push_back(SegmentFile{*seq, dir + "/" + name});
     }
   }
   std::sort(segments.begin(), segments.end(),
@@ -38,13 +39,24 @@ std::vector<SegmentFile> ListSegments(const std::string& dir) {
   return segments;
 }
 
+// True when a ReadWalSegment failure means the segment carries no usable
+// state at all (torn/garbage *header*). I/O errors are the opposite case:
+// the file exists and may be perfectly fine — the read itself failed.
+bool IsHeaderCorruption(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument;
+}
+
 }  // namespace
 
 StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
                                          const RecoveryOptions& options) {
-  StatusOr<std::vector<SnapshotInfo>> snapshots = SnapshotManager::List(dir);
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  StatusOr<std::vector<SnapshotInfo>> snapshots =
+      SnapshotManager::List(dir, env);
   MODB_RETURN_IF_ERROR(snapshots.status());
-  std::vector<SegmentFile> segments = ListSegments(dir);
+  StatusOr<std::vector<SegmentFile>> listed = ListSegments(dir, env);
+  MODB_RETURN_IF_ERROR(listed.status());
+  std::vector<SegmentFile>& segments = *listed;
   if (snapshots->empty() && segments.empty()) {
     return Status::NotFound("no durable state in " + dir);
   }
@@ -54,10 +66,18 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
   // 1. Seed from the newest snapshot that parses; corrupt snapshots are
   // skipped (the atomic-rename protocol makes them rare, but a damaged
   // disk must degrade to an older snapshot, not to a refusal to start).
+  // Only *parse* failures are skippable: a transient read error (EIO) on
+  // an existing snapshot surfaces — falling back would silently recover
+  // an older state than what is actually on disk.
   bool seeded = false;
   for (auto it = snapshots->rbegin(); it != snapshots->rend(); ++it) {
-    std::ifstream in(it->path);
-    if (!in) continue;
+    std::string bytes;
+    const Status read = env->ReadFileToString(it->path, &bytes);
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kNotFound) continue;  // Pruned race.
+      return read;
+    }
+    std::istringstream in(bytes);
     StatusOr<MovingObjectDatabase> mod = ReadMod(in);
     if (!mod.ok()) continue;
     result.mod = std::move(mod).value();
@@ -83,22 +103,29 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
 
   for (size_t i = 0; i < chain.size(); ++i) {
     const bool is_last = i + 1 == chain.size();
-    StatusOr<WalReadResult> read = ReadWalSegment(chain[i].path);
+    StatusOr<WalReadResult> read = ReadWalSegment(chain[i].path, env);
     if (!read.ok()) {
-      // The segment's own header is unusable — it carries no state at all.
-      // A final segment in that condition is a crash during segment
+      if (!IsHeaderCorruption(read.status())) {
+        // The file exists but could not be read (EIO or a vanished
+        // listing entry). Never conflate this with "no durable state" or
+        // with a droppable torn header: surface it and leave the
+        // directory untouched.
+        return read.status();
+      }
+      // The segment's own header is unusable — it carries no state at
+      // all. A final segment in that condition is a crash during segment
       // creation: drop it. Anywhere else it is a hole in the chain.
       if (!is_last) {
-        return Status::InvalidArgument(
-            "corrupt non-final wal segment " + chain[i].path + ": " +
-            read.status().message());
+        return Status::DataLoss("corrupt non-final wal segment " +
+                                chain[i].path + ": " +
+                                read.status().message());
       }
       result.truncated_tail = true;
       result.truncated_detail =
           "unusable final segment: " + read.status().message();
-      std::error_code ec;
-      result.truncated_bytes = fs::file_size(chain[i].path, ec);
-      if (options.repair) fs::remove(chain[i].path, ec);
+      StatusOr<uint64_t> size = env->GetFileSize(chain[i].path);
+      result.truncated_bytes = size.ok() ? *size : 0;
+      if (options.repair) env->RemoveFile(chain[i].path);
       if (!seeded && i == 0) {
         return Status::NotFound("no durable state in " + dir +
                                 " (only a torn segment header)");
@@ -106,7 +133,7 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
       break;
     }
     if (read->header.start_seq != chain[i].start_seq) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           chain[i].path + ": file name says start_seq " +
           std::to_string(chain[i].start_seq) + " but header says " +
           std::to_string(read->header.start_seq));
@@ -116,14 +143,14 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
       msg << "wal chain gap: expected a segment starting at seq "
           << result.next_seq << ", found " << chain[i].path << " starting at "
           << read->header.start_seq;
-      return Status::InvalidArgument(msg.str());
+      return Status::DataLoss(msg.str());
     }
     if (!seeded && i == 0) {
       result.mod = MovingObjectDatabase(read->header.dim,
                                         read->header.start_tau);
     } else if (read->header.dim != result.mod.dim()) {
-      return Status::InvalidArgument(chain[i].path +
-                                     ": dimension mismatch with state");
+      return Status::DataLoss(chain[i].path +
+                              ": dimension mismatch with state");
     }
 
     for (const WalRecord& record : read->records) {
@@ -155,20 +182,15 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
 
     if (read->torn_tail) {
       if (!is_last) {
-        return Status::InvalidArgument(
-            "corrupt non-final wal segment " + chain[i].path + ": " +
-            read->torn_detail);
+        return Status::DataLoss("corrupt non-final wal segment " +
+                                chain[i].path + ": " + read->torn_detail);
       }
       result.truncated_tail = true;
       result.truncated_detail = read->torn_detail;
       result.truncated_bytes = read->file_bytes - read->valid_bytes;
       if (options.repair && result.truncated_bytes > 0) {
-        std::error_code ec;
-        fs::resize_file(chain[i].path, read->valid_bytes, ec);
-        if (ec) {
-          return Status::Internal("cannot truncate torn tail of " +
-                                  chain[i].path + ": " + ec.message());
-        }
+        MODB_RETURN_IF_ERROR(
+            env->TruncateFile(chain[i].path, read->valid_bytes));
       }
     }
     result.active_wal_path = chain[i].path;

@@ -33,6 +33,8 @@ struct RecoveryOptions {
   // Physically truncate a torn tail (and delete a trailing segment whose
   // header itself is torn) so a second recovery sees a clean log.
   bool repair = true;
+  // Filesystem seam; nullptr means Env::Default().
+  Env* env = nullptr;
 };
 
 struct RecoveryResult {
@@ -61,8 +63,13 @@ struct RecoveryResult {
 
 // Recovers from `dir`. NotFound when the directory holds no durable state
 // at all (missing, empty, or no snapshot/WAL files) — callers decide
-// whether that means "initialize fresh" or "error". Any other failure
-// leaves the directory untouched.
+// whether that means "initialize fresh" or "error". A directory or file
+// that *exists but cannot be read* (EIO, EACCES, short read) is
+// kUnavailable, never NotFound: conflating the two would let a transient
+// I/O error masquerade as an empty database and orphan real data.
+// Recognized corruption beyond torn-tail repair (a hole in the segment
+// chain, a corrupt non-final segment) is kDataLoss. Any failure leaves
+// the directory untouched.
 StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
                                          const RecoveryOptions& options = {});
 

@@ -1,35 +1,14 @@
 #include "durability/snapshot.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
 #include <sstream>
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include "durability/wal.h"
 #include "trajectory/serialization.h"
 
-namespace fs = std::filesystem;
-
 namespace modb {
-
-Status SyncDirectory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return Status::Internal("cannot open directory " + dir + ": " +
-                            std::strerror(errno));
-  }
-  // Some filesystems refuse fsync on directories; that is not fatal (the
-  // rename itself is still atomic, only its durability timing weakens).
-  ::fsync(fd);
-  ::close(fd);
-  return Status::Ok();
-}
 
 std::string SnapshotManager::FileName(uint64_t seq) {
   char buffer[48];
@@ -53,48 +32,46 @@ std::optional<uint64_t> SnapshotManager::ParseFileName(
 
 Status SnapshotManager::Write(const MovingObjectDatabase& mod,
                               uint64_t seq) const {
-  const fs::path final_path = fs::path(dir_) / FileName(seq);
-  const fs::path tmp_path = final_path.string() + ".tmp";
-  {
-    std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-    if (file == nullptr) {
-      return Status::Internal("cannot create " + tmp_path.string() + ": " +
-                              std::strerror(errno));
-    }
-    std::ostringstream text;
-    WriteMod(mod, text);
-    const std::string bytes = text.str();
-    const bool wrote =
-        std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
-    const bool flushed = std::fflush(file) == 0;
-    const bool synced = ::fsync(::fileno(file)) == 0;
-    std::fclose(file);
-    if (!wrote || !flushed || !synced) {
-      std::error_code ec;
-      fs::remove(tmp_path, ec);
-      return Status::Internal("cannot write snapshot " + tmp_path.string());
-    }
+  const std::string final_path = dir_ + "/" + FileName(seq);
+  const std::string tmp_path = final_path + ".tmp";
+  std::ostringstream text;
+  WriteMod(mod, text);
+  const std::string bytes = text.str();
+
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env_->NewWritableFile(tmp_path, WriteMode::kTruncate);
+  MODB_RETURN_IF_ERROR(file.status());
+  Status wrote = (*file)->Append(bytes);
+  if (wrote.ok()) wrote = (*file)->Sync();
+  // A buffered-write error can first surface at close; it must fail the
+  // snapshot, not be swallowed.
+  const Status closed = (*file)->Close();
+  if (wrote.ok()) wrote = closed;
+  if (!wrote.ok()) {
+    // Abandon the tmp sibling; the previous snapshot/segment layout is
+    // untouched, so the checkpoint is retryable.
+    env_->RemoveFile(tmp_path);
+    return wrote;
   }
-  std::error_code ec;
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    return Status::Internal("cannot rename " + tmp_path.string() + ": " +
-                            ec.message());
-  }
-  return SyncDirectory(dir_);
+  MODB_RETURN_IF_ERROR(env_->RenameFile(tmp_path, final_path));
+  return env_->SyncDir(dir_);
 }
 
 StatusOr<std::vector<SnapshotInfo>> SnapshotManager::List(
-    const std::string& dir) {
+    const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::vector<SnapshotInfo> snapshots;
-  std::error_code ec;
-  fs::directory_iterator it(dir, ec);
-  if (ec) return snapshots;  // Missing directory: nothing persisted yet.
-  for (const fs::directory_entry& entry : it) {
-    const std::string name = entry.path().filename().string();
+  StatusOr<std::vector<std::string>> children = env->GetChildren(dir);
+  if (!children.ok()) {
+    // Missing directory: nothing persisted yet. Anything else (EIO,
+    // EACCES) must surface — an unreadable directory is not an empty one.
+    if (children.status().code() == StatusCode::kNotFound) return snapshots;
+    return children.status();
+  }
+  for (const std::string& name : *children) {
     const std::optional<uint64_t> seq = ParseFileName(name);
     if (seq.has_value()) {
-      snapshots.push_back(SnapshotInfo{*seq, entry.path().string()});
+      snapshots.push_back(SnapshotInfo{*seq, dir + "/" + name});
     }
   }
   std::sort(snapshots.begin(), snapshots.end(),
@@ -105,17 +82,20 @@ StatusOr<std::vector<SnapshotInfo>> SnapshotManager::List(
 }
 
 Status SnapshotManager::Prune() const {
-  StatusOr<std::vector<SnapshotInfo>> snapshots = List(dir_);
+  StatusOr<std::vector<SnapshotInfo>> snapshots = List(dir_, env_);
   MODB_RETURN_IF_ERROR(snapshots.status());
-  std::error_code ec;
+  StatusOr<std::vector<std::string>> children = env_->GetChildren(dir_);
+  MODB_RETURN_IF_ERROR(children.status());
   // Stray temporaries from interrupted writes are garbage by definition.
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
-    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  for (const std::string& name : *children) {
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      env_->RemoveFile(dir_ + "/" + name);
+    }
   }
   if (snapshots->size() > options_.retain) {
     const size_t drop = snapshots->size() - options_.retain;
     for (size_t i = 0; i < drop; ++i) {
-      fs::remove((*snapshots)[i].path, ec);
+      env_->RemoveFile((*snapshots)[i].path);
     }
     snapshots->erase(snapshots->begin(),
                      snapshots->begin() + static_cast<ptrdiff_t>(drop));
@@ -125,11 +105,10 @@ Status SnapshotManager::Prune() const {
   // replayed again (recovery always starts at a retained snapshot's seq,
   // and snapshots sit exactly on segment boundaries).
   const uint64_t floor_seq = snapshots->front().seq;
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
-    const std::optional<uint64_t> start =
-        ParseWalFileName(entry.path().filename().string());
+  for (const std::string& name : *children) {
+    const std::optional<uint64_t> start = ParseWalFileName(name);
     if (start.has_value() && *start < floor_seq) {
-      fs::remove(entry.path(), ec);
+      env_->RemoveFile(dir_ + "/" + name);
     }
   }
   return Status::Ok();

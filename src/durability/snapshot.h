@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "trajectory/mod.h"
 
@@ -34,25 +35,35 @@ struct SnapshotOptions {
   size_t retain = 2;
 };
 
+// All I/O goes through the Env; `env == nullptr` means Env::Default().
 class SnapshotManager {
  public:
-  explicit SnapshotManager(std::string dir, SnapshotOptions options = {})
-      : dir_(std::move(dir)), options_(options) {}
+  explicit SnapshotManager(std::string dir, SnapshotOptions options = {},
+                           Env* env = nullptr)
+      : dir_(std::move(dir)),
+        options_(options),
+        env_(env != nullptr ? env : Env::Default()) {}
 
   const SnapshotOptions& options() const { return options_; }
 
   // Atomically writes the snapshot for `seq`. Overwrites an existing
-  // snapshot at the same seq (idempotent re-checkpoint).
+  // snapshot at the same seq (idempotent re-checkpoint). A failure (e.g.
+  // ENOSPC while writing the tmp file) abandons the tmp sibling and
+  // leaves the previous snapshot/segment layout fully intact, so the
+  // write is retryable.
   Status Write(const MovingObjectDatabase& mod, uint64_t seq) const;
 
   // Deletes all but the newest `retain` snapshots, and every WAL segment
   // whose start_seq precedes the oldest retained snapshot (nothing replays
-  // from before it anymore). Stray `.tmp` files are removed too.
+  // from before it anymore). Stray `.tmp` files are removed too. A file
+  // that refuses deletion is left behind: stale-but-valid state, never an
+  // inconsistency.
   Status Prune() const;
 
   // All snapshots in `dir`, ascending by seq. A missing directory is an
-  // empty list, not an error.
-  static StatusOr<std::vector<SnapshotInfo>> List(const std::string& dir);
+  // empty list, not an error — but an unreadable one is (kUnavailable).
+  static StatusOr<std::vector<SnapshotInfo>> List(const std::string& dir,
+                                                  Env* env = nullptr);
 
   // Canonical file name for a snapshot seq.
   static std::string FileName(uint64_t seq);
@@ -61,11 +72,8 @@ class SnapshotManager {
  private:
   std::string dir_;
   SnapshotOptions options_;
+  Env* env_;
 };
-
-// Fsyncs a directory so renames/creates inside it are durable. Best-effort
-// on filesystems that reject directory fsync.
-Status SyncDirectory(const std::string& dir);
 
 }  // namespace modb
 

@@ -1,11 +1,8 @@
 #include "durability/wal.h"
 
-#include <cerrno>
 #include <cinttypes>
+#include <cstdio>
 #include <cstring>
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include "durability/crc32c.h"
 
@@ -204,27 +201,7 @@ Status DecodeHeader(const std::string& bytes, WalSegmentHeader* header) {
   return Status::Ok();
 }
 
-Status ReadWholeFile(const std::string& path, std::string* out) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::NotFound("cannot open " + path + ": " +
-                            std::strerror(errno));
-  }
-  std::fseek(file, 0, SEEK_END);
-  const long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(file);
-    return Status::Internal("cannot stat " + path);
-  }
-  out->resize(static_cast<size_t>(size));
-  const size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), file);
-  std::fclose(file);
-  if (read != out->size()) {
-    return Status::Internal("short read on " + path);
-  }
-  return Status::Ok();
-}
+Env* Resolve(Env* env) { return env != nullptr ? env : Env::Default(); }
 
 }  // namespace
 
@@ -341,86 +318,75 @@ StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim) {
 
 StatusOr<WalWriter> WalWriter::Create(const std::string& path,
                                       const WalSegmentHeader& header,
-                                      WalOptions options) {
+                                      WalOptions options, Env* env) {
+  env = Resolve(env);
   if (header.dim == 0 || header.dim > kMaxDim) {
     return Status::InvalidArgument("wal dim out of range");
   }
-  // "x": fail rather than clobber an existing segment.
-  std::FILE* file = std::fopen(path.c_str(), "wbx");
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot create " + path + ": " +
-                                   std::strerror(errno));
-  }
+  // Exclusive: fail rather than clobber an existing segment.
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, WriteMode::kCreateExclusive);
+  MODB_RETURN_IF_ERROR(file.status());
   const std::string encoded = EncodeHeader(header);
-  if (std::fwrite(encoded.data(), 1, encoded.size(), file) != encoded.size()) {
-    std::fclose(file);
-    return Status::Internal("cannot write wal header to " + path);
-  }
-  WalWriter writer(path, file, header, options, encoded.size());
+  WalWriter writer(path, std::move(file).value(), header, options,
+                   encoded.size());
   // The header must be durable before any record claims to be: a segment
   // whose header is torn is unusable in its entirety.
-  MODB_RETURN_IF_ERROR(writer.Sync());
+  Status wrote = writer.file_->Append(encoded);
+  if (wrote.ok()) wrote = writer.file_->Sync();
+  if (!wrote.ok()) {
+    // Don't leave a headerless file blocking the exclusive-create retry.
+    writer.file_->Close();
+    writer.file_.reset();
+    env->RemoveFile(path);
+    return wrote;
+  }
   return writer;
 }
 
 StatusOr<WalWriter> WalWriter::OpenForAppend(const std::string& path,
-                                             WalOptions options) {
+                                             WalOptions options, Env* env) {
+  env = Resolve(env);
   std::string bytes;
-  MODB_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  MODB_RETURN_IF_ERROR(env->ReadFileToString(path, &bytes));
   WalSegmentHeader header;
   MODB_RETURN_IF_ERROR(DecodeHeader(bytes, &header));
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot append to " + path + ": " +
-                                   std::strerror(errno));
-  }
-  return WalWriter(path, file, header, options, bytes.size());
-}
-
-WalWriter::WalWriter(WalWriter&& other) noexcept
-    : path_(std::move(other.path_)),
-      file_(other.file_),
-      header_(other.header_),
-      options_(other.options_),
-      bytes_(other.bytes_),
-      unsynced_bytes_(other.unsynced_bytes_) {
-  other.file_ = nullptr;
-}
-
-WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
-  if (this != &other) {
-    Close();
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    header_ = other.header_;
-    options_ = other.options_;
-    bytes_ = other.bytes_;
-    unsynced_bytes_ = other.unsynced_bytes_;
-    other.file_ = nullptr;
-  }
-  return *this;
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, WriteMode::kAppend);
+  MODB_RETURN_IF_ERROR(file.status());
+  return WalWriter(path, std::move(file).value(), header, options,
+                   bytes.size());
 }
 
 WalWriter::~WalWriter() { Close(); }
 
-void WalWriter::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);  // Flushes the stdio buffer.
-    file_ = nullptr;
-  }
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  const Status closed = file_->Close();
+  file_.reset();
+  return closed;
 }
 
 Status WalWriter::AppendPayload(const std::string& payload) {
   MODB_CHECK(file_ != nullptr);
   MODB_CHECK(payload.size() <= kMaxPayloadBytes);
+  if (!health_.ok()) {
+    return Status::FailedPrecondition(
+        "wal writer on " + path_ +
+        " refused append after earlier failure: " + health_.ToString());
+  }
   std::string frame;
   frame.reserve(8 + payload.size());
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
   PutU32(&frame, Crc32c(payload.data(), payload.size()));
   frame.append(payload);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::Internal("wal append failed on " + path_ + ": " +
-                            std::strerror(errno));
+  const Status written = file_->Append(frame);
+  if (!written.ok()) {
+    // The file may hold a torn prefix of this frame; bytes_ deliberately
+    // keeps its pre-append value so no caller records a position past the
+    // last whole record.
+    health_ = written;
+    return written;
   }
   bytes_ += frame.size();
   unsynced_bytes_ += frame.size();
@@ -472,12 +438,17 @@ Status WalWriter::AppendRemoveQuery(WalQueryId id) {
 
 Status WalWriter::Sync() {
   MODB_CHECK(file_ != nullptr);
-  if (std::fflush(file_) != 0) {
-    return Status::Internal("fflush failed on " + path_);
+  if (!health_.ok()) {
+    return Status::FailedPrecondition(
+        "wal writer on " + path_ +
+        " refused sync after earlier failure: " + health_.ToString());
   }
-  if (::fsync(::fileno(file_)) != 0) {
-    return Status::Internal("fsync failed on " + path_ + ": " +
-                            std::strerror(errno));
+  const Status synced = file_->Sync();
+  if (!synced.ok()) {
+    // A failed fsync leaves the durable prefix unknowable; the writer is
+    // done (and DurableQueryServer fail-stops into read-only mode).
+    health_ = synced;
+    return synced;
   }
   unsynced_bytes_ = 0;
   return Status::Ok();
@@ -485,9 +456,9 @@ Status WalWriter::Sync() {
 
 // ---- ReadWalSegment --------------------------------------------------------
 
-StatusOr<WalReadResult> ReadWalSegment(const std::string& path) {
+StatusOr<WalReadResult> ReadWalSegment(const std::string& path, Env* env) {
   std::string bytes;
-  MODB_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  MODB_RETURN_IF_ERROR(Resolve(env)->ReadFileToString(path, &bytes));
   WalReadResult result;
   result.file_bytes = bytes.size();
   MODB_RETURN_IF_ERROR(DecodeHeader(bytes, &result.header));

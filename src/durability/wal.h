@@ -2,11 +2,12 @@
 #define MODB_DURABILITY_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "trajectory/trajectory.h"
 #include "trajectory/update.h"
@@ -82,32 +83,51 @@ struct WalSegmentHeader {
   double start_tau = 0.0;
 };
 
-// Appends records to one segment file. Move-only (owns the FILE*).
+// Appends records to one segment file. Move-only (owns the file handle).
+// All I/O goes through the Env; `env == nullptr` means Env::Default().
 class WalWriter {
  public:
-  // Creates `path` (failing if it exists) and writes a fresh header.
+  // Creates `path` (failing if it exists) and writes a fresh header. On
+  // failure the partially written file is removed (best effort), so a
+  // retry is not blocked by a leftover.
   static StatusOr<WalWriter> Create(const std::string& path,
                                     const WalSegmentHeader& header,
-                                    WalOptions options = {});
+                                    WalOptions options = {},
+                                    Env* env = nullptr);
 
   // Opens an existing segment for append; validates the header. The file
   // must end on a record boundary — recovery repairs torn tails before
   // reopening a segment for append.
   static StatusOr<WalWriter> OpenForAppend(const std::string& path,
-                                           WalOptions options = {});
+                                           WalOptions options = {},
+                                           Env* env = nullptr);
 
-  WalWriter(WalWriter&& other) noexcept;
-  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(WalWriter&& other) noexcept = default;
+  WalWriter& operator=(WalWriter&& other) noexcept = default;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
   ~WalWriter();
 
+  // Append/Sync failure atomicity: on any I/O failure `bytes()` and the
+  // unsynced count keep their pre-call values, the failure sticks, and
+  // every later append/sync fails with kFailedPrecondition — the file may
+  // end in a torn frame, and appending past it would corrupt the log. A
+  // caller that wants to keep mutating must fail-stop instead (see
+  // DurableQueryServer's degraded mode).
   Status AppendUpdate(const Update& update);
   Status AppendRegisterQuery(const LoggedQuery& query);
   Status AppendRemoveQuery(WalQueryId id);
 
-  // Flushes the stdio buffer and fsyncs the file.
+  // Flushes the write buffer and fsyncs the file.
   Status Sync();
+
+  // Flushes and closes the file, surfacing a buffered-write error that
+  // would otherwise first appear (and be swallowed) at destruction.
+  // Idempotent; the destructor calls it and drops the Status.
+  Status Close();
+
+  // Non-OK after the first failed append/sync (the sticky failure).
+  const Status& health() const { return health_; }
 
   const std::string& path() const { return path_; }
   const WalSegmentHeader& header() const { return header_; }
@@ -115,23 +135,23 @@ class WalWriter {
   uint64_t bytes() const { return bytes_; }
 
  private:
-  WalWriter(std::string path, std::FILE* file, WalSegmentHeader header,
-            WalOptions options, uint64_t bytes)
+  WalWriter(std::string path, std::unique_ptr<WritableFile> file,
+            WalSegmentHeader header, WalOptions options, uint64_t bytes)
       : path_(std::move(path)),
-        file_(file),
+        file_(std::move(file)),
         header_(header),
         options_(options),
         bytes_(bytes) {}
 
   Status AppendPayload(const std::string& payload);
-  void Close();
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   WalSegmentHeader header_;
   WalOptions options_;
   uint64_t bytes_ = 0;
   uint64_t unsynced_bytes_ = 0;
+  Status health_;
 };
 
 // Result of scanning one segment. The scan stops cleanly at the first
@@ -148,9 +168,13 @@ struct WalReadResult {
 };
 
 // Scans a segment. Only a missing/unreadable file or an invalid *header*
-// is a Status error (the segment carries no usable state at all); record
-// corruption is reported via `torn_tail`, never as a failure.
-StatusOr<WalReadResult> ReadWalSegment(const std::string& path);
+// is a Status error; record corruption is reported via `torn_tail`, never
+// as a failure. The error code distinguishes the cases: kNotFound (no
+// such file), kUnavailable (the file exists but reading it failed — NOT
+// evidence of an empty database), kInvalidArgument (corrupt header: the
+// segment carries no usable state at all).
+StatusOr<WalReadResult> ReadWalSegment(const std::string& path,
+                                       Env* env = nullptr);
 
 // Canonical segment file name for a start sequence ("wal-<20-digit-seq>.log").
 std::string WalFileName(uint64_t start_seq);

@@ -10,70 +10,20 @@
 #include "common/rng.h"
 #include "durability/durable_server.h"
 #include "gdist/builtin.h"
-#include "trajectory/serialization.h"
-#include "verify/audit.h"
-#include "workload/generator.h"
+#include "verify/lockstep.h"
 
 namespace fs = std::filesystem;
 
 namespace modb {
 namespace {
 
-// Same salts as differential.cc: the crash fuzzer draws its workload from
-// the same family of streams.
-constexpr uint64_t kStreamSeedSalt = 0x9E3779B97F4A7C15ull;
+// Same salt as differential.cc; the workload itself is built by
+// BuildFlatUpdates from the same stream family.
 constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
 // Crash geometry (where to stop, where to cut) gets its own stream.
 constexpr uint64_t kCrashSeedSalt = 0x94D049BB133111EBull;
 
 constexpr size_t kMaxFailures = 8;
-
-std::string SetToString(const std::set<ObjectId>& set) {
-  std::ostringstream out;
-  out << "{";
-  bool first = true;
-  for (ObjectId oid : set) {
-    if (!first) out << ", ";
-    out << "o" << oid;
-    first = false;
-  }
-  out << "}";
-  return out.str();
-}
-
-// The workload as one flat update list replayable onto an *empty* MOD: the
-// initial population becomes new() records (bit-identical trajectories —
-// RandomMod objects are single-piece), then the random stream follows.
-std::vector<Update> BuildUpdates(const CrashFuzzOptions& options) {
-  RandomModOptions mod_options;
-  mod_options.num_objects = std::max<size_t>(1, options.num_objects);
-  mod_options.dim = 2;
-  mod_options.box_lo = -options.box;
-  mod_options.box_hi = options.box;
-  mod_options.speed_min = 1.0;
-  mod_options.speed_max = std::max(1.0, options.speed_max);
-  mod_options.seed = options.seed;
-
-  UpdateStreamOptions stream_options;
-  stream_options.count = options.num_updates;
-  stream_options.mean_gap = options.mean_gap;
-  stream_options.seed = options.seed ^ kStreamSeedSalt;
-
-  const MovingObjectDatabase initial = RandomMod(mod_options);
-  std::vector<Update> updates;
-  updates.reserve(initial.size() + options.num_updates);
-  for (const auto& [oid, trajectory] : initial.objects()) {
-    const LinearPiece& piece = trajectory.pieces().front();
-    updates.push_back(
-        Update::NewObject(oid, piece.start, piece.origin, piece.velocity));
-  }
-  if (options.num_updates > 0) {
-    const std::vector<Update> stream =
-        RandomUpdateStream(initial, mod_options, stream_options);
-    updates.insert(updates.end(), stream.begin(), stream.end());
-  }
-  return updates;
-}
 
 // Newest WAL segment in the directory, or empty if none.
 std::string NewestSegment(const std::string& dir) {
@@ -117,13 +67,15 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
   };
   MODB_CHECK(!options.dir.empty()) << "CrashFuzzOptions.dir is required";
 
-  const std::vector<Update> updates = BuildUpdates(options);
+  const std::vector<Update> updates = BuildFlatUpdates(
+      FlatWorkloadOptions{options.seed, options.num_objects,
+                          options.num_updates, options.box, options.speed_max,
+                          options.mean_gap});
 
   // Same construction as differential.cc: a randomized moving query point.
   Rng probe_rng(options.seed ^ kProbeSeedSalt);
-  const Trajectory query = Trajectory::Linear(
-      0.0, RandomPoint(probe_rng, 2, -0.5 * options.box, 0.5 * options.box),
-      RandomVelocity(probe_rng, 2, 0.5, std::max(1.0, 0.5 * options.speed_max)));
+  const Trajectory query =
+      MakeProbeQuery(probe_rng, options.box, options.speed_max);
 
   DurabilityOptions durable_options;
   durable_options.dim = 2;
@@ -165,7 +117,7 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
         return result;
       }
     }
-    // db destructs here: the stdio buffer reaches the file, as it would
+    // db destructs here: the write buffer reaches the file, as it would
     // under any sync policy once the OS page cache survives (the crash we
     // model is a torn write, injected next).
   }
@@ -227,20 +179,7 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
   // Pair every surviving durable query with a reference twin; registrations
   // the cut destroyed are re-added on both lanes (the client's move after a
   // crash that ate its registration).
-  std::vector<std::pair<QueryId, QueryId>> paired;  // durable id, ref id.
-  for (const auto& [id, logged] : db->live_queries()) {
-    const QueryId ref_id =
-        logged.is_knn
-            ? ref.AddKnn(logged.gdist_key,
-                         std::make_shared<SquaredEuclideanGDistance>(
-                             logged.query),
-                         logged.k)
-            : ref.AddWithin(logged.gdist_key,
-                            std::make_shared<SquaredEuclideanGDistance>(
-                                logged.query),
-                            logged.threshold);
-    paired.emplace_back(id, ref_id);
-  }
+  std::vector<std::pair<QueryId, QueryId>> paired = PairLiveQueries(*db, ref);
   const bool knn_alive =
       std::any_of(db->live_queries().begin(), db->live_queries().end(),
                   [](const auto& kv) { return kv.second.is_knn; });
@@ -275,77 +214,11 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
     ++result.requeried;
   }
 
-  std::vector<std::unique_ptr<AuditingObserver>> audits;
-  if (options.audit) {
-    db->server().VisitEngines(
-        [&](const std::string&, FutureQueryEngine& engine) {
-          audits.push_back(std::make_unique<AuditingObserver>(
-              &engine.state(), &engine.mod()));
-        });
-    ref.VisitEngines([&](const std::string&, FutureQueryEngine& engine) {
-      audits.push_back(std::make_unique<AuditingObserver>(&engine.state(),
-                                                          &engine.mod()));
-    });
-  }
-
-  // Lockstep resume: identical deterministic sweeps on identical doubles —
-  // answers compare with operator==, no tolerance.
-  auto probe_at = [&](double t) {
-    db->AdvanceTo(t);
-    ref.AdvanceTo(t);
-    for (const auto& [durable_id, ref_id] : paired) {
-      ++result.probes;
-      const std::set<ObjectId>& got = db->Answer(durable_id);
-      const std::set<ObjectId>& want = ref.Answer(ref_id);
-      if (got != want) {
-        fail(t, "query " + std::to_string(durable_id) +
-                    " diverged after recovery: recovered lane " +
-                    SetToString(got) + " vs reference " + SetToString(want));
-      }
-    }
-  };
-
-  double now = std::max(db->server().mod().last_update_time(),
-                        ref.mod().last_update_time());
-  probe_at(now);
-  for (size_t i = resume_from;
-       i < updates.size() && result.failures.empty(); ++i) {
-    const Update& update = updates[i];
-    // Probe strictly inside the gap before the update, as differential.cc
-    // does — both lanes must be advanced past an update's time only by the
-    // update itself.
-    if (update.time > now) {
-      probe_at(now + probe_rng.Uniform(0.05, 0.95) * (update.time - now));
-    }
-    const Status durable_applied = db->ApplyUpdate(update);
-    const Status ref_applied = ref.ApplyUpdate(update);
-    if (!durable_applied.ok() || !ref_applied.ok()) {
-      fail(update.time, "resume apply diverged: recovered lane '" +
-                            durable_applied.ToString() + "' vs reference '" +
-                            ref_applied.ToString() + "'");
-      break;
-    }
-    now = update.time;
-  }
-
-  if (result.failures.empty()) {
-    probe_at(now + std::max(1.0, 4.0 * options.mean_gap));
-    // The databases themselves must serialize to the same bytes.
-    const std::string got = ModToString(db->server().mod());
-    const std::string want = ModToString(ref.mod());
-    if (got != want) {
-      fail(now, "final database state diverged (serialized forms differ: " +
-                    std::to_string(got.size()) + " vs " +
-                    std::to_string(want.size()) + " bytes)");
-    }
-  }
-
-  for (const auto& audit : audits) {
-    result.audits += audit->audits_run();
-    if (!audit->report().ok()) {
-      fail(audit->report().now, "audit: " + audit->report().ToString());
-    }
-  }
+  const LockstepStats stats =
+      ResumeLockstep(*db, ref, paired, updates, resume_from, probe_rng,
+                     options.mean_gap, options.audit, fail);
+  result.probes = stats.probes;
+  result.audits = stats.audits;
   return result;
 }
 

@@ -1,0 +1,413 @@
+#include "verify/fault.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "durability/durable_server.h"
+#include "gdist/builtin.h"
+#include "verify/fault_env.h"
+#include "verify/lockstep.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+// Same salt as differential.cc / crash.cc.
+constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
+
+constexpr size_t kMaxFailures = 8;
+
+constexpr FaultKind kAllKinds[] = {FaultKind::kEio, FaultKind::kEnospc,
+                                   FaultKind::kShortWrite,
+                                   FaultKind::kSyncFail};
+
+// One execution of the scripted workload, stopped at the first surfaced
+// error.
+struct ScriptState {
+  std::unique_ptr<DurableQueryServer> db;  // Null only when Open failed.
+  Status error;       // OK: the script ran to completion.
+  std::string step;   // Which step surfaced `error`.
+  size_t applied = 0;  // Updates successfully applied.
+  bool checkpoint_failed = false;  // `error` came from explicit Checkpoint.
+};
+
+DurabilityOptions ScriptDurabilityOptions(Env* env) {
+  DurabilityOptions options;
+  options.dim = 2;
+  options.initial_time = 0.0;
+  // The script checkpoints explicitly; every record is fsynced so the
+  // synced prefix (what power loss preserves) advances record by record.
+  options.auto_checkpoint = false;
+  options.wal.sync = SyncPolicy::kEveryRecord;
+  options.env = env;
+  return options;
+}
+
+ScriptState RunScript(const std::string& dir, Env* env,
+                      const std::vector<Update>& updates,
+                      const Trajectory& query,
+                      const FaultMatrixOptions& options) {
+  ScriptState state;
+  StatusOr<std::unique_ptr<DurableQueryServer>> opened =
+      DurableQueryServer::Open(dir, ScriptDurabilityOptions(env));
+  if (!opened.ok()) {
+    state.error = opened.status();
+    state.step = "open";
+    return state;
+  }
+  state.db = std::move(opened).value();
+  const StatusOr<QueryId> knn = state.db->AddKnn("fault", query, options.k);
+  if (!knn.ok()) {
+    state.error = knn.status();
+    state.step = "add-knn";
+    return state;
+  }
+  const StatusOr<QueryId> within =
+      state.db->AddWithin("fault", query, options.within_threshold);
+  if (!within.ok()) {
+    state.error = within.status();
+    state.step = "add-within";
+    return state;
+  }
+  const size_t half = updates.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    const Status applied = state.db->ApplyUpdate(updates[i]);
+    if (!applied.ok()) {
+      state.error = applied;
+      state.step = "apply";
+      return state;
+    }
+    ++state.applied;
+  }
+  const Status checkpointed = state.db->Checkpoint();
+  if (!checkpointed.ok()) {
+    state.error = checkpointed;
+    state.step = "checkpoint";
+    state.checkpoint_failed = true;
+    return state;
+  }
+  for (size_t i = half; i < updates.size(); ++i) {
+    const Status applied = state.db->ApplyUpdate(updates[i]);
+    if (!applied.ok()) {
+      state.error = applied;
+      state.step = "apply";
+      return state;
+    }
+    ++state.applied;
+  }
+  const Status flushed = state.db->Flush();
+  if (!flushed.ok()) {
+    state.error = flushed;
+    state.step = "flush";
+    return state;
+  }
+  return state;
+}
+
+// Applies the remaining updates and the final flush after a retried
+// checkpoint succeeded.
+Status FinishScript(ScriptState& state, const std::vector<Update>& updates) {
+  for (size_t i = state.applied; i < updates.size(); ++i) {
+    MODB_RETURN_IF_ERROR(state.db->ApplyUpdate(updates[i]));
+    ++state.applied;
+  }
+  return state.db->Flush();
+}
+
+// Verifies `db` (holding the first `resume_from` updates) against a fresh
+// in-memory reference, then resumes updates[resume_from..) in lockstep.
+// With `reregister`, a knn/within query lost to the fault is re-added on
+// both lanes first (the client's move after losing a registration).
+LockstepStats VerifyAgainstReference(DurableQueryServer& db,
+                                     const std::vector<Update>& updates,
+                                     size_t resume_from,
+                                     const Trajectory& query, bool reregister,
+                                     const FaultMatrixOptions& options,
+                                     Rng& probe_rng, const FailFn& fail) {
+  QueryServer ref(MovingObjectDatabase(2, 0.0), 0.0);
+  for (size_t i = 0; i < resume_from; ++i) {
+    const Status applied = ref.ApplyUpdate(updates[i]);
+    if (!applied.ok()) {
+      fail(updates[i].time, "reference replay: " + applied.ToString());
+      return LockstepStats{};
+    }
+  }
+  std::vector<std::pair<QueryId, QueryId>> paired = PairLiveQueries(db, ref);
+  if (reregister) {
+    const bool knn_alive =
+        std::any_of(db.live_queries().begin(), db.live_queries().end(),
+                    [](const auto& kv) { return kv.second.is_knn; });
+    const bool within_alive =
+        std::any_of(db.live_queries().begin(), db.live_queries().end(),
+                    [](const auto& kv) { return !kv.second.is_knn; });
+    if (!knn_alive) {
+      StatusOr<QueryId> durable_id = db.AddKnn("fault", query, options.k);
+      if (!durable_id.ok()) {
+        fail(0.0, "re-register knn: " + durable_id.status().ToString());
+        return LockstepStats{};
+      }
+      paired.emplace_back(
+          *durable_id,
+          ref.AddKnn("fault",
+                     std::make_shared<SquaredEuclideanGDistance>(query),
+                     options.k));
+    }
+    if (!within_alive) {
+      StatusOr<QueryId> durable_id =
+          db.AddWithin("fault", query, options.within_threshold);
+      if (!durable_id.ok()) {
+        fail(0.0, "re-register within: " + durable_id.status().ToString());
+        return LockstepStats{};
+      }
+      paired.emplace_back(
+          *durable_id,
+          ref.AddWithin("fault",
+                        std::make_shared<SquaredEuclideanGDistance>(query),
+                        options.within_threshold));
+    }
+  }
+  return ResumeLockstep(db, ref, paired, updates, resume_from, probe_rng,
+                        options.mean_gap, options.audit, fail);
+}
+
+}  // namespace
+
+std::string FaultMatrixResult::ToString() const {
+  std::ostringstream out;
+  out << (ok() ? "ok" : "FAILED") << " (" << total_ops << " ops, " << runs
+      << " fault runs, " << injected << " injected, " << surfaced
+      << " surfaced, " << degraded_runs << " degraded, "
+      << checkpoint_retries << " checkpoint retries, " << reopens
+      << " reopen resumes, " << probes << " bit-exact probes, " << audits
+      << " audits";
+  if (!ok()) out << ", " << failures.size() << " failure(s)";
+  out << ")";
+  for (const FuzzFailure& failure : failures) {
+    out << "\n  " << failure.ToString();
+  }
+  return out.str();
+}
+
+FaultMatrixResult RunFaultMatrix(const FaultMatrixOptions& options) {
+  FaultMatrixResult result;
+  MODB_CHECK(!options.dir.empty()) << "FaultMatrixOptions.dir is required";
+
+  const std::vector<Update> updates = BuildFlatUpdates(
+      FlatWorkloadOptions{options.seed, options.num_objects,
+                          options.num_updates, options.box, options.speed_max,
+                          options.mean_gap});
+
+  // The reference (count-only) run: learn the workload's op count and
+  // anchor the expected final state.
+  {
+    Rng probe_rng(options.seed ^ kProbeSeedSalt);
+    const Trajectory query =
+        MakeProbeQuery(probe_rng, options.box, options.speed_max);
+    auto fail = [&result](double time, std::string what) {
+      result.failures.push_back(
+          FuzzFailure{"reference run: " + std::move(what), time});
+    };
+    FaultInjectionEnv env;
+    env.SetPlan(FaultPlan{0, FaultKind::kEio});
+    const std::string ref_dir = options.dir + "/ref";
+    std::error_code ec;
+    fs::remove_all(ref_dir, ec);
+    ScriptState state = RunScript(ref_dir, &env, updates, query, options);
+    if (!state.error.ok()) {
+      fail(0.0, "script failed with no fault injected (step " + state.step +
+                    "): " + state.error.ToString());
+      return result;
+    }
+    result.total_ops = env.ops_seen();
+    const LockstepStats stats =
+        VerifyAgainstReference(*state.db, updates, updates.size(), query,
+                               /*reregister=*/false, options, probe_rng, fail);
+    result.probes += stats.probes;
+    result.audits += stats.audits;
+    state.db.reset();
+    fs::remove_all(ref_dir, ec);
+    if (!result.ok()) return result;
+  }
+
+  const uint64_t stride =
+      (options.max_faults > 0 && result.total_ops > options.max_faults)
+          ? (result.total_ops + options.max_faults - 1) / options.max_faults
+          : 1;
+
+  for (uint64_t op = 1; op <= result.total_ops; op += stride) {
+    for (const FaultKind kind : kAllKinds) {
+      if (result.failures.size() >= kMaxFailures) return result;
+      const std::string tag = "op " + std::to_string(op) + "/" +
+                              std::to_string(result.total_ops) + " " +
+                              FaultKindName(kind);
+      auto fail = [&result, &tag](double time, std::string what) {
+        if (result.failures.size() < kMaxFailures) {
+          result.failures.push_back(
+              FuzzFailure{tag + ": " + std::move(what), time});
+        }
+      };
+      const size_t failures_before = result.failures.size();
+      const std::string run_dir =
+          options.dir + "/op" + std::to_string(op) + "-" + FaultKindName(kind);
+      std::error_code ec;
+      fs::remove_all(run_dir, ec);
+
+      Rng probe_rng(options.seed ^ kProbeSeedSalt);
+      const Trajectory query =
+          MakeProbeQuery(probe_rng, options.box, options.speed_max);
+      FaultInjectionEnv env;
+      env.SetPlan(FaultPlan{op, kind});
+      ScriptState state = RunScript(run_dir, &env, updates, query, options);
+      ++result.runs;
+      if (env.injected()) ++result.injected;
+
+      if (state.error.ok()) {
+        // Clean completion: the fault was inapplicable here or absorbed by
+        // design. Either way the database must be exactly the reference.
+        if (state.db->seq() != updates.size()) {
+          fail(0.0, "clean run applied " + std::to_string(state.db->seq()) +
+                        " of " + std::to_string(updates.size()) + " updates");
+        } else {
+          const LockstepStats stats = VerifyAgainstReference(
+              *state.db, updates, updates.size(), query,
+              /*reregister=*/false, options, probe_rng, fail);
+          result.probes += stats.probes;
+          result.audits += stats.audits;
+        }
+      } else {
+        ++result.surfaced;
+        // Every surfaced failure must be the documented kUnavailable —
+        // anything else (a stray kFailedPrecondition, say) means a layer
+        // wrote past a failure or mislabeled one.
+        if (state.error.code() != StatusCode::kUnavailable) {
+          fail(0.0, "surfaced error from step " + state.step +
+                        " is not kUnavailable: " + state.error.ToString());
+        }
+        if (state.db != nullptr && !state.db->degraded()) {
+          // A non-degrading surfaced error is only legal from a retryable
+          // Checkpoint; prove the retry by running the same call again
+          // fault-free and finishing the script.
+          if (!state.checkpoint_failed) {
+            fail(0.0, "non-degrading error surfaced outside Checkpoint (step " +
+                          state.step + "): " + state.error.ToString());
+          } else {
+            const Status retried = state.db->Checkpoint();
+            if (!retried.ok()) {
+              fail(0.0,
+                   "Checkpoint retry after '" + state.error.ToString() +
+                       "' failed: " + retried.ToString());
+            } else {
+              ++result.checkpoint_retries;
+              const Status finished = FinishScript(state, updates);
+              if (!finished.ok()) {
+                fail(0.0, "finishing after checkpoint retry: " +
+                              finished.ToString());
+              } else {
+                const LockstepStats stats = VerifyAgainstReference(
+                    *state.db, updates, updates.size(), query,
+                    /*reregister=*/false, options, probe_rng, fail);
+                result.probes += stats.probes;
+                result.audits += stats.audits;
+              }
+            }
+          }
+        } else if (state.db != nullptr) {
+          // Degraded: sticky read-only mode. Mutations refuse with
+          // kUnavailable; reads keep serving the applied prefix.
+          ++result.degraded_runs;
+          if (state.db->degraded_cause().ok()) {
+            fail(0.0, "degraded server reports an OK cause");
+          }
+          const Update& next =
+              updates[std::min(state.applied, updates.size() - 1)];
+          const auto expect_unavailable = [&](const Status& status,
+                                              const char* what) {
+            if (status.code() != StatusCode::kUnavailable) {
+              fail(0.0, std::string(what) +
+                            " while degraded did not return kUnavailable: " +
+                            status.ToString());
+            }
+          };
+          expect_unavailable(state.db->ApplyUpdate(next), "ApplyUpdate");
+          expect_unavailable(
+              state.db->AddKnn("fault", query, options.k).status(), "AddKnn");
+          expect_unavailable(state.db->Checkpoint(), "Checkpoint");
+          expect_unavailable(state.db->Flush(), "Flush");
+          // Reads: lockstep-compare the applied prefix (no further
+          // updates), including the final serialized state.
+          const std::vector<Update> prefix(updates.begin(),
+                                           updates.begin() +
+                                               static_cast<ptrdiff_t>(
+                                                   state.applied));
+          const LockstepStats stats = VerifyAgainstReference(
+              *state.db, prefix, prefix.size(), query, /*reregister=*/false,
+              options, probe_rng, fail);
+          result.probes += stats.probes;
+          result.audits += stats.audits;
+        }
+
+        // Power loss + recovery: drop every unsynced byte, reopen with a
+        // clean env, and resume the remaining updates in lockstep.
+        if (failures_before == result.failures.size() &&
+            (state.db == nullptr || state.db->degraded())) {
+          const size_t applied = state.applied;
+          state.db.reset();
+          const Status dropped = env.DropUnsyncedData();
+          if (!dropped.ok()) {
+            fail(0.0, "DropUnsyncedData: " + dropped.ToString());
+          } else {
+            StatusOr<std::unique_ptr<DurableQueryServer>> reopened =
+                DurableQueryServer::Open(run_dir,
+                                         ScriptDurabilityOptions(nullptr));
+            if (!reopened.ok()) {
+              fail(0.0, "reopen after power loss: " +
+                            reopened.status().ToString());
+            } else {
+              std::unique_ptr<DurableQueryServer> db =
+                  std::move(reopened).value();
+              if (db->seq() > applied) {
+                fail(0.0, "recovery replayed " + std::to_string(db->seq()) +
+                              " updates but only " + std::to_string(applied) +
+                              " were ever applied");
+              } else {
+                const LockstepStats stats = VerifyAgainstReference(
+                    *db, updates, static_cast<size_t>(db->seq()), query,
+                    /*reregister=*/true, options, probe_rng, fail);
+                result.probes += stats.probes;
+                result.audits += stats.audits;
+                if (failures_before == result.failures.size()) {
+                  ++result.reopens;
+                }
+              }
+            }
+          }
+        }
+      }
+
+      state.db.reset();
+      if (failures_before == result.failures.size()) {
+        fs::remove_all(run_dir, ec);
+      }
+    }
+  }
+  return result;
+}
+
+std::string FaultReproCommand(const FaultMatrixOptions& options) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "modb_fuzz --faults --seed " << options.seed << " --ops "
+      << options.num_updates << " --objects " << options.num_objects
+      << " --k " << options.k << " --threshold " << options.within_threshold;
+  if (options.max_faults > 0) out << " --max-faults " << options.max_faults;
+  if (options.audit) out << " --audit";
+  return out.str();
+}
+
+}  // namespace modb

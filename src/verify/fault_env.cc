@@ -1,0 +1,287 @@
+#include "verify/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace modb {
+
+// Wraps a WritableFile so appends/syncs count as operations, can carry the
+// injected fault, and feed the env's synced-prefix tracking. An injected
+// failure is never forwarded to the base handle — the base file keeps the
+// bytes it already has, exactly like a device that failed the one request.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, std::string path,
+                    FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+  using WritableFile::Append;
+  Status Append(const char* data, size_t n) override {
+    FaultKind kind;
+    if (env_->NextOp(FaultInjectionEnv::kWriteOp | FaultInjectionEnv::kAppendOp,
+                     &kind)) {
+      if (kind == FaultKind::kShortWrite) {
+        // The torn frame: about half the bytes reach the file (via the
+        // base handle's buffer), then the write "fails".
+        const size_t partial = n / 2;
+        if (partial > 0 && base_->Append(data, partial).ok()) {
+          env_->RecordAppend(path_, partial);
+        }
+      }
+      return env_->InjectedStatus(kind, "append to " + path_);
+    }
+    const Status appended = base_->Append(data, n);
+    if (appended.ok()) env_->RecordAppend(path_, n);
+    return appended;
+  }
+
+  Status Flush() override {
+    FaultKind kind;
+    if (env_->NextOp(FaultInjectionEnv::kWriteOp, &kind)) {
+      return env_->InjectedStatus(kind, "flush of " + path_);
+    }
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    FaultKind kind;
+    if (env_->NextOp(FaultInjectionEnv::kWriteOp | FaultInjectionEnv::kSyncOp,
+                     &kind)) {
+      return env_->InjectedStatus(kind, "fsync of " + path_);
+    }
+    const Status synced = base_->Sync();
+    if (synced.ok()) env_->RecordSync(path_);
+    return synced;
+  }
+
+  Status Close() override {
+    FaultKind kind;
+    if (env_->NextOp(FaultInjectionEnv::kWriteOp, &kind)) {
+      // Still release the descriptor — a failed close is not a leaked fd.
+      base_->Close();
+      return env_->InjectedStatus(kind, "close of " + path_);
+    }
+    return base_->Close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultSequentialFile : public SequentialFile {
+ public:
+  FaultSequentialFile(std::unique_ptr<SequentialFile> base, std::string path,
+                      FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+  Status Read(size_t n, std::string* out) override {
+    FaultKind kind;
+    if (env_->NextOp(FaultInjectionEnv::kReadOp, &kind)) {
+      return env_->InjectedStatus(kind, "read of " + path_);
+    }
+    return base_->Read(n, out);
+  }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  std::string path_;
+  FaultInjectionEnv* env_;
+};
+
+bool FaultInjectionEnv::Applicable(FaultKind kind, unsigned traits) {
+  switch (kind) {
+    case FaultKind::kEio:
+      return true;
+    case FaultKind::kEnospc:
+      return (traits & kWriteOp) != 0;
+    case FaultKind::kShortWrite:
+      return (traits & kAppendOp) != 0;
+    case FaultKind::kSyncFail:
+      return (traits & kSyncOp) != 0;
+  }
+  return false;
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEio:
+      return "eio";
+    case FaultKind::kEnospc:
+      return "enospc";
+    case FaultKind::kShortWrite:
+      return "short-write";
+    case FaultKind::kSyncFail:
+      return "sync-fail";
+  }
+  return "?";
+}
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::SetPlan(const FaultPlan& plan) {
+  plan_ = plan;
+  ops_seen_ = 0;
+  injected_ = false;
+}
+
+bool FaultInjectionEnv::NextOp(unsigned traits, FaultKind* kind) {
+  ++ops_seen_;
+  if (injected_ || plan_.fail_op == 0 || ops_seen_ != plan_.fail_op) {
+    return false;
+  }
+  if (!Applicable(plan_.kind, traits)) return false;  // One-shot: forfeited.
+  injected_ = true;
+  *kind = plan_.kind;
+  return true;
+}
+
+Status FaultInjectionEnv::InjectedStatus(FaultKind kind,
+                                         const std::string& what) {
+  return Status::Unavailable("injected " + std::string(FaultKindName(kind)) +
+                             " (op " + std::to_string(ops_seen_) + "): " +
+                             what);
+}
+
+void FaultInjectionEnv::RecordOpen(const std::string& path, WriteMode mode) {
+  if (mode == WriteMode::kAppend) {
+    // Bytes already on disk predate this env's faults; treat them as
+    // durable (the matrix reopens only after DropUnsyncedData).
+    StatusOr<uint64_t> size = base_->GetFileSize(path);
+    const uint64_t existing = size.ok() ? *size : 0;
+    files_[path] = FileState{existing, existing};
+  } else {
+    files_[path] = FileState{0, 0};
+  }
+}
+
+void FaultInjectionEnv::RecordAppend(const std::string& path, uint64_t n) {
+  files_[path].appended += n;
+}
+
+void FaultInjectionEnv::RecordSync(const std::string& path) {
+  FileState& state = files_[path];
+  state.synced = state.appended;
+}
+
+Status FaultInjectionEnv::DropUnsyncedData() {
+  Status first;
+  for (const auto& [path, state] : files_) {
+    if (state.synced >= state.appended) continue;
+    const Status truncated = base_->TruncateFile(path, state.synced);
+    // A file can legitimately be gone (abandoned tmp, pruned segment).
+    if (!truncated.ok() && truncated.code() != StatusCode::kNotFound &&
+        first.ok()) {
+      first = truncated;
+    }
+  }
+  return first;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  FaultKind kind;
+  if (NextOp(kWriteOp, &kind)) {
+    return InjectedStatus(kind, "create of " + path);
+  }
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      base_->NewWritableFile(path, mode);
+  MODB_RETURN_IF_ERROR(file.status());
+  RecordOpen(path, mode);
+  return StatusOr<std::unique_ptr<WritableFile>>(
+      std::make_unique<FaultWritableFile>(std::move(*file), path, this));
+}
+
+StatusOr<std::unique_ptr<SequentialFile>> FaultInjectionEnv::NewSequentialFile(
+    const std::string& path) {
+  FaultKind kind;
+  if (NextOp(kReadOp, &kind)) {
+    return InjectedStatus(kind, "open of " + path);
+  }
+  StatusOr<std::unique_ptr<SequentialFile>> file =
+      base_->NewSequentialFile(path);
+  MODB_RETURN_IF_ERROR(file.status());
+  return StatusOr<std::unique_ptr<SequentialFile>>(
+      std::make_unique<FaultSequentialFile>(std::move(*file), path, this));
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::GetChildren(
+    const std::string& dir) {
+  FaultKind kind;
+  if (NextOp(kReadOp, &kind)) {
+    return InjectedStatus(kind, "listing of " + dir);
+  }
+  return base_->GetChildren(dir);
+}
+
+StatusOr<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  FaultKind kind;
+  if (NextOp(kReadOp, &kind)) {
+    return InjectedStatus(kind, "stat of " + path);
+  }
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
+  FaultKind kind;
+  if (NextOp(kWriteOp, &kind)) {
+    return InjectedStatus(kind, "mkdir of " + dir);
+  }
+  return base_->CreateDirs(dir);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  FaultKind kind;
+  if (NextOp(kWriteOp, &kind)) {
+    return InjectedStatus(kind, "rename of " + from);
+  }
+  const Status renamed = base_->RenameFile(from, to);
+  if (renamed.ok()) {
+    auto it = files_.find(from);
+    if (it != files_.end()) {
+      files_[to] = it->second;
+      files_.erase(it);
+    }
+  }
+  return renamed;
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  FaultKind kind;
+  if (NextOp(kWriteOp, &kind)) {
+    return InjectedStatus(kind, "unlink of " + path);
+  }
+  const Status removed = base_->RemoveFile(path);
+  if (removed.ok()) files_.erase(path);
+  return removed;
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  FaultKind kind;
+  if (NextOp(kWriteOp, &kind)) {
+    return InjectedStatus(kind, "truncate of " + path);
+  }
+  const Status truncated = base_->TruncateFile(path, size);
+  if (truncated.ok()) {
+    auto it = files_.find(path);
+    if (it != files_.end()) {
+      it->second.appended = size;
+      it->second.synced = std::min(it->second.synced, size);
+    }
+  }
+  return truncated;
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  FaultKind kind;
+  if (NextOp(kWriteOp | kSyncOp, &kind)) {
+    return InjectedStatus(kind, "dir fsync of " + dir);
+  }
+  return base_->SyncDir(dir);
+}
+
+}  // namespace modb

@@ -1,0 +1,177 @@
+#include "verify/lockstep.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "gdist/builtin.h"
+#include "trajectory/serialization.h"
+#include "verify/audit.h"
+#include "workload/generator.h"
+
+namespace modb {
+namespace {
+
+// Same salt as differential.cc: the durability fuzzers draw their
+// workloads from the same family of streams.
+constexpr uint64_t kStreamSeedSalt = 0x9E3779B97F4A7C15ull;
+
+}  // namespace
+
+std::vector<Update> BuildFlatUpdates(const FlatWorkloadOptions& options) {
+  RandomModOptions mod_options;
+  mod_options.num_objects = std::max<size_t>(1, options.num_objects);
+  mod_options.dim = 2;
+  mod_options.box_lo = -options.box;
+  mod_options.box_hi = options.box;
+  mod_options.speed_min = 1.0;
+  mod_options.speed_max = std::max(1.0, options.speed_max);
+  mod_options.seed = options.seed;
+
+  UpdateStreamOptions stream_options;
+  stream_options.count = options.num_updates;
+  stream_options.mean_gap = options.mean_gap;
+  stream_options.seed = options.seed ^ kStreamSeedSalt;
+
+  const MovingObjectDatabase initial = RandomMod(mod_options);
+  std::vector<Update> updates;
+  updates.reserve(initial.size() + options.num_updates);
+  for (const auto& [oid, trajectory] : initial.objects()) {
+    const LinearPiece& piece = trajectory.pieces().front();
+    updates.push_back(
+        Update::NewObject(oid, piece.start, piece.origin, piece.velocity));
+  }
+  if (options.num_updates > 0) {
+    const std::vector<Update> stream =
+        RandomUpdateStream(initial, mod_options, stream_options);
+    updates.insert(updates.end(), stream.begin(), stream.end());
+  }
+  return updates;
+}
+
+Trajectory MakeProbeQuery(Rng& probe_rng, double box, double speed_max) {
+  return Trajectory::Linear(
+      0.0, RandomPoint(probe_rng, 2, -0.5 * box, 0.5 * box),
+      RandomVelocity(probe_rng, 2, 0.5, std::max(1.0, 0.5 * speed_max)));
+}
+
+std::string AnswerSetToString(const std::set<ObjectId>& set) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (ObjectId oid : set) {
+    if (!first) out << ", ";
+    out << "o" << oid;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::vector<std::pair<QueryId, QueryId>> PairLiveQueries(
+    const DurableQueryServer& db, QueryServer& ref) {
+  std::vector<std::pair<QueryId, QueryId>> paired;
+  for (const auto& [id, logged] : db.live_queries()) {
+    const QueryId ref_id =
+        logged.is_knn
+            ? ref.AddKnn(logged.gdist_key,
+                         std::make_shared<SquaredEuclideanGDistance>(
+                             logged.query),
+                         logged.k)
+            : ref.AddWithin(logged.gdist_key,
+                            std::make_shared<SquaredEuclideanGDistance>(
+                                logged.query),
+                            logged.threshold);
+    paired.emplace_back(id, ref_id);
+  }
+  return paired;
+}
+
+LockstepStats ResumeLockstep(DurableQueryServer& db, QueryServer& ref,
+                             const std::vector<std::pair<QueryId, QueryId>>&
+                                 paired,
+                             const std::vector<Update>& updates,
+                             size_t resume_from, Rng& probe_rng,
+                             double mean_gap, bool audit, const FailFn& fail) {
+  LockstepStats stats;
+  bool failed = false;
+  auto report = [&](double time, std::string what) {
+    failed = true;
+    fail(time, std::move(what));
+  };
+
+  std::vector<std::unique_ptr<AuditingObserver>> audits;
+  if (audit) {
+    db.server().VisitEngines(
+        [&](const std::string&, FutureQueryEngine& engine) {
+          audits.push_back(std::make_unique<AuditingObserver>(
+              &engine.state(), &engine.mod()));
+        });
+    ref.VisitEngines([&](const std::string&, FutureQueryEngine& engine) {
+      audits.push_back(std::make_unique<AuditingObserver>(&engine.state(),
+                                                          &engine.mod()));
+    });
+  }
+
+  // Identical deterministic sweeps on identical doubles — answers compare
+  // with operator==, no tolerance.
+  auto probe_at = [&](double t) {
+    db.AdvanceTo(t);
+    ref.AdvanceTo(t);
+    for (const auto& [durable_id, ref_id] : paired) {
+      ++stats.probes;
+      const std::set<ObjectId>& got = db.Answer(durable_id);
+      const std::set<ObjectId>& want = ref.Answer(ref_id);
+      if (got != want) {
+        report(t, "query " + std::to_string(durable_id) +
+                      " diverged after recovery: recovered lane " +
+                      AnswerSetToString(got) + " vs reference " +
+                      AnswerSetToString(want));
+      }
+    }
+  };
+
+  double now = std::max(db.server().mod().last_update_time(),
+                        ref.mod().last_update_time());
+  probe_at(now);
+  for (size_t i = resume_from; i < updates.size() && !failed; ++i) {
+    const Update& update = updates[i];
+    // Probe strictly inside the gap before the update, as differential.cc
+    // does — both lanes must be advanced past an update's time only by the
+    // update itself.
+    if (update.time > now) {
+      probe_at(now + probe_rng.Uniform(0.05, 0.95) * (update.time - now));
+    }
+    const Status durable_applied = db.ApplyUpdate(update);
+    const Status ref_applied = ref.ApplyUpdate(update);
+    if (!durable_applied.ok() || !ref_applied.ok()) {
+      report(update.time, "resume apply diverged: recovered lane '" +
+                              durable_applied.ToString() + "' vs reference '" +
+                              ref_applied.ToString() + "'");
+      break;
+    }
+    now = update.time;
+  }
+
+  if (!failed) {
+    probe_at(now + std::max(1.0, 4.0 * mean_gap));
+    // The databases themselves must serialize to the same bytes.
+    const std::string got = ModToString(db.server().mod());
+    const std::string want = ModToString(ref.mod());
+    if (got != want) {
+      report(now, "final database state diverged (serialized forms differ: " +
+                      std::to_string(got.size()) + " vs " +
+                      std::to_string(want.size()) + " bytes)");
+    }
+  }
+
+  for (const auto& auditor : audits) {
+    stats.audits += auditor->audits_run();
+    if (!auditor->report().ok()) {
+      report(auditor->report().now, "audit: " + auditor->report().ToString());
+    }
+  }
+  return stats;
+}
+
+}  // namespace modb

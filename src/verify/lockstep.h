@@ -1,0 +1,74 @@
+#ifndef MODB_VERIFY_LOCKSTEP_H_
+#define MODB_VERIFY_LOCKSTEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "durability/durable_server.h"
+#include "queries/query_server.h"
+#include "verify/differential.h"
+
+namespace modb {
+
+// Shared machinery for the durability fuzz harnesses (crash.cc, fault.cc):
+// building a flat replayable workload and resuming a recovered
+// DurableQueryServer in lockstep against an in-memory reference server.
+// Both lanes execute the same deterministic sweep on the same doubles, so
+// every standing-query answer must be BIT-IDENTICAL — no tolerance.
+
+struct FlatWorkloadOptions {
+  uint64_t seed = 1;
+  size_t num_objects = 16;
+  size_t num_updates = 80;
+  // Workload shape, forwarded to src/workload/generator.
+  double box = 300.0;
+  double speed_max = 12.0;
+  double mean_gap = 0.5;
+};
+
+// The workload as one flat update list replayable onto an *empty* MOD: the
+// initial population becomes new() records (bit-identical trajectories —
+// RandomMod objects are single-piece), then the random stream follows.
+// Draws from the same seed family as differential.cc.
+std::vector<Update> BuildFlatUpdates(const FlatWorkloadOptions& options);
+
+// The randomized moving query point both harnesses register, constructed
+// exactly as differential.cc does. Consumes two draws from `probe_rng`.
+Trajectory MakeProbeQuery(Rng& probe_rng, double box, double speed_max);
+
+// "{o1, o2, ...}" for failure messages.
+std::string AnswerSetToString(const std::set<ObjectId>& set);
+
+// Pairs every live durable query with a freshly registered reference twin.
+// Returns (durable id, reference id) pairs.
+std::vector<std::pair<QueryId, QueryId>> PairLiveQueries(
+    const DurableQueryServer& db, QueryServer& ref);
+
+using FailFn = std::function<void(double time, std::string what)>;
+
+struct LockstepStats {
+  size_t probes = 0;  // Bit-exact answer comparisons performed.
+  size_t audits = 0;  // SweepAuditor runs across both lanes.
+};
+
+// Resumes updates[resume_from..) on both lanes in lockstep. Before every
+// update both lanes are probed at a random time strictly inside the gap
+// (each paired query's answers must compare equal with operator==), and
+// after the last update the two databases must serialize to identical
+// bytes. With `audit`, SweepAuditor re-derives every sweep on both lanes.
+// Failures are reported through `fail`; stats are returned either way.
+LockstepStats ResumeLockstep(DurableQueryServer& db, QueryServer& ref,
+                             const std::vector<std::pair<QueryId, QueryId>>&
+                                 paired,
+                             const std::vector<Update>& updates,
+                             size_t resume_from, Rng& probe_rng,
+                             double mean_gap, bool audit, const FailFn& fail);
+
+}  // namespace modb
+
+#endif  // MODB_VERIFY_LOCKSTEP_H_

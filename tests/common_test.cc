@@ -1,8 +1,12 @@
 #include "common/status.h"
 
+#include <algorithm>
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/rng.h"
 
 namespace modb {
@@ -25,6 +29,16 @@ TEST(StatusTest, ErrorFactories) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+}
+
+TEST(StatusTest, UnavailableAndDataLoss) {
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("disk hiccup").ToString(),
+            "Unavailable: disk hiccup");
+  EXPECT_EQ(Status::DataLoss("chain gap").ToString(), "DataLoss: chain gap");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(StatusTest, Equality) {
@@ -66,6 +80,100 @@ TEST(CheckTest, PassingCheckIsSilent) {
 TEST(CheckTest, FailingCheckAborts) {
   EXPECT_DEATH(MODB_CHECK(false) << "context " << 42, "context 42");
   EXPECT_DEATH(MODB_CHECK_EQ(1, 2), "MODB_CHECK failed");
+}
+
+// A fresh scratch directory per Env test.
+std::string EnvScratchDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / ("modb_env_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(EnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  const std::string path = EnvScratchDir("roundtrip") + "/file.bin";
+  auto file = env->NewWritableFile(path, WriteMode::kCreateExclusive);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  std::string read_back;
+  ASSERT_TRUE(env->ReadFileToString(path, &read_back).ok());
+  EXPECT_EQ(read_back, "hello world");
+  const StatusOr<uint64_t> size = env->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+
+  // Append mode continues the file.
+  auto more = env->NewWritableFile(path, WriteMode::kAppend);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE((*more)->Append("!").ok());
+  ASSERT_TRUE((*more)->Close().ok());
+  ASSERT_TRUE(env->ReadFileToString(path, &read_back).ok());
+  EXPECT_EQ(read_back, "hello world!");
+}
+
+TEST(EnvTest, CreateExclusiveRefusesExisting) {
+  Env* env = Env::Default();
+  const std::string path = EnvScratchDir("excl") + "/file.bin";
+  auto first = env->NewWritableFile(path, WriteMode::kCreateExclusive);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)->Close().ok());
+  const auto second = env->NewWritableFile(path, WriteMode::kCreateExclusive);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(EnvTest, MissingPathsAreNotFound) {
+  Env* env = Env::Default();
+  const std::string dir = EnvScratchDir("missing");
+  const std::string nope = dir + "/does-not-exist";
+  EXPECT_EQ(env->NewSequentialFile(nope).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->GetFileSize(nope).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(env->RemoveFile(nope).code(), StatusCode::kNotFound);
+  EXPECT_EQ(env->GetChildren(nope).status().code(), StatusCode::kNotFound);
+  std::string bytes;
+  EXPECT_EQ(env->ReadFileToString(nope, &bytes).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EnvTest, GetChildrenListsNamesOnly) {
+  Env* env = Env::Default();
+  const std::string dir = EnvScratchDir("children");
+  for (const char* name : {"a.bin", "b.bin"}) {
+    auto file = env->NewWritableFile(dir + "/" + name, WriteMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  StatusOr<std::vector<std::string>> children = env->GetChildren(dir);
+  ASSERT_TRUE(children.ok());
+  std::sort(children->begin(), children->end());
+  EXPECT_EQ(*children, (std::vector<std::string>{"a.bin", "b.bin"}));
+}
+
+TEST(EnvTest, RenameTruncateAndSyncDir) {
+  Env* env = Env::Default();
+  const std::string dir = EnvScratchDir("rename");
+  const std::string from = dir + "/from.bin";
+  const std::string to = dir + "/to.bin";
+  auto file = env->NewWritableFile(from, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  ASSERT_TRUE(env->RenameFile(from, to).ok());
+  EXPECT_EQ(env->GetFileSize(from).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(env->TruncateFile(to, 4).ok());
+  std::string bytes;
+  ASSERT_TRUE(env->ReadFileToString(to, &bytes).ok());
+  EXPECT_EQ(bytes, "0123");
+  EXPECT_TRUE(env->SyncDir(dir).ok());
+  EXPECT_FALSE(env->SyncDir(dir + "/does-not-exist").ok());
 }
 
 TEST(RngTest, DeterministicBySeed) {

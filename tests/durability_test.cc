@@ -12,6 +12,7 @@
 #include "durability/snapshot.h"
 #include "durability/wal.h"
 #include "trajectory/serialization.h"
+#include "verify/fault_env.h"
 
 namespace modb {
 namespace {
@@ -398,7 +399,7 @@ TEST(RecoveryTest, CorruptNonFinalSegmentFails) {
   WriteFileBytes(first, bytes);
   const auto result = RecoverDatabase(dir);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(RecoveryTest, WalChainGapFails) {
@@ -615,6 +616,212 @@ TEST(DurableServerTest, RejectedUpdateStillRecoversCleanly) {
   EXPECT_EQ((*reopened)->open_info().skipped_updates, 1u);
   EXPECT_EQ((*reopened)->seq(), 2u);
   EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (src/verify/fault_env.h interposed on the Env seam)
+
+TEST(FaultTest, WalAppendFailureIsAtomicAndSticky) {
+  const std::string dir = ScratchDir("fault_wal_append");
+  const std::string path = dir + "/" + WalFileName(0);
+  FaultInjectionEnv env;
+  auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0},
+                                  WalOptions{}, &env);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  const uint64_t bytes_before = writer->bytes();
+
+  env.SetPlan(FaultPlan{1, FaultKind::kEio});  // The very next file op.
+  const Status failed = writer->AppendUpdate(SampleNew(2, 2.0));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  // Atomicity: the failed append advanced nothing.
+  EXPECT_EQ(writer->bytes(), bytes_before);
+  EXPECT_FALSE(writer->health().ok());
+
+  // Stickiness: the writer refuses to append or sync past the failure.
+  EXPECT_EQ(writer->AppendUpdate(SampleNew(3, 3.0)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Sync().code(), StatusCode::kFailedPrecondition);
+  writer->Close();
+
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST(FaultTest, WalShortWriteLeavesRepairableTornFrame) {
+  const std::string dir = ScratchDir("fault_wal_short");
+  const std::string path = dir + "/" + WalFileName(0);
+  FaultInjectionEnv env;
+  auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0},
+                                  WalOptions{}, &env);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+  const uint64_t bytes_before = writer->bytes();
+
+  env.SetPlan(FaultPlan{1, FaultKind::kShortWrite});
+  const Status failed = writer->AppendUpdate(SampleNew(2, 2.0));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(writer->bytes(), bytes_before);
+  writer->Close();  // Flushes the torn half-frame into the file.
+
+  // The valid prefix survives; the torn frame is detected, not fatal.
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_EQ(read->valid_bytes, bytes_before);
+}
+
+TEST(FaultTest, SnapshotWriteFailureAbandonsTmpAndIsRetryable) {
+  const std::string dir = ScratchDir("fault_snapshot");
+  FaultInjectionEnv env;
+  SnapshotManager snapshots(dir, SnapshotOptions{}, &env);
+  MovingObjectDatabase mod(2, 0.0);
+  ASSERT_TRUE(mod.Apply(SampleNew(1, 0.5)).ok());
+
+  // Write's ops: create tmp (1), append (2), sync (3), close (4).
+  env.SetPlan(FaultPlan{2, FaultKind::kEnospc});
+  ASSERT_FALSE(snapshots.Write(mod, 1).ok());
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ADD_FAILURE() << "leftover after failed snapshot write: " << entry.path();
+  }
+
+  // A buffered-write error can first surface at close; it too must fail
+  // the snapshot and abandon the tmp file.
+  env.SetPlan(FaultPlan{4, FaultKind::kEio});
+  ASSERT_FALSE(snapshots.Write(mod, 1).ok());
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ADD_FAILURE() << "leftover after failed snapshot close: " << entry.path();
+  }
+
+  // Retry, fault-free: the same Write succeeds.
+  env.SetPlan(FaultPlan{0, FaultKind::kEio});
+  ASSERT_TRUE(snapshots.Write(mod, 1).ok());
+  const auto listed = SnapshotManager::List(dir);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 1u);
+  EXPECT_EQ((*listed)[0].seq, 1u);
+}
+
+TEST(FaultTest, RecoveryIoErrorIsNotMistakenForFreshState) {
+  const std::string dir = ScratchDir("fault_recover_eio");
+  {
+    DurabilityOptions options;
+    options.auto_checkpoint = false;
+    auto opened = DurableQueryServer::Open(dir, options);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE((*opened)->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  }
+
+  // The directory holds real state, but listing it fails transiently.
+  // That must surface as kUnavailable — never as kNotFound, which would
+  // let Open fresh-initialize over (orphan) the existing data.
+  FaultInjectionEnv env;
+  env.SetPlan(FaultPlan{1, FaultKind::kEio});
+  RecoveryOptions recovery;
+  recovery.env = &env;
+  const auto recovered = RecoverDatabase(dir, recovery);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kUnavailable);
+
+  env.SetPlan(FaultPlan{1, FaultKind::kEio});
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.env = &env;
+  const auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kUnavailable);
+
+  // Fault-free, the state is still there.
+  const auto clean = DurableQueryServer::Open(dir, DurabilityOptions{});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ((*clean)->seq(), 1u);
+}
+
+TEST(FaultTest, DegradedModeIsStickyAndKeepsServingReads) {
+  const std::string dir = ScratchDir("fault_degraded");
+  FaultInjectionEnv env;
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.env = &env;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok());
+  auto& db = *opened;
+  const Trajectory query = Trajectory::Linear(0.0, Vec{0.0, 0.0},
+                                              Vec{0.0, 0.0});
+  const StatusOr<QueryId> knn = db->AddKnn("fault", query, 1);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  ASSERT_FALSE(db->degraded());
+
+  env.SetPlan(FaultPlan{1, FaultKind::kEio});  // The next WAL append.
+  const Status failed = db->ApplyUpdate(SampleNew(2, 2.0));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(db->degraded());
+  EXPECT_FALSE(db->degraded_cause().ok());
+  // seq_ is not half-advanced by the failed append.
+  EXPECT_EQ(db->seq(), 1u);
+
+  // Sticky: every further mutation refuses without touching the log.
+  EXPECT_EQ(db->ApplyUpdate(SampleNew(3, 3.0)).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(db->AddKnn("fault", query, 1).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(db->RemoveQuery(*knn).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(db->Checkpoint().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(db->Flush().code(), StatusCode::kUnavailable);
+
+  // Reads keep serving from memory: the applied update is visible.
+  db->AdvanceTo(2.0);
+  EXPECT_EQ(db->Answer(*knn), std::set<ObjectId>{1});
+
+  // Reopening the directory recovers the durable prefix, writable again.
+  db.reset();
+  auto reopened = DurableQueryServer::Open(dir, DurabilityOptions{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), 1u);
+  EXPECT_FALSE((*reopened)->degraded());
+  EXPECT_TRUE((*reopened)->ApplyUpdate(SampleNew(2, 2.0)).ok());
+}
+
+TEST(FaultTest, CheckpointFailureIsRetryable) {
+  const std::string dir = ScratchDir("fault_ckpt_retry");
+  FaultInjectionEnv env;
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.env = &env;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok());
+  auto& db = *opened;
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(2, 2.0)).ok());
+
+  // Checkpoint's ops: wal fsync (1), then the rotation's segment create
+  // (2). Failing the create abandons the rotation without degrading.
+  env.SetPlan(FaultPlan{2, FaultKind::kEio});
+  const Status failed = db->Checkpoint();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(db->degraded());
+
+  // The same call, retried fault-free, succeeds and the layout is whole.
+  env.SetPlan(FaultPlan{0, FaultKind::kEio});
+  ASSERT_TRUE(db->Checkpoint().ok());
+  const auto snapshots = SnapshotManager::List(dir);
+  ASSERT_TRUE(snapshots.ok());
+  ASSERT_EQ(snapshots->size(), 1u);
+  EXPECT_EQ(snapshots->front().seq, 2u);
+
+  db.reset();
+  auto reopened = DurableQueryServer::Open(dir, DurabilityOptions{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), 2u);
+  EXPECT_TRUE((*reopened)->open_info().from_snapshot);
 }
 
 }  // namespace

@@ -1,16 +1,21 @@
 #include "verify/audit.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "core/future_engine.h"
 #include "gdist/builtin.h"
 #include "queries/knn.h"
 #include "queries/within.h"
 #include "verify/differential.h"
+#include "verify/fault.h"
+#include "verify/fault_env.h"
 #include "workload/generator.h"
 
 namespace modb {
@@ -273,6 +278,147 @@ TEST(DifferentialTest, ReproCommandRoundTripsTheOptions) {
   EXPECT_NE(repro.find("--seed 1337"), std::string::npos) << repro;
   EXPECT_NE(repro.find("--ops 14"), std::string::npos) << repro;
   EXPECT_NE(repro.find("--audit"), std::string::npos) << repro;
+}
+
+// A fresh scratch directory per fault-env test.
+std::string FaultScratchDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / ("modb_fault_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(FaultEnvTest, CountsOpsWithoutInjecting) {
+  FaultInjectionEnv env;
+  env.SetPlan(FaultPlan{0, FaultKind::kEio});  // Reference run: count only.
+  const std::string path = FaultScratchDir("count") + "/file.bin";
+  auto file = env.NewWritableFile(path, WriteMode::kCreateExclusive);  // 1
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());                           // 2
+  ASSERT_TRUE((*file)->Sync().ok());                                   // 3
+  ASSERT_TRUE((*file)->Close().ok());                                  // 4
+  ASSERT_TRUE(env.GetFileSize(path).ok());                             // 5
+  EXPECT_EQ(env.ops_seen(), 5u);
+  EXPECT_FALSE(env.injected());
+}
+
+TEST(FaultEnvTest, InjectsAtExactlyKAndOnlyOnce) {
+  FaultInjectionEnv env;
+  env.SetPlan(FaultPlan{3, FaultKind::kEio});
+  const std::string path = FaultScratchDir("at_k") + "/file.bin";
+  auto file = env.NewWritableFile(path, WriteMode::kCreateExclusive);  // 1
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());                           // 2
+  const Status failed = (*file)->Sync();                               // 3
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(failed.ToString().find("injected eio (op 3)"),
+            std::string::npos)
+      << failed.ToString();
+  EXPECT_TRUE(env.injected());
+
+  // One-shot: the plan is spent, everything after op 3 proceeds normally
+  // and the base file never saw the failed request.
+  ASSERT_TRUE((*file)->Append("efgh").ok());                           // 4
+  ASSERT_TRUE((*file)->Sync().ok());                                   // 5
+  ASSERT_TRUE((*file)->Close().ok());                                  // 6
+  std::string bytes;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &bytes).ok());
+  EXPECT_EQ(bytes, "abcdefgh");
+}
+
+TEST(FaultEnvTest, InapplicableKindForfeitsTheFault) {
+  FaultInjectionEnv env;
+  // A sync failure planned for an append: nothing may be injected and the
+  // run must look exactly like the reference.
+  env.SetPlan(FaultPlan{2, FaultKind::kSyncFail});
+  const std::string path = FaultScratchDir("forfeit") + "/file.bin";
+  auto file = env.NewWritableFile(path, WriteMode::kCreateExclusive);  // 1
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());  // 2: sync-fail inapplicable.
+  ASSERT_TRUE((*file)->Sync().ok());          // 3: past the plan, no fault.
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_FALSE(env.injected());
+  EXPECT_EQ(env.ops_seen(), 4u);
+}
+
+TEST(FaultEnvTest, ShortWriteFlushesHalfTheBytes) {
+  FaultInjectionEnv env;
+  env.SetPlan(FaultPlan{2, FaultKind::kShortWrite});
+  const std::string path = FaultScratchDir("short") + "/file.bin";
+  auto file = env.NewWritableFile(path, WriteMode::kCreateExclusive);  // 1
+  ASSERT_TRUE(file.ok());
+  const Status failed = (*file)->Append("abcdefgh");                   // 2
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(env.injected());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  std::string bytes;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &bytes).ok());
+  EXPECT_EQ(bytes, "abcd");  // Half the frame reached the device.
+}
+
+TEST(FaultEnvTest, DropUnsyncedDataTruncatesToSyncedPrefix) {
+  FaultInjectionEnv env;
+  const std::string path = FaultScratchDir("powerloss") + "/file.bin";
+  auto file = env.NewWritableFile(path, WriteMode::kCreateExclusive);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("efgh").ok());  // Never synced.
+  ASSERT_TRUE((*file)->Close().ok());
+
+  std::string bytes;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &bytes).ok());
+  ASSERT_EQ(bytes, "abcdefgh");  // Close flushed everything to the OS...
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &bytes).ok());
+  EXPECT_EQ(bytes, "abcd");  // ...but power loss keeps only the fsynced part.
+}
+
+TEST(FaultEnvTest, RenameMovesSyncTracking) {
+  FaultInjectionEnv env;
+  const std::string dir = FaultScratchDir("rename");
+  const std::string tmp = dir + "/file.tmp";
+  const std::string final_path = dir + "/file.bin";
+  auto file = env.NewWritableFile(tmp, WriteMode::kCreateExclusive);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("ef").ok());  // Unsynced tail.
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env.RenameFile(tmp, final_path).ok());
+
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  std::string bytes;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(final_path, &bytes).ok());
+  EXPECT_EQ(bytes, "abcd");  // The tracking followed the rename.
+  EXPECT_EQ(Env::Default()->GetFileSize(tmp).status().code(),
+            StatusCode::kNotFound);
+}
+
+// A bounded end-to-end matrix run: every (op, kind) pair of a small
+// scripted workload, with audits on. Exercises all three verdict branches
+// (clean completion, checkpoint retry, degraded + power-loss reopen).
+TEST(FaultMatrixTest, SmallMatrixIsGreen) {
+  FaultMatrixOptions options;
+  options.seed = 1;
+  options.num_objects = 4;
+  options.num_updates = 8;
+  options.audit = true;
+  options.dir = FaultScratchDir("matrix");
+  const FaultMatrixResult result = RunFaultMatrix(options);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_EQ(result.runs, result.total_ops * 4);  // Four kinds per op.
+  EXPECT_GT(result.injected, 0u);
+  EXPECT_GT(result.degraded_runs, 0u);
+  EXPECT_GE(result.checkpoint_retries, 1u);
+  EXPECT_GT(result.reopens, 0u);
+  EXPECT_GT(result.probes, 0u);
+  EXPECT_GT(result.audits, 0u);
 }
 
 }  // namespace

@@ -15,6 +15,15 @@
 //
 //   modb_fuzz --crash --seeds 25 --audit
 //
+// With --faults, each seed runs the exhaustive I/O-failure matrix: a
+// scripted workload's operations are counted, then the workload is rerun
+// once per (operation, fault kind) pair — EIO, ENOSPC, short write, fsync
+// failure — with exactly that operation failing. Every rerun must either
+// surface kUnavailable (and reopen consistently after emulated power
+// loss) or complete bit-identical to the fault-free reference.
+//
+//   modb_fuzz --faults --ops 20 --audit
+//
 // On failure the update stream is shrunk to the smallest failing prefix
 // (differential mode) and an exact repro command is printed.
 
@@ -27,6 +36,7 @@
 
 #include "verify/crash.h"
 #include "verify/differential.h"
+#include "verify/fault.h"
 
 namespace {
 
@@ -36,7 +46,8 @@ void Usage() {
                "                 [--objects N] [--probes N] [--k K]\n"
                "                 [--threshold D] [--audit] [--no-shrink]\n"
                "                 [--verbose]\n"
-               "                 [--crash] [--dir PATH] [--keep-dir]\n"
+               "                 [--crash] [--faults] [--max-faults N]\n"
+               "                 [--dir PATH] [--keep-dir]\n"
                "                 [--trigger BYTES]\n"
                "\n"
                "Runs N differential iterations with seeds S, S+1, ...; each\n"
@@ -44,10 +55,14 @@ void Usage() {
                "--audit re-derives the sweep invariants after every event.\n"
                "--crash switches to durability crash-injection: truncate the\n"
                "WAL at a random offset, recover, and require bit-identical\n"
-               "answers versus an uninterrupted run. --dir sets the scratch\n"
-               "root (default: the system temp directory); --keep-dir keeps\n"
-               "scratch directories of failing seeds; --trigger sets the\n"
-               "auto-checkpoint threshold in bytes (0 disables).\n");
+               "answers versus an uninterrupted run. --faults switches to\n"
+               "the storage fault-injection matrix: rerun a scripted\n"
+               "workload failing its k-th I/O operation for every k and\n"
+               "fault kind (--max-faults caps the ops tested per kind).\n"
+               "--dir sets the scratch root (default: the system temp\n"
+               "directory); --keep-dir keeps scratch directories of failing\n"
+               "seeds; --trigger sets the auto-checkpoint threshold in\n"
+               "bytes (0 disables).\n");
 }
 
 bool ParseSizeT(const char* text, size_t* out) {
@@ -121,6 +136,56 @@ int RunCrashMode(modb::CrashFuzzOptions options, size_t num_seeds,
   return failed_seeds == 0 ? 0 : 1;
 }
 
+int RunFaultsMode(modb::FaultMatrixOptions options, size_t num_seeds,
+                  std::string scratch_root, bool keep_dir, bool verbose) {
+  namespace fs = std::filesystem;
+  if (scratch_root.empty()) {
+    scratch_root = (fs::temp_directory_path() / "modb_fault_fuzz").string();
+  }
+  size_t failed_seeds = 0;
+  size_t total_runs = 0;
+  size_t total_probes = 0;
+  size_t total_audits = 0;
+  const uint64_t base_seed = options.seed;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    modb::FaultMatrixOptions run = options;
+    run.seed = base_seed + i;
+    run.dir = (fs::path(scratch_root) /
+               ("seed-" + std::to_string(run.seed)))
+                  .string();
+    std::error_code ec;
+    fs::remove_all(run.dir, ec);  // A stale directory would not be scratch.
+    const modb::FaultMatrixResult result = modb::RunFaultMatrix(run);
+    total_runs += result.runs;
+    total_probes += result.probes;
+    total_audits += result.audits;
+    if (result.ok()) {
+      if (verbose) {
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(run.seed),
+                    result.ToString().c_str());
+      }
+      fs::remove_all(run.dir, ec);
+      continue;
+    }
+    ++failed_seeds;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
+                result.ToString().c_str());
+    std::printf("  repro:\n    %s\n", modb::FaultReproCommand(run).c_str());
+    if (keep_dir) {
+      std::printf("  scratch kept at %s\n", run.dir.c_str());
+    } else {
+      fs::remove_all(run.dir, ec);
+    }
+  }
+  std::printf(
+      "modb_fuzz --faults: %zu/%zu seed(s) ok, %zu fault runs, "
+      "%zu bit-exact probes, %zu audits\n",
+      num_seeds - failed_seeds, num_seeds, total_runs, total_probes,
+      total_audits);
+  return failed_seeds == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +194,8 @@ int main(int argc, char** argv) {
   bool shrink = true;
   bool verbose = false;
   bool crash = false;
+  bool faults = false;
+  size_t max_faults = 0;
   bool keep_dir = false;
   std::string scratch_root;
   uint64_t trigger_bytes = 8 * 1024;
@@ -168,6 +235,10 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--crash") {
       crash = true;
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg == "--max-faults") {
+      ok = ParseSizeT(next(), &max_faults);
     } else if (arg == "--dir") {
       scratch_root = next();
     } else if (arg == "--keep-dir") {
@@ -183,6 +254,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "modb_fuzz: bad value for %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (faults) {
+    modb::FaultMatrixOptions fault_options;
+    fault_options.seed = options.seed;
+    fault_options.num_objects = options.num_objects;
+    fault_options.num_updates = options.num_updates;
+    fault_options.k = options.k;
+    fault_options.within_threshold = options.within_threshold;
+    fault_options.audit = options.audit;
+    fault_options.max_faults = max_faults;
+    return RunFaultsMode(fault_options, num_seeds, scratch_root, keep_dir,
+                         verbose);
   }
 
   if (crash) {
