@@ -50,12 +50,13 @@ RunStats RunWorkload(EventQueueKind kind, size_t n) {
                   engine.stats().max_queue_length};
 }
 
-void Ablation() {
+void Ablation(bench::JsonSink* sink) {
   std::printf(
       "E10: event queue ablation — leftist tree (Lemma 9) vs std::set on "
       "the same workload (init + 300 updates + 5 time units of sweep).\n"
       "Also verifies the adjacent-pairs-only invariant: max queue <= N-1.\n");
-  bench::Table table({"N", "impl", "time_ms", "m", "max_queue"});
+  bench::Table table(sink, "queue_ablation",
+                     {"N", "impl", "time_ms", "m", "max_queue"});
   for (size_t n : {500, 2000, 8000}) {
     for (EventQueueKind kind :
          {EventQueueKind::kLeftist, EventQueueKind::kSet}) {
@@ -75,7 +76,8 @@ void Ablation() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::Ablation();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::Ablation(&sink);
   return 0;
 }

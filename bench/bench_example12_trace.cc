@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "core/future_engine.h"
 #include "queries/knn.h"
 #include "workload/scenarios.h"
@@ -89,7 +90,9 @@ void Run() {
 }  // namespace
 }  // namespace modb
 
-int main() {
+int main(int argc, char** argv) {
+  // No tables here; --json still captures the sweep metrics.
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
   modb::Run();
   return 0;
 }

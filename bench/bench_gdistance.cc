@@ -3,6 +3,8 @@
 // pairwise crossing primitive the sweep spends its time in.
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -123,4 +125,28 @@ BENCHMARK(BM_FirstTimeAboveNumeric);
 }  // namespace
 }  // namespace modb
 
-BENCHMARK_MAIN();
+// Accepts the same `--json PATH` flag as the other bench binaries by
+// translating it into google-benchmark's --benchmark_out flags; every
+// other argument passes through untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      translated.push_back("--benchmark_out=" + args[i + 1]);
+      translated.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      translated.push_back(args[i]);
+    }
+  }
+  std::vector<char*> raw;
+  raw.reserve(translated.size());
+  for (std::string& arg : translated) raw.push_back(arg.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

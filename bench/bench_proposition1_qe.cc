@@ -17,7 +17,7 @@
 namespace modb {
 namespace {
 
-void QeVersusSweep() {
+void QeVersusSweep(bench::JsonSink* sink) {
   std::printf(
       "E6: 1-NN over [0, 50] — three evaluation routes:\n"
       "  qe       = Proposition 1 (object expansion + all-pairs 1-D cell "
@@ -27,7 +27,8 @@ void QeVersusSweep() {
       "  kernel   = the specialized incremental k-NN kernel (Theorem 4)\n"
       "Claim: all polynomial; the sweep routes win by factors that grow "
       "with N.\n");
-  bench::Table table({"N", "qe_cells", "qe_ms", "sweep_fo_ms", "kernel_ms",
+  bench::Table table(sink, "qe_vs_sweep",
+                     {"N", "qe_cells", "qe_ms", "sweep_fo_ms", "kernel_ms",
                       "qe_vs_kernel"});
   for (size_t n : {4, 8, 16, 32, 64, 128}) {
     const RandomModOptions options{.num_objects = n, .dim = 2,
@@ -56,7 +57,8 @@ void QeVersusSweep() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::QeVersusSweep();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::QeVersusSweep(&sink);
   return 0;
 }

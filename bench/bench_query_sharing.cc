@@ -39,7 +39,7 @@ double RunServer(const MovingObjectDatabase& initial,
   });
 }
 
-void SharingSweep() {
+void SharingSweep(bench::JsonSink* sink) {
   std::printf(
       "E13: Q standing queries over one g-distance — one shared sweep vs "
       "Q independent engines (N = 2000, 100 chdir updates).\n"
@@ -56,7 +56,8 @@ void SharingSweep() {
   const std::vector<Update> updates =
       RandomUpdateStream(initial, options, stream);
 
-  bench::Table table({"queries", "shared_ms", "separate_ms", "ratio"});
+  bench::Table table(sink, "sharing_vs_q",
+                     {"queries", "shared_ms", "separate_ms", "ratio"});
   for (size_t q : {1, 2, 4, 8, 16}) {
     const double shared = RunServer(initial, updates, q, /*shared=*/true);
     const double separate = RunServer(initial, updates, q, /*shared=*/false);
@@ -68,7 +69,8 @@ void SharingSweep() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::SharingSweep();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::SharingSweep(&sink);
   return 0;
 }

@@ -17,7 +17,7 @@
 namespace modb {
 namespace {
 
-void StalenessVsRefreshPeriod() {
+void StalenessVsRefreshPeriod(bench::JsonSink* sink) {
   const size_t n = 500;
   const size_t k = 5;
   const double horizon = 100.0;
@@ -52,7 +52,8 @@ void StalenessVsRefreshPeriod() {
       "refreshes; error shrinks only as P -> 0 while refresh work grows.\n",
       k, n, horizon, sweep_seconds * 1e3, exact.segments().size());
 
-  bench::Table table({"period", "refreshes", "stale_frac", "sr_ms"});
+  bench::Table table(sink, "staleness_vs_period",
+                     {"period", "refreshes", "stale_frac", "sr_ms"});
   for (double period : {0.125, 0.5, 2.0, 8.0, 32.0}) {
     SongRoussopoulosKnn baseline(points, k);
     double stale_time = 0.0;
@@ -77,7 +78,8 @@ void StalenessVsRefreshPeriod() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::StalenessVsRefreshPeriod();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::StalenessVsRefreshPeriod(&sink);
   return 0;
 }

@@ -15,12 +15,13 @@
 namespace modb {
 namespace {
 
-void QueryChdirSweep() {
+void QueryChdirSweep(bench::JsonSink* sink) {
   std::printf(
       "E5: chdir on the query trajectory at t=1 vs N.\n"
       "Claim: time/N flat (Theorem 10), and cheaper than re-initializing "
       "(which pays the sort).\n");
   bench::Table table(
+      sink, "query_chdir_vs_n",
       {"N", "chdir_ms", "chdir_us_per_N", "reinit_ms", "speedup"});
   for (size_t n : {1000, 2000, 4000, 8000, 16000, 32000}) {
     const RandomModOptions options{.num_objects = n, .dim = 2,
@@ -62,7 +63,8 @@ void QueryChdirSweep() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::QueryChdirSweep();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::QueryChdirSweep(&sink);
   return 0;
 }

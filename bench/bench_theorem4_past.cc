@@ -30,11 +30,11 @@ RunResult RunPastKnn(const MovingObjectDatabase& mod, double t_end) {
   return RunResult{seconds, engine.stats().SupportChanges()};
 }
 
-void SweepOverN() {
+void SweepOverN(bench::JsonSink* sink) {
   std::printf(
       "E1a: past 5-NN sweep, interval [0, 5], time vs N.\n"
       "Claim: time / ((m + N) log2 N) is flat.\n");
-  bench::Table table({"N", "m", "time_ms", "norm_us"});
+  bench::Table table(sink, "past_vs_n", {"N", "m", "time_ms", "norm_us"});
   for (size_t n : {500, 1000, 2000, 4000, 8000, 16000}) {
     const RandomModOptions options{
         .num_objects = n,
@@ -53,11 +53,12 @@ void SweepOverN() {
   }
 }
 
-void SweepOverM() {
+void SweepOverM(bench::JsonSink* sink) {
   std::printf(
       "\nE1b: past 5-NN sweep, N = 2000, time vs interval length (m grows "
       "with the horizon).\nClaim: time / ((m + N) log2 N) is flat.\n");
-  bench::Table table({"horizon", "m", "time_ms", "norm_us"});
+  bench::Table table(sink, "past_vs_horizon",
+                     {"horizon", "m", "time_ms", "norm_us"});
   const RandomModOptions options{.num_objects = 2000, .dim = 2, .seed = 7};
   const MovingObjectDatabase mod = RandomMod(options);
   for (double horizon : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
@@ -69,13 +70,14 @@ void SweepOverM() {
   }
 }
 
-void SweepOverHistory() {
+void SweepOverHistory(bench::JsonSink* sink) {
   std::printf(
       "\nE1c: past 5-NN sweep over *history* MODs (turns + lifetimes from "
       "a recorded update stream, one update per object), interval [0, 5].\n"
       "Claim: the same O((m + N) log N) shape holds with piecewise "
       "trajectories.\n");
-  bench::Table table({"N", "pieces", "m", "time_ms", "norm_us"});
+  bench::Table table(sink, "past_history_vs_n",
+                     {"N", "pieces", "m", "time_ms", "norm_us"});
   for (size_t n : {500, 1000, 2000, 4000, 8000}) {
     const RandomModOptions options{.num_objects = n, .dim = 2,
                                    .seed = 97 + n};
@@ -99,9 +101,10 @@ void SweepOverHistory() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::SweepOverN();
-  modb::SweepOverM();
-  modb::SweepOverHistory();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::SweepOverN(&sink);
+  modb::SweepOverM(&sink);
+  modb::SweepOverHistory(&sink);
   return 0;
 }

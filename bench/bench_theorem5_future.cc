@@ -22,11 +22,11 @@ GDistancePtr Gdist() {
       Trajectory::Stationary(0.0, Vec{0.0, 0.0}));
 }
 
-void InitializationSweep() {
+void InitializationSweep(bench::JsonSink* sink) {
   std::printf(
       "E2: future-query initialization (Theorem 5.1), time vs N.\n"
       "Claim: time / (N log2 N) is flat.\n");
-  bench::Table table({"N", "time_ms", "norm_us"});
+  bench::Table table(sink, "init_vs_n", {"N", "time_ms", "norm_us"});
   for (size_t n : {1000, 2000, 4000, 8000, 16000, 32000, 64000}) {
     const RandomModOptions options{.num_objects = n, .dim = 2,
                                    .seed = 11 + n};
@@ -39,13 +39,14 @@ void InitializationSweep() {
   }
 }
 
-void UpdateCostVsGap() {
+void UpdateCostVsGap(bench::JsonSink* sink) {
   std::printf(
       "\nE3: per-update maintenance (Theorem 5.2), N = 2000, 200 chdir "
       "updates, varying the gap between updates.\n"
       "Claim: cost per update tracks m (support changes per update); "
       "time / ((m+1) log2 N) is flat.\n");
   bench::Table table(
+      sink, "update_cost_vs_gap",
       {"mean_gap", "m_per_update", "us_per_update", "norm_us"});
   const size_t n = 2000;
   for (double gap : {0.01, 0.04, 0.16, 0.64, 2.56}) {
@@ -82,8 +83,9 @@ void UpdateCostVsGap() {
 }  // namespace
 }  // namespace modb
 
-int main() {
-  modb::InitializationSweep();
-  modb::UpdateCostVsGap();
+int main(int argc, char** argv) {
+  modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::InitializationSweep(&sink);
+  modb::UpdateCostVsGap(&sink);
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace modb {
 namespace bench {
 
@@ -19,14 +21,34 @@ double MeasureSeconds(Fn&& fn) {
   return std::chrono::duration<double>(end - start).count();
 }
 
-// Machine-readable mirror of the printed tables. A bench main constructs
-// one from `--json out.json` (empty path → disabled, zero overhead) and
-// hands it to each Table; the document is written when the sink is
-// destroyed:
+// Machine-readable mirror of the printed tables plus the process-wide
+// metrics. A bench main constructs one from `--json out.json` (empty path
+// → disabled, zero overhead) and hands it to each Table; the document is
+// written when the sink is destroyed.
 //
-//   {"tables": [{"name": ..., "headers": [...], "rows": [[...], ...]}]}
+// Output schema (every bench binary accepts --json; all but
+// bench_gdistance — which forwards to google-benchmark's JSON reporter —
+// emit this document; see EXPERIMENTS.md, "Reading the benchmarks"):
 //
-// Doubles are emitted with %.17g so the numbers round-trip exactly.
+//   {
+//     "schema": "modb-bench-v1",
+//     "tables": [                 // one entry per printed table
+//       {"name": "...",           // table name passed to Table(...)
+//        "headers": ["...", ...], // column names, as printed
+//        "rows": [[...], ...]}    // numeric rows, %.17g round-trip
+//     ],
+//     "metrics": {                // MetricsRegistry::Global() at exit
+//       "<metric name>": {"type": "counter"|"gauge", "unit": "...",
+//                         "value": N}
+//       "<metric name>": {"type": "histogram", "unit": "...",
+//                         "count": N, "sum": S,
+//                         "bounds": [...], "buckets": [...]}
+//       // docs/METRICS.md documents every name.
+//     }
+//   }
+//
+// The metrics block is cumulative over the whole process run (several
+// tables of one bench share it).
 class JsonSink {
  public:
   // Scans argv for "--json PATH"; returns "" (disabled) if absent.
@@ -60,7 +82,7 @@ class JsonSink {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return;
     }
-    std::fprintf(out, "{\n  \"tables\": [");
+    std::fprintf(out, "{\n  \"schema\": \"modb-bench-v1\",\n  \"tables\": [");
     for (size_t t = 0; t < tables_.size(); ++t) {
       const TableDump& table = tables_[t];
       std::fprintf(out, "%s\n    {\n      \"name\": \"%s\",\n"
@@ -81,7 +103,8 @@ class JsonSink {
       }
       std::fprintf(out, "\n      ]\n    }");
     }
-    std::fprintf(out, "\n  ]\n}\n");
+    std::fprintf(out, "\n  ],\n  \"metrics\": %s\n}\n",
+                 obs::MetricsRegistry::Global().ToJson("  ").c_str());
     std::fclose(out);
   }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/modb_metrics.h"
 
 namespace modb {
 
@@ -15,6 +16,7 @@ void AnswerTimeline::Record(double time, std::set<ObjectId> answer) {
   MODB_CHECK(!explicit_mode_) << "Record after AddSegment";
   MODB_CHECK_GE(time, pending_time_);
   if (answer == pending_answer_) return;
+  obs::M().answer_changes->Increment();
   if (time > pending_time_) {
     segments_.push_back(
         Segment{TimeInterval(pending_time_, time), pending_answer_});

@@ -1,5 +1,7 @@
 #include "core/future_engine.h"
 
+#include "obs/modb_metrics.h"
+
 namespace modb {
 
 FutureQueryEngine::FutureQueryEngine(MovingObjectDatabase mod,
@@ -16,6 +18,7 @@ FutureQueryEngine::FutureQueryEngine(MovingObjectDatabase mod,
 void FutureQueryEngine::Start() {
   MODB_CHECK(!started_) << "Start() may be called once";
   started_ = true;
+  obs::ScopedTimer timer(obs::M().future_start_seconds);
   for (const auto& [oid, trajectory] : mod_.objects()) {
     // An object terminated at or before the start time has already ceased:
     // its erase "event" (the terminate update, in live operation) is in the
@@ -40,6 +43,10 @@ Status FutureQueryEngine::ApplyUpdate(const Update& update) {
   if (update.time < state_->now()) {
     return Status::FailedPrecondition("update precedes the sweep time");
   }
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.future_updates->Increment();
+  obs::ScopedTimer timer(metrics.future_update_seconds);
+  const uint64_t m_before = state_->stats().SupportChanges();
   // Commit every support change the old motion produces up to and
   // including the update instant (trajectories are continuous, so pre- and
   // post-update curves agree at the instant itself).
@@ -62,6 +69,8 @@ Status FutureQueryEngine::ApplyUpdate(const Update& update) {
   // instant, so drain them now — kernels must be current when this call
   // returns.
   state_->AdvanceTo(update.time);
+  metrics.future_update_support_changes->Observe(
+      static_cast<double>(state_->stats().SupportChanges() - m_before));
   return Status::Ok();
 }
 

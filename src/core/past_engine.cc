@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/modb_metrics.h"
+
 namespace modb {
 
 PastQueryEngine::PastQueryEngine(const MovingObjectDatabase& mod,
@@ -20,6 +22,9 @@ PastQueryEngine::PastQueryEngine(const MovingObjectDatabase& mod,
 void PastQueryEngine::Run() {
   MODB_CHECK(!ran_) << "PastQueryEngine::Run may be called once";
   ran_ = true;
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.past_runs->Increment();
+  obs::ScopedTimer timer(metrics.past_run_seconds);
 
   // Structural replay events: creations strictly inside the interval and
   // terminations at or before the end.
@@ -59,6 +64,8 @@ void PastQueryEngine::Run() {
     }
   }
   state_->AdvanceTo(interval_.hi);
+  metrics.past_run_support_changes->Observe(
+      static_cast<double>(state_->stats().SupportChanges()));
 }
 
 }  // namespace modb

@@ -16,7 +16,8 @@ SweepState::SweepState(GDistancePtr gdist, double start_time, double horizon,
     : gdist_(std::move(gdist)),
       now_(start_time),
       horizon_(horizon),
-      queue_(MakeEventQueue(queue_kind)) {
+      queue_(MakeEventQueue(queue_kind)),
+      metrics_(&obs::M()) {
   MODB_CHECK(gdist_ != nullptr);
   MODB_CHECK_LE(start_time, horizon);
 }
@@ -40,11 +41,25 @@ double SweepState::CurveValue(ObjectId oid, double t) const {
 
 void SweepState::NoteQueueLength() {
   stats_.max_queue_length = std::max(stats_.max_queue_length, queue_->size());
+  metrics_->sweep_queue_peak->SetMax(static_cast<int64_t>(queue_->size()));
+}
+
+void SweepState::NoteOrderShape() {
+  metrics_->sweep_order_size->Set(static_cast<int64_t>(order_.size()));
+  metrics_->sweep_order_depth_peak->SetMax(
+      static_cast<int64_t>(order_.last_insert_depth()));
+}
+
+void SweepState::CancelPair(ObjectId left, ObjectId right) {
+  if (queue_->ErasePair(left, right)) {
+    metrics_->sweep_events_cancelled->Increment();
+  }
 }
 
 std::optional<SweepEvent> SweepState::ComputePairEvent(ObjectId left,
                                                        ObjectId right) {
   ++stats_.crossings_computed;
+  metrics_->sweep_crossings_computed->Increment();
   const std::optional<double> crossing = GCurve::FirstTimeAbove(
       curves_.at(left), curves_.at(right), now_, horizon_, root_options_);
   if (!crossing.has_value()) return std::nullopt;
@@ -55,6 +70,7 @@ void SweepState::SchedulePair(ObjectId left, ObjectId right) {
   std::optional<SweepEvent> event = ComputePairEvent(left, right);
   if (event.has_value()) {
     queue_->Push(*event);
+    metrics_->sweep_events_scheduled->Increment();
     NoteQueueLength();
   }
 }
@@ -74,12 +90,15 @@ void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
   const std::optional<ObjectId> prev = order_.Prev(oid);
   const std::optional<ObjectId> next = order_.Next(oid);
   if (prev.has_value() && next.has_value()) {
-    queue_->ErasePair(*prev, *next);
+    CancelPair(*prev, *next);
   }
   if (prev.has_value()) SchedulePair(*prev, oid);
   if (next.has_value()) SchedulePair(oid, *next);
 
   ++stats_.inserts;
+  metrics_->sweep_inserts->Increment();
+  metrics_->sweep_support_changes->Increment();
+  NoteOrderShape();
   for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
   RunPostEventHook();
 }
@@ -96,12 +115,15 @@ void SweepState::InsertSentinel(ObjectId oid, double value) {
   const std::optional<ObjectId> prev = order_.Prev(oid);
   const std::optional<ObjectId> next = order_.Next(oid);
   if (prev.has_value() && next.has_value()) {
-    queue_->ErasePair(*prev, *next);
+    CancelPair(*prev, *next);
   }
   if (prev.has_value()) SchedulePair(*prev, oid);
   if (next.has_value()) SchedulePair(oid, *next);
 
   ++stats_.inserts;
+  metrics_->sweep_inserts->Increment();
+  metrics_->sweep_support_changes->Increment();
+  NoteOrderShape();
   for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
   RunPostEventHook();
 }
@@ -110,8 +132,8 @@ void SweepState::EraseObject(ObjectId oid) {
   MODB_CHECK(ContainsObject(oid)) << "oid " << oid << " not present";
   const std::optional<ObjectId> prev = order_.Prev(oid);
   const std::optional<ObjectId> next = order_.Next(oid);
-  if (prev.has_value()) queue_->ErasePair(*prev, oid);
-  if (next.has_value()) queue_->ErasePair(oid, *next);
+  if (prev.has_value()) CancelPair(*prev, oid);
+  if (next.has_value()) CancelPair(oid, *next);
   order_.Erase(oid);
   curves_.erase(oid);
   sentinels_.erase(oid);
@@ -119,6 +141,9 @@ void SweepState::EraseObject(ObjectId oid) {
   if (prev.has_value() && next.has_value()) SchedulePair(*prev, *next);
 
   ++stats_.erases;
+  metrics_->sweep_erases->Increment();
+  metrics_->sweep_support_changes->Increment();
+  metrics_->sweep_order_size->Set(static_cast<int64_t>(order_.size()));
   for (SweepListener* listener : listeners_) listener->OnErase(now_, oid);
   RunPostEventHook();
 }
@@ -141,15 +166,16 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
   const std::optional<ObjectId> prev = order_.Prev(oid);
   const std::optional<ObjectId> next = order_.Next(oid);
   if (prev.has_value()) {
-    queue_->ErasePair(*prev, oid);
+    CancelPair(*prev, oid);
     SchedulePair(*prev, oid);
   }
   if (next.has_value()) {
-    queue_->ErasePair(oid, *next);
+    CancelPair(oid, *next);
     SchedulePair(oid, *next);
   }
 
   ++stats_.curve_rebuilds;
+  metrics_->sweep_curve_rebuilds->Increment();
   for (SweepListener* listener : listeners_) {
     listener->OnCurveChanged(now_, oid);
   }
@@ -174,6 +200,7 @@ void SweepState::ReplaceGDistance(
         << "query-trajectory change altered a value at the update time";
     curve = std::move(rebuilt);
     ++stats_.curve_rebuilds;
+    metrics_->sweep_curve_rebuilds->Increment();
   }
   // Recompute one event per adjacent pair and bulk-build the queue: O(N)
   // heap work (the crossings themselves are O(1) for bounded degree).
@@ -217,11 +244,13 @@ void SweepState::ProcessEvent(const SweepEvent& event) {
 
   const std::optional<ObjectId> prev = order_.Prev(left);
   const std::optional<ObjectId> next = order_.Next(right);
-  if (prev.has_value()) queue_->ErasePair(*prev, left);
-  if (next.has_value()) queue_->ErasePair(right, *next);
+  if (prev.has_value()) CancelPair(*prev, left);
+  if (next.has_value()) CancelPair(right, *next);
 
   order_.SwapAdjacent(left, right);
   ++stats_.swaps;
+  metrics_->sweep_swaps->Increment();
+  metrics_->sweep_support_changes->Increment();
   for (SweepListener* listener : listeners_) {
     listener->OnSwap(now_, left, right);
   }

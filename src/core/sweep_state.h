@@ -13,6 +13,7 @@
 #include "gdist/gdistance.h"
 #include "index/event_queue.h"
 #include "index/ordered_sequence.h"
+#include "obs/modb_metrics.h"
 #include "trajectory/mod.h"
 
 namespace modb {
@@ -160,6 +161,10 @@ class SweepState {
 
  private:
   void SchedulePair(ObjectId left, ObjectId right);
+  // ErasePair that counts a removal as a cancelled event.
+  void CancelPair(ObjectId left, ObjectId right);
+  // Publishes order size / insertion depth after an order mutation.
+  void NoteOrderShape();
   // Computes the pair's event without pushing; nullopt if none before the
   // horizon.
   std::optional<SweepEvent> ComputePairEvent(ObjectId left, ObjectId right);
@@ -180,6 +185,9 @@ class SweepState {
   std::function<void()> post_event_hook_;
   SweepStats stats_;
   RootOptions root_options_;
+  // Cached at construction: mutation sites bump the process-wide metrics
+  // with one relaxed atomic op, no registry lookup on the hot path.
+  obs::ModbMetrics* metrics_;
 };
 
 }  // namespace modb

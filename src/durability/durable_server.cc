@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gdist/builtin.h"
+#include "obs/modb_metrics.h"
 
 namespace fs = std::filesystem;
 
@@ -118,7 +119,10 @@ Status DurableQueryServer::CheckWritable() const {
 }
 
 Status DurableQueryServer::Degrade(const Status& cause) {
-  if (health_.ok()) health_ = cause;  // First failure wins; sticky.
+  if (health_.ok()) {
+    health_ = cause;  // First failure wins; sticky.
+    obs::M().degraded_entries->Increment();
+  }
   return Status::Unavailable(
       "durability failure, server is now read-only (reopen to recover): " +
       cause.ToString());
@@ -217,6 +221,18 @@ Status DurableQueryServer::Flush() {
 }
 
 Status DurableQueryServer::Checkpoint() {
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.checkpoint_attempts->Increment();
+  Status result;
+  {
+    obs::ScopedTimer timer(metrics.checkpoint_seconds);
+    result = CheckpointImpl();
+  }
+  if (!result.ok()) metrics.checkpoint_failures->Increment();
+  return result;
+}
+
+Status DurableQueryServer::CheckpointImpl() {
   // Ordering is what makes every crash window recoverable:
   //   1. sync the active segment — the history up to seq_ is durable;
   //   2. start the segment at seq_ and re-journal live queries (a crash

@@ -147,6 +147,9 @@ class DurableQueryServer {
         snapshots_(std::move(snapshots)) {}
 
   Status RegisterLogged(const LoggedQuery& query);
+  // Checkpoint() minus the metrics wrapper (attempt/failure counters and
+  // the duration histogram).
+  Status CheckpointImpl();
   // OK, or the kUnavailable refusal while degraded.
   Status CheckWritable() const;
   // Marks the server degraded (first cause wins) and returns the

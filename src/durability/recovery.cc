@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "durability/snapshot.h"
+#include "obs/modb_metrics.h"
 #include "trajectory/serialization.h"
 
 namespace modb {
@@ -206,6 +207,11 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
   for (auto& [id, query] : live) {
     result.live_queries.push_back(std::move(query));
   }
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.recovery_runs->Increment();
+  metrics.recovery_replayed_updates->Increment(result.replayed_updates);
+  metrics.recovery_skipped_updates->Increment(result.skipped_updates);
+  if (result.truncated_tail) metrics.recovery_torn_tails->Increment();
   return result;
 }
 

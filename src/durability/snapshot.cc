@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "durability/wal.h"
+#include "obs/modb_metrics.h"
 #include "trajectory/serialization.h"
 
 namespace modb {
@@ -54,7 +55,11 @@ Status SnapshotManager::Write(const MovingObjectDatabase& mod,
     return wrote;
   }
   MODB_RETURN_IF_ERROR(env_->RenameFile(tmp_path, final_path));
-  return env_->SyncDir(dir_);
+  MODB_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.snapshot_writes->Increment();
+  metrics.snapshot_write_bytes->Increment(bytes.size());
+  return Status::Ok();
 }
 
 StatusOr<std::vector<SnapshotInfo>> SnapshotManager::List(

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "durability/crc32c.h"
+#include "obs/modb_metrics.h"
 
 namespace modb {
 namespace {
@@ -386,10 +387,14 @@ Status WalWriter::AppendPayload(const std::string& payload) {
     // keeps its pre-append value so no caller records a position past the
     // last whole record.
     health_ = written;
+    obs::M().wal_failures->Increment();
     return written;
   }
   bytes_ += frame.size();
   unsynced_bytes_ += frame.size();
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.wal_appends->Increment();
+  metrics.wal_append_bytes->Increment(frame.size());
   switch (options_.sync) {
     case SyncPolicy::kNone:
       break;
@@ -448,9 +453,11 @@ Status WalWriter::Sync() {
     // A failed fsync leaves the durable prefix unknowable; the writer is
     // done (and DurableQueryServer fail-stops into read-only mode).
     health_ = synced;
+    obs::M().wal_failures->Increment();
     return synced;
   }
   unsynced_bytes_ = 0;
+  obs::M().wal_syncs->Increment();
   return Status::Ok();
 }
 

@@ -97,8 +97,10 @@ void OrderedSequence::Insert(
   Node* succ = nullptr;  // Last node we descended left from.
   Node* cursor = root_;
   bool went_left = false;
+  size_t depth = 1;
   while (cursor != nullptr) {
     parent = cursor;
+    ++depth;
     if (value < value_of(cursor->oid)) {
       succ = cursor;
       cursor = cursor->left;
@@ -109,6 +111,7 @@ void OrderedSequence::Insert(
       went_left = false;
     }
   }
+  last_insert_depth_ = parent == nullptr ? 1 : depth;
   node->parent = parent;
   if (parent == nullptr) {
     root_ = node;
@@ -246,6 +249,20 @@ std::vector<ObjectId> OrderedSequence::ToVector() const {
     order.push_back(node->oid);
   }
   return order;
+}
+
+size_t OrderedSequence::Depth() const {
+  size_t depth = 0;
+  std::vector<std::pair<const Node*, size_t>> stack;
+  if (root_ != nullptr) stack.emplace_back(root_, 1);
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    if (d > depth) depth = d;
+    if (node->left != nullptr) stack.emplace_back(node->left, d + 1);
+    if (node->right != nullptr) stack.emplace_back(node->right, d + 1);
+  }
+  return depth;
 }
 
 void OrderedSequence::CheckInvariants() const {

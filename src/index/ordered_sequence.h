@@ -72,6 +72,16 @@ class OrderedSequence {
   // The full order, front to back. O(N).
   std::vector<ObjectId> ToVector() const;
 
+  // Depth of the BST descent the most recent Insert performed (root = 1;
+  // 0 until the first insert). Tracked in O(1) during the existing
+  // descent, so instrumentation can watch treap balance without an O(N)
+  // walk on the hot path.
+  size_t last_insert_depth() const { return last_insert_depth_; }
+
+  // Exact height of the tree (root = 1; 0 when empty). O(N) — for
+  // diagnostics/exports only, never the hot path.
+  size_t Depth() const;
+
   // Verifies structural invariants (sizes, threading, heap property);
   // aborts on violation. For tests.
   void CheckInvariants() const;
@@ -92,6 +102,7 @@ class OrderedSequence {
   Node* tail_ = nullptr;
   std::unordered_map<ObjectId, Node*> by_oid_;
   uint64_t rng_state_;
+  size_t last_insert_depth_ = 0;
 };
 
 }  // namespace modb

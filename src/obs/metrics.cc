@@ -1,0 +1,303 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace modb {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  MODB_CHECK(!bounds_.empty());
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    MODB_CHECK(bounds_[i] < bounds_[i + 1])
+        << "histogram bounds must be strictly ascending";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  MODB_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyBuckets() {
+  // 1 µs .. ~1074 s in powers of 4: 16 buckets cover every path here from
+  // a single counter bump to a full recovery replay.
+  return ExponentialBuckets(1e-6, 4.0, 16);
+}
+
+std::vector<double> SizeBuckets() {
+  // 1 .. 4^10 (~1M).
+  return ExponentialBuckets(1.0, 4.0, 11);
+}
+
+const char* MetricTypeToString(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (auto& [entry_name, entry] : entries_) {
+    if (entry_name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& unit,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = Find(name); existing != nullptr) {
+    MODB_CHECK(existing->type == MetricType::kCounter)
+        << name << " already registered with a different type";
+    return existing->counter.get();
+  }
+  Entry entry{MetricType::kCounter, unit, help, std::make_unique<Counter>(),
+              nullptr, nullptr};
+  Counter* counter = entry.counter.get();
+  entries_.emplace_back(name, std::move(entry));
+  return counter;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& unit,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = Find(name); existing != nullptr) {
+    MODB_CHECK(existing->type == MetricType::kGauge)
+        << name << " already registered with a different type";
+    return existing->gauge.get();
+  }
+  Entry entry{MetricType::kGauge, unit, help, nullptr,
+              std::make_unique<Gauge>(), nullptr};
+  Gauge* gauge = entry.gauge.get();
+  entries_.emplace_back(name, std::move(entry));
+  return gauge;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& unit,
+                                              const std::string& help,
+                                              std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = Find(name); existing != nullptr) {
+    MODB_CHECK(existing->type == MetricType::kHistogram)
+        << name << " already registered with a different type";
+    MODB_CHECK(existing->histogram->bounds() == bounds)
+        << name << " already registered with different bounds";
+    return existing->histogram.get();
+  }
+  Entry entry{MetricType::kHistogram, unit, help, nullptr, nullptr,
+              std::make_unique<Histogram>(std::move(bounds))};
+  Histogram* histogram = entry.histogram.get();
+  entries_.emplace_back(name, std::move(entry));
+  return histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> snapshot;
+  snapshot.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot metric;
+    metric.name = name;
+    metric.type = entry.type;
+    metric.unit = entry.unit;
+    metric.help = entry.help;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        metric.counter = entry.counter->Value();
+        break;
+      case MetricType::kGauge:
+        metric.gauge = entry.gauge->Value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        metric.bounds = h.bounds();
+        metric.bucket_counts.reserve(h.bounds().size() + 1);
+        for (size_t i = 0; i <= h.bounds().size(); ++i) {
+          metric.bucket_counts.push_back(h.BucketCount(i));
+        }
+        metric.count = h.Count();
+        metric.sum = h.Sum();
+        break;
+      }
+    }
+    snapshot.push_back(std::move(metric));
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+// %.17g so doubles round-trip exactly (same policy as bench_util.h).
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string EscapedJson(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderText(const std::vector<MetricSnapshot>& snapshot) {
+  std::ostringstream out;
+  for (const MetricSnapshot& metric : snapshot) {
+    out << metric.name << " (" << MetricTypeToString(metric.type);
+    if (!metric.unit.empty()) out << ", " << metric.unit;
+    out << "): ";
+    switch (metric.type) {
+      case MetricType::kCounter:
+        out << metric.counter;
+        break;
+      case MetricType::kGauge:
+        out << metric.gauge;
+        break;
+      case MetricType::kHistogram:
+        out << "count " << metric.count << ", sum "
+            << FormatDouble(metric.sum);
+        for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+          if (metric.bucket_counts[i] == 0) continue;
+          out << "\n    le ";
+          if (i < metric.bounds.size()) {
+            out << FormatDouble(metric.bounds[i]);
+          } else {
+            out << "+inf";
+          }
+          out << ": " << metric.bucket_counts[i];
+        }
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderJson(const std::vector<MetricSnapshot>& snapshot,
+                       const std::string& indent) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t m = 0; m < snapshot.size(); ++m) {
+    const MetricSnapshot& metric = snapshot[m];
+    out << (m == 0 ? "\n" : ",\n") << indent << "  \""
+        << EscapedJson(metric.name) << "\": {\"type\": \""
+        << MetricTypeToString(metric.type) << "\", \"unit\": \""
+        << EscapedJson(metric.unit) << "\", ";
+    switch (metric.type) {
+      case MetricType::kCounter:
+        out << "\"value\": " << metric.counter;
+        break;
+      case MetricType::kGauge:
+        out << "\"value\": " << metric.gauge;
+        break;
+      case MetricType::kHistogram: {
+        out << "\"count\": " << metric.count << ", \"sum\": "
+            << FormatDouble(metric.sum) << ", \"bounds\": [";
+        for (size_t i = 0; i < metric.bounds.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << FormatDouble(metric.bounds[i]);
+        }
+        out << "], \"buckets\": [";
+        for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << metric.bucket_counts[i];
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "\n" << indent << "}";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToText() const { return RenderText(Snapshot()); }
+
+std::string MetricsRegistry::ToJson(const std::string& indent) const {
+  return RenderJson(Snapshot(), indent);
+}
+
+}  // namespace obs
+}  // namespace modb

@@ -1,6 +1,19 @@
 #include "queries/query_server.h"
 
+#include "obs/modb_metrics.h"
+
 namespace modb {
+namespace {
+
+// The server gauges reflect this process's registered queries and live
+// engine groups (summed across servers if several exist).
+void NoteServerShape(int64_t query_delta, int64_t engine_delta) {
+  obs::ModbMetrics& metrics = obs::M();
+  if (query_delta != 0) metrics.server_queries->Add(query_delta);
+  if (engine_delta != 0) metrics.server_engines->Add(engine_delta);
+}
+
+}  // namespace
 
 QueryServer::QueryServer(MovingObjectDatabase mod, double start_time,
                          EventQueueKind queue_kind)
@@ -22,6 +35,7 @@ QueryServer::EngineGroup& QueryServer::GroupFor(const std::string& key,
 
 QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
                             size_t k) {
+  const size_t engines_before = engines_.size();
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
   const QueryId id = next_id_++;
@@ -29,11 +43,13 @@ QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
       id, std::make_unique<KnnKernel>(&group.engine->state(), k));
   if (fresh) group.engine->Start();
   queries_[id] = QueryRef{gdist_key, /*is_knn=*/true};
+  NoteServerShape(1, static_cast<int64_t>(engines_.size() - engines_before));
   return id;
 }
 
 QueryId QueryServer::AddWithin(const std::string& gdist_key,
                                GDistancePtr gdist, double threshold) {
+  const size_t engines_before = engines_.size();
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
   const QueryId id = next_id_++;
@@ -42,6 +58,7 @@ QueryId QueryServer::AddWithin(const std::string& gdist_key,
                                          next_sentinel_--, threshold));
   if (fresh) group.engine->Start();
   queries_[id] = QueryRef{gdist_key, /*is_knn=*/false};
+  NoteServerShape(1, static_cast<int64_t>(engines_.size() - engines_before));
   return id;
 }
 
@@ -59,9 +76,12 @@ Status QueryServer::RemoveQuery(QueryId id) {
     group.within_kernels.erase(id);  // Dtor withdraws the sentinel.
   }
   queries_.erase(it);
+  int64_t engine_delta = 0;
   if (group.knn_kernels.empty() && group.within_kernels.empty()) {
     engines_.erase(group_it);
+    engine_delta = -1;
   }
+  NoteServerShape(-1, engine_delta);
   return Status::Ok();
 }
 
@@ -70,8 +90,11 @@ Status QueryServer::ApplyUpdate(const Update& update) {
     return Status::FailedPrecondition("update precedes server time");
   }
   MODB_RETURN_IF_ERROR(mod_.Apply(update));
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.server_updates->Increment();
   for (auto& [key, group] : engines_) {
     MODB_RETURN_IF_ERROR(group.engine->ApplyUpdate(update));
+    metrics.server_update_fanout->Increment();
   }
   now_ = update.time;
   return Status::Ok();

@@ -39,6 +39,8 @@ const char* AuditViolationKindToString(AuditViolationKind kind) {
       return "QueueTooLong";
     case AuditViolationKind::kCurveDrift:
       return "CurveDrift";
+    case AuditViolationKind::kStatsDrift:
+      return "StatsDrift";
   }
   return "Unknown";
 }
@@ -250,14 +252,51 @@ AuditingObserver::AuditingObserver(SweepState* state,
                                    AuditOptions options)
     : auditor_(options), state_(state), mod_(mod) {
   MODB_CHECK(state_ != nullptr);
+  baseline_ = state_->stats();
+  state_->AddListener(this);
   state_->SetPostEventHook([this] { RunAudit(); });
 }
 
-AuditingObserver::~AuditingObserver() { state_->SetPostEventHook(nullptr); }
+AuditingObserver::~AuditingObserver() {
+  state_->SetPostEventHook(nullptr);
+  state_->RemoveListener(this);
+}
+
+void AuditingObserver::OnSwap(double, ObjectId, ObjectId) {
+  ++observed_swaps_;
+}
+
+void AuditingObserver::OnInsert(double, ObjectId) { ++observed_inserts_; }
+
+void AuditingObserver::OnErase(double, ObjectId) { ++observed_erases_; }
 
 void AuditingObserver::RunAudit() {
   ++audits_run_;
   AuditReport report = auditor_.Audit(*state_, mod_);
+  // Cross-check the m accounting: SweepState notifies listeners of every
+  // support change *before* running this hook, so the stats delta since
+  // attach must equal the notifications received. Reported once — a drift
+  // is permanent and would otherwise flood every later audit.
+  const SweepStats& stats = state_->stats();
+  const uint64_t delta_swaps = stats.swaps - baseline_.swaps;
+  const uint64_t delta_inserts = stats.inserts - baseline_.inserts;
+  const uint64_t delta_erases = stats.erases - baseline_.erases;
+  if (!stats_drift_reported_ &&
+      (delta_swaps != observed_swaps_ || delta_inserts != observed_inserts_ ||
+       delta_erases != observed_erases_)) {
+    stats_drift_reported_ = true;
+    AuditViolation violation;
+    violation.kind = AuditViolationKind::kStatsDrift;
+    violation.now = state_->now();
+    std::ostringstream detail;
+    detail << "stats delta since attach (swaps " << delta_swaps
+           << ", inserts " << delta_inserts << ", erases " << delta_erases
+           << ") != listener notifications (swaps " << observed_swaps_
+           << ", inserts " << observed_inserts_ << ", erases "
+           << observed_erases_ << ")";
+    violation.detail = detail.str();
+    report.violations.push_back(std::move(violation));
+  }
   accumulated_.now = report.now;
   accumulated_.objects = report.objects;
   accumulated_.queued_events = report.queued_events;

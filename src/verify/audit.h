@@ -36,6 +36,10 @@ enum class AuditViolationKind {
   // A non-sentinel object's stored curve disagrees at now() with the curve
   // freshly derived from its trajectory (stale curve after chdir).
   kCurveDrift,
+  // The state's stats() accounting of support changes (the Theorem 4/5
+  // cost quantity m) disagrees with the listener notifications actually
+  // delivered since the observer attached.
+  kStatsDrift,
 };
 
 const char* AuditViolationKindToString(AuditViolationKind kind);
@@ -130,11 +134,17 @@ class SweepAuditor {
 // mutation, accumulating the first violations found. Opt-in (each audit is
 // O(N) crossing computations) — fuzzing and debug/test builds only.
 //
+// Also attaches as a SweepListener and counts the swap/insert/erase
+// notifications it receives; every audit cross-checks that count against
+// the delta of state->stats() since attach. Support changes are the cost
+// quantity of Theorems 4/5 and feed the metrics layer, so the accounting
+// itself is under audit (kStatsDrift on divergence).
+//
 //   FutureQueryEngine engine(...);
 //   AuditingObserver audit(&engine.state(), &engine.mod());
 //   engine.Start(); engine.ApplyUpdate(u); ...
 //   MODB_CHECK(audit.report().ok()) << audit.report().ToString();
-class AuditingObserver {
+class AuditingObserver : public SweepListener {
  public:
   // Attaches to `state` (not owned; must outlive the observer). `mod`, if
   // given, enables the curve re-derivation check and must stay in sync
@@ -151,6 +161,11 @@ class AuditingObserver {
   // audits that found something contribute; capped at max_violations).
   const AuditReport& report() const { return accumulated_; }
 
+  // SweepListener: tally the support changes actually delivered.
+  void OnSwap(double time, ObjectId left, ObjectId right) override;
+  void OnInsert(double time, ObjectId oid) override;
+  void OnErase(double time, ObjectId oid) override;
+
  private:
   void RunAudit();
 
@@ -159,6 +174,13 @@ class AuditingObserver {
   const MovingObjectDatabase* mod_;
   size_t audits_run_ = 0;
   AuditReport accumulated_;
+  // stats() at attach time and the notifications seen since; compared on
+  // every audit.
+  SweepStats baseline_;
+  uint64_t observed_swaps_ = 0;
+  uint64_t observed_inserts_ = 0;
+  uint64_t observed_erases_ = 0;
+  bool stats_drift_reported_ = false;
 };
 
 }  // namespace modb

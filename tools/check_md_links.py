@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check relative markdown links in the repo's docs.
+
+Stdlib-only: scans every tracked *.md file for [text](target) links,
+resolves relative targets against the file's directory, and fails if the
+target file (or directory) does not exist. External links (scheme://,
+mailto:) and pure in-page anchors (#...) are skipped; an anchor suffix on
+a relative link is stripped before the existence check.
+
+Usage: tools/check_md_links.py [repo_root]
+Exit code 0 = all links resolve; 1 = at least one broken link (listed).
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-asan", ".github"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, match.group(1), resolved))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for lineno, target, resolved in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken link '{target}' "
+                  f"(resolved to {resolved})")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

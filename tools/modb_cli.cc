@@ -23,6 +23,8 @@
 #include "constraint/linear_constraint.h"
 #include "durability/durable_server.h"
 #include "gdist/builtin.h"
+#include "obs/metrics.h"
+#include "obs/modb_metrics.h"
 #include "queries/fastest.h"
 #include "queries/knn.h"
 #include "queries/within.h"
@@ -66,7 +68,13 @@ int Usage() {
       "                                 register a durable standing query\n"
       "  db-rmquery DIR --id I          unregister a durable query\n"
       "  db-answers DIR --at T          advance to T and print every\n"
-      "                                 standing query's answer\n";
+      "                                 standing query's answer\n"
+      "  db-stats DIR [--format text|json]\n"
+      "                                 recover and dump every metric\n"
+      "                                 (docs/METRICS.md lists them)\n"
+      "any command also accepts:\n"
+      "  --stats text|json              dump the metrics the command\n"
+      "                                 produced before exiting\n";
   return 1;
 }
 
@@ -454,10 +462,60 @@ int CmdDbAnswers(const Args& args) {
   return 0;
 }
 
+// Dumps the metrics registry in the requested format; "" is a no-op.
+// Returns false on an unknown format.
+bool DumpStats(const std::string& format) {
+  if (format.empty()) return true;
+  if (format == "text") {
+    std::cout << obs::MetricsRegistry::Global().ToText();
+    return true;
+  }
+  if (format == "json") {
+    std::cout << obs::MetricsRegistry::Global().ToJson() << "\n";
+    return true;
+  }
+  return false;
+}
+
+int CmdDbStats(const Args& args) {
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  // Exact tree depths are O(N) per engine, so they are computed here at
+  // read time rather than maintained on the hot path (which only tracks
+  // the insertion-path peak).
+  (*db)->server().VisitEngines(
+      [](const std::string&, FutureQueryEngine& engine) {
+        obs::M().sweep_order_depth_peak->SetMax(
+            static_cast<int64_t>(engine.state().order().Depth()));
+      });
+  if (!DumpStats(args.Get("format", "text"))) {
+    return Fail("--format must be text|json");
+  }
+  return 0;
+}
+
+int RunCommand(const std::string& command, const Args& args);
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Args args = Args::Parse(argc, argv, 2);
+  if (args.Has("stats")) {
+    const std::string format = args.Get("stats", "");
+    if (format != "text" && format != "json") {
+      return Fail("--stats must be text|json");
+    }
+    // Touch the registrations so even a no-op command dumps the full,
+    // consistently named metric set.
+    obs::M();
+    const int code = RunCommand(command, args);
+    DumpStats(format);
+    return code;
+  }
+  return RunCommand(command, args);
+}
+
+int RunCommand(const std::string& command, const Args& args) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "info") return CmdInfo(args);
   if (command == "knn") return CmdKnn(args);
@@ -471,6 +529,7 @@ int Run(int argc, char** argv) {
   if (command == "db-addquery") return CmdDbAddQuery(args);
   if (command == "db-rmquery") return CmdDbRmQuery(args);
   if (command == "db-answers") return CmdDbAnswers(args);
+  if (command == "db-stats") return CmdDbStats(args);
   return Usage();
 }
 
