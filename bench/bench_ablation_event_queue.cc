@@ -78,6 +78,8 @@ void Ablation(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::Ablation(&sink);
   return 0;
 }

@@ -66,6 +66,8 @@ void UpdateCostVsN(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::UpdateCostVsN(&sink);
   return 0;
 }

@@ -77,6 +77,8 @@ void Run() {
 int main(int argc, char** argv) {
   // No tables here; --json still captures the sweep metrics.
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::Run();
   return 0;
 }

@@ -59,6 +59,8 @@ void QeVersusSweep(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::QeVersusSweep(&sink);
   return 0;
 }

@@ -80,6 +80,8 @@ void StalenessVsRefreshPeriod(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::StalenessVsRefreshPeriod(&sink);
   return 0;
 }

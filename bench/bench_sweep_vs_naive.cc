@@ -55,6 +55,8 @@ void SweepVersusNaive(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::SweepVersusNaive(&sink);
   return 0;
 }

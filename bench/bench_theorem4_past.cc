@@ -103,6 +103,8 @@ void SweepOverHistory(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::SweepOverN(&sink);
   modb::SweepOverM(&sink);
   modb::SweepOverHistory(&sink);

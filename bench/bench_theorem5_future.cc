@@ -85,6 +85,8 @@ void UpdateCostVsGap(bench::JsonSink* sink) {
 
 int main(int argc, char** argv) {
   modb::bench::JsonSink sink(modb::bench::JsonSink::PathFromArgs(argc, argv));
+  modb::bench::TraceFile trace(
+      modb::bench::TraceFile::PathFromArgs(argc, argv));
   modb::InitializationSweep(&sink);
   modb::UpdateCostVsGap(&sink);
   return 0;

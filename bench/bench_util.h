@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace modb {
@@ -126,6 +127,44 @@ class JsonSink {
 
   std::string path_;
   std::vector<TableDump> tables_;
+};
+
+// Dumps the process-wide flight recorder as Chrome trace-event JSON at
+// exit. A bench main constructs one from `--trace out.json` (empty path →
+// disabled); tracing itself is always on, this only controls whether the
+// ring is written somewhere. Open the file in Perfetto (ui.perfetto.dev)
+// to see the last ~16k spans of the run — docs/TRACING.md walks through
+// reading one.
+class TraceFile {
+ public:
+  // Scans argv for "--trace PATH"; returns "" (disabled) if absent.
+  static std::string PathFromArgs(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--trace") return argv[i + 1];
+    }
+    return "";
+  }
+
+  // Touching Global() and the clock here allocates the ring and runs the
+  // one-time TSC calibration before any timed region, so the first
+  // benchmark row doesn't pay for either.
+  explicit TraceFile(std::string path) : path_(std::move(path)) {
+    (void)obs::FlightRecorder::Global().capacity();
+    (void)obs::TraceNowMicros();
+  }
+  TraceFile(const TraceFile&) = delete;
+  TraceFile& operator=(const TraceFile&) = delete;
+
+  ~TraceFile() {
+    if (path_.empty()) return;
+    const Status dumped = obs::FlightRecorder::Global().DumpToFile(path_);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "bench: %s\n", dumped.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string path_;
 };
 
 // Minimal fixed-width table printer: the benches print paper-style rows;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 
 namespace modb {
 
@@ -17,6 +18,8 @@ void AnswerTimeline::Record(double time, std::set<ObjectId> answer) {
   MODB_CHECK_GE(time, pending_time_);
   if (answer == pending_answer_) return;
   obs::M().answer_changes->Increment();
+  obs::TraceInstant(obs::SpanName::kAnswerChange, obs::kTraceNoId, time,
+                    answer.size(), /*coarse=*/true);
   if (time > pending_time_) {
     segments_.push_back(
         Segment{TimeInterval(pending_time_, time), pending_answer_});

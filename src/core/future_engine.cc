@@ -1,6 +1,7 @@
 #include "core/future_engine.h"
 
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 
 namespace modb {
 
@@ -18,6 +19,8 @@ FutureQueryEngine::FutureQueryEngine(MovingObjectDatabase mod,
 void FutureQueryEngine::Start() {
   MODB_CHECK(!started_) << "Start() may be called once";
   started_ = true;
+  obs::TraceSpan span(obs::SpanName::kEngineStart, obs::kTraceNoId,
+                      state_->now(), mod_.objects().size());
   obs::ScopedTimer timer(obs::M().future_start_seconds);
   for (const auto& [oid, trajectory] : mod_.objects()) {
     // An object terminated at or before the start time has already ceased:
@@ -45,6 +48,8 @@ Status FutureQueryEngine::ApplyUpdate(const Update& update) {
   }
   obs::ModbMetrics& metrics = obs::M();
   metrics.future_updates->Increment();
+  obs::TraceSpan span(obs::SpanName::kUpdateApply, update.oid, update.time,
+                      static_cast<uint64_t>(update.kind));
   obs::ScopedTimer timer(metrics.future_update_seconds);
   const uint64_t m_before = state_->stats().SupportChanges();
   // Commit every support change the old motion produces up to and

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 
 namespace modb {
 
@@ -24,6 +25,8 @@ void PastQueryEngine::Run() {
   ran_ = true;
   obs::ModbMetrics& metrics = obs::M();
   metrics.past_runs->Increment();
+  obs::TraceSpan span(obs::SpanName::kPastRun, obs::kTraceNoId, interval_.lo,
+                      mod_.objects().size());
   obs::ScopedTimer timer(metrics.past_run_seconds);
 
   // Structural replay events: creations strictly inside the interval and

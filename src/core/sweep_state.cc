@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace modb {
 namespace {
 
@@ -20,6 +22,26 @@ SweepState::SweepState(GDistancePtr gdist, double start_time, double horizon,
       metrics_(&obs::M()) {
   MODB_CHECK(gdist_ != nullptr);
   MODB_CHECK_LE(start_time, horizon);
+  // Derived gauges (exact tree depth, live sizes) are refreshed through
+  // the registry's shared hook point before every snapshot render, not
+  // maintained on the hot path.
+  refresh_hook_id_ = obs::MetricsRegistry::Global().AddRefreshHook(
+      [this] { RefreshDerivedGauges(); });
+}
+
+SweepState::~SweepState() {
+  // One last refresh so renders after teardown (the CLI's --stats path
+  // dumps after the verb's server is gone) still see this sweep's final
+  // exact values instead of a stale insertion-path watermark.
+  RefreshDerivedGauges();
+  obs::MetricsRegistry::Global().RemoveRefreshHook(refresh_hook_id_);
+}
+
+void SweepState::RefreshDerivedGauges() const {
+  metrics_->sweep_order_size->Set(static_cast<int64_t>(order_.size()));
+  metrics_->sweep_order_depth_peak->SetMax(
+      static_cast<int64_t>(order_.Depth()));
+  metrics_->sweep_queue_peak->SetMax(static_cast<int64_t>(queue_->size()));
 }
 
 void SweepState::AddListener(SweepListener* listener) {
@@ -53,6 +75,8 @@ void SweepState::NoteOrderShape() {
 void SweepState::CancelPair(ObjectId left, ObjectId right) {
   if (queue_->ErasePair(left, right)) {
     metrics_->sweep_events_cancelled->Increment();
+    obs::TraceInstant(obs::SpanName::kSweepCancel, left, now_,
+                      static_cast<uint64_t>(right), /*coarse=*/true);
   }
 }
 
@@ -71,12 +95,15 @@ void SweepState::SchedulePair(ObjectId left, ObjectId right) {
   if (event.has_value()) {
     queue_->Push(*event);
     metrics_->sweep_events_scheduled->Increment();
+    obs::TraceInstant(obs::SpanName::kSweepSchedule, left, event->time,
+                      static_cast<uint64_t>(right), /*coarse=*/true);
     NoteQueueLength();
   }
 }
 
 void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
   MODB_CHECK(!ContainsObject(oid)) << "oid " << oid << " already present";
+  obs::TraceSpan span(obs::SpanName::kSweepInsert, oid, now_);
   GCurve curve = gdist_->Curve(trajectory);
   MODB_CHECK(curve.Domain().Contains(now_))
       << "curve of oid " << oid << " undefined at sweep time " << now_;
@@ -105,6 +132,7 @@ void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
 
 void SweepState::InsertSentinel(ObjectId oid, double value) {
   MODB_CHECK(!ContainsObject(oid)) << "oid " << oid << " already present";
+  obs::TraceSpan span(obs::SpanName::kSweepInsert, oid, now_);
   GCurve curve = GCurve::FromPoly(
       PiecewisePoly::SinglePiece(Polynomial::Constant(value), -kInf, kInf));
   curves_.emplace(oid, std::move(curve));
@@ -130,6 +158,7 @@ void SweepState::InsertSentinel(ObjectId oid, double value) {
 
 void SweepState::EraseObject(ObjectId oid) {
   MODB_CHECK(ContainsObject(oid)) << "oid " << oid << " not present";
+  obs::TraceSpan span(obs::SpanName::kSweepErase, oid, now_);
   const std::optional<ObjectId> prev = order_.Prev(oid);
   const std::optional<ObjectId> next = order_.Next(oid);
   if (prev.has_value()) CancelPair(*prev, oid);
@@ -151,6 +180,7 @@ void SweepState::EraseObject(ObjectId oid) {
 void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
   MODB_CHECK(ContainsObject(oid)) << "oid " << oid << " not present";
   MODB_CHECK(!IsSentinel(oid)) << "cannot replace a sentinel's curve";
+  obs::TraceSpan span(obs::SpanName::kSweepCurve, oid, now_);
   GCurve curve = gdist_->Curve(trajectory);
   MODB_CHECK(curve.Domain().Contains(now_));
   // For continuous g-distances, Definition 3's chdir leaves the value —
@@ -185,6 +215,8 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
 void SweepState::ReplaceGDistance(
     GDistancePtr gdist, const std::map<ObjectId, Trajectory>& trajectories) {
   MODB_CHECK(gdist != nullptr);
+  obs::TraceSpan span(obs::SpanName::kSweepRebuild, obs::kTraceNoId, now_,
+                      curves_.size());
   gdist_ = std::move(gdist);
   // Rebuild every curve. Values at now() must be unchanged — that is what
   // justifies keeping the order without re-sorting (Theorem 10).
@@ -241,6 +273,10 @@ void SweepState::ProcessEvent(const SweepEvent& event) {
   MODB_CHECK(order_.Next(left).value_or(kInvalidObjectId) == right)
       << "event for non-adjacent pair";
   now_ = event.time;
+  // Fresh clock read: also refreshes the thread's coarse timestamp for the
+  // schedule/cancel instants emitted while repairing adjacencies below.
+  obs::TraceInstant(obs::SpanName::kSweepSwap, left, now_,
+                    static_cast<uint64_t>(right));
 
   const std::optional<ObjectId> prev = order_.Prev(left);
   const std::optional<ObjectId> next = order_.Next(right);

@@ -71,6 +71,7 @@ class SweepState {
   // open horizon).
   SweepState(GDistancePtr gdist, double start_time, double horizon = kInf,
              EventQueueKind queue_kind = EventQueueKind::kLeftist);
+  ~SweepState();
 
   SweepState(const SweepState&) = delete;
   SweepState& operator=(const SweepState&) = delete;
@@ -165,6 +166,10 @@ class SweepState {
   void CancelPair(ObjectId left, ObjectId right);
   // Publishes order size / insertion depth after an order mutation.
   void NoteOrderShape();
+  // The registry refresh hook: republishes the derived gauges (exact
+  // treap depth, current order/queue size) so every metrics snapshot —
+  // db-stats, --stats on any verb, bench --json — renders them fresh.
+  void RefreshDerivedGauges() const;
   // Computes the pair's event without pushing; nullopt if none before the
   // horizon.
   std::optional<SweepEvent> ComputePairEvent(ObjectId left, ObjectId right);
@@ -188,6 +193,9 @@ class SweepState {
   // Cached at construction: mutation sites bump the process-wide metrics
   // with one relaxed atomic op, no registry lookup on the hot path.
   obs::ModbMetrics* metrics_;
+  // Registered while the state lives; removed (after one last refresh)
+  // by the destructor so post-teardown renders see final values.
+  uint64_t refresh_hook_id_;
 };
 
 }  // namespace modb

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "gdist/builtin.h"
+#include "obs/flight_recorder.h"
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 
 namespace fs = std::filesystem;
 
@@ -122,6 +124,14 @@ Status DurableQueryServer::Degrade(const Status& cause) {
   if (health_.ok()) {
     health_ = cause;  // First failure wins; sticky.
     obs::M().degraded_entries->Increment();
+    // The instant inherits the failing update's trace id from the ambient
+    // context, then the whole recent history is dumped beside the data:
+    // the flight recorder's last spans ARE the failure's causal chain.
+    obs::TraceInstant(obs::SpanName::kDegradedEntry, obs::kTraceNoId,
+                      server_.now(), static_cast<uint64_t>(cause.code()));
+    (void)obs::FlightRecorder::Global().DumpToFile(dir_ +
+                                                   "/flight-recorder.json");
+    obs::FlightRecorder::Global().AutoDump();
   }
   return Status::Unavailable(
       "durability failure, server is now read-only (reopen to recover): " +
@@ -130,6 +140,10 @@ Status DurableQueryServer::Degrade(const Status& cause) {
 
 Status DurableQueryServer::ApplyUpdate(const Update& update) {
   MODB_RETURN_IF_ERROR(CheckWritable());
+  // Root span of the causal chain: every WAL append, engine apply, sweep
+  // mutation and answer change below inherits this trace id.
+  obs::TraceSpan span(obs::SpanName::kDurableUpdate, update.oid, update.time,
+                      static_cast<uint64_t>(update.kind));
   const Status logged = wal_->AppendUpdate(update);
   if (!logged.ok()) {
     if (IsWalIoFailure(logged)) return Degrade(logged);
@@ -223,6 +237,8 @@ Status DurableQueryServer::Flush() {
 Status DurableQueryServer::Checkpoint() {
   obs::ModbMetrics& metrics = obs::M();
   metrics.checkpoint_attempts->Increment();
+  obs::TraceSpan span(obs::SpanName::kCheckpoint, obs::kTraceNoId,
+                      server_.now(), seq_);
   Status result;
   {
     obs::ScopedTimer timer(metrics.checkpoint_seconds);

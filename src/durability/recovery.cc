@@ -6,6 +6,7 @@
 
 #include "durability/snapshot.h"
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 #include "trajectory/serialization.h"
 
 namespace modb {
@@ -51,6 +52,7 @@ bool IsHeaderCorruption(const Status& status) {
 
 StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
                                          const RecoveryOptions& options) {
+  obs::TraceSpan span(obs::SpanName::kRecovery);
   Env* env = options.env != nullptr ? options.env : Env::Default();
   StatusOr<std::vector<SnapshotInfo>> snapshots =
       SnapshotManager::List(dir, env);

@@ -6,6 +6,7 @@
 
 #include "durability/crc32c.h"
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 
 namespace modb {
 namespace {
@@ -376,6 +377,9 @@ Status WalWriter::AppendPayload(const std::string& payload) {
         "wal writer on " + path_ +
         " refused append after earlier failure: " + health_.ToString());
   }
+  obs::TraceSpan span(obs::SpanName::kWalAppend, obs::kTraceNoId,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      8 + payload.size());
   std::string frame;
   frame.reserve(8 + payload.size());
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
@@ -448,6 +452,9 @@ Status WalWriter::Sync() {
         "wal writer on " + path_ +
         " refused sync after earlier failure: " + health_.ToString());
   }
+  obs::TraceSpan span(obs::SpanName::kWalSync, obs::kTraceNoId,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      unsynced_bytes_);
   const Status synced = file_->Sync();
   if (!synced.ok()) {
     // A failed fsync leaves the durable prefix unknowable; the writer is

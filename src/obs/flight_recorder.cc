@@ -1,0 +1,130 @@
+#include "obs/flight_recorder.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/modb_metrics.h"
+
+namespace modb {
+namespace obs {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t result = 1;
+  while (result < n) result <<= 1;
+  return result;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    // The recorder's own exposition: refreshed whenever a metrics
+    // snapshot renders, like every other derived gauge.
+    MetricsRegistry::Global().AddRefreshHook([r] {
+      M().trace_events_recorded->Set(static_cast<int64_t>(r->recorded()));
+      M().trace_events_dropped->Set(static_cast<int64_t>(r->dropped()));
+    });
+    return r;
+  }();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(RoundUpPow2(capacity == 0 ? 1 : capacity)),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<size_t>(end - begin));
+  for (uint64_t claim = begin; claim < end; ++claim) {
+    const Slot& slot = slots_[claim & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != claim + 1) continue;
+    uint64_t words[kWordsPerEvent];
+    for (size_t i = 0; i < kWordsPerEvent; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    // Seqlock validation: a writer that claimed this slot again while we
+    // copied has already cleared or republished seq — reject the copy.
+    if (slot.seq.load(std::memory_order_acquire) != claim + 1) continue;
+    TraceEvent event;
+    std::memcpy(&event, words, sizeof(event));
+    events.push_back(event);
+  }
+  return events;
+}
+
+void FlightRecorder::Reset() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::WriteJson(std::ostream& out) const {
+  TraceExporter::WriteJson(Snapshot(), out);
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Unavailable("cannot write " + path);
+  WriteJson(out);
+  out.flush();
+  if (!out) return Status::Unavailable("short write to " + path);
+  return Status::Ok();
+}
+
+void FlightRecorder::SetAutoDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  auto_dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::auto_dump_path() const {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  return auto_dump_path_;
+}
+
+std::string FlightRecorder::AutoDump() {
+  const std::string path = auto_dump_path();
+  if (path.empty()) return "";
+  return DumpToFile(path).ok() ? path : "";
+}
+
+void TraceExporter::WriteJson(const std::vector<TraceEvent>& events,
+                              std::ostream& out) {
+  out << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (event.name >= kSpanNameCount) continue;  // Torn slot paranoia.
+    const SpanName name = static_cast<SpanName>(event.name);
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"name\": \"" << SpanNameString(name)
+        << "\", \"cat\": \"modb\", \"ph\": \""
+        << static_cast<char>(event.phase) << "\", \"ts\": " << event.start_us
+        << ", \"pid\": 1, \"tid\": " << event.tid;
+    if (event.phase == 'X') out << ", \"dur\": " << event.dur_us;
+    if (event.phase == 'i') out << ", \"s\": \"t\"";  // Thread-scoped.
+    out << ", \"args\": {\"trace\": " << event.trace_id
+        << ", \"span\": " << event.span_id
+        << ", \"parent\": " << event.parent_span_id;
+    if (event.oid != kTraceNoId) out << ", \"oid\": " << event.oid;
+    if (std::isfinite(event.model_time)) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", event.model_time);
+      out << ", \"t\": " << buffer;
+    }
+    if (event.arg != 0) out << ", \"arg\": " << event.arg;
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace obs
+}  // namespace modb

@@ -1,0 +1,216 @@
+#ifndef MODB_OBS_FLIGHT_RECORDER_H_
+#define MODB_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace modb {
+namespace obs {
+
+// One recorded span or instant. Plain data, packed so a slot (sequence
+// word + payload) is exactly one 64-byte cache line: the ring cycles
+// through more memory than any cache level holds, so bytes per record
+// are the write path's dominant cost. Span ids, durations and thread
+// ids are stored truncated (wraparound is harmless in a 16k-record
+// diagnostic ring); oid, model time and arg keep full width.
+struct TraceEvent {
+  uint64_t trace_id = 0;        // Propagated id of the enclosing root op.
+  uint64_t start_us = 0;        // TraceNowMicros() at span open / instant.
+  int64_t oid = kTraceNoId;     // Object/query context, kTraceNoId if none.
+  double model_time = 0.0;      // Sweep/update time (NaN when absent).
+  uint64_t arg = 0;             // Per-name detail (kind, bytes, count...).
+  uint32_t span_id = 0;         // This span's id (0 for instants).
+  uint32_t parent_span_id = 0;  // 0 for roots.
+  uint32_t dur_us = 0;          // 0 for instants; saturates at ~71 min.
+  uint16_t tid = 0;             // Small stable per-thread index.
+  uint8_t name = 0;             // SpanName.
+  uint8_t phase = 'X';          // 'X' complete span, 'i' instant.
+};
+static_assert(sizeof(TraceEvent) == 56,
+              "TraceEvent + the slot sequence word must fill exactly one "
+              "64-byte cache line");
+static_assert(sizeof(TraceEvent) % sizeof(uint64_t) == 0,
+              "TraceEvent must pack into whole ring words");
+
+// The always-on flight recorder: a fixed-size lock-free ring that keeps
+// the last-capacity() spans/instants and overwrites the oldest. Writers
+// never block and never allocate; the write path is one fetch_add to
+// claim a slot plus a fixed number of relaxed atomic word stores (the
+// record is stored as atomic words so concurrent writers and snapshot
+// readers are race-free under TSan by construction).
+//
+// Wraparound makes a slot reusable while a snapshot reads it, so every
+// slot carries a sequence word (a per-slot seqlock): the writer
+// publishes `claim index + 1` with release order after the payload
+// words; Snapshot() accepts a slot only if the sequence it read before
+// and after copying matches the claim it expected. A record overwritten
+// mid-copy is simply dropped — the recorder is lossy by design, the
+// exporter never sees torn data.
+class FlightRecorder {
+ public:
+  // Number of uint64 words per record slot (excluding the sequence word).
+  static constexpr size_t kWordsPerEvent =
+      sizeof(TraceEvent) / sizeof(uint64_t);
+
+  // The process-wide instance (capacity kDefaultCapacity).
+  static FlightRecorder& Global();
+
+  static constexpr size_t kDefaultCapacity = 16384;
+
+  // `capacity` is rounded up to a power of two (masked indexing).
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Total records ever written (monotonic; >= capacity means the ring
+  // has wrapped and the oldest records were overwritten).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  // Records lost to overwriting so far.
+  uint64_t dropped() const {
+    const uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  // Lock-free, wait-free record; safe from any thread. Defined below so
+  // the per-support-change hot path inlines it.
+  void Record(const TraceEvent& event);
+
+  // Hot-path variant: the payload pre-packed into the seven ring words
+  // of the TraceEvent layout (see the offset asserts below), passed as
+  // scalars so the writer needs no stack staging copy. TraceInstant and
+  // TraceSpan use this; everything else can take the convenient form.
+  void Record7(uint64_t w0, uint64_t w1, uint64_t w2, uint64_t w3,
+               uint64_t w4, uint64_t w5, uint64_t w6);
+
+  // The retained records, oldest first. Skips slots that were mid-write
+  // or overwritten during the copy (see the seqlock note above).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Zeroes the ring (tests; not safe against concurrent writers).
+  void Reset();
+
+  // ---- export ------------------------------------------------------------
+
+  // Chrome trace-event JSON (catapult / Perfetto "JSON trace format"):
+  //   {"displayTimeUnit": "ms",
+  //    "traceEvents": [
+  //      {"name": ..., "cat": "modb", "ph": "X"|"i", "ts": µs, "dur": µs,
+  //       "pid": 1, "tid": ..., "args": {...}}, ...]}
+  // One event per line so failure artifacts grep well.
+  void WriteJson(std::ostream& out) const;
+  Status DumpToFile(const std::string& path) const;
+
+  // ---- failure auto-dump -------------------------------------------------
+
+  // Process-wide default destination for failure-triggered dumps (the
+  // tools set it; empty disables). AutoDump() appends nothing to the
+  // path — callers that know a better place (the durable server's own
+  // directory) dump there explicitly instead.
+  void SetAutoDumpPath(std::string path);
+  std::string auto_dump_path() const;
+
+  // Dumps to the configured auto-dump path, if any. Returns the path
+  // written, or "" when auto-dumping is disabled or the write failed
+  // (failure paths must stay no-throw and best-effort).
+  std::string AutoDump();
+
+ private:
+  struct alignas(64) Slot {
+    // 0 = never written; otherwise claim index + 1 (published last, with
+    // release order).
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, kWordsPerEvent> words{};
+  };
+  static_assert(sizeof(Slot) == 64, "one slot per cache line");
+
+  size_t capacity_;  // Power of two.
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+
+  mutable std::mutex dump_mutex_;  // Guards auto_dump_path_ only.
+  std::string auto_dump_path_;
+};
+
+// Pin the word packing Record7 callers rely on (little-endian layout of
+// the sub-word fields is asserted at the call sites in trace.cc).
+static_assert(offsetof(TraceEvent, trace_id) == 0, "word 0");
+static_assert(offsetof(TraceEvent, start_us) == 8, "word 1");
+static_assert(offsetof(TraceEvent, oid) == 16, "word 2");
+static_assert(offsetof(TraceEvent, model_time) == 24, "word 3");
+static_assert(offsetof(TraceEvent, arg) == 32, "word 4");
+static_assert(offsetof(TraceEvent, span_id) == 40 &&
+                  offsetof(TraceEvent, parent_span_id) == 44,
+              "word 5: span_id | parent_span_id << 32");
+static_assert(offsetof(TraceEvent, dur_us) == 48 &&
+                  offsetof(TraceEvent, tid) == 52 &&
+                  offsetof(TraceEvent, name) == 54 &&
+                  offsetof(TraceEvent, phase) == 55,
+              "word 6: dur_us | tid << 32 | name << 48 | phase << 56");
+
+inline void FlightRecorder::Record7(uint64_t w0, uint64_t w1, uint64_t w2,
+                                    uint64_t w3, uint64_t w4, uint64_t w5,
+                                    uint64_t w6) {
+  static_assert(kWordsPerEvent == 7, "Record7 stores seven words");
+  const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[claim & mask_];
+  // Records come in bursts of consecutive slots (one Lemma 7 repair
+  // cascade emits several), and by the time a slot's turn comes around
+  // again the ring has long been evicted — so the store burst below
+  // would stall on a read-for-ownership miss every time. Prefetching a
+  // few slots ahead *for write* while this one is filled hides that
+  // latency behind the caller's real work. PREFETCHW is NOP-encoded on
+  // x86-64 CPUs that lack it, so no feature guard is needed.
+#if defined(__x86_64__)
+  asm volatile("prefetchw %0" : : "m"(slots_[(claim + 4) & mask_]));
+#else
+  __builtin_prefetch(&slots_[(claim + 4) & mask_], /*rw=*/1, /*locality=*/3);
+#endif
+  // Invalidate first so a snapshot racing this write rejects the slot,
+  // then publish the new claim with release order after the payload.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.words[0].store(w0, std::memory_order_relaxed);
+  slot.words[1].store(w1, std::memory_order_relaxed);
+  slot.words[2].store(w2, std::memory_order_relaxed);
+  slot.words[3].store(w3, std::memory_order_relaxed);
+  slot.words[4].store(w4, std::memory_order_relaxed);
+  slot.words[5].store(w5, std::memory_order_relaxed);
+  slot.words[6].store(w6, std::memory_order_relaxed);
+  slot.seq.store(claim + 1, std::memory_order_release);
+}
+
+inline void FlightRecorder::Record(const TraceEvent& event) {
+  uint64_t words[kWordsPerEvent];
+  std::memcpy(words, &event, sizeof(event));
+  Record7(words[0], words[1], words[2], words[3], words[4], words[5],
+          words[6]);
+}
+
+// Renders one snapshot as Chrome trace-event JSON (what WriteJson and
+// the `modb_cli db-trace` verb use; exposed so tests can validate the
+// format against hand-built events).
+class TraceExporter {
+ public:
+  static void WriteJson(const std::vector<TraceEvent>& events,
+                        std::ostream& out);
+};
+
+}  // namespace obs
+}  // namespace modb
+
+#endif  // MODB_OBS_FLIGHT_RECORDER_H_

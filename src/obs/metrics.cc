@@ -137,7 +137,39 @@ Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
   return histogram;
 }
 
+uint64_t MetricsRegistry::AddRefreshHook(std::function<void()> hook) {
+  MODB_CHECK(hook != nullptr);
+  std::lock_guard<std::mutex> lock(hooks_mutex_);
+  const uint64_t id = next_hook_id_++;
+  refresh_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void MetricsRegistry::RemoveRefreshHook(uint64_t id) {
+  std::lock_guard<std::mutex> lock(hooks_mutex_);
+  for (auto it = refresh_hooks_.begin(); it != refresh_hooks_.end(); ++it) {
+    if (it->first == id) {
+      refresh_hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void MetricsRegistry::RunRefreshHooks() const {
+  // Copy under the hooks mutex, run outside it: a hook only performs
+  // atomic metric ops, but the owner may be mid-RemoveRefreshHook on
+  // another thread and must not wait on a running hook under our lock.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    hooks.reserve(refresh_hooks_.size());
+    for (const auto& [id, hook] : refresh_hooks_) hooks.push_back(hook);
+  }
+  for (const auto& hook : hooks) hook();
+}
+
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  RunRefreshHooks();
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MetricSnapshot> snapshot;
   snapshot.reserve(entries_.size());

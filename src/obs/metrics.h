@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -139,10 +140,21 @@ class MetricsRegistry {
                                const std::string& help,
                                std::vector<double> bounds);
 
-  // Immutable copies of every registered metric, in name order.
+  // Immutable copies of every registered metric, in name order. Runs
+  // every refresh hook first, so derived gauges (exact tree depth, live
+  // queue length, flight-recorder fill) are current in every render —
+  // the one shared refresh point for db-stats, --stats and bench --json.
   std::vector<MetricSnapshot> Snapshot() const;
   // Registered names, in name order.
   std::vector<std::string> Names() const;
+
+  // Derived-gauge refresh: `hook` is invoked (outside the registry
+  // mutex) at the start of every Snapshot()/ToText()/ToJson(). Hooks
+  // must only touch metric objects (atomic ops) — never re-enter the
+  // registry. Returns an id for RemoveRefreshHook; owners whose gauges
+  // outlive them (a SweepState tearing down) refresh once on removal.
+  uint64_t AddRefreshHook(std::function<void()> hook);
+  void RemoveRefreshHook(uint64_t id);
 
   // Zeroes every value, keeping registrations (benches isolate runs with
   // this; tests too). Concurrent mutators may race individual zeroes —
@@ -166,9 +178,17 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  void RunRefreshHooks() const;
+
   mutable std::mutex mutex_;
   // Ordered so every exposition is deterministic.
   std::vector<std::pair<std::string, Entry>> entries_;
+
+  // Guarded separately from mutex_ so hooks (which run before the
+  // snapshot copy) can never deadlock against registration.
+  mutable std::mutex hooks_mutex_;
+  uint64_t next_hook_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> refresh_hooks_;
 
   Entry* Find(const std::string& name);
 };

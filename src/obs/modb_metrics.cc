@@ -147,6 +147,15 @@ ModbMetrics Register() {
       "modb.server.degraded_entries", "transitions",
       "Transitions of the durable server into fail-stop degraded mode.");
 
+  // Tracing. Refreshed from the flight recorder by a registry refresh
+  // hook, like every other derived gauge.
+  m.trace_events_recorded = r.RegisterGauge(
+      "modb.trace.events_recorded", "events",
+      "Spans/instants ever written to the flight recorder ring.");
+  m.trace_events_dropped = r.RegisterGauge(
+      "modb.trace.events_dropped", "events",
+      "Oldest flight-recorder records lost to ring wraparound.");
+
   return m;
 }
 

@@ -64,6 +64,10 @@ struct ModbMetrics {
   Counter* recovery_skipped_updates;
   Counter* recovery_torn_tails;
   Counter* degraded_entries;
+
+  // ---- tracing (src/obs/flight_recorder) ----
+  Gauge* trace_events_recorded;
+  Gauge* trace_events_dropped;
 };
 
 // The process-wide instance; registers everything on first call.

@@ -1,0 +1,135 @@
+#ifndef MODB_OBS_TRACE_H_
+#define MODB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace modb {
+namespace obs {
+
+// Causal tracing for the update → WAL → sweep → answer pipeline. Metrics
+// (metrics.h) count *how much*; traces record *why*: each Definition-3
+// update, WAL append, checkpoint, recovery and query evaluation opens a
+// span carrying a trace id, and the sweep-internal work it triggers —
+// event dequeues, adjacency swaps, event scheduling/cancellation,
+// timeline mutations — lands as child spans and instant events under it.
+// Everything is written into the process-wide FlightRecorder ring
+// (flight_recorder.h) and exported as Chrome trace-event JSON, so one
+// update's whole Lemma 7 repair cascade is a visible timeline in
+// Perfetto.
+//
+// Propagation is ambient: a thread-local (trace id, span id) context.
+// The first TraceSpan on a thread becomes a root and draws a fresh trace
+// id; nested spans and instants inherit it. SweepState's mutation API
+// takes no context argument — the enclosing engine span is simply the
+// current context when the mutation runs.
+//
+// Cost model (the tracing analogue of the metrics <5% budget): a span is
+// two clock reads plus one ring write; a timed instant is one
+// clock read plus one write; a *coarse* instant reuses the last wall
+// timestamp the current thread captured (one thread-local read plus one
+// write) — that is what the per-support-change hot path uses, since for
+// sweep-internal instants the model time `t` identifies the moment and
+// microsecond wall precision is not worth a clock read per Lemma 9
+// schedule/cancel.
+
+// Every span and instant name, one enum value per row of the taxonomy
+// table in docs/TRACING.md (tests/trace_test.cc diffs the two, the same
+// lockstep pattern METRICS.md uses).
+enum class SpanName : uint8_t {
+  // Complete spans (ph "X"): top-level operations and structural sweep
+  // mutations.
+  kDurableUpdate,   // durable.update  DurableQueryServer::ApplyUpdate
+  kWalAppend,       // wal.append      WalWriter::AppendPayload
+  kWalSync,         // wal.sync        WalWriter::Sync
+  kCheckpoint,      // checkpoint      DurableQueryServer::Checkpoint
+  kRecovery,        // recovery        RecoverDatabase
+  kServerUpdate,    // server.update   QueryServer::ApplyUpdate
+  kServerAdvance,   // server.advance  QueryServer::AdvanceTo (query eval)
+  kQueryRegister,   // query.register  QueryServer::AddKnn/AddWithin
+  kUpdateApply,     // update.apply    FutureQueryEngine::ApplyUpdate
+  kEngineStart,     // engine.start    FutureQueryEngine::Start
+  kPastRun,         // past.run        PastQueryEngine::Run
+  kSweepInsert,     // sweep.insert    SweepState::InsertObject/Sentinel
+  kSweepErase,      // sweep.erase     SweepState::EraseObject
+  kSweepCurve,      // sweep.curve     SweepState::ReplaceCurve
+  kSweepRebuild,    // sweep.rebuild   SweepState::ReplaceGDistance
+  // Instant events (ph "i").
+  kSweepSwap,       // sweep.swap      one processed intersection event
+  kSweepSchedule,   // sweep.schedule  event pushed into the queue
+  kSweepCancel,     // sweep.cancel    queued event removed before firing
+  kAnswerChange,    // answer.change   AnswerTimeline pending-set change
+  kDegradedEntry,   // degraded.entry  durable server fail-stop transition
+  kAuditViolation,  // audit.violation first AuditingObserver violation
+  kFuzzFailure,     // fuzz.failure    modb_fuzz failure dump marker
+};
+
+// One past the last SpanName value; AllSpanNames() iterates with it.
+inline constexpr uint8_t kSpanNameCount =
+    static_cast<uint8_t>(SpanName::kFuzzFailure) + 1;
+
+// The exported event name ("durable.update", "sweep.swap", ...).
+const char* SpanNameString(SpanName name);
+
+// True for instant events (exported with ph "i"), false for complete
+// spans (ph "X").
+bool SpanNameIsInstant(SpanName name);
+
+// No object/query attached to this record.
+inline constexpr int64_t kTraceNoId = std::numeric_limits<int64_t>::min();
+
+// Monotonic microseconds since the first trace call in the process (so
+// exported timestamps start near zero). On x86-64 this is the invariant
+// TSC anchored once against steady_clock (~8 ns a read instead of ~30 ns
+// through the vDSO — the difference matters at one read per support
+// change); elsewhere it falls back to steady_clock.
+uint64_t TraceNowMicros();
+
+// RAII complete-span: captures the wall interval of a scope and records
+// it on destruction. Construction pushes this span as the thread's
+// current context (a fresh trace id when there is no enclosing span);
+// destruction restores the parent.
+class TraceSpan {
+ public:
+  // `oid` is the object/query the operation concerns (kTraceNoId when
+  // none), `model_time` the sweep/update time in model units (NaN when
+  // none), `arg` a free per-name detail (update kind, byte count, ...).
+  explicit TraceSpan(SpanName name, int64_t oid = kTraceNoId,
+                     double model_time =
+                         std::numeric_limits<double>::quiet_NaN(),
+                     uint64_t arg = 0);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  // The propagated trace id (root: freshly drawn; nested: inherited).
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  SpanName name_;
+  int64_t oid_;
+  double model_time_;
+  uint64_t arg_;
+  uint64_t trace_id_;
+  uint64_t span_id_;
+  uint64_t parent_span_id_;  // Restored on destruction.
+  uint64_t start_us_;
+};
+
+// Records an instant event under the current context. With
+// `coarse = true` the timestamp is the thread's last captured wall time
+// instead of a fresh clock read — the per-support-change hot path uses
+// this (see the cost model above).
+void TraceInstant(SpanName name, int64_t oid = kTraceNoId,
+                  double model_time =
+                      std::numeric_limits<double>::quiet_NaN(),
+                  uint64_t arg = 0, bool coarse = false);
+
+// The current thread's propagated trace id; 0 when no span is open.
+uint64_t CurrentTraceId();
+
+}  // namespace obs
+}  // namespace modb
+
+#endif  // MODB_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "queries/query_server.h"
 
 #include "obs/modb_metrics.h"
+#include "obs/trace.h"
 
 namespace modb {
 namespace {
@@ -35,6 +36,7 @@ QueryServer::EngineGroup& QueryServer::GroupFor(const std::string& key,
 
 QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
                             size_t k) {
+  obs::TraceSpan span(obs::SpanName::kQueryRegister, obs::kTraceNoId, now_, k);
   const size_t engines_before = engines_.size();
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
@@ -49,6 +51,7 @@ QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
 
 QueryId QueryServer::AddWithin(const std::string& gdist_key,
                                GDistancePtr gdist, double threshold) {
+  obs::TraceSpan span(obs::SpanName::kQueryRegister, obs::kTraceNoId, now_);
   const size_t engines_before = engines_.size();
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
@@ -89,6 +92,8 @@ Status QueryServer::ApplyUpdate(const Update& update) {
   if (update.time < now_) {
     return Status::FailedPrecondition("update precedes server time");
   }
+  obs::TraceSpan span(obs::SpanName::kServerUpdate, update.oid, update.time,
+                      static_cast<uint64_t>(update.kind));
   MODB_RETURN_IF_ERROR(mod_.Apply(update));
   obs::ModbMetrics& metrics = obs::M();
   metrics.server_updates->Increment();
@@ -102,6 +107,8 @@ Status QueryServer::ApplyUpdate(const Update& update) {
 
 void QueryServer::AdvanceTo(double t) {
   MODB_CHECK_GE(t, now_);
+  obs::TraceSpan span(obs::SpanName::kServerAdvance, obs::kTraceNoId, t,
+                      engines_.size());
   for (auto& [key, group] : engines_) {
     group.engine->AdvanceTo(t);
   }

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+
 namespace modb {
 namespace {
 
@@ -301,11 +304,24 @@ void AuditingObserver::RunAudit() {
   accumulated_.objects = report.objects;
   accumulated_.queued_events = report.queued_events;
   accumulated_.adjacent_pairs = report.adjacent_pairs;
+  const bool was_ok = accumulated_.ok();
   for (AuditViolation& violation : report.violations) {
     if (accumulated_.violations.size() >= auditor_.options().max_violations) {
       break;
     }
     accumulated_.violations.push_back(std::move(violation));
+  }
+  if (was_ok && !accumulated_.ok()) {
+    // First violation: the instant inherits the trace id of the update
+    // whose sweep work tripped the audit (the post-event hook runs inside
+    // the enclosing engine span), then the ring is dumped so the causal
+    // chain survives the process.
+    const AuditViolation& first = accumulated_.violations.front();
+    obs::TraceInstant(obs::SpanName::kAuditViolation,
+                      first.left != kInvalidObjectId ? first.left
+                                                     : obs::kTraceNoId,
+                      first.now, static_cast<uint64_t>(first.kind));
+    obs::FlightRecorder::Global().AutoDump();
   }
 }
 

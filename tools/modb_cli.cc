@@ -23,6 +23,7 @@
 #include "constraint/linear_constraint.h"
 #include "durability/durable_server.h"
 #include "gdist/builtin.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/modb_metrics.h"
 #include "queries/fastest.h"
@@ -72,6 +73,10 @@ int Usage() {
       "  db-stats DIR [--format text|json]\n"
       "                                 recover and dump every metric\n"
       "                                 (docs/METRICS.md lists them)\n"
+      "  db-trace DIR [--out FILE]      recover and dump the flight\n"
+      "                                 recorder as Chrome trace-event\n"
+      "                                 JSON (docs/TRACING.md; open in\n"
+      "                                 Perfetto)\n"
       "any command also accepts:\n"
       "  --stats text|json              dump the metrics the command\n"
       "                                 produced before exiting\n";
@@ -480,16 +485,28 @@ bool DumpStats(const std::string& format) {
 int CmdDbStats(const Args& args) {
   auto db = OpenDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
-  // Exact tree depths are O(N) per engine, so they are computed here at
-  // read time rather than maintained on the hot path (which only tracks
-  // the insertion-path peak).
-  (*db)->server().VisitEngines(
-      [](const std::string&, FutureQueryEngine& engine) {
-        obs::M().sweep_order_depth_peak->SetMax(
-            static_cast<int64_t>(engine.state().order().Depth()));
-      });
+  // Derived gauges (exact tree depth, order/queue size) are refreshed by
+  // the registry's refresh hooks inside every snapshot render, so the
+  // dump below — like --stats on any verb — always sees current values.
   if (!DumpStats(args.Get("format", "text"))) {
     return Fail("--format must be text|json");
+  }
+  return 0;
+}
+
+int CmdDbTrace(const Args& args) {
+  // Recovering the database replays the WAL through the live engines, so
+  // the flight recorder ends up holding the full causal history of the
+  // reopen: recovery → engine.start → sweep inserts → answer changes.
+  auto db = OpenDb(args);
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (args.Has("out")) {
+    const std::string path = args.Get("out", "");
+    const Status dumped = obs::FlightRecorder::Global().DumpToFile(path);
+    if (!dumped.ok()) return Fail(dumped.ToString());
+    std::cout << "trace written to " << path << "\n";
+  } else {
+    obs::FlightRecorder::Global().WriteJson(std::cout);
   }
   return 0;
 }
@@ -530,6 +547,7 @@ int RunCommand(const std::string& command, const Args& args) {
   if (command == "db-rmquery") return CmdDbRmQuery(args);
   if (command == "db-answers") return CmdDbAnswers(args);
   if (command == "db-stats") return CmdDbStats(args);
+  if (command == "db-trace") return CmdDbTrace(args);
   return Usage();
 }
 

@@ -32,13 +32,43 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <string>
 
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "verify/crash.h"
 #include "verify/differential.h"
 #include "verify/fault.h"
 
 namespace {
+
+// Marks the failure in the ring and writes the flight recorder next to
+// the printed repro, so the failing run's causal span chain survives the
+// scratch-directory cleanup. Returns the dump path, or "" if the write
+// failed.
+std::string DumpFailureTrace(const std::string& scratch_root, uint64_t seed) {
+  namespace fs = std::filesystem;
+  modb::obs::TraceInstant(modb::obs::SpanName::kFuzzFailure,
+                          modb::obs::kTraceNoId,
+                          std::numeric_limits<double>::quiet_NaN(), seed);
+  const fs::path root = scratch_root.empty() ? fs::temp_directory_path()
+                                             : fs::path(scratch_root);
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  const std::string path =
+      (root / ("modb_fuzz-seed-" + std::to_string(seed) + "-trace.json"))
+          .string();
+  if (!modb::obs::FlightRecorder::Global().DumpToFile(path).ok()) return "";
+  return path;
+}
+
+void PrintFailureTrace(const std::string& scratch_root, uint64_t seed) {
+  const std::string path = DumpFailureTrace(scratch_root, seed);
+  if (!path.empty()) {
+    std::printf("  flight recorder: %s\n", path.c_str());
+  }
+}
 
 void Usage() {
   std::fprintf(stderr,
@@ -123,6 +153,7 @@ int RunCrashMode(modb::CrashFuzzOptions options, size_t num_seeds,
     std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
                 result.ToString().c_str());
     std::printf("  repro:\n    %s\n", modb::CrashReproCommand(run).c_str());
+    PrintFailureTrace(scratch_root, run.seed);
     if (keep_dir) {
       std::printf("  scratch kept at %s\n", run.dir.c_str());
     } else {
@@ -172,6 +203,7 @@ int RunFaultsMode(modb::FaultMatrixOptions options, size_t num_seeds,
     std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
                 result.ToString().c_str());
     std::printf("  repro:\n    %s\n", modb::FaultReproCommand(run).c_str());
+    PrintFailureTrace(scratch_root, run.seed);
     if (keep_dir) {
       std::printf("  scratch kept at %s\n", run.dir.c_str());
     } else {
@@ -311,6 +343,10 @@ int main(int argc, char** argv) {
     } else {
       std::printf("  repro:\n    %s\n", modb::ReproCommand(run).c_str());
     }
+    // Dumped after the shrink: its final replay of the minimal failing
+    // prefix is the last thing in the ring, so the dump IS the repro's
+    // causal trace.
+    PrintFailureTrace(scratch_root, run.seed);
   }
 
   std::printf(
