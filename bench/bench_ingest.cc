@@ -1,0 +1,187 @@
+// Experiment E14: group-commit ingest throughput at equal durability.
+//
+// Every mode runs with SyncPolicy::kEveryRecord — a successful return
+// means the update is on disk — so the only variable is how many updates
+// share one WAL append + fsync:
+//
+//   batch=1, threads=1   the historical path: ApplyUpdate per update,
+//                        one fsync each (the baseline).
+//   batch=B, threads=1   Commit() in batches of B: one atomic
+//                        kUpdateBatch frame, one fsync per batch.
+//   batch=1, threads=T   T committers of single updates merged by the
+//                        group-commit leader: fsyncs amortize across
+//                        whatever the queue holds.
+//
+// Claim: batched ingest at equal durability is >= 10x the synchronous
+// baseline (the acceptance floor tracked by the committed
+// BENCH_ingest.json); updates_per_fsync is the amortization ratio.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "durability/durable_server.h"
+#include "obs/modb_metrics.h"
+
+namespace modb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Distinct objects born at one instant: pure ingest, no sweep churn from
+// time advancing between updates.
+std::vector<Update> IngestWorkload(size_t count) {
+  std::vector<Update> updates;
+  updates.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double x = static_cast<double>(i % 997);
+    updates.push_back(Update::NewObject(static_cast<ObjectId>(i + 1), 1.0,
+                                        Vec{x, 2.0}, Vec{0.5, -0.25}));
+  }
+  return updates;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("modb_bench_ingest_" + tag);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir.string();
+}
+
+DurabilityOptions IngestOptions(uint32_t delay_us) {
+  DurabilityOptions options;
+  options.dim = 2;
+  options.initial_time = 0.0;
+  options.auto_checkpoint = false;
+  // Equal durability everywhere: each flush ends in an fsync, so every
+  // successful ApplyUpdate/Commit return is durable.
+  options.wal.sync = SyncPolicy::kEveryRecord;
+  options.commit.max_batch_delay_us = delay_us;
+  return options;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t fsyncs = 0;
+  uint64_t applied = 0;
+};
+
+// batch == 1: ApplyUpdate per update (the historical single-update
+// path). batch > 1: Commit() in batches of that size.
+RunResult RunSingleThread(const std::vector<Update>& updates, size_t batch,
+                          const std::string& tag) {
+  const std::string dir = FreshDir(tag);
+  auto opened = DurableQueryServer::Open(dir, IngestOptions(0));
+  MODB_CHECK(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+  RunResult result;
+  const uint64_t syncs_before = obs::M().wal_syncs->Value();
+  result.seconds = bench::MeasureSeconds([&] {
+    if (batch <= 1) {
+      for (const Update& update : updates) {
+        const Status applied = db->ApplyUpdate(update);
+        MODB_CHECK(applied.ok()) << applied.ToString();
+      }
+    } else {
+      for (size_t i = 0; i < updates.size(); i += batch) {
+        const size_t n = std::min(batch, updates.size() - i);
+        const std::vector<Update> chunk(
+            updates.begin() + static_cast<ptrdiff_t>(i),
+            updates.begin() + static_cast<ptrdiff_t>(i + n));
+        const Status committed = db->Commit(chunk, nullptr);
+        MODB_CHECK(committed.ok()) << committed.ToString();
+      }
+    }
+  });
+  result.fsyncs = obs::M().wal_syncs->Value() - syncs_before;
+  result.applied = db->seq();
+  db.reset();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return result;
+}
+
+// `threads` committers each push their slice as single-update Commits;
+// the group-commit leader merges whatever queues up behind one fsync.
+RunResult RunMultiThread(const std::vector<Update>& updates, size_t threads,
+                         const std::string& tag) {
+  const std::string dir = FreshDir(tag);
+  auto opened = DurableQueryServer::Open(dir, IngestOptions(100));
+  MODB_CHECK(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+  RunResult result;
+  const uint64_t syncs_before = obs::M().wal_syncs->Value();
+  result.seconds = bench::MeasureSeconds([&] {
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (size_t i = t; i < updates.size(); i += threads) {
+          const Status committed = db->Commit({updates[i]}, nullptr);
+          MODB_CHECK(committed.ok()) << committed.ToString();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  });
+  result.fsyncs = obs::M().wal_syncs->Value() - syncs_before;
+  result.applied = db->seq();
+  db.reset();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return result;
+}
+
+void Run(int argc, char** argv) {
+  size_t ops = 2000;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--ops") {
+      ops = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  bench::JsonSink sink(bench::JsonSink::PathFromArgs(argc, argv));
+  bench::TraceFile trace(bench::TraceFile::PathFromArgs(argc, argv));
+
+  const std::vector<Update> updates = IngestWorkload(ops);
+  std::printf(
+      "E14: durable ingest throughput at equal durability (fsync per "
+      "flush), %zu new() updates.\n"
+      "Claim: group commit >= 10x the fsync-per-update baseline.\n",
+      ops);
+  bench::Table table(&sink, "ingest_group_commit",
+                     {"batch", "threads", "updates", "seconds",
+                      "updates_per_s", "fsyncs", "updates_per_fsync",
+                      "speedup"});
+
+  const RunResult base = RunSingleThread(updates, 1, "base");
+  MODB_CHECK(base.applied == ops);
+  const double base_ups = static_cast<double>(ops) / base.seconds;
+  const auto row = [&](size_t batch, size_t threads, const RunResult& r) {
+    MODB_CHECK(r.applied == ops);
+    const double ups = static_cast<double>(ops) / r.seconds;
+    table.Row({static_cast<double>(batch), static_cast<double>(threads),
+               static_cast<double>(ops), r.seconds, ups,
+               static_cast<double>(r.fsyncs),
+               static_cast<double>(ops) /
+                   static_cast<double>(std::max<uint64_t>(r.fsyncs, 1)),
+               ups / base_ups});
+  };
+  row(1, 1, base);
+  for (size_t batch : {16, 64, 256}) {
+    row(batch, 1, RunSingleThread(updates, batch,
+                                  "b" + std::to_string(batch)));
+  }
+  row(1, 4, RunMultiThread(updates, 4, "t4"));
+}
+
+}  // namespace
+}  // namespace modb
+
+int main(int argc, char** argv) {
+  modb::Run(argc, argv);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "durability/durable_server.h"
 
 #include <filesystem>
+#include <limits>
 #include <utility>
 
 #include "gdist/builtin.h"
@@ -26,6 +27,35 @@ bool IsWalIoFailure(const Status& status) {
 }
 
 }  // namespace
+
+DurableQueryServer::DurableQueryServer(std::string dir,
+                                       DurabilityOptions options,
+                                       QueryServer server, WalWriter wal,
+                                       SnapshotManager snapshots)
+    : dir_(std::move(dir)),
+      options_(options),
+      server_(std::move(server)),
+      wal_(std::move(wal)),
+      snapshots_(std::move(snapshots)) {
+  commit_queue_ = std::make_unique<GroupCommitQueue>(
+      options_.commit,
+      [this](const std::vector<GroupCommitQueue::Ticket*>& batch) {
+        FlushBatch(batch);
+      });
+  ckpt_worker_ = std::thread(&DurableQueryServer::CheckpointWorker, this);
+}
+
+DurableQueryServer::~DurableQueryServer() {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  // The worker drains a parked freeze before exiting, so the newest
+  // snapshot cut is on disk (or has failed visibly) by the time the
+  // directory can be reopened.
+  if (ckpt_worker_.joinable()) ckpt_worker_.join();
+}
 
 StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
     const std::string& dir, DurabilityOptions options) {
@@ -94,6 +124,8 @@ StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
       new DurableQueryServer(dir, options, std::move(server),
                              std::move(wal).value(), std::move(snapshots)));
   db->seq_ = seq;
+  // Everything recovered was read back from disk: it is durable.
+  db->durable_seq_.store(seq, std::memory_order_release);
   db->next_public_id_ = next_public_id;
   db->info_ = info;
   for (const LoggedQuery& query : live) {
@@ -138,33 +170,129 @@ Status DurableQueryServer::Degrade(const Status& cause) {
       cause.ToString());
 }
 
+Status DurableQueryServer::ValidateUpdate(const Update& update) const {
+  // Mirrors WalWriter::AppendUpdate's pre-I/O checks against the segment
+  // dimension (fixed for the life of the directory), so a bad update is
+  // refused before it is queued — nothing of its batch is logged.
+  const size_t dim = server_.mod().dim();
+  if (update.kind == UpdateKind::kNew &&
+      (update.position.dim() != dim || update.velocity.dim() != dim)) {
+    return Status::InvalidArgument("new(): dimension mismatch with wal");
+  }
+  if (update.kind == UpdateKind::kChdir && update.velocity.dim() != dim) {
+    return Status::InvalidArgument("chdir(): dimension mismatch with wal");
+  }
+  return Status::Ok();
+}
+
+Status DurableQueryServer::Commit(const std::vector<Update>& updates,
+                                  std::vector<Status>* apply_statuses) {
+  if (apply_statuses != nullptr) apply_statuses->clear();
+  for (const Update& update : updates) {
+    MODB_RETURN_IF_ERROR(ValidateUpdate(update));
+  }
+  if (updates.empty()) return Status::Ok();
+  return commit_queue_->Commit(updates, apply_statuses);
+}
+
 Status DurableQueryServer::ApplyUpdate(const Update& update) {
-  MODB_RETURN_IF_ERROR(CheckWritable());
-  // Root span of the causal chain: every WAL append, engine apply, sweep
-  // mutation and answer change below inherits this trace id.
+  // Root span of the causal chain; the group flush that carries this
+  // update opens its own commit.group/commit.batch spans on the leader's
+  // thread.
   obs::TraceSpan span(obs::SpanName::kDurableUpdate, update.oid, update.time,
                       static_cast<uint64_t>(update.kind));
-  const Status logged = wal_->AppendUpdate(update);
-  if (!logged.ok()) {
-    if (IsWalIoFailure(logged)) return Degrade(logged);
-    return logged;  // Validation: nothing was written, nothing degrades.
+  std::vector<Status> statuses;
+  const Status committed = Commit({update}, &statuses);
+  if (!committed.ok()) return committed;
+  return statuses.empty() ? Status::Ok() : statuses.front();
+}
+
+void DurableQueryServer::FlushBatch(
+    const std::vector<GroupCommitQueue::Ticket*>& batch) {
+  size_t total_updates = 0;
+  for (const GroupCommitQueue::Ticket* ticket : batch) {
+    total_updates += ticket->updates->size();
   }
-  ++seq_;
-  const Status applied = server_.ApplyUpdate(update);
+  obs::TraceSpan group(obs::SpanName::kCommitGroup, obs::kTraceNoId,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      total_updates);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fail_all = [&](const Status& refusal) {
+    for (GroupCommitQueue::Ticket* ticket : batch) {
+      ticket->result = refusal;
+      if (ticket->apply_statuses != nullptr) {
+        ticket->apply_statuses->assign(ticket->updates->size(), refusal);
+      }
+    }
+  };
+  const Status writable = CheckWritable();
+  if (!writable.ok()) {
+    fail_all(writable);
+    return;
+  }
+
+  // Stage the whole group into the idle encode buffer: one kUpdate frame
+  // for a commit of one (byte-identical to the historical layout), one
+  // atomic kUpdateBatch frame per larger commit.
+  WalBatch& staged = encode_buffers_[encode_parity_];
+  encode_parity_ ^= 1;
+  staged.Clear();
+  for (const GroupCommitQueue::Ticket* ticket : batch) {
+    if (ticket->updates->size() == 1) {
+      staged.AddUpdate(ticket->updates->front());
+    } else {
+      staged.AddUpdates(*ticket->updates);
+    }
+  }
+
+  obs::ModbMetrics& metrics = obs::M();
+  Status logged;
+  {
+    // One append + (policy permitting) one fsync for the whole group —
+    // the amortization group commit exists for.
+    obs::ScopedTimer timer(metrics.commit_flush_seconds);
+    logged = wal_->AppendBatch(staged);
+  }
+  if (!logged.ok()) {
+    // Whole-batch fail-stop: the shared append/fsync failed, so NOTHING
+    // in this flush was applied or advanced seq_ — every committer in the
+    // group observes kUnavailable and the server degrades once.
+    fail_all(Degrade(logged));
+    return;
+  }
+  metrics.commit_flushes->Increment();
+  metrics.commit_batch_updates->Observe(static_cast<double>(total_updates));
+
+  for (GroupCommitQueue::Ticket* ticket : batch) {
+    obs::TraceSpan span(obs::SpanName::kCommitBatch, obs::kTraceNoId,
+                        std::numeric_limits<double>::quiet_NaN(),
+                        ticket->updates->size());
+    for (const Update& update : *ticket->updates) {
+      ++seq_;
+      const Status applied = server_.ApplyUpdate(update);
+      if (ticket->apply_statuses != nullptr) {
+        ticket->apply_statuses->push_back(applied);
+      }
+    }
+    ticket->result = Status::Ok();
+  }
+  if (wal_->unsynced_bytes() == 0) {
+    durable_seq_.store(seq_, std::memory_order_release);
+  }
   if (options_.auto_checkpoint &&
       wal_->bytes() >= options_.snapshot.trigger_bytes) {
-    // The update itself is logged and applied; a failed checkpoint must
-    // not fail it retroactively. Unless the failure degraded the server
-    // (WAL sync), the segment keeps growing past the trigger, so the
-    // checkpoint retries on the next update.
-    checkpoint_status_ = Checkpoint();
+    // Rotate + freeze synchronously (the cut point must be consistent),
+    // park the snapshot write for the worker: the committer never waits
+    // on serialization. A failure lands in last_checkpoint_status() and
+    // the checkpoint retries as the segment keeps growing.
+    (void)TriggerCheckpointLocked(nullptr);
   }
-  return applied;
 }
 
 StatusOr<QueryId> DurableQueryServer::AddKnn(const std::string& gdist_key,
                                              const Trajectory& query,
                                              size_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
   MODB_RETURN_IF_ERROR(CheckWritable());
   LoggedQuery logged;
   logged.id = next_public_id_;
@@ -185,6 +313,7 @@ StatusOr<QueryId> DurableQueryServer::AddKnn(const std::string& gdist_key,
 StatusOr<QueryId> DurableQueryServer::AddWithin(const std::string& gdist_key,
                                                 const Trajectory& query,
                                                 double threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
   MODB_RETURN_IF_ERROR(CheckWritable());
   LoggedQuery logged;
   logged.id = next_public_id_;
@@ -203,6 +332,7 @@ StatusOr<QueryId> DurableQueryServer::AddWithin(const std::string& gdist_key,
 }
 
 Status DurableQueryServer::RemoveQuery(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   MODB_RETURN_IF_ERROR(CheckWritable());
   auto it = public_to_internal_.find(id);
   if (it == public_to_internal_.end()) {
@@ -228,80 +358,150 @@ const AnswerTimeline& DurableQueryServer::Timeline(QueryId id) const {
 }
 
 Status DurableQueryServer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   MODB_RETURN_IF_ERROR(CheckWritable());
   const Status synced = wal_->Sync();
   if (!synced.ok()) return Degrade(synced);
+  durable_seq_.store(seq_, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DurableQueryServer::Checkpoint() {
+  uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Status triggered = TriggerCheckpointLocked(&gen);
+    if (!triggered.ok()) return triggered;
+  }
+  // Wait for the worker to land this freeze (or a newer one that
+  // superseded it — its snapshot covers a later cut, which subsumes
+  // ours). Commits keep flowing while we wait: they only need mu_.
+  std::unique_lock<std::mutex> ck(ckpt_mu_);
+  ckpt_cv_.wait(ck, [&] { return ckpt_completed_ >= gen; });
+  return checkpoint_status_;
+}
+
+Status DurableQueryServer::TriggerCheckpointLocked(uint64_t* gen_out) {
   obs::ModbMetrics& metrics = obs::M();
   metrics.checkpoint_attempts->Increment();
   obs::TraceSpan span(obs::SpanName::kCheckpoint, obs::kTraceNoId,
                       server_.now(), seq_);
-  Status result;
-  {
-    obs::ScopedTimer timer(metrics.checkpoint_seconds);
-    result = CheckpointImpl();
-  }
-  if (!result.ok()) metrics.checkpoint_failures->Increment();
-  return result;
-}
-
-Status DurableQueryServer::CheckpointImpl() {
   // Ordering is what makes every crash window recoverable:
   //   1. sync the active segment — the history up to seq_ is durable;
   //   2. start the segment at seq_ and re-journal live queries (a crash
   //      here recovers from the *previous* snapshot through both segments,
   //      with the re-journaled registrations upserting idempotently);
-  //   3. write the snapshot at seq_ (atomic rename);
-  //   4. prune — only after the new snapshot is durable do older
-  //      snapshots and their segments become garbage.
+  //   3. freeze a copy of the MOD at seq_ and park it for the worker,
+  //      which writes the snapshot (atomic rename) and prunes — only
+  //      after the new snapshot is durable do older snapshots and their
+  //      segments become garbage. A crash before the worker lands the
+  //      write costs nothing: the chain still replays from the previous
+  //      snapshot through the rotated segments.
   //
   // Failure model: step 1 failing is a WAL durability failure and
-  // degrades the server (fail-stop). Steps 2-4 abandon their partial
+  // degrades the server (fail-stop). Steps 2-3 abandon their partial
   // artifacts and leave the previous layout valid, so their failures are
   // retryable — a later Checkpoint picks up where this one left off.
-  MODB_RETURN_IF_ERROR(CheckWritable());
-  const Status synced = wal_->Sync();
-  if (!synced.ok()) return Degrade(synced);
-  const uint64_t snap_seq = seq_;
-  if (wal_->header().start_seq != snap_seq) {
-    const std::string fresh_path = SegmentPath(dir_, snap_seq);
-    StatusOr<WalWriter> fresh = WalWriter::Create(
-        fresh_path,
-        WalSegmentHeader{server_.mod().dim(), snap_seq,
-                         server_.mod().last_update_time()},
-        options_.wal, env());
-    Status rotated = fresh.status();
-    if (rotated.ok()) {
-      for (const auto& [id, query] : journal_) {
-        rotated = fresh->AppendRegisterQuery(query);
-        if (!rotated.ok()) break;
+  const Status result = [&]() -> Status {
+    MODB_RETURN_IF_ERROR(CheckWritable());
+    const Status synced = wal_->Sync();
+    if (!synced.ok()) return Degrade(synced);
+    durable_seq_.store(seq_, std::memory_order_release);
+    const uint64_t snap_seq = seq_;
+    if (wal_->header().start_seq != snap_seq) {
+      const std::string fresh_path = SegmentPath(dir_, snap_seq);
+      StatusOr<WalWriter> fresh = WalWriter::Create(
+          fresh_path,
+          WalSegmentHeader{server_.mod().dim(), snap_seq,
+                           server_.mod().last_update_time()},
+          options_.wal, env());
+      Status rotated = fresh.status();
+      if (rotated.ok()) {
+        for (const auto& [id, query] : journal_) {
+          rotated = fresh->AppendRegisterQuery(query);
+          if (!rotated.ok()) break;
+        }
+        if (rotated.ok()) rotated = fresh->Sync();
+        if (rotated.ok()) rotated = env()->SyncDir(dir_);
       }
-      if (rotated.ok()) rotated = fresh->Sync();
-      if (rotated.ok()) rotated = env()->SyncDir(dir_);
-    }
-    if (!rotated.ok()) {
-      // Abandon the half-built segment. It MUST be gone before the old
-      // segment takes further appends: a stale segment at snap_seq would
-      // otherwise overlap the growing old segment and read as a chain
-      // inconsistency on recovery. If even the removal fails, the layout
-      // can no longer be kept consistent — fail-stop.
-      if (fresh.ok()) fresh->Close();
-      const Status removed = env()->RemoveFile(fresh_path);
-      if (!removed.ok() &&
-          removed.code() != StatusCode::kNotFound) {
-        return Degrade(removed);
+      if (!rotated.ok()) {
+        // Abandon the half-built segment. It MUST be gone before the old
+        // segment takes further appends: a stale segment at snap_seq would
+        // otherwise overlap the growing old segment and read as a chain
+        // inconsistency on recovery. If even the removal fails, the layout
+        // can no longer be kept consistent — fail-stop.
+        if (fresh.ok()) fresh->Close();
+        const Status removed = env()->RemoveFile(fresh_path);
+        if (!removed.ok() &&
+            removed.code() != StatusCode::kNotFound) {
+          return Degrade(removed);
+        }
+        return rotated;
       }
-      return rotated;
+      wal_ = std::move(fresh).value();
     }
-    wal_ = std::move(fresh).value();
+    {
+      std::lock_guard<std::mutex> ck(ckpt_mu_);
+      // Single parked slot: an unstarted older freeze is superseded by
+      // this newer one (its cut is covered — recovery only ever needs the
+      // newest snapshot, and the chain below it stays intact until the
+      // worker's Prune).
+      parked_ = CheckpointJob{server_.mod(), snap_seq, ++ckpt_submitted_};
+      if (gen_out != nullptr) *gen_out = ckpt_submitted_;
+    }
+    ckpt_cv_.notify_all();
+    return Status::Ok();
+  }();
+  if (!result.ok()) {
+    metrics.checkpoint_failures->Increment();
+    std::lock_guard<std::mutex> ck(ckpt_mu_);
+    checkpoint_status_ = result;
   }
-  // Retryable: Write abandons its tmp file on failure, and a missed Prune
-  // only leaves stale-but-valid garbage for the next checkpoint.
-  MODB_RETURN_IF_ERROR(snapshots_.Write(server_.mod(), snap_seq));
-  return snapshots_.Prune();
+  return result;
+}
+
+void DurableQueryServer::CheckpointWorker() {
+  obs::ModbMetrics& metrics = obs::M();
+  std::unique_lock<std::mutex> ck(ckpt_mu_);
+  while (true) {
+    ckpt_cv_.wait(ck, [&] { return ckpt_stop_ || parked_.has_value(); });
+    if (!parked_.has_value()) break;  // Stopping with nothing pending.
+    CheckpointJob job = std::move(*parked_);
+    parked_.reset();
+    metrics.checkpoint_off_thread->Set(1);
+    ck.unlock();
+    Status wrote;
+    {
+      obs::TraceSpan span(obs::SpanName::kCheckpointWrite, obs::kTraceNoId,
+                          job.mod.last_update_time(), job.seq);
+      obs::ScopedTimer timer(metrics.checkpoint_seconds);
+      // Retryable: Write abandons its tmp file on failure, and a missed
+      // Prune only leaves stale-but-valid garbage for the next checkpoint.
+      wrote = snapshots_.Write(job.mod, job.seq);
+      if (wrote.ok()) wrote = snapshots_.Prune();
+    }
+    ck.lock();
+    metrics.checkpoint_off_thread->Set(0);
+    if (!wrote.ok()) metrics.checkpoint_failures->Increment();
+    checkpoint_status_ = wrote;
+    ckpt_completed_ = job.gen;
+    ckpt_cv_.notify_all();
+  }
+}
+
+Status DurableQueryServer::last_checkpoint_status() const {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return checkpoint_status_;
+}
+
+uint64_t DurableQueryServer::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->bytes();
+}
+
+std::string DurableQueryServer::wal_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->path();
 }
 
 }  // namespace modb

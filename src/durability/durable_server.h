@@ -1,11 +1,17 @@
 #ifndef MODB_DURABILITY_DURABLE_SERVER_H_
 #define MODB_DURABILITY_DURABLE_SERVER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "durability/group_commit.h"
 #include "durability/recovery.h"
 #include "durability/snapshot.h"
 #include "durability/wal.h"
@@ -25,6 +31,13 @@ namespace modb {
 //
 // Only squared-Euclidean standing queries are accepted — they are defined
 // entirely by a query trajectory, which the WAL can journal.
+//
+// Threading: Commit/ApplyUpdate/AddKnn/AddWithin/RemoveQuery/Flush/
+// Checkpoint are safe to call from any number of threads — mutations
+// serialize on an internal mutex, and concurrent Commit() calls are merged
+// into shared group flushes (one WAL append + one fsync for the whole
+// group). Reads (AdvanceTo/Answer/Timeline/server()/seq()) are NOT
+// synchronized against concurrent mutations; quiesce writers first.
 
 struct DurabilityOptions {
   // Used only when the directory holds no durable state yet.
@@ -32,6 +45,8 @@ struct DurabilityOptions {
   double initial_time = 0.0;
   WalOptions wal;
   SnapshotOptions snapshot;
+  // Group-commit batching knobs for Commit()/ApplyUpdate().
+  GroupCommitOptions commit;
   EventQueueKind queue_kind = EventQueueKind::kLeftist;
   // Checkpoint automatically when the active segment exceeds
   // snapshot.trigger_bytes. Off is useful for tests and for callers that
@@ -63,6 +78,10 @@ class DurableQueryServer {
   DurableQueryServer(const DurableQueryServer&) = delete;
   DurableQueryServer& operator=(const DurableQueryServer&) = delete;
 
+  // Drains the parked checkpoint (if any) and joins the worker thread, so
+  // the newest frozen snapshot is on disk before the directory is reusable.
+  ~DurableQueryServer();
+
   // Failure model (docs/INTERNALS.md "Failure model"):
   //
   //  - A failed WAL append or fsync is FAIL-STOP for mutations. After a
@@ -71,21 +90,34 @@ class DurableQueryServer {
   //    can no longer be promised durable, so the server enters a sticky
   //    read-only degraded mode: every later mutation returns
   //    kUnavailable, while Answer/Timeline/AdvanceTo keep serving from
-  //    memory. Recover by reopening the directory (Theorem 5 makes the
-  //    sweep rebuild cheap); the recovered state is a valid prefix.
+  //    memory. A batch whose shared append/fsync fails fails WHOLE: none
+  //    of its updates advance seq(), every queued committer in the flush
+  //    observes kUnavailable. Recover by reopening the directory (Theorem
+  //    5 makes the sweep rebuild cheap); the recovered state is a valid
+  //    prefix that never ends inside a batch.
   //  - A failed Checkpoint is RETRYABLE: the tmp snapshot (or half-built
   //    segment) is abandoned and the previous snapshot/segment layout
   //    stays valid. Only the WAL-sync step inside Checkpoint degrades.
   //  - Validation errors (kInvalidArgument, kNotFound, ...) touch no
   //    durable state and never degrade the server.
 
-  // Logs the update, then applies it to the database and every sweep. The
-  // returned status is the *apply* status: a rejected update (bad
-  // precondition) still occupies a WAL record — recovery skips it
-  // identically — and is not an I/O failure. An auto-checkpoint failure
-  // does not fail the update (the update itself is logged and applied);
-  // it parks in last_checkpoint_status() and the checkpoint is retried as
-  // the segment keeps growing.
+  // Durably logs `updates` as ONE atomic batch (a single CRC frame — a
+  // crash can drop the whole batch, never a prefix of it), then applies
+  // them in order. Concurrent Commit() calls are merged into a shared
+  // group flush: one WAL append and at most one fsync cover every commit
+  // that queued while the previous flush was in flight.
+  //
+  // The returned Status is the batch's durability outcome. Per-update
+  // *apply* statuses (a rejected update — bad precondition — still
+  // occupies its slot in the log; recovery skips it identically) land in
+  // `apply_statuses` when non-null, in commit order. Dimension validation
+  // happens before anything is queued or logged: a kInvalidArgument
+  // return means NO update in `updates` was logged.
+  Status Commit(const std::vector<Update>& updates,
+                std::vector<Status>* apply_statuses = nullptr);
+
+  // Commit() of a batch of one, returning the update's apply status. The
+  // log layout is byte-identical to the historical single-update path.
   Status ApplyUpdate(const Update& update);
 
   // Registers a standing squared-Euclidean query and journals it. The
@@ -106,10 +138,16 @@ class DurableQueryServer {
   // configured sync policy. A failure degrades the server (fail-stop).
   Status Flush();
 
-  // Rotates the WAL (re-journaling live queries into the fresh segment),
-  // writes a snapshot at the current seq, and prunes old files. Crash-safe
-  // at every step: each intermediate state recovers to the same database.
-  // Retryable on failure (see the failure model above).
+  // Checkpoints in two halves. Synchronously (under the state mutex, so
+  // the cut is a consistent point): fsync the WAL, rotate to a fresh
+  // segment re-journaling live queries, and freeze a copy-on-write
+  // snapshot of the MOD. Asynchronously (on the checkpoint worker, off
+  // the ingest path): serialize the frozen copy and prune old files —
+  // appends keep flowing while the snapshot is written. This explicit
+  // call WAITS for the off-thread half and returns its Status;
+  // auto-checkpoints park the job and return to the committer
+  // immediately. Crash-safe at every step; retryable on failure (see the
+  // failure model above).
   Status Checkpoint();
 
   // True once a WAL append/fsync failure put the server in read-only
@@ -118,13 +156,22 @@ class DurableQueryServer {
   bool degraded() const { return !health_.ok(); }
   const Status& degraded_cause() const { return health_; }
 
-  // Outcome of the most recent auto-checkpoint attempt (OK if none has
-  // failed since the last success); explicit Checkpoint() calls report
-  // their Status directly instead.
-  const Status& last_checkpoint_status() const { return checkpoint_status_; }
+  // Outcome of the most recent completed checkpoint (trigger or write
+  // half; OK if none has failed since the last success).
+  Status last_checkpoint_status() const;
 
   // Number of update records ever logged (= next segment's start_seq).
   uint64_t seq() const { return seq_; }
+  // Highest seq known durable on disk (monotonic): everything at or below
+  // it survived an fsync. Trails seq() only under SyncPolicy::kNone /
+  // kEveryNBytes between syncs. Safe to read from any thread.
+  uint64_t durable_seq() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
+  // Active segment size / path (for crash-harness cut points).
+  uint64_t wal_bytes() const;
+  std::string wal_path() const;
+
   const OpenInfo& open_info() const { return info_; }
   const std::string& dir() const { return dir_; }
   // Live durable queries, ascending by id.
@@ -137,23 +184,38 @@ class DurableQueryServer {
   const QueryServer& server() const { return server_; }
 
  private:
+  // A frozen checkpoint: the MOD is plainly copyable, so the freeze is a
+  // copy taken under the state mutex at the rotation barrier; the worker
+  // serializes it while commits append to the fresh segment.
+  struct CheckpointJob {
+    MovingObjectDatabase mod;
+    uint64_t seq = 0;
+    uint64_t gen = 0;  // Submission generation, for waiters.
+  };
+
   DurableQueryServer(std::string dir, DurabilityOptions options,
                      QueryServer server, WalWriter wal,
-                     SnapshotManager snapshots)
-      : dir_(std::move(dir)),
-        options_(options),
-        server_(std::move(server)),
-        wal_(std::move(wal)),
-        snapshots_(std::move(snapshots)) {}
+                     SnapshotManager snapshots);
 
   Status RegisterLogged(const LoggedQuery& query);
-  // Checkpoint() minus the metrics wrapper (attempt/failure counters and
-  // the duration histogram).
-  Status CheckpointImpl();
-  // OK, or the kUnavailable refusal while degraded.
+  // Mirrors WalWriter::AppendUpdate's pre-I/O validation so a bad update
+  // is rejected before anything is queued or logged.
+  Status ValidateUpdate(const Update& update) const;
+  // The group-commit leader's flush: log every ticket's updates with one
+  // append + shared fsync, then apply them in log order. Takes mu_.
+  void FlushBatch(const std::vector<GroupCommitQueue::Ticket*>& batch);
+  // The synchronous checkpoint half under mu_: WAL fsync, segment
+  // rotation + re-journal, freeze. Parks the frozen job for the worker
+  // (coalescing: a newer freeze replaces an unstarted older one) and
+  // reports its generation for waiters.
+  Status TriggerCheckpointLocked(uint64_t* gen_out);
+  // The worker loop: serialize parked freezes + prune, off the ingest
+  // path. Drains the parked job before exiting on shutdown.
+  void CheckpointWorker();
+  // OK, or the kUnavailable refusal while degraded. Caller holds mu_.
   Status CheckWritable() const;
   // Marks the server degraded (first cause wins) and returns the
-  // kUnavailable status mutations surface.
+  // kUnavailable status mutations surface. Caller holds mu_.
   Status Degrade(const Status& cause);
 
   Env* env() const { return options_.env != nullptr ? options_.env
@@ -165,12 +227,37 @@ class DurableQueryServer {
   std::optional<WalWriter> wal_;  // Engaged for the lifetime of the object.
   SnapshotManager snapshots_;
   uint64_t seq_ = 0;
+  std::atomic<uint64_t> durable_seq_{0};
   QueryId next_public_id_ = 0;
   std::map<QueryId, LoggedQuery> journal_;     // Live queries, by public id.
   std::map<QueryId, QueryId> public_to_internal_;
   OpenInfo info_;
   Status health_;             // Non-OK: read-only degraded mode (sticky).
-  Status checkpoint_status_;  // Last auto-checkpoint outcome.
+
+  // Serializes mutations of everything above. The group-commit leader
+  // takes it inside FlushBatch; registrations and checkpoint triggers
+  // take it directly. Lock order: mu_ before ckpt_mu_.
+  mutable std::mutex mu_;
+
+  // Double-buffered encode staging for group flushes: the leader fills
+  // one buffer while the sibling's bytes (from the previous flush) drain
+  // through the Env write path; Clear() keeps capacity, so steady-state
+  // encoding allocates nothing.
+  WalBatch encode_buffers_[2];
+  size_t encode_parity_ = 0;
+
+  // Constructed last (its FlushFn captures `this`).
+  std::unique_ptr<GroupCommitQueue> commit_queue_;
+
+  // Off-thread checkpoint state (guarded by ckpt_mu_).
+  mutable std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  std::optional<CheckpointJob> parked_;  // Single slot: newest freeze wins.
+  uint64_t ckpt_submitted_ = 0;
+  uint64_t ckpt_completed_ = 0;
+  bool ckpt_stop_ = false;
+  Status checkpoint_status_;  // Last completed checkpoint outcome.
+  std::thread ckpt_worker_;
 };
 
 }  // namespace modb

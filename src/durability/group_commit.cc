@@ -1,0 +1,61 @@
+#include "durability/group_commit.h"
+
+#include <chrono>
+
+namespace modb {
+
+size_t GroupCommitQueue::QueuedUpdatesLocked() const {
+  size_t n = 0;
+  for (const Ticket* ticket : queue_) n += ticket->updates->size();
+  return n;
+}
+
+Status GroupCommitQueue::Commit(const std::vector<Update>& updates,
+                                std::vector<Status>* apply_statuses) {
+  Ticket ticket;
+  ticket.updates = &updates;
+  ticket.apply_statuses = apply_statuses;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&ticket);
+  cv_.notify_all();  // A lingering leader extends its batch with us.
+  while (!ticket.done && queue_.front() != &ticket) {
+    cv_.wait(lock);
+  }
+  if (ticket.done) return ticket.result;  // A leader flushed us through.
+
+  // Leader. Optionally linger for followers, then batch from the front of
+  // the queue until the update cap would be exceeded (own ticket always
+  // included, so an oversized commit flushes alone).
+  if (options_.max_batch_delay_us > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.max_batch_delay_us);
+    while (QueuedUpdatesLocked() < options_.max_batch_updates &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+  }
+  std::vector<Ticket*> batch;
+  size_t batched_updates = 0;
+  for (Ticket* queued : queue_) {
+    if (!batch.empty() &&
+        batched_updates + queued->updates->size() >
+            options_.max_batch_updates) {
+      break;
+    }
+    batch.push_back(queued);
+    batched_updates += queued->updates->size();
+  }
+
+  lock.unlock();
+  flush_(batch);
+  lock.lock();
+
+  for (size_t i = 0; i < batch.size(); ++i) queue_.pop_front();
+  for (Ticket* flushed : batch) flushed->done = true;
+  // Wake the followers we flushed and promote the new front to leader.
+  cv_.notify_all();
+  return ticket.result;
+}
+
+}  // namespace modb

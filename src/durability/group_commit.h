@@ -1,0 +1,77 @@
+#ifndef MODB_DURABILITY_GROUP_COMMIT_H_
+#define MODB_DURABILITY_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "trajectory/update.h"
+
+namespace modb {
+
+// Knobs for the leader/follower batcher below.
+struct GroupCommitOptions {
+  // A flush merges queued commits until it would exceed this many updates
+  // (a single commit larger than the cap always flushes alone — commits
+  // are never split, the batch is the atomic durability unit).
+  size_t max_batch_updates = 256;
+  // Latency cap: a leader whose batch is below the update cap lingers up
+  // to this long for followers to queue behind it before flushing. 0
+  // flushes immediately with whatever is queued — with no follow-on
+  // traffic a lone commit never waits longer than the cap.
+  uint32_t max_batch_delay_us = 0;
+};
+
+// Leader/follower group commit, LevelDB-writer-queue style, with the I/O
+// deliberately on a *caller* thread rather than a dedicated WAL thread:
+// the first queued committer becomes the leader, collects the batch, runs
+// the flush function once for everyone, and wakes the followers. With a
+// single committer the I/O op sequence is exactly the synchronous path's
+// (the fault matrix depends on that determinism); under concurrency the
+// followers queue while the previous leader fsyncs, so one fsync is
+// shared by everything that accumulated — the classic amortization.
+class GroupCommitQueue {
+ public:
+  // One queued commit. `updates`/`apply_statuses` are borrowed from the
+  // committing thread, which blocks inside Commit() until done.
+  struct Ticket {
+    const std::vector<Update>* updates = nullptr;
+    std::vector<Status>* apply_statuses = nullptr;  // Optional out.
+    Status result;
+    bool done = false;
+  };
+
+  // The leader's flush: log every ticket's updates (one append, shared
+  // fsync), then apply them in log order, filling each ticket's result
+  // and per-update apply statuses. Runs outside the queue lock; must not
+  // throw. On a WAL I/O failure it fails EVERY ticket in the batch.
+  using FlushFn = std::function<void(const std::vector<Ticket*>&)>;
+
+  GroupCommitQueue(GroupCommitOptions options, FlushFn flush)
+      : options_(options), flush_(std::move(flush)) {}
+  GroupCommitQueue(const GroupCommitQueue&) = delete;
+  GroupCommitQueue& operator=(const GroupCommitQueue&) = delete;
+
+  // Blocks until this commit's batch has been flushed (or failed as a
+  // whole); returns the ticket's result. Thread-safe.
+  Status Commit(const std::vector<Update>& updates,
+                std::vector<Status>* apply_statuses);
+
+ private:
+  // Pending updates across every queued ticket. Caller holds mu_.
+  size_t QueuedUpdatesLocked() const;
+
+  const GroupCommitOptions options_;
+  const FlushFn flush_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket*> queue_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_DURABILITY_GROUP_COMMIT_H_

@@ -170,6 +170,21 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
           ++result.next_seq;
           break;
         }
+        case WalRecordType::kUpdateBatch: {
+          // One group commit, atomic on disk: the frame either survived
+          // whole (replay every update, in commit order) or was dropped
+          // whole with the torn tail — seq never lands inside a batch.
+          for (const Update& update : record.batch) {
+            const Status applied = result.mod.Apply(update);
+            if (applied.ok()) {
+              ++result.replayed_updates;
+            } else {
+              ++result.skipped_updates;
+            }
+            ++result.next_seq;
+          }
+          break;
+        }
         case WalRecordType::kRegisterQuery:
           // Upsert: segment heads re-journal live queries, so a
           // registration may be seen once per rotation.

@@ -205,12 +205,9 @@ Status DecodeHeader(const std::string& bytes, WalSegmentHeader* header) {
 
 Env* Resolve(Env* env) { return env != nullptr ? env : Env::Default(); }
 
-}  // namespace
-
-// ---- payload codecs --------------------------------------------------------
-
-void EncodeUpdatePayload(const Update& update, std::string* out) {
-  PutU8(out, static_cast<uint8_t>(WalRecordType::kUpdate));
+// Body of one Definition-3 update, shared between the kUpdate payload and
+// each entry of a kUpdateBatch payload.
+void PutUpdateBody(std::string* out, const Update& update) {
   PutU8(out, static_cast<uint8_t>(update.kind));
   PutI64(out, update.oid);
   PutF64(out, update.time);
@@ -225,6 +222,49 @@ void EncodeUpdatePayload(const Update& update, std::string* out) {
     case UpdateKind::kTerminate:
       break;
   }
+}
+
+Status GetUpdateBody(Cursor* in, size_t dim, Update* update) {
+  uint8_t kind = 0;
+  if (!in->GetU8(&kind) || kind > 2) {
+    return Status::InvalidArgument("bad update kind");
+  }
+  update->kind = static_cast<UpdateKind>(kind);
+  if (!in->GetI64(&update->oid) || !in->GetF64(&update->time)) {
+    return Status::InvalidArgument("truncated update record");
+  }
+  switch (update->kind) {
+    case UpdateKind::kNew:
+      if (!in->GetVec(&update->position, dim) ||
+          !in->GetVec(&update->velocity, dim)) {
+        return Status::InvalidArgument("truncated new() record");
+      }
+      break;
+    case UpdateKind::kChdir:
+      if (!in->GetVec(&update->velocity, dim)) {
+        return Status::InvalidArgument("truncated chdir() record");
+      }
+      break;
+    case UpdateKind::kTerminate:
+      break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- payload codecs --------------------------------------------------------
+
+void EncodeUpdatePayload(const Update& update, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kUpdate));
+  PutUpdateBody(out, update);
+}
+
+void EncodeUpdateBatchPayload(const std::vector<Update>& updates,
+                              std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kUpdateBatch));
+  PutU32(out, static_cast<uint32_t>(updates.size()));
+  for (const Update& update : updates) PutUpdateBody(out, update);
 }
 
 void EncodeRegisterQueryPayload(const LoggedQuery& query, std::string* out) {
@@ -253,28 +293,22 @@ StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim) {
   switch (static_cast<WalRecordType>(type)) {
     case WalRecordType::kUpdate: {
       record.type = WalRecordType::kUpdate;
-      uint8_t kind = 0;
-      if (!in.GetU8(&kind) || kind > 2) {
-        return Status::InvalidArgument("bad update kind");
+      MODB_RETURN_IF_ERROR(GetUpdateBody(&in, dim, &record.update));
+      break;
+    }
+    case WalRecordType::kUpdateBatch: {
+      record.type = WalRecordType::kUpdateBatch;
+      uint32_t count = 0;
+      // The smallest update body is 17 bytes (kind+oid+time), so any
+      // plausible count fits the payload cap; a garbage count fails here
+      // instead of driving a huge reserve.
+      if (!in.GetU32(&count) || count == 0 ||
+          count > kMaxPayloadBytes / 17) {
+        return Status::InvalidArgument("bad update batch count");
       }
-      record.update.kind = static_cast<UpdateKind>(kind);
-      if (!in.GetI64(&record.update.oid) || !in.GetF64(&record.update.time)) {
-        return Status::InvalidArgument("truncated update record");
-      }
-      switch (record.update.kind) {
-        case UpdateKind::kNew:
-          if (!in.GetVec(&record.update.position, dim) ||
-              !in.GetVec(&record.update.velocity, dim)) {
-            return Status::InvalidArgument("truncated new() record");
-          }
-          break;
-        case UpdateKind::kChdir:
-          if (!in.GetVec(&record.update.velocity, dim)) {
-            return Status::InvalidArgument("truncated chdir() record");
-          }
-          break;
-        case UpdateKind::kTerminate:
-          break;
+      record.batch.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        MODB_RETURN_IF_ERROR(GetUpdateBody(&in, dim, &record.batch[i]));
       }
       break;
     }
@@ -314,6 +348,49 @@ StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim) {
     return Status::InvalidArgument("trailing bytes in payload");
   }
   return record;
+}
+
+// ---- WalBatch --------------------------------------------------------------
+
+void WalBatch::Frame() {
+  MODB_CHECK(scratch_.size() <= kMaxPayloadBytes);
+  PutU32(&frames_, static_cast<uint32_t>(scratch_.size()));
+  PutU32(&frames_, Crc32c(scratch_.data(), scratch_.size()));
+  frames_.append(scratch_);
+  ++records_;
+}
+
+void WalBatch::AddUpdate(const Update& update) {
+  scratch_.clear();
+  EncodeUpdatePayload(update, &scratch_);
+  Frame();
+  ++updates_;
+}
+
+void WalBatch::AddUpdates(const std::vector<Update>& updates) {
+  if (updates.empty()) return;
+  scratch_.clear();
+  EncodeUpdateBatchPayload(updates, &scratch_);
+  Frame();
+  updates_ += updates.size();
+}
+
+void WalBatch::AddRegisterQuery(const LoggedQuery& query) {
+  scratch_.clear();
+  EncodeRegisterQueryPayload(query, &scratch_);
+  Frame();
+}
+
+void WalBatch::AddRemoveQuery(WalQueryId id) {
+  scratch_.clear();
+  EncodeRemoveQueryPayload(id, &scratch_);
+  Frame();
+}
+
+void WalBatch::Clear() {
+  frames_.clear();  // Keeps capacity: steady-state flushes reallocate nothing.
+  records_ = 0;
+  updates_ = 0;
 }
 
 // ---- WalWriter -------------------------------------------------------------
@@ -366,6 +443,15 @@ Status WalWriter::Close() {
   if (file_ == nullptr) return Status::Ok();
   const Status closed = file_->Close();
   file_.reset();
+  if (!closed.ok() && health_.ok()) {
+    // The final buffered flush failed: some suffix of the acknowledged
+    // appends never reached the file, and (like a failed fsync) there is
+    // no way to tell which. The writer must report sticky-unhealthy so a
+    // holder that consults health() after Close treats the segment as
+    // ending at the last durable record, not at bytes().
+    health_ = closed;
+    obs::M().wal_failures->Increment();
+  }
   return closed;
 }
 
@@ -443,6 +529,50 @@ Status WalWriter::AppendRemoveQuery(WalQueryId id) {
   std::string payload;
   EncodeRemoveQueryPayload(id, &payload);
   return AppendPayload(payload);
+}
+
+Status WalWriter::AppendBatch(const WalBatch& batch) {
+  MODB_CHECK(file_ != nullptr);
+  if (batch.empty()) return Status::Ok();
+  if (!health_.ok()) {
+    return Status::FailedPrecondition(
+        "wal writer on " + path_ +
+        " refused append after earlier failure: " + health_.ToString());
+  }
+  obs::TraceSpan span(obs::SpanName::kWalAppend, obs::kTraceNoId,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      batch.bytes());
+  const Status written = file_->Append(batch.frames());
+  if (!written.ok()) {
+    // Whole-batch atomicity on the byte counter: the file may hold a torn
+    // prefix of the batch, but bytes_ keeps its pre-batch value so no
+    // caller records a position inside (or past) the failed batch.
+    health_ = written;
+    obs::M().wal_failures->Increment();
+    return written;
+  }
+  bytes_ += batch.bytes();
+  unsynced_bytes_ += batch.bytes();
+  obs::ModbMetrics& metrics = obs::M();
+  metrics.wal_appends->Increment(batch.records());
+  metrics.wal_append_bytes->Increment(batch.bytes());
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kEveryRecord:
+      // Per the group-commit contract this is ONE fsync for the whole
+      // batch — the policy names the durability guarantee (every
+      // acknowledged record is synced when its append returns), not a
+      // sync count.
+      MODB_RETURN_IF_ERROR(Sync());
+      break;
+    case SyncPolicy::kEveryNBytes:
+      if (unsynced_bytes_ >= options_.sync_bytes) {
+        MODB_RETURN_IF_ERROR(Sync());
+      }
+      break;
+  }
+  return Status::Ok();
 }
 
 Status WalWriter::Sync() {

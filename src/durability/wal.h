@@ -51,6 +51,9 @@ enum class WalRecordType : uint8_t {
   kUpdate = 1,
   kRegisterQuery = 2,
   kRemoveQuery = 3,
+  // One Commit()'s updates in a single CRC frame: the batch is the atomic
+  // durability unit — a torn tail can drop a whole batch, never split one.
+  kUpdateBatch = 4,
 };
 
 // Query ids live in queries/query_server.h; redeclared here to keep the
@@ -75,12 +78,52 @@ struct WalRecord {
   Update update;            // kUpdate.
   LoggedQuery query;        // kRegisterQuery.
   WalQueryId removed_id = 0;  // kRemoveQuery.
+  std::vector<Update> batch;  // kUpdateBatch, in commit order.
 };
 
 struct WalSegmentHeader {
   size_t dim = 0;
   uint64_t start_seq = 0;
   double start_tau = 0.0;
+};
+
+// A reusable encode buffer of fully framed records, written to the file
+// with one Append (and at most one fsync) by WalWriter::AppendBatch. The
+// group-commit leader fills one of two alternating buffers per flush —
+// Clear() keeps the capacity, so steady-state encoding allocates nothing
+// while the sibling buffer's bytes drain through the Env write path.
+//
+// Framing granularity is the durability contract: AddUpdates() puts one
+// commit's updates into a single kUpdateBatch frame (atomic on disk),
+// AddUpdate() keeps the legacy one-frame-per-update layout for batches of
+// one. Dimension validation is the caller's job (DurableQueryServer
+// validates before enqueueing; the codec encodes whatever it is given).
+class WalBatch {
+ public:
+  // One kUpdate frame (legacy layout; recovery sees it as today).
+  void AddUpdate(const Update& update);
+  // One kUpdateBatch frame holding all of `updates` (empty: no-op).
+  void AddUpdates(const std::vector<Update>& updates);
+  // One kRegisterQuery / kRemoveQuery frame (registrations ride along in
+  // the same group flush).
+  void AddRegisterQuery(const LoggedQuery& query);
+  void AddRemoveQuery(WalQueryId id);
+
+  void Clear();
+  bool empty() const { return frames_.empty(); }
+  // Framed records / Definition-3 updates / bytes buffered so far.
+  size_t records() const { return records_; }
+  size_t updates() const { return updates_; }
+  uint64_t bytes() const { return frames_.size(); }
+  const std::string& frames() const { return frames_; }
+
+ private:
+  void Frame();  // Wraps scratch_ (one payload) into frames_.
+
+  std::string frames_;
+  std::string scratch_;
+  size_t records_ = 0;
+  size_t updates_ = 0;
 };
 
 // Appends records to one segment file. Move-only (owns the file handle).
@@ -118,11 +161,20 @@ class WalWriter {
   Status AppendRegisterQuery(const LoggedQuery& query);
   Status AppendRemoveQuery(WalQueryId id);
 
+  // Appends every frame in `batch` with ONE file append, then applies the
+  // sync policy once for the whole batch — this is what amortizes fsyncs
+  // across a group commit. Same failure atomicity as a single append:
+  // bytes() never half-advances past a failed batch, and the failure
+  // sticks.
+  Status AppendBatch(const WalBatch& batch);
+
   // Flushes the write buffer and fsyncs the file.
   Status Sync();
 
   // Flushes and closes the file, surfacing a buffered-write error that
-  // would otherwise first appear (and be swallowed) at destruction.
+  // would otherwise first appear (and be swallowed) at destruction. A
+  // failed final flush marks the writer sticky-unhealthy exactly like a
+  // mid-stream fsync failure: the durable prefix is unknowable.
   // Idempotent; the destructor calls it and drops the Status.
   Status Close();
 
@@ -133,6 +185,9 @@ class WalWriter {
   const WalSegmentHeader& header() const { return header_; }
   // Current segment size in bytes (header + records appended so far).
   uint64_t bytes() const { return bytes_; }
+  // Bytes appended since the last successful Sync (0: everything durable
+  // under the configured policy).
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
 
  private:
   WalWriter(std::string path, std::unique_ptr<WritableFile> file,
@@ -185,6 +240,8 @@ std::optional<uint64_t> ParseWalFileName(const std::string& name);
 // Payload codecs, exposed for tests (framing is WalWriter/ReadWalSegment's
 // job). Encoding appends to `out`.
 void EncodeUpdatePayload(const Update& update, std::string* out);
+void EncodeUpdateBatchPayload(const std::vector<Update>& updates,
+                              std::string* out);
 void EncodeRegisterQueryPayload(const LoggedQuery& query, std::string* out);
 void EncodeRemoveQueryPayload(WalQueryId id, std::string* out);
 StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim);

@@ -115,6 +115,19 @@ ModbMetrics Register() {
   m.wal_failures = r.RegisterCounter(
       "modb.wal.failures", "errors",
       "WAL append or sync failures (each also drives fail-stop health).");
+  m.commit_flushes = r.RegisterCounter(
+      "modb.commit.flushes", "flushes",
+      "Group-commit flushes (one WAL append, at most one fsync each); "
+      "amortization ratio = batch updates / flushes.");
+  m.commit_batch_updates = r.RegisterHistogram(
+      "modb.commit.batch_updates", "updates",
+      "Definition-3 updates carried by a single group flush (batch size "
+      "after leader/follower merging).",
+      SizeBuckets());
+  m.commit_flush_seconds = r.RegisterHistogram(
+      "modb.commit.flush_seconds", "seconds",
+      "Wall time of the shared WAL append + fsync of one group flush.",
+      LatencyBuckets());
   m.checkpoint_attempts = r.RegisterCounter(
       "modb.checkpoint.attempts", "checkpoints",
       "Checkpoint attempts started by the durable server.");
@@ -123,8 +136,13 @@ ModbMetrics Register() {
       "Checkpoint attempts that failed (checkpoints are retryable).");
   m.checkpoint_seconds = r.RegisterHistogram(
       "modb.checkpoint.seconds", "seconds",
-      "Wall time per checkpoint (snapshot write + WAL truncation).",
+      "Wall time of the off-thread checkpoint half (snapshot write + "
+      "prune).",
       LatencyBuckets());
+  m.checkpoint_off_thread = r.RegisterGauge(
+      "modb.checkpoint.off_thread", "jobs",
+      "1 while the checkpoint worker is writing a frozen snapshot off "
+      "the ingest path, else 0.");
   m.snapshot_writes = r.RegisterCounter(
       "modb.snapshot.writes", "snapshots",
       "Snapshot files written (tmp + fsync + rename).");

@@ -54,9 +54,13 @@ struct ModbMetrics {
   Counter* wal_append_bytes;
   Counter* wal_syncs;
   Counter* wal_failures;
+  Counter* commit_flushes;
+  Histogram* commit_batch_updates;
+  Histogram* commit_flush_seconds;
   Counter* checkpoint_attempts;
   Counter* checkpoint_failures;
   Histogram* checkpoint_seconds;
+  Gauge* checkpoint_off_thread;
   Counter* snapshot_writes;
   Counter* snapshot_write_bytes;
   Counter* recovery_runs;

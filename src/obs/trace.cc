@@ -24,9 +24,12 @@ struct SpanNameInfo {
 // taxonomy table in docs/TRACING.md.
 constexpr SpanNameInfo kSpanNames[] = {
     {"durable.update", false},
+    {"commit.group", false},
+    {"commit.batch", false},
     {"wal.append", false},
     {"wal.sync", false},
     {"checkpoint", false},
+    {"checkpoint.write", false},
     {"recovery", false},
     {"server.update", false},
     {"server.advance", false},

@@ -40,9 +40,12 @@ enum class SpanName : uint8_t {
   // Complete spans (ph "X"): top-level operations and structural sweep
   // mutations.
   kDurableUpdate,   // durable.update  DurableQueryServer::ApplyUpdate
-  kWalAppend,       // wal.append      WalWriter::AppendPayload
+  kCommitGroup,     // commit.group    one group-commit flush (leader)
+  kCommitBatch,     // commit.batch    one Commit()'s updates inside a flush
+  kWalAppend,       // wal.append      WalWriter::AppendPayload/AppendBatch
   kWalSync,         // wal.sync        WalWriter::Sync
-  kCheckpoint,      // checkpoint      DurableQueryServer::Checkpoint
+  kCheckpoint,      // checkpoint      checkpoint trigger (rotate + freeze)
+  kCheckpointWrite, // checkpoint.write off-thread snapshot write + prune
   kRecovery,        // recovery        RecoverDatabase
   kServerUpdate,    // server.update   QueryServer::ApplyUpdate
   kServerAdvance,   // server.advance  QueryServer::AdvanceTo (query eval)

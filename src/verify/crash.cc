@@ -22,8 +22,21 @@ namespace {
 constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
 // Crash geometry (where to stop, where to cut) gets its own stream.
 constexpr uint64_t kCrashSeedSalt = 0x94D049BB133111EBull;
+// Commit batch sizes get their own stream so reshaping the batches never
+// moves the crash geometry of an existing seed.
+constexpr uint64_t kBatchSeedSalt = 0xD6E8FEB86659FD93ull;
 
 constexpr size_t kMaxFailures = 8;
+
+// One successful Commit() during the doomed run: the segment it landed
+// in, that segment's size right after the flush, and the seq it advanced
+// to. Truncating `wal_path` to exactly `wal_bytes` models power loss the
+// instant the group flush's fsync returned.
+struct CommitMark {
+  std::string wal_path;
+  uint64_t wal_bytes = 0;
+  uint64_t seq = 0;
+};
 
 // Newest WAL segment in the directory, or empty if none.
 std::string NewestSegment(const std::string& dir) {
@@ -47,7 +60,8 @@ std::string CrashFuzzResult::ToString() const {
   std::ostringstream out;
   out << (ok() ? "ok" : "FAILED") << " (crash after " << crash_index
       << " updates, cut " << cut_bytes << " bytes"
-      << (torn_tail ? " [torn]" : "") << ", recovered " << recovered_seq
+      << (boundary_cut ? " [boundary]" : "") << (torn_tail ? " [torn]" : "")
+      << ", recovered " << recovered_seq
       << ", lost " << lost_updates << ", " << probes << " bit-exact probes, "
       << audits << " audits";
   if (!ok()) out << ", " << failures.size() << " failure(s)";
@@ -85,11 +99,17 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
       options.trigger_bytes > 0 ? options.trigger_bytes : 1;
 
   Rng crash_rng(options.seed ^ kCrashSeedSalt);
+  Rng batch_rng(options.seed ^ kBatchSeedSalt);
   result.crash_index = static_cast<size_t>(
       crash_rng.UniformInt(0, static_cast<int64_t>(updates.size())));
 
-  // Phase A — the doomed run: open fresh, register standing queries, apply
-  // a prefix, then "crash" (close and mutilate the newest segment below).
+  // Every successful commit's (segment, size, seq) — the exact set of
+  // states a power loss is allowed to recover to.
+  std::vector<CommitMark> marks;
+
+  // Phase A — the doomed run: open fresh, register standing queries,
+  // commit a prefix in seeded batches, then "crash" (close and mutilate
+  // the newest segment below).
   {
     StatusOr<std::unique_ptr<DurableQueryServer>> opened =
         DurableQueryServer::Open(options.dir, durable_options);
@@ -110,12 +130,22 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
                     (knn.ok() ? within.status() : knn.status()).ToString());
       return result;
     }
-    for (size_t i = 0; i < result.crash_index; ++i) {
-      const Status applied = db->ApplyUpdate(updates[i]);
-      if (!applied.ok()) {
-        fail(updates[i].time, "phase A apply: " + applied.ToString());
+    size_t i = 0;
+    while (i < result.crash_index) {
+      const size_t remaining = result.crash_index - i;
+      const size_t n = std::min(
+          static_cast<size_t>(1 + batch_rng.UniformInt(0, 7)), remaining);
+      const std::vector<Update> chunk(
+          updates.begin() + static_cast<ptrdiff_t>(i),
+          updates.begin() + static_cast<ptrdiff_t>(i + n));
+      std::vector<Status> statuses;
+      const Status committed = db->Commit(chunk, &statuses);
+      if (!committed.ok()) {
+        fail(updates[i].time, "phase A commit: " + committed.ToString());
         return result;
       }
+      i += n;
+      marks.push_back(CommitMark{db->wal_path(), db->wal_bytes(), db->seq()});
     }
     // db destructs here: the write buffer reaches the file, as it would
     // under any sync policy once the OS page cache survives (the crash we
@@ -136,8 +166,38 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
     fail(0.0, "cannot stat " + victim + ": " + ec.message());
     return result;
   }
-  const uint64_t keep = static_cast<uint64_t>(
-      crash_rng.UniformInt(0, static_cast<int64_t>(file_bytes)));
+  // The marks that sit inside the victim segment are the commit
+  // boundaries a cut can legally recover to; everything in older
+  // segments is fully durable and replays to at least the victim's
+  // start seq.
+  std::vector<const CommitMark*> victim_marks;
+  for (const CommitMark& mark : marks) {
+    if (mark.wal_path == victim) victim_marks.push_back(&mark);
+  }
+  const std::optional<uint64_t> victim_start =
+      ParseWalFileName(fs::path(victim).filename().string());
+
+  // Half the seeds cut at an exact recorded boundary — power loss the
+  // instant a group flush's fsync returned — and recovery must replay
+  // exactly the fully-synced batches. The rest cut at a random offset.
+  uint64_t expected_boundary_seq = 0;
+  const bool want_boundary = crash_rng.UniformInt(0, 1) == 1;
+  uint64_t keep = 0;
+  if (want_boundary && !victim_marks.empty()) {
+    const CommitMark& mark = *victim_marks[static_cast<size_t>(
+        crash_rng.UniformInt(0, static_cast<int64_t>(victim_marks.size()) - 1))];
+    result.boundary_cut = true;
+    expected_boundary_seq = mark.seq;
+    keep = mark.wal_bytes;
+    if (keep > file_bytes) {
+      fail(0.0, "commit mark claims " + std::to_string(keep) + " bytes but " +
+                    victim + " holds only " + std::to_string(file_bytes));
+      return result;
+    }
+  } else {
+    keep = static_cast<uint64_t>(
+        crash_rng.UniformInt(0, static_cast<int64_t>(file_bytes)));
+  }
   result.cut_bytes = file_bytes - keep;
   if (result.cut_bytes > 0) {
     fs::resize_file(victim, keep, ec);
@@ -163,6 +223,38 @@ CrashFuzzResult RunCrashInjection(const CrashFuzzOptions& options) {
                   " updates but only " + std::to_string(result.crash_index) +
                   " were ever applied");
     return result;
+  }
+  if (result.boundary_cut) {
+    // The file ends exactly where a group flush's fsync left it, so
+    // recovery must replay exactly the fully-synced batches: no torn
+    // record to repair, and not one update more or less.
+    if (result.recovered_seq != expected_boundary_seq) {
+      fail(0.0, "boundary cut at seq " +
+                    std::to_string(expected_boundary_seq) + " recovered " +
+                    std::to_string(result.recovered_seq) + " updates");
+      return result;
+    }
+    if (result.torn_tail) {
+      fail(0.0, "boundary cut left a torn tail to repair");
+      return result;
+    }
+  } else {
+    // A random cut may land mid-batch, but recovery must still stop on a
+    // commit boundary: the victim's start seq (cut destroyed every
+    // update frame, or landed in the re-journaled registrations) or the
+    // seq of some commit recorded in the victim — never inside a batch.
+    const uint64_t recovered = result.recovered_seq;
+    bool on_boundary =
+        victim_start.has_value() && recovered == *victim_start;
+    for (const CommitMark* mark : victim_marks) {
+      on_boundary = on_boundary || recovered == mark->seq;
+    }
+    if (!on_boundary) {
+      fail(0.0, "recovery landed inside a commit batch: seq " +
+                    std::to_string(recovered) +
+                    " matches no commit boundary in " + victim);
+      return result;
+    }
   }
   result.lost_updates = result.crash_index - static_cast<size_t>(db->seq());
   const size_t resume_from = static_cast<size_t>(db->seq());

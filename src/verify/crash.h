@@ -11,13 +11,21 @@ namespace modb {
 
 // Crash-injection differential fuzzing for the durability subsystem: one
 // seed-deterministic run drives a DurableQueryServer through a randomized
-// workload, "crashes" it by truncating the newest WAL segment at a random
-// byte offset (simulating a torn write), recovers, and then resumes the
-// remaining updates in lockstep against a fresh in-memory QueryServer that
-// replayed the recovered prefix. Both lanes execute the same deterministic
-// sweep on the same doubles, so every standing-query answer must be
-// BIT-IDENTICAL — no tolerance — and the final databases must serialize to
-// the same bytes. SweepAuditor runs on both lanes when `audit` is set.
+// workload — applied as Commit() batches of seeded size (1..8), so every
+// WAL frame boundary is a commit boundary — then "crashes" it by
+// truncating the newest WAL segment (simulating a torn write), recovers,
+// and resumes the remaining updates in lockstep against a fresh
+// in-memory QueryServer that replayed the recovered prefix. Half the
+// seeds cut at an exact commit boundary recorded during the doomed run
+// (power loss right after a group flush): recovery must then replay
+// EXACTLY the fully-synced batches — recovered seq equals the marked
+// commit's seq, with no torn tail to repair. The other half cut at a
+// random byte offset, which may land mid-batch: the recovered seq must
+// still be a commit boundary (never inside a batch). Both lanes execute
+// the same deterministic sweep on the same doubles, so every
+// standing-query answer must be BIT-IDENTICAL — no tolerance — and the
+// final databases must serialize to the same bytes. SweepAuditor runs on
+// both lanes when `audit` is set.
 struct CrashFuzzOptions {
   uint64_t seed = 1;
   size_t num_objects = 16;
@@ -40,6 +48,7 @@ struct CrashFuzzOptions {
 struct CrashFuzzResult {
   size_t crash_index = 0;      // Updates applied before the simulated crash.
   uint64_t cut_bytes = 0;      // Bytes sliced off the newest segment.
+  bool boundary_cut = false;   // Cut exactly at a recorded commit boundary.
   bool torn_tail = false;      // Recovery found (and repaired) a torn record.
   uint64_t recovered_seq = 0;  // Update records that survived the cut.
   size_t lost_updates = 0;     // crash_index - recovered updates.

@@ -23,6 +23,13 @@ constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
 
 constexpr size_t kMaxFailures = 8;
 
+// The first half of the script is committed in batches of this many
+// updates, so the matrix exercises the group-commit path: a fault inside
+// a batched append/fsync must fail the WHOLE batch (seq never lands
+// inside one), and power-loss recovery must land exactly on a batch
+// boundary.
+constexpr size_t kScriptBatch = 3;
+
 constexpr FaultKind kAllKinds[] = {FaultKind::kEio, FaultKind::kEnospc,
                                    FaultKind::kShortWrite,
                                    FaultKind::kSyncFail};
@@ -35,6 +42,9 @@ struct ScriptState {
   std::string step;   // Which step surfaced `error`.
   size_t applied = 0;  // Updates successfully applied.
   bool checkpoint_failed = false;  // `error` came from explicit Checkpoint.
+  // Per-update statuses of the failed Commit (step == "commit"): the
+  // whole-batch contract says every one must be the same kUnavailable.
+  std::vector<Status> commit_statuses;
 };
 
 DurabilityOptions ScriptDurabilityOptions(Env* env) {
@@ -75,15 +85,23 @@ ScriptState RunScript(const std::string& dir, Env* env,
     state.step = "add-within";
     return state;
   }
+  // First half: batched commits through the group-commit path. The last
+  // batch may be partial, so `half` itself is always a batch boundary.
   const size_t half = updates.size() / 2;
-  for (size_t i = 0; i < half; ++i) {
-    const Status applied = state.db->ApplyUpdate(updates[i]);
-    if (!applied.ok()) {
-      state.error = applied;
-      state.step = "apply";
+  for (size_t i = 0; i < half; i += kScriptBatch) {
+    const size_t n = std::min(kScriptBatch, half - i);
+    const std::vector<Update> batch(
+        updates.begin() + static_cast<ptrdiff_t>(i),
+        updates.begin() + static_cast<ptrdiff_t>(i + n));
+    std::vector<Status> statuses;
+    const Status committed = state.db->Commit(batch, &statuses);
+    if (!committed.ok()) {
+      state.error = committed;
+      state.step = "commit";
+      state.commit_statuses = std::move(statuses);
       return state;
     }
-    ++state.applied;
+    state.applied += n;
   }
   const Status checkpointed = state.db->Checkpoint();
   if (!checkpointed.ok()) {
@@ -324,6 +342,29 @@ FaultMatrixResult RunFaultMatrix(const FaultMatrixOptions& options) {
           if (state.db->degraded_cause().ok()) {
             fail(0.0, "degraded server reports an OK cause");
           }
+          // Whole-batch atomicity: a failed batched append/fsync advanced
+          // nothing — seq must equal the updates applied by *successful*
+          // commits, never a value inside the failed batch.
+          if (state.db->seq() != state.applied) {
+            fail(0.0, "half-applied batch: seq " +
+                          std::to_string(state.db->seq()) + " but " +
+                          std::to_string(state.applied) +
+                          " updates were committed");
+          }
+          if (state.step == "commit") {
+            if (state.commit_statuses.empty()) {
+              fail(0.0, "failed Commit reported no per-update statuses");
+            }
+            for (const Status& status : state.commit_statuses) {
+              if (status.code() != StatusCode::kUnavailable) {
+                fail(0.0,
+                     "failed Commit left a per-update status that is not "
+                     "kUnavailable: " +
+                         status.ToString());
+                break;
+              }
+            }
+          }
           const Update& next =
               updates[std::min(state.applied, updates.size() - 1)];
           const auto expect_unavailable = [&](const Status& status,
@@ -335,6 +376,11 @@ FaultMatrixResult RunFaultMatrix(const FaultMatrixOptions& options) {
             }
           };
           expect_unavailable(state.db->ApplyUpdate(next), "ApplyUpdate");
+          {
+            std::vector<Status> probe_statuses;
+            expect_unavailable(state.db->Commit({next}, &probe_statuses),
+                               "Commit");
+          }
           expect_unavailable(
               state.db->AddKnn("fault", query, options.k).status(), "AddKnn");
           expect_unavailable(state.db->Checkpoint(), "Checkpoint");
@@ -371,10 +417,27 @@ FaultMatrixResult RunFaultMatrix(const FaultMatrixOptions& options) {
             } else {
               std::unique_ptr<DurableQueryServer> db =
                   std::move(reopened).value();
+              // Recovery may only land on a commit boundary: multiples of
+              // kScriptBatch inside the batched first half (plus `half`
+              // itself, the partial-batch end), or any seq in the
+              // single-update second half. Anything else means replay
+              // stopped inside a batch.
+              const size_t half = updates.size() / 2;
+              const uint64_t recovered_seq = db->seq();
+              const bool on_boundary =
+                  recovered_seq > half ||
+                  recovered_seq == half ||
+                  recovered_seq % kScriptBatch == 0;
               if (db->seq() > applied) {
                 fail(0.0, "recovery replayed " + std::to_string(db->seq()) +
                               " updates but only " + std::to_string(applied) +
                               " were ever applied");
+              } else if (!on_boundary) {
+                fail(0.0, "recovery landed inside a commit batch: seq " +
+                              std::to_string(recovered_seq) +
+                              " is not a multiple of " +
+                              std::to_string(kScriptBatch) + " within [0, " +
+                              std::to_string(half) + "]");
               } else {
                 const LockstepStats stats = VerifyAgainstReference(
                     *db, updates, static_cast<size_t>(db->seq()), query,

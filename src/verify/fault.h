@@ -12,9 +12,10 @@ namespace modb {
 // Exhaustive single-fault I/O-failure matrix for the durability subsystem.
 //
 // A fixed scripted workload (open fresh, register a knn and a within
-// query, apply half the updates, checkpoint, apply the rest, flush) is
-// first run against a counting FaultInjectionEnv to learn its operation
-// count n. It is then rerun once per (operation k, fault kind) pair —
+// query, commit the first half of the updates in batches of three
+// through the group-commit path, checkpoint, apply the rest one by one,
+// flush) is first run against a counting FaultInjectionEnv to learn its
+// operation count n. It is then rerun once per (operation k, fault kind) pair —
 // kinds: EIO, ENOSPC, short write, fsync failure — with exactly that one
 // operation failing. Every rerun must end in one of:
 //
@@ -25,12 +26,16 @@ namespace modb {
 //    non-degraded server, after which the SAME Checkpoint call must
 //    succeed and the run completes as above (retryability);
 //  - a surfaced kUnavailable with the server in sticky read-only degraded
-//    mode: every further mutation refuses with kUnavailable while reads
-//    keep serving answers bit-identical to a reference holding the
-//    applied prefix. Power loss is then emulated (unsynced bytes
-//    dropped), the directory is reopened with a clean env, and the
-//    remaining updates are resumed in lockstep — bit-identical probes,
-//    identical final serialized state, clean sweep audits.
+//    mode: every further mutation (ApplyUpdate, Commit, AddKnn,
+//    Checkpoint, Flush) refuses with kUnavailable while reads keep
+//    serving answers bit-identical to a reference holding the applied
+//    prefix. A fault inside a batched commit fails the whole batch
+//    atomically — seq never lands inside a batch and every per-update
+//    status reports the same kUnavailable. Power loss is then emulated
+//    (unsynced bytes dropped), the directory is reopened with a clean
+//    env, and the remaining updates are resumed in lockstep —
+//    bit-identical probes, identical final serialized state, clean sweep
+//    audits. The recovered seq must sit on a commit boundary.
 //
 // Everything is deterministic in the options; a failure reproduces from
 // the printed repro command alone.

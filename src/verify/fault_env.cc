@@ -122,12 +122,24 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
 void FaultInjectionEnv::SetPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
   ops_seen_ = 0;
   injected_ = false;
 }
 
+uint64_t FaultInjectionEnv::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_seen_;
+}
+
+bool FaultInjectionEnv::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
 bool FaultInjectionEnv::NextOp(unsigned traits, FaultKind* kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++ops_seen_;
   if (injected_ || plan_.fail_op == 0 || ops_seen_ != plan_.fail_op) {
     return false;
@@ -151,24 +163,33 @@ void FaultInjectionEnv::RecordOpen(const std::string& path, WriteMode mode) {
     // durable (the matrix reopens only after DropUnsyncedData).
     StatusOr<uint64_t> size = base_->GetFileSize(path);
     const uint64_t existing = size.ok() ? *size : 0;
+    std::lock_guard<std::mutex> lock(mu_);
     files_[path] = FileState{existing, existing};
   } else {
+    std::lock_guard<std::mutex> lock(mu_);
     files_[path] = FileState{0, 0};
   }
 }
 
 void FaultInjectionEnv::RecordAppend(const std::string& path, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   files_[path].appended += n;
 }
 
 void FaultInjectionEnv::RecordSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileState& state = files_[path];
   state.synced = state.appended;
 }
 
 Status FaultInjectionEnv::DropUnsyncedData() {
+  std::map<std::string, FileState> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files = files_;
+  }
   Status first;
-  for (const auto& [path, state] : files_) {
+  for (const auto& [path, state] : files) {
     if (state.synced >= state.appended) continue;
     const Status truncated = base_->TruncateFile(path, state.synced);
     // A file can legitimately be gone (abandoned tmp, pruned segment).
@@ -240,6 +261,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
   }
   const Status renamed = base_->RenameFile(from, to);
   if (renamed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = files_.find(from);
     if (it != files_.end()) {
       files_[to] = it->second;
@@ -255,7 +277,10 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
     return InjectedStatus(kind, "unlink of " + path);
   }
   const Status removed = base_->RemoveFile(path);
-  if (removed.ok()) files_.erase(path);
+  if (removed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(path);
+  }
   return removed;
 }
 
@@ -267,6 +292,7 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
   }
   const Status truncated = base_->TruncateFile(path, size);
   if (truncated.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = files_.find(path);
     if (it != files_.end()) {
       it->second.appended = size;

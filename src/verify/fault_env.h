@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,17 +37,20 @@ struct FaultPlan {
 // counting operations, injecting the planned fault, and tracking the
 // synced prefix of every written file so power loss can be emulated:
 // DropUnsyncedData() truncates each file to the bytes that had been
-// fsynced when the plug was pulled. Single-threaded, like the harnesses
-// that use it.
+// fsynced when the plug was pulled. Thread-safe: the op counter and file
+// tables are mutex-guarded, since the durable server's checkpoint worker
+// does I/O off the harness thread. The *op numbering* is only
+// deterministic when at most one thread performs I/O at a time — the
+// fault matrix guarantees that by using explicit (waited) checkpoints.
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base = nullptr);
 
   // Installs a plan and resets ops_seen()/injected().
   void SetPlan(const FaultPlan& plan);
-  uint64_t ops_seen() const { return ops_seen_; }
+  uint64_t ops_seen() const;
   // True once the planned fault actually fired.
-  bool injected() const { return injected_; }
+  bool injected() const;
 
   // Power loss: truncates every file written through this env to its
   // last-synced size. Call with no handles open (the harness destroys the
@@ -95,6 +99,7 @@ class FaultInjectionEnv : public Env {
   void RecordSync(const std::string& path);
 
   Env* base_;
+  mutable std::mutex mu_;  // Guards everything below.
   FaultPlan plan_;
   uint64_t ops_seen_ = 0;
   bool injected_ = false;

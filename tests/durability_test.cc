@@ -1,7 +1,9 @@
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "durability/recovery.h"
 #include "durability/snapshot.h"
 #include "durability/wal.h"
+#include "obs/modb_metrics.h"
 #include "trajectory/serialization.h"
 #include "verify/fault_env.h"
 
@@ -224,6 +227,85 @@ TEST(WalTest, GarbageHeaderIsAnError) {
   EXPECT_FALSE(ReadWalSegment(path).ok());
   WriteFileBytes(path, "short");
   EXPECT_FALSE(ReadWalSegment(path).ok());
+}
+
+TEST(WalTest, AppendBatchRoundTripsWithMixedFraming) {
+  const std::string dir = ScratchDir("wal_batch");
+  const std::string path = dir + "/" + WalFileName(0);
+  WalOptions options;
+  options.sync = SyncPolicy::kEveryRecord;
+  auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0}, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  // One group flush: a commit of one (legacy kUpdate frame) plus a
+  // commit of three (one atomic kUpdateBatch frame).
+  WalBatch batch;
+  batch.AddUpdate(SampleNew(1, 1.0));
+  batch.AddUpdates({SampleNew(2, 2.0),
+                    Update::ChangeDirection(2, 3.0, Vec{1.0, 1.0}),
+                    Update::TerminateObject(1, 4.0)});
+  EXPECT_EQ(batch.updates(), 4u);
+  ASSERT_TRUE(writer->AppendBatch(batch).ok());
+  // kEveryRecord means the flush ended with one fsync of everything.
+  EXPECT_EQ(writer->unsynced_bytes(), 0u);
+
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kUpdate);
+  EXPECT_EQ(read->records[0].update.oid, 1);
+  EXPECT_EQ(read->records[1].type, WalRecordType::kUpdateBatch);
+  ASSERT_EQ(read->records[1].batch.size(), 3u);
+  EXPECT_EQ(read->records[1].batch[0].oid, 2);
+  EXPECT_EQ(read->records[1].batch[1].kind, UpdateKind::kChdir);
+  EXPECT_EQ(read->records[1].batch[2].kind, UpdateKind::kTerminate);
+}
+
+TEST(WalTest, TornBatchFrameDropsTheWholeBatch) {
+  const std::string dir = ScratchDir("wal_batch_torn");
+  const std::string path = dir + "/" + WalFileName(0);
+  uint64_t bytes_before_batch = 0;
+  {
+    auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+    bytes_before_batch = writer->bytes();
+    WalBatch batch;
+    batch.AddUpdates({SampleNew(2, 2.0), SampleNew(3, 2.0), SampleNew(4, 2.0)});
+    ASSERT_TRUE(writer->AppendBatch(batch).ok());
+  }
+  // Chop into the middle of the batch frame: the batch is ONE CRC frame,
+  // so a torn write can never split it — all three updates vanish
+  // together and the single-update prefix survives.
+  const std::string bytes = ReadFileBytes(path);
+  const uint64_t cut = bytes_before_batch + (bytes.size() - bytes_before_batch) / 2;
+  WriteFileBytes(path, bytes.substr(0, cut));
+  const auto read = ReadWalSegment(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].update.oid, 1);
+  EXPECT_EQ(read->valid_bytes, bytes_before_batch);
+}
+
+TEST(WalTest, CloseFailureMarksWriterUnhealthy) {
+  const std::string dir = ScratchDir("wal_close_fail");
+  const std::string path = dir + "/" + WalFileName(0);
+  FaultInjectionEnv env;
+  auto writer = WalWriter::Create(path, WalSegmentHeader{2, 0, 0.0},
+                                  WalOptions{}, &env);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer->AppendUpdate(SampleNew(1, 1.0)).ok());
+
+  // A buffered append can first surface at close; the writer must go
+  // sticky-unhealthy exactly like a failed append, or callers would keep
+  // trusting a handle whose final flush was lost.
+  env.SetPlan(FaultPlan{1, FaultKind::kEio});  // The very next file op.
+  const Status closed = writer->Close();
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(closed.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(writer->health().ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -585,12 +667,15 @@ TEST(DurableServerTest, AutoCheckpointTriggersOnSize) {
   for (int i = 1; i <= 40; ++i) {
     ASSERT_TRUE(db->ApplyUpdate(SampleNew(i, 0.1 * i)).ok());
   }
+  // Capture state, then destroy the server FIRST: auto-checkpoints only
+  // park the snapshot write for the background worker, and the destructor
+  // is the barrier that guarantees the parked write has landed.
+  const std::string state = ModToString(db->server().mod());
+  opened->reset();
   const auto snapshots = SnapshotManager::List(dir);
   ASSERT_TRUE(snapshots.ok());
   EXPECT_GE(snapshots->size(), 1u);
   // Reopen sees the full state regardless of where the rotation landed.
-  const std::string state = ModToString(db->server().mod());
-  opened->reset();
   auto reopened = DurableQueryServer::Open(dir, options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
@@ -616,6 +701,197 @@ TEST(DurableServerTest, RejectedUpdateStillRecoversCleanly) {
   EXPECT_EQ((*reopened)->open_info().skipped_updates, 1u);
   EXPECT_EQ((*reopened)->seq(), 2u);
   EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+}
+
+// ---------------------------------------------------------------------------
+// Group commit (DurableQueryServer::Commit)
+
+TEST(GroupCommitTest, CommitAppliesBatchAndRecovers) {
+  const std::string dir = ScratchDir("gc_basic");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.wal.sync = SyncPolicy::kEveryRecord;
+  std::string state;
+  {
+    auto opened = DurableQueryServer::Open(dir, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& db = *opened;
+    std::vector<Update> batch;
+    for (int i = 1; i <= 5; ++i) batch.push_back(SampleNew(i, 1.0));
+    std::vector<Status> statuses;
+    ASSERT_TRUE(db->Commit(batch, &statuses).ok());
+    ASSERT_EQ(statuses.size(), 5u);
+    for (const Status& status : statuses) {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+    EXPECT_EQ(db->seq(), 5u);
+    // kEveryRecord: the flush ended in one fsync, so the whole batch is
+    // already durable by the time Commit returns.
+    EXPECT_EQ(db->durable_seq(), 5u);
+
+    // A semantically rejected update (duplicate oid) is logged and then
+    // refused by the database; the commit itself still succeeds and
+    // reports it per-update — exactly like the single-update path.
+    std::vector<Status> mixed;
+    ASSERT_TRUE(
+        db->Commit({SampleNew(6, 2.0), SampleNew(1, 2.0)}, &mixed).ok());
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_TRUE(mixed[0].ok());
+    EXPECT_FALSE(mixed[1].ok());
+    EXPECT_EQ(db->seq(), 7u);
+    state = ModToString(db->server().mod());
+  }
+  auto reopened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), 7u);
+  EXPECT_EQ((*reopened)->open_info().replayed_updates, 6u);
+  EXPECT_EQ((*reopened)->open_info().skipped_updates, 1u);
+  EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+}
+
+TEST(GroupCommitTest, LatencyCapFlushesLoneCommit) {
+  const std::string dir = ScratchDir("gc_latency");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.wal.sync = SyncPolicy::kEveryRecord;
+  // A lone committer's leader lingers up to the cap waiting for
+  // followers; with no follow-on traffic the flush must still happen —
+  // the cap is a latency bound, not a required batch fill.
+  options.commit.max_batch_delay_us = 20000;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+  ASSERT_TRUE(db->Commit({SampleNew(1, 1.0)}, nullptr).ok());
+  ASSERT_TRUE(
+      db->Commit({SampleNew(2, 2.0), SampleNew(3, 2.0)}, nullptr).ok());
+  EXPECT_EQ(db->seq(), 3u);
+  EXPECT_EQ(db->durable_seq(), 3u);
+}
+
+TEST(GroupCommitTest, ConcurrentCommittersKeepDurableSeqMonotonic) {
+  const std::string dir = ScratchDir("gc_concurrent");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.wal.sync = SyncPolicy::kEveryRecord;
+  options.commit.max_batch_delay_us = 200;  // Encourage follower merging.
+  options.commit.max_batch_updates = 4;     // ...but cap the group size.
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+
+  const uint64_t flushes_before = obs::M().commit_flushes->Value();
+  constexpr int kThreads = 8;
+  constexpr int kCommits = 5;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t last_durable = 0;
+      for (int c = 0; c < kCommits; ++c) {
+        const ObjectId oid = 1 + t * kCommits + c;
+        std::vector<Status> statuses;
+        const Status committed = db->Commit({SampleNew(oid, 1.0)}, &statuses);
+        if (!committed.ok() || statuses.size() != 1 || !statuses[0].ok()) {
+          ++bad;
+          return;
+        }
+        // Once a synced Commit returns, its updates are durable: the
+        // durable LSN must cover at least this thread's own commits and
+        // never move backwards.
+        const uint64_t durable = db->durable_seq();
+        if (durable < last_durable ||
+            durable < static_cast<uint64_t>(c + 1)) {
+          ++bad;
+          return;
+        }
+        last_durable = durable;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(db->seq(), static_cast<uint64_t>(kThreads * kCommits));
+  EXPECT_EQ(db->durable_seq(), db->seq());
+
+  // The size cap bounds every group: 40 updates need at least 10 flushes
+  // (and at most one per commit).
+  const uint64_t flushes = obs::M().commit_flushes->Value() - flushes_before;
+  EXPECT_GE(flushes, static_cast<uint64_t>(kThreads * kCommits) / 4);
+  EXPECT_LE(flushes, static_cast<uint64_t>(kThreads * kCommits));
+
+  const std::string state = ModToString(db->server().mod());
+  opened->reset();
+  auto reopened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), static_cast<uint64_t>(kThreads * kCommits));
+  EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+}
+
+TEST(GroupCommitTest, InvalidUpdateIsRefusedBeforeQueueing) {
+  const std::string dir = ScratchDir("gc_invalid");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  const uint64_t bytes_before = db->wal_bytes();
+
+  // A dimension mismatch is caught by validation BEFORE the batch is
+  // queued: nothing of the batch reaches the log, and the server stays
+  // healthy (kInvalidArgument is not an I/O failure).
+  const Update bad =
+      Update::NewObject(9, 2.0, Vec{1.0, 2.0, 3.0}, Vec{0.0, 0.0, 0.0});
+  std::vector<Status> statuses;
+  const Status refused = db->Commit({SampleNew(8, 2.0), bad}, &statuses);
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->seq(), 1u);
+  EXPECT_EQ(db->wal_bytes(), bytes_before);
+  EXPECT_FALSE(db->degraded());
+  EXPECT_TRUE(db->ApplyUpdate(SampleNew(2, 3.0)).ok());
+}
+
+TEST(GroupCommitTest, ConcurrentCheckpointDuringIngestStaysConsistent) {
+  const std::string dir = ScratchDir("gc_ckpt_ingest");
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+
+  // Checkpoints freeze a copy-on-write cut under the commit mutex and
+  // write it off-thread; commits keep flowing while the explicit waiter
+  // blocks. Recovery must land on exactly the ingested state no matter
+  // where the cuts fell.
+  constexpr int kUpdates = 60;
+  std::atomic<int> bad{0};
+  std::thread ingest([&] {
+    for (int i = 1; i <= kUpdates; ++i) {
+      std::vector<Status> statuses;
+      const Status committed = db->Commit({SampleNew(i, 1.0)}, &statuses);
+      if (!committed.ok() || statuses.size() != 1 || !statuses[0].ok()) {
+        ++bad;
+        return;
+      }
+    }
+  });
+  for (int c = 0; c < 5; ++c) {
+    const Status checkpointed = db->Checkpoint();
+    EXPECT_TRUE(checkpointed.ok()) << checkpointed.ToString();
+  }
+  ingest.join();
+  ASSERT_EQ(bad.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_TRUE(db->last_checkpoint_status().ok());
+  EXPECT_EQ(db->seq(), static_cast<uint64_t>(kUpdates));
+
+  const std::string state = ModToString(db->server().mod());
+  opened->reset();
+  auto reopened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), static_cast<uint64_t>(kUpdates));
+  EXPECT_EQ(ModToString((*reopened)->server().mod()), state);
+  EXPECT_TRUE((*reopened)->open_info().from_snapshot);
 }
 
 // ---------------------------------------------------------------------------
@@ -782,6 +1058,56 @@ TEST(FaultTest, DegradedModeIsStickyAndKeepsServingReads) {
 
   // Reopening the directory recovers the durable prefix, writable again.
   db.reset();
+  auto reopened = DurableQueryServer::Open(dir, DurabilityOptions{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->seq(), 1u);
+  EXPECT_FALSE((*reopened)->degraded());
+  EXPECT_TRUE((*reopened)->ApplyUpdate(SampleNew(2, 2.0)).ok());
+}
+
+TEST(FaultTest, BatchFsyncFailureFailsWholeBatchAtomically) {
+  const std::string dir = ScratchDir("fault_batch_fsync");
+  FaultInjectionEnv env;
+  DurabilityOptions options;
+  options.auto_checkpoint = false;
+  options.env = &env;
+  options.wal.sync = SyncPolicy::kEveryRecord;
+  auto opened = DurableQueryServer::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& db = *opened;
+  ASSERT_TRUE(db->ApplyUpdate(SampleNew(1, 1.0)).ok());
+  EXPECT_EQ(db->durable_seq(), 1u);
+
+  // A Commit's flush is one append (op 1) then one fsync (op 2). Failing
+  // the shared fsync must fail the WHOLE batch atomically: seq and the
+  // durable LSN never half-advance, and every per-update status reports
+  // the same kUnavailable.
+  env.SetPlan(FaultPlan{2, FaultKind::kSyncFail});
+  std::vector<Update> batch;
+  for (int i = 2; i <= 6; ++i) batch.push_back(SampleNew(i, 2.0));
+  std::vector<Status> statuses;
+  const Status failed = db->Commit(batch, &statuses);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(statuses.size(), 5u);
+  for (const Status& status : statuses) {
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+  }
+  EXPECT_EQ(db->seq(), 1u);
+  EXPECT_EQ(db->durable_seq(), 1u);
+  EXPECT_TRUE(db->degraded());
+
+  // Sticky: the next batch is refused whole, without touching the log.
+  std::vector<Status> refused;
+  EXPECT_EQ(db->Commit({SampleNew(9, 3.0)}, &refused).code(),
+            StatusCode::kUnavailable);
+  ASSERT_EQ(refused.size(), 1u);
+  EXPECT_EQ(refused[0].code(), StatusCode::kUnavailable);
+
+  // Power loss, then reopen with a clean env: the unsynced batch frame is
+  // dropped and exactly the pre-fault prefix recovers.
+  opened->reset();
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
   auto reopened = DurableQueryServer::Open(dir, DurabilityOptions{});
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ((*reopened)->seq(), 1u);
