@@ -1,0 +1,69 @@
+#include "durability/shard_layout.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace modb {
+
+namespace {
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kShardManifestFile;
+}
+}  // namespace
+
+std::string ShardSubdir(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03zu", index);
+  return buf;
+}
+
+Status WriteShardManifest(Env* env, const std::string& dir,
+                          const ShardManifest& manifest) {
+  if (manifest.shards == 0 || manifest.shards > 256) {
+    return Status::InvalidArgument("shard count must be in [1, 256]");
+  }
+  if (manifest.dim == 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+  MODB_RETURN_IF_ERROR(env->CreateDirs(dir));
+  {
+    std::string ignored;
+    if (env->ReadFileToString(ManifestPath(dir), &ignored).ok()) {
+      return Status::AlreadyExists("shard manifest already present: " +
+                                   ManifestPath(dir));
+    }
+  }
+  const std::string tmp = ManifestPath(dir) + ".tmp";
+  auto file = env->NewWritableFile(tmp, WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  char body[128];
+  std::snprintf(body, sizeof(body),
+                "modb-shard-manifest v1\nshards %zu\ndim %zu\n",
+                manifest.shards, manifest.dim);
+  MODB_RETURN_IF_ERROR((*file)->Append(body, std::strlen(body)));
+  MODB_RETURN_IF_ERROR((*file)->Sync());
+  MODB_RETURN_IF_ERROR((*file)->Close());
+  MODB_RETURN_IF_ERROR(env->RenameFile(tmp, ManifestPath(dir)));
+  return env->SyncDir(dir);
+}
+
+StatusOr<ShardManifest> ReadShardManifest(Env* env, const std::string& dir) {
+  std::string body;
+  const Status read = env->ReadFileToString(ManifestPath(dir), &body);
+  if (!read.ok()) return read;
+  size_t shards = 0;
+  size_t dim = 0;
+  if (std::sscanf(body.c_str(),
+                  "modb-shard-manifest v1\nshards %zu\ndim %zu", &shards,
+                  &dim) != 2 ||
+      shards == 0 || shards > 256 || dim == 0) {
+    return Status::DataLoss("unparsable shard manifest: " +
+                            ManifestPath(dir));
+  }
+  ShardManifest manifest;
+  manifest.shards = shards;
+  manifest.dim = dim;
+  return manifest;
+}
+
+}  // namespace modb

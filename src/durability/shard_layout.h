@@ -1,0 +1,50 @@
+#ifndef MODB_DURABILITY_SHARD_LAYOUT_H_
+#define MODB_DURABILITY_SHARD_LAYOUT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace modb {
+
+// On-disk layout of a sharded database directory (src/shard/):
+//
+//   <dir>/SHARDS        the manifest: shard count + dimension
+//   <dir>/shard-000/    shard 0's private DurableQueryServer directory
+//   <dir>/shard-001/    ...one WAL segment chain + snapshots per shard
+//
+// The manifest is what makes the layout self-describing: tools open a
+// directory, probe for SHARDS, and pick the sharded or single-server code
+// path without a flag. It is written once at initialization (tmp file +
+// atomic rename + directory fsync, the same publish idiom the snapshot
+// manager uses) and never rewritten — resharding is a future migration
+// tool, not an in-place edit.
+
+inline constexpr char kShardManifestFile[] = "SHARDS";
+
+struct ShardManifest {
+  size_t shards = 1;
+  size_t dim = 2;
+};
+
+// "shard-007" for index 7 (three digits keeps listings sorted; the count
+// is bounded well below 1000 by ShardedServerOptions validation).
+std::string ShardSubdir(size_t index);
+
+// Creates `dir` (and parents) and atomically publishes the manifest.
+// kAlreadyExists if a manifest is already present.
+Status WriteShardManifest(Env* env, const std::string& dir,
+                          const ShardManifest& manifest);
+
+// Reads and validates the manifest. kNotFound when `dir` exists without a
+// manifest (a single-server directory) or does not exist at all — callers
+// branch to the unsharded path on kNotFound, never on parse errors
+// (kDataLoss: the file is there but unreadable, which must not be
+// mistaken for "not sharded").
+StatusOr<ShardManifest> ReadShardManifest(Env* env, const std::string& dir);
+
+}  // namespace modb
+
+#endif  // MODB_DURABILITY_SHARD_LAYOUT_H_

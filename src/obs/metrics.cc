@@ -24,10 +24,11 @@ void Histogram::Observe(double value) {
   buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  double sum = sum_.load(std::memory_order_relaxed);
-  while (!sum_.compare_exchange_weak(sum, sum + value,
-                                     std::memory_order_relaxed)) {
-  }
+  // C++20 floating fetch_add: per-thread progress does not depend on
+  // winning a CAS race. The historical compare_exchange_weak loop here
+  // could starve an observer arbitrarily long once a work-stealing pool
+  // put a dozen threads on the same histogram.
+  sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
 double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }

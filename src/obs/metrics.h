@@ -22,7 +22,16 @@ namespace obs {
 // Design: registration is mutex-protected and happens once per metric
 // name (call sites cache the returned pointer); the mutation fast path is
 // a single relaxed atomic op — no locks, no allocation, safe from any
-// thread. Reads are snapshot-on-read: Snapshot() copies every value out
+// thread. Concurrent FIRST-touch is safe too: pool threads racing into
+// Register* serialize on the registry mutex, the winner's heap-owned
+// metric object is returned to every loser (idempotent by name), and
+// registered objects are never moved or freed, so a pointer cached on one
+// thread stays valid on all of them. The lock-free mutation paths make
+// progress without winning races: counters/gauges are fetch_add/store,
+// the gauge watermark is a bounded CAS (exits as soon as the current
+// value is large enough), and histogram sums use C++20 floating
+// fetch_add. tests/obs_test.cc's MetricsRegistryConcurrentFirstTouch
+// hammers exactly this under TSan. Reads are snapshot-on-read: Snapshot() copies every value out
 // under the registry mutex, so a reader never observes a metric mid-
 // registration and the returned snapshot is immutable (a mutation after
 // Snapshot() never changes an already-taken snapshot).

@@ -174,6 +174,45 @@ ModbMetrics Register() {
       "modb.trace.events_dropped", "events",
       "Oldest flight-recorder records lost to ring wraparound.");
 
+  // Sharded server. The dispatch/merge split mirrors the two halves of
+  // every sharded operation: fan work out to per-shard tasks, then merge
+  // the per-shard answers.
+  m.shard_count = r.RegisterGauge(
+      "modb.shard.count", "shards",
+      "Shards of the most recently opened ShardedQueryServer.");
+  m.shard_updates = r.RegisterCounter(
+      "modb.shard.updates", "updates",
+      "Definition-3 updates routed through a ShardedQueryServer.");
+  m.shard_dispatches = r.RegisterCounter(
+      "modb.shard.dispatches", "tasks",
+      "Per-shard tasks dispatched to the work-stealing pool (commit "
+      "sub-batches and advance fan-outs).");
+  m.shard_dispatch_seconds = r.RegisterHistogram(
+      "modb.shard.dispatch_seconds", "seconds",
+      "Wall time of one per-shard task: take the shard lock, apply the "
+      "sub-batch (or advance), republish the shard's answer cells.",
+      LatencyBuckets());
+  m.shard_merges = r.RegisterCounter(
+      "modb.shard.merges", "merges",
+      "Cross-shard answer merges served (lock-free standing-query reads "
+      "and one-shot snapshot queries).");
+  m.shard_merge_seconds = r.RegisterHistogram(
+      "modb.shard.merge_seconds", "seconds",
+      "Wall time of one cross-shard merge: read every shard's seqlock "
+      "cell, k-way merge the candidates.",
+      LatencyBuckets());
+  m.shard_publishes = r.RegisterCounter(
+      "modb.shard.publishes", "publishes",
+      "Per-(shard, query) seqlock answer publications.");
+  m.shard_steals = r.RegisterCounter(
+      "modb.shard.steals", "steals",
+      "Pool tasks executed by a worker other than the one they were "
+      "queued on (work-stealing effectiveness).");
+  m.shard_answer_retries = r.RegisterCounter(
+      "modb.shard.answer_retries", "retries",
+      "Seqlock answer reads that overlapped a publish and went around "
+      "again (torn copies detected and discarded).");
+
   return m;
 }
 

@@ -72,6 +72,17 @@ struct ModbMetrics {
   // ---- tracing (src/obs/flight_recorder) ----
   Gauge* trace_events_recorded;
   Gauge* trace_events_dropped;
+
+  // ---- sharded server (src/shard) ----
+  Gauge* shard_count;
+  Counter* shard_updates;
+  Counter* shard_dispatches;
+  Histogram* shard_dispatch_seconds;
+  Counter* shard_merges;
+  Histogram* shard_merge_seconds;
+  Counter* shard_publishes;
+  Counter* shard_steals;
+  Counter* shard_answer_retries;
 };
 
 // The process-wide instance; registers everything on first call.

@@ -37,6 +37,8 @@ constexpr SpanNameInfo kSpanNames[] = {
     {"update.apply", false},
     {"engine.start", false},
     {"past.run", false},
+    {"shard.dispatch", false},
+    {"shard.merge", false},
     {"sweep.insert", false},
     {"sweep.erase", false},
     {"sweep.curve", false},

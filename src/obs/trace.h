@@ -53,6 +53,8 @@ enum class SpanName : uint8_t {
   kUpdateApply,     // update.apply    FutureQueryEngine::ApplyUpdate
   kEngineStart,     // engine.start    FutureQueryEngine::Start
   kPastRun,         // past.run        PastQueryEngine::Run
+  kShardDispatch,   // shard.dispatch  one per-shard pool task (apply/advance)
+  kShardMerge,      // shard.merge     one cross-shard answer merge
   kSweepInsert,     // sweep.insert    SweepState::InsertObject/Sentinel
   kSweepErase,      // sweep.erase     SweepState::EraseObject
   kSweepCurve,      // sweep.curve     SweepState::ReplaceCurve

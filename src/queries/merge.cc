@@ -1,0 +1,121 @@
+#include "queries/merge.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace modb {
+
+std::set<ObjectId> MergeKnnCandidates(
+    const std::vector<std::vector<RankedCandidate>>& shards, size_t k) {
+  // Heap entry: the head of one shard list; (candidate, shard) with the
+  // smallest candidate on top. The shard index participates in the
+  // comparison only to make heap behavior fully deterministic when two
+  // shards hold byte-identical candidates (cannot happen for disjoint
+  // shards, but determinism should not rely on that).
+  struct Head {
+    RankedCandidate candidate;
+    size_t shard;
+    size_t index;
+  };
+  struct HeadGreater {
+    bool operator()(const Head& a, const Head& b) const {
+      if (!(a.candidate == b.candidate)) return b.candidate < a.candidate;
+      return a.shard > b.shard;
+    }
+  };
+  std::priority_queue<Head, std::vector<Head>, HeadGreater> heap;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    MODB_CHECK(std::is_sorted(shards[s].begin(), shards[s].end()))
+        << "shard candidate list " << s << " not in canonical order";
+    if (!shards[s].empty()) heap.push(Head{shards[s][0], s, 0});
+  }
+  std::set<ObjectId> merged;
+  while (merged.size() < k && !heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    merged.insert(head.candidate.oid);
+    const size_t next = head.index + 1;
+    if (next < shards[head.shard].size()) {
+      heap.push(Head{shards[head.shard][next], head.shard, next});
+    }
+  }
+  return merged;
+}
+
+std::set<ObjectId> MergeUnion(const std::vector<std::set<ObjectId>>& shards) {
+  std::set<ObjectId> merged;
+  for (const std::set<ObjectId>& shard : shards) {
+    merged.insert(shard.begin(), shard.end());
+  }
+  return merged;
+}
+
+std::set<ObjectId> MergeMinCandidates(
+    const std::vector<std::vector<RankedCandidate>>& shards) {
+  bool any = false;
+  double best = 0.0;
+  for (const std::vector<RankedCandidate>& shard : shards) {
+    for (const RankedCandidate& candidate : shard) {
+      if (!any || candidate.value < best) {
+        best = candidate.value;
+        any = true;
+      }
+    }
+  }
+  std::set<ObjectId> merged;
+  if (!any) return merged;
+  for (const std::vector<RankedCandidate>& shard : shards) {
+    for (const RankedCandidate& candidate : shard) {
+      if (candidate.value == best) merged.insert(candidate.oid);
+    }
+  }
+  return merged;
+}
+
+AnswerTimeline MergeTimelinesUnion(
+    const std::vector<const AnswerTimeline*>& shards) {
+  double start = 0.0;
+  double end = 0.0;
+  bool any = false;
+  // Every instant at which any shard's answer can change: its segment
+  // starts. Between consecutive change points the union is constant.
+  std::set<double> changes;
+  for (const AnswerTimeline* shard : shards) {
+    MODB_CHECK(shard != nullptr && shard->finished())
+        << "MergeTimelinesUnion requires finished input timelines";
+    if (!any) {
+      start = shard->start();
+      end = shard->start();
+      any = true;
+    }
+    start = std::min(start, shard->start());
+    changes.insert(shard->start());
+    for (const AnswerTimeline::Segment& segment : shard->segments()) {
+      changes.insert(segment.interval.lo);
+      end = std::max(end, segment.interval.hi);
+    }
+  }
+  MODB_CHECK(any) << "MergeTimelinesUnion of zero timelines";
+  AnswerTimeline merged(start);
+  for (double t : changes) {
+    if (t > end) break;
+    std::set<ObjectId> answer;
+    for (const AnswerTimeline* shard : shards) {
+      // A shard contributes only while its timeline covers t.
+      if (t < shard->start()) continue;
+      if (shard->segments().empty() ||
+          t > shard->segments().back().interval.hi) {
+        continue;
+      }
+      const std::set<ObjectId> local = shard->AnswerAt(t);
+      answer.insert(local.begin(), local.end());
+    }
+    merged.Record(t, std::move(answer));
+  }
+  merged.Finish(end);
+  return merged;
+}
+
+}  // namespace modb

@@ -1,0 +1,76 @@
+#ifndef MODB_QUERIES_MERGE_H_
+#define MODB_QUERIES_MERGE_H_
+
+#include <set>
+#include <vector>
+
+#include "core/answer.h"
+#include "trajectory/trajectory.h"
+
+namespace modb {
+
+// Cross-shard answer merging (src/shard/). A shared-nothing shard holds a
+// disjoint subset of the objects, so every standing query evaluates
+// independently per shard and the global answer is a pure function of the
+// per-shard answers:
+//
+//   within     the union of the per-shard member sets (membership is a
+//              per-object predicate);
+//   k-NN       the k best of the per-shard candidate lists. Each shard's
+//              local top-k provably contains every global top-k member of
+//              that shard: an object in the global top-k has fewer than k
+//              objects below it globally, hence fewer than k in its own
+//              shard. So merging the per-shard top-k lists loses nothing.
+//   fastest    the argmin over all shards' local minima (1-NN under the
+//              interception-time distance, so the same argument applies);
+//   region     the union of the per-shard membership timelines.
+//
+// Determinism contract: the merge is used by the differential oracle to
+// demand BIT-IDENTICAL answers between an S-shard run and a single-shard
+// run, so every rule here must be a deterministic function of
+// (value, oid) pairs — ties break by oid, never by arrival order. The
+// single-shard lane runs through the same merge code (S = 1), so both
+// lanes resolve exact-double ties identically.
+
+// One candidate from one shard: an object and its g-distance value at the
+// merge instant.
+struct RankedCandidate {
+  ObjectId oid = kInvalidObjectId;
+  double value = 0.0;
+
+  friend bool operator==(const RankedCandidate& a, const RankedCandidate& b) {
+    return a.oid == b.oid && a.value == b.value;
+  }
+  // The canonical candidate order: by value, ties by oid.
+  friend bool operator<(const RankedCandidate& a, const RankedCandidate& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.oid < b.oid;
+  }
+};
+
+// K-way merge of per-shard k-NN candidate lists: the k candidates lowest
+// in the canonical (value, oid) order, via a k-way heap over the shard
+// lists. Each inner list must be sorted ascending by that order (the
+// per-shard publisher sorts at publish time). Fewer than k total
+// candidates returns them all.
+std::set<ObjectId> MergeKnnCandidates(
+    const std::vector<std::vector<RankedCandidate>>& shards, size_t k);
+
+// Union of per-shard membership sets (within / can-reach).
+std::set<ObjectId> MergeUnion(const std::vector<std::set<ObjectId>>& shards);
+
+// All candidates tied for the global minimum value (fastest-arrival: the
+// argmin set under the interception-time distance).
+std::set<ObjectId> MergeMinCandidates(
+    const std::vector<std::vector<RankedCandidate>>& shards);
+
+// Union-merge of per-shard membership timelines: the merged timeline's
+// answer at every t is the union of the shards' answers at t. Inputs must
+// be finished, Record-style (right-continuous piecewise-constant)
+// timelines; the result is finished over the widest covered interval.
+AnswerTimeline MergeTimelinesUnion(
+    const std::vector<const AnswerTimeline*>& shards);
+
+}  // namespace modb
+
+#endif  // MODB_QUERIES_MERGE_H_

@@ -1,0 +1,522 @@
+#include "shard/sharded_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <thread>
+
+#include "common/check.h"
+#include "gdist/builtin.h"
+#include "obs/modb_metrics.h"
+#include "obs/trace.h"
+#include "queries/fastest.h"
+#include "queries/knn.h"
+
+namespace modb {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Entries leave PublishShardLocked in canonical order; keep one sorter.
+void SortCanonical(std::vector<ShardAnswerEntry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const ShardAnswerEntry& a, const ShardAnswerEntry& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.oid < b.oid;
+            });
+}
+
+std::vector<RankedCandidate> ToCandidates(
+    const std::vector<ShardAnswerEntry>& entries) {
+  std::vector<RankedCandidate> candidates;
+  candidates.reserve(entries.size());
+  for (const ShardAnswerEntry& entry : entries) {
+    candidates.push_back(RankedCandidate{entry.oid, entry.value});
+  }
+  return candidates;
+}
+
+}  // namespace
+
+size_t ShardedQueryServer::ShardOf(ObjectId oid, size_t shards) {
+  MODB_CHECK(shards > 0);
+  // splitmix64's finalizer: cheap, fixed-width, and scrambles the low
+  // bits sequential oids differ in, so consecutive ids spread evenly.
+  uint64_t x = static_cast<uint64_t>(oid) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % shards);
+}
+
+ShardedQueryServer::ShardedQueryServer(std::string dir,
+                                       ShardManifest manifest, size_t threads)
+    : dir_(std::move(dir)), manifest_(manifest) {
+  size_t pool_threads = threads;
+  if (pool_threads == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    pool_threads = std::min(manifest_.shards, hw == 0 ? 1 : hw);
+  }
+  pool_ = std::make_unique<WorkStealingPool>(pool_threads);
+}
+
+ShardedQueryServer::~ShardedQueryServer() {
+  // Drain the pool before any shard (or query state) it may touch dies.
+  pool_.reset();
+}
+
+StatusOr<std::unique_ptr<ShardedQueryServer>> ShardedQueryServer::Open(
+    const std::string& dir, ShardedServerOptions options) {
+  Env* env = options.durability.env != nullptr ? options.durability.env
+                                               : Env::Default();
+  ShardManifest manifest;
+  StatusOr<ShardManifest> existing = ReadShardManifest(env, dir);
+  if (existing.ok()) {
+    manifest = *existing;
+    if (options.shards != 0 && options.shards != manifest.shards) {
+      return Status::InvalidArgument(
+          "shard count mismatch: directory has " +
+          std::to_string(manifest.shards) + " shards, caller asked for " +
+          std::to_string(options.shards) +
+          " (resharding is a migration, not an Open flag)");
+    }
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    if (options.shards == 0) {
+      return Status::NotFound("no sharded database at " + dir);
+    }
+    manifest.shards = options.shards;
+    manifest.dim = options.durability.dim;
+    MODB_RETURN_IF_ERROR(WriteShardManifest(env, dir, manifest));
+  } else {
+    return existing.status();
+  }
+
+  std::unique_ptr<ShardedQueryServer> server(
+      new ShardedQueryServer(dir, manifest, options.threads));
+  server->shards_.reserve(manifest.shards);
+  for (size_t s = 0; s < manifest.shards; ++s) {
+    DurabilityOptions per_shard = options.durability;
+    per_shard.dim = manifest.dim;
+    auto opened =
+        DurableQueryServer::Open(dir + "/" + ShardSubdir(s), per_shard);
+    if (!opened.ok()) {
+      return Status(opened.status().code(),
+                    ShardSubdir(s) + ": " + opened.status().message());
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->db = std::move(*opened);
+    server->recovered_ =
+        server->recovered_ || shard->db->open_info().recovered;
+    server->shards_.push_back(std::move(shard));
+  }
+  MODB_RETURN_IF_ERROR(server->RebuildQueryStates());
+  obs::M().shard_count->Set(static_cast<int64_t>(manifest.shards));
+  return server;
+}
+
+Status ShardedQueryServer::RebuildQueryStates() {
+  // Shared-nothing recovery invariant: registration fans out to every
+  // shard in one order, so all S journals must list the same queries. A
+  // shard whose journal diverged (a torn tail that ate a registration the
+  // others kept) would silently answer with a missing kernel — refuse.
+  const std::map<QueryId, LoggedQuery>& reference =
+      shards_[0]->db->live_queries();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const std::map<QueryId, LoggedQuery>& other =
+        shards_[s]->db->live_queries();
+    if (other.size() != reference.size()) {
+      return Status::DataLoss(
+          ShardSubdir(s) + " journals " + std::to_string(other.size()) +
+          " queries, " + ShardSubdir(0) + " journals " +
+          std::to_string(reference.size()));
+    }
+    auto it = other.begin();
+    for (const auto& [id, logged] : reference) {
+      if (it->first != id || it->second.is_knn != logged.is_knn ||
+          it->second.gdist_key != logged.gdist_key ||
+          it->second.k != logged.k ||
+          it->second.threshold != logged.threshold) {
+        return Status::DataLoss(ShardSubdir(s) + " query journal disagrees " +
+                                "with " + ShardSubdir(0) + " at id " +
+                                std::to_string(id));
+      }
+      ++it;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    queries_.clear();
+    group_gdists_.clear();
+    for (const auto& [id, logged] : reference) {
+      auto state = std::make_unique<QueryState>();
+      state->logged = logged;
+      // Journal id order is registration order, so the first live query
+      // under each key founds its group — the same choice every shard's
+      // recovered QueryServer makes.
+      auto group = group_gdists_.find(logged.gdist_key);
+      if (group == group_gdists_.end()) {
+        group = group_gdists_
+                    .emplace(logged.gdist_key,
+                             std::make_shared<SquaredEuclideanGDistance>(
+                                 logged.query))
+                    .first;
+      }
+      state->gdist = group->second;
+      state->cells.reserve(shards_.size());
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        state->cells.push_back(std::make_unique<AnswerCell>());
+      }
+      queries_.emplace(id, std::move(state));
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    PublishShardLocked(s);
+  }
+  return Status::Ok();
+}
+
+void ShardedQueryServer::PublishShardLocked(size_t s) {
+  DurableQueryServer& db = *shards_[s]->db;
+  const double t = db.server().now();
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  for (const auto& [id, state] : queries_) {
+    const std::set<ObjectId>& answer = db.Answer(id);
+    std::vector<ShardAnswerEntry> entries;
+    entries.reserve(answer.size());
+    for (ObjectId oid : answer) {
+      const Trajectory* trajectory = db.server().mod().Find(oid);
+      if (trajectory == nullptr) continue;  // Terminated mid-publish: gone.
+      entries.push_back(
+          ShardAnswerEntry{oid, state->gdist->Curve(*trajectory).Eval(t)});
+    }
+    SortCanonical(&entries);
+    state->cells[s]->Publish(t, entries);
+    obs::M().shard_publishes->Increment();
+  }
+}
+
+Status ShardedQueryServer::Commit(const std::vector<Update>& updates,
+                                  std::vector<Status>* apply_statuses) {
+  if (updates.empty()) return Status::Ok();
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<Update>> sub_batches(num_shards);
+  std::vector<std::vector<size_t>> origins(num_shards);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const size_t s = ShardOf(updates[i].oid, num_shards);
+    sub_batches[s].push_back(updates[i]);
+    origins[s].push_back(i);
+  }
+  obs::M().shard_updates->Increment(updates.size());
+
+  std::vector<Status> shard_status(num_shards);
+  std::vector<std::vector<Status>> shard_applies(num_shards);
+  std::vector<std::function<void()>> tasks;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (sub_batches[s].empty()) continue;
+    tasks.push_back([this, s, &sub_batches, &shard_status, &shard_applies] {
+      obs::TraceSpan span(obs::SpanName::kShardDispatch,
+                          static_cast<int64_t>(s), kNaN,
+                          sub_batches[s].size());
+      obs::ScopedTimer timer(obs::M().shard_dispatch_seconds);
+      obs::M().shard_dispatches->Increment();
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      shard_status[s] =
+          shards_[s]->db->Commit(sub_batches[s], &shard_applies[s]);
+      PublishShardLocked(s);
+    });
+  }
+  pool_->RunAll(std::move(tasks));
+
+  if (apply_statuses != nullptr) {
+    apply_statuses->assign(updates.size(), Status::Ok());
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (size_t j = 0; j < origins[s].size(); ++j) {
+        // A shard that refused its whole sub-batch before logging (e.g.
+        // kInvalidArgument, degraded) reports no per-update statuses;
+        // surface the batch status for each of its updates.
+        (*apply_statuses)[origins[s][j]] =
+            j < shard_applies[s].size() ? shard_applies[s][j]
+                                        : shard_status[s];
+      }
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!shard_status[s].ok()) {
+      return Status(shard_status[s].code(), ShardSubdir(s) + ": " +
+                                                shard_status[s].message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedQueryServer::ApplyUpdate(const Update& update) {
+  std::vector<Status> statuses;
+  MODB_RETURN_IF_ERROR(Commit({update}, &statuses));
+  return statuses.empty() ? Status::Ok() : statuses[0];
+}
+
+StatusOr<QueryId> ShardedQueryServer::AddFanOut(const LoggedQuery& prototype) {
+  std::optional<QueryId> id;
+  std::vector<size_t> registered;
+  Status failure;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    StatusOr<QueryId> added =
+        prototype.is_knn
+            ? shards_[s]->db->AddKnn(prototype.gdist_key, prototype.query,
+                                     prototype.k)
+            : shards_[s]->db->AddWithin(prototype.gdist_key, prototype.query,
+                                        prototype.threshold);
+    if (!added.ok()) {
+      failure = added.status();
+      break;
+    }
+    if (id.has_value() && *added != *id) {
+      failure = Status::DataLoss(
+          "shard durable query ids diverged (" + std::to_string(*id) +
+          " vs " + std::to_string(*added) + " on " + ShardSubdir(s) + ")");
+      break;
+    }
+    id = *added;
+    registered.push_back(s);
+  }
+  if (!failure.ok()) {
+    // Best-effort rollback so a partially registered query never serves.
+    for (size_t s : registered) {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      shards_[s]->db->RemoveQuery(*id);
+    }
+    return failure;
+  }
+
+  auto state = std::make_unique<QueryState>();
+  state->logged = prototype;
+  auto group = group_gdists_.find(prototype.gdist_key);
+  if (group == group_gdists_.end()) {
+    group = group_gdists_
+                .emplace(prototype.gdist_key,
+                         std::make_shared<SquaredEuclideanGDistance>(
+                             prototype.query))
+                .first;
+  }
+  state->gdist = group->second;
+  state->cells.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    state->cells.push_back(std::make_unique<AnswerCell>());
+  }
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    queries_.emplace(*id, std::move(state));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    PublishShardLocked(s);
+  }
+  return *id;
+}
+
+StatusOr<QueryId> ShardedQueryServer::AddKnn(const std::string& gdist_key,
+                                             const Trajectory& query,
+                                             size_t k) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  LoggedQuery prototype;
+  prototype.is_knn = true;
+  prototype.gdist_key = gdist_key;
+  prototype.query = query;
+  prototype.k = k;
+  return AddFanOut(prototype);
+}
+
+StatusOr<QueryId> ShardedQueryServer::AddWithin(const std::string& gdist_key,
+                                                const Trajectory& query,
+                                                double threshold) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  LoggedQuery prototype;
+  prototype.is_knn = false;
+  prototype.gdist_key = gdist_key;
+  prototype.query = query;
+  prototype.threshold = threshold;
+  return AddFanOut(prototype);
+}
+
+Status ShardedQueryServer::RemoveQuery(QueryId id) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  Status first;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> shard_lock(shards_[s]->mu);
+    const Status removed = shards_[s]->db->RemoveQuery(id);
+    if (!removed.ok() && first.ok()) first = removed;
+  }
+  {
+    std::lock_guard<std::mutex> queries_lock(queries_mu_);
+    auto it = queries_.find(id);
+    if (it != queries_.end()) {
+      const std::string key = it->second->logged.gdist_key;
+      queries_.erase(it);
+      bool key_in_use = false;
+      for (const auto& [other_id, state] : queries_) {
+        if (state->logged.gdist_key == key) {
+          key_in_use = true;
+          break;
+        }
+      }
+      // The key's engine group dies with its last query; a future
+      // re-registration founds a fresh group, so mirror that.
+      if (!key_in_use) group_gdists_.erase(key);
+    }
+  }
+  return first;
+}
+
+void ShardedQueryServer::AdvanceTo(double t) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    tasks.push_back([this, s, t] {
+      obs::TraceSpan span(obs::SpanName::kShardDispatch,
+                          static_cast<int64_t>(s), t, 0);
+      obs::ScopedTimer timer(obs::M().shard_dispatch_seconds);
+      obs::M().shard_dispatches->Increment();
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      shards_[s]->db->AdvanceTo(t);
+      PublishShardLocked(s);
+    });
+  }
+  pool_->RunAll(std::move(tasks));
+}
+
+std::set<ObjectId> ShardedQueryServer::Answer(QueryId id) const {
+  obs::TraceSpan span(obs::SpanName::kShardMerge, id, kNaN, shards_.size());
+  obs::ScopedTimer timer(obs::M().shard_merge_seconds);
+  obs::M().shard_merges->Increment();
+  const auto it = queries_.find(id);
+  MODB_CHECK(it != queries_.end()) << "unknown query id " << id;
+  const QueryState& state = *it->second;
+  double time = 0.0;
+  std::vector<ShardAnswerEntry> entries;
+  if (state.logged.is_knn) {
+    std::vector<std::vector<RankedCandidate>> lists(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      state.cells[s]->Read(&time, &entries);
+      lists[s] = ToCandidates(entries);
+    }
+    return MergeKnnCandidates(lists, state.logged.k);
+  }
+  std::vector<std::set<ObjectId>> sets(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    state.cells[s]->Read(&time, &entries);
+    for (const ShardAnswerEntry& entry : entries) sets[s].insert(entry.oid);
+  }
+  return MergeUnion(sets);
+}
+
+std::set<ObjectId> ShardedQueryServer::SnapshotKnnMerged(
+    const Trajectory& query, size_t k, double t) const {
+  obs::TraceSpan span(obs::SpanName::kShardMerge, obs::kTraceNoId, t,
+                      shards_.size());
+  obs::M().shard_merges->Increment();
+  const SquaredEuclideanGDistance gdist(query);
+  std::vector<std::vector<RankedCandidate>> lists(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const MovingObjectDatabase& mod = shards_[s]->db->server().mod();
+    for (ObjectId oid : SnapshotKnn(mod, gdist, k, t)) {
+      lists[s].push_back(
+          RankedCandidate{oid, gdist.Curve(*mod.Find(oid)).Eval(t)});
+    }
+    std::sort(lists[s].begin(), lists[s].end());
+  }
+  return MergeKnnCandidates(lists, k);
+}
+
+std::set<ObjectId> ShardedQueryServer::FastestArrivalAtMerged(
+    const Vec& target, double t) const {
+  obs::TraceSpan span(obs::SpanName::kShardMerge, obs::kTraceNoId, t,
+                      shards_.size());
+  obs::M().shard_merges->Increment();
+  const InterceptionTimeSquaredGDistance gdist(target);
+  std::vector<std::vector<RankedCandidate>> lists(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const MovingObjectDatabase& mod = shards_[s]->db->server().mod();
+    if (mod.AliveAt(t).empty()) continue;
+    for (ObjectId oid : FastestArrivalAt(mod, target, t)) {
+      lists[s].push_back(
+          RankedCandidate{oid, gdist.Curve(*mod.Find(oid)).Eval(t)});
+    }
+    std::sort(lists[s].begin(), lists[s].end());
+  }
+  return MergeMinCandidates(lists);
+}
+
+AnswerTimeline ShardedQueryServer::InsideRegionMerged(
+    const ConvexPolygon& region, TimeInterval interval) const {
+  obs::TraceSpan span(obs::SpanName::kShardMerge, obs::kTraceNoId, interval.lo,
+                      shards_.size());
+  obs::M().shard_merges->Increment();
+  std::vector<AnswerTimeline> parts;
+  parts.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    parts.push_back(InsideRegionTimeline(shards_[s]->db->server().mod(),
+                                         region, interval));
+  }
+  std::vector<const AnswerTimeline*> pointers;
+  pointers.reserve(parts.size());
+  for (const AnswerTimeline& part : parts) pointers.push_back(&part);
+  return MergeTimelinesUnion(pointers);
+}
+
+Status ShardedQueryServer::Flush() {
+  Status first;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    const Status flushed = shards_[s]->db->Flush();
+    if (!flushed.ok() && first.ok()) {
+      first = Status(flushed.code(),
+                     ShardSubdir(s) + ": " + flushed.message());
+    }
+  }
+  return first;
+}
+
+Status ShardedQueryServer::Checkpoint() {
+  Status first;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    const Status checkpointed = shards_[s]->db->Checkpoint();
+    if (!checkpointed.ok() && first.ok()) {
+      first = Status(checkpointed.code(),
+                     ShardSubdir(s) + ": " + checkpointed.message());
+    }
+  }
+  return first;
+}
+
+bool ShardedQueryServer::degraded() const {
+  for (const auto& shard : shards_) {
+    if (shard->db->degraded()) return true;
+  }
+  return false;
+}
+
+uint64_t ShardedQueryServer::seq() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->db->seq();
+  return total;
+}
+
+double ShardedQueryServer::now() const {
+  double t = shards_[0]->db->server().now();
+  for (const auto& shard : shards_) {
+    t = std::max(t, shard->db->server().now());
+  }
+  return t;
+}
+
+const std::map<QueryId, LoggedQuery>& ShardedQueryServer::live_queries()
+    const {
+  return shards_[0]->db->live_queries();
+}
+
+}  // namespace modb

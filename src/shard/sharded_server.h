@@ -1,0 +1,204 @@
+#ifndef MODB_SHARD_SHARDED_SERVER_H_
+#define MODB_SHARD_SHARDED_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "durability/durable_server.h"
+#include "durability/shard_layout.h"
+#include "queries/merge.h"
+#include "queries/region_queries.h"
+#include "shard/answer_board.h"
+#include "shard/work_pool.h"
+
+namespace modb {
+
+struct ShardedServerOptions {
+  // Shard count used when initializing a fresh directory. On reopen the
+  // manifest wins; a nonzero value that disagrees with it is an error
+  // (resharding is a migration, not an Open flag), and 0 means "adopt
+  // whatever the manifest says" (tools opening unknown directories).
+  size_t shards = 1;
+  // Work-stealing pool width; 0 picks min(shards, hardware_concurrency).
+  size_t threads = 0;
+  // Per-shard durability configuration (each shard is one
+  // DurableQueryServer in its own subdirectory). `dim` seeds the manifest
+  // on fresh init; on reopen the manifest's dimension is used.
+  DurabilityOptions durability;
+};
+
+// A shared-nothing sharded query server: objects hash-partition across S
+// shards, each owning a full private DurableQueryServer — its own sweep
+// state, WAL segment chain and snapshots under <dir>/shard-NNN/ — so
+// ingest parallelizes with no shared mutable state between shards.
+// Standing queries register fan-out on every shard; after each batch a
+// shard applies, it republishes its local answer (members + g-distance
+// values) into a per-(query, shard) seqlock cell (answer_board.h), and
+// Answer() merges the S cells through the canonical rules in
+// queries/merge.h. Readers never take any shard or pool lock.
+//
+// Consistency contract:
+//  - Within one shard, answers are exactly DurableQueryServer's.
+//  - Across shards, Commit() is NOT atomic: a batch spanning shards
+//    commits as one atomic sub-batch per shard (a crash can land between
+//    shards). Answer() reads taken while commits are in flight may merge
+//    cells published at slightly different shard clocks — the sharded
+//    analogue of reading one server mid-batch. Quiesced reads (after
+//    AdvanceTo(t) returns, no writers) merge cells all published at t and
+//    are BIT-IDENTICAL to a single-shard run over the same updates: the
+//    merge is a deterministic function of (value, oid) pairs, both lane
+//    widths run the same merge code, and a shard's local top-k provably
+//    contains its global top-k members (see merge.h). The differential
+//    oracle (modb_fuzz --shards) enforces exactly this.
+//  - Mutations (Commit/ApplyUpdate/Add*/RemoveQuery/AdvanceTo/Flush/
+//    Checkpoint) may race each other; Answer() may race all of them
+//    EXCEPT registration/removal, which change the query set itself.
+//
+// Durability: each shard fail-stops independently (degraded() is the OR;
+// a commit into a degraded shard fails while healthy shards keep going —
+// shared-nothing means no shard can corrupt another). Recovery reopens
+// every shard directory and cross-checks that all S query journals agree;
+// disagreement (e.g. one shard's journal lost a registration to a torn
+// tail the others kept) is kDataLoss.
+class ShardedQueryServer {
+ public:
+  // The stable object -> shard map: splitmix64(oid) % shards. Fixed
+  // platform-independent arithmetic, so a directory moved across machines
+  // routes identically; tests pin concrete values.
+  static size_t ShardOf(ObjectId oid, size_t shards);
+
+  // Opens (recovering every shard) or initializes (writing the manifest
+  // and creating the shard subdirectories) a sharded database directory.
+  static StatusOr<std::unique_ptr<ShardedQueryServer>> Open(
+      const std::string& dir, ShardedServerOptions options = {});
+
+  ShardedQueryServer(const ShardedQueryServer&) = delete;
+  ShardedQueryServer& operator=(const ShardedQueryServer&) = delete;
+  ~ShardedQueryServer();
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardManifest& manifest() const { return manifest_; }
+  const std::string& dir() const { return dir_; }
+
+  // Routes each update to its shard and commits the per-shard sub-batches
+  // in parallel on the pool (one shard.dispatch span each). Returns the
+  // first non-OK per-shard durability status (shard order); per-update
+  // apply statuses land in `apply_statuses` (commit order) when non-null.
+  Status Commit(const std::vector<Update>& updates,
+                std::vector<Status>* apply_statuses = nullptr);
+  // Commit() of a batch of one, returning the update's apply status.
+  Status ApplyUpdate(const Update& update);
+
+  // Fan-out registration: the query registers on EVERY shard (under one
+  // registration lock, so all shards allocate the same durable id — which
+  // becomes the public id). Only squared-Euclidean standing queries, as
+  // in DurableQueryServer.
+  StatusOr<QueryId> AddKnn(const std::string& gdist_key,
+                           const Trajectory& query, size_t k);
+  StatusOr<QueryId> AddWithin(const std::string& gdist_key,
+                              const Trajectory& query, double threshold);
+  Status RemoveQuery(QueryId id);
+
+  // Advances every shard (in parallel) and republishes every answer cell
+  // at t, making subsequent Answer() reads exact as of t.
+  void AdvanceTo(double t);
+
+  // The merged current answer: reads every shard's seqlock cell and
+  // k-way-merges (kNN) or unions (within) the candidates. Lock-free —
+  // never blocks on, nor blocks, the shard writers. Aborts on unknown id
+  // (like QueryServer::Answer).
+  std::set<ObjectId> Answer(QueryId id) const;
+
+  // One-shot cross-shard snapshot queries (Theorem 4 path per shard, then
+  // merge). These read shard engine state directly, so unlike Answer()
+  // they must not race mutations — quiesce writers first.
+  std::set<ObjectId> SnapshotKnnMerged(const Trajectory& query, size_t k,
+                                       double t) const;
+  std::set<ObjectId> FastestArrivalAtMerged(const Vec& target,
+                                            double t) const;
+  AnswerTimeline InsideRegionMerged(const ConvexPolygon& region,
+                                    TimeInterval interval) const;
+
+  // Flush / checkpoint every shard; first error wins (all shards run).
+  Status Flush();
+  Status Checkpoint();
+
+  // True if ANY shard fail-stopped (that shard's updates are refused;
+  // healthy shards keep accepting theirs).
+  bool degraded() const;
+  // Total update records logged across shards.
+  uint64_t seq() const;
+  // The most-advanced shard clock (all shards agree after AdvanceTo).
+  double now() const;
+  // True if any shard directory held durable state before this Open.
+  bool recovered() const { return recovered_; }
+
+  // Direct shard access for audits, per-shard stats and tests.
+  DurableQueryServer& shard(size_t index) { return *shards_[index]->db; }
+  const DurableQueryServer& shard(size_t index) const {
+    return *shards_[index]->db;
+  }
+
+  // Live durable queries (identical on every shard; validated at Open).
+  const std::map<QueryId, LoggedQuery>& live_queries() const;
+
+  uint64_t pool_steals() const { return pool_->steals(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<DurableQueryServer> db;
+    // Serializes this shard's apply/advance/publish tasks. Shard-private:
+    // cross-shard work never holds two of these, and readers never touch
+    // them.
+    std::mutex mu;
+  };
+  struct QueryState {
+    LoggedQuery logged;
+    GDistancePtr gdist;  // Rebuilt from logged.query.
+    std::vector<std::unique_ptr<AnswerCell>> cells;  // One per shard.
+  };
+
+  ShardedQueryServer(std::string dir, ShardManifest manifest,
+                     size_t threads);
+
+  // Rebuilds queries_ from the (validated-identical) shard journals.
+  Status RebuildQueryStates();
+  // Recomputes and publishes shard `s`'s cell for every query. Caller
+  // holds shards_[s]->mu.
+  void PublishShardLocked(size_t s);
+  // Registration fan-out shared by AddKnn/AddWithin. Caller holds
+  // reg_mu_.
+  StatusOr<QueryId> AddFanOut(const LoggedQuery& prototype);
+
+  std::string dir_;
+  ShardManifest manifest_;
+  bool recovered_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<WorkStealingPool> pool_;
+
+  // Registration/removal serializes here (never under a shard mutex), so
+  // every shard sees registrations in the same order and allocates the
+  // same durable ids.
+  std::mutex reg_mu_;
+  // QueryServer groups sweeps by gdist_key — the FIRST query under a key
+  // fixes the group's g-distance, and later queries under it are ranked
+  // by that gdist, not their own trajectory. The merge must rank with
+  // the same function the shards rank with, so we mirror the grouping:
+  // one shared GDistancePtr per live key, sticky until the key's last
+  // query is removed. Mutated only under reg_mu_ (or at Open).
+  std::map<std::string, GDistancePtr> group_gdists_;
+  // Guards the queries_ map STRUCTURE: registration/removal mutate it,
+  // and per-shard publish tasks iterate it. Answer() reads it unlocked —
+  // safe because the contract forbids Answer racing registration, and
+  // publishes mutate cell contents, never the map.
+  mutable std::mutex queries_mu_;
+  std::map<QueryId, std::unique_ptr<QueryState>> queries_;
+};
+
+}  // namespace modb
+
+#endif  // MODB_SHARD_SHARDED_SERVER_H_

@@ -1,0 +1,151 @@
+#include "shard/work_pool.h"
+
+#include "common/check.h"
+#include "obs/modb_metrics.h"
+
+namespace modb {
+
+namespace {
+// Which pool (if any) the current thread is a worker of, and its lane.
+// Lets Submit() from inside a task push onto the running worker's own
+// stack (the LIFO locality win) without an API for it.
+thread_local const void* tls_pool = nullptr;
+thread_local size_t tls_lane = 0;
+}  // namespace
+
+// RunAll's completion latch: remaining counts tasks not yet finished.
+struct WorkStealingPool::Batch {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+};
+
+WorkStealingPool::WorkStealingPool(size_t threads) {
+  const size_t n = threads < 1 ? 1 : threads;
+  lanes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkStealingPool::Enqueue(Task task) {
+  size_t lane;
+  if (tls_pool == this) {
+    lane = tls_lane;
+  } else {
+    lane = next_lane_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
+  }
+  {
+    // pending_ goes up BEFORE the task is visible in a lane, so a parked
+    // worker can never observe "nothing pending" while work is findable.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(lanes_[lane]->mu);
+    lanes_[lane]->tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+void WorkStealingPool::Submit(std::function<void()> task) {
+  MODB_CHECK(task != nullptr);
+  Enqueue(Task{std::move(task), nullptr});
+}
+
+bool WorkStealingPool::TryRunOne(size_t self) {
+  Task task;
+  bool found = false;
+  bool stolen = false;
+  // Own stack first (LIFO), then sweep the siblings (FIFO steal),
+  // starting just past self so steal pressure spreads.
+  const size_t n = lanes_.size();
+  const size_t first = self < n ? self : 0;
+  for (size_t i = 0; i < n && !found; ++i) {
+    const size_t lane = (first + i) % n;
+    const bool own = lane == self;
+    std::lock_guard<std::mutex> lock(lanes_[lane]->mu);
+    if (lanes_[lane]->tasks.empty()) continue;
+    if (own) {
+      task = std::move(lanes_[lane]->tasks.back());
+      lanes_[lane]->tasks.pop_back();
+    } else {
+      task = std::move(lanes_[lane]->tasks.front());
+      lanes_[lane]->tasks.pop_front();
+      stolen = self < n;  // External helpers don't count as stealing.
+    }
+    found = true;
+  }
+  if (!found) return false;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    MODB_CHECK(pending_ > 0);
+    --pending_;
+  }
+  if (stolen) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    obs::M().shard_steals->Increment();
+  }
+  task.fn();
+  if (task.batch != nullptr) {
+    std::lock_guard<std::mutex> lock(task.batch->mu);
+    if (--task.batch->remaining == 0) task.batch->cv.notify_all();
+  }
+  return true;
+}
+
+void WorkStealingPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_lane = self;
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) break;
+  }
+  tls_pool = nullptr;
+}
+
+void WorkStealingPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  for (std::function<void()>& fn : tasks) {
+    MODB_CHECK(fn != nullptr);
+    Enqueue(Task{std::move(fn), batch});
+  }
+  // Cooperate: execute tasks (ours or anyone's) while the batch is open,
+  // and only sleep once nothing at all is runnable — then every
+  // outstanding batch task is mid-execution on a worker, and the last
+  // finisher's notify wakes us.
+  const size_t self = tls_pool == this ? tls_lane : lanes_.size();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (batch->remaining == 0) return;
+    }
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&batch] { return batch->remaining == 0; });
+    return;
+  }
+}
+
+uint64_t WorkStealingPool::steals() const {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+}  // namespace modb

@@ -153,6 +153,72 @@ TEST(RegistryTest, RegistrationIsIdempotent) {
             (std::vector<std::string>{"test.c", "test.g", "test.h"}));
 }
 
+// First-touch registration racing registration of the SAME metric from
+// sibling threads — the sharded server's shards all reach for their
+// metrics on first use — plus hot-path mutators and snapshotters in the
+// mix. Registration must be idempotent and pointer-stable under the
+// race, and every pre-join mutation must land exactly once (the
+// TSan job runs this to catch unsynchronized registry internals; the
+// exactness check below catches lost updates on any build).
+TEST(RegistryTest, ConcurrentFirstTouchIsIdempotentAndExact) {
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 200;
+  std::vector<Counter*> counters(kThreads, nullptr);
+  std::vector<Gauge*> gauges(kThreads, nullptr);
+  std::vector<Histogram*> histograms(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        Counter* c = registry.RegisterCounter("race.c", "events", "help");
+        Gauge* g = registry.RegisterGauge("race.g", "objects", "help");
+        Histogram* h = registry.RegisterHistogram("race.h", "seconds",
+                                                  "help", {1.0, 8.0});
+        if (counters[i] == nullptr) {
+          counters[i] = c;
+          gauges[i] = g;
+          histograms[i] = h;
+        } else {
+          // Pointer-stable across re-registration.
+          ASSERT_EQ(counters[i], c);
+          ASSERT_EQ(gauges[i], g);
+          ASSERT_EQ(histograms[i], h);
+        }
+        c->Increment();
+        g->SetMax(static_cast<uint64_t>(i * kRounds + round));
+        h->Observe(static_cast<double>(round % 16));
+        if (round % 32 == 0) {
+          // Concurrent snapshots see SOME consistent prefix of the
+          // counts, never garbage (bounds checked by value).
+          for (const MetricSnapshot& metric : registry.Snapshot()) {
+            if (metric.name == "race.c") {
+              ASSERT_LE(metric.counter, kThreads * kRounds);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every thread resolved the same instances.
+  for (size_t i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(counters[i], counters[0]);
+    EXPECT_EQ(gauges[i], gauges[0]);
+    EXPECT_EQ(histograms[i], histograms[0]);
+  }
+  EXPECT_EQ(counters[0]->Value(), kThreads * kRounds);
+  EXPECT_EQ(gauges[0]->Value(), kThreads * kRounds - 1);
+  EXPECT_EQ(histograms[0]->Count(), kThreads * kRounds);
+  double sum = 0.0;
+  for (size_t i = 0; i < kThreads; ++i) {
+    for (size_t round = 0; round < kRounds; ++round) {
+      sum += static_cast<double>(round % 16);
+    }
+  }
+  EXPECT_DOUBLE_EQ(histograms[0]->Sum(), sum);
+}
+
 // A snapshot is an immutable copy: mutations after Snapshot() must not
 // show up in the already-taken snapshot.
 TEST(RegistryTest, SnapshotIsolation) {

@@ -22,7 +22,9 @@
 
 #include "constraint/linear_constraint.h"
 #include "durability/durable_server.h"
+#include "durability/shard_layout.h"
 #include "gdist/builtin.h"
+#include "shard/sharded_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/modb_metrics.h"
@@ -56,7 +58,11 @@ int Usage() {
       "  constraints FILE --oid O       print a trajectory as Example 1's\n"
       "                                 constraint formula\n"
       "persistent mode (DIR is a durable database directory):\n"
-      "  db-init DIR [--dim D]          create an empty durable database\n"
+      "  db-init DIR [--dim D] [--shards S]\n"
+      "                                 create an empty durable database;\n"
+      "                                 --shards S hash-partitions it into\n"
+      "                                 S shared-nothing shards (all other\n"
+      "                                 db-* verbs auto-detect the layout)\n"
       "  db-apply DIR [--file F] [--sync none|record]\n"
       "                                 apply update lines from F or stdin:\n"
       "                                   new OID T X,Y VX,VY\n"
@@ -287,13 +293,94 @@ StatusOr<DurabilityOptions> DbOptions(const Args& args) {
   return options;
 }
 
-StatusOr<std::unique_ptr<DurableQueryServer>> OpenDb(const Args& args) {
+// Either flavor of persistent database — a single DurableQueryServer or a
+// ShardedQueryServer — behind the one surface the db-* verbs use. The
+// flavor is picked by probing the SHARDS manifest: db-init --shards S
+// writes it, every other verb adopts whatever the directory says, so no
+// later command needs a flag to open a sharded database.
+struct AnyDb {
+  std::unique_ptr<DurableQueryServer> single;
+  std::unique_ptr<ShardedQueryServer> sharded;
+
+  bool is_sharded() const { return sharded != nullptr; }
+  const std::string& dir() const {
+    return is_sharded() ? sharded->dir() : single->dir();
+  }
+  size_t dim() const {
+    return is_sharded() ? sharded->manifest().dim
+                        : single->server().mod().dim();
+  }
+  bool recovered() const {
+    return is_sharded() ? sharded->recovered() : single->open_info().recovered;
+  }
+  uint64_t seq() const { return is_sharded() ? sharded->seq() : single->seq(); }
+  double now() const {
+    return is_sharded() ? sharded->now() : single->server().now();
+  }
+  Status ApplyUpdate(const Update& update) {
+    return is_sharded() ? sharded->ApplyUpdate(update)
+                        : single->ApplyUpdate(update);
+  }
+  Status Flush() { return is_sharded() ? sharded->Flush() : single->Flush(); }
+  Status Checkpoint() {
+    return is_sharded() ? sharded->Checkpoint() : single->Checkpoint();
+  }
+  StatusOr<QueryId> AddKnn(const std::string& key, const Trajectory& query,
+                           size_t k) {
+    return is_sharded() ? sharded->AddKnn(key, query, k)
+                        : single->AddKnn(key, query, k);
+  }
+  StatusOr<QueryId> AddWithin(const std::string& key, const Trajectory& query,
+                              double threshold) {
+    return is_sharded() ? sharded->AddWithin(key, query, threshold)
+                        : single->AddWithin(key, query, threshold);
+  }
+  Status RemoveQuery(QueryId id) {
+    return is_sharded() ? sharded->RemoveQuery(id) : single->RemoveQuery(id);
+  }
+  void AdvanceTo(double t) {
+    if (is_sharded()) {
+      sharded->AdvanceTo(t);
+    } else {
+      single->AdvanceTo(t);
+    }
+  }
+  std::set<ObjectId> Answer(QueryId id) {
+    return is_sharded() ? sharded->Answer(id) : single->Answer(id);
+  }
+  const std::map<QueryId, LoggedQuery>& live_queries() const {
+    return is_sharded() ? sharded->live_queries() : single->live_queries();
+  }
+};
+
+StatusOr<AnyDb> OpenAnyDb(const Args& args) {
   if (args.positional.empty()) {
     return Status::InvalidArgument("a database DIR is required");
   }
   auto options = DbOptions(args);
   if (!options.ok()) return options.status();
-  return DurableQueryServer::Open(args.positional[0], *options);
+  const std::string& dir = args.positional[0];
+  const size_t shards =
+      std::strtoul(args.Get("shards", "0").c_str(), nullptr, 10);
+  const StatusOr<ShardManifest> manifest =
+      ReadShardManifest(Env::Default(), dir);
+  if (manifest.status().code() == StatusCode::kDataLoss) {
+    return manifest.status();
+  }
+  AnyDb db;
+  if (manifest.ok() || shards > 0) {
+    ShardedServerOptions sharded;
+    sharded.shards = shards;  // 0 adopts the manifest.
+    sharded.durability = *options;
+    auto opened = ShardedQueryServer::Open(dir, sharded);
+    if (!opened.ok()) return opened.status();
+    db.sharded = std::move(*opened);
+    return db;
+  }
+  auto opened = DurableQueryServer::Open(dir, *options);
+  if (!opened.ok()) return opened.status();
+  db.single = std::move(*opened);
+  return db;
 }
 
 // One textual update: "new OID T X,Y VX,VY", "chdir OID T VX,VY", or
@@ -329,18 +416,21 @@ StatusOr<Update> ParseUpdateLine(const std::string& line, size_t dim) {
 }
 
 int CmdDbInit(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
-  if ((*db)->open_info().recovered) {
-    return Fail((*db)->dir() + " already holds a database");
+  if (db->recovered()) {
+    return Fail(db->dir() + " already holds a database");
   }
-  std::cout << "initialized " << (*db)->dir() << " (dim "
-            << (*db)->server().mod().dim() << ")\n";
+  std::cout << "initialized " << db->dir() << " (dim " << db->dim();
+  if (db->is_sharded()) {
+    std::cout << ", " << db->sharded->shard_count() << " shards";
+  }
+  std::cout << ")\n";
   return 0;
 }
 
 int CmdDbApply(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
   std::ifstream file;
   if (args.Has("file")) {
@@ -348,7 +438,7 @@ int CmdDbApply(const Args& args) {
     if (!file) return Fail("cannot open " + args.Get("file", ""));
   }
   std::istream& in = args.Has("file") ? file : std::cin;
-  const size_t dim = (*db)->server().mod().dim();
+  const size_t dim = db->dim();
   size_t applied = 0;
   size_t rejected = 0;
   std::string line;
@@ -357,7 +447,7 @@ int CmdDbApply(const Args& args) {
     if (start == std::string::npos || line[start] == '#') continue;
     const auto update = ParseUpdateLine(line, dim);
     if (!update.ok()) return Fail(update.status().ToString());
-    const Status status = (*db)->ApplyUpdate(*update);
+    const Status status = db->ApplyUpdate(*update);
     if (status.ok()) {
       ++applied;
     } else {
@@ -365,19 +455,57 @@ int CmdDbApply(const Args& args) {
       std::cerr << "rejected: " << line << " (" << status.ToString() << ")\n";
     }
   }
-  const Status flushed = (*db)->Flush();
+  const Status flushed = db->Flush();
   if (!flushed.ok()) return Fail(flushed.ToString());
   std::cout << "applied " << applied << " update(s), rejected " << rejected
-            << ", seq " << (*db)->seq() << "\n";
+            << ", seq " << db->seq() << "\n";
   return 0;
 }
 
+void PrintLiveQueries(const AnyDb& db) {
+  std::cout << "standing queries: " << db.live_queries().size() << "\n";
+  for (const auto& [id, query] : db.live_queries()) {
+    std::cout << "  q" << id << ": "
+              << (query.is_knn ? "knn k=" + std::to_string(query.k)
+                               : "within threshold=" +
+                                     std::to_string(query.threshold))
+              << " gdist=" << query.gdist_key << "\n";
+  }
+}
+
 int CmdDbInfo(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
-  const auto& info = (*db)->open_info();
-  const auto& mod = (*db)->server().mod();
-  std::cout << "dir: " << (*db)->dir() << "\n"
+  if (db->is_sharded()) {
+    ShardedQueryServer& sharded = *db->sharded;
+    std::cout << "dir: " << sharded.dir() << "\n"
+              << "sharded: " << sharded.shard_count()
+              << " shared-nothing shard(s)\n"
+              << "recovered: " << (sharded.recovered() ? "yes" : "no (fresh)")
+              << "\n"
+              << "seq: " << sharded.seq() << " (sum over shards)\n"
+              << "dim: " << sharded.manifest().dim << "\n"
+              << "last update (tau): " << sharded.now() << "\n";
+    size_t objects = 0;
+    size_t pieces = 0;
+    for (size_t s = 0; s < sharded.shard_count(); ++s) {
+      const auto& mod = sharded.shard(s).server().mod();
+      objects += mod.size();
+      pieces += mod.TotalPieces();
+    }
+    std::cout << "objects: " << objects << " (" << pieces << " pieces)\n";
+    for (size_t s = 0; s < sharded.shard_count(); ++s) {
+      const DurableQueryServer& shard = sharded.shard(s);
+      std::cout << "  " << ShardSubdir(s) << ": seq " << shard.seq() << ", "
+                << shard.server().mod().size() << " object(s)"
+                << (shard.degraded() ? ", DEGRADED" : "") << "\n";
+    }
+    PrintLiveQueries(*db);
+    return 0;
+  }
+  const auto& info = db->single->open_info();
+  const auto& mod = db->single->server().mod();
+  std::cout << "dir: " << db->dir() << "\n"
             << "recovered: " << (info.recovered ? "yes" : "no (fresh)") << "\n"
             << "from snapshot: "
             << (info.from_snapshot
@@ -390,35 +518,28 @@ int CmdDbInfo(const Args& args) {
     std::cout << "torn tail repaired: " << info.truncated_bytes
               << " byte(s) dropped (" << info.truncated_detail << ")\n";
   }
-  std::cout << "seq: " << (*db)->seq() << "\n"
+  std::cout << "seq: " << db->seq() << "\n"
             << "dim: " << mod.dim() << "\n"
             << "last update (tau): " << mod.last_update_time() << "\n"
             << "objects: " << mod.size() << " (" << mod.TotalPieces()
-            << " pieces)\n"
-            << "standing queries: " << (*db)->live_queries().size() << "\n";
-  for (const auto& [id, query] : (*db)->live_queries()) {
-    std::cout << "  q" << id << ": "
-              << (query.is_knn ? "knn k=" + std::to_string(query.k)
-                               : "within threshold=" +
-                                     std::to_string(query.threshold))
-              << " gdist=" << query.gdist_key << "\n";
-  }
+            << " pieces)\n";
+  PrintLiveQueries(*db);
   return 0;
 }
 
 int CmdDbCheckpoint(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
-  const Status status = (*db)->Checkpoint();
+  const Status status = db->Checkpoint();
   if (!status.ok()) return Fail(status.ToString());
-  std::cout << "checkpoint written at seq " << (*db)->seq() << "\n";
+  std::cout << "checkpoint written at seq " << db->seq() << "\n";
   return 0;
 }
 
 int CmdDbAddQuery(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
-  const auto query = QueryTrajectory(args, (*db)->server().mod().dim());
+  const auto query = QueryTrajectory(args, db->dim());
   if (!query.ok()) return Fail(query.status().ToString());
   const std::string key = args.Get("key", "euclid2");
   const std::string type = args.Get("type", "");
@@ -426,10 +547,10 @@ int CmdDbAddQuery(const Args& args) {
   if (type == "knn") {
     const size_t k = std::strtoul(args.Get("k", "1").c_str(), nullptr, 10);
     if (k == 0) return Fail("--k must be positive");
-    id = (*db)->AddKnn(key, *query, k);
+    id = db->AddKnn(key, *query, k);
   } else if (type == "within") {
     if (!args.Has("threshold")) return Fail("--threshold required");
-    id = (*db)->AddWithin(
+    id = db->AddWithin(
         key, *query, std::strtod(args.Get("threshold", "0").c_str(), nullptr));
   }
   if (!id.ok()) return Fail(id.status().ToString());
@@ -438,30 +559,30 @@ int CmdDbAddQuery(const Args& args) {
 }
 
 int CmdDbRmQuery(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
   if (!args.Has("id")) return Fail("--id required");
   const QueryId id = std::strtoll(args.Get("id", "0").c_str(), nullptr, 10);
-  const Status status = (*db)->RemoveQuery(id);
+  const Status status = db->RemoveQuery(id);
   if (!status.ok()) return Fail(status.ToString());
   std::cout << "removed q" << id << "\n";
   return 0;
 }
 
 int CmdDbAnswers(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
   const double at = std::strtod(
-      args.Get("at", std::to_string((*db)->server().now())).c_str(), nullptr);
-  if (at < (*db)->server().now()) {
+      args.Get("at", std::to_string(db->now())).c_str(), nullptr);
+  if (at < db->now()) {
     return Fail("--at precedes the server's current time");
   }
-  (*db)->AdvanceTo(at);
+  db->AdvanceTo(at);
   std::cout << "answers at t=" << at << ":\n";
-  for (const auto& [id, query] : (*db)->live_queries()) {
+  for (const auto& [id, query] : db->live_queries()) {
     (void)query;
     std::cout << "  q" << id << ":";
-    for (ObjectId oid : (*db)->Answer(id)) std::cout << " o" << oid;
+    for (ObjectId oid : db->Answer(id)) std::cout << " o" << oid;
     std::cout << "\n";
   }
   return 0;
@@ -483,7 +604,7 @@ bool DumpStats(const std::string& format) {
 }
 
 int CmdDbStats(const Args& args) {
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
   // Derived gauges (exact tree depth, order/queue size) are refreshed by
   // the registry's refresh hooks inside every snapshot render, so the
@@ -498,7 +619,7 @@ int CmdDbTrace(const Args& args) {
   // Recovering the database replays the WAL through the live engines, so
   // the flight recorder ends up holding the full causal history of the
   // reopen: recovery → engine.start → sweep inserts → answer changes.
-  auto db = OpenDb(args);
+  auto db = OpenAnyDb(args);
   if (!db.ok()) return Fail(db.status().ToString());
   if (args.Has("out")) {
     const std::string path = args.Get("out", "");

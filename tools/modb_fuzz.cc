@@ -24,6 +24,14 @@
 //
 //   modb_fuzz --faults --ops 20 --audit
 //
+// With --shards S, each seed runs the sharded differential oracle: the
+// same workload is driven through a single-shard and an S-shard
+// ShardedQueryServer lane in identical commit batches, and every quiesced
+// standing answer, one-shot merged query, and post-recovery answer must
+// be bit-identical between the lanes.
+//
+//   modb_fuzz --shards 4 --seeds 50 --audit
+//
 // On failure the update stream is shrunk to the smallest failing prefix
 // (differential mode) and an exact repro command is printed.
 
@@ -40,6 +48,7 @@
 #include "verify/crash.h"
 #include "verify/differential.h"
 #include "verify/fault.h"
+#include "verify/shard_diff.h"
 
 namespace {
 
@@ -77,6 +86,7 @@ void Usage() {
                "                 [--threshold D] [--audit] [--no-shrink]\n"
                "                 [--verbose]\n"
                "                 [--crash] [--faults] [--max-faults N]\n"
+               "                 [--shards S]\n"
                "                 [--dir PATH] [--keep-dir]\n"
                "                 [--trigger BYTES]\n"
                "\n"
@@ -89,6 +99,10 @@ void Usage() {
                "the storage fault-injection matrix: rerun a scripted\n"
                "workload failing its k-th I/O operation for every k and\n"
                "fault kind (--max-faults caps the ops tested per kind).\n"
+               "--shards S switches to the sharded differential oracle:\n"
+               "an S-shard lane must answer bit-identically to a\n"
+               "single-shard lane over the same workload, through one-shot\n"
+               "merges, checkpoints and recovery.\n"
                "--dir sets the scratch root (default: the system temp\n"
                "directory); --keep-dir keeps scratch directories of failing\n"
                "seeds; --trigger sets the auto-checkpoint threshold in\n"
@@ -218,6 +232,56 @@ int RunFaultsMode(modb::FaultMatrixOptions options, size_t num_seeds,
   return failed_seeds == 0 ? 0 : 1;
 }
 
+int RunShardsMode(modb::ShardDiffOptions options, size_t num_seeds,
+                  std::string scratch_root, bool keep_dir, bool verbose) {
+  namespace fs = std::filesystem;
+  if (scratch_root.empty()) {
+    scratch_root = (fs::temp_directory_path() / "modb_shard_fuzz").string();
+  }
+  size_t failed_seeds = 0;
+  size_t total_probes = 0;
+  size_t total_audits = 0;
+  const uint64_t base_seed = options.seed;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    modb::ShardDiffOptions run = options;
+    run.seed = base_seed + i;
+    run.dir = (fs::path(scratch_root) /
+               ("seed-" + std::to_string(run.seed)))
+                  .string();
+    std::error_code ec;
+    fs::remove_all(run.dir, ec);  // A stale directory would not be scratch.
+    const modb::ShardDiffResult result = modb::RunShardDifferential(run);
+    total_probes += result.probes + result.merged_probes;
+    total_audits += result.audits;
+    if (result.ok()) {
+      if (verbose) {
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(run.seed),
+                    result.ToString().c_str());
+      }
+      fs::remove_all(run.dir, ec);
+      continue;
+    }
+    ++failed_seeds;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
+                result.ToString().c_str());
+    std::printf("  repro:\n    %s\n",
+                modb::ShardReproCommand(run).c_str());
+    PrintFailureTrace(scratch_root, run.seed);
+    if (keep_dir) {
+      std::printf("  scratch kept at %s\n", run.dir.c_str());
+    } else {
+      fs::remove_all(run.dir, ec);
+    }
+  }
+  std::printf(
+      "modb_fuzz --shards %zu: %zu/%zu seed(s) ok, %zu bit-exact probes, "
+      "%zu audits\n",
+      options.shards, num_seeds - failed_seeds, num_seeds, total_probes,
+      total_audits);
+  return failed_seeds == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +291,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool crash = false;
   bool faults = false;
+  size_t shards = 0;
   size_t max_faults = 0;
   bool keep_dir = false;
   std::string scratch_root;
@@ -269,6 +334,14 @@ int main(int argc, char** argv) {
       crash = true;
     } else if (arg == "--faults") {
       faults = true;
+    } else if (arg == "--shards") {
+      ok = ParseSizeT(next(), &shards);
+      if (ok && shards < 2) {
+        std::fprintf(stderr,
+                     "modb_fuzz: --shards needs at least 2 (the wide lane "
+                     "is compared against a single-shard lane)\n");
+        return 2;
+      }
     } else if (arg == "--max-faults") {
       ok = ParseSizeT(next(), &max_faults);
     } else if (arg == "--dir") {
@@ -286,6 +359,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "modb_fuzz: bad value for %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (shards > 0) {
+    modb::ShardDiffOptions shard_options;
+    shard_options.seed = options.seed;
+    shard_options.shards = shards;
+    shard_options.num_objects = options.num_objects;
+    shard_options.num_updates = options.num_updates;
+    shard_options.k = options.k;
+    shard_options.within_threshold = options.within_threshold;
+    shard_options.audit = options.audit;
+    return RunShardsMode(shard_options, num_seeds, scratch_root, keep_dir,
+                         verbose);
   }
 
   if (faults) {
