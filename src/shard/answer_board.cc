@@ -38,7 +38,10 @@ void AnswerCell::Reserve(size_t words) {
   retired_.push_back(std::move(live_));
   live_ = std::move(grown);
   capacity_words_ = capacity;
-  words_.store(live_.get(), std::memory_order_relaxed);
+  // Release so a reader that acquires this pointer sees the array fully
+  // constructed — its loads may still be torn vs the in-flight publish,
+  // but the seq re-check handles that; construction must not race.
+  words_.store(live_.get(), std::memory_order_release);
 }
 
 void AnswerCell::Publish(double time,
@@ -74,7 +77,7 @@ void AnswerCell::Read(double* time,
       continue;
     }
     const std::atomic<uint64_t>* words =
-        words_.load(std::memory_order_relaxed);
+        words_.load(std::memory_order_acquire);
     const double t =
         std::bit_cast<double>(words[0].load(std::memory_order_relaxed));
     const uint64_t count = words[1].load(std::memory_order_relaxed);

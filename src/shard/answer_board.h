@@ -35,8 +35,10 @@ struct ShardAnswerEntry {
 // The payload is a heap array of atomic words: [0] the publish time's
 // bits, [1] the entry count, then (oid bits, value bits) per entry. When
 // an answer outgrows the array the writer allocates a doubled one inside
-// the odd window and RETIRES the old array to a writer-only list freed at
-// cell destruction — a reader still holding the stale pointer reads
+// the odd window, publishes the new pointer release (readers acquire it,
+// so they never touch an array whose construction is not yet visible)
+// and RETIRES the old array to a writer-only list freed at cell
+// destruction — a reader still holding the stale pointer reads
 // stale-but-allocated memory and its seq re-check sends it around again.
 // Retired memory is bounded by the doubling series (< 2x the final
 // capacity). Entry counts never overflow the array they are read from:

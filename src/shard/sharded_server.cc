@@ -278,6 +278,10 @@ StatusOr<QueryId> ShardedQueryServer::AddFanOut(const LoggedQuery& prototype) {
       failure = Status::DataLoss(
           "shard durable query ids diverged (" + std::to_string(*id) +
           " vs " + std::to_string(*added) + " on " + ShardSubdir(s) + ")");
+      // This shard registered under the divergent id, which the rollback
+      // below (keyed on *id) would miss — undo it here so its journal
+      // passes the cross-check on the next Open.
+      shards_[s]->db->RemoveQuery(*added);
       break;
     }
     id = *added;
@@ -344,12 +348,10 @@ StatusOr<QueryId> ShardedQueryServer::AddWithin(const std::string& gdist_key,
 
 Status ShardedQueryServer::RemoveQuery(QueryId id) {
   std::lock_guard<std::mutex> lock(reg_mu_);
-  Status first;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> shard_lock(shards_[s]->mu);
-    const Status removed = shards_[s]->db->RemoveQuery(id);
-    if (!removed.ok() && first.ok()) first = removed;
-  }
+  // Erase from queries_ before touching any shard DB: concurrent
+  // Commit/AdvanceTo publishes iterate queries_ and ask each shard for
+  // Answer(id), which must not run against a shard that already
+  // removed the query.
   {
     std::lock_guard<std::mutex> queries_lock(queries_mu_);
     auto it = queries_.find(id);
@@ -367,6 +369,12 @@ Status ShardedQueryServer::RemoveQuery(QueryId id) {
       // re-registration founds a fresh group, so mirror that.
       if (!key_in_use) group_gdists_.erase(key);
     }
+  }
+  Status first;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> shard_lock(shards_[s]->mu);
+    const Status removed = shards_[s]->db->RemoveQuery(id);
+    if (!removed.ok() && first.ok()) first = removed;
   }
   return first;
 }

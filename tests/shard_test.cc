@@ -523,6 +523,62 @@ TEST(ShardedServerTest, ConcurrentCommitsMatchSequentialReplay) {
   EXPECT_EQ(db->Answer(*within), replay->Answer(*within));
 }
 
+TEST(ShardedServerTest, RemoveQueryRacingCommitsNeverPublishesStaleIds) {
+  // Regression: RemoveQuery must drop the query from the publish set
+  // before ANY shard forgets it — otherwise a racing commit's publish
+  // asks a shard for the answer to an id it already removed, and the
+  // lookup aborts the process.
+  auto db = MustOpen(ScratchDir("remove_race"), Opt(4, /*threads=*/2));
+  const size_t kFleet = 48;
+  ASSERT_TRUE(db->Commit(FleetBatches(kFleet)[0]).ok());
+  const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    size_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++round;
+      for (ObjectId oid = 1; oid <= static_cast<ObjectId>(kFleet); ++oid) {
+        const Status status = db->ApplyUpdate(Update::ChangeDirection(
+            oid, 1.0,
+            Vec{0.1 + 0.01 * static_cast<double>((oid + round) % 11),
+                -0.3 + 0.01 * static_cast<double>((oid * 3 + round) % 17)}));
+        EXPECT_TRUE(status.ok()) << status.ToString();
+      }
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    auto knn = db->AddKnn("hub", hub, 6);
+    ASSERT_TRUE(knn.ok());
+    auto within = db->AddWithin("ring", hub, 120.0);
+    ASSERT_TRUE(within.ok());
+    EXPECT_LE(db->Answer(*knn).size(), 6u);
+    ASSERT_TRUE(db->RemoveQuery(*within).ok());
+    ASSERT_TRUE(db->RemoveQuery(*knn).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_TRUE(db->live_queries().empty());
+}
+
+TEST(ShardedServerTest, DivergentDurableIdRollbackCoversEveryShard) {
+  auto db = MustOpen(ScratchDir("diverge"), Opt(2));
+  const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  // Skew shard 0's id allocator by registering directly on it, bypassing
+  // the fan-out: the next fan-out then gets different durable ids from
+  // the two shards and must fail kDataLoss.
+  ASSERT_TRUE(db->shard(0).AddKnn("rogue", hub, 2).ok());
+  const auto added = db->AddKnn("hub", hub, 4);
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kDataLoss)
+      << added.status().ToString();
+  // The rollback must cover every shard that registered — including the
+  // one whose divergent id triggered the failure — so no shard's journal
+  // keeps a fan-out registration the others dropped.
+  EXPECT_EQ(db->shard(0).live_queries().size(), 1u);
+  EXPECT_TRUE(db->shard(1).live_queries().empty());
+}
+
 // ---------------------------------------------------------------------------
 // WorkStealingPool.
 
