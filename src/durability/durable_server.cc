@@ -89,6 +89,8 @@ StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
     info.truncated_bytes = r.truncated_bytes;
     info.truncated_detail = r.truncated_detail;
     info.live_queries = r.live_queries.size();
+    info.max_epoch = r.max_epoch;
+    info.epoch_floor = r.epoch_floor;
     mod = std::move(r.mod);
     seq = r.next_seq;
     next_public_id = r.next_query_id;
@@ -126,6 +128,8 @@ StatusOr<std::unique_ptr<DurableQueryServer>> DurableQueryServer::Open(
   db->seq_ = seq;
   // Everything recovered was read back from disk: it is durable.
   db->durable_seq_.store(seq, std::memory_order_release);
+  db->epoch_ = info.max_epoch;
+  db->durable_epoch_.store(info.max_epoch, std::memory_order_release);
   db->next_public_id_ = next_public_id;
   db->info_ = info;
   for (const LoggedQuery& query : live) {
@@ -205,6 +209,59 @@ Status DurableQueryServer::ApplyUpdate(const Update& update) {
   const Status committed = Commit({update}, &statuses);
   if (!committed.ok()) return committed;
   return statuses.empty() ? Status::Ok() : statuses.front();
+}
+
+Status DurableQueryServer::LogShardBatch(
+    uint64_t epoch, const std::vector<uint32_t>& participants,
+    const std::vector<Update>& updates) {
+  for (const Update& update : updates) {
+    MODB_RETURN_IF_ERROR(ValidateUpdate(update));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  MODB_RETURN_IF_ERROR(CheckWritable());
+  shard_encode_.Clear();
+  shard_encode_.AddShardBatch(epoch, participants, updates);
+  const Status logged = wal_->AppendBatch(shard_encode_);
+  if (!logged.ok()) return Degrade(logged);
+  epoch_ = std::max(epoch_, epoch);
+  if (wal_->unsynced_bytes() == 0) {
+    durable_epoch_.store(epoch_, std::memory_order_release);
+    durable_seq_.store(seq_, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+void DurableQueryServer::ApplyLoggedBatch(const std::vector<Update>& updates,
+                                          std::vector<Status>* apply_statuses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceSpan span(obs::SpanName::kCommitBatch, obs::kTraceNoId,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      updates.size());
+  for (const Update& update : updates) {
+    ++seq_;
+    const Status applied = server_.ApplyUpdate(update);
+    if (apply_statuses != nullptr) apply_statuses->push_back(applied);
+  }
+  if (wal_->unsynced_bytes() == 0) {
+    durable_seq_.store(seq_, std::memory_order_release);
+  }
+}
+
+Status DurableQueryServer::AbortShardBatch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MODB_RETURN_IF_ERROR(CheckWritable());
+  const Status appended = wal_->AppendEpochAbort(epoch);
+  if (!appended.ok()) return Degrade(appended);
+  if (wal_->unsynced_bytes() == 0) {
+    durable_epoch_.store(epoch_, std::memory_order_release);
+    durable_seq_.store(seq_, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+uint64_t DurableQueryServer::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 void DurableQueryServer::FlushBatch(
@@ -417,9 +474,17 @@ Status DurableQueryServer::TriggerCheckpointLocked(uint64_t* gen_out) {
           options_.wal, env());
       Status rotated = fresh.status();
       if (rotated.ok()) {
+        if (epoch_ > 0) {
+          // Sharded log: stamp the epoch low-water mark at the segment
+          // head — step 1's fsync just made every epoch <= epoch_ durable
+          // here, and the segments that mentioned them are about to
+          // become prunable. (Unsharded logs never reach this branch, so
+          // their byte layout is unchanged.)
+          rotated = fresh->AppendEpochFloor(epoch_);
+        }
         for (const auto& [id, query] : journal_) {
-          rotated = fresh->AppendRegisterQuery(query);
           if (!rotated.ok()) break;
+          rotated = fresh->AppendRegisterQuery(query);
         }
         if (rotated.ok()) rotated = fresh->Sync();
         if (rotated.ok()) rotated = env()->SyncDir(dir_);

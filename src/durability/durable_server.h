@@ -69,6 +69,10 @@ class DurableQueryServer {
     uint64_t truncated_bytes = 0;
     std::string truncated_detail;
     size_t live_queries = 0;
+    // Cross-shard epoch state recovered from the log (zero when the
+    // directory was never written by a sharded server).
+    uint64_t max_epoch = 0;
+    uint64_t epoch_floor = 0;
   };
 
   // Opens (recovering) or initializes (creating) the database directory.
@@ -120,6 +124,32 @@ class DurableQueryServer {
   // log layout is byte-identical to the historical single-update path.
   Status ApplyUpdate(const Update& update);
 
+  // ---- Cross-shard two-phase commit (ShardedQueryServer only) --------
+  //
+  // The sharded server serializes cross-shard commits (one epoch in
+  // flight at a time) and runs them in two phases: LogShardBatch on every
+  // participant, then — only if ALL appends succeeded — ApplyLoggedBatch
+  // on every participant. A batch is therefore applied nowhere unless it
+  // is durably logged everywhere, and recovery replays a kShardBatch only
+  // when no later kEpochAbort voids it.
+
+  // Phase 1: durably logs this shard's slice of cross-shard commit
+  // `epoch` as ONE kShardBatch frame (epoch stamp and updates are
+  // inseparable on disk) under the configured sync policy. Does NOT apply
+  // anything; seq() does not advance. An I/O failure degrades the server.
+  Status LogShardBatch(uint64_t epoch,
+                       const std::vector<uint32_t>& participants,
+                       const std::vector<Update>& updates);
+  // Phase 2: applies a slice previously logged by LogShardBatch, in
+  // order, advancing seq(). Appends nothing and cannot fail as a whole;
+  // per-update apply statuses land in `apply_statuses` when non-null.
+  void ApplyLoggedBatch(const std::vector<Update>& updates,
+                        std::vector<Status>* apply_statuses);
+  // Compensation for a failed phase 1 on a SIBLING shard: journals that
+  // `epoch`'s slice logged here must be skipped on replay (it was applied
+  // nowhere). An I/O failure degrades the server.
+  Status AbortShardBatch(uint64_t epoch);
+
   // Registers a standing squared-Euclidean query and journals it. The
   // returned id is durable: it names the same query after reopen.
   StatusOr<QueryId> AddKnn(const std::string& gdist_key,
@@ -167,6 +197,12 @@ class DurableQueryServer {
   // kEveryNBytes between syncs. Safe to read from any thread.
   uint64_t durable_seq() const {
     return durable_seq_.load(std::memory_order_acquire);
+  }
+  // Largest cross-shard epoch ever stamped into this shard's log (0 for
+  // unsharded databases) / the largest known durable on disk.
+  uint64_t epoch() const;
+  uint64_t durable_epoch() const {
+    return durable_epoch_.load(std::memory_order_acquire);
   }
   // Active segment size / path (for crash-harness cut points).
   uint64_t wal_bytes() const;
@@ -228,6 +264,8 @@ class DurableQueryServer {
   SnapshotManager snapshots_;
   uint64_t seq_ = 0;
   std::atomic<uint64_t> durable_seq_{0};
+  uint64_t epoch_ = 0;  // Max epoch stamped into the log (guarded by mu_).
+  std::atomic<uint64_t> durable_epoch_{0};
   QueryId next_public_id_ = 0;
   std::map<QueryId, LoggedQuery> journal_;     // Live queries, by public id.
   std::map<QueryId, QueryId> public_to_internal_;
@@ -245,6 +283,10 @@ class DurableQueryServer {
   // encoding allocates nothing.
   WalBatch encode_buffers_[2];
   size_t encode_parity_ = 0;
+  // Staging for LogShardBatch (guarded by mu_; the sharded commit path
+  // bypasses the group-commit queue, so this never races the buffers
+  // above).
+  WalBatch shard_encode_;
 
   // Constructed last (its FlushFn captures `this`).
   std::unique_ptr<GroupCommitQueue> commit_queue_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "durability/snapshot.h"
@@ -104,6 +105,10 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
   std::map<WalQueryId, LoggedQuery> live;
   WalQueryId max_query_id = -1;
 
+  // Read every chain segment before replaying anything: a kEpochAbort
+  // anywhere in the chain voids its epoch's kShardBatch, so the aborted
+  // set must be complete before the first batch is applied.
+  std::vector<WalReadResult> reads;
   for (size_t i = 0; i < chain.size(); ++i) {
     const bool is_last = i + 1 == chain.size();
     StatusOr<WalReadResult> read = ReadWalSegment(chain[i].path, env);
@@ -133,6 +138,7 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
         return Status::NotFound("no durable state in " + dir +
                                 " (only a torn segment header)");
       }
+      chain.pop_back();
       break;
     }
     if (read->header.start_seq != chain[i].start_seq) {
@@ -141,22 +147,39 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
           std::to_string(chain[i].start_seq) + " but header says " +
           std::to_string(read->header.start_seq));
     }
-    if (read->header.start_seq != result.next_seq) {
+    reads.push_back(std::move(read).value());
+  }
+
+  std::set<uint64_t> aborted;
+  for (const WalReadResult& read : reads) {
+    for (const WalRecord& record : read.records) {
+      if (record.type == WalRecordType::kEpochAbort) {
+        aborted.insert(record.epoch);
+        result.max_epoch = std::max(result.max_epoch, record.epoch);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < reads.size(); ++i) {
+    const bool is_last = i + 1 == reads.size();
+    const WalReadResult& read = reads[i];
+    if (read.header.start_seq != result.next_seq) {
       std::ostringstream msg;
       msg << "wal chain gap: expected a segment starting at seq "
           << result.next_seq << ", found " << chain[i].path << " starting at "
-          << read->header.start_seq;
+          << read.header.start_seq;
       return Status::DataLoss(msg.str());
     }
     if (!seeded && i == 0) {
-      result.mod = MovingObjectDatabase(read->header.dim,
-                                        read->header.start_tau);
-    } else if (read->header.dim != result.mod.dim()) {
+      result.mod = MovingObjectDatabase(read.header.dim,
+                                        read.header.start_tau);
+    } else if (read.header.dim != result.mod.dim()) {
       return Status::DataLoss(chain[i].path +
                               ": dimension mismatch with state");
     }
 
-    for (const WalRecord& record : read->records) {
+    for (size_t r = 0; r < read.records.size(); ++r) {
+      const WalRecord& record = read.records[r];
       switch (record.type) {
         case WalRecordType::kUpdate: {
           const Status applied = result.mod.Apply(record.update);
@@ -185,6 +208,34 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
           }
           break;
         }
+        case WalRecordType::kShardBatch: {
+          result.max_epoch = std::max(result.max_epoch, record.epoch);
+          if (aborted.count(record.epoch) > 0) {
+            // The batch was applied nowhere (a sibling shard failed to
+            // log it); seq never advanced past it on the live server
+            // either.
+            break;
+          }
+          for (const Update& update : record.batch) {
+            const Status applied = result.mod.Apply(update);
+            if (applied.ok()) {
+              ++result.replayed_updates;
+            } else {
+              ++result.skipped_updates;
+            }
+            ++result.next_seq;
+          }
+          result.epoch_marks.push_back(
+              EpochMark{record.epoch, record.participants, read.offsets[r],
+                        is_last});
+          break;
+        }
+        case WalRecordType::kEpochFloor:
+          result.epoch_floor = std::max(result.epoch_floor, record.epoch);
+          result.max_epoch = std::max(result.max_epoch, record.epoch);
+          break;
+        case WalRecordType::kEpochAbort:
+          break;  // Collected chain-wide above.
         case WalRecordType::kRegisterQuery:
           // Upsert: segment heads re-journal live queries, so a
           // registration may be seen once per rotation.
@@ -198,17 +249,17 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
       }
     }
 
-    if (read->torn_tail) {
+    if (read.torn_tail) {
       if (!is_last) {
         return Status::DataLoss("corrupt non-final wal segment " +
-                                chain[i].path + ": " + read->torn_detail);
+                                chain[i].path + ": " + read.torn_detail);
       }
       result.truncated_tail = true;
-      result.truncated_detail = read->torn_detail;
-      result.truncated_bytes = read->file_bytes - read->valid_bytes;
+      result.truncated_detail = read.torn_detail;
+      result.truncated_bytes = read.file_bytes - read.valid_bytes;
       if (options.repair && result.truncated_bytes > 0) {
         MODB_RETURN_IF_ERROR(
-            env->TruncateFile(chain[i].path, read->valid_bytes));
+            env->TruncateFile(chain[i].path, read.valid_bytes));
       }
     }
     result.active_wal_path = chain[i].path;
@@ -219,6 +270,7 @@ StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir,
     result.next_seq = result.snapshot_seq;
   }
 
+  result.aborted_epochs.assign(aborted.begin(), aborted.end());
   result.next_query_id = max_query_id + 1;
   result.live_queries.reserve(live.size());
   for (auto& [id, query] : live) {

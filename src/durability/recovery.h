@@ -37,6 +37,19 @@ struct RecoveryOptions {
   Env* env = nullptr;
 };
 
+// One non-aborted kShardBatch stamp seen during replay, in log order.
+// The sharded healer truncates a shard's active segment at `offset` to
+// roll an epoch (and everything after it) back to the consistent cut.
+struct EpochMark {
+  uint64_t epoch = 0;
+  std::vector<uint32_t> participants;
+  uint64_t offset = 0;  // Frame start offset within its segment.
+  // Only active-segment marks can be rolled back; a mark buried in a
+  // sealed segment is permanent (the checkpoint barrier guarantees it was
+  // durable on every participant before the seal).
+  bool in_active_segment = false;
+};
+
 struct RecoveryResult {
   MovingObjectDatabase mod{1};
   // Updates ever applied = what the next WAL segment would start at.
@@ -59,6 +72,19 @@ struct RecoveryResult {
   // The segment to continue appending to; empty if none survived (the
   // caller starts a fresh segment at next_seq).
   std::string active_wal_path;
+  // ---- Cross-shard epoch state (all zero/empty for unsharded logs) ----
+  // Largest epoch this shard has ever stamped (floors, marks, and aborts
+  // included): the sharded server's next epoch must exceed this.
+  uint64_t max_epoch = 0;
+  // Largest kEpochFloor seen: every epoch <= this was durable here when a
+  // sealed segment's checkpoint barrier ran (presence by implication even
+  // after the segments mentioning those epochs were pruned).
+  uint64_t epoch_floor = 0;
+  // Non-aborted kShardBatch stamps, in log order.
+  std::vector<EpochMark> epoch_marks;
+  // Epochs with a kEpochAbort record: their batches were applied nowhere,
+  // so the healer excludes them from the consistent-cut computation.
+  std::vector<uint64_t> aborted_epochs;
 };
 
 // Recovers from `dir`. NotFound when the directory holds no durable state

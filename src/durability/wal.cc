@@ -267,6 +267,28 @@ void EncodeUpdateBatchPayload(const std::vector<Update>& updates,
   for (const Update& update : updates) PutUpdateBody(out, update);
 }
 
+void EncodeShardBatchPayload(uint64_t epoch,
+                             const std::vector<uint32_t>& participants,
+                             const std::vector<Update>& updates,
+                             std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kShardBatch));
+  PutU64(out, epoch);
+  PutU32(out, static_cast<uint32_t>(participants.size()));
+  for (const uint32_t shard : participants) PutU32(out, shard);
+  PutU32(out, static_cast<uint32_t>(updates.size()));
+  for (const Update& update : updates) PutUpdateBody(out, update);
+}
+
+void EncodeEpochFloorPayload(uint64_t epoch, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kEpochFloor));
+  PutU64(out, epoch);
+}
+
+void EncodeEpochAbortPayload(uint64_t epoch, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(WalRecordType::kEpochAbort));
+  PutU64(out, epoch);
+}
+
 void EncodeRegisterQueryPayload(const LoggedQuery& query, std::string* out) {
   PutU8(out, static_cast<uint8_t>(WalRecordType::kRegisterQuery));
   PutU8(out, query.is_knn ? 1 : 0);
@@ -309,6 +331,44 @@ StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim) {
       record.batch.resize(count);
       for (uint32_t i = 0; i < count; ++i) {
         MODB_RETURN_IF_ERROR(GetUpdateBody(&in, dim, &record.batch[i]));
+      }
+      break;
+    }
+    case WalRecordType::kShardBatch: {
+      record.type = WalRecordType::kShardBatch;
+      uint32_t participant_count = 0;
+      if (!in.GetU64(&record.epoch) || record.epoch == 0 ||
+          !in.GetU32(&participant_count) || participant_count == 0 ||
+          participant_count > 256) {
+        return Status::InvalidArgument("bad shard batch stamp");
+      }
+      record.participants.resize(participant_count);
+      for (uint32_t i = 0; i < participant_count; ++i) {
+        if (!in.GetU32(&record.participants[i])) {
+          return Status::InvalidArgument("truncated shard participant list");
+        }
+      }
+      uint32_t count = 0;
+      if (!in.GetU32(&count) || count > kMaxPayloadBytes / 17) {
+        return Status::InvalidArgument("bad shard batch count");
+      }
+      record.batch.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        MODB_RETURN_IF_ERROR(GetUpdateBody(&in, dim, &record.batch[i]));
+      }
+      break;
+    }
+    case WalRecordType::kEpochFloor: {
+      record.type = WalRecordType::kEpochFloor;
+      if (!in.GetU64(&record.epoch) || record.epoch == 0) {
+        return Status::InvalidArgument("bad epoch floor record");
+      }
+      break;
+    }
+    case WalRecordType::kEpochAbort: {
+      record.type = WalRecordType::kEpochAbort;
+      if (!in.GetU64(&record.epoch) || record.epoch == 0) {
+        return Status::InvalidArgument("bad epoch abort record");
       }
       break;
     }
@@ -373,6 +433,27 @@ void WalBatch::AddUpdates(const std::vector<Update>& updates) {
   EncodeUpdateBatchPayload(updates, &scratch_);
   Frame();
   updates_ += updates.size();
+}
+
+void WalBatch::AddShardBatch(uint64_t epoch,
+                             const std::vector<uint32_t>& participants,
+                             const std::vector<Update>& updates) {
+  scratch_.clear();
+  EncodeShardBatchPayload(epoch, participants, updates, &scratch_);
+  Frame();
+  updates_ += updates.size();
+}
+
+void WalBatch::AddEpochFloor(uint64_t epoch) {
+  scratch_.clear();
+  EncodeEpochFloorPayload(epoch, &scratch_);
+  Frame();
+}
+
+void WalBatch::AddEpochAbort(uint64_t epoch) {
+  scratch_.clear();
+  EncodeEpochAbortPayload(epoch, &scratch_);
+  Frame();
 }
 
 void WalBatch::AddRegisterQuery(const LoggedQuery& query) {
@@ -531,6 +612,18 @@ Status WalWriter::AppendRemoveQuery(WalQueryId id) {
   return AppendPayload(payload);
 }
 
+Status WalWriter::AppendEpochFloor(uint64_t epoch) {
+  std::string payload;
+  EncodeEpochFloorPayload(epoch, &payload);
+  return AppendPayload(payload);
+}
+
+Status WalWriter::AppendEpochAbort(uint64_t epoch) {
+  std::string payload;
+  EncodeEpochAbortPayload(epoch, &payload);
+  return AppendPayload(payload);
+}
+
 Status WalWriter::AppendBatch(const WalBatch& batch) {
   MODB_CHECK(file_ != nullptr);
   if (batch.empty()) return Status::Ok();
@@ -647,6 +740,7 @@ StatusOr<WalReadResult> ReadWalSegment(const std::string& path, Env* env) {
       break;
     }
     result.records.push_back(std::move(record).value());
+    result.offsets.push_back(offset);
     offset += 8 + len;
     result.valid_bytes = offset;
   }

@@ -54,6 +54,23 @@ enum class WalRecordType : uint8_t {
   // One Commit()'s updates in a single CRC frame: the batch is the atomic
   // durability unit — a torn tail can drop a whole batch, never split one.
   kUpdateBatch = 4,
+  // A shard's slice of one cross-shard commit: like kUpdateBatch but
+  // stamped with the commit's global epoch and the set of participating
+  // shard indices. Epoch stamp and updates share ONE frame, so a torn
+  // tail can never separate a batch from its epoch. Sharded recovery uses
+  // these stamps to compute the consistent cut across shards.
+  kShardBatch = 5,
+  // Epoch low-water mark, written at the head of a fresh segment when the
+  // shard has epoch state: every epoch <= the floor was durable on this
+  // shard when the previous segment was sealed (checkpoints only rotate
+  // after an all-shard fsync barrier). Solves "the checkpoint pruned the
+  // segments that mentioned epoch e" in the presence computation.
+  kEpochFloor = 6,
+  // Compensation record: the named epoch's kShardBatch on THIS shard must
+  // be skipped during replay — a sibling shard failed to log it, so the
+  // batch was applied nowhere. Lets later healthy commits append after an
+  // orphaned epoch without forcing rollback at reopen.
+  kEpochAbort = 7,
 };
 
 // Query ids live in queries/query_server.h; redeclared here to keep the
@@ -78,7 +95,10 @@ struct WalRecord {
   Update update;            // kUpdate.
   LoggedQuery query;        // kRegisterQuery.
   WalQueryId removed_id = 0;  // kRemoveQuery.
-  std::vector<Update> batch;  // kUpdateBatch, in commit order.
+  std::vector<Update> batch;  // kUpdateBatch / kShardBatch, in commit order.
+  uint64_t epoch = 0;         // kShardBatch / kEpochFloor / kEpochAbort.
+  // kShardBatch: indices of every shard the commit touched (sorted).
+  std::vector<uint32_t> participants;
 };
 
 struct WalSegmentHeader {
@@ -104,6 +124,14 @@ class WalBatch {
   void AddUpdate(const Update& update);
   // One kUpdateBatch frame holding all of `updates` (empty: no-op).
   void AddUpdates(const std::vector<Update>& updates);
+  // One kShardBatch frame: `updates` stamped with the cross-shard commit's
+  // epoch and participant set. Unlike AddUpdates, an empty `updates` still
+  // emits the frame — the epoch stamp itself is the durability evidence.
+  void AddShardBatch(uint64_t epoch, const std::vector<uint32_t>& participants,
+                     const std::vector<Update>& updates);
+  // One kEpochFloor / kEpochAbort frame.
+  void AddEpochFloor(uint64_t epoch);
+  void AddEpochAbort(uint64_t epoch);
   // One kRegisterQuery / kRemoveQuery frame (registrations ride along in
   // the same group flush).
   void AddRegisterQuery(const LoggedQuery& query);
@@ -160,6 +188,9 @@ class WalWriter {
   Status AppendUpdate(const Update& update);
   Status AppendRegisterQuery(const LoggedQuery& query);
   Status AppendRemoveQuery(WalQueryId id);
+  // Epoch metadata frames for sharded logs (see WalRecordType).
+  Status AppendEpochFloor(uint64_t epoch);
+  Status AppendEpochAbort(uint64_t epoch);
 
   // Appends every frame in `batch` with ONE file append, then applies the
   // sync policy once for the whole batch — this is what amortizes fsyncs
@@ -216,6 +247,10 @@ class WalWriter {
 struct WalReadResult {
   WalSegmentHeader header;
   std::vector<WalRecord> records;
+  // Byte offset of each record's frame start (parallel to `records`).
+  // Sharded reopen uses these to truncate a rolled-back epoch's frame and
+  // everything after it.
+  std::vector<uint64_t> offsets;
   bool torn_tail = false;
   std::string torn_detail;   // Why the scan stopped, when torn.
   uint64_t valid_bytes = 0;  // Offset one past the last valid record.
@@ -242,6 +277,12 @@ std::optional<uint64_t> ParseWalFileName(const std::string& name);
 void EncodeUpdatePayload(const Update& update, std::string* out);
 void EncodeUpdateBatchPayload(const std::vector<Update>& updates,
                               std::string* out);
+void EncodeShardBatchPayload(uint64_t epoch,
+                             const std::vector<uint32_t>& participants,
+                             const std::vector<Update>& updates,
+                             std::string* out);
+void EncodeEpochFloorPayload(uint64_t epoch, std::string* out);
+void EncodeEpochAbortPayload(uint64_t epoch, std::string* out);
 void EncodeRegisterQueryPayload(const LoggedQuery& query, std::string* out);
 void EncodeRemoveQueryPayload(WalQueryId id, std::string* out);
 StatusOr<WalRecord> DecodeWalPayload(const std::string& payload, size_t dim);

@@ -212,6 +212,19 @@ ModbMetrics Register() {
       "modb.shard.answer_retries", "retries",
       "Seqlock answer reads that overlapped a publish and went around "
       "again (torn copies detected and discarded).");
+  m.shard_degraded = r.RegisterGauge(
+      "modb.shard.degraded", "shards",
+      "Shards currently fail-stopped (sticky I/O failure or failed open); "
+      "commits touching one fail kUnavailable while commits routed "
+      "entirely to healthy shards keep succeeding.");
+  m.shard_epoch_durable = r.RegisterCounter(
+      "modb.shard.epoch.durable", "epochs",
+      "Cross-shard commit epochs whose phase-1 append succeeded on every "
+      "participating shard (the batch is durable as a unit).");
+  m.shard_epoch_rollbacks = r.RegisterCounter(
+      "modb.shard.epoch.rollback", "shards",
+      "Shards truncated back to the consistent epoch cut during sharded "
+      "recovery (the shard ran ahead of a crash-interrupted commit).");
 
   return m;
 }

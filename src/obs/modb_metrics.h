@@ -83,6 +83,9 @@ struct ModbMetrics {
   Counter* shard_publishes;
   Counter* shard_steals;
   Counter* shard_answer_retries;
+  Gauge* shard_degraded;
+  Counter* shard_epoch_durable;
+  Counter* shard_epoch_rollbacks;
 };
 
 // The process-wide instance; registers everything on first call.

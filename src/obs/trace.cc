@@ -39,6 +39,7 @@ constexpr SpanNameInfo kSpanNames[] = {
     {"past.run", false},
     {"shard.dispatch", false},
     {"shard.merge", false},
+    {"shard.recover", false},
     {"sweep.insert", false},
     {"sweep.erase", false},
     {"sweep.curve", false},

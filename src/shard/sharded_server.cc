@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <optional>
+#include <set>
 #include <thread>
 
 #include "common/check.h"
+#include "durability/recovery.h"
 #include "gdist/builtin.h"
 #include "obs/modb_metrics.h"
 #include "obs/trace.h"
@@ -95,25 +98,197 @@ StatusOr<std::unique_ptr<ShardedQueryServer>> ShardedQueryServer::Open(
 
   std::unique_ptr<ShardedQueryServer> server(
       new ShardedQueryServer(dir, manifest, options.threads));
+  if (existing.ok() && !options.allow_degraded_shards) {
+    // Heal to the consistent epoch cut BEFORE any shard is opened for
+    // append: a shard that ran ahead of the cut is truncated back to it,
+    // so every per-shard recovery below replays the same whole-batch
+    // prefix. Skipped under allow_degraded_shards (the cut needs every
+    // shard's log) — that mode is read-only anyway.
+    obs::TraceSpan span(obs::SpanName::kShardRecover, obs::kTraceNoId,
+                        std::numeric_limits<double>::quiet_NaN(),
+                        manifest.shards);
+    uint64_t rollbacks = 0;
+    MODB_RETURN_IF_ERROR(HealEpochCut(dir, manifest, env, &rollbacks));
+    if (rollbacks > 0) {
+      obs::M().shard_epoch_rollbacks->Increment(rollbacks);
+    }
+  }
   server->shards_.reserve(manifest.shards);
+  uint64_t max_epoch = 0;
   for (size_t s = 0; s < manifest.shards; ++s) {
     DurabilityOptions per_shard = options.durability;
     per_shard.dim = manifest.dim;
+    // A shard rotating on its own schedule could seal an epoch not yet
+    // durable on a sibling (un-rollbackable); only the coordinated
+    // Checkpoint below may rotate.
+    per_shard.auto_checkpoint = false;
     auto opened =
         DurableQueryServer::Open(dir + "/" + ShardSubdir(s), per_shard);
-    if (!opened.ok()) {
-      return Status(opened.status().code(),
-                    ShardSubdir(s) + ": " + opened.status().message());
-    }
     auto shard = std::make_unique<Shard>();
-    shard->db = std::move(*opened);
-    server->recovered_ =
-        server->recovered_ || shard->db->open_info().recovered;
+    if (!opened.ok()) {
+      if (!options.allow_degraded_shards ||
+          opened.status().code() != StatusCode::kUnavailable) {
+        return Status(opened.status().code(),
+                      ShardSubdir(s) + ": " + opened.status().message());
+      }
+      // Placeholder: the shard is unreachable (dead disk, EIO), not
+      // corrupt. The server opens read-only around the hole.
+      shard->open_error = opened.status();
+      server->read_only_ = true;
+    } else {
+      shard->db = std::move(*opened);
+      server->recovered_ =
+          server->recovered_ || shard->db->open_info().recovered;
+      max_epoch = std::max(max_epoch, shard->db->open_info().max_epoch);
+    }
     server->shards_.push_back(std::move(shard));
   }
+  if (server->read_only_) {
+    bool any_healthy = false;
+    for (const auto& shard : server->shards_) {
+      any_healthy = any_healthy || shard->db != nullptr;
+    }
+    if (!any_healthy) {
+      // Every shard failed: there is nothing to merge and no journal to
+      // read queries from — this is an outage, not a degraded open.
+      return Status(StatusCode::kUnavailable,
+                    ShardSubdir(0) + ": " +
+                        server->shards_[0]->open_error.message());
+    }
+  }
+  server->next_epoch_ = max_epoch + 1;
   MODB_RETURN_IF_ERROR(server->RebuildQueryStates());
   obs::M().shard_count->Set(static_cast<int64_t>(manifest.shards));
+  server->UpdateDegradedGauge();
   return server;
+}
+
+Status ShardedQueryServer::HealEpochCut(const std::string& dir,
+                                        const ShardManifest& manifest,
+                                        Env* env, uint64_t* rollbacks) {
+  // Phase 1: pre-scan every shard's log (repairing torn tails, exactly as
+  // the per-shard Open below would).
+  std::vector<RecoveryResult> scans(manifest.shards);
+  for (size_t s = 0; s < manifest.shards; ++s) {
+    StatusOr<RecoveryResult> scanned = RecoverDatabase(
+        dir + "/" + ShardSubdir(s), {.repair = true, .env = env});
+    if (!scanned.ok()) {
+      // kNotFound = a fresh shard (no marks, floor 0); anything else must
+      // surface — healing on a partial view could truncate good data.
+      if (scanned.status().code() == StatusCode::kNotFound) continue;
+      return Status(scanned.status().code(),
+                    ShardSubdir(s) + ": " + scanned.status().message());
+    }
+    scans[s] = std::move(*scanned);
+  }
+
+  // An aborted epoch was applied nowhere: it neither breaks the cut nor
+  // counts as present anywhere.
+  std::set<uint64_t> aborted;
+  for (const RecoveryResult& scan : scans) {
+    aborted.insert(scan.aborted_epochs.begin(), scan.aborted_epochs.end());
+  }
+  std::vector<std::set<uint64_t>> marked(manifest.shards);
+  std::map<uint64_t, const std::vector<uint32_t>*> participants;
+  for (size_t s = 0; s < manifest.shards; ++s) {
+    for (const EpochMark& mark : scans[s].epoch_marks) {
+      if (aborted.count(mark.epoch) > 0) continue;
+      marked[s].insert(mark.epoch);
+      participants.emplace(mark.epoch, &mark.participants);
+    }
+  }
+
+  // The consistent cut: the largest epoch E* such that no epoch <= E* is
+  // broken (present = stamped in the shard's surviving log, or covered by
+  // its floor — the all-shard fsync barrier before every seal means a
+  // pruned epoch was durable everywhere it mattered). Commits are
+  // serialized, so each shard's epochs are a monotone sequence and each
+  // shard's crash cut is a prefix cut: everything after the first broken
+  // epoch is suspect.
+  //
+  // Epoch numbers are dense (allocated by one counter), which closes a
+  // blind spot the mark scan alone would have: a crash can cut an epoch's
+  // frame away on EVERY participant while a later epoch touching other
+  // shards survives. No surviving mark names the erased epoch, so it
+  // cannot fail the per-participant check — but the numbering gap it
+  // leaves is visible. A gap above the seal floor that is not an
+  // explicitly aborted epoch is therefore a broken epoch (aborts journal
+  // a compensation record on every healthy shard precisely so the two
+  // cases can be told apart).
+  uint64_t max_floor = 0;
+  for (const RecoveryResult& scan : scans) {
+    max_floor = std::max(max_floor, scan.epoch_floor);
+  }
+  uint64_t first_broken = 0;
+  uint64_t prev_present = max_floor;
+  for (const auto& [epoch, parts] : participants) {
+    if (epoch <= prev_present) continue;  // Sealed-durable everywhere.
+    bool broken = false;
+    for (uint64_t hole = prev_present + 1; hole < epoch; ++hole) {
+      if (aborted.count(hole) == 0) {
+        first_broken = hole;
+        broken = true;
+        break;
+      }
+    }
+    if (broken) break;
+    for (const uint32_t p : *parts) {
+      if (p >= manifest.shards) {
+        return Status::DataLoss("epoch " + std::to_string(epoch) +
+                                " names shard " + std::to_string(p) +
+                                " outside the manifest");
+      }
+      if (epoch > scans[p].epoch_floor && marked[p].count(epoch) == 0) {
+        broken = true;
+        break;
+      }
+    }
+    if (broken) {
+      first_broken = epoch;
+      break;  // participants is ordered: the first broken epoch is the cut.
+    }
+    prev_present = epoch;
+  }
+  if (first_broken == 0) return Status::Ok();  // Nothing to heal.
+  const uint64_t cut = first_broken - 1;
+
+  // Phase 2: truncate every shard that ran ahead at its first mark past
+  // the cut (its marks are epoch-ascending, so everything after that
+  // frame is also past the cut).
+  for (size_t s = 0; s < manifest.shards; ++s) {
+    const EpochMark* roll_at = nullptr;
+    for (const EpochMark& mark : scans[s].epoch_marks) {
+      if (aborted.count(mark.epoch) > 0) continue;
+      if (roll_at == nullptr) {
+        if (mark.epoch > cut) roll_at = &mark;
+        continue;
+      }
+      if (mark.epoch <= cut) {
+        // Epoch order per shard is monotone by construction; a smaller
+        // epoch after the rollback point means the log is not the log a
+        // sharded server wrote.
+        return Status::DataLoss(ShardSubdir(s) + ": epoch " +
+                                std::to_string(mark.epoch) +
+                                " logged after epoch " +
+                                std::to_string(roll_at->epoch));
+      }
+    }
+    if (roll_at == nullptr) continue;
+    if (!roll_at->in_active_segment) {
+      // The epoch to roll back is sealed into a pruned-or-sealed segment:
+      // the checkpoint barrier should have made this impossible, so the
+      // directory was mutated outside the sharded protocol. Refuse rather
+      // than guess.
+      return Status::DataLoss(
+          ShardSubdir(s) + ": epoch " + std::to_string(roll_at->epoch) +
+          " must roll back to the cross-shard cut (epoch " +
+          std::to_string(cut) + ") but is sealed outside the active segment");
+    }
+    MODB_RETURN_IF_ERROR(
+        env->TruncateFile(scans[s].active_wal_path, roll_at->offset));
+    ++*rollbacks;
+  }
+  return Status::Ok();
 }
 
 Status ShardedQueryServer::RebuildQueryStates() {
@@ -121,15 +296,26 @@ Status ShardedQueryServer::RebuildQueryStates() {
   // shard in one order, so all S journals must list the same queries. A
   // shard whose journal diverged (a torn tail that ate a registration the
   // others kept) would silently answer with a missing kernel — refuse.
+  // Placeholder shards (allow_degraded_shards) have no journal to check;
+  // the first healthy shard is the reference.
+  size_t ref = shards_.size();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db != nullptr) {
+      ref = s;
+      break;
+    }
+  }
+  MODB_CHECK(ref < shards_.size()) << "no healthy shard";
   const std::map<QueryId, LoggedQuery>& reference =
-      shards_[0]->db->live_queries();
-  for (size_t s = 1; s < shards_.size(); ++s) {
+      shards_[ref]->db->live_queries();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s == ref || shards_[s]->db == nullptr) continue;
     const std::map<QueryId, LoggedQuery>& other =
         shards_[s]->db->live_queries();
     if (other.size() != reference.size()) {
       return Status::DataLoss(
           ShardSubdir(s) + " journals " + std::to_string(other.size()) +
-          " queries, " + ShardSubdir(0) + " journals " +
+          " queries, " + ShardSubdir(ref) + " journals " +
           std::to_string(reference.size()));
     }
     auto it = other.begin();
@@ -139,7 +325,7 @@ Status ShardedQueryServer::RebuildQueryStates() {
           it->second.k != logged.k ||
           it->second.threshold != logged.threshold) {
         return Status::DataLoss(ShardSubdir(s) + " query journal disagrees " +
-                                "with " + ShardSubdir(0) + " at id " +
+                                "with " + ShardSubdir(ref) + " at id " +
                                 std::to_string(id));
       }
       ++it;
@@ -179,6 +365,9 @@ Status ShardedQueryServer::RebuildQueryStates() {
 }
 
 void ShardedQueryServer::PublishShardLocked(size_t s) {
+  // A placeholder shard publishes nothing; its cells stay empty and
+  // AnswerPartial reports it degraded.
+  if (shards_[s]->db == nullptr) return;
   DurableQueryServer& db = *shards_[s]->db;
   const double t = db.server().now();
   std::lock_guard<std::mutex> lock(queries_mu_);
@@ -201,6 +390,21 @@ void ShardedQueryServer::PublishShardLocked(size_t s) {
 Status ShardedQueryServer::Commit(const std::vector<Update>& updates,
                                   std::vector<Status>* apply_statuses) {
   if (updates.empty()) return Status::Ok();
+  // The whole batch succeeds or fails together: refusals fill every
+  // apply-status slot with the batch verdict.
+  auto fail_all = [&updates, apply_statuses](Status why) {
+    if (apply_statuses != nullptr) {
+      apply_statuses->assign(updates.size(), why);
+    }
+    return why;
+  };
+  // Validate every update BEFORE an epoch is allocated or anything is
+  // logged: validation failures must not burn an epoch (or worse, log the
+  // batch on some shards and refuse it on others).
+  for (const Update& update : updates) {
+    const Status valid = ValidateUpdate(update);
+    if (!valid.ok()) return fail_all(valid);
+  }
   const size_t num_shards = shards_.size();
   std::vector<std::vector<Update>> sub_batches(num_shards);
   std::vector<std::vector<size_t>> origins(num_shards);
@@ -210,43 +414,104 @@ Status ShardedQueryServer::Commit(const std::vector<Update>& updates,
     origins[s].push_back(i);
   }
   obs::M().shard_updates->Increment(updates.size());
-
-  std::vector<Status> shard_status(num_shards);
-  std::vector<std::vector<Status>> shard_applies(num_shards);
-  std::vector<std::function<void()>> tasks;
+  std::vector<uint32_t> participants;
   for (size_t s = 0; s < num_shards; ++s) {
-    if (sub_batches[s].empty()) continue;
-    tasks.push_back([this, s, &sub_batches, &shard_status, &shard_applies] {
-      obs::TraceSpan span(obs::SpanName::kShardDispatch,
-                          static_cast<int64_t>(s), kNaN,
-                          sub_batches[s].size());
-      obs::ScopedTimer timer(obs::M().shard_dispatch_seconds);
-      obs::M().shard_dispatches->Increment();
+    if (!sub_batches[s].empty()) {
+      participants.push_back(static_cast<uint32_t>(s));
+    }
+  }
+
+  // One epoch in flight at a time: it is fully logged (or aborted) on
+  // every participant before the next is handed out, so per-shard epoch
+  // order is monotone and cut-healing only ever rolls back the last
+  // unacknowledged commit.
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (read_only_) {
+    return fail_all(Status::Unavailable(
+        "sharded server is read-only (a shard failed to open)"));
+  }
+  // Degraded-shard pre-check: fail before allocating an epoch, so commits
+  // routed entirely to healthy shards keep getting epochs.
+  for (const uint32_t p : participants) {
+    if (shards_[p]->db->degraded()) {
+      return fail_all(Status::Unavailable(
+          ShardSubdir(p) + ": " +
+          shards_[p]->db->degraded_cause().ToString()));
+    }
+  }
+  const uint64_t epoch = next_epoch_++;
+
+  // Phase 1: durably log the epoch-stamped sub-batch on every participant
+  // (in parallel). Nothing is applied yet — a crash or failure here leaves
+  // live state untouched on every shard.
+  std::vector<Status> log_status(num_shards);
+  std::vector<std::function<Status()>> log_tasks;
+  log_tasks.reserve(participants.size());
+  for (const uint32_t p : participants) {
+    log_tasks.push_back(
+        [this, p, epoch, &participants, &sub_batches, &log_status] {
+          obs::TraceSpan span(obs::SpanName::kShardDispatch,
+                              static_cast<int64_t>(p), kNaN,
+                              sub_batches[p].size());
+          obs::ScopedTimer timer(obs::M().shard_dispatch_seconds);
+          obs::M().shard_dispatches->Increment();
+          std::lock_guard<std::mutex> lock(shards_[p]->mu);
+          log_status[p] =
+              shards_[p]->db->LogShardBatch(epoch, participants,
+                                            sub_batches[p]);
+          return log_status[p];
+        });
+  }
+  const Status logged = pool_->RunAllStatus(std::move(log_tasks));
+  if (!logged.ok()) {
+    // The epoch is torn: logged on some participants, refused on another
+    // (which is now degraded). Journal a compensation record on EVERY
+    // shard that can still append — participants that did log it (so
+    // replay and the cut-healer treat the epoch as never having existed)
+    // AND healthy bystanders. The bystander record matters when every
+    // participant refused or lost the frame: without any trace, this
+    // epoch's numbering gap is indistinguishable from an epoch whose
+    // frames a crash tore away on all participants, and the cut-healer
+    // would roll later healthy commits back behind it.
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!log_status[s].ok()) continue;  // The refusing participant.
+      if (shards_[s]->db == nullptr || shards_[s]->db->degraded()) continue;
       std::lock_guard<std::mutex> lock(shards_[s]->mu);
-      shard_status[s] =
-          shards_[s]->db->Commit(sub_batches[s], &shard_applies[s]);
-      PublishShardLocked(s);
+      shards_[s]->db->AbortShardBatch(epoch);
+    }
+    UpdateDegradedGauge();
+    for (const uint32_t p : participants) {
+      if (!log_status[p].ok()) {
+        return fail_all(Status::Unavailable(ShardSubdir(p) + ": " +
+                                            log_status[p].message()));
+      }
+    }
+    return fail_all(Status::Unavailable(logged.message()));
+  }
+  obs::M().shard_epoch_durable->Increment();
+
+  // Phase 2: apply everywhere. Every participant's append succeeded, so
+  // the batch is already durable as a unit; apply cannot fail as a whole
+  // (per-update semantic refusals land in apply_statuses, exactly as they
+  // would on replay).
+  std::vector<std::vector<Status>> shard_applies(num_shards);
+  std::vector<std::function<void()>> apply_tasks;
+  apply_tasks.reserve(participants.size());
+  for (const uint32_t p : participants) {
+    apply_tasks.push_back([this, p, &sub_batches, &shard_applies] {
+      std::lock_guard<std::mutex> lock(shards_[p]->mu);
+      shards_[p]->db->ApplyLoggedBatch(sub_batches[p], &shard_applies[p]);
+      PublishShardLocked(p);
     });
   }
-  pool_->RunAll(std::move(tasks));
+  pool_->RunAll(std::move(apply_tasks));
 
   if (apply_statuses != nullptr) {
     apply_statuses->assign(updates.size(), Status::Ok());
-    for (size_t s = 0; s < num_shards; ++s) {
-      for (size_t j = 0; j < origins[s].size(); ++j) {
-        // A shard that refused its whole sub-batch before logging (e.g.
-        // kInvalidArgument, degraded) reports no per-update statuses;
-        // surface the batch status for each of its updates.
-        (*apply_statuses)[origins[s][j]] =
-            j < shard_applies[s].size() ? shard_applies[s][j]
-                                        : shard_status[s];
+    for (const uint32_t p : participants) {
+      for (size_t j = 0; j < origins[p].size(); ++j) {
+        (*apply_statuses)[origins[p][j]] = shard_applies[p][j];
       }
-    }
-  }
-  for (size_t s = 0; s < num_shards; ++s) {
-    if (!shard_status[s].ok()) {
-      return Status(shard_status[s].code(), ShardSubdir(s) + ": " +
-                                                shard_status[s].message());
     }
   }
   return Status::Ok();
@@ -259,39 +524,76 @@ Status ShardedQueryServer::ApplyUpdate(const Update& update) {
 }
 
 StatusOr<QueryId> ShardedQueryServer::AddFanOut(const LoggedQuery& prototype) {
-  std::optional<QueryId> id;
-  std::vector<size_t> registered;
-  Status failure;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  // All shards must register under the SAME durable id — it becomes the
+  // public id and keys the per-shard answer cells. Shards can disagree on
+  // their next allocation: a fan-out that failed partway (a shard
+  // degraded mid-registration) rolled back with RemoveQuery, which
+  // removes the query but never un-consumes the id, so the shards that
+  // got further have higher counters than the one that failed. Realign by
+  // BURNING ids on the lagging shard — journaled add + remove pairs,
+  // harmless to replay — until its allocation catches up.
+  auto add_on = [this, &prototype](size_t s) -> StatusOr<QueryId> {
+    return prototype.is_knn
+               ? shards_[s]->db->AddKnn(prototype.gdist_key, prototype.query,
+                                        prototype.k)
+               : shards_[s]->db->AddWithin(prototype.gdist_key,
+                                           prototype.query,
+                                           prototype.threshold);
+  };
+  // live[s] = the id the query is currently registered under on shard s
+  // (nullopt: not registered there). Kept exact through every path so the
+  // rollback below never misses a shard and never double-removes.
+  std::vector<std::optional<QueryId>> live(shards_.size());
+  // Burns ids on shard s until the query sits at exactly `target`.
+  // Requires live[s] <= target; ids allocate by +1 under reg_mu_, so the
+  // burn hits target exactly or fails.
+  auto align_to = [this, &add_on, &live](size_t s, QueryId target) -> Status {
     std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    StatusOr<QueryId> added =
-        prototype.is_knn
-            ? shards_[s]->db->AddKnn(prototype.gdist_key, prototype.query,
-                                     prototype.k)
-            : shards_[s]->db->AddWithin(prototype.gdist_key, prototype.query,
-                                        prototype.threshold);
-    if (!added.ok()) {
-      failure = added.status();
-      break;
+    while (live[s].has_value() && *live[s] < target) {
+      MODB_RETURN_IF_ERROR(shards_[s]->db->RemoveQuery(*live[s]));
+      live[s].reset();
+      StatusOr<QueryId> re = add_on(s);
+      if (!re.ok()) return re.status();
+      live[s] = *re;
     }
-    if (id.has_value() && *added != *id) {
-      failure = Status::DataLoss(
-          "shard durable query ids diverged (" + std::to_string(*id) +
-          " vs " + std::to_string(*added) + " on " + ShardSubdir(s) + ")");
-      // This shard registered under the divergent id, which the rollback
-      // below (keyed on *id) would miss — undo it here so its journal
-      // passes the cross-check on the next Open.
-      shards_[s]->db->RemoveQuery(*added);
-      break;
+    if (!live[s].has_value() || *live[s] != target) {
+      return Status::DataLoss("shard durable query ids diverged (" +
+                              ShardSubdir(s) + " overshot id " +
+                              std::to_string(target) + ")");
     }
-    id = *added;
-    registered.push_back(s);
+    return Status::Ok();
+  };
+  std::optional<QueryId> id;
+  Status failure;
+  for (size_t s = 0; s < shards_.size() && failure.ok(); ++s) {
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      StatusOr<QueryId> added = add_on(s);
+      if (!added.ok()) {
+        failure = added.status();
+        break;
+      }
+      live[s] = *added;
+    }
+    if (!id.has_value() || *live[s] > *id) {
+      // This shard's counter leads: every earlier shard must burn up to
+      // it (their counters were behind, e.g. THEY absorbed the fault that
+      // aborted a previous fan-out).
+      const QueryId target = *live[s];
+      for (size_t p = 0; p < s && failure.ok(); ++p) {
+        failure = align_to(p, target);
+      }
+      id = target;
+    } else if (*live[s] < *id) {
+      failure = align_to(s, *id);
+    }
   }
   if (!failure.ok()) {
     // Best-effort rollback so a partially registered query never serves.
-    for (size_t s : registered) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!live[s].has_value()) continue;
       std::lock_guard<std::mutex> lock(shards_[s]->mu);
-      shards_[s]->db->RemoveQuery(*id);
+      shards_[s]->db->RemoveQuery(*live[s]);
     }
     return failure;
   }
@@ -326,6 +628,14 @@ StatusOr<QueryId> ShardedQueryServer::AddKnn(const std::string& gdist_key,
                                              const Trajectory& query,
                                              size_t k) {
   std::lock_guard<std::mutex> lock(reg_mu_);
+  // Registration frames must not interleave between an in-flight epoch's
+  // per-shard appends: if that epoch aborts or is healed away, truncation
+  // would eat the registration on some shards but not others.
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (read_only_) {
+    return Status::Unavailable(
+        "sharded server is read-only (a shard failed to open)");
+  }
   LoggedQuery prototype;
   prototype.is_knn = true;
   prototype.gdist_key = gdist_key;
@@ -338,6 +648,11 @@ StatusOr<QueryId> ShardedQueryServer::AddWithin(const std::string& gdist_key,
                                                 const Trajectory& query,
                                                 double threshold) {
   std::lock_guard<std::mutex> lock(reg_mu_);
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (read_only_) {
+    return Status::Unavailable(
+        "sharded server is read-only (a shard failed to open)");
+  }
   LoggedQuery prototype;
   prototype.is_knn = false;
   prototype.gdist_key = gdist_key;
@@ -348,6 +663,11 @@ StatusOr<QueryId> ShardedQueryServer::AddWithin(const std::string& gdist_key,
 
 Status ShardedQueryServer::RemoveQuery(QueryId id) {
   std::lock_guard<std::mutex> lock(reg_mu_);
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (read_only_) {
+    return Status::Unavailable(
+        "sharded server is read-only (a shard failed to open)");
+  }
   // Erase from queries_ before touching any shard DB: concurrent
   // Commit/AdvanceTo publishes iterate queries_ and ask each shard for
   // Answer(id), which must not run against a shard that already
@@ -383,6 +703,7 @@ void ShardedQueryServer::AdvanceTo(double t) {
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr) continue;
     tasks.push_back([this, s, t] {
       obs::TraceSpan span(obs::SpanName::kShardDispatch,
                           static_cast<int64_t>(s), t, 0);
@@ -429,6 +750,7 @@ std::set<ObjectId> ShardedQueryServer::SnapshotKnnMerged(
   const SquaredEuclideanGDistance gdist(query);
   std::vector<std::vector<RankedCandidate>> lists(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr) continue;
     const MovingObjectDatabase& mod = shards_[s]->db->server().mod();
     for (ObjectId oid : SnapshotKnn(mod, gdist, k, t)) {
       lists[s].push_back(
@@ -447,6 +769,7 @@ std::set<ObjectId> ShardedQueryServer::FastestArrivalAtMerged(
   const InterceptionTimeSquaredGDistance gdist(target);
   std::vector<std::vector<RankedCandidate>> lists(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr) continue;
     const MovingObjectDatabase& mod = shards_[s]->db->server().mod();
     if (mod.AliveAt(t).empty()) continue;
     for (ObjectId oid : FastestArrivalAt(mod, target, t)) {
@@ -466,6 +789,7 @@ AnswerTimeline ShardedQueryServer::InsideRegionMerged(
   std::vector<AnswerTimeline> parts;
   parts.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr) continue;
     parts.push_back(InsideRegionTimeline(shards_[s]->db->server().mod(),
                                          region, interval));
   }
@@ -475,9 +799,23 @@ AnswerTimeline ShardedQueryServer::InsideRegionMerged(
   return MergeTimelinesUnion(pointers);
 }
 
+PartialAnswer ShardedQueryServer::AnswerPartial(QueryId id) const {
+  PartialAnswer partial;
+  partial.members = Answer(id);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr || shards_[s]->db->degraded()) {
+      partial.degraded_shards.push_back(s);
+    }
+  }
+  return partial;
+}
+
 Status ShardedQueryServer::Flush() {
+  // Attempt every shard even after a failure: the caller learns the first
+  // error, the healthy shards still get their fsync.
   Status first;
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr) continue;
     std::lock_guard<std::mutex> lock(shards_[s]->mu);
     const Status flushed = shards_[s]->db->Flush();
     if (!flushed.ok() && first.ok()) {
@@ -485,46 +823,139 @@ Status ShardedQueryServer::Flush() {
                      ShardSubdir(s) + ": " + flushed.message());
     }
   }
+  if (!first.ok()) UpdateDegradedGauge();
   return first;
 }
 
 Status ShardedQueryServer::Checkpoint() {
+  // Quiesce commits for the whole barrier + rotation: a commit landing
+  // between a shard's flush and its rotation could put a not-yet-
+  // everywhere-durable epoch into the sealed segment.
+  std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
+  if (read_only_) {
+    return Status::Unavailable(
+        "sharded server is read-only (a shard failed to open)");
+  }
+  // The epoch-durability barrier: fsync EVERY shard, and if ANY flush
+  // fails, rotate NOTHING. Sealed segments may only contain epochs that
+  // are durable on all participants, because cut-healing can only
+  // truncate the active segment.
+  std::vector<Status> flush_status(shards_.size());
+  std::vector<std::function<Status()>> flush_tasks;
+  flush_tasks.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    flush_tasks.push_back([this, s, &flush_status] {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      flush_status[s] = shards_[s]->db->Flush();
+      return flush_status[s];
+    });
+  }
+  if (!pool_->RunAllStatus(std::move(flush_tasks)).ok()) {
+    UpdateDegradedGauge();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!flush_status[s].ok()) {
+        return Status(flush_status[s].code(),
+                      ShardSubdir(s) + ": " + flush_status[s].message());
+      }
+    }
+  }
+  // Rotate each shard, attempting every shard before reporting the first
+  // error, with ONE in-place retry per shard: checkpoint failures are
+  // retryable by design (snapshot tmp-file I/O, not WAL state), so a
+  // transient error on one shard should neither abort the fan-out nor
+  // degrade the server.
   Status first;
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    const Status checkpointed = shards_[s]->db->Checkpoint();
+    Status checkpointed = shards_[s]->db->Checkpoint();
+    if (!checkpointed.ok() && !shards_[s]->db->degraded()) {
+      checkpointed = shards_[s]->db->Checkpoint();
+    }
     if (!checkpointed.ok() && first.ok()) {
       first = Status(checkpointed.code(),
                      ShardSubdir(s) + ": " + checkpointed.message());
     }
   }
+  if (!first.ok()) UpdateDegradedGauge();
   return first;
+}
+
+std::vector<ShardHealth> ShardedQueryServer::Health() const {
+  std::vector<ShardHealth> report;
+  report.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardHealth health;
+    health.shard = s;
+    if (shards_[s]->db == nullptr) {
+      health.degraded = true;
+      health.cause = shards_[s]->open_error;
+    } else {
+      health.degraded = shards_[s]->db->degraded();
+      health.cause = shards_[s]->db->degraded_cause();
+      health.durable_epoch = shards_[s]->db->durable_epoch();
+      health.durable_seq = shards_[s]->db->durable_seq();
+    }
+    report.push_back(std::move(health));
+  }
+  return report;
 }
 
 bool ShardedQueryServer::degraded() const {
   for (const auto& shard : shards_) {
-    if (shard->db->degraded()) return true;
+    if (shard->db == nullptr || shard->db->degraded()) return true;
   }
   return false;
 }
 
 uint64_t ShardedQueryServer::seq() const {
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->db->seq();
+  for (const auto& shard : shards_) {
+    if (shard->db != nullptr) total += shard->db->seq();
+  }
   return total;
 }
 
 double ShardedQueryServer::now() const {
-  double t = shards_[0]->db->server().now();
+  double t = AnyHealthyShard().server().now();
   for (const auto& shard : shards_) {
-    t = std::max(t, shard->db->server().now());
+    if (shard->db != nullptr) t = std::max(t, shard->db->server().now());
   }
   return t;
 }
 
 const std::map<QueryId, LoggedQuery>& ShardedQueryServer::live_queries()
     const {
-  return shards_[0]->db->live_queries();
+  return AnyHealthyShard().live_queries();
+}
+
+Status ShardedQueryServer::ValidateUpdate(const Update& update) const {
+  // Mirrors DurableQueryServer::ValidateUpdate against the manifest
+  // dimension (every shard's segment dimension, fixed at init).
+  const size_t dim = manifest_.dim;
+  if (update.kind == UpdateKind::kNew &&
+      (update.position.dim() != dim || update.velocity.dim() != dim)) {
+    return Status::InvalidArgument("new(): dimension mismatch with wal");
+  }
+  if (update.kind == UpdateKind::kChdir && update.velocity.dim() != dim) {
+    return Status::InvalidArgument("chdir(): dimension mismatch with wal");
+  }
+  return Status::Ok();
+}
+
+void ShardedQueryServer::UpdateDegradedGauge() const {
+  int64_t degraded_shards = 0;
+  for (const auto& shard : shards_) {
+    if (shard->db == nullptr || shard->db->degraded()) ++degraded_shards;
+  }
+  obs::M().shard_degraded->Set(degraded_shards);
+}
+
+const DurableQueryServer& ShardedQueryServer::AnyHealthyShard() const {
+  for (const auto& shard : shards_) {
+    if (shard->db != nullptr) return *shard->db;
+  }
+  MODB_CHECK(false) << "no healthy shard";  // Open() guarantees one.
+  __builtin_unreachable();
 }
 
 }  // namespace modb

@@ -28,7 +28,39 @@ struct ShardedServerOptions {
   // Per-shard durability configuration (each shard is one
   // DurableQueryServer in its own subdirectory). `dim` seeds the manifest
   // on fresh init; on reopen the manifest's dimension is used.
+  // `auto_checkpoint` is forced OFF in sharded mode: a shard that rotated
+  // its segment on its own schedule could seal an epoch that is not yet
+  // durable on a sibling, making the epoch un-rollbackable. Checkpoint()
+  // coordinates the rotation behind an all-shard fsync barrier instead.
   DurabilityOptions durability;
+  // Tolerate a shard whose Open fails with kUnavailable (e.g. its
+  // directory is on a dead disk): the shard becomes a placeholder, the
+  // server opens READ-ONLY (mutations return kUnavailable — handing out
+  // epochs without every shard's log would corrupt the cut), reads merge
+  // the healthy shards, and Health()/AnswerPartial() report the outage.
+  // Epoch-cut healing is skipped (it needs every shard's log). kDataLoss
+  // still refuses: that is recognized corruption, not an outage. Intended
+  // for inspection tools (db-info); default is strict.
+  bool allow_degraded_shards = false;
+};
+
+// One shard's health, as reported by ShardedQueryServer::Health().
+struct ShardHealth {
+  size_t shard = 0;
+  bool degraded = false;
+  Status cause;               // OK when healthy; the first failure else.
+  uint64_t durable_epoch = 0; // Largest cross-shard epoch durable here.
+  uint64_t durable_seq = 0;   // Largest update seq durable here.
+};
+
+// A merged answer plus the shards whose contribution may be stale: a
+// degraded shard's cell still holds its last successfully applied state,
+// so the merge is a valid answer over "healthy shards now + degraded
+// shards at their failure point" — the caller decides if that is good
+// enough.
+struct PartialAnswer {
+  std::set<ObjectId> members;
+  std::vector<size_t> degraded_shards;  // Ascending; empty = exact.
 };
 
 // A shared-nothing sharded query server: objects hash-partition across S
@@ -43,27 +75,43 @@ struct ShardedServerOptions {
 //
 // Consistency contract:
 //  - Within one shard, answers are exactly DurableQueryServer's.
-//  - Across shards, Commit() is NOT atomic: a batch spanning shards
-//    commits as one atomic sub-batch per shard (a crash can land between
-//    shards). Answer() reads taken while commits are in flight may merge
-//    cells published at slightly different shard clocks — the sharded
-//    analogue of reading one server mid-batch. Quiesced reads (after
-//    AdvanceTo(t) returns, no writers) merge cells all published at t and
-//    are BIT-IDENTICAL to a single-shard run over the same updates: the
-//    merge is a deterministic function of (value, oid) pairs, both lane
-//    widths run the same merge code, and a shard's local top-k provably
-//    contains its global top-k members (see merge.h). The differential
-//    oracle (modb_fuzz --shards) enforces exactly this.
+//  - Across shards, Commit() IS atomic, live and across crashes. Every
+//    batch is stamped with a monotone global epoch (one epoch in flight
+//    at a time) and commits in two phases: the epoch-stamped sub-batch is
+//    durably LOGGED on every participating shard first (kShardBatch — the
+//    stamp and the updates share one CRC frame), and only when every
+//    append succeeded is anything APPLIED. If any participant's append
+//    fails, the healthy participants journal a kEpochAbort compensation
+//    record, nothing is applied anywhere, and the whole batch returns
+//    kUnavailable. On reopen, recovery computes the largest epoch fully
+//    present on every shard it touched (the consistent cut) and
+//    truncates shards that ran ahead back to that cut — reopen always
+//    lands on a whole-batch boundary across ALL shards, the same
+//    serial-equivalence the S=1 crash fuzz enforces (modb_fuzz --crash
+//    --shards proves it). Answer() reads taken while commits are in
+//    flight may still merge cells published at slightly different shard
+//    clocks; quiesced reads (after AdvanceTo(t), no writers) are
+//    BIT-IDENTICAL to a single-shard run over the same updates (the
+//    modb_fuzz --shards differential oracle).
 //  - Mutations (Commit/ApplyUpdate/Add*/RemoveQuery/AdvanceTo/Flush/
 //    Checkpoint) may race each other; Answer() may race all of them
 //    EXCEPT registration/removal, which change the query set itself.
 //
-// Durability: each shard fail-stops independently (degraded() is the OR;
-// a commit into a degraded shard fails while healthy shards keep going —
-// shared-nothing means no shard can corrupt another). Recovery reopens
-// every shard directory and cross-checks that all S query journals agree;
-// disagreement (e.g. one shard's journal lost a registration to a torn
-// tail the others kept) is kDataLoss.
+// Failure model: each shard fail-stops independently. A commit touching a
+// degraded shard fails kUnavailable and touches NOTHING (no epoch is
+// allocated); commits routed entirely to healthy shards keep succeeding.
+// Health() reports each shard's degraded cause and durable epoch;
+// AnswerPartial() returns the merged answer plus the exact set of
+// degraded shards whose contribution is frozen at their failure point
+// (modb_fuzz --faults --shards proves the isolation). Checkpoint()
+// quiesces commits, fsyncs EVERY shard (the epoch-durability barrier:
+// only epochs durable on all participants may reach a sealed segment,
+// because cut-healing can only truncate the ACTIVE segment), then
+// rotates each shard with one in-place retry — a retryable failure on
+// one shard does not abort the others. Recovery reopens every shard
+// directory, heals to the epoch cut, and cross-checks that all S query
+// journals agree; disagreement (e.g. one shard's journal lost a
+// registration to a torn tail the others kept) is kDataLoss.
 class ShardedQueryServer {
  public:
   // The stable object -> shard map: splitmix64(oid) % shards. Fixed
@@ -84,10 +132,13 @@ class ShardedQueryServer {
   const ShardManifest& manifest() const { return manifest_; }
   const std::string& dir() const { return dir_; }
 
-  // Routes each update to its shard and commits the per-shard sub-batches
-  // in parallel on the pool (one shard.dispatch span each). Returns the
-  // first non-OK per-shard durability status (shard order); per-update
-  // apply statuses land in `apply_statuses` (commit order) when non-null.
+  // Routes each update to its shard and commits the batch atomically
+  // across shards: one global epoch, phase-1 log fan-out in parallel on
+  // the pool (one shard.dispatch span each), then phase-2 apply fan-out
+  // only if every append succeeded. Fails kUnavailable touching nothing
+  // when any participating shard is already degraded. The whole batch
+  // succeeds or fails together; per-update apply statuses land in
+  // `apply_statuses` (commit order) when non-null.
   Status Commit(const std::vector<Update>& updates,
                 std::vector<Status>* apply_statuses = nullptr);
   // Commit() of a batch of one, returning the update's apply status.
@@ -123,12 +174,24 @@ class ShardedQueryServer {
   AnswerTimeline InsideRegionMerged(const ConvexPolygon& region,
                                     TimeInterval interval) const;
 
-  // Flush / checkpoint every shard; first error wins (all shards run).
+  // The merged answer plus the exact set of degraded shards (see
+  // PartialAnswer). Same locking contract as Answer().
+  PartialAnswer AnswerPartial(QueryId id) const;
+
+  // Flush every shard; first error wins (all shards run).
   Status Flush();
+  // Coordinated checkpoint: quiesce commits, fsync every shard (the
+  // epoch-durability barrier — if ANY flush fails, nothing rotates), then
+  // checkpoint each shard with one in-place retry, attempting every shard
+  // before reporting the first error.
   Status Checkpoint();
 
+  // Per-shard health, ascending by shard index: degraded cause plus the
+  // durable epoch/seq high-water marks.
+  std::vector<ShardHealth> Health() const;
+
   // True if ANY shard fail-stopped (that shard's updates are refused;
-  // healthy shards keep accepting theirs).
+  // commits routed entirely to healthy shards keep succeeding).
   bool degraded() const;
   // Total update records logged across shards.
   uint64_t seq() const;
@@ -137,7 +200,12 @@ class ShardedQueryServer {
   // True if any shard directory held durable state before this Open.
   bool recovered() const { return recovered_; }
 
-  // Direct shard access for audits, per-shard stats and tests.
+  // Direct shard access for audits, per-shard stats and tests. Under
+  // allow_degraded_shards a shard that failed to open is a placeholder —
+  // check shard_open() before dereferencing it.
+  bool shard_open(size_t index) const {
+    return shards_[index]->db != nullptr;
+  }
   DurableQueryServer& shard(size_t index) { return *shards_[index]->db; }
   const DurableQueryServer& shard(size_t index) const {
     return *shards_[index]->db;
@@ -150,7 +218,10 @@ class ShardedQueryServer {
 
  private:
   struct Shard {
+    // Null only for a placeholder under allow_degraded_shards (the shard
+    // failed to open); open_error then records why.
     std::unique_ptr<DurableQueryServer> db;
+    Status open_error;
     // Serializes this shard's apply/advance/publish tasks. Shard-private:
     // cross-shard work never holds two of these, and readers never touch
     // them.
@@ -171,14 +242,44 @@ class ShardedQueryServer {
   // holds shards_[s]->mu.
   void PublishShardLocked(size_t s);
   // Registration fan-out shared by AddKnn/AddWithin. Caller holds
-  // reg_mu_.
+  // reg_mu_ and epoch_mu_.
   StatusOr<QueryId> AddFanOut(const LoggedQuery& prototype);
+  // Pre-Open healing: pre-scans every shard's log, computes the largest
+  // epoch fully present on every shard it touched, and truncates shards
+  // that ran ahead back to that cut. `rollbacks` counts truncated shards.
+  static Status HealEpochCut(const std::string& dir,
+                             const ShardManifest& manifest, Env* env,
+                             uint64_t* rollbacks);
+  // Mirrors the per-shard dimension validation so a bad update fails the
+  // whole batch BEFORE an epoch is allocated or anything is logged.
+  Status ValidateUpdate(const Update& update) const;
+  // Recounts degraded shards into the modb.shard.degraded gauge.
+  void UpdateDegradedGauge() const;
+  // The first non-placeholder shard (for journal reads); aborts if none.
+  const DurableQueryServer& AnyHealthyShard() const;
 
   std::string dir_;
   ShardManifest manifest_;
   bool recovered_ = false;
+  // True when a placeholder shard exists (allow_degraded_shards): every
+  // mutation returns kUnavailable — allocating epochs without all logs
+  // would corrupt the consistent cut.
+  bool read_only_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<WorkStealingPool> pool_;
+
+  // Serializes cross-shard commits end to end: the epoch allocated under
+  // it is fully logged (or aborted) on every participant before the next
+  // is handed out, so per-shard epoch order is monotone and at most ONE
+  // epoch is ever in flight — cut-healing only ever rolls back the last
+  // unacknowledged commit, never an acknowledged one. Registrations and
+  // removals take it too (a registration frame interleaved between a
+  // doomed epoch's per-shard appends would be truncated on some shards
+  // but not others), and Checkpoint takes it to quiesce commits across
+  // the all-shard fsync barrier. Lock order: reg_mu_ -> epoch_mu_ ->
+  // shard mu.
+  mutable std::mutex epoch_mu_;
+  uint64_t next_epoch_ = 1;  // Guarded by epoch_mu_.
 
   // Registration/removal serializes here (never under a shard mutex), so
   // every shard sees registrations in the same order and allocates the

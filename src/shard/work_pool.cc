@@ -144,6 +144,33 @@ void WorkStealingPool::RunAll(std::vector<std::function<void()>> tasks) {
   }
 }
 
+Status WorkStealingPool::RunAllStatus(
+    std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::Ok();
+  std::vector<Status> results(tasks.size());
+  std::atomic<size_t> executed{0};
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::function<Status()>& fn = tasks[i];
+    MODB_CHECK(fn != nullptr);
+    wrapped.push_back([&results, &executed, &fn, i] {
+      results[i] = fn();
+      executed.fetch_add(1, std::memory_order_release);
+    });
+  }
+  RunAll(std::move(wrapped));
+  // The completion latch says every task finished; the counter proves
+  // every task RAN (a dropped task would leave its slot OK and silently
+  // acknowledge work that never happened).
+  MODB_CHECK(executed.load(std::memory_order_acquire) == tasks.size())
+      << "work-stealing pool dropped a task";
+  for (const Status& result : results) {
+    if (!result.ok()) return result;
+  }
+  return Status::Ok();
+}
+
 uint64_t WorkStealingPool::steals() const {
   return steals_.load(std::memory_order_relaxed);
 }

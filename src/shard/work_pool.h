@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace modb {
 
 // A work-stealing thread pool in the scoped-lock + task-stack style: each
@@ -49,6 +51,14 @@ class WorkStealingPool {
   // the pool) until all have FINISHED — not merely been claimed — so the
   // caller may touch data the tasks wrote as soon as RunAll returns.
   void RunAll(std::vector<std::function<void()>> tasks);
+
+  // RunAll for fallible tasks: every task runs to completion (a failure
+  // cancels nothing), every task's outcome is collected, and the first
+  // non-OK Status (in task order) propagates to the caller. The execution
+  // count is CHECKed against the task count, so a shard task can never be
+  // silently dropped — a lost task would hang the caller's commit with no
+  // verdict otherwise.
+  Status RunAllStatus(std::vector<std::function<Status()>> tasks);
 
   // Tasks executed by a worker that did not enqueue them (lifetime total).
   uint64_t steals() const;

@@ -1,0 +1,341 @@
+#include "verify/shard_crash.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gdist/builtin.h"
+#include "queries/query_server.h"
+#include "shard/sharded_server.h"
+#include "verify/lockstep.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+// Same salts as crash.cc: the workload, probe and crash-geometry streams
+// stay independent, so reshaping one never moves another for a seed.
+constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
+constexpr uint64_t kCrashSeedSalt = 0x94D049BB133111EBull;
+constexpr uint64_t kBatchSeedSalt = 0xD6E8FEB86659FD93ull;
+
+constexpr size_t kMaxFailures = 8;
+
+ShardedServerOptions CrashLaneOptions(size_t shards) {
+  ShardedServerOptions options;
+  options.shards = shards;
+  options.durability.dim = 2;
+  options.durability.initial_time = 0.0;
+  return options;
+}
+
+}  // namespace
+
+std::string ShardCrashResult::ToString() const {
+  std::ostringstream out;
+  out << (ok() ? "ok" : "FAILED") << " (" << commits << " epochs, cut "
+      << cut_bytes << " bytes across shards (" << boundary_shards
+      << " boundary), healed to epoch " << healed_epoch << ", lost "
+      << lost_commits << " epoch(s), " << probes << " bit-exact probes";
+  if (!ok()) out << ", " << failures.size() << " failure(s)";
+  out << ")";
+  for (const FuzzFailure& failure : failures) {
+    out << "\n  " << failure.ToString();
+  }
+  return out.str();
+}
+
+ShardCrashResult RunShardCrashInjection(const ShardCrashOptions& options) {
+  ShardCrashResult result;
+  auto fail = [&result](double time, std::string what) {
+    if (result.failures.size() < kMaxFailures) {
+      result.failures.push_back(FuzzFailure{std::move(what), time});
+    }
+  };
+  MODB_CHECK(!options.dir.empty()) << "ShardCrashOptions.dir is required";
+  MODB_CHECK(options.shards >= 2)
+      << "a cross-shard cut needs at least 2 shards";
+
+  const std::vector<Update> updates = BuildFlatUpdates(
+      FlatWorkloadOptions{options.seed, options.num_objects,
+                          options.num_updates, options.box, options.speed_max,
+                          options.mean_gap});
+
+  Rng probe_rng(options.seed ^ kProbeSeedSalt);
+  const Trajectory query =
+      MakeProbeQuery(probe_rng, options.box, options.speed_max);
+
+  Rng crash_rng(options.seed ^ kCrashSeedSalt);
+  Rng batch_rng(options.seed ^ kBatchSeedSalt);
+
+  const size_t shards = options.shards;
+  // Per-shard WAL geometry of the doomed run. bytes_after[j][s] is shard
+  // s's segment size after epoch j was fully committed; row 0 is the
+  // post-registration floor (cuts are clamped above it — a real crash
+  // cannot tear bytes the registration fan-out already fsynced, and a cut
+  // inside the registrations models a DIFFERENT failure, which recovery
+  // detects as journal divergence rather than heals).
+  std::vector<std::string> wal_paths(shards);
+  std::vector<std::vector<uint64_t>> bytes_after;
+  // Participants of epoch j (1-based; participants[0] unused).
+  std::vector<std::vector<size_t>> participants;
+  // Cumulative update count after epoch j; cum[0] = 0.
+  std::vector<size_t> cum{0};
+
+  // Phase A — the doomed run: open fresh, register standing queries,
+  // commit the whole workload in seeded batches (one cross-shard epoch
+  // each), then "crash" (close and mutilate every shard's WAL below).
+  {
+    auto opened =
+        ShardedQueryServer::Open(options.dir, CrashLaneOptions(shards));
+    if (!opened.ok()) {
+      fail(0.0, "phase A open: " + opened.status().ToString());
+      return result;
+    }
+    std::unique_ptr<ShardedQueryServer> db = std::move(*opened);
+    if (db->recovered()) {
+      fail(0.0, "scratch directory " + options.dir + " held prior state");
+      return result;
+    }
+    StatusOr<QueryId> knn = db->AddKnn("crash", query, options.k);
+    StatusOr<QueryId> within =
+        db->AddWithin("crash", query, options.within_threshold);
+    if (!knn.ok() || !within.ok()) {
+      fail(0.0, "phase A register: " +
+                    (knn.ok() ? within.status() : knn.status()).ToString());
+      return result;
+    }
+    std::vector<uint64_t> floor(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      wal_paths[s] = db->shard(s).wal_path();
+      floor[s] = db->shard(s).wal_bytes();
+    }
+    bytes_after.push_back(floor);
+    participants.push_back({});
+
+    size_t i = 0;
+    while (i < updates.size()) {
+      const size_t remaining = updates.size() - i;
+      const size_t n = std::min(
+          static_cast<size_t>(1 + batch_rng.UniformInt(0, 7)), remaining);
+      const std::vector<Update> chunk(
+          updates.begin() + static_cast<ptrdiff_t>(i),
+          updates.begin() + static_cast<ptrdiff_t>(i + n));
+      std::vector<Status> statuses;
+      const Status committed = db->Commit(chunk, &statuses);
+      if (!committed.ok()) {
+        fail(updates[i].time, "phase A commit: " + committed.ToString());
+        return result;
+      }
+      i += n;
+      ++result.commits;
+      std::vector<size_t> parts;
+      for (const Update& update : chunk) {
+        const size_t s = ShardedQueryServer::ShardOf(update.oid, shards);
+        if (std::find(parts.begin(), parts.end(), s) == parts.end()) {
+          parts.push_back(s);
+        }
+      }
+      participants.push_back(std::move(parts));
+      std::vector<uint64_t> bytes(shards);
+      for (size_t s = 0; s < shards; ++s) {
+        bytes[s] = db->shard(s).wal_bytes();
+      }
+      bytes_after.push_back(std::move(bytes));
+      cum.push_back(i);
+    }
+    // db destructs here; the write buffers reach the files, and the torn
+    // writes are injected next.
+  }
+  const size_t commits = result.commits;
+
+  // The machine-wide crash: every shard's segment is cut independently.
+  // Half the shards' cuts land exactly on a recorded commit boundary
+  // (power loss the instant that epoch's append returned); the rest land
+  // at a random offset, possibly mid-frame.
+  std::vector<uint64_t> keep(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    std::error_code ec;
+    const uint64_t file_bytes = fs::file_size(wal_paths[s], ec);
+    if (ec) {
+      fail(0.0, "cannot stat " + wal_paths[s] + ": " + ec.message());
+      return result;
+    }
+    if (file_bytes < bytes_after.back()[s]) {
+      fail(0.0, wal_paths[s] + " holds " + std::to_string(file_bytes) +
+                    " bytes but the last commit recorded " +
+                    std::to_string(bytes_after.back()[s]));
+      return result;
+    }
+    const bool boundary = crash_rng.UniformInt(0, 1) == 1;
+    if (boundary) {
+      const size_t j = static_cast<size_t>(
+          crash_rng.UniformInt(0, static_cast<int64_t>(commits)));
+      keep[s] = bytes_after[j][s];
+      ++result.boundary_shards;
+    } else {
+      keep[s] = static_cast<uint64_t>(crash_rng.UniformInt(
+          static_cast<int64_t>(bytes_after[0][s]),
+          static_cast<int64_t>(file_bytes)));
+    }
+    result.cut_bytes += file_bytes - keep[s];
+    if (keep[s] < file_bytes) {
+      fs::resize_file(wal_paths[s], keep[s], ec);
+      if (ec) {
+        fail(0.0, "cannot truncate " + wal_paths[s] + ": " + ec.message());
+        return result;
+      }
+    }
+  }
+
+  // The expected consistent cut: epoch j survives on shard s iff the cut
+  // kept its whole frame (keep >= bytes_after[j][s] — anything less tears
+  // or drops the frame and torn-tail repair removes it). The healed
+  // prefix is the last epoch K with every epoch <= K present on all its
+  // participants.
+  uint64_t expected_cut = commits;
+  for (size_t j = 1; j <= commits; ++j) {
+    bool present = true;
+    for (const size_t s : participants[j]) {
+      present = present && keep[s] >= bytes_after[j][s];
+    }
+    if (!present) {
+      expected_cut = j - 1;
+      break;
+    }
+  }
+  result.healed_epoch = expected_cut;
+  result.lost_commits = commits - static_cast<size_t>(expected_cut);
+
+  // Phase B — reopen. Healing must truncate ahead-running shards back to
+  // the cut, so every shard recovers exactly its share of epochs 1..K.
+  ShardedServerOptions adopt = CrashLaneOptions(shards);
+  adopt.shards = 0;
+  auto reopened = ShardedQueryServer::Open(options.dir, adopt);
+  if (!reopened.ok()) {
+    fail(0.0, "recovery: " + reopened.status().ToString());
+    return result;
+  }
+  std::unique_ptr<ShardedQueryServer> db = std::move(*reopened);
+  const size_t resume_from = cum[expected_cut];
+  if (db->seq() != resume_from) {
+    fail(0.0, "reopen recovered " + std::to_string(db->seq()) +
+                  " updates; the consistent cut (epoch " +
+                  std::to_string(expected_cut) + ") holds " +
+                  std::to_string(resume_from));
+    return result;
+  }
+  // Per-shard: seq must equal the shard's share of the healed prefix —
+  // never one batch more (a shard that kept an epoch a sibling lost) or
+  // less (healing truncated too far).
+  for (size_t s = 0; s < shards; ++s) {
+    size_t expected = 0;
+    for (size_t i = 0; i < resume_from; ++i) {
+      if (ShardedQueryServer::ShardOf(updates[i].oid, shards) == s) {
+        ++expected;
+      }
+    }
+    if (db->shard(s).seq() != expected) {
+      fail(0.0, "shard " + std::to_string(s) + " recovered " +
+                    std::to_string(db->shard(s).seq()) + " updates, not its " +
+                    std::to_string(expected) + "-update share of epochs 1.." +
+                    std::to_string(expected_cut));
+      return result;
+    }
+  }
+  if (db->live_queries().size() != 2) {
+    fail(0.0, "reopen journals " + std::to_string(db->live_queries().size()) +
+                  " queries, expected 2");
+    return result;
+  }
+
+  // The reference lane: an in-memory server that replayed the healed
+  // prefix, paired query by query with the recovered one.
+  QueryServer ref(MovingObjectDatabase(2, 0.0), 0.0);
+  for (size_t i = 0; i < resume_from; ++i) {
+    const Status applied = ref.ApplyUpdate(updates[i]);
+    if (!applied.ok()) {
+      fail(updates[i].time, "reference replay: " + applied.ToString());
+      return result;
+    }
+  }
+  std::vector<std::pair<QueryId, QueryId>> paired;
+  for (const auto& [id, logged] : db->live_queries()) {
+    const QueryId twin =
+        logged.is_knn
+            ? ref.AddKnn(logged.gdist_key,
+                         std::make_shared<SquaredEuclideanGDistance>(
+                             logged.query),
+                         logged.k)
+            : ref.AddWithin(logged.gdist_key,
+                            std::make_shared<SquaredEuclideanGDistance>(
+                                logged.query),
+                            logged.threshold);
+    paired.emplace_back(id, twin);
+  }
+
+  // Resume the lost suffix in lockstep: recommit in seeded batches (fresh
+  // epochs on the healed server), quiesce both lanes, and compare every
+  // standing answer — BIT-IDENTICAL membership, no tolerance.
+  double now = resume_from > 0 ? updates[resume_from - 1].time : 0.0;
+  auto probe = [&](double t, const char* where) {
+    db->AdvanceTo(t);
+    ref.AdvanceTo(t);
+    for (const auto& [durable_id, ref_id] : paired) {
+      ++result.probes;
+      const std::set<ObjectId> recovered = db->Answer(durable_id);
+      const std::set<ObjectId>& expected = ref.Answer(ref_id);
+      if (recovered != expected) {
+        fail(t, std::string(where) + " query " + std::to_string(durable_id) +
+                    " diverged at t=" + std::to_string(t) + ": " +
+                    AnswerSetToString(recovered) + " vs " +
+                    AnswerSetToString(expected));
+      }
+    }
+  };
+  probe(now, "healed");
+  size_t i = resume_from;
+  while (i < updates.size() && result.failures.empty()) {
+    const size_t remaining = updates.size() - i;
+    const size_t n = std::min(
+        static_cast<size_t>(1 + batch_rng.UniformInt(0, 7)), remaining);
+    const std::vector<Update> chunk(
+        updates.begin() + static_cast<ptrdiff_t>(i),
+        updates.begin() + static_cast<ptrdiff_t>(i + n));
+    const Status committed = db->Commit(chunk);
+    if (!committed.ok()) {
+      fail(chunk.front().time, "resume commit: " + committed.ToString());
+      return result;
+    }
+    for (const Update& update : chunk) {
+      const Status applied = ref.ApplyUpdate(update);
+      if (!applied.ok()) {
+        fail(update.time, "reference resume: " + applied.ToString());
+        return result;
+      }
+    }
+    i += n;
+    now = std::max(now, chunk.back().time);
+    probe(now, "resumed");
+  }
+  return result;
+}
+
+std::string ShardCrashReproCommand(const ShardCrashOptions& options) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "modb_fuzz --crash --shards " << options.shards << " --seed "
+      << options.seed << " --ops " << options.num_updates << " --objects "
+      << options.num_objects << " --k " << options.k << " --threshold "
+      << options.within_threshold;
+  return out.str();
+}
+
+}  // namespace modb

@@ -1,0 +1,65 @@
+#ifndef MODB_VERIFY_SHARD_CRASH_H_
+#define MODB_VERIFY_SHARD_CRASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/differential.h"
+
+namespace modb {
+
+// Cross-shard crash-injection fuzzing for the sharded durability layer:
+// one seed-deterministic run drives an S-shard ShardedQueryServer through
+// a randomized workload in seeded commit batches — every batch is one
+// cross-shard epoch — then "crashes" it by truncating EVERY shard's WAL
+// independently at a seeded byte offset (each shard loses a different
+// suffix, exactly what a machine-wide power loss does to S independent
+// files). Reopen must heal to the consistent epoch cut: the recovered
+// state must equal the longest whole-batch prefix present on every shard
+// it touched, with every shard's seq matching its share of that prefix —
+// never a state where one shard applied a batch a sibling lost. Half the
+// seeds cut each shard exactly at a recorded commit boundary (power loss
+// the instant the last fsync returned); the rest cut at random offsets,
+// landing mid-frame. After reopen the remaining batches resume in
+// lockstep against an in-memory reference that replayed the healed
+// prefix: every quiesced standing answer must be BIT-IDENTICAL.
+struct ShardCrashOptions {
+  uint64_t seed = 1;
+  size_t shards = 4;
+  size_t num_objects = 16;
+  size_t num_updates = 80;  // The CLI's --ops.
+  size_t k = 3;
+  double within_threshold = 150.0 * 150.0;
+  // Workload shape, forwarded to src/workload/generator.
+  double box = 300.0;
+  double speed_max = 12.0;
+  double mean_gap = 0.5;
+  // Scratch directory for the sharded database; created, filled, and (by
+  // the CLI) deleted per run. Must not hold prior state.
+  std::string dir;
+};
+
+struct ShardCrashResult {
+  size_t commits = 0;        // Workload commit batches (= epochs) applied.
+  size_t boundary_shards = 0;  // Shards cut exactly at a commit boundary.
+  uint64_t cut_bytes = 0;    // Total bytes sliced off across shards.
+  uint64_t healed_epoch = 0;  // The consistent cut the reopen landed on.
+  size_t lost_commits = 0;   // commits - healed_epoch.
+  size_t probes = 0;         // Bit-exact answer comparisons performed.
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+// Runs one sharded crash-injection iteration. Deterministic in `options`
+// (the directory's *content* is derived state; its path does not matter).
+ShardCrashResult RunShardCrashInjection(const ShardCrashOptions& options);
+
+// The modb_fuzz invocation reproducing `options`.
+std::string ShardCrashReproCommand(const ShardCrashOptions& options);
+
+}  // namespace modb
+
+#endif  // MODB_VERIFY_SHARD_CRASH_H_

@@ -1,0 +1,611 @@
+#include "verify/shard_fault.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gdist/builtin.h"
+#include "queries/query_server.h"
+#include "shard/sharded_server.h"
+#include "verify/fault_env.h"
+#include "verify/lockstep.h"
+
+namespace fs = std::filesystem;
+
+namespace modb {
+namespace {
+
+// Same salt as differential.cc / crash.cc / fault.cc.
+constexpr uint64_t kProbeSeedSalt = 0xBF58476D1CE4E5B9ull;
+
+constexpr size_t kMaxFailures = 8;
+
+// Same batching as fault.cc's script: the first half commits in batches
+// of three, so every fault run exercises a multi-update cross-shard epoch
+// whose whole-batch atomicity the verdicts then assert.
+constexpr size_t kScriptBatch = 3;
+
+constexpr FaultKind kAllKinds[] = {FaultKind::kEio, FaultKind::kEnospc,
+                                   FaultKind::kShortWrite,
+                                   FaultKind::kSyncFail};
+
+struct ShardScriptState {
+  std::unique_ptr<ShardedQueryServer> db;  // Null only when Open failed.
+  Status error;       // OK: the script ran to completion.
+  std::string step;   // Which step surfaced `error`.
+  size_t applied = 0;  // Updates successfully applied.
+  bool checkpoint_failed = false;  // `error` came from explicit Checkpoint.
+  std::vector<Status> commit_statuses;  // Of the failed Commit.
+};
+
+ShardedServerOptions ShardLaneOptions(size_t shards, Env* env) {
+  ShardedServerOptions options;
+  options.shards = shards;
+  options.durability.dim = 2;
+  options.durability.initial_time = 0.0;
+  // Checkpoints are explicit; every record is fsynced so the synced
+  // prefix (what power loss preserves) advances record by record on
+  // every shard. ONE env instance is shared by all shards — the fault
+  // plan counts operations machine-wide.
+  options.durability.auto_checkpoint = false;
+  options.durability.wal.sync = SyncPolicy::kEveryRecord;
+  options.durability.env = env;
+  return options;
+}
+
+ShardScriptState RunShardScript(const std::string& dir, Env* env,
+                                size_t shards,
+                                const std::vector<Update>& updates,
+                                const Trajectory& query,
+                                const ShardFaultOptions& options) {
+  ShardScriptState state;
+  auto opened = ShardedQueryServer::Open(dir, ShardLaneOptions(shards, env));
+  if (!opened.ok()) {
+    state.error = opened.status();
+    state.step = "open";
+    return state;
+  }
+  state.db = std::move(opened).value();
+  const StatusOr<QueryId> knn = state.db->AddKnn("fault", query, options.k);
+  if (!knn.ok()) {
+    state.error = knn.status();
+    state.step = "add-knn";
+    return state;
+  }
+  const StatusOr<QueryId> within =
+      state.db->AddWithin("fault", query, options.within_threshold);
+  if (!within.ok()) {
+    state.error = within.status();
+    state.step = "add-within";
+    return state;
+  }
+  const size_t half = updates.size() / 2;
+  for (size_t i = 0; i < half; i += kScriptBatch) {
+    const size_t n = std::min(kScriptBatch, half - i);
+    const std::vector<Update> batch(
+        updates.begin() + static_cast<ptrdiff_t>(i),
+        updates.begin() + static_cast<ptrdiff_t>(i + n));
+    std::vector<Status> statuses;
+    const Status committed = state.db->Commit(batch, &statuses);
+    if (!committed.ok()) {
+      state.error = committed;
+      state.step = "commit";
+      state.commit_statuses = std::move(statuses);
+      return state;
+    }
+    state.applied += n;
+  }
+  const Status checkpointed = state.db->Checkpoint();
+  if (!checkpointed.ok()) {
+    state.error = checkpointed;
+    state.step = "checkpoint";
+    state.checkpoint_failed = true;
+    return state;
+  }
+  for (size_t i = half; i < updates.size(); ++i) {
+    const Status applied = state.db->ApplyUpdate(updates[i]);
+    if (!applied.ok()) {
+      state.error = applied;
+      state.step = "apply";
+      return state;
+    }
+    ++state.applied;
+  }
+  const Status flushed = state.db->Flush();
+  if (!flushed.ok()) {
+    state.error = flushed;
+    state.step = "flush";
+    return state;
+  }
+  return state;
+}
+
+Status FinishShardScript(ShardScriptState& state,
+                         const std::vector<Update>& updates) {
+  for (size_t i = state.applied; i < updates.size(); ++i) {
+    MODB_RETURN_IF_ERROR(state.db->ApplyUpdate(updates[i]));
+    ++state.applied;
+  }
+  return state.db->Flush();
+}
+
+// Verifies `db` (currently holding exactly `replayed`) against a fresh
+// in-memory reference, then applies `resume` to both lanes in lockstep,
+// probing every paired standing answer after each update — BIT-IDENTICAL
+// membership, no tolerance. The sharded twin of fault.cc's
+// VerifyAgainstReference; a sharded server cannot reuse ResumeLockstep
+// (that takes a DurableQueryServer), so pairing and probing are inline.
+size_t VerifyShardedLockstep(ShardedQueryServer& db,
+                             const std::vector<Update>& replayed,
+                             const std::vector<Update>& resume,
+                             const Trajectory& query, bool reregister,
+                             const ShardFaultOptions& options,
+                             const FailFn& fail) {
+  size_t probes = 0;
+  QueryServer ref(MovingObjectDatabase(2, 0.0), 0.0);
+  for (const Update& update : replayed) {
+    const Status applied = ref.ApplyUpdate(update);
+    if (!applied.ok()) {
+      fail(update.time, "reference replay: " + applied.ToString());
+      return probes;
+    }
+  }
+  std::vector<std::pair<QueryId, QueryId>> paired;
+  for (const auto& [id, logged] : db.live_queries()) {
+    const QueryId twin =
+        logged.is_knn
+            ? ref.AddKnn(logged.gdist_key,
+                         std::make_shared<SquaredEuclideanGDistance>(
+                             logged.query),
+                         logged.k)
+            : ref.AddWithin(logged.gdist_key,
+                            std::make_shared<SquaredEuclideanGDistance>(
+                                logged.query),
+                            logged.threshold);
+    paired.emplace_back(id, twin);
+  }
+  if (reregister) {
+    const bool knn_alive =
+        std::any_of(db.live_queries().begin(), db.live_queries().end(),
+                    [](const auto& kv) { return kv.second.is_knn; });
+    const bool within_alive =
+        std::any_of(db.live_queries().begin(), db.live_queries().end(),
+                    [](const auto& kv) { return !kv.second.is_knn; });
+    if (!knn_alive) {
+      StatusOr<QueryId> durable_id = db.AddKnn("fault", query, options.k);
+      if (!durable_id.ok()) {
+        fail(0.0, "re-register knn: " + durable_id.status().ToString());
+        return probes;
+      }
+      paired.emplace_back(
+          *durable_id,
+          ref.AddKnn("fault",
+                     std::make_shared<SquaredEuclideanGDistance>(query),
+                     options.k));
+    }
+    if (!within_alive) {
+      StatusOr<QueryId> durable_id =
+          db.AddWithin("fault", query, options.within_threshold);
+      if (!durable_id.ok()) {
+        fail(0.0, "re-register within: " + durable_id.status().ToString());
+        return probes;
+      }
+      paired.emplace_back(
+          *durable_id,
+          ref.AddWithin("fault",
+                        std::make_shared<SquaredEuclideanGDistance>(query),
+                        options.within_threshold));
+    }
+  }
+  double now = replayed.empty() ? 0.0 : replayed.back().time;
+  const auto probe = [&](double t, const char* where) {
+    db.AdvanceTo(t);
+    ref.AdvanceTo(t);
+    for (const auto& [sharded_id, ref_id] : paired) {
+      ++probes;
+      const std::set<ObjectId> merged = db.Answer(sharded_id);
+      const std::set<ObjectId>& expected = ref.Answer(ref_id);
+      if (merged != expected) {
+        fail(t, std::string(where) + " query " + std::to_string(sharded_id) +
+                    " diverged at t=" + std::to_string(t) + ": " +
+                    AnswerSetToString(merged) + " vs " +
+                    AnswerSetToString(expected));
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!probe(now, "replayed")) return probes;
+  for (const Update& update : resume) {
+    const Status applied = db.ApplyUpdate(update);
+    if (!applied.ok()) {
+      fail(update.time, "resume apply: " + applied.ToString());
+      return probes;
+    }
+    const Status ref_applied = ref.ApplyUpdate(update);
+    if (!ref_applied.ok()) {
+      fail(update.time, "reference resume: " + ref_applied.ToString());
+      return probes;
+    }
+    now = std::max(now, update.time);
+    if (!probe(now, "resumed")) return probes;
+  }
+  return probes;
+}
+
+// The first oid >= `from` that the hash partition routes to a shard
+// satisfying `want` (a fresh oid, so committing it never collides with
+// workload objects).
+ObjectId FindRoutedOid(ObjectId from, size_t shards,
+                       const std::vector<bool>& degraded, bool want) {
+  ObjectId oid = from;
+  while (ShardedQueryServer::ShardOf(oid, shards) >= degraded.size() ||
+         degraded[ShardedQueryServer::ShardOf(oid, shards)] != want) {
+    ++oid;
+  }
+  return oid;
+}
+
+}  // namespace
+
+std::string ShardFaultResult::ToString() const {
+  std::ostringstream out;
+  out << (ok() ? "ok" : "FAILED") << " (" << total_ops << " ops, " << runs
+      << " fault runs, " << injected << " injected, " << surfaced
+      << " surfaced, " << degraded_runs << " degraded, "
+      << checkpoint_retries << " checkpoint retries, " << liveness_commits
+      << " healthy-shard liveness commits, " << reopens
+      << " reopen resumes, " << probes << " bit-exact probes";
+  if (!ok()) out << ", " << failures.size() << " failure(s)";
+  out << ")";
+  for (const FuzzFailure& failure : failures) {
+    out << "\n  " << failure.ToString();
+  }
+  return out.str();
+}
+
+ShardFaultResult RunShardFaultMatrix(const ShardFaultOptions& options) {
+  ShardFaultResult result;
+  MODB_CHECK(!options.dir.empty()) << "ShardFaultOptions.dir is required";
+  MODB_CHECK(options.shards >= 2)
+      << "per-shard isolation needs at least 2 shards";
+
+  const std::vector<Update> updates = BuildFlatUpdates(
+      FlatWorkloadOptions{options.seed, options.num_objects,
+                          options.num_updates, options.box, options.speed_max,
+                          options.mean_gap});
+  const size_t half = updates.size() / 2;
+
+  // The reference (count-only) run: learn the machine-wide op count and
+  // prove the script completes clean with no fault planned.
+  {
+    Rng probe_rng(options.seed ^ kProbeSeedSalt);
+    const Trajectory query =
+        MakeProbeQuery(probe_rng, options.box, options.speed_max);
+    auto fail = [&result](double time, std::string what) {
+      result.failures.push_back(
+          FuzzFailure{"reference run: " + std::move(what), time});
+    };
+    FaultInjectionEnv env;
+    env.SetPlan(FaultPlan{0, FaultKind::kEio});
+    const std::string ref_dir = options.dir + "/ref";
+    std::error_code ec;
+    fs::remove_all(ref_dir, ec);
+    ShardScriptState state =
+        RunShardScript(ref_dir, &env, options.shards, updates, query, options);
+    if (!state.error.ok()) {
+      fail(0.0, "script failed with no fault injected (step " + state.step +
+                    "): " + state.error.ToString());
+      return result;
+    }
+    result.total_ops = env.ops_seen();
+    result.probes += VerifyShardedLockstep(*state.db, updates, {}, query,
+                                           /*reregister=*/false, options,
+                                           fail);
+    state.db.reset();
+    fs::remove_all(ref_dir, ec);
+    if (!result.ok()) return result;
+  }
+
+  const uint64_t stride =
+      (options.max_faults > 0 && result.total_ops > options.max_faults)
+          ? (result.total_ops + options.max_faults - 1) / options.max_faults
+          : 1;
+
+  for (uint64_t op = 1; op <= result.total_ops; op += stride) {
+    for (const FaultKind kind : kAllKinds) {
+      if (result.failures.size() >= kMaxFailures) return result;
+      const std::string tag = "op " + std::to_string(op) + "/" +
+                              std::to_string(result.total_ops) + " " +
+                              FaultKindName(kind);
+      auto fail = [&result, &tag](double time, std::string what) {
+        if (result.failures.size() < kMaxFailures) {
+          result.failures.push_back(
+              FuzzFailure{tag + ": " + std::move(what), time});
+        }
+      };
+      const size_t failures_before = result.failures.size();
+      const std::string run_dir =
+          options.dir + "/op" + std::to_string(op) + "-" + FaultKindName(kind);
+      std::error_code ec;
+      fs::remove_all(run_dir, ec);
+
+      Rng probe_rng(options.seed ^ kProbeSeedSalt);
+      const Trajectory query =
+          MakeProbeQuery(probe_rng, options.box, options.speed_max);
+      FaultInjectionEnv env;
+      env.SetPlan(FaultPlan{op, kind});
+      ShardScriptState state = RunShardScript(run_dir, &env, options.shards,
+                                              updates, query, options);
+      ++result.runs;
+      if (env.injected()) ++result.injected;
+
+      // Liveness extras committed to healthy shards while a sibling was
+      // degraded; they ride along into the power-loss verdict.
+      std::vector<Update> extras;
+
+      if (state.error.ok()) {
+        // Clean completion: the fault was inapplicable at op k (under
+        // THIS run's scheduling) or absorbed by design. The database must
+        // be exactly the reference.
+        if (state.db->seq() != updates.size()) {
+          fail(0.0, "clean run applied " + std::to_string(state.db->seq()) +
+                        " of " + std::to_string(updates.size()) + " updates");
+        } else {
+          result.probes += VerifyShardedLockstep(*state.db, updates, {},
+                                                 query, /*reregister=*/false,
+                                                 options, fail);
+        }
+      } else {
+        ++result.surfaced;
+        if (state.error.code() != StatusCode::kUnavailable) {
+          fail(0.0, "surfaced error from step " + state.step +
+                        " is not kUnavailable: " + state.error.ToString());
+        }
+        if (state.db != nullptr && !state.db->degraded()) {
+          // Non-degrading surfaced errors are only legal from the
+          // coordinated Checkpoint (its fsync barrier and per-shard
+          // rotation retry make it repeatable); prove it by retrying.
+          if (!state.checkpoint_failed) {
+            fail(0.0, "non-degrading error surfaced outside Checkpoint "
+                      "(step " +
+                          state.step + "): " + state.error.ToString());
+          } else {
+            const Status retried = state.db->Checkpoint();
+            if (!retried.ok()) {
+              fail(0.0, "Checkpoint retry after '" + state.error.ToString() +
+                            "' failed: " + retried.ToString());
+            } else {
+              ++result.checkpoint_retries;
+              const Status finished = FinishShardScript(state, updates);
+              if (!finished.ok()) {
+                fail(0.0, "finishing after checkpoint retry: " +
+                              finished.ToString());
+              } else {
+                result.probes += VerifyShardedLockstep(
+                    *state.db, updates, {}, query, /*reregister=*/false,
+                    options, fail);
+              }
+            }
+          }
+        } else if (state.db != nullptr) {
+          // >= 1 shard fail-stopped. The verdicts below hold no matter
+          // which shard absorbed the fault.
+          ++result.degraded_runs;
+          const std::vector<ShardHealth> health = state.db->Health();
+          std::vector<bool> degraded(options.shards, false);
+          std::vector<size_t> degraded_set;
+          for (const ShardHealth& h : health) {
+            if (h.degraded) {
+              degraded[h.shard] = true;
+              degraded_set.push_back(h.shard);
+              if (h.cause.ok()) {
+                fail(0.0, "degraded shard " + std::to_string(h.shard) +
+                              " reports an OK cause");
+              }
+            }
+          }
+          if (degraded_set.empty()) {
+            fail(0.0, "server degraded() but Health() lists no degraded "
+                      "shard");
+          }
+          // No half-applied cross-shard batch: the failed epoch advanced
+          // nothing on ANY shard.
+          if (state.db->seq() != state.applied) {
+            fail(0.0, "half-applied cross-shard batch: seq " +
+                          std::to_string(state.db->seq()) + " but " +
+                          std::to_string(state.applied) +
+                          " updates were committed");
+          }
+          if (state.step == "commit") {
+            if (state.commit_statuses.empty()) {
+              fail(0.0, "failed Commit reported no per-update statuses");
+            }
+            for (const Status& status : state.commit_statuses) {
+              if (status.code() != StatusCode::kUnavailable) {
+                fail(0.0,
+                     "failed Commit left a per-update status that is not "
+                     "kUnavailable: " +
+                         status.ToString());
+                break;
+              }
+            }
+          }
+          const auto expect_unavailable = [&](const Status& status,
+                                              const char* what) {
+            if (status.code() != StatusCode::kUnavailable) {
+              fail(0.0, std::string(what) +
+                            " touching a degraded shard did not return "
+                            "kUnavailable: " +
+                            status.ToString());
+            }
+          };
+          // Fan-out mutations touch every shard, so they refuse outright.
+          expect_unavailable(state.db->AddKnn("fault", query, options.k)
+                                 .status(),
+                             "AddKnn");
+          expect_unavailable(state.db->Checkpoint(), "Checkpoint");
+          const double now =
+              state.applied > 0 ? updates[state.applied - 1].time : 0.0;
+          const bool any_healthy = degraded_set.size() < options.shards;
+          if (!degraded_set.empty()) {
+            // A commit routed to a degraded shard — alone or mixed with a
+            // healthy-shard update — refuses and applies NOTHING.
+            const ObjectId bad_oid =
+                FindRoutedOid(2'000'000, options.shards, degraded, true);
+            const Update bad = Update::NewObject(bad_oid, now, Vec{1.0, 1.0},
+                                                 Vec{0.0, 0.0});
+            expect_unavailable(state.db->ApplyUpdate(bad),
+                               "degraded-routed commit");
+            if (any_healthy) {
+              const ObjectId mixed_oid =
+                  FindRoutedOid(3'000'000, options.shards, degraded, false);
+              const Update mixed_ok = Update::NewObject(
+                  mixed_oid, now, Vec{2.0, 2.0}, Vec{0.0, 0.0});
+              std::vector<Status> statuses;
+              expect_unavailable(state.db->Commit({bad, mixed_ok}, &statuses),
+                                 "mixed-batch commit");
+            }
+          }
+          if (state.db->seq() != state.applied) {
+            fail(0.0, "a refused degraded/mixed commit applied updates: "
+                      "seq moved from " +
+                          std::to_string(state.applied) + " to " +
+                          std::to_string(state.db->seq()));
+          }
+          // Partial reads name exactly the degraded set; merged answers
+          // stay bit-identical to the committed prefix (whole-batch
+          // atomicity means even the degraded shard holds prefix state).
+          for (const auto& [id, logged] : state.db->live_queries()) {
+            (void)logged;
+            const PartialAnswer partial = state.db->AnswerPartial(id);
+            if (partial.degraded_shards != degraded_set) {
+              fail(0.0, "AnswerPartial(" + std::to_string(id) +
+                            ") reports " +
+                            std::to_string(partial.degraded_shards.size()) +
+                            " degraded shard(s), Health() reports " +
+                            std::to_string(degraded_set.size()));
+            }
+          }
+          const std::vector<Update> prefix(
+              updates.begin(),
+              updates.begin() + static_cast<ptrdiff_t>(state.applied));
+          result.probes += VerifyShardedLockstep(*state.db, prefix, {},
+                                                 query, /*reregister=*/false,
+                                                 options, fail);
+          // Healthy-shard liveness: a commit routed ENTIRELY to healthy
+          // shards must still succeed — per-shard isolation, the point of
+          // the subsystem.
+          if (any_healthy && failures_before == result.failures.size()) {
+            const ObjectId live_oid =
+                FindRoutedOid(4'000'000, options.shards, degraded, false);
+            const Update extra = Update::NewObject(
+                live_oid, now, Vec{3.0, 3.0}, Vec{0.0, 0.0});
+            const Status lively = state.db->Commit({extra});
+            if (!lively.ok()) {
+              fail(0.0, "healthy-shard commit refused while a sibling is "
+                        "degraded: " +
+                            lively.ToString());
+            } else {
+              ++result.liveness_commits;
+              extras.push_back(extra);
+              if (state.db->seq() != state.applied + extras.size()) {
+                fail(0.0, "healthy-shard commit did not advance seq");
+              }
+            }
+          }
+        }
+
+        // Power loss + epoch-cut recovery: drop every unsynced byte on
+        // every shard at once, reopen with a clean env (healing runs),
+        // and resume in lockstep. The recovered seq must decompose as a
+        // whole-epoch prefix: a workload commit boundary, or the full
+        // committed prefix plus some prefix of the liveness extras (their
+        // epochs come after every workload epoch).
+        if (failures_before == result.failures.size() &&
+            (state.db == nullptr || state.db->degraded())) {
+          const size_t applied = state.applied;
+          state.db.reset();
+          const Status dropped = env.DropUnsyncedData();
+          if (!dropped.ok()) {
+            fail(0.0, "DropUnsyncedData: " + dropped.ToString());
+          } else {
+            auto reopened = ShardedQueryServer::Open(
+                run_dir, ShardLaneOptions(options.shards, nullptr));
+            if (!reopened.ok()) {
+              fail(0.0, "reopen after power loss: " +
+                            reopened.status().ToString());
+            } else {
+              std::unique_ptr<ShardedQueryServer> db =
+                  std::move(reopened).value();
+              const uint64_t recovered = db->seq();
+              const bool on_boundary =
+                  recovered <= applied
+                      ? (recovered >= half || recovered % kScriptBatch == 0)
+                      : recovered <= applied + extras.size();
+              if (!on_boundary) {
+                fail(0.0, "recovery landed off every epoch boundary: seq " +
+                              std::to_string(recovered) + " with " +
+                              std::to_string(applied) + " committed and " +
+                              std::to_string(extras.size()) + " extra(s)");
+              } else {
+                // What the recovered database must hold, in commit order.
+                std::vector<Update> replayed;
+                std::vector<Update> resume;
+                if (recovered <= applied) {
+                  replayed.assign(updates.begin(),
+                                  updates.begin() +
+                                      static_cast<ptrdiff_t>(recovered));
+                  resume.assign(updates.begin() +
+                                    static_cast<ptrdiff_t>(recovered),
+                                updates.end());
+                } else {
+                  replayed.assign(updates.begin(),
+                                  updates.begin() +
+                                      static_cast<ptrdiff_t>(applied));
+                  replayed.insert(replayed.end(), extras.begin(),
+                                  extras.begin() +
+                                      static_cast<ptrdiff_t>(recovered -
+                                                             applied));
+                  resume.assign(updates.begin() +
+                                    static_cast<ptrdiff_t>(applied),
+                                updates.end());
+                }
+                result.probes += VerifyShardedLockstep(
+                    *db, replayed, resume, query, /*reregister=*/true,
+                    options, fail);
+                if (failures_before == result.failures.size()) {
+                  ++result.reopens;
+                }
+              }
+            }
+          }
+        }
+      }
+
+      state.db.reset();
+      if (failures_before == result.failures.size()) {
+        fs::remove_all(run_dir, ec);
+      }
+    }
+  }
+  return result;
+}
+
+std::string ShardFaultReproCommand(const ShardFaultOptions& options) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "modb_fuzz --faults --shards " << options.shards << " --seed "
+      << options.seed << " --ops " << options.num_updates << " --objects "
+      << options.num_objects << " --k " << options.k << " --threshold "
+      << options.within_threshold;
+  if (options.max_faults > 0) out << " --max-faults " << options.max_faults;
+  return out.str();
+}
+
+}  // namespace modb

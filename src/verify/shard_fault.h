@@ -1,0 +1,94 @@
+#ifndef MODB_VERIFY_SHARD_FAULT_H_
+#define MODB_VERIFY_SHARD_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/differential.h"
+
+namespace modb {
+
+// Exhaustive single-fault I/O-failure matrix for the SHARDED durability
+// layer — the per-shard isolation twin of RunFaultMatrix (fault.h).
+//
+// One shared FaultInjectionEnv backs every shard, so the k-th I/O
+// operation counted ACROSS ALL SHARD DIRECTORIES fails. A fixed scripted
+// workload (open an S-shard server fresh, register a knn and a within
+// query, commit the first half in batches of three — every batch one
+// cross-shard epoch — checkpoint, apply the rest one by one, flush) is
+// first run fault-free to learn its op count, then rerun once per
+// (operation k, fault kind) pair. Because the epoch fan-out appends in
+// parallel, WHICH shard absorbs op k is scheduling-dependent — so every
+// verdict below is universal over the op→shard mapping:
+//
+//  - clean completion: the database is bit-identical to an in-memory
+//    reference;
+//  - a surfaced kUnavailable from a failed coordinated Checkpoint on a
+//    non-degraded server, after which the SAME call succeeds (per-shard
+//    retry) and the run completes clean;
+//  - a surfaced kUnavailable with >= 1 shard fail-stopped: Health() names
+//    the degraded shard(s) with a non-OK cause; no cross-shard batch is
+//    half-applied (seq sits exactly on the committed prefix and every
+//    per-update status of the failed Commit is the same kUnavailable);
+//    commits routed to a degraded shard — alone or mixed with healthy
+//    updates — refuse with kUnavailable and apply NOTHING, while a commit
+//    routed entirely to healthy shards still succeeds (liveness);
+//    AnswerPartial() reports exactly the degraded set and merged reads
+//    stay bit-identical to a reference holding the committed prefix.
+//    Power loss is then emulated across all shard files at once, the
+//    directory reopens with a clean env (epoch-cut healing), and the
+//    recovered seq must decompose as a whole-epoch prefix — a workload
+//    commit boundary, or the full prefix plus surviving liveness extras —
+//    after which the remaining updates resume in lockstep, bit-identical.
+//
+// Deterministic in the options up to the scheduling-universal verdicts; a
+// failure reproduces (possibly flakily, by design) from the printed repro
+// command.
+struct ShardFaultOptions {
+  uint64_t seed = 1;
+  size_t shards = 4;
+  size_t num_objects = 8;
+  size_t num_updates = 24;  // The CLI's --ops.
+  size_t k = 3;
+  double within_threshold = 150.0 * 150.0;
+  // Workload shape, forwarded to src/workload/generator.
+  double box = 300.0;
+  double speed_max = 12.0;
+  double mean_gap = 0.5;
+  // Scratch root; per-run subdirectories are created (and removed on
+  // success) inside. Must not hold unrelated state.
+  std::string dir;
+  // Cap on how many distinct operations are fault-tested per kind (the
+  // ops are strided evenly); 0 tests every operation.
+  size_t max_faults = 0;
+};
+
+struct ShardFaultResult {
+  uint64_t total_ops = 0;  // I/O operations in the reference run.
+  size_t runs = 0;         // Fault runs executed (ops tested x 4 kinds).
+  size_t injected = 0;     // Runs whose planned fault actually fired.
+  size_t surfaced = 0;     // Runs that surfaced an error to the caller.
+  size_t degraded_runs = 0;        // ... of which fail-stopped a shard.
+  size_t checkpoint_retries = 0;   // Failed Checkpoints retried OK.
+  size_t liveness_commits = 0;  // Healthy-shard commits that succeeded
+                                // while a sibling was degraded.
+  size_t reopens = 0;      // Power-loss reopen + lockstep resumes passed.
+  size_t probes = 0;       // Bit-exact answer comparisons performed.
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+// Runs the full matrix. Deterministic in `options` up to pool scheduling
+// (the verdicts are universal over it; the directory's content is derived
+// state and its path does not matter).
+ShardFaultResult RunShardFaultMatrix(const ShardFaultOptions& options);
+
+// The modb_fuzz invocation reproducing `options`.
+std::string ShardFaultReproCommand(const ShardFaultOptions& options);
+
+}  // namespace modb
+
+#endif  // MODB_VERIFY_SHARD_FAULT_H_

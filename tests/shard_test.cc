@@ -18,9 +18,11 @@
 #include "queries/fastest.h"
 #include "queries/knn.h"
 #include "queries/region_queries.h"
+#include "obs/modb_metrics.h"
 #include "shard/answer_board.h"
 #include "shard/work_pool.h"
 #include "trajectory/mod.h"
+#include "verify/fault_env.h"
 
 namespace modb {
 namespace {
@@ -49,6 +51,24 @@ std::unique_ptr<ShardedQueryServer> MustOpen(const std::string& dir,
   auto opened = ShardedQueryServer::Open(dir, options);
   MODB_CHECK(opened.ok()) << opened.status().ToString();
   return std::move(*opened);
+}
+
+// The next unused oid that hashes to `shard` under S = `shards`.
+ObjectId OidOn(size_t shard, size_t shards, ObjectId& from) {
+  while (ShardedQueryServer::ShardOf(from, shards) != shard) ++from;
+  return from++;
+}
+
+fs::path NewestWal(const fs::path& shard_dir) {
+  fs::path newest;
+  for (const fs::directory_entry& entry : fs::directory_iterator(shard_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 &&
+        (newest.empty() || entry.path() > newest)) {
+      newest = entry.path();
+    }
+  }
+  return newest;
 }
 
 // A deterministic fleet: every object moving (nonzero velocity), spread
@@ -561,22 +581,244 @@ TEST(ShardedServerTest, RemoveQueryRacingCommitsNeverPublishesStaleIds) {
   EXPECT_TRUE(db->live_queries().empty());
 }
 
-TEST(ShardedServerTest, DivergentDurableIdRollbackCoversEveryShard) {
+TEST(ShardedServerTest, SkewedIdAllocatorsRealignDuringFanOut) {
   auto db = MustOpen(ScratchDir("diverge"), Opt(2));
   const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
   // Skew shard 0's id allocator by registering directly on it, bypassing
-  // the fan-out: the next fan-out then gets different durable ids from
-  // the two shards and must fail kDataLoss.
+  // the fan-out — the situation a faulted fan-out leaves behind (the
+  // rollback removes the query but never un-consumes the id). The next
+  // fan-out must REALIGN, not fail: the lagging shard burns ids with
+  // journaled add + remove pairs until both shards allocate the same id.
   ASSERT_TRUE(db->shard(0).AddKnn("rogue", hub, 2).ok());
   const auto added = db->AddKnn("hub", hub, 4);
-  ASSERT_FALSE(added.ok());
-  EXPECT_EQ(added.status().code(), StatusCode::kDataLoss)
-      << added.status().ToString();
-  // The rollback must cover every shard that registered — including the
-  // one whose divergent id triggered the failure — so no shard's journal
-  // keeps a fan-out registration the others dropped.
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(db->shard(0).live_queries().count(*added), 1u);
+  EXPECT_EQ(db->shard(1).live_queries().count(*added), 1u);
+  // Shard 1 kept nothing from its burned allocations.
+  EXPECT_EQ(db->shard(1).live_queries().size(), 1u);
+}
+
+TEST(ShardedServerTest, LaggingLeaderRealignsRetroactively) {
+  auto db = MustOpen(ScratchDir("diverge-late"), Opt(2));
+  const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  // Skew the LATER shard: the fan-out registers on shard 0 first (the
+  // provisional id), then discovers shard 1's counter is ahead and must
+  // retroactively burn shard 0 up to it.
+  ASSERT_TRUE(db->shard(1).AddKnn("rogue", hub, 2).ok());
+  const auto added = db->AddKnn("hub", hub, 4);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(db->shard(0).live_queries().count(*added), 1u);
+  EXPECT_EQ(db->shard(1).live_queries().count(*added), 1u);
   EXPECT_EQ(db->shard(0).live_queries().size(), 1u);
-  EXPECT_TRUE(db->shard(1).live_queries().empty());
+  // A second fan-out needs no realignment and lands one id later.
+  const auto next = db->AddWithin("hub", hub, 100.0);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(*next, *added + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard epoch healing: every Commit is stamped with a global epoch
+// on every participating shard; recovery computes the largest epoch fully
+// present everywhere and rolls ahead-running shards back to it.
+
+TEST(ShardedServerTest, TornEpochFrameOnOneShardHealsToLastFullBatch) {
+  const std::string dir = ScratchDir("torn_epoch");
+  std::vector<uint64_t> after;  // shard 1's WAL size after each commit
+  {
+    auto db = MustOpen(dir, Opt(2));
+    const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+    ASSERT_TRUE(db->AddKnn("hub", hub, 4).ok());
+    ObjectId from = 1;
+    for (int j = 0; j < 3; ++j) {
+      const double d = static_cast<double>(j + 1);
+      const std::vector<Update> batch = {
+          Update::NewObject(OidOn(0, 2, from), 0.0, Vec{d, 0.0},
+                            Vec{0.0, 0.0}),
+          Update::NewObject(OidOn(1, 2, from), 0.0, Vec{0.0, d},
+                            Vec{0.0, 0.0})};
+      ASSERT_TRUE(db->Commit(batch).ok());
+      after.push_back(db->shard(1).wal_bytes());
+    }
+  }
+  // Tear shard 1 a few bytes INTO the second batch's frame. Its recovery
+  // drops the torn tail, so that epoch is absent there while shard 0
+  // still holds it (and the third) — the consistent cut is batch 1, and
+  // shard 0 must be rolled back to it.
+  const fs::path wal = NewestWal(fs::path(dir) / ShardSubdir(1));
+  ASSERT_FALSE(wal.empty());
+  ASSERT_GT(fs::file_size(wal), after[0] + 5);
+  fs::resize_file(wal, after[0] + 5);
+
+  auto db = MustOpen(dir, Opt(0));
+  EXPECT_TRUE(db->recovered());
+  EXPECT_EQ(db->seq(), 2u);           // exactly one whole batch survived
+  EXPECT_EQ(db->shard(0).seq(), 1u);  // rolled back, not ahead
+  EXPECT_EQ(db->shard(1).seq(), 1u);
+  // The registration predates the cut on every shard and survives whole.
+  EXPECT_EQ(db->live_queries().size(), 1u);
+}
+
+TEST(ShardedServerTest, DivergentEpochReopenRollsAheadShardBack) {
+  const std::string dir = ScratchDir("epoch_rollback");
+  uint64_t cut_bytes = 0;
+  {
+    auto db = MustOpen(dir, Opt(2));
+    ObjectId from = 1;
+    for (int j = 0; j < 3; ++j) {
+      const double d = static_cast<double>(j + 1);
+      const std::vector<Update> batch = {
+          Update::NewObject(OidOn(0, 2, from), 0.0, Vec{d, 0.0},
+                            Vec{0.0, 0.0}),
+          Update::NewObject(OidOn(1, 2, from), 0.0, Vec{0.0, d},
+                            Vec{0.0, 0.0})};
+      ASSERT_TRUE(db->Commit(batch).ok());
+      if (j == 0) cut_bytes = db->shard(1).wal_bytes();
+    }
+  }
+  // Shard 1 loses batches 2 and 3 CLEANLY (cut exactly at a record
+  // boundary, so its own log replays without repair); shard 0 still holds
+  // both epochs and is the one healing must truncate.
+  fs::resize_file(NewestWal(fs::path(dir) / ShardSubdir(1)), cut_bytes);
+
+  const uint64_t rollbacks_before = obs::M().shard_epoch_rollbacks->Value();
+  auto db = MustOpen(dir, Opt(0));
+  EXPECT_EQ(db->seq(), 2u);
+  EXPECT_EQ(db->shard(0).seq(), 1u);
+  EXPECT_EQ(db->shard(1).seq(), 1u);
+  // Exactly one shard was rolled back, and the metric says so.
+  EXPECT_EQ(obs::M().shard_epoch_rollbacks->Value(), rollbacks_before + 1);
+}
+
+TEST(ShardedServerTest, ReopenAfterRollbackReplaysCleanly) {
+  const std::string dir = ScratchDir("epoch_resume");
+  const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  uint64_t cut_bytes = 0;
+  {
+    auto db = MustOpen(dir, Opt(2));
+    ObjectId from = 1;
+    for (int j = 0; j < 2; ++j) {
+      const double d = static_cast<double>(j + 1);
+      ASSERT_TRUE(db->Commit({Update::NewObject(OidOn(0, 2, from), 0.0,
+                                                Vec{d, 0.0}, Vec{0.0, 0.0}),
+                              Update::NewObject(OidOn(1, 2, from), 0.0,
+                                                Vec{0.0, d}, Vec{0.0, 0.0})})
+                      .ok());
+      if (j == 0) cut_bytes = db->shard(1).wal_bytes();
+    }
+  }
+  fs::resize_file(NewestWal(fs::path(dir) / ShardSubdir(1)), cut_bytes);
+
+  const uint64_t rollbacks_before = obs::M().shard_epoch_rollbacks->Value();
+  QueryId knn_id = 0;
+  std::set<ObjectId> answer;
+  {
+    // First reopen heals (one rollback), then the database must accept
+    // new cross-shard work on the healed prefix as if nothing happened.
+    auto db = MustOpen(dir, Opt(0));
+    ASSERT_EQ(db->seq(), 2u);
+    EXPECT_EQ(obs::M().shard_epoch_rollbacks->Value(), rollbacks_before + 1);
+    auto knn = db->AddKnn("hub", hub, 8);
+    ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+    knn_id = *knn;
+    ObjectId from = 100;  // clear of the surviving batch-1 oids
+    for (int j = 0; j < 2; ++j) {
+      const double d = static_cast<double>(j + 10);
+      ASSERT_TRUE(db->Commit({Update::NewObject(OidOn(0, 2, from), 0.0,
+                                                Vec{d, 0.0}, Vec{0.0, 0.0}),
+                              Update::NewObject(OidOn(1, 2, from), 0.0,
+                                                Vec{0.0, d}, Vec{0.0, 0.0})})
+                      .ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    db->AdvanceTo(0.0);
+    answer = db->Answer(knn_id);
+    EXPECT_EQ(db->seq(), 6u);
+  }
+  // Second reopen: the logs are consistent now — no further rollback,
+  // and the post-rollback commits replay bit-identically.
+  auto db = MustOpen(dir, Opt(0));
+  EXPECT_EQ(db->seq(), 6u);
+  EXPECT_EQ(obs::M().shard_epoch_rollbacks->Value(), rollbacks_before + 1);
+  EXPECT_EQ(db->live_queries().size(), 1u);
+  db->AdvanceTo(0.0);
+  EXPECT_EQ(db->Answer(knn_id), answer);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard graceful degradation: a shard that fails I/O degrades alone;
+// healthy shards keep committing, and reads stay exact on them.
+
+TEST(ShardedServerTest, DegradedShardPartialReadsStayExactOnHealthyShards) {
+  FaultInjectionEnv env;
+  ShardedServerOptions options = Opt(2);
+  options.durability.env = &env;
+  options.durability.wal.sync = SyncPolicy::kEveryRecord;
+  auto db = MustOpen(ScratchDir("degraded_reads"), options);
+
+  ObjectId from = 1;
+  const ObjectId a0 = OidOn(0, 2, from);
+  const ObjectId b1 = OidOn(1, 2, from);
+  const ObjectId c1 = OidOn(1, 2, from);
+  const ObjectId d0 = OidOn(0, 2, from);
+  const ObjectId e1 = OidOn(1, 2, from);
+  const ObjectId g0 = OidOn(0, 2, from);
+  const ObjectId h1 = OidOn(1, 2, from);
+
+  // Geometry chosen so membership is unambiguous whichever way the
+  // threshold is read: in-objects sit within distance (and squared
+  // distance) 5 of the origin, out-objects past 80.
+  const Trajectory hub = Trajectory::Stationary(0.0, Vec{0.0, 0.0});
+  auto within = db->AddWithin("hub", hub, 25.0);
+  ASSERT_TRUE(within.ok());
+  ASSERT_TRUE(db->Commit({Update::NewObject(a0, 0.0, Vec{1.0, 0.0},
+                                            Vec{0.0, 0.0}),
+                          Update::NewObject(b1, 0.0, Vec{0.0, 2.0},
+                                            Vec{0.0, 0.0})})
+                  .ok());
+  db->AdvanceTo(0.0);
+  EXPECT_EQ(db->Answer(*within), (std::set<ObjectId>{a0, b1}));
+
+  // Fail shard 1's very next I/O operation: the commit below is routed
+  // there alone, so exactly that shard degrades.
+  env.SetPlan({/*fail_op=*/1, FaultKind::kEio});
+  const Status broken = db->Commit(
+      {Update::NewObject(c1, 0.0, Vec{0.0, 3.0}, Vec{0.0, 0.0})});
+  EXPECT_EQ(broken.code(), StatusCode::kUnavailable) << broken.ToString();
+  EXPECT_TRUE(env.injected());
+
+  const std::vector<ShardHealth> health = db->Health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_FALSE(health[0].degraded);
+  EXPECT_TRUE(health[0].cause.ok());
+  EXPECT_TRUE(health[1].degraded);
+  EXPECT_FALSE(health[1].cause.ok());
+
+  // Healthy-shard commits still go through...
+  const uint64_t seq_before = db->seq();
+  ASSERT_TRUE(db->Commit({Update::NewObject(d0, 0.0, Vec{2.0, 0.0},
+                                            Vec{0.0, 0.0})})
+                  .ok());
+  // ...while anything touching the degraded shard is refused up front —
+  // alone or mixed into a batch — without applying the healthy part.
+  EXPECT_EQ(db->ApplyUpdate(Update::NewObject(e1, 0.0, Vec{0.0, 90.0},
+                                              Vec{0.0, 0.0}))
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(db->Commit({Update::NewObject(g0, 0.0, Vec{3.0, 0.0},
+                                          Vec{0.0, 0.0}),
+                        Update::NewObject(h1, 0.0, Vec{0.0, 4.0},
+                                          Vec{0.0, 0.0})})
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(db->seq(), seq_before + 1);  // only d0's commit landed
+
+  // Partial reads: the healthy shards' contribution is exact (a0 and d0
+  // are live on shard 0; b1 is shard 1's state at its failure point), and
+  // the degraded set names exactly shard 1.
+  const PartialAnswer partial = db->AnswerPartial(*within);
+  EXPECT_EQ(partial.degraded_shards, (std::vector<size_t>{1}));
+  EXPECT_EQ(partial.members, (std::set<ObjectId>{a0, b1, d0}));
+  EXPECT_EQ(db->Answer(*within), partial.members);
 }
 
 // ---------------------------------------------------------------------------
@@ -593,6 +835,30 @@ TEST(WorkStealingPoolTest, RunAllExecutesEveryTask) {
   pool.RunAll(std::move(tasks));
   // RunAll returns only after every task FINISHED.
   EXPECT_EQ(ran.load(), 200u);
+}
+
+TEST(WorkStealingPoolTest, RunAllStatusPropagatesFirstFailureInTaskOrder) {
+  WorkStealingPool pool(3);
+  std::atomic<size_t> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (size_t i = 0; i < 64; ++i) {
+    tasks.push_back([&ran, i]() -> Status {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 17) return Status::Unavailable("task 17 failed");
+      if (i == 40) return Status::Internal("task 40 failed");
+      return Status::Ok();
+    });
+  }
+  const Status status = pool.RunAllStatus(std::move(tasks));
+  // A failure cancels NOTHING — every sibling still runs to completion
+  // (the commit path relies on this: log_status[] must be fully
+  // populated before the abort sweep reads it).
+  EXPECT_EQ(ran.load(), 64u);
+  // The first failure in TASK order wins, not completion order.
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.ToString().find("task 17"), std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(pool.RunAllStatus({}).ok());
 }
 
 TEST(WorkStealingPoolTest, NestedRunAllOnSingleThreadCompletes) {

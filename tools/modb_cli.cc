@@ -353,7 +353,7 @@ struct AnyDb {
   }
 };
 
-StatusOr<AnyDb> OpenAnyDb(const Args& args) {
+StatusOr<AnyDb> OpenAnyDb(const Args& args, bool allow_degraded = false) {
   if (args.positional.empty()) {
     return Status::InvalidArgument("a database DIR is required");
   }
@@ -372,6 +372,9 @@ StatusOr<AnyDb> OpenAnyDb(const Args& args) {
     ShardedServerOptions sharded;
     sharded.shards = shards;  // 0 adopts the manifest.
     sharded.durability = *options;
+    // Inspection verbs want a report even when a shard cannot open; the
+    // degraded open is read-only, so mutating verbs keep the default.
+    sharded.allow_degraded_shards = allow_degraded;
     auto opened = ShardedQueryServer::Open(dir, sharded);
     if (!opened.ok()) return opened.status();
     db.sharded = std::move(*opened);
@@ -474,13 +477,22 @@ void PrintLiveQueries(const AnyDb& db) {
 }
 
 int CmdDbInfo(const Args& args) {
-  auto db = OpenAnyDb(args);
+  // db-info is pure inspection: open degraded-tolerant, so a shard on a
+  // dead disk yields a health report instead of a refusal.
+  auto db = OpenAnyDb(args, /*allow_degraded=*/true);
   if (!db.ok()) return Fail(db.status().ToString());
   if (db->is_sharded()) {
     ShardedQueryServer& sharded = *db->sharded;
+    const std::vector<ShardHealth> health = sharded.Health();
+    size_t degraded = 0;
+    for (const ShardHealth& h : health) degraded += h.degraded ? 1 : 0;
     std::cout << "dir: " << sharded.dir() << "\n"
               << "sharded: " << sharded.shard_count()
-              << " shared-nothing shard(s)\n"
+              << " shared-nothing shard(s)"
+              << (degraded > 0
+                      ? ", " + std::to_string(degraded) + " DEGRADED"
+                      : "")
+              << "\n"
               << "recovered: " << (sharded.recovered() ? "yes" : "no (fresh)")
               << "\n"
               << "seq: " << sharded.seq() << " (sum over shards)\n"
@@ -489,16 +501,29 @@ int CmdDbInfo(const Args& args) {
     size_t objects = 0;
     size_t pieces = 0;
     for (size_t s = 0; s < sharded.shard_count(); ++s) {
+      if (!sharded.shard_open(s)) continue;
       const auto& mod = sharded.shard(s).server().mod();
       objects += mod.size();
       pieces += mod.TotalPieces();
     }
-    std::cout << "objects: " << objects << " (" << pieces << " pieces)\n";
-    for (size_t s = 0; s < sharded.shard_count(); ++s) {
-      const DurableQueryServer& shard = sharded.shard(s);
-      std::cout << "  " << ShardSubdir(s) << ": seq " << shard.seq() << ", "
-                << shard.server().mod().size() << " object(s)"
-                << (shard.degraded() ? ", DEGRADED" : "") << "\n";
+    std::cout << "objects: " << objects << " (" << pieces << " pieces"
+              << (degraded > 0 ? ", open shards only" : "") << ")\n";
+    for (const ShardHealth& h : health) {
+      std::cout << "  " << ShardSubdir(h.shard) << ": ";
+      if (!sharded.shard_open(h.shard)) {
+        // A placeholder: the shard refused to open (dead disk, torn
+        // past a seal, ...) — all we know is why.
+        std::cout << "UNAVAILABLE (" << h.cause.ToString() << ")\n";
+        continue;
+      }
+      std::cout << "seq " << sharded.shard(h.shard).seq() << ", "
+                << sharded.shard(h.shard).server().mod().size()
+                << " object(s), durable epoch " << h.durable_epoch
+                << ", durable seq " << h.durable_seq;
+      if (h.degraded) {
+        std::cout << ", DEGRADED (" << h.cause.ToString() << ")";
+      }
+      std::cout << "\n";
     }
     PrintLiveQueries(*db);
     return 0;

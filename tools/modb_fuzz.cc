@@ -32,6 +32,18 @@
 //
 //   modb_fuzz --shards 4 --seeds 50 --audit
 //
+// Combining --crash with --shards S runs the cross-shard crash harness:
+// every shard's WAL is truncated independently at a seeded offset and
+// reopen must heal to the consistent epoch cut — a whole-batch prefix on
+// ALL shards at once. Combining --faults with --shards S runs the
+// per-shard isolation matrix: the k-th I/O operation counted across all
+// shard directories fails, and the verdicts assert degraded-shard
+// isolation, healthy-shard liveness, whole-epoch atomicity and epoch-cut
+// healing after emulated power loss.
+//
+//   modb_fuzz --crash --shards 4 --seeds 50
+//   modb_fuzz --faults --shards 4 --ops 16
+//
 // On failure the update stream is shrunk to the smallest failing prefix
 // (differential mode) and an exact repro command is printed.
 
@@ -48,7 +60,9 @@
 #include "verify/crash.h"
 #include "verify/differential.h"
 #include "verify/fault.h"
+#include "verify/shard_crash.h"
 #include "verify/shard_diff.h"
+#include "verify/shard_fault.h"
 
 namespace {
 
@@ -102,7 +116,12 @@ void Usage() {
                "--shards S switches to the sharded differential oracle:\n"
                "an S-shard lane must answer bit-identically to a\n"
                "single-shard lane over the same workload, through one-shot\n"
-               "merges, checkpoints and recovery.\n"
+               "merges, checkpoints and recovery. --crash --shards S cuts\n"
+               "every shard's WAL independently and requires reopen to\n"
+               "heal to the consistent cross-shard epoch cut;\n"
+               "--faults --shards S fails the k-th I/O operation counted\n"
+               "across all shard directories and requires degraded-shard\n"
+               "isolation with healthy-shard liveness.\n"
                "--dir sets the scratch root (default: the system temp\n"
                "directory); --keep-dir keeps scratch directories of failing\n"
                "seeds; --trigger sets the auto-checkpoint threshold in\n"
@@ -282,6 +301,106 @@ int RunShardsMode(modb::ShardDiffOptions options, size_t num_seeds,
   return failed_seeds == 0 ? 0 : 1;
 }
 
+int RunShardCrashMode(modb::ShardCrashOptions options, size_t num_seeds,
+                      std::string scratch_root, bool keep_dir, bool verbose) {
+  namespace fs = std::filesystem;
+  if (scratch_root.empty()) {
+    scratch_root =
+        (fs::temp_directory_path() / "modb_shard_crash_fuzz").string();
+  }
+  size_t failed_seeds = 0;
+  size_t total_probes = 0;
+  const uint64_t base_seed = options.seed;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    modb::ShardCrashOptions run = options;
+    run.seed = base_seed + i;
+    run.dir = (fs::path(scratch_root) /
+               ("seed-" + std::to_string(run.seed)))
+                  .string();
+    std::error_code ec;
+    fs::remove_all(run.dir, ec);  // A stale directory would not be scratch.
+    const modb::ShardCrashResult result = modb::RunShardCrashInjection(run);
+    total_probes += result.probes;
+    if (result.ok()) {
+      if (verbose) {
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(run.seed),
+                    result.ToString().c_str());
+      }
+      fs::remove_all(run.dir, ec);
+      continue;
+    }
+    ++failed_seeds;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
+                result.ToString().c_str());
+    std::printf("  repro:\n    %s\n",
+                modb::ShardCrashReproCommand(run).c_str());
+    PrintFailureTrace(scratch_root, run.seed);
+    if (keep_dir) {
+      std::printf("  scratch kept at %s\n", run.dir.c_str());
+    } else {
+      fs::remove_all(run.dir, ec);
+    }
+  }
+  std::printf(
+      "modb_fuzz --crash --shards %zu: %zu/%zu seed(s) ok, %zu bit-exact "
+      "probes\n",
+      options.shards, num_seeds - failed_seeds, num_seeds, total_probes);
+  return failed_seeds == 0 ? 0 : 1;
+}
+
+int RunShardFaultsMode(modb::ShardFaultOptions options, size_t num_seeds,
+                       std::string scratch_root, bool keep_dir,
+                       bool verbose) {
+  namespace fs = std::filesystem;
+  if (scratch_root.empty()) {
+    scratch_root =
+        (fs::temp_directory_path() / "modb_shard_fault_fuzz").string();
+  }
+  size_t failed_seeds = 0;
+  size_t total_runs = 0;
+  size_t total_probes = 0;
+  const uint64_t base_seed = options.seed;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    modb::ShardFaultOptions run = options;
+    run.seed = base_seed + i;
+    run.dir = (fs::path(scratch_root) /
+               ("seed-" + std::to_string(run.seed)))
+                  .string();
+    std::error_code ec;
+    fs::remove_all(run.dir, ec);  // A stale directory would not be scratch.
+    const modb::ShardFaultResult result = modb::RunShardFaultMatrix(run);
+    total_runs += result.runs;
+    total_probes += result.probes;
+    if (result.ok()) {
+      if (verbose) {
+        std::printf("seed %llu: %s\n",
+                    static_cast<unsigned long long>(run.seed),
+                    result.ToString().c_str());
+      }
+      fs::remove_all(run.dir, ec);
+      continue;
+    }
+    ++failed_seeds;
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(run.seed),
+                result.ToString().c_str());
+    std::printf("  repro:\n    %s\n",
+                modb::ShardFaultReproCommand(run).c_str());
+    PrintFailureTrace(scratch_root, run.seed);
+    if (keep_dir) {
+      std::printf("  scratch kept at %s\n", run.dir.c_str());
+    } else {
+      fs::remove_all(run.dir, ec);
+    }
+  }
+  std::printf(
+      "modb_fuzz --faults --shards %zu: %zu/%zu seed(s) ok, %zu fault runs, "
+      "%zu bit-exact probes\n",
+      options.shards, num_seeds - failed_seeds, num_seeds, total_runs,
+      total_probes);
+  return failed_seeds == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,6 +478,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "modb_fuzz: bad value for %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (shards > 0 && crash) {
+    modb::ShardCrashOptions shard_crash_options;
+    shard_crash_options.seed = options.seed;
+    shard_crash_options.shards = shards;
+    shard_crash_options.num_objects = options.num_objects;
+    shard_crash_options.num_updates = options.num_updates;
+    shard_crash_options.k = options.k;
+    shard_crash_options.within_threshold = options.within_threshold;
+    return RunShardCrashMode(shard_crash_options, num_seeds, scratch_root,
+                             keep_dir, verbose);
+  }
+
+  if (shards > 0 && faults) {
+    modb::ShardFaultOptions shard_fault_options;
+    shard_fault_options.seed = options.seed;
+    shard_fault_options.shards = shards;
+    shard_fault_options.num_objects = options.num_objects;
+    shard_fault_options.num_updates = options.num_updates;
+    shard_fault_options.k = options.k;
+    shard_fault_options.within_threshold = options.within_threshold;
+    shard_fault_options.max_faults = max_faults;
+    return RunShardFaultsMode(shard_fault_options, num_seeds, scratch_root,
+                              keep_dir, verbose);
   }
 
   if (shards > 0) {
