@@ -46,7 +46,7 @@ struct SweepFoResult {
 // cells, and Q^∀) agree; Q^∃ can differ at measure-zero tangency cases.
 SweepFoResult EvaluateFoQueryBySweep(
     const MovingObjectDatabase& mod, GDistancePtr gdist, const FoQuery& query,
-    EventQueueKind queue_kind = EventQueueKind::kLeftist);
+    EventQueueKind queue_kind = EventQueueKind::kIndexed);
 
 }  // namespace modb
 

@@ -81,13 +81,10 @@ Status FutureQueryEngine::ApplyUpdate(const Update& update) {
 
 void FutureQueryEngine::ChangeQueryGDistance(GDistancePtr gdist) {
   MODB_CHECK(started_);
-  // Restrict the trajectory map to objects alive in the sweep: terminated
-  // objects have already been erased.
-  std::map<ObjectId, Trajectory> alive;
-  for (const auto& [oid, trajectory] : mod_.objects()) {
-    if (state_->ContainsObject(oid)) alive.emplace(oid, trajectory);
-  }
-  state_->ReplaceGDistance(std::move(gdist), alive);
+  // Resolve trajectories straight out of the MOD: only objects alive in the
+  // sweep are looked up, and nothing is copied for the rebuild.
+  state_->ReplaceGDistance(std::move(gdist),
+                           [this](ObjectId oid) { return mod_.Find(oid); });
 }
 
 }  // namespace modb

@@ -27,7 +27,7 @@ class FutureQueryEngine {
   // past). `horizon` bounds the query interval's right end.
   FutureQueryEngine(MovingObjectDatabase mod, GDistancePtr gdist,
                     double start_time, double horizon = kInf,
-                    EventQueueKind queue_kind = EventQueueKind::kLeftist);
+                    EventQueueKind queue_kind = EventQueueKind::kIndexed);
 
   SweepState& state() { return *state_; }
   const MovingObjectDatabase& mod() const { return mod_; }

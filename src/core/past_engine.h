@@ -24,7 +24,7 @@ class PastQueryEngine {
  public:
   PastQueryEngine(const MovingObjectDatabase& mod, GDistancePtr gdist,
                   TimeInterval interval,
-                  EventQueueKind queue_kind = EventQueueKind::kLeftist);
+                  EventQueueKind queue_kind = EventQueueKind::kIndexed);
 
   SweepState& state() { return *state_; }
   const MovingObjectDatabase& mod() const { return mod_; }

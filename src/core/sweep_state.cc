@@ -55,10 +55,50 @@ void SweepState::RemoveListener(SweepListener* listener) {
       listeners_.end());
 }
 
+double SweepState::EntryValue(const CurveEntry& entry, double t) const {
+  // Pool evaluation is bit-identical to PiecewisePoly::Eval on the packed
+  // source, so the dispatch never changes a value.
+  return entry.is_pooled() ? pool_.Eval(entry.pooled, t)
+                           : entry.general.Eval(t);
+}
+
 double SweepState::CurveValue(ObjectId oid, double t) const {
   auto it = curves_.find(oid);
   MODB_CHECK(it != curves_.end()) << "no curve for oid " << oid;
-  return it->second.Eval(t);
+  return EntryValue(it->second, t);
+}
+
+SweepState::CurveEntry SweepState::BuildEntry(const Trajectory& trajectory) {
+  CurveEntry entry;
+  GCurve fallback;
+  entry.pooled = gdist_->CurveIntoPool(&pool_, trajectory, &fallback);
+  if (!entry.is_pooled()) entry.general = std::move(fallback);
+  return entry;
+}
+
+void SweepState::ReleaseEntry(CurveEntry* entry) {
+  if (entry->is_pooled()) {
+    pool_.Release(entry->pooled);
+    entry->pooled = PolySegPool::kInvalidCurve;
+  }
+}
+
+std::optional<double> SweepState::EntryFirstCrossing(
+    const CurveEntry& a, const CurveEntry& b) const {
+  if (a.is_pooled() && b.is_pooled()) {
+    return FirstCrossingPooled(pool_, a.pooled, b.pooled, now_, horizon_,
+                               root_options_);
+  }
+  // Mixed pooled / general pair (numeric or degree > 2 g-distances): fall
+  // back to the general machinery on an exact round-trip of the pooled
+  // side.
+  const GCurve ga = a.is_pooled()
+                        ? GCurve::FromPoly(pool_.ToPiecewisePoly(a.pooled))
+                        : a.general;
+  const GCurve gb = b.is_pooled()
+                        ? GCurve::FromPoly(pool_.ToPiecewisePoly(b.pooled))
+                        : b.general;
+  return GCurve::FirstTimeAbove(ga, gb, now_, horizon_, root_options_);
 }
 
 void SweepState::NoteQueueLength() {
@@ -84,8 +124,8 @@ std::optional<SweepEvent> SweepState::ComputePairEvent(ObjectId left,
                                                        ObjectId right) {
   ++stats_.crossings_computed;
   metrics_->sweep_crossings_computed->Increment();
-  const std::optional<double> crossing = GCurve::FirstTimeAbove(
-      curves_.at(left), curves_.at(right), now_, horizon_, root_options_);
+  const std::optional<double> crossing =
+      EntryFirstCrossing(curves_.at(left), curves_.at(right));
   if (!crossing.has_value()) return std::nullopt;
   return SweepEvent{*crossing, left, right};
 }
@@ -101,14 +141,55 @@ void SweepState::SchedulePair(ObjectId left, ObjectId right) {
   }
 }
 
+void SweepState::SchedulePairs(const std::pair<ObjectId, ObjectId>* pairs,
+                               size_t n) {
+  if (n == 0) return;
+  bool all_pooled = true;
+  batch_refs_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CurveEntry& a = curves_.at(pairs[i].first);
+    const CurveEntry& b = curves_.at(pairs[i].second);
+    if (!a.is_pooled() || !b.is_pooled()) {
+      all_pooled = false;
+      break;
+    }
+    batch_refs_[i] = CurvePairRef{a.pooled, b.pooled};
+  }
+  if (!all_pooled) {
+    for (size_t i = 0; i < n; ++i) {
+      SchedulePair(pairs[i].first, pairs[i].second);
+    }
+    return;
+  }
+  batch_out_.resize(n);
+  stats_.crossings_computed += n;
+  for (size_t i = 0; i < n; ++i) {
+    metrics_->sweep_crossings_computed->Increment();
+  }
+  FirstCrossingBatch(pool_, batch_refs_.data(), n, now_, horizon_,
+                     root_options_, batch_out_.data(), &batch_scratch_);
+  // Replay pushes in pair order: same queue contents, metrics and trace
+  // sequence as n sequential SchedulePair calls.
+  for (size_t i = 0; i < n; ++i) {
+    if (batch_out_[i] == kInf) continue;
+    queue_->Push(SweepEvent{batch_out_[i], pairs[i].first, pairs[i].second});
+    metrics_->sweep_events_scheduled->Increment();
+    obs::TraceInstant(obs::SpanName::kSweepSchedule, pairs[i].first,
+                      batch_out_[i], static_cast<uint64_t>(pairs[i].second),
+                      /*coarse=*/true);
+    NoteQueueLength();
+  }
+}
+
 void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
   MODB_CHECK(!ContainsObject(oid)) << "oid " << oid << " already present";
   obs::TraceSpan span(obs::SpanName::kSweepInsert, oid, now_);
-  GCurve curve = gdist_->Curve(trajectory);
-  MODB_CHECK(curve.Domain().Contains(now_))
+  CurveEntry entry = BuildEntry(trajectory);
+  MODB_CHECK(entry.is_pooled() ? pool_.Covers(entry.pooled, now_)
+                               : entry.general.Domain().Contains(now_))
       << "curve of oid " << oid << " undefined at sweep time " << now_;
-  const double value = curve.Eval(now_);
-  curves_.emplace(oid, std::move(curve));
+  const double value = EntryValue(entry, now_);
+  curves_.emplace(oid, std::move(entry));
 
   order_.Insert(oid, value,
                 [this](ObjectId other) { return CurveValue(other, now_); });
@@ -119,8 +200,11 @@ void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
   if (prev.has_value() && next.has_value()) {
     CancelPair(*prev, *next);
   }
-  if (prev.has_value()) SchedulePair(*prev, oid);
-  if (next.has_value()) SchedulePair(oid, *next);
+  std::pair<ObjectId, ObjectId> pairs[2];
+  size_t npairs = 0;
+  if (prev.has_value()) pairs[npairs++] = {*prev, oid};
+  if (next.has_value()) pairs[npairs++] = {oid, *next};
+  SchedulePairs(pairs, npairs);
 
   ++stats_.inserts;
   metrics_->sweep_inserts->Increment();
@@ -133,9 +217,9 @@ void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
 void SweepState::InsertSentinel(ObjectId oid, double value) {
   MODB_CHECK(!ContainsObject(oid)) << "oid " << oid << " already present";
   obs::TraceSpan span(obs::SpanName::kSweepInsert, oid, now_);
-  GCurve curve = GCurve::FromPoly(
-      PiecewisePoly::SinglePiece(Polynomial::Constant(value), -kInf, kInf));
-  curves_.emplace(oid, std::move(curve));
+  CurveEntry entry;
+  entry.pooled = pool_.AddConstant(value);
+  curves_.emplace(oid, std::move(entry));
   sentinels_.insert(oid);
 
   order_.Insert(oid, value,
@@ -145,8 +229,11 @@ void SweepState::InsertSentinel(ObjectId oid, double value) {
   if (prev.has_value() && next.has_value()) {
     CancelPair(*prev, *next);
   }
-  if (prev.has_value()) SchedulePair(*prev, oid);
-  if (next.has_value()) SchedulePair(oid, *next);
+  std::pair<ObjectId, ObjectId> pairs[2];
+  size_t npairs = 0;
+  if (prev.has_value()) pairs[npairs++] = {*prev, oid};
+  if (next.has_value()) pairs[npairs++] = {oid, *next};
+  SchedulePairs(pairs, npairs);
 
   ++stats_.inserts;
   metrics_->sweep_inserts->Increment();
@@ -164,7 +251,9 @@ void SweepState::EraseObject(ObjectId oid) {
   if (prev.has_value()) CancelPair(*prev, oid);
   if (next.has_value()) CancelPair(oid, *next);
   order_.Erase(oid);
-  curves_.erase(oid);
+  auto it = curves_.find(oid);
+  ReleaseEntry(&it->second);
+  curves_.erase(it);
   sentinels_.erase(oid);
   // The departing object's neighbors become adjacent.
   if (prev.has_value() && next.has_value()) SchedulePair(*prev, *next);
@@ -181,8 +270,9 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
   MODB_CHECK(ContainsObject(oid)) << "oid " << oid << " not present";
   MODB_CHECK(!IsSentinel(oid)) << "cannot replace a sentinel's curve";
   obs::TraceSpan span(obs::SpanName::kSweepCurve, oid, now_);
-  GCurve curve = gdist_->Curve(trajectory);
-  MODB_CHECK(curve.Domain().Contains(now_));
+  CurveEntry entry = BuildEntry(trajectory);
+  MODB_CHECK(entry.is_pooled() ? pool_.Covers(entry.pooled, now_)
+                               : entry.general.Domain().Contains(now_));
   // For continuous g-distances, Definition 3's chdir leaves the value —
   // and hence the order — unchanged at the update time. The paper's
   // closing remark relaxes continuity to finitely many continuous pieces:
@@ -191,18 +281,19 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
   // pair events below finds a "crossing" at now() whenever the jump broke
   // the local order, and processing those events bubbles the object to
   // its correct position through O(displacement) adjacent swaps.
-  curves_[oid] = std::move(curve);
+  CurveEntry& slot = curves_.at(oid);
+  ReleaseEntry(&slot);
+  slot = std::move(entry);
 
   const std::optional<ObjectId> prev = order_.Prev(oid);
   const std::optional<ObjectId> next = order_.Next(oid);
-  if (prev.has_value()) {
-    CancelPair(*prev, oid);
-    SchedulePair(*prev, oid);
-  }
-  if (next.has_value()) {
-    CancelPair(oid, *next);
-    SchedulePair(oid, *next);
-  }
+  if (prev.has_value()) CancelPair(*prev, oid);
+  if (next.has_value()) CancelPair(oid, *next);
+  std::pair<ObjectId, ObjectId> pairs[2];
+  size_t npairs = 0;
+  if (prev.has_value()) pairs[npairs++] = {*prev, oid};
+  if (next.has_value()) pairs[npairs++] = {oid, *next};
+  SchedulePairs(pairs, npairs);
 
   ++stats_.curve_rebuilds;
   metrics_->sweep_curve_rebuilds->Increment();
@@ -213,40 +304,90 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
 }
 
 void SweepState::ReplaceGDistance(
-    GDistancePtr gdist, const std::map<ObjectId, Trajectory>& trajectories) {
+    GDistancePtr gdist,
+    const std::function<const Trajectory*(ObjectId)>& lookup) {
   MODB_CHECK(gdist != nullptr);
   obs::TraceSpan span(obs::SpanName::kSweepRebuild, obs::kTraceNoId, now_,
                       curves_.size());
   gdist_ = std::move(gdist);
   // Rebuild every curve. Values at now() must be unchanged — that is what
   // justifies keeping the order without re-sorting (Theorem 10).
-  for (auto& [oid, curve] : curves_) {
+  for (auto& [oid, entry] : curves_) {
     if (sentinels_.count(oid) > 0) continue;
-    auto it = trajectories.find(oid);
-    MODB_CHECK(it != trajectories.end())
+    const Trajectory* trajectory = lookup(oid);
+    MODB_CHECK(trajectory != nullptr)
         << "ReplaceGDistance missing trajectory for oid " << oid;
-    GCurve rebuilt = gdist_->Curve(it->second);
-    MODB_CHECK(rebuilt.Domain().Contains(now_));
-    MODB_DCHECK(std::fabs(rebuilt.Eval(now_) - curve.Eval(now_)) <=
-                kContinuityTol * (1.0 + std::fabs(rebuilt.Eval(now_))))
+#ifndef NDEBUG
+    const double old_value = EntryValue(entry, now_);
+#endif
+    CurveEntry rebuilt = BuildEntry(*trajectory);
+    MODB_CHECK(rebuilt.is_pooled()
+                   ? pool_.Covers(rebuilt.pooled, now_)
+                   : rebuilt.general.Domain().Contains(now_));
+#ifndef NDEBUG
+    const double new_value = EntryValue(rebuilt, now_);
+    MODB_DCHECK(std::fabs(new_value - old_value) <=
+                kContinuityTol * (1.0 + std::fabs(new_value)))
         << "query-trajectory change altered a value at the update time";
-    curve = std::move(rebuilt);
+#endif
+    ReleaseEntry(&entry);
+    entry = std::move(rebuilt);
     ++stats_.curve_rebuilds;
     metrics_->sweep_curve_rebuilds->Increment();
   }
   // Recompute one event per adjacent pair and bulk-build the queue: O(N)
-  // heap work (the crossings themselves are O(1) for bounded degree).
+  // heap work. When every curve is pooled — the common case — all N-1
+  // crossings run as one `gdist.crossing_batch` SOA pass over the segment
+  // pool instead of N-1 independent polynomial walks.
   std::vector<SweepEvent> events;
-  events.reserve(order_.size());
   const std::vector<ObjectId> sequence = order_.ToVector();
-  for (size_t i = 0; i + 1 < sequence.size(); ++i) {
-    std::optional<SweepEvent> event =
-        ComputePairEvent(sequence[i], sequence[i + 1]);
-    if (event.has_value()) events.push_back(*event);
+  if (sequence.size() > 1) {
+    const size_t n = sequence.size() - 1;
+    events.reserve(n);
+    bool all_pooled = true;
+    batch_refs_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const CurveEntry& a = curves_.at(sequence[i]);
+      const CurveEntry& b = curves_.at(sequence[i + 1]);
+      if (!a.is_pooled() || !b.is_pooled()) {
+        all_pooled = false;
+        break;
+      }
+      batch_refs_[i] = CurvePairRef{a.pooled, b.pooled};
+    }
+    if (all_pooled) {
+      batch_out_.resize(n);
+      stats_.crossings_computed += n;
+      for (size_t i = 0; i < n; ++i) {
+        metrics_->sweep_crossings_computed->Increment();
+      }
+      FirstCrossingBatch(pool_, batch_refs_.data(), n, now_, horizon_,
+                         root_options_, batch_out_.data(), &batch_scratch_);
+      for (size_t i = 0; i < n; ++i) {
+        if (batch_out_[i] == kInf) continue;
+        events.push_back(
+            SweepEvent{batch_out_[i], sequence[i], sequence[i + 1]});
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        std::optional<SweepEvent> event =
+            ComputePairEvent(sequence[i], sequence[i + 1]);
+        if (event.has_value()) events.push_back(*event);
+      }
+    }
   }
   queue_->BulkBuild(std::move(events));
   NoteQueueLength();
   RunPostEventHook();
+}
+
+void SweepState::ReplaceGDistance(
+    GDistancePtr gdist, const std::map<ObjectId, Trajectory>& trajectories) {
+  ReplaceGDistance(std::move(gdist),
+                   [&trajectories](ObjectId oid) -> const Trajectory* {
+                     auto it = trajectories.find(oid);
+                     return it == trajectories.end() ? nullptr : &it->second;
+                   });
 }
 
 std::vector<SweepEvent> SweepState::QueueSnapshot() const {
@@ -257,9 +398,8 @@ std::optional<double> SweepState::PairFirstCrossing(ObjectId left,
                                                     ObjectId right) const {
   // Audit-only recomputation: const, and deliberately NOT counted in
   // stats_.crossings_computed (the benchmarks measure the sweep, not the
-  // auditor re-deriving it).
-  return GCurve::FirstTimeAbove(curves_.at(left), curves_.at(right), now_,
-                                horizon_, root_options_);
+  // auditor re-deriving it). Same kernel dispatch as the sweep itself.
+  return EntryFirstCrossing(curves_.at(left), curves_.at(right));
 }
 
 bool SweepState::HasEventAtOrBefore(double t) const {
@@ -291,10 +431,14 @@ void SweepState::ProcessEvent(const SweepEvent& event) {
     listener->OnSwap(now_, left, right);
   }
 
-  // New adjacencies: (prev, right), (right, left), (left, next).
-  if (prev.has_value()) SchedulePair(*prev, right);
-  SchedulePair(right, left);
-  if (next.has_value()) SchedulePair(left, *next);
+  // New adjacencies: (prev, right), (right, left), (left, next) — one
+  // batched kernel pass for all of the event's candidate pairs.
+  std::pair<ObjectId, ObjectId> pairs[3];
+  size_t npairs = 0;
+  if (prev.has_value()) pairs[npairs++] = {*prev, right};
+  pairs[npairs++] = {right, left};
+  if (next.has_value()) pairs[npairs++] = {left, *next};
+  SchedulePairs(pairs, npairs);
   RunPostEventHook();
 }
 

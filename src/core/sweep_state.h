@@ -5,11 +5,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "gdist/curve_batch.h"
 #include "gdist/gdistance.h"
 #include "index/event_queue.h"
 #include "index/ordered_sequence.h"
@@ -70,7 +73,7 @@ class SweepState {
   // is ever missed, events after it are not scheduled (pass kInf for an
   // open horizon).
   SweepState(GDistancePtr gdist, double start_time, double horizon = kInf,
-             EventQueueKind queue_kind = EventQueueKind::kLeftist);
+             EventQueueKind queue_kind = EventQueueKind::kIndexed);
   ~SweepState();
 
   SweepState(const SweepState&) = delete;
@@ -141,9 +144,15 @@ class SweepState {
   // Theorem 10: the *query* trajectory changed at now(), so every curve
   // changes — but all curve values at now() are unchanged (continuity), so
   // the precedence order stays valid. Rebuilds all curves and re-derives
-  // the event queue in O(N) heap work plus N - 1 crossing computations,
-  // without re-sorting. `trajectories` must cover every non-sentinel
-  // object in the state.
+  // the event queue in O(N) heap work plus N - 1 crossing computations
+  // (batched through `gdist.crossing_batch` when every curve is pooled),
+  // without re-sorting. `lookup` must return the trajectory of every
+  // non-sentinel object in the state (the pointer only needs to stay valid
+  // for the duration of the call).
+  void ReplaceGDistance(
+      GDistancePtr gdist,
+      const std::function<const Trajectory*(ObjectId)>& lookup);
+  // Convenience overload over a materialized map.
   void ReplaceGDistance(
       GDistancePtr gdist,
       const std::map<ObjectId, Trajectory>& trajectories);
@@ -160,8 +169,36 @@ class SweepState {
   // O(N log N); for tests.
   void CheckInvariants() const;
 
+  // The arena every pooled curve lives in (introspection / tests).
+  const PolySegPool& pool() const { return pool_; }
+
  private:
+  // A curve is either a run of segments in the SOA pool (every builtin
+  // polynomial g-distance of degree <= 2 — the common case, and the only
+  // one the batched kernels see) or a general GCurve fallback (numeric
+  // curves, degree > 2).
+  struct CurveEntry {
+    PolySegPool::CurveId pooled = PolySegPool::kInvalidCurve;
+    GCurve general;  // Engaged only when pooled == kInvalidCurve.
+    bool is_pooled() const { return pooled != PolySegPool::kInvalidCurve; }
+  };
+
+  double EntryValue(const CurveEntry& entry, double t) const;
+  // First crossing of a over b strictly within (now, horizon]:
+  // `gdist.crossing_pooled` when both entries are pooled, otherwise the
+  // general GCurve path on exact pool round-trips. Const and side-effect
+  // free; callers account stats.
+  std::optional<double> EntryFirstCrossing(const CurveEntry& a,
+                                           const CurveEntry& b) const;
+  // Builds the entry for a trajectory under the current g-distance.
+  CurveEntry BuildEntry(const Trajectory& trajectory);
+  void ReleaseEntry(CurveEntry* entry);
   void SchedulePair(ObjectId left, ObjectId right);
+  // Batched SchedulePair over up to `n` pairs: when every involved curve is
+  // pooled, one `gdist.crossing_batch` SOA pass computes all crossings;
+  // pushes, metrics and trace instants are then replayed in pair order so
+  // the observable effects match n sequential SchedulePair calls exactly.
+  void SchedulePairs(const std::pair<ObjectId, ObjectId>* pairs, size_t n);
   // ErasePair that counts a removal as a cancelled event.
   void CancelPair(ObjectId left, ObjectId right);
   // Publishes order size / insertion depth after an order mutation.
@@ -182,8 +219,13 @@ class SweepState {
   GDistancePtr gdist_;
   double now_;
   double horizon_;
-  std::unordered_map<ObjectId, GCurve> curves_;
+  PolySegPool pool_;
+  std::unordered_map<ObjectId, CurveEntry> curves_;
   std::set<ObjectId> sentinels_;
+  // Reused staging for SchedulePairs / the Theorem-10 batch.
+  std::vector<CurvePairRef> batch_refs_;
+  std::vector<double> batch_out_;
+  CrossingScratch batch_scratch_;
   OrderedSequence order_;
   std::unique_ptr<EventQueue> queue_;
   std::vector<SweepListener*> listeners_;

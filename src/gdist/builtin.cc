@@ -1,5 +1,6 @@
 #include "gdist/builtin.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <utility>
@@ -33,6 +34,66 @@ SquaredEuclideanGDistance::SquaredEuclideanGDistance(Trajectory query)
 
 GCurve SquaredEuclideanGDistance::Curve(const Trajectory& trajectory) const {
   return GCurve::FromPoly(SquaredSeparation(trajectory, query_));
+}
+
+PolySegPool::CurveId SquaredEuclideanGDistance::CurveIntoPool(
+    PolySegPool* pool, const Trajectory& trajectory,
+    GCurve* /*fallback*/) const {
+  MODB_CHECK_EQ(trajectory.dim(), query_.dim());
+  const std::vector<LinearPiece>& ap = trajectory.pieces();
+  const std::vector<LinearPiece>& bp = query_.pieces();
+  // Common domain and merged breakpoints, exactly as MergePointwise: the
+  // domain start plus the strictly interior piece starts of both sides,
+  // sorted with exact-equality dedup.
+  const double dlo = std::max(ap.front().start, bp.front().start);
+  const double dhi = std::min(trajectory.end_time(), query_.end_time());
+  MODB_CHECK(dlo <= dhi) << "trajectories have disjoint domains";
+  thread_local std::vector<double> starts, q0, q1, q2;
+  starts.clear();
+  starts.push_back(dlo);
+  for (const LinearPiece& piece : ap) {
+    if (piece.start > dlo && piece.start < dhi) starts.push_back(piece.start);
+  }
+  for (const LinearPiece& piece : bp) {
+    if (piece.start > dlo && piece.start < dhi) starts.push_back(piece.start);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  // Per merged piece, sum over dimensions the square of the coordinate
+  // difference. The per-dimension linear coefficients and the accumulation
+  // order replicate CoordinateFunction / Difference / Product / Sum, so
+  // every nonzero coefficient matches SquaredSeparation's bit-for-bit
+  // (exactly-zero coefficients may differ in zero sign only, which no
+  // comparison or root formula observes).
+  q0.assign(starts.size(), 0.0);
+  q1.assign(starts.size(), 0.0);
+  q2.assign(starts.size(), 0.0);
+  size_t ia = 0, ib = 0;
+  for (size_t s = 0; s < starts.size(); ++s) {
+    const double start = starts[s];
+    while (ia + 1 < ap.size() && ap[ia + 1].start <= start) ++ia;
+    while (ib + 1 < bp.size() && bp[ib + 1].start <= start) ++ib;
+    double c0 = 0.0, c1 = 0.0, c2 = 0.0;
+    for (size_t i = 0; i < trajectory.dim(); ++i) {
+      const double pa0 =
+          ap[ia].origin[i] - ap[ia].velocity[i] * ap[ia].start;
+      const double pa1 = ap[ia].velocity[i];
+      const double pb0 =
+          bp[ib].origin[i] - bp[ib].velocity[i] * bp[ib].start;
+      const double pb1 = bp[ib].velocity[i];
+      const double e0 = pa0 - pb0;
+      const double e1 = pa1 - pb1;
+      c0 += e0 * e0;
+      c1 += e0 * e1 + e1 * e0;  // Convolution order of Polynomial::operator*.
+      c2 += e1 * e1;
+    }
+    q0[s] = c0;
+    q1[s] = c1;
+    q2[s] = c2;
+  }
+  return pool->AddRaw(starts.data(), q0.data(), q1.data(), q2.data(),
+                      static_cast<uint32_t>(starts.size()), dhi);
 }
 
 AxisDistanceGDistance::AxisDistanceGDistance(Trajectory query, size_t axis)

@@ -21,6 +21,14 @@ class SquaredEuclideanGDistance : public GDistance {
   GCurve Curve(const Trajectory& trajectory) const override;
   std::string name() const override { return "euclid2"; }
 
+  // `gdist.euclid_pool_append` (docs/KERNELS.md): builds the same
+  // quadratic coefficients Curve() would produce — merged breakpoints,
+  // identical accumulation order per dimension — straight into the pool
+  // with no Polynomial/PiecewisePoly temporaries.
+  PolySegPool::CurveId CurveIntoPool(PolySegPool* pool,
+                                     const Trajectory& trajectory,
+                                     GCurve* fallback) const override;
+
   const Trajectory& query() const { return query_; }
 
  private:

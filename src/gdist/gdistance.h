@@ -5,6 +5,7 @@
 #include <string>
 
 #include "gdist/curve.h"
+#include "geom/curve_pool.h"
 #include "trajectory/trajectory.h"
 
 namespace modb {
@@ -29,6 +30,26 @@ class GDistance {
 
   // Diagnostic name, e.g. "euclid2(gamma)".
   virtual std::string name() const = 0;
+
+  // Packs the curve for `trajectory` straight into the sweep's SOA segment
+  // pool. When this g-distance has no pooled form (numeric curves, pieces
+  // of degree > 2) it returns kInvalidCurve and moves the general curve
+  // into `*fallback` instead — the expensive construction is never done
+  // twice. The pooled segments must evaluate bit-identically to the GCurve
+  // that Curve() returns; the default packs Curve()'s piecewise polynomial
+  // verbatim, and overrides (`gdist.euclid_pool_append`, see
+  // docs/KERNELS.md) build the same coefficients without intermediate
+  // allocations.
+  virtual PolySegPool::CurveId CurveIntoPool(PolySegPool* pool,
+                                             const Trajectory& trajectory,
+                                             GCurve* fallback) const {
+    GCurve curve = Curve(trajectory);
+    if (curve.is_polynomial() && PolySegPool::Eligible(curve.poly())) {
+      return pool->Add(curve.poly());
+    }
+    *fallback = std::move(curve);
+    return PolySegPool::kInvalidCurve;
+  }
 };
 
 using GDistancePtr = std::shared_ptr<const GDistance>;

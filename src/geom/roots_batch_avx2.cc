@@ -1,0 +1,171 @@
+// AVX2 lanes of the quad-cell kernel. Compiled with -mavx2 and
+// -ffp-contract=off; only ever *called* behind the runtime dispatch in
+// roots_batch.cc (plus directly from the differential test).
+//
+// Bit-exactness contract: every lane executes the same IEEE-754 operation
+// sequence as FirstPositiveQuadCell — vmulpd/vaddpd/vsubpd/vdivpd/vsqrtpd
+// are correctly rounded per lane, negation is a sign-bit flip, and branches
+// become unconditional computation plus mask blends (NaN/inf lanes produced
+// by a branch-not-taken are blended away, never observed). No FMA: AVX2
+// does not imply it and contraction is off, so a*b+c stays two roundings in
+// both paths.
+
+#include "geom/roots_batch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace modb {
+namespace {
+
+inline __m256d Neg(__m256d x) {
+  return _mm256_xor_pd(x, _mm256_set1_pd(-0.0));
+}
+
+// a if mask else b (mask from _mm256_cmp_pd).
+inline __m256d Select(__m256d mask, __m256d a, __m256d b) {
+  return _mm256_blendv_pd(b, a, mask);
+}
+
+}  // namespace
+
+void FirstPositiveQuadBatchAvx2(const QuadCellBatch& cells, size_t n,
+                                double tol, double* out) {
+  const __m256d kZero = _mm256_setzero_pd();
+  const __m256d kHalf = _mm256_set1_pd(0.5);
+  const __m256d kNegHalf = _mm256_set1_pd(-0.5);
+  const __m256d kFour = _mm256_set1_pd(4.0);
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  const __m256d kInfV = _mm256_set1_pd(kInf);
+  const __m256d kAbsMask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d kTol = _mm256_set1_pd(tol);
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d0 = _mm256_loadu_pd(cells.d0 + i);
+    const __m256d d1 = _mm256_loadu_pd(cells.d1 + i);
+    const __m256d d2 = _mm256_loadu_pd(cells.d2 + i);
+    const __m256d lo = _mm256_loadu_pd(cells.lo + i);
+    const __m256d hi = _mm256_loadu_pd(cells.hi + i);
+
+    // Trimmed-degree masks (exact ==0.0 tests, as Polynomial::Trim).
+    const __m256d m2 = _mm256_cmp_pd(d2, kZero, _CMP_NEQ_OQ);
+    const __m256d m1 = _mm256_andnot_pd(
+        m2, _mm256_cmp_pd(d1, kZero, _CMP_NEQ_OQ));
+
+    // Degree-2 roots, ClosedFormRoots' stable q-form:
+    //   disc = d1*d1 - (4*d2)*d0
+    const __m256d disc = _mm256_sub_pd(
+        _mm256_mul_pd(d1, d1), _mm256_mul_pd(_mm256_mul_pd(kFour, d2), d0));
+    const __m256d mdisc0 = _mm256_cmp_pd(disc, kZero, _CMP_EQ_OQ);
+    const __m256d mdiscp = _mm256_cmp_pd(disc, kZero, _CMP_GT_OQ);
+    const __m256d two_d2 = _mm256_add_pd(d2, d2);  // 2.0 * d2, exact.
+    const __m256d rsingle = _mm256_div_pd(Neg(d1), two_d2);
+    const __m256d sq = _mm256_sqrt_pd(disc);  // NaN on disc<0: masked off.
+    const __m256d mge = _mm256_cmp_pd(d1, kZero, _CMP_GE_OQ);
+    const __m256d q = _mm256_mul_pd(
+        kNegHalf, _mm256_add_pd(d1, Select(mge, sq, Neg(sq))));
+    const __m256d r1 = _mm256_div_pd(q, d2);
+    const __m256d mq0 = _mm256_cmp_pd(q, kZero, _CMP_EQ_OQ);
+    const __m256d r2 = Select(mq0, r1, _mm256_div_pd(d0, q));
+    const __m256d mswap = _mm256_cmp_pd(r1, r2, _CMP_GT_OQ);
+    const __m256d rlo = Select(mswap, r2, r1);
+    const __m256d rhi = Select(mswap, r1, r2);
+
+    // Degree-1 root.
+    const __m256d rlin = _mm256_div_pd(Neg(d0), d1);
+
+    // First and second candidate roots per lane (ascending).
+    const __m256d rootA =
+        Select(m2, Select(mdisc0, rsingle, rlo), rlin);
+    const __m256d rootB = rhi;
+    const __m256d hasA = _mm256_or_pd(
+        _mm256_and_pd(m2, _mm256_or_pd(mdisc0, mdiscp)), m1);
+    // Second root exists when disc > 0 and it did not deduplicate
+    // (r2 != r1 with C semantics: unordered compares as true).
+    const __m256d hasB = _mm256_and_pd(
+        _mm256_and_pd(m2, mdiscp),
+        _mm256_cmp_pd(rhi, rlo, _CMP_NEQ_UQ));
+
+    // Window filter: r >= lo && r <= hi && r > lo + tol.
+    const __m256d lotol = _mm256_add_pd(lo, kTol);
+    auto in_window = [&](__m256d has, __m256d r) {
+      __m256d m = _mm256_and_pd(has, _mm256_cmp_pd(r, lo, _CMP_GE_OQ));
+      m = _mm256_and_pd(m, _mm256_cmp_pd(r, hi, _CMP_LE_OQ));
+      return _mm256_and_pd(m, _mm256_cmp_pd(r, lotol, _CMP_GT_OQ));
+    };
+    const __m256d validA = in_window(hasA, rootA);
+    const __m256d validB = in_window(hasB, rootB);
+
+    // Boundary slots: b0 = lo always; b1 = first valid root; b2 = second.
+    const __m256d b0 = lo;
+    const __m256d b1 = Select(validA, rootA, rootB);
+    const __m256d b2 = rootB;
+    const __m256d hasb1 = _mm256_or_pd(validA, validB);
+    const __m256d hasb2 = _mm256_and_pd(validA, validB);
+
+    // Tail sample of the last cell starting at b:
+    //   finite hi: b >= hi ? hi : 0.5*(b+hi);   infinite: b + 1.0.
+    const __m256d mfin = _mm256_cmp_pd(_mm256_and_pd(hi, kAbsMask), kInfV,
+                                       _CMP_NEQ_OQ);
+    auto tail_sample = [&](__m256d b) {
+      const __m256d mid = _mm256_mul_pd(kHalf, _mm256_add_pd(b, hi));
+      const __m256d clamped =
+          Select(_mm256_cmp_pd(b, hi, _CMP_GE_OQ), hi, mid);
+      return Select(mfin, clamped, _mm256_add_pd(b, kOne));
+    };
+    const __m256d s0 = Select(hasb1, _mm256_mul_pd(kHalf, _mm256_add_pd(b0, b1)),
+                              tail_sample(b0));
+    const __m256d s1 = Select(hasb2, _mm256_mul_pd(kHalf, _mm256_add_pd(b1, b2)),
+                              tail_sample(b1));
+    const __m256d s2 = tail_sample(b2);
+
+    // Trimmed Horner, blended by degree (a degree-1 lane never runs the
+    // quadratic form, so infinite samples behave exactly as in scalar).
+    auto eval = [&](__m256d s) {
+      const __m256d evq = _mm256_add_pd(
+          _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(d2, s), d1), s), d0);
+      const __m256d evl = _mm256_add_pd(_mm256_mul_pd(d1, s), d0);
+      return Select(m2, evq, Select(m1, evl, d0));
+    };
+    const __m256d pos0 = _mm256_cmp_pd(eval(s0), kZero, _CMP_GT_OQ);
+    const __m256d pos1 = _mm256_and_pd(
+        hasb1, _mm256_cmp_pd(eval(s1), kZero, _CMP_GT_OQ));
+    const __m256d pos2 = _mm256_and_pd(
+        hasb2, _mm256_cmp_pd(eval(s2), kZero, _CMP_GT_OQ));
+
+    // First positive cell wins; no positive cell (or an identically zero
+    // difference, whose evals are all 0) leaves +inf.
+    __m256d res = kInfV;
+    res = Select(pos2, b2, res);
+    res = Select(pos1, b1, res);
+    res = Select(pos0, b0, res);
+    _mm256_storeu_pd(out + i, res);
+  }
+  for (; i < n; ++i) {
+    out[i] = FirstPositiveQuadCell(cells.d0[i], cells.d1[i], cells.d2[i],
+                                   cells.lo[i], cells.hi[i], tol);
+  }
+}
+
+}  // namespace modb
+
+#else  // !x86
+
+namespace modb {
+
+void FirstPositiveQuadBatchAvx2(const QuadCellBatch& cells, size_t n,
+                                double tol, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = FirstPositiveQuadCell(cells.d0[i], cells.d1[i], cells.d2[i],
+                                   cells.lo[i], cells.hi[i], tol);
+  }
+}
+
+}  // namespace modb
+
+#endif

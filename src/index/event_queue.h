@@ -2,6 +2,7 @@
 #define MODB_INDEX_EVENT_QUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -115,8 +116,55 @@ class SetEventQueue : public EventQueue {
   std::map<PairKey, SweepEvent> by_pair_;
 };
 
+// The sweep's workhorse: a 4-ary array min-heap indexed by the event's
+// *left* object. Lemma 9 keys events by adjacent pair, but the sweep only
+// ever queues an event for a pair (l, r) while r is l's current successor —
+// so each object is the left endpoint of at most one queued event, and a
+// dense slot per left object replaces the pair-keyed map of handles. No
+// per-node allocation, no tree rebalancing: Push/ErasePair are one hash
+// probe plus a short sift in a flat array. Requires the one-event-per-left
+// invariant (Push CHECK-fails on a second event for the same left object);
+// SweepState maintains it at every schedule site.
+class IndexedEventQueue : public EventQueue {
+ public:
+  void Push(const SweepEvent& event) override;
+  bool ErasePair(ObjectId left, ObjectId right) override;
+  bool HasPair(ObjectId left, ObjectId right) const override;
+  const SweepEvent& Min() const override;
+  SweepEvent PopMin() override;
+  void BulkBuild(std::vector<SweepEvent> events) override;
+  std::vector<SweepEvent> Snapshot() const override;
+  size_t size() const override { return heap_.size(); }
+  std::string name() const override { return "indexed"; }
+
+ private:
+  static constexpr uint32_t kArity = 4;
+
+  struct Slot {
+    SweepEvent event;
+    uint32_t heap_pos = 0;
+  };
+
+  bool Less(uint32_t a, uint32_t b) const {
+    return SweepEventLess()(slots_[a].event, slots_[b].event);
+  }
+  void MoveTo(uint32_t slot, uint32_t pos) {
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+  }
+  void SiftUp(uint32_t pos);
+  void SiftDown(uint32_t pos);
+  void RemoveAt(uint32_t pos);
+  uint32_t AllocSlot();
+
+  std::vector<uint32_t> heap_;   // Slot indices, heap-ordered by event.
+  std::vector<Slot> slots_;      // Stable storage; freed entries recycled.
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<ObjectId, uint32_t> slot_of_;  // left -> slot index.
+};
+
 // Which EventQueue implementation an engine should use.
-enum class EventQueueKind { kLeftist, kSet };
+enum class EventQueueKind { kLeftist, kSet, kIndexed };
 
 std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind);
 

@@ -59,7 +59,7 @@ class KnnKernel : public SweepListener {
 // full snapshot timeline.
 AnswerTimeline PastKnn(const MovingObjectDatabase& mod, GDistancePtr gdist,
                        size_t k, TimeInterval interval,
-                       EventQueueKind queue_kind = EventQueueKind::kLeftist);
+                       EventQueueKind queue_kind = EventQueueKind::kIndexed);
 
 // Direct O(N) snapshot evaluation at one instant — the trivially correct
 // reference the kernels are tested against. Ties at the k-th value admit

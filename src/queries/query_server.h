@@ -40,7 +40,7 @@ class QueryServer {
   // The server owns the MOD. `start_time` must be at or after the MOD's
   // last update time.
   QueryServer(MovingObjectDatabase mod, double start_time,
-              EventQueueKind queue_kind = EventQueueKind::kLeftist);
+              EventQueueKind queue_kind = EventQueueKind::kIndexed);
 
   // Registers standing queries. O(N log N) for the first query under a
   // key (builds the sweep); O(N) kernel attach for subsequent ones.

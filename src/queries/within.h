@@ -52,7 +52,7 @@ class WithinKernel : public SweepListener {
 AnswerTimeline PastWithin(const MovingObjectDatabase& mod, GDistancePtr gdist,
                           double threshold, TimeInterval interval,
                           ObjectId sentinel_oid = -1000,
-                          EventQueueKind queue_kind = EventQueueKind::kLeftist);
+                          EventQueueKind queue_kind = EventQueueKind::kIndexed);
 
 // Direct O(N) snapshot reference.
 std::set<ObjectId> SnapshotWithin(const MovingObjectDatabase& mod,

@@ -152,9 +152,15 @@ bool FaultInjectionEnv::NextOp(unsigned traits, FaultKind* kind) {
 
 Status FaultInjectionEnv::InjectedStatus(FaultKind kind,
                                          const std::string& what) {
+  // Snapshot under the lock: parallel per-shard commits share this env, so
+  // another thread's NextOp may be incrementing ops_seen_ right now.
+  uint64_t op;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = ops_seen_;
+  }
   return Status::Unavailable("injected " + std::string(FaultKindName(kind)) +
-                             " (op " + std::to_string(ops_seen_) + "): " +
-                             what);
+                             " (op " + std::to_string(op) + "): " + what);
 }
 
 void FaultInjectionEnv::RecordOpen(const std::string& path, WriteMode mode) {

@@ -130,11 +130,18 @@ TEST_P(EventQueueTest, RandomizedAgainstReference) {
 
 INSTANTIATE_TEST_SUITE_P(AllQueueKinds, EventQueueTest,
                          ::testing::Values(EventQueueKind::kLeftist,
-                                           EventQueueKind::kSet),
+                                           EventQueueKind::kSet,
+                                           EventQueueKind::kIndexed),
                          [](const auto& info) {
-                           return info.param == EventQueueKind::kLeftist
-                                      ? "Leftist"
-                                      : "Set";
+                           switch (info.param) {
+                             case EventQueueKind::kLeftist:
+                               return "Leftist";
+                             case EventQueueKind::kSet:
+                               return "Set";
+                             case EventQueueKind::kIndexed:
+                               return "Indexed";
+                           }
+                           return "Unknown";
                          });
 
 }  // namespace

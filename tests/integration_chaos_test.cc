@@ -139,7 +139,9 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosParams{22, 30, 3, 1.0, EventQueueKind::kLeftist},
         ChaosParams{33, 50, 5, 2.0, EventQueueKind::kLeftist},
         ChaosParams{44, 30, 3, 1.0, EventQueueKind::kSet},
-        ChaosParams{55, 25, 2, 4.0, EventQueueKind::kLeftist}),
+        ChaosParams{55, 25, 2, 4.0, EventQueueKind::kLeftist},
+        ChaosParams{66, 30, 3, 1.0, EventQueueKind::kIndexed},
+        ChaosParams{77, 50, 5, 2.0, EventQueueKind::kIndexed}),
     [](const auto& info) { return "Seed" + std::to_string(info.param.seed); });
 
 }  // namespace

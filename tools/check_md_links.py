@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Check relative markdown links in the repo's docs.
+"""Check relative markdown links (and their anchors) in the repo's docs.
 
 Stdlib-only: scans every tracked *.md file for [text](target) links,
 resolves relative targets against the file's directory, and fails if the
 target file (or directory) does not exist. External links (scheme://,
-mailto:) and pure in-page anchors (#...) are skipped; an anchor suffix on
-a relative link is stripped before the existence check.
+mailto:) are skipped.
+
+Anchors are validated too: a pure in-page link (#section) must match a
+heading in the same file, and a `file.md#section` link must match a
+heading in the target file. Heading slugs follow GitHub's rules
+(lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+suffixed -1, -2, ...); headings inside fenced code blocks are ignored.
 
 Usage: tools/check_md_links.py [repo_root]
 Exit code 0 = all links resolve; 1 = at least one broken link (listed).
@@ -16,6 +21,8 @@ import re
 import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = {".git", "build", "build-asan", ".github"}
 
@@ -28,21 +35,69 @@ def md_files(root):
                 yield os.path.join(dirpath, name)
 
 
+def github_slug(text, seen):
+    """GitHub-style heading slug, deduplicated against `seen` (a dict)."""
+    # Inline markup contributes only its text to the slug.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.replace("`", "").replace("*", "")
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+_ANCHOR_CACHE = {}
+
+
+def anchors_of(path):
+    """Set of valid #fragments for a markdown file (cached)."""
+    if path in _ANCHOR_CACHE:
+        return _ANCHOR_CACHE[path]
+    anchors = set()
+    seen = {}
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if match:
+                    anchors.add(github_slug(match.group(2), seen))
+    except OSError:
+        pass
+    _ANCHOR_CACHE[path] = anchors
+    return anchors
+
+
 def check_file(path, root):
     broken = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             for match in LINK_RE.finditer(line):
-                target = match.group(1)
-                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                raw = match.group(1)
+                if raw.startswith(SKIP_PREFIXES):
                     continue
-                target = target.split("#", 1)[0]
-                if not target:
+                target, _, fragment = raw.partition("#")
+                if not target:  # Pure in-page anchor: #section.
+                    if fragment and fragment not in anchors_of(path):
+                        broken.append((lineno, raw, "no such heading"))
                     continue
                 resolved = os.path.normpath(
                     os.path.join(os.path.dirname(path), target))
                 if not os.path.exists(resolved):
-                    broken.append((lineno, match.group(1), resolved))
+                    broken.append((lineno, raw, f"resolved to {resolved}"))
+                    continue
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in anchors_of(resolved):
+                        broken.append(
+                            (lineno, raw,
+                             f"no heading '#{fragment}' in {resolved}"))
     return broken
 
 
@@ -52,10 +107,9 @@ def main():
     checked = 0
     for path in sorted(md_files(root)):
         checked += 1
-        for lineno, target, resolved in check_file(path, root):
+        for lineno, target, why in check_file(path, root):
             rel = os.path.relpath(path, root)
-            print(f"{rel}:{lineno}: broken link '{target}' "
-                  f"(resolved to {resolved})")
+            print(f"{rel}:{lineno}: broken link '{target}' ({why})")
             failures += 1
     print(f"checked {checked} markdown files, {failures} broken link(s)")
     return 1 if failures else 0
