@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/modb_metrics.h"
+#include "obs/query_cost.h"
 #include "obs/trace.h"
 
 namespace modb {
@@ -20,6 +21,25 @@ void AnswerTimeline::Record(double time, std::set<ObjectId> answer) {
   obs::M().answer_changes->Increment();
   obs::TraceInstant(obs::SpanName::kAnswerChange, obs::kTraceNoId, time,
                     answer.size(), /*coarse=*/true);
+  if (cost_ != nullptr) {
+    cost_->answer_changes.fetch_add(1, std::memory_order_relaxed);
+    // Symmetric-difference size: sets are ordered, one linear walk.
+    uint64_t delta = 0;
+    auto a = pending_answer_.begin();
+    auto b = answer.begin();
+    while (a != pending_answer_.end() && b != answer.end()) {
+      if (*a < *b) { ++delta; ++a; }
+      else if (*b < *a) { ++delta; ++b; }
+      else { ++a; ++b; }
+    }
+    delta += std::distance(a, pending_answer_.end());
+    delta += std::distance(b, answer.end());
+    cost_->answer_delta.fetch_add(delta, std::memory_order_relaxed);
+    const uint64_t trace = obs::CurrentTraceId();
+    if (trace != 0) {
+      cost_->last_change_trace.store(trace, std::memory_order_relaxed);
+    }
+  }
   if (time > pending_time_) {
     segments_.push_back(
         Segment{TimeInterval(pending_time_, time), pending_answer_});

@@ -10,6 +10,10 @@
 
 namespace modb {
 
+namespace obs {
+class CostCell;
+}  // namespace obs
+
 // The time-varying answer of an FO(f) query: a piecewise-constant function
 // from time to sets of objects. This is the finite representation of the
 // snapshot answer Q^s (§4); the existential (Q^∃) and universal (Q^∀)
@@ -58,6 +62,14 @@ class AnswerTimeline {
 
   std::string ToString() const;
 
+  // Cost-attribution sink: when set, each real answer change (the same
+  // condition modb.query.answer_changes counts) also charges the owning
+  // query's ledger cell: answer_changes, answer_delta (symmetric
+  // difference vs the previous set) and last_change_trace (the cascade's
+  // trace id, for db-trace replay). Kernels set this before their initial
+  // Record so the ledger reconciles exactly with the registry metric.
+  void SetCostSink(obs::CostCell* cost) { cost_ = cost; }
+
  private:
   double start_;
   double pending_time_;
@@ -66,6 +78,7 @@ class AnswerTimeline {
   bool explicit_mode_ = false;
   bool finished_ = false;
   std::vector<Segment> segments_;
+  obs::CostCell* cost_ = nullptr;
 };
 
 }  // namespace modb

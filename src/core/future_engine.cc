@@ -1,6 +1,8 @@
 #include "core/future_engine.h"
 
 #include "obs/modb_metrics.h"
+#include "obs/query_cost.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace modb {
@@ -22,6 +24,8 @@ void FutureQueryEngine::Start() {
   obs::TraceSpan span(obs::SpanName::kEngineStart, obs::kTraceNoId,
                       state_->now(), mod_.objects().size());
   obs::ScopedTimer timer(obs::M().future_start_seconds);
+  obs::CostCell* cost = state_->cost_sink();
+  const uint64_t wall_start = cost != nullptr ? obs::TraceNowMicros() : 0;
   for (const auto& [oid, trajectory] : mod_.objects()) {
     // An object terminated at or before the start time has already ceased:
     // its erase "event" (the terminate update, in live operation) is in the
@@ -34,11 +38,23 @@ void FutureQueryEngine::Start() {
       state_->InsertObject(oid, trajectory);
     }
   }
+  if (cost != nullptr) {
+    cost->wall_micros.fetch_add(obs::TraceNowMicros() - wall_start,
+                                std::memory_order_relaxed);
+  }
 }
 
 void FutureQueryEngine::AdvanceTo(double t) {
   MODB_CHECK(started_);
+  obs::CostCell* cost = state_->cost_sink();
+  if (cost == nullptr) {
+    state_->AdvanceTo(t);
+    return;
+  }
+  const uint64_t wall_start = obs::TraceNowMicros();
   state_->AdvanceTo(t);
+  cost->wall_micros.fetch_add(obs::TraceNowMicros() - wall_start,
+                              std::memory_order_relaxed);
 }
 
 Status FutureQueryEngine::ApplyUpdate(const Update& update) {
@@ -51,6 +67,8 @@ Status FutureQueryEngine::ApplyUpdate(const Update& update) {
   obs::TraceSpan span(obs::SpanName::kUpdateApply, update.oid, update.time,
                       static_cast<uint64_t>(update.kind));
   obs::ScopedTimer timer(metrics.future_update_seconds);
+  obs::CostCell* cost = state_->cost_sink();
+  const uint64_t wall_start = cost != nullptr ? obs::TraceNowMicros() : 0;
   const uint64_t m_before = state_->stats().SupportChanges();
   // Commit every support change the old motion produces up to and
   // including the update instant (trajectories are continuous, so pre- and
@@ -76,15 +94,45 @@ Status FutureQueryEngine::ApplyUpdate(const Update& update) {
   state_->AdvanceTo(update.time);
   metrics.future_update_support_changes->Observe(
       static_cast<double>(state_->stats().SupportChanges() - m_before));
+  if (cost != nullptr) {
+    cost->updates.fetch_add(1, std::memory_order_relaxed);
+    cost->wall_micros.fetch_add(obs::TraceNowMicros() - wall_start,
+                                std::memory_order_relaxed);
+  }
   return Status::Ok();
 }
 
 void FutureQueryEngine::ChangeQueryGDistance(GDistancePtr gdist) {
   MODB_CHECK(started_);
+  // A query-chdir rebuilds every curve (Theorem 10) — the costliest single
+  // operation an engine runs — so it always gets its own span (the
+  // internal kSweepRebuild becomes a child) and a slow-log offer carrying
+  // that span's trace id for db-trace replay. The extra clock reads are
+  // noise against the O(N) rebuild itself.
+  obs::TraceSpan span(obs::SpanName::kQueryChdir, obs::kTraceNoId,
+                      state_->now(), state_->size());
+  const uint64_t wall_start = obs::TraceNowMicros();
+  const SweepStats before = state_->stats();
   // Resolve trajectories straight out of the MOD: only objects alive in the
   // sweep are looked up, and nothing is copied for the rebuild.
   state_->ReplaceGDistance(std::move(gdist),
                            [this](ObjectId oid) { return mod_.Find(oid); });
+  const uint64_t wall = obs::TraceNowMicros() - wall_start;
+  obs::CostCell* cost = state_->cost_sink();
+  if (cost != nullptr) {
+    cost->wall_micros.fetch_add(wall, std::memory_order_relaxed);
+  }
+  obs::SlowUpdateRecord record;
+  record.trace_id = span.trace_id();
+  record.oid = 0;
+  record.kind = obs::kChdirKind;
+  record.model_time = state_->now();
+  record.wall_micros = wall;
+  record.support_changes =
+      state_->stats().SupportChanges() - before.SupportChanges();
+  record.crossings = state_->stats().crossings_computed -
+                     before.crossings_computed;
+  obs::SlowLog::Global().Offer(record);
 }
 
 }  // namespace modb

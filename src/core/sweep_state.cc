@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/query_cost.h"
 #include "obs/trace.h"
 
 namespace modb {
@@ -115,6 +116,9 @@ void SweepState::NoteOrderShape() {
 void SweepState::CancelPair(ObjectId left, ObjectId right) {
   if (queue_->ErasePair(left, right)) {
     metrics_->sweep_events_cancelled->Increment();
+    if (cost_ != nullptr) {
+      cost_->cancels.fetch_add(1, std::memory_order_relaxed);
+    }
     obs::TraceInstant(obs::SpanName::kSweepCancel, left, now_,
                       static_cast<uint64_t>(right), /*coarse=*/true);
   }
@@ -124,6 +128,9 @@ std::optional<SweepEvent> SweepState::ComputePairEvent(ObjectId left,
                                                        ObjectId right) {
   ++stats_.crossings_computed;
   metrics_->sweep_crossings_computed->Increment();
+  if (cost_ != nullptr) {
+    cost_->crossings.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::optional<double> crossing =
       EntryFirstCrossing(curves_.at(left), curves_.at(right));
   if (!crossing.has_value()) return std::nullopt;
@@ -135,6 +142,9 @@ void SweepState::SchedulePair(ObjectId left, ObjectId right) {
   if (event.has_value()) {
     queue_->Push(*event);
     metrics_->sweep_events_scheduled->Increment();
+    if (cost_ != nullptr) {
+      cost_->schedules.fetch_add(1, std::memory_order_relaxed);
+    }
     obs::TraceInstant(obs::SpanName::kSweepSchedule, left, event->time,
                       static_cast<uint64_t>(right), /*coarse=*/true);
     NoteQueueLength();
@@ -166,6 +176,10 @@ void SweepState::SchedulePairs(const std::pair<ObjectId, ObjectId>* pairs,
   for (size_t i = 0; i < n; ++i) {
     metrics_->sweep_crossings_computed->Increment();
   }
+  if (cost_ != nullptr) {
+    cost_->crossings.fetch_add(n, std::memory_order_relaxed);
+    cost_->batch_lanes.fetch_add(n, std::memory_order_relaxed);
+  }
   FirstCrossingBatch(pool_, batch_refs_.data(), n, now_, horizon_,
                      root_options_, batch_out_.data(), &batch_scratch_);
   // Replay pushes in pair order: same queue contents, metrics and trace
@@ -174,6 +188,9 @@ void SweepState::SchedulePairs(const std::pair<ObjectId, ObjectId>* pairs,
     if (batch_out_[i] == kInf) continue;
     queue_->Push(SweepEvent{batch_out_[i], pairs[i].first, pairs[i].second});
     metrics_->sweep_events_scheduled->Increment();
+    if (cost_ != nullptr) {
+      cost_->schedules.fetch_add(1, std::memory_order_relaxed);
+    }
     obs::TraceInstant(obs::SpanName::kSweepSchedule, pairs[i].first,
                       batch_out_[i], static_cast<uint64_t>(pairs[i].second),
                       /*coarse=*/true);
@@ -209,6 +226,9 @@ void SweepState::InsertObject(ObjectId oid, const Trajectory& trajectory) {
   ++stats_.inserts;
   metrics_->sweep_inserts->Increment();
   metrics_->sweep_support_changes->Increment();
+  if (cost_ != nullptr) {
+    cost_->inserts.fetch_add(1, std::memory_order_relaxed);
+  }
   NoteOrderShape();
   for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
   RunPostEventHook();
@@ -238,6 +258,9 @@ void SweepState::InsertSentinel(ObjectId oid, double value) {
   ++stats_.inserts;
   metrics_->sweep_inserts->Increment();
   metrics_->sweep_support_changes->Increment();
+  if (cost_ != nullptr) {
+    cost_->inserts.fetch_add(1, std::memory_order_relaxed);
+  }
   NoteOrderShape();
   for (SweepListener* listener : listeners_) listener->OnInsert(now_, oid);
   RunPostEventHook();
@@ -261,6 +284,9 @@ void SweepState::EraseObject(ObjectId oid) {
   ++stats_.erases;
   metrics_->sweep_erases->Increment();
   metrics_->sweep_support_changes->Increment();
+  if (cost_ != nullptr) {
+    cost_->erases.fetch_add(1, std::memory_order_relaxed);
+  }
   metrics_->sweep_order_size->Set(static_cast<int64_t>(order_.size()));
   for (SweepListener* listener : listeners_) listener->OnErase(now_, oid);
   RunPostEventHook();
@@ -297,6 +323,9 @@ void SweepState::ReplaceCurve(ObjectId oid, const Trajectory& trajectory) {
 
   ++stats_.curve_rebuilds;
   metrics_->sweep_curve_rebuilds->Increment();
+  if (cost_ != nullptr) {
+    cost_->curve_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  }
   for (SweepListener* listener : listeners_) {
     listener->OnCurveChanged(now_, oid);
   }
@@ -334,6 +363,9 @@ void SweepState::ReplaceGDistance(
     entry = std::move(rebuilt);
     ++stats_.curve_rebuilds;
     metrics_->sweep_curve_rebuilds->Increment();
+    if (cost_ != nullptr) {
+      cost_->curve_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // Recompute one event per adjacent pair and bulk-build the queue: O(N)
   // heap work. When every curve is pooled — the common case — all N-1
@@ -360,6 +392,10 @@ void SweepState::ReplaceGDistance(
       stats_.crossings_computed += n;
       for (size_t i = 0; i < n; ++i) {
         metrics_->sweep_crossings_computed->Increment();
+      }
+      if (cost_ != nullptr) {
+        cost_->crossings.fetch_add(n, std::memory_order_relaxed);
+        cost_->batch_lanes.fetch_add(n, std::memory_order_relaxed);
       }
       FirstCrossingBatch(pool_, batch_refs_.data(), n, now_, horizon_,
                          root_options_, batch_out_.data(), &batch_scratch_);
@@ -427,6 +463,9 @@ void SweepState::ProcessEvent(const SweepEvent& event) {
   ++stats_.swaps;
   metrics_->sweep_swaps->Increment();
   metrics_->sweep_support_changes->Increment();
+  if (cost_ != nullptr) {
+    cost_->swaps.fetch_add(1, std::memory_order_relaxed);
+  }
   for (SweepListener* listener : listeners_) {
     listener->OnSwap(now_, left, right);
   }

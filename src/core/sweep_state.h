@@ -21,6 +21,10 @@
 
 namespace modb {
 
+namespace obs {
+class CostCell;
+}  // namespace obs
+
 // Receives the support changes the sweep discovers, in time order. The
 // support (§5) is the minimal set of true order atoms between consecutive
 // objects in the precedence relation; it changes exactly at these hooks.
@@ -172,6 +176,15 @@ class SweepState {
   // The arena every pooled curve lives in (introspection / tests).
   const PolySegPool& pool() const { return pool_; }
 
+  // Cost-attribution sink: when set, every mutation site also charges the
+  // cell (relaxed adds; batched paths charge fetch_add(n)). The sweep is
+  // shared by every query in its engine group, so the sink is the GROUP
+  // cell of a QueryCostLedger. Null (the default) disables attribution —
+  // each site pays one predicted branch. Not owned; must outlive the
+  // state or be reset to null first.
+  void SetCostSink(obs::CostCell* cost) { cost_ = cost; }
+  obs::CostCell* cost_sink() const { return cost_; }
+
  private:
   // A curve is either a run of segments in the SOA pool (every builtin
   // polynomial g-distance of degree <= 2 — the common case, and the only
@@ -235,6 +248,8 @@ class SweepState {
   // Cached at construction: mutation sites bump the process-wide metrics
   // with one relaxed atomic op, no registry lookup on the hot path.
   obs::ModbMetrics* metrics_;
+  // Cost-attribution sink (see SetCostSink); null disables.
+  obs::CostCell* cost_ = nullptr;
   // Registered while the state lives; removed (after one last refresh)
   // by the destructor so post-teardown renders see final values.
   uint64_t refresh_hook_id_;

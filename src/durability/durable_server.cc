@@ -7,6 +7,7 @@
 #include "gdist/builtin.h"
 #include "obs/flight_recorder.h"
 #include "obs/modb_metrics.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace fs = std::filesystem;
@@ -168,6 +169,10 @@ Status DurableQueryServer::Degrade(const Status& cause) {
     (void)obs::FlightRecorder::Global().DumpToFile(dir_ +
                                                    "/flight-recorder.json");
     obs::FlightRecorder::Global().AutoDump();
+    // The slow-update log rides along: the K costliest cascades, each
+    // with a trace id replayable against the dump above.
+    (void)obs::SlowLog::Global().DumpToFile(dir_ + "/slow-log.json");
+    obs::SlowLog::Global().AutoDump();
   }
   return Status::Unavailable(
       "durability failure, server is now read-only (reopen to recover): " +
@@ -412,6 +417,35 @@ const std::set<ObjectId>& DurableQueryServer::Answer(QueryId id) const {
 
 const AnswerTimeline& DurableQueryServer::Timeline(QueryId id) const {
   return server_.Timeline(public_to_internal_.at(id));
+}
+
+obs::QueryCostReport DurableQueryServer::ExplainQuery(QueryId id) const {
+  auto it = public_to_internal_.find(id);
+  if (it == public_to_internal_.end()) {
+    obs::QueryCostReport report;
+    report.query_id = id;
+    return report;  // found == false.
+  }
+  obs::QueryCostReport report = server_.ExplainQuery(it->second);
+  report.query_id = id;  // Reports speak public (durable) ids.
+  return report;
+}
+
+std::vector<obs::TopEntry> DurableQueryServer::TopQueries() const {
+  // Internal ledger rows for removed queries have no public id anymore;
+  // only the live mapping is reportable at this layer.
+  std::map<QueryId, QueryId> internal_to_public;
+  for (const auto& [pub, internal] : public_to_internal_) {
+    internal_to_public[internal] = pub;
+  }
+  std::vector<obs::TopEntry> out;
+  for (obs::TopEntry& entry : server_.TopQueries()) {
+    auto it = internal_to_public.find(entry.id);
+    if (it == internal_to_public.end()) continue;
+    entry.id = it->second;
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 Status DurableQueryServer::Flush() {

@@ -164,6 +164,15 @@ class DurableQueryServer {
   const std::set<ObjectId>& Answer(QueryId id) const;
   const AnswerTimeline& Timeline(QueryId id) const;
 
+  // Cost report by durable public id (found == false if the id was never
+  // registered this process lifetime; ledger rows start from zero at
+  // reopen while the public id keeps naming the same query). The report's
+  // query_id is the public id.
+  obs::QueryCostReport ExplainQuery(QueryId id) const;
+  // TopEntries for the LIVE registered queries, ids remapped to public
+  // ids, unsorted (rank with obs::SortTop).
+  std::vector<obs::TopEntry> TopQueries() const;
+
   // Makes everything appended so far durable (fsync), regardless of the
   // configured sync policy. A failure degrades the server (fail-stop).
   Status Flush();

@@ -256,6 +256,36 @@ std::string EscapedJson(const std::string& text) {
 
 }  // namespace
 
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, uint64_t count,
+                         double q) {
+  if (count == 0 || bounds.empty() || buckets.size() != bounds.size() + 1) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The observation of rank r (1-based) is the quantile; rank q*count,
+  // rounded up so q = 1 names the last observation.
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket < target || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds.size()) break;  // Overflow bucket: clamp below.
+    const double upper = bounds[i];
+    const double lower = i == 0 ? (bounds[0] > 0.0 ? 0.0 : bounds[0])
+                                : bounds[i - 1];
+    const double fraction = (target - cumulative) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  // Rank falls in the overflow bucket (or floating slop): the histogram
+  // cannot see past its last bound.
+  return bounds.back();
+}
+
 std::string RenderText(const std::vector<MetricSnapshot>& snapshot) {
   std::ostringstream out;
   for (const MetricSnapshot& metric : snapshot) {
@@ -281,6 +311,17 @@ std::string RenderText(const std::vector<MetricSnapshot>& snapshot) {
             out << "+inf";
           }
           out << ": " << metric.bucket_counts[i];
+        }
+        if (metric.count > 0) {
+          out << "\n    p50 "
+              << FormatDouble(HistogramQuantile(
+                     metric.bounds, metric.bucket_counts, metric.count, 0.50))
+              << ", p95 "
+              << FormatDouble(HistogramQuantile(
+                     metric.bounds, metric.bucket_counts, metric.count, 0.95))
+              << ", p99 "
+              << FormatDouble(HistogramQuantile(
+                     metric.bounds, metric.bucket_counts, metric.count, 0.99));
         }
         break;
     }
@@ -316,7 +357,15 @@ std::string RenderJson(const std::vector<MetricSnapshot>& snapshot,
         for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
           out << (i == 0 ? "" : ", ") << metric.bucket_counts[i];
         }
-        out << "]";
+        out << "], \"p50\": "
+            << FormatDouble(HistogramQuantile(
+                   metric.bounds, metric.bucket_counts, metric.count, 0.50))
+            << ", \"p95\": "
+            << FormatDouble(HistogramQuantile(
+                   metric.bounds, metric.bucket_counts, metric.count, 0.95))
+            << ", \"p99\": "
+            << FormatDouble(HistogramQuantile(
+                   metric.bounds, metric.bucket_counts, metric.count, 0.99));
         break;
       }
     }

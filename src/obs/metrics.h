@@ -202,6 +202,16 @@ class MetricsRegistry {
   Entry* Find(const std::string& name);
 };
 
+// Prometheus-style interpolated quantile estimate from histogram buckets:
+// finds the bucket holding rank q*count and interpolates linearly inside
+// it (the first bucket's lower edge is 0 when bounds[0] > 0, else
+// bounds[0]; ranks landing in the overflow bucket clamp to the last
+// bound). `buckets` has bounds.size() + 1 entries, `count` their total.
+// Returns 0 when count is 0. `q` in [0, 1].
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, uint64_t count,
+                         double q);
+
 // Renders one snapshot list (the registry's ToText/ToJson use these; the
 // CLI renders filtered snapshots with them too).
 std::string RenderText(const std::vector<MetricSnapshot>& snapshot);

@@ -226,6 +226,24 @@ ModbMetrics Register() {
       "Shards truncated back to the consistent epoch cut during sharded "
       "recovery (the shard ran ahead of a crash-interrupted commit).");
 
+  // Cost attribution (QueryCostLedger + SlowLog).
+  m.cost_groups = r.RegisterGauge(
+      "modb.cost.groups", "groups",
+      "Engine-group rows ever created in query-cost ledgers (rows are "
+      "tombstoned, never freed).");
+  m.cost_queries = r.RegisterGauge(
+      "modb.cost.queries", "queries",
+      "Live per-query rows in query-cost ledgers (retired queries leave "
+      "their rows behind but stop counting here).");
+  m.slowlog_offers = r.RegisterCounter(
+      "modb.slowlog.offers", "updates",
+      "Updates/chdir cascades offered to the slow-update log (every "
+      "instrumented engine entry point offers).");
+  m.slowlog_admits = r.RegisterCounter(
+      "modb.slowlog.admits", "updates",
+      "Offers costly enough to enter the slow-update ring (displacing "
+      "the current cheapest entry once the ring is full).");
+
   return m;
 }
 

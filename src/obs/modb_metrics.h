@@ -86,6 +86,12 @@ struct ModbMetrics {
   Gauge* shard_degraded;
   Counter* shard_epoch_durable;
   Counter* shard_epoch_rollbacks;
+
+  // ---- cost attribution (src/obs/query_cost, src/obs/slow_log) ----
+  Gauge* cost_groups;
+  Gauge* cost_queries;
+  Counter* slowlog_offers;
+  Counter* slowlog_admits;
 };
 
 // The process-wide instance; registers everything on first call.

@@ -1,0 +1,164 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/modb_metrics.h"
+#include "obs/trace.h"
+
+namespace modb {
+namespace obs {
+
+namespace {
+
+bool Costlier(const SlowUpdateRecord& a, const SlowUpdateRecord& b) {
+  if (a.wall_micros != b.wall_micros) return a.wall_micros > b.wall_micros;
+  return a.seq < b.seq;
+}
+
+const char* KindString(int32_t kind) {
+  return kind == kChdirKind ? "chdir" : "update";
+}
+
+}  // namespace
+
+SlowLog& SlowLog::Global() {
+  static SlowLog* log = new SlowLog();
+  return *log;
+}
+
+SlowLog::SlowLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  records_.reserve(capacity_);
+}
+
+bool SlowLog::Offer(const SlowUpdateRecord& record) {
+  M().slowlog_offers->Increment();
+  // Fast path: once the ring is full, the floor is the cheapest retained
+  // cost — anything at or below it cannot be admitted, so don't lock.
+  const uint64_t floor = floor_micros_.load(std::memory_order_relaxed);
+  if (floor != 0 && record.wall_micros <= floor) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t victim = records_.size();
+  if (records_.size() >= capacity_) {
+    // Re-check under the lock (the floor read above may have raced).
+    size_t cheapest = 0;
+    for (size_t i = 1; i < records_.size(); ++i) {
+      if (Costlier(records_[cheapest], records_[i])) cheapest = i;
+    }
+    if (record.wall_micros <= records_[cheapest].wall_micros) return false;
+    victim = cheapest;
+  }
+  SlowUpdateRecord admitted = record;
+  admitted.seq = next_seq_++;
+  if (victim == records_.size()) {
+    records_.push_back(admitted);
+  } else {
+    records_[victim] = admitted;
+  }
+  if (records_.size() >= capacity_) {
+    uint64_t new_floor = records_[0].wall_micros;
+    for (const SlowUpdateRecord& r : records_) {
+      new_floor = std::min(new_floor, r.wall_micros);
+    }
+    floor_micros_.store(new_floor, std::memory_order_relaxed);
+  }
+  M().slowlog_admits->Increment();
+  TraceInstant(SpanName::kSlowAdmit, admitted.oid, admitted.model_time,
+               admitted.wall_micros);
+  return true;
+}
+
+std::vector<SlowUpdateRecord> SlowLog::Snapshot() const {
+  std::vector<SlowUpdateRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(), Costlier);
+  return out;
+}
+
+void SlowLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  floor_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::string SlowLog::ToText() const {
+  const std::vector<SlowUpdateRecord> records = Snapshot();
+  std::ostringstream out;
+  out << "slow-update log: " << records.size() << " of " << capacity_
+      << " slots\n";
+  for (const SlowUpdateRecord& r : records) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %8" PRIu64 " us  %-6s oid=%" PRId64
+                  " kind=%d t=%.6g m=%" PRIu64 " crossings=%" PRIu64
+                  " trace=%" PRIu64,
+                  r.wall_micros, KindString(r.kind), r.oid, r.kind,
+                  r.model_time, r.support_changes, r.crossings, r.trace_id);
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+void SlowLog::WriteJson(std::ostream& out) const {
+  const std::vector<SlowUpdateRecord> records = Snapshot();
+  out << "{\"slowLog\": [";
+  bool first = true;
+  for (const SlowUpdateRecord& r : records) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "{\"seq\": %" PRIu64 ", \"traceId\": %" PRIu64
+                  ", \"oid\": %" PRId64 ", \"kind\": %d, \"kindName\": "
+                  "\"%s\", \"modelTime\": %.17g, \"wallMicros\": %" PRIu64
+                  ", \"supportChanges\": %" PRIu64 ", \"crossings\": %" PRIu64
+                  "}",
+                  r.seq, r.trace_id, r.oid, r.kind, KindString(r.kind),
+                  std::isnan(r.model_time) ? 0.0 : r.model_time,
+                  r.wall_micros, r.support_changes, r.crossings);
+    out << line;
+  }
+  out << (first ? "]}" : "\n]}") << "\n";
+}
+
+std::string SlowLog::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+Status SlowLog::DumpToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Unavailable("cannot write " + path);
+  WriteJson(out);
+  out.flush();
+  if (!out) return Status::Unavailable("short write to " + path);
+  return Status::Ok();
+}
+
+void SlowLog::SetAutoDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_dump_path_ = std::move(path);
+}
+
+std::string SlowLog::auto_dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_dump_path_;
+}
+
+std::string SlowLog::AutoDump() {
+  const std::string path = auto_dump_path();
+  if (path.empty()) return "";
+  return DumpToFile(path).ok() ? path : "";
+}
+
+}  // namespace obs
+}  // namespace modb

@@ -1,0 +1,102 @@
+#ifndef MODB_OBS_SLOW_LOG_H_
+#define MODB_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modb {
+namespace obs {
+
+// The slow-update log: a fixed-size ring of the K costliest updates and
+// query-chdir cascades the process has seen. The flight recorder
+// (flight_recorder.h) answers "what happened around the failure"; this
+// log answers "which updates were expensive, ever" — each record carries
+// the trace id of its cascade, so `modb_cli db-trace` can replay the
+// exact Lemma 7 repair tree of a slow update if it is still in the ring.
+//
+// Admission is by cost (wall microseconds), not recency: an offer beats
+// the cheapest retained record or it is dropped. The fast path — taken
+// by every instrumented engine entry point — is one relaxed load of the
+// admission floor plus a compare, so updates cheaper than the current
+// floor (the overwhelming majority, by construction) never touch the
+// mutex.
+
+// One admitted update/chdir cascade.
+struct SlowUpdateRecord {
+  uint64_t seq = 0;           // Admission order (monotonic, process-wide).
+  uint64_t trace_id = 0;      // Cascade's trace id (db-trace replay key).
+  int64_t oid = 0;            // Object updated, or query id for chdir.
+  int32_t kind = -1;          // UpdateKind as int; kChdirKind for chdir.
+  double model_time = 0.0;    // Model time of the update.
+  uint64_t wall_micros = 0;   // Cost: wall time of the cascade.
+  uint64_t support_changes = 0;  // Support changes m charged.
+  uint64_t crossings = 0;        // Crossing computations performed.
+};
+
+// `kind` value marking a query-chdir cascade (UpdateKind values are
+// non-negative).
+inline constexpr int32_t kChdirKind = -1;
+
+class SlowLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 32;
+
+  // The process-wide instance (capacity kDefaultCapacity).
+  static SlowLog& Global();
+
+  explicit SlowLog(size_t capacity = kDefaultCapacity);
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Offers a cascade. Cheap offers (wall_micros below the current
+  // admission floor with the ring full) return false without locking.
+  bool Offer(const SlowUpdateRecord& record);
+
+  // Retained records, costliest first (ties: admission order). Thread-safe.
+  std::vector<SlowUpdateRecord> Snapshot() const;
+
+  // Drops every record and resets the admission floor (tests).
+  void Clear();
+
+  // ---- export ------------------------------------------------------------
+
+  std::string ToText() const;
+  // {"slowLog": [{"seq": ..., "traceId": ..., "oid": ..., "kind": ...,
+  //               "modelTime": ..., "wallMicros": ..., "supportChanges": ...,
+  //               "crossings": ...}, ...]}  — one record per line.
+  std::string ToJson() const;
+  void WriteJson(std::ostream& out) const;
+  Status DumpToFile(const std::string& path) const;
+
+  // ---- failure auto-dump (mirrors FlightRecorder) ------------------------
+  void SetAutoDumpPath(std::string path);
+  std::string auto_dump_path() const;
+  // Dumps to the configured path; returns the path written or "" when
+  // disabled or the write failed (failure paths stay best-effort).
+  std::string AutoDump();
+
+ private:
+  size_t capacity_;
+  // Admission floor: the cheapest retained record's wall_micros once the
+  // ring is full, else 0. Relaxed — a stale read only costs one harmless
+  // trip through the mutex (or drops a borderline record, which a lossy
+  // diagnostic ring tolerates).
+  std::atomic<uint64_t> floor_micros_{0};
+  mutable std::mutex mu_;
+  std::vector<SlowUpdateRecord> records_;  // Unordered; sorted on read.
+  uint64_t next_seq_ = 1;
+  std::string auto_dump_path_;
+};
+
+}  // namespace obs
+}  // namespace modb
+
+#endif  // MODB_OBS_SLOW_LOG_H_

@@ -36,6 +36,7 @@ constexpr SpanNameInfo kSpanNames[] = {
     {"query.register", false},
     {"update.apply", false},
     {"engine.start", false},
+    {"query.chdir", false},
     {"past.run", false},
     {"shard.dispatch", false},
     {"shard.merge", false},
@@ -51,6 +52,7 @@ constexpr SpanNameInfo kSpanNames[] = {
     {"degraded.entry", true},
     {"audit.violation", true},
     {"fuzz.failure", true},
+    {"slowlog.admit", true},
 };
 static_assert(sizeof(kSpanNames) / sizeof(kSpanNames[0]) == kSpanNameCount,
               "kSpanNames must cover every SpanName value");

@@ -52,6 +52,7 @@ enum class SpanName : uint8_t {
   kQueryRegister,   // query.register  QueryServer::AddKnn/AddWithin
   kUpdateApply,     // update.apply    FutureQueryEngine::ApplyUpdate
   kEngineStart,     // engine.start    FutureQueryEngine::Start
+  kQueryChdir,      // query.chdir     FutureQueryEngine::ChangeQueryGDistance
   kPastRun,         // past.run        PastQueryEngine::Run
   kShardDispatch,   // shard.dispatch  one per-shard pool task (apply/advance)
   kShardMerge,      // shard.merge     one cross-shard answer merge
@@ -68,11 +69,12 @@ enum class SpanName : uint8_t {
   kDegradedEntry,   // degraded.entry  durable server fail-stop transition
   kAuditViolation,  // audit.violation first AuditingObserver violation
   kFuzzFailure,     // fuzz.failure    modb_fuzz failure dump marker
+  kSlowAdmit,       // slowlog.admit   update admitted to the slow-update log
 };
 
 // One past the last SpanName value; AllSpanNames() iterates with it.
 inline constexpr uint8_t kSpanNameCount =
-    static_cast<uint8_t>(SpanName::kFuzzFailure) + 1;
+    static_cast<uint8_t>(SpanName::kSlowAdmit) + 1;
 
 // The exported event name ("durable.update", "sweep.swap", ...).
 const char* SpanNameString(SpanName name);

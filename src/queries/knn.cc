@@ -5,10 +5,13 @@
 
 namespace modb {
 
-KnnKernel::KnnKernel(SweepState* state, size_t k)
+KnnKernel::KnnKernel(SweepState* state, size_t k, obs::CostCell* cost)
     : state_(state), k_(k), timeline_(state->now()) {
   MODB_CHECK(state_ != nullptr);
   MODB_CHECK_GT(k, 0u);
+  // Before the initial Record, so the ledger sees every change the
+  // registry metric counts.
+  timeline_.SetCostSink(cost);
   state_->AddListener(this);
   // Adopt any objects already present (kernels attached mid-sweep).
   for (size_t rank = 0; rank < k_; ++rank) {

@@ -23,8 +23,10 @@ namespace modb {
 // answer is ambiguous at tie instants; between ties the answers agree).
 class KnnKernel : public SweepListener {
  public:
-  // Attaches to `state` (not owned; must outlive the kernel).
-  KnnKernel(SweepState* state, size_t k);
+  // Attaches to `state` (not owned; must outlive the kernel). `cost`, when
+  // non-null, is this query's ledger cell: the timeline charges answer
+  // churn to it (see AnswerTimeline::SetCostSink).
+  KnnKernel(SweepState* state, size_t k, obs::CostCell* cost = nullptr);
   // Detaches from the state, so a kernel can be destroyed while the sweep
   // keeps running (standing-query removal).
   ~KnnKernel() override;

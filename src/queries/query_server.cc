@@ -1,6 +1,7 @@
 #include "queries/query_server.h"
 
 #include "obs/modb_metrics.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace modb {
@@ -29,6 +30,9 @@ QueryServer::EngineGroup& QueryServer::GroupFor(const std::string& key,
   EngineGroup group;
   group.engine = std::make_unique<FutureQueryEngine>(
       mod_, gdist, now_, kInf, queue_kind_);
+  // All sweep work this group does from here on is attributed to its
+  // ledger GROUP row (re-registration of a retired key reuses the row).
+  group.engine->state().SetCostSink(ledger_->GroupCell(key));
   auto [inserted, ok] = engines_.emplace(key, std::move(group));
   MODB_CHECK(ok);
   return inserted->second;
@@ -41,8 +45,10 @@ QueryId QueryServer::AddKnn(const std::string& gdist_key, GDistancePtr gdist,
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
   const QueryId id = next_id_++;
+  obs::CostCell* cost =
+      ledger_->AddQuery(id, gdist_key, /*is_knn=*/true, static_cast<double>(k));
   group.knn_kernels.emplace(
-      id, std::make_unique<KnnKernel>(&group.engine->state(), k));
+      id, std::make_unique<KnnKernel>(&group.engine->state(), k, cost));
   if (fresh) group.engine->Start();
   queries_[id] = QueryRef{gdist_key, /*is_knn=*/true};
   NoteServerShape(1, static_cast<int64_t>(engines_.size() - engines_before));
@@ -56,9 +62,11 @@ QueryId QueryServer::AddWithin(const std::string& gdist_key,
   EngineGroup& group = GroupFor(gdist_key, gdist);
   const bool fresh = !group.engine->started();
   const QueryId id = next_id_++;
+  obs::CostCell* cost =
+      ledger_->AddQuery(id, gdist_key, /*is_knn=*/false, threshold);
   group.within_kernels.emplace(
       id, std::make_unique<WithinKernel>(&group.engine->state(),
-                                         next_sentinel_--, threshold));
+                                         next_sentinel_--, threshold, cost));
   if (fresh) group.engine->Start();
   queries_[id] = QueryRef{gdist_key, /*is_knn=*/false};
   NoteServerShape(1, static_cast<int64_t>(engines_.size() - engines_before));
@@ -79,6 +87,7 @@ Status QueryServer::RemoveQuery(QueryId id) {
     group.within_kernels.erase(id);  // Dtor withdraws the sentinel.
   }
   queries_.erase(it);
+  ledger_->RetireQuery(id);
   int64_t engine_delta = 0;
   if (group.knn_kernels.empty() && group.within_kernels.empty()) {
     engines_.erase(group_it);
@@ -97,11 +106,25 @@ Status QueryServer::ApplyUpdate(const Update& update) {
   MODB_RETURN_IF_ERROR(mod_.Apply(update));
   obs::ModbMetrics& metrics = obs::M();
   metrics.server_updates->Increment();
+  const uint64_t wall_start = obs::TraceNowMicros();
+  const SweepStats before = TotalStats();
   for (auto& [key, group] : engines_) {
     MODB_RETURN_IF_ERROR(group.engine->ApplyUpdate(update));
     metrics.server_update_fanout->Increment();
   }
   now_ = update.time;
+  // Offer the whole fan-out cascade to the slow-update log (admission is
+  // one relaxed load + compare unless this update beats the floor).
+  const SweepStats after = TotalStats();
+  obs::SlowUpdateRecord record;
+  record.trace_id = span.trace_id();
+  record.oid = update.oid;
+  record.kind = static_cast<int32_t>(update.kind);
+  record.model_time = update.time;
+  record.wall_micros = obs::TraceNowMicros() - wall_start;
+  record.support_changes = after.SupportChanges() - before.SupportChanges();
+  record.crossings = after.crossings_computed - before.crossings_computed;
+  obs::SlowLog::Global().Offer(record);
   return Status::Ok();
 }
 
@@ -136,6 +159,52 @@ const AnswerTimeline& QueryServer::Timeline(QueryId id) const {
 void QueryServer::VisitEngines(
     const std::function<void(const std::string&, FutureQueryEngine&)>& fn) {
   for (auto& [key, group] : engines_) fn(key, *group.engine);
+}
+
+obs::QueryCostReport QueryServer::ExplainQuery(QueryId id) const {
+  obs::QueryCostReport report;
+  report.query_id = id;
+  obs::QueryCostLedger::QuerySnapshot query;
+  obs::QueryCostLedger::GroupSnapshot group;
+  if (!ledger_->FindQuery(id, &query, &group)) return report;
+  report.found = true;
+  report.live = query.live;
+  report.is_knn = query.is_knn;
+  report.param = query.param;
+  report.group_key = query.group_key;
+  report.group_live_queries = group.live_queries;
+  report.own = query.total;
+  report.own_window = query.window;
+  report.group = group.total;
+  report.group_window = group.window;
+  report.last_change_trace = query.total.last_change_trace;
+  if (query.live) report.answer_size = Answer(id).size();
+  return report;
+}
+
+std::vector<obs::TopEntry> QueryServer::TopQueries() const {
+  std::map<std::string, obs::QueryCostLedger::GroupSnapshot> groups;
+  for (obs::QueryCostLedger::GroupSnapshot& group : ledger_->Groups()) {
+    groups.emplace(group.key, std::move(group));
+  }
+  std::vector<obs::TopEntry> out;
+  for (const obs::QueryCostLedger::QuerySnapshot& query : ledger_->Queries()) {
+    const obs::QueryCostLedger::GroupSnapshot& group =
+        groups.at(query.group_key);
+    obs::TopEntry entry;
+    entry.id = query.id;
+    entry.is_knn = query.is_knn;
+    entry.param = query.param;
+    entry.group_key = query.group_key;
+    entry.live = query.live;
+    if (query.live) entry.answer_size = Answer(query.id).size();
+    entry.own = query.total;
+    entry.cost_score =
+        obs::CostScore(query.total, group.total, group.live_queries);
+    entry.churn_score = obs::ChurnScore(query.total);
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 SweepStats QueryServer::TotalStats() const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/future_engine.h"
+#include "obs/query_cost.h"
 #include "queries/knn.h"
 #include "queries/within.h"
 
@@ -87,6 +88,24 @@ class QueryServer {
   // copy); recovery and checkpointing read it.
   const MovingObjectDatabase& mod() const { return mod_; }
 
+  // ---- cost attribution (docs/QUERYCOST.md) ------------------------------
+
+  // The per-server cost ledger: one GROUP row per engine group (charged by
+  // the shared sweep) and one QUERY row per registered query (answer
+  // churn, sentinel swaps). Rows survive query removal as tombstones.
+  const obs::QueryCostLedger& cost_ledger() const { return *ledger_; }
+  obs::QueryCostLedger& cost_ledger() { return *ledger_; }
+
+  // Structured cost report for `id` (found == false if the id was never
+  // registered; removed queries still report their accumulated costs).
+  // Deterministic for a deterministic workload once timing columns are
+  // excluded in rendering.
+  obs::QueryCostReport ExplainQuery(QueryId id) const;
+
+  // One TopEntry per query ever registered, unsorted (rank with
+  // obs::SortTop). Scores are event-based and deterministic.
+  std::vector<obs::TopEntry> TopQueries() const;
+
  private:
   struct EngineGroup {
     std::unique_ptr<FutureQueryEngine> engine;
@@ -107,6 +126,10 @@ class QueryServer {
   std::map<QueryId, QueryRef> queries_;
   QueryId next_id_ = 0;
   ObjectId next_sentinel_ = -1000000;
+  // Heap-owned so the server stays movable (the ledger holds a mutex) and
+  // cached CostCell pointers survive a server move.
+  std::unique_ptr<obs::QueryCostLedger> ledger_ =
+      std::make_unique<obs::QueryCostLedger>();
 };
 
 }  // namespace modb

@@ -1,16 +1,22 @@
 #include "queries/within.h"
 
+#include "obs/query_cost.h"
+
 namespace modb {
 
 WithinKernel::WithinKernel(SweepState* state, ObjectId sentinel_oid,
-                           double threshold)
+                           double threshold, obs::CostCell* cost)
     : state_(state),
       sentinel_(sentinel_oid),
       threshold_(threshold),
-      timeline_(state->now()) {
+      timeline_(state->now()),
+      cost_(cost) {
   MODB_CHECK(state_ != nullptr);
   MODB_CHECK(!state_->ContainsObject(sentinel_oid))
       << "sentinel OID collides with an object";
+  // Before the initial Record, so the ledger sees every change the
+  // registry metric counts.
+  timeline_.SetCostSink(cost);
   state_->AddListener(this);
   state_->InsertSentinel(sentinel_oid, threshold);
   // Adopt objects already below the threshold (kernel attached mid-sweep).
@@ -31,10 +37,16 @@ WithinKernel::~WithinKernel() {
 void WithinKernel::OnSwap(double time, ObjectId left, ObjectId right) {
   if (right == sentinel_ && !state_->IsSentinel(left)) {
     // `left` rose above the threshold.
+    if (cost_ != nullptr) {
+      cost_->sentinel_swaps.fetch_add(1, std::memory_order_relaxed);
+    }
     current_.erase(left);
     timeline_.Record(time, current_);
   } else if (left == sentinel_ && !state_->IsSentinel(right)) {
     // `right` dropped below the threshold.
+    if (cost_ != nullptr) {
+      cost_->sentinel_swaps.fetch_add(1, std::memory_order_relaxed);
+    }
     current_.insert(right);
     timeline_.Record(time, current_);
   }

@@ -22,8 +22,12 @@ class WithinKernel : public SweepListener {
  public:
   // Attaches to `state` and inserts a sentinel with `sentinel_oid` (an OID
   // that must not collide with any object). The state must already be at
-  // the time from which answers are wanted.
-  WithinKernel(SweepState* state, ObjectId sentinel_oid, double threshold);
+  // the time from which answers are wanted. `cost`, when non-null, is this
+  // query's ledger cell: the timeline charges answer churn to it, and
+  // every swap against this kernel's sentinel (a threshold crossing —
+  // work only this query causes) charges sentinel_swaps.
+  WithinKernel(SweepState* state, ObjectId sentinel_oid, double threshold,
+               obs::CostCell* cost = nullptr);
   // Detaches from the state and removes the sentinel from the order, so a
   // kernel can be destroyed while other queries keep sharing the sweep.
   ~WithinKernel() override;
@@ -46,6 +50,7 @@ class WithinKernel : public SweepListener {
   double threshold_;
   std::set<ObjectId> current_;
   AnswerTimeline timeline_;
+  obs::CostCell* cost_ = nullptr;
 };
 
 // One-shot past range query over `interval`.

@@ -810,6 +810,73 @@ PartialAnswer ShardedQueryServer::AnswerPartial(QueryId id) const {
   return partial;
 }
 
+obs::QueryCostReport ShardedQueryServer::ExplainQuery(QueryId id) const {
+  obs::QueryCostReport merged;
+  merged.query_id = id;
+  merged.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    obs::ShardCostBreakdown breakdown;
+    breakdown.shard = s;
+    if (shards_[s]->db == nullptr) {
+      merged.shards.push_back(breakdown);  // found == false: unavailable.
+      continue;
+    }
+    const obs::QueryCostReport part = shards_[s]->db->ExplainQuery(id);
+    breakdown.found = part.found;
+    breakdown.answer_size = part.answer_size;
+    breakdown.own = part.own;
+    breakdown.group = part.group;
+    merged.shards.push_back(breakdown);
+    if (!part.found) continue;
+    if (!merged.found) {
+      // Identity fields are identical on every shard (registration fans
+      // out the same LoggedQuery); take them from the first that has it.
+      merged.found = true;
+      merged.live = part.live;
+      merged.is_knn = part.is_knn;
+      merged.param = part.param;
+      merged.group_key = part.group_key;
+      merged.group_live_queries = part.group_live_queries;
+    }
+    merged.own += part.own;
+    merged.own_window += part.own_window;
+    merged.group += part.group;
+    merged.group_window += part.group_window;
+    if (part.last_change_trace != 0) {
+      merged.last_change_trace = part.last_change_trace;
+    }
+  }
+  // The per-shard answer sizes don't sum to the merged answer (a kNN
+  // merge keeps k of the S*k candidates), so report the real thing.
+  if (merged.live && queries_.count(id) > 0) {
+    merged.answer_size = Answer(id).size();
+  }
+  return merged;
+}
+
+std::vector<obs::TopEntry> ShardedQueryServer::TopQueries() const {
+  std::map<int64_t, obs::TopEntry> by_id;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->db == nullptr) continue;
+    for (const obs::TopEntry& part : shards_[s]->db->TopQueries()) {
+      auto [it, inserted] = by_id.emplace(part.id, part);
+      if (inserted) continue;
+      it->second.cost_score += part.cost_score;
+      it->second.churn_score += part.churn_score;
+      it->second.own += part.own;
+    }
+  }
+  std::vector<obs::TopEntry> merged;
+  merged.reserve(by_id.size());
+  for (auto& [id, entry] : by_id) {
+    if (entry.live && queries_.count(id) > 0) {
+      entry.answer_size = Answer(id).size();
+    }
+    merged.push_back(std::move(entry));
+  }
+  return merged;
+}
+
 Status ShardedQueryServer::Flush() {
   // Attempt every shard even after a failure: the caller learns the first
   // error, the healthy shards still get their fsync.

@@ -178,6 +178,17 @@ class ShardedQueryServer {
   // PartialAnswer). Same locking contract as Answer().
   PartialAnswer AnswerPartial(QueryId id) const;
 
+  // Merged cost report (docs/QUERYCOST.md): fans ExplainQuery out to
+  // every shard by the shared public id, sums the own/group rows, and
+  // fills report.shards with the per-shard breakdown (found == false for
+  // a shard that failed to open). answer_size is the MERGED answer when
+  // the query is live; each breakdown entry carries the shard-local one.
+  // Like the per-shard ledgers, costs restart from zero at reopen.
+  obs::QueryCostReport ExplainQuery(QueryId id) const;
+  // Merged TopEntries for the live queries: per-query scores and rows
+  // summed across shards, unsorted (rank with obs::SortTop).
+  std::vector<obs::TopEntry> TopQueries() const;
+
   // Flush every shard; first error wins (all shards run).
   Status Flush();
   // Coordinated checkpoint: quiesce commits, fsync every shard (the

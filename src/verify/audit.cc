@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 
 namespace modb {
@@ -322,6 +323,7 @@ void AuditingObserver::RunAudit() {
                                                      : obs::kTraceNoId,
                       first.now, static_cast<uint64_t>(first.kind));
     obs::FlightRecorder::Global().AutoDump();
+    obs::SlowLog::Global().AutoDump();
   }
 }
 

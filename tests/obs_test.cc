@@ -136,6 +136,59 @@ TEST(BucketLayoutTest, ExponentialBuckets) {
   EXPECT_TRUE(std::is_sorted(size.begin(), size.end()));
 }
 
+// Interpolated quantiles: rank q*count is located in the cumulative
+// bucket counts and linearly interpolated between that bucket's edges.
+TEST(HistogramQuantileTest, InterpolatesInsideBuckets) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<uint64_t> buckets = {4, 4, 4, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 12, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 12, 0.25), 7.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 12, 1.0), 30.0);
+}
+
+// A rank landing exactly on a bucket's upper edge reports that bound
+// itself — no bleed into the next bucket.
+TEST(HistogramQuantileTest, ExactBucketBoundary) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<uint64_t> buckets = {4, 4, 4, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 12, 4.0 / 12.0), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 12, 8.0 / 12.0), 20.0);
+}
+
+TEST(HistogramQuantileTest, EmptyOverflowAndClamping) {
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 0}, 0, 0.5), 0.0);
+  // All mass past the last bound: the histogram cannot see past it.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 5}, 5, 0.5), 30.0);
+  // q clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {4, 4, 4, 0}, 12, 2.0), 30.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {4, 4, 4, 0}, 12, -1.0), 0.0);
+}
+
+// Positive-bounded histograms (latency buckets) interpolate the first
+// bucket from 0, not from the first bound.
+TEST(HistogramQuantileTest, FirstBucketLowerEdgeIsZero) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {2, 0}, 2, 0.5), 5.0);
+}
+
+// The renderers surface p50/p95/p99 for any histogram with observations.
+TEST(HistogramQuantileTest, RenderersIncludePercentiles) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.RegisterHistogram("t.h", "seconds", "a histogram", {1.0, 2.0});
+  const std::string empty_text = registry.ToText();
+  EXPECT_EQ(empty_text.find("p50"), std::string::npos);
+  h->Observe(0.5);
+  h->Observe(1.5);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(RegistryTest, RegistrationIsIdempotent) {
   MetricsRegistry registry;
   Counter* a = registry.RegisterCounter("test.c", "events", "help");

@@ -28,6 +28,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/modb_metrics.h"
+#include "obs/query_cost.h"
 #include "queries/fastest.h"
 #include "queries/knn.h"
 #include "queries/within.h"
@@ -78,7 +79,17 @@ int Usage() {
       "                                 standing query's answer\n"
       "  db-stats DIR [--format text|json]\n"
       "                                 recover and dump every metric\n"
-      "                                 (docs/METRICS.md lists them)\n"
+      "                                 (docs/METRICS.md lists them); on a\n"
+      "                                 sharded DIR a per-shard health\n"
+      "                                 section precedes the registry\n"
+      "  db-explain DIR ID [--format text|json] [--timing on|off]\n"
+      "                                 per-query cost report: engine\n"
+      "                                 group, cumulative + windowed cost\n"
+      "                                 columns, per-shard breakdown\n"
+      "                                 (docs/QUERYCOST.md)\n"
+      "  db-top DIR [--sort cost|churn] [--limit N] [--format text|json]\n"
+      "                                 rank standing queries by attributed\n"
+      "                                 sweep cost or answer churn\n"
       "  db-trace DIR [--out FILE]      recover and dump the flight\n"
       "                                 recorder as Chrome trace-event\n"
       "                                 JSON (docs/TRACING.md; open in\n"
@@ -350,6 +361,12 @@ struct AnyDb {
   }
   const std::map<QueryId, LoggedQuery>& live_queries() const {
     return is_sharded() ? sharded->live_queries() : single->live_queries();
+  }
+  obs::QueryCostReport ExplainQuery(QueryId id) const {
+    return is_sharded() ? sharded->ExplainQuery(id) : single->ExplainQuery(id);
+  }
+  std::vector<obs::TopEntry> TopQueries() const {
+    return is_sharded() ? sharded->TopQueries() : single->TopQueries();
   }
 };
 
@@ -629,12 +646,100 @@ bool DumpStats(const std::string& format) {
 }
 
 int CmdDbStats(const Args& args) {
-  auto db = OpenAnyDb(args);
+  // Stats are inspection: open degraded-tolerant so a dead shard still
+  // yields the healthy shards' metrics plus its own failure cause.
+  auto db = OpenAnyDb(args, /*allow_degraded=*/true);
   if (!db.ok()) return Fail(db.status().ToString());
+  const std::string format = args.Get("format", "text");
+  if (format != "text" && format != "json") {
+    return Fail("--format must be text|json");
+  }
   // Derived gauges (exact tree depth, order/queue size) are refreshed by
   // the registry's refresh hooks inside every snapshot render, so the
   // dump below — like --stats on any verb — always sees current values.
-  if (!DumpStats(args.Get("format", "text"))) {
+  if (!db->is_sharded()) {
+    DumpStats(format);
+    return 0;
+  }
+  // Sharded: the registry merges every shard's engines, so lead with the
+  // per-shard identities (durable high-water marks, degraded causes) the
+  // merge erases.
+  ShardedQueryServer& sharded = *db->sharded;
+  const std::vector<ShardHealth> health = sharded.Health();
+  if (format == "text") {
+    std::cout << "shards: " << sharded.shard_count() << "\n";
+    for (const ShardHealth& h : health) {
+      std::cout << "  " << ShardSubdir(h.shard) << ": ";
+      if (!sharded.shard_open(h.shard)) {
+        std::cout << "UNAVAILABLE (" << h.cause.ToString() << ")\n";
+        continue;
+      }
+      std::cout << "durable epoch " << h.durable_epoch << ", durable seq "
+                << h.durable_seq;
+      if (h.degraded) {
+        std::cout << ", DEGRADED (" << h.cause.ToString() << ")";
+      }
+      std::cout << "\n";
+    }
+    DumpStats(format);
+    return 0;
+  }
+  std::cout << "{\"shards\": [";
+  for (const ShardHealth& h : health) {
+    if (h.shard > 0) std::cout << ", ";
+    std::cout << "{\"shard\": " << h.shard << ", \"open\": "
+              << (sharded.shard_open(h.shard) ? "true" : "false")
+              << ", \"degraded\": " << (h.degraded ? "true" : "false")
+              << ", \"cause\": \"" << h.cause.ToString() << "\""
+              << ", \"durableEpoch\": " << h.durable_epoch
+              << ", \"durableSeq\": " << h.durable_seq << "}";
+  }
+  std::cout << "], \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
+            << "}\n";
+  return 0;
+}
+
+int CmdDbExplain(const Args& args) {
+  auto db = OpenAnyDb(args, /*allow_degraded=*/true);
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (args.positional.size() < 2) return Fail("db-explain needs DIR and ID");
+  const QueryId id =
+      std::strtoll(args.positional[1].c_str(), nullptr, 10);
+  const std::string format = args.Get("format", "text");
+  const std::string timing = args.Get("timing", "on");
+  if (timing != "on" && timing != "off") {
+    return Fail("--timing must be on|off");
+  }
+  const bool include_timing = timing == "on";
+  const obs::QueryCostReport report = db->ExplainQuery(id);
+  if (format == "text") {
+    std::cout << obs::RenderExplainText(report, include_timing);
+  } else if (format == "json") {
+    std::cout << obs::RenderExplainJson(report, include_timing) << "\n";
+  } else {
+    return Fail("--format must be text|json");
+  }
+  return report.found ? 0 : 1;
+}
+
+int CmdDbTop(const Args& args) {
+  auto db = OpenAnyDb(args, /*allow_degraded=*/true);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const std::string sort = args.Get("sort", "cost");
+  if (sort != "cost" && sort != "churn") {
+    return Fail("--sort must be cost|churn");
+  }
+  const bool by_churn = sort == "churn";
+  const size_t limit =
+      std::strtoul(args.Get("limit", "20").c_str(), nullptr, 10);
+  const std::string format = args.Get("format", "text");
+  std::vector<obs::TopEntry> entries = db->TopQueries();
+  obs::SortTop(&entries, by_churn);
+  if (format == "text") {
+    std::cout << obs::RenderTopText(entries, limit, by_churn);
+  } else if (format == "json") {
+    std::cout << obs::RenderTopJson(entries, limit, by_churn) << "\n";
+  } else {
     return Fail("--format must be text|json");
   }
   return 0;
@@ -693,6 +798,8 @@ int RunCommand(const std::string& command, const Args& args) {
   if (command == "db-rmquery") return CmdDbRmQuery(args);
   if (command == "db-answers") return CmdDbAnswers(args);
   if (command == "db-stats") return CmdDbStats(args);
+  if (command == "db-explain") return CmdDbExplain(args);
+  if (command == "db-top") return CmdDbTop(args);
   if (command == "db-trace") return CmdDbTrace(args);
   return Usage();
 }
